@@ -1,0 +1,75 @@
+// Fig 4: TCP congestion window evolution on the three section-4 pairs
+// (Kuiper K1, 10 Mbit/s links, 100-packet queues, no competing traffic).
+// For each pair the bench logs the NewReno cwnd trace together with the
+// instantaneous BDP and BDP+Q computed from the live path RTT — the two
+// envelope lines of the paper's figure.
+//
+// Expected shape: cwnd saw-tooths between ~BDP and ~BDP+Q while the path
+// is stable; the Rio-St.Petersburg disconnection collapses the window
+// via RTO; path shortenings cause duplicate-ACK halvings without loss.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bench/paper_pairs.hpp"
+#include "src/core/experiment.hpp"
+
+using namespace hypatia;
+
+int main(int argc, char** argv) {
+    bench::BenchArgs args(argc, argv);
+    bench::print_header("Fig 4: TCP congestion window vs BDP / BDP+Q");
+    const TimeNs duration = seconds_to_ns(args.duration_s(200.0, 200.0));
+    const double rate_bps = 10e6;
+    const double queue_packets = 100.0;
+    const double packet_bits = 1500.0 * 8.0;
+
+    for (const auto& [src_name, dst_name] : bench::section4_pairs()) {
+        auto scenario = bench::scenario_with_cities("kuiper_k1", {src_name, dst_name});
+        core::LeoNetwork leo(scenario);
+        auto flows = core::attach_tcp_flows(leo, {{0, 1}}, "newreno");
+
+        std::vector<std::array<double, 3>> envelope;  // t_s, bdp, bdp+q
+        leo.on_fstate_update = [&](TimeNs t) {
+            const double d = leo.current_distance_km(0, 1);
+            if (d == route::kInfDistance) {
+                envelope.push_back({ns_to_seconds(t), 0.0, 0.0});
+                return;
+            }
+            const double rtt_s = 2.0 * d / orbit::kSpeedOfLightKmPerS;
+            const double bdp_packets = rate_bps * rtt_s / packet_bits;
+            envelope.push_back(
+                {ns_to_seconds(t), bdp_packets, bdp_packets + queue_packets});
+        };
+        leo.run(duration);
+
+        const std::string tag = src_name.substr(0, 3) + "_" + dst_name.substr(0, 3);
+        util::CsvWriter cwnd_csv(bench::out_path("fig04_cwnd_" + tag + ".csv"));
+        cwnd_csv.header({"t_s", "cwnd_segments", "ssthresh", "in_recovery"});
+        double cwnd_max_late = 0.0;
+        for (const auto& s : flows[0]->cwnd_trace()) {
+            cwnd_csv.row({ns_to_seconds(s.t), s.cwnd, std::min(s.ssthresh, 1e6),
+                          s.in_recovery ? 1.0 : 0.0});
+            if (s.t > duration / 4) cwnd_max_late = std::max(cwnd_max_late, s.cwnd);
+        }
+        util::CsvWriter env_csv(bench::out_path("fig04_bdp_" + tag + ".csv"));
+        env_csv.header({"t_s", "bdp_packets", "bdp_plus_q_packets"});
+        double bdp_min = 1e18, bdpq_max = 0.0;
+        for (const auto& e : envelope) {
+            env_csv.row({e[0], e[1], e[2]});
+            if (e[1] > 0.0) {
+                bdp_min = std::min(bdp_min, e[1]);
+                bdpq_max = std::max(bdpq_max, e[2]);
+            }
+        }
+        std::printf("%-16s -> %-18s cwnd(max, after warmup) %6.1f  BDP %5.1f..  "
+                    "BDP+Q ..%6.1f  fast_rtx %llu  rtos %llu\n",
+                    src_name.c_str(), dst_name.c_str(), cwnd_max_late, bdp_min,
+                    bdpq_max,
+                    static_cast<unsigned long long>(flows[0]->fast_retransmits()),
+                    static_cast<unsigned long long>(flows[0]->timeouts()));
+    }
+    std::printf("\npaper reference: cwnd oscillates between BDP and BDP+Q=100pkts;\n"
+                "reordering at path shortenings halves cwnd without loss.\n"
+                "Series in %s/fig04_*.csv\n", bench::out_dir().c_str());
+    return 0;
+}

@@ -1,0 +1,54 @@
+// Fig 6: CDF across GS pairs of (maximum RTT over time) / (geodesic RTT)
+// for Telesat T1, Kuiper K1, and Starlink S1. Pairs closer than 500 km
+// are excluded (as in the paper).
+//
+// Expected shape: >80% of pairs below 2x the geodesic for all three;
+// Telesat lowest (l = 10 deg gives the most GSL options), then Kuiper,
+// then Starlink (fewer satellites per orbit -> zig-zag paths).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bench/constellation_analysis.hpp"
+
+using namespace hypatia;
+
+int main(int argc, char** argv) {
+    bench::BenchArgs args(argc, argv);
+    bench::print_header("Fig 6: max RTT / geodesic RTT (CDF across pairs)");
+    const TimeNs duration = seconds_to_ns(args.duration_s(200.0, 200.0));
+    const TimeNs step = ms_to_ns(args.step_ms(1000.0, 100.0));
+
+    util::CsvWriter csv(bench::out_path("fig06_rtt_vs_geodesic.csv"));
+    csv.header({"shell", "ratio", "cdf"});
+
+    for (const auto& shell : bench::section5_shells()) {
+        const auto a = bench::analyze_constellation(shell, duration, step);
+        std::vector<double> ratios;
+        int below2x = 0, reachable = 0;
+        for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+            const auto& stats = a.result.pair_stats[i];
+            if (!stats.ever_reachable()) continue;
+            const double geo = orbit::geodesic_rtt_s(
+                a.gses[static_cast<std::size_t>(a.pairs[i].src_gs)].geodetic(),
+                a.gses[static_cast<std::size_t>(a.pairs[i].dst_gs)].geodetic());
+            const double ratio = stats.max_rtt_s / geo;
+            ratios.push_back(ratio);
+            ++reachable;
+            if (ratio < 2.0) ++below2x;
+        }
+        const auto ecdf = util::ecdf(ratios, 200);
+        double shell_id = shell == "telesat_t1" ? 0.0 : shell == "kuiper_k1" ? 1.0 : 2.0;
+        for (const auto& p : ecdf) csv.row({shell_id, p.x, p.fraction});
+
+        const auto s = util::summarize(ratios);
+        std::printf("%-12s pairs %4d  median %.2fx  p90 %.2fx  max %.2fx  "
+                    "<2x: %4.1f%%\n",
+                    shell.c_str(), reachable, s.median, s.p90, s.max,
+                    100.0 * below2x / std::max(1, reachable));
+        bench::print_ecdf("  " + shell, ratios, 8);
+    }
+    std::printf("\npaper reference: >80%% of pairs below 2x geodesic for all three;\n"
+                "Telesat < Kuiper < Starlink. CSV: %s\n",
+                bench::out_path("fig06_rtt_vs_geodesic.csv").c_str());
+    return 0;
+}

@@ -1,0 +1,48 @@
+// Fig 11: constellation trajectory snapshots for Telesat T1, Kuiper K1,
+// and Starlink S1. The bench exports the satellite tracks as CZML-like
+// JSON (renderable with the Cesium glue the original project publishes)
+// and prints the latitude-density profile that the figure conveys
+// visually: Telesat's near-polar orbits cover the poles, Kuiper/Starlink
+// concentrate over the populated mid-latitudes.
+#include <cstdio>
+#include <fstream>
+
+#include "bench/common.hpp"
+#include "bench/constellation_analysis.hpp"
+#include "src/topology/mobility.hpp"
+#include "src/viz/trajectory_export.hpp"
+
+using namespace hypatia;
+
+int main(int argc, char** argv) {
+    bench::BenchArgs args(argc, argv);
+    bench::print_header("Fig 11: constellation trajectories and coverage density");
+    const TimeNs track_len = seconds_to_ns(args.duration_s(120.0, 600.0));
+
+    for (const auto& shell : bench::section5_shells()) {
+        const topo::Constellation c(topo::shell_by_name(shell), topo::default_epoch());
+        const topo::SatelliteMobility mob(c);
+
+        const auto tracks = viz::sample_tracks(mob, 0, track_len, 10 * kNsPerSec);
+        const auto json = viz::tracks_to_json(shell, tracks);
+        const auto path = bench::out_path("fig11_tracks_" + shell + ".json");
+        std::ofstream(path) << json;
+
+        const auto density = viz::latitude_density(mob, 0);
+        std::printf("%-12s (%d sats) satellites per 10-degree latitude band:\n",
+                    shell.c_str(), c.num_satellites());
+        std::printf("  band:");
+        for (int b = 0; b < 18; ++b) std::printf(" %3d", -90 + b * 10);
+        std::printf("\n  %%   :");
+        for (double d : density) std::printf(" %3.0f", 100.0 * d);
+        std::printf("\n  polar coverage (|lat| > 70): %.1f%%   mid-lat (30..60): %.1f%%\n",
+                    100.0 * (density[0] + density[1] + density[16] + density[17]),
+                    100.0 * (density[12] + density[13] + density[14] + density[3] +
+                             density[4] + density[5]));
+        std::printf("  tracks: %s\n", path.c_str());
+    }
+    std::printf("\npaper reference: Telesat (i=98.98) covers the poles; Kuiper and\n"
+                "Starlink (i~52/53) are densest over the mid-latitudes where most\n"
+                "of the population lives.\n");
+    return 0;
+}

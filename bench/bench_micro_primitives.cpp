@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) for the primitives that set the
+// simulator's pace (and hence Fig 2's slowdown): SGP4 propagation, GMST,
+// cached mobility lookups, topology snapshots, per-destination Dijkstra,
+// forwarding-state computation, and event-queue throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/orbit/sgp4.hpp"
+#include "src/orbit/tle.hpp"
+#include "src/routing/shortest_path.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/topology/cities.hpp"
+#include "src/topology/visibility.hpp"
+
+using namespace hypatia;
+
+namespace {
+
+const topo::Constellation& kuiper() {
+    static const topo::Constellation c(topo::shell_by_name("kuiper_k1"),
+                                       topo::default_epoch());
+    return c;
+}
+
+void BM_Sgp4Propagate(benchmark::State& state) {
+    const auto& sat = kuiper().satellite(0);
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sat.sgp4->propagate_minutes(t));
+        t += 0.001;
+    }
+}
+BENCHMARK(BM_Sgp4Propagate);
+
+void BM_Gmst(benchmark::State& state) {
+    auto jd = topo::default_epoch();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(orbit::gmst_radians(jd));
+        jd = jd.plus_seconds(1.0);
+    }
+}
+BENCHMARK(BM_Gmst);
+
+void BM_MobilityCachedLookup(benchmark::State& state) {
+    const topo::SatelliteMobility mob(kuiper());
+    TimeNs t = 0;
+    int sat = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mob.position_ecef(sat, t));
+        sat = (sat + 1) % mob.num_satellites();
+        if (sat == 0) t += kNsPerMs;
+    }
+}
+BENCHMARK(BM_MobilityCachedLookup);
+
+void BM_TleParse(benchmark::State& state) {
+    const auto tle = kuiper().satellite(7).tle;
+    const auto l1 = tle.line1();
+    const auto l2 = tle.line2();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(orbit::Tle::parse(l1, l2));
+    }
+}
+BENCHMARK(BM_TleParse);
+
+void BM_VisibleSatellites(benchmark::State& state) {
+    const topo::SatelliteMobility mob(kuiper());
+    const auto tokyo = topo::city_by_name("Tokyo");
+    TimeNs t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(topo::visible_satellites(tokyo, mob, t));
+        t += 100 * kNsPerMs;
+    }
+}
+BENCHMARK(BM_VisibleSatellites);
+
+void BM_TopologySnapshot(benchmark::State& state) {
+    const topo::SatelliteMobility mob(kuiper());
+    const auto isls = topo::build_isls(kuiper(), topo::IslPattern::kPlusGrid);
+    const auto gses = topo::top100_cities();
+    TimeNs t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(route::build_snapshot(mob, isls, gses, t));
+        t += 100 * kNsPerMs;
+    }
+}
+BENCHMARK(BM_TopologySnapshot)->Unit(benchmark::kMillisecond);
+
+void BM_DijkstraPerDestination(benchmark::State& state) {
+    const topo::SatelliteMobility mob(kuiper());
+    const auto isls = topo::build_isls(kuiper(), topo::IslPattern::kPlusGrid);
+    const auto gses = topo::top100_cities();
+    const auto graph = route::build_snapshot(mob, isls, gses, 0);
+    int dst = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(route::dijkstra_to(graph, graph.gs_node(dst)));
+        dst = (dst + 1) % 100;
+    }
+}
+BENCHMARK(BM_DijkstraPerDestination)->Unit(benchmark::kMillisecond);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+    sim::EventQueue q;
+    TimeNs t = 0;
+    // Keep a steady population of 10k events, push+pop per iteration.
+    for (int i = 0; i < 10000; ++i) q.push(t++, [] {});
+    for (auto _ : state) {
+        q.push(t++, [] {});
+        benchmark::DoNotOptimize(q.pop());
+    }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Shared setup for the Appendix A experiments (Figs 16-19): Paris -
+// Moscow over Kuiper K1, either via ISLs or via bent-pipe connectivity
+// through a grid of candidate ground-station relays between the two
+// cities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/leo_network.hpp"
+#include "src/topology/cities.hpp"
+
+namespace hypatia::bench {
+
+/// GS 0 = Paris, GS 1 = Moscow, GSes 2.. = relay grid (bent-pipe only).
+inline core::Scenario bent_pipe_scenario(bool use_isls) {
+    core::Scenario s;
+    s.shell = topo::shell_by_name("kuiper_k1");
+    int id = 0;
+    s.ground_stations.emplace_back(id++, "Paris",
+                                   topo::city_by_name("Paris").geodetic());
+    s.ground_stations.emplace_back(id++, "Moscow",
+                                   topo::city_by_name("Moscow").geodetic());
+    if (use_isls) {
+        s.isl_pattern = topo::IslPattern::kPlusGrid;
+        return s;
+    }
+    s.isl_pattern = topo::IslPattern::kNone;
+    // Relay grid roughly covering the Paris-Moscow corridor (the paper's
+    // Fig 16(b) grid): latitudes 40..65, longitudes 0..45, 5-degree pitch.
+    for (double lat = 40.0; lat <= 65.0; lat += 5.0) {
+        for (double lon = 0.0; lon <= 45.0; lon += 5.0) {
+            const std::string name = "relay_" + std::to_string(static_cast<int>(lat)) +
+                                     "_" + std::to_string(static_cast<int>(lon));
+            s.relay_gs_indices.push_back(id);
+            s.ground_stations.emplace_back(id++, name,
+                                           orbit::Geodetic{lat, lon, 0.0});
+        }
+    }
+    return s;
+}
+
+}  // namespace hypatia::bench

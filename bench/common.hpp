@@ -1,0 +1,54 @@
+// Shared plumbing for the figure-reproduction benches: argument handling
+// (every bench accepts --duration-s / --step-ms / --paper overrides),
+// output file placement, and small printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/util/cli.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::bench {
+
+/// Directory where benches drop their CSV/JSON artifacts.
+inline std::string out_dir() { return "bench_output"; }
+
+inline std::string out_path(const std::string& name) {
+    return util::output_path(out_dir(), name);
+}
+
+/// Standard bench knobs. Each bench documents its own defaults; --paper
+/// switches to the full-scale parameters of the publication (slower).
+struct BenchArgs {
+    util::Cli cli;
+    bool paper;
+
+    BenchArgs(int argc, char** argv) : cli(argc, argv), paper(cli.get_bool("paper")) {}
+
+    double duration_s(double fast_default, double paper_default) const {
+        return cli.get_double("duration-s", paper ? paper_default : fast_default);
+    }
+    double step_ms(double fast_default, double paper_default) const {
+        return cli.get_double("step-ms", paper ? paper_default : fast_default);
+    }
+};
+
+inline void print_header(const std::string& title) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("==============================================================\n");
+}
+
+/// Prints an ECDF as two columns (value, fraction), thinned for terminals.
+inline void print_ecdf(const std::string& label, std::vector<double> values,
+                       std::size_t max_points = 12) {
+    const auto points = util::ecdf(std::move(values), max_points);
+    std::printf("%s (ECDF: value fraction)\n", label.c_str());
+    for (const auto& p : points) std::printf("  %10.4f  %6.3f\n", p.x, p.fraction);
+}
+
+}  // namespace hypatia::bench

@@ -1,0 +1,50 @@
+// Shared driver for the constellation-wide path analyses of section 5
+// (Figs 6-8): Starlink S1, Kuiper K1, Telesat T1 with the 100 most
+// populous cities, all GS pairs at least 500 km apart.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/orbit/coords.hpp"
+#include "src/routing/path_analysis.hpp"
+#include "src/topology/cities.hpp"
+#include "src/topology/constellation.hpp"
+
+namespace hypatia::bench {
+
+struct ConstellationAnalysis {
+    std::string shell_name;
+    std::vector<orbit::GroundStation> gses;
+    std::vector<route::GsPair> pairs;
+    route::AnalysisResult result;
+};
+
+inline ConstellationAnalysis analyze_constellation(const std::string& shell_name,
+                                                   TimeNs duration, TimeNs step) {
+    ConstellationAnalysis out;
+    out.shell_name = shell_name;
+    out.gses = topo::top100_cities();
+    out.pairs = route::all_pairs_min_distance(out.gses, 500.0);
+
+    const topo::Constellation constellation(topo::shell_by_name(shell_name),
+                                            topo::default_epoch());
+    const topo::SatelliteMobility mobility(constellation);
+    const auto isls = topo::build_isls(constellation, topo::IslPattern::kPlusGrid);
+
+    route::AnalysisOptions opt;
+    opt.t_end = duration;
+    opt.step = step;
+    out.result = route::analyze_pairs(mobility, isls, out.gses, out.pairs, opt);
+    return out;
+}
+
+/// The paper analyzes the first planned deployments: S1, K1, T1.
+inline const std::vector<std::string>& section5_shells() {
+    static const std::vector<std::string> shells = {"telesat_t1", "kuiper_k1",
+                                                    "starlink_s1"};
+    return shells;
+}
+
+}  // namespace hypatia::bench

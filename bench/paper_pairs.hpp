@@ -1,0 +1,38 @@
+// Helpers for the single-connection experiments of the paper's section 4:
+// Kuiper K1 with a selected set of named cities as ground stations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/leo_network.hpp"
+#include "src/topology/cities.hpp"
+
+namespace hypatia::bench {
+
+/// Builds the paper's default scenario restricted to the named cities
+/// (GS index = position in `names`). Keeping the GS list small makes the
+/// per-step topology snapshots cheap without changing any behaviour.
+inline core::Scenario scenario_with_cities(const std::string& shell_name,
+                                           const std::vector<std::string>& names) {
+    core::Scenario s;
+    s.shell = topo::shell_by_name(shell_name);
+    int id = 0;
+    for (const auto& name : names) {
+        const auto city = topo::city_by_name(name);
+        s.ground_stations.emplace_back(id++, city.name(), city.geodetic());
+    }
+    return s;
+}
+
+/// The three section-4 connections, in paper order.
+inline const std::vector<std::pair<std::string, std::string>>& section4_pairs() {
+    static const std::vector<std::pair<std::string, std::string>> pairs = {
+        {"Rio de Janeiro", "Saint Petersburg"},
+        {"Manila", "Dalian"},
+        {"Istanbul", "Nairobi"},
+    };
+    return pairs;
+}
+
+}  // namespace hypatia::bench

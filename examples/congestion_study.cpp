@@ -1,0 +1,61 @@
+// Congestion-control study: run one long TCP flow between two cities on
+// a LEO shell, with either NewReno or Vegas, and report how the window,
+// RTT and delivery rate respond to satellite motion — the section 4.2
+// experiment of the paper as a reusable tool.
+//
+//   ./congestion_study [--cc newreno|vegas] [--shell kuiper_k1]
+//                      [--src "Rio de Janeiro"] [--dst "Saint Petersburg"]
+//                      [--duration-s 120]
+#include <cstdio>
+
+#include "src/core/experiment.hpp"
+#include "src/topology/cities.hpp"
+#include "src/util/cli.hpp"
+
+using namespace hypatia;
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    const std::string cc = cli.get_string("cc", "newreno");
+    const std::string shell = cli.get_string("shell", "kuiper_k1");
+    const std::string src_name = cli.get_string("src", "Rio de Janeiro");
+    const std::string dst_name = cli.get_string("dst", "Saint Petersburg");
+    const TimeNs duration = seconds_to_ns(cli.get_double("duration-s", 120.0));
+
+    core::Scenario scenario;
+    scenario.shell = topo::shell_by_name(shell);
+    scenario.ground_stations = {
+        {0, src_name, topo::city_by_name(src_name).geodetic()},
+        {1, dst_name, topo::city_by_name(dst_name).geodetic()},
+    };
+    core::LeoNetwork leo(scenario);
+    auto flows = core::attach_tcp_flows(leo, {{0, 1}}, cc);
+    flows[0]->enable_delivery_bins(kNsPerSec, duration);
+    leo.run(duration);
+    const auto& flow = *flows[0];
+
+    std::printf("%s, %s -> %s, %s, %.0f s\n", shell.c_str(), src_name.c_str(),
+                dst_name.c_str(), cc.c_str(), ns_to_seconds(duration));
+    std::printf("%6s %10s %12s %10s\n", "t(s)", "cwnd", "rate(Mbps)", "rtt(ms)");
+
+    const auto rates = flow.delivery_rate_bps();
+    std::size_t cwnd_i = 0, rtt_i = 0;
+    const auto& cwnd_trace = flow.cwnd_trace();
+    const auto& rtt_trace = flow.rtt_trace();
+    for (std::size_t sec = 0; sec < rates.size(); sec += 5) {
+        const TimeNs t = static_cast<TimeNs>(sec) * kNsPerSec;
+        while (cwnd_i + 1 < cwnd_trace.size() && cwnd_trace[cwnd_i + 1].t <= t) ++cwnd_i;
+        while (rtt_i + 1 < rtt_trace.size() && rtt_trace[rtt_i + 1].t <= t) ++rtt_i;
+        std::printf("%6zu %10.1f %12.2f %10.2f\n", sec,
+                    cwnd_trace.empty() ? 0.0 : cwnd_trace[cwnd_i].cwnd,
+                    rates[sec] / 1e6,
+                    rtt_trace.empty() ? 0.0 : ns_to_ms(rtt_trace[rtt_i].rtt));
+    }
+    std::printf("\ndelivered %.1f MB, fast retransmits %llu, RTOs %llu, "
+                "dupACKs %llu\n",
+                static_cast<double>(flow.delivered_bytes()) / 1e6,
+                static_cast<unsigned long long>(flow.fast_retransmits()),
+                static_cast<unsigned long long>(flow.timeouts()),
+                static_cast<unsigned long long>(flow.dup_acks_received()));
+    return 0;
+}

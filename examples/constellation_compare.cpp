@@ -1,0 +1,92 @@
+// Constellation comparison: evaluate any set of Table-1 shells on the
+// same city pairs — minimum/maximum RTT, geodesic stretch, path churn —
+// the section 5 methodology of the paper as a command-line tool.
+//
+//   ./constellation_compare [--shells starlink_s1,kuiper_k1,telesat_t1]
+//                           [--duration-s 60] [--step-ms 500]
+//                           [--pairs "Paris:Luanda,New York:London"]
+#include <cstdio>
+#include <sstream>
+
+#include "src/orbit/coords.hpp"
+#include "src/routing/path_analysis.hpp"
+#include "src/topology/cities.hpp"
+#include "src/util/cli.hpp"
+
+using namespace hypatia;
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, sep)) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    const auto shells =
+        split(cli.get_string("shells", "starlink_s1,kuiper_k1,telesat_t1"), ',');
+    const TimeNs duration = seconds_to_ns(cli.get_double("duration-s", 60.0));
+    const TimeNs step = ms_to_ns(cli.get_double("step-ms", 500.0));
+    const auto pair_specs = split(
+        cli.get_string("pairs",
+                       "Paris:Luanda,New York:London,Manila:Dalian,Tokyo:Sydney"),
+        ',');
+
+    // Build the GS list and pair indices from the pair specs.
+    std::vector<orbit::GroundStation> gses;
+    std::vector<route::GsPair> pairs;
+    auto gs_index = [&](const std::string& name) {
+        for (const auto& g : gses) {
+            if (g.name() == name) return g.id();
+        }
+        const auto city = topo::city_by_name(name);
+        gses.emplace_back(static_cast<int>(gses.size()), city.name(), city.geodetic());
+        return static_cast<int>(gses.size()) - 1;
+    };
+    for (const auto& spec : pair_specs) {
+        const auto parts = split(spec, ':');
+        if (parts.size() != 2) {
+            std::fprintf(stderr, "bad pair spec: %s\n", spec.c_str());
+            return 1;
+        }
+        pairs.push_back({gs_index(parts[0]), gs_index(parts[1])});
+    }
+
+    std::printf("%-14s %-28s %9s %9s %8s %8s %7s\n", "shell", "pair", "min(ms)",
+                "max(ms)", "stretch", "changes", "hops");
+    for (const auto& shell_name : shells) {
+        const topo::Constellation c(topo::shell_by_name(shell_name),
+                                    topo::default_epoch());
+        const topo::SatelliteMobility mob(c);
+        const auto isls = topo::build_isls(c, topo::IslPattern::kPlusGrid);
+        route::AnalysisOptions opt;
+        opt.t_end = duration;
+        opt.step = step;
+        const auto res = route::analyze_pairs(mob, isls, gses, pairs, opt);
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            const auto& st = res.pair_stats[i];
+            const auto& a = gses[static_cast<std::size_t>(pairs[i].src_gs)];
+            const auto& b = gses[static_cast<std::size_t>(pairs[i].dst_gs)];
+            const std::string pair_name = a.name() + ":" + b.name();
+            if (!st.ever_reachable()) {
+                std::printf("%-14s %-28s %9s\n", shell_name.c_str(), pair_name.c_str(),
+                            "n/a");
+                continue;
+            }
+            const double geo = orbit::geodesic_rtt_s(a.geodetic(), b.geodetic());
+            std::printf("%-14s %-28s %9.1f %9.1f %8.2f %8d %4d-%-3d\n",
+                        shell_name.c_str(), pair_name.c_str(), st.min_rtt_s * 1e3,
+                        st.max_rtt_s * 1e3, st.max_rtt_s / geo, st.path_changes,
+                        st.min_hops, st.max_hops);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+// TLE generation tool — the original Hypatia's satgen step as a
+// standalone utility: writes a standards-compliant TLE file (title line
+// + two element lines per satellite) for any Table-1 shell, and verifies
+// the round trip by re-parsing and re-propagating every entry.
+//
+//   ./gen_tles [--shell kuiper_k1] [--out kuiper_k1.tle]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/orbit/sgp4.hpp"
+#include "src/orbit/tle.hpp"
+#include "src/topology/constellation.hpp"
+#include "src/util/cli.hpp"
+
+using namespace hypatia;
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    const std::string shell_name = cli.get_string("shell", "kuiper_k1");
+    const std::string out_path = cli.get_string("out", shell_name + ".tle");
+
+    const topo::Constellation c(topo::shell_by_name(shell_name),
+                                topo::default_epoch());
+    {
+        std::ofstream out(out_path);
+        for (const auto& sat : c.satellites()) {
+            out << sat.tle.name << "\n" << sat.tle.line1() << "\n"
+                << sat.tle.line2() << "\n";
+        }
+    }
+
+    // Verify: re-read the file, parse every TLE, propagate, and compare
+    // against the constellation's own propagators.
+    std::ifstream in(out_path);
+    std::string name, l1, l2;
+    int verified = 0;
+    double worst_km = 0.0;
+    while (std::getline(in, name) && std::getline(in, l1) && std::getline(in, l2)) {
+        const auto parsed = orbit::Tle::parse(l1, l2);
+        const orbit::Sgp4 prop(parsed.to_sgp4_elements());
+        const auto& sat = c.satellite(verified);
+        const auto a = prop.propagate_minutes(30.0).position_km;
+        const auto b = sat.sgp4->propagate_minutes(30.0).position_km;
+        worst_km = std::max(worst_km, a.distance_to(b));
+        ++verified;
+    }
+    std::printf("%s: wrote %d TLEs to %s\n", shell_name.c_str(), verified,
+                out_path.c_str());
+    std::printf("round-trip check: re-parsed all %d, worst position deviation "
+                "after 30 min propagation: %.3f km (TLE field quantization)\n",
+                verified, worst_km);
+    return worst_km < 3.0 && verified == c.num_satellites() ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// GEO vs LEO: the motivation of the paper's introduction, quantified.
+// Compares the bent-pipe RTT through a geostationary satellite
+// (HughesNet/Viasat-class service, section 2.4) against the LEO ISL path
+// over Kuiper K1, for a set of city pairs.
+//
+//   ./geo_vs_leo [--pairs "Miami:Bogota,London:New York"] [--geo-sats 12]
+#include <cstdio>
+#include <sstream>
+
+#include "src/orbit/coords.hpp"
+#include "src/routing/path_analysis.hpp"
+#include "src/routing/shortest_path.hpp"
+#include "src/topology/cities.hpp"
+#include "src/topology/shell_group.hpp"
+#include "src/util/cli.hpp"
+
+using namespace hypatia;
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, sep)) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+double pair_rtt_ms(const route::Graph& graph, int src_gs, int dst_gs) {
+    const auto tree = route::dijkstra_to(graph, graph.gs_node(dst_gs));
+    const double d = tree.distance_km[static_cast<std::size_t>(graph.gs_node(src_gs))];
+    if (d == route::kInfDistance) return -1.0;
+    return 2.0 * d / orbit::kSpeedOfLightKmPerS * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    const int geo_sats = static_cast<int>(cli.get_long("geo-sats", 12));
+    const auto pair_specs = split(
+        cli.get_string("pairs",
+                       "Miami:Bogota,London:New York,Manila:Dalian,Madrid:Lagos"),
+        ',');
+
+    std::vector<orbit::GroundStation> gses;
+    std::vector<route::GsPair> pairs;
+    auto gs_index = [&](const std::string& name) {
+        for (const auto& g : gses) {
+            if (g.name() == name) return g.id();
+        }
+        const auto city = topo::city_by_name(name);
+        gses.emplace_back(static_cast<int>(gses.size()), city.name(), city.geodetic());
+        return static_cast<int>(gses.size()) - 1;
+    };
+    for (const auto& spec : pair_specs) {
+        const auto parts = split(spec, ':');
+        pairs.push_back({gs_index(parts.at(0)), gs_index(parts.at(1))});
+    }
+
+    // GEO: a ring of bent-pipe satellites, no ISLs.
+    const topo::Constellation geo(topo::geostationary_shell(geo_sats),
+                                  topo::default_epoch());
+    const topo::SatelliteMobility geo_mob(geo);
+    const auto geo_graph = route::build_snapshot(geo_mob, {}, gses, 0);
+
+    // LEO: Kuiper K1 with +Grid ISLs.
+    const topo::Constellation k1(topo::shell_by_name("kuiper_k1"),
+                                 topo::default_epoch());
+    const topo::SatelliteMobility k1_mob(k1);
+    const auto isls = topo::build_isls(k1, topo::IslPattern::kPlusGrid);
+    const auto leo_graph = route::build_snapshot(k1_mob, isls, gses, 0);
+
+    std::printf("%-28s %12s %12s %10s %8s\n", "pair", "GEO RTT(ms)", "LEO RTT(ms)",
+                "geodesic", "speedup");
+    for (const auto& p : pairs) {
+        const double geo_ms = pair_rtt_ms(geo_graph, p.src_gs, p.dst_gs);
+        const double leo_ms = pair_rtt_ms(leo_graph, p.src_gs, p.dst_gs);
+        const double geodesic_ms =
+            orbit::geodesic_rtt_s(gses[static_cast<std::size_t>(p.src_gs)].geodetic(),
+                                  gses[static_cast<std::size_t>(p.dst_gs)].geodetic()) *
+            1e3;
+        const std::string name = gses[static_cast<std::size_t>(p.src_gs)].name() + ":" +
+                                 gses[static_cast<std::size_t>(p.dst_gs)].name();
+        if (geo_ms < 0 || leo_ms < 0) {
+            std::printf("%-28s %12s\n", name.c_str(), "unreachable");
+            continue;
+        }
+        std::printf("%-28s %12.1f %12.1f %10.1f %7.1fx\n", name.c_str(), geo_ms,
+                    leo_ms, geodesic_ms, geo_ms / leo_ms);
+    }
+    std::printf("\nGEO orbits at 35,786 km cost ~500 ms bent-pipe RTT regardless of\n"
+                "distance; LEO at 630 km stays within a small factor of the\n"
+                "geodesic — the premise of the new constellations (paper sec. 1).\n");
+    return 0;
+}

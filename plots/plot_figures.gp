@@ -1,0 +1,72 @@
+# Gnuplot recipes for the paper's figures, fed by the CSV series that the
+# bench binaries drop into bench_output/ (run the benches first).
+#
+#   gnuplot -c plots/plot_figures.gp
+#
+# PNGs land next to the CSVs in bench_output/.
+
+set datafile separator ","
+set terminal pngcairo size 900,540 font "sans,11"
+set grid
+
+# ---- Fig 3: RTT fluctuations (one panel per pair) ---------------------
+do for [pair in "Rio_Sai Man_Dal Ist_Nai"] {
+    set output sprintf("bench_output/fig03_%s.png", pair)
+    set title sprintf("Fig 3 — RTT fluctuations (%s)", pair)
+    set xlabel "time (s)"
+    set ylabel "RTT (ms)"
+    plot sprintf("bench_output/fig03_tcp_%s.csv", pair)      skip 1 using 1:2 with dots  lc rgb "#88cc88" title "TCP", \
+         sprintf("bench_output/fig03_ping_%s.csv", pair)     skip 1 using 1:2 with dots  lc rgb "#4477cc" title "Pings", \
+         sprintf("bench_output/fig03_computed_%s.csv", pair) skip 1 using 1:2 with lines lc rgb "#cc4444" lw 2 title "Computed"
+}
+
+# ---- Fig 4: cwnd vs BDP / BDP+Q ---------------------------------------
+do for [pair in "Rio_Sai Man_Dal Ist_Nai"] {
+    set output sprintf("bench_output/fig04_%s.png", pair)
+    set title sprintf("Fig 4 — congestion window (%s)", pair)
+    set xlabel "time (s)"
+    set ylabel "packets"
+    plot sprintf("bench_output/fig04_cwnd_%s.csv", pair) skip 1 using 1:2 with lines lc rgb "#4477cc" title "CWND", \
+         sprintf("bench_output/fig04_bdp_%s.csv", pair)  skip 1 using 1:2 with lines lc rgb "#888888" title "BDP", \
+         sprintf("bench_output/fig04_bdp_%s.csv", pair)  skip 1 using 1:3 with lines lc rgb "#cc8844" title "BDP+Q"
+}
+
+# ---- Fig 5: NewReno vs Vegas ------------------------------------------
+set output "bench_output/fig05_rate.png"
+set title "Fig 5(c) — throughput, Rio de Janeiro - St. Petersburg"
+set xlabel "time (s)"
+set ylabel "throughput (Mbit/s)"
+plot "bench_output/fig05_rate_newreno.csv" skip 1 using 1:2 with lines lw 2 title "NewReno", \
+     "bench_output/fig05_rate_vegas.csv"   skip 1 using 1:2 with lines lw 2 title "Vegas"
+
+# ---- Fig 6: max RTT / geodesic CDF ------------------------------------
+set output "bench_output/fig06.png"
+set title "Fig 6 — max RTT / geodesic RTT (CDF across pairs)"
+set xlabel "max RTT / geodesic RTT"
+set ylabel "ECDF (pairs)"
+set xrange [1:7]
+plot "bench_output/fig06_rtt_vs_geodesic.csv" skip 1 using ($1==0?$2:1/0):3 with lines lw 2 title "Telesat T1", \
+     ""                                        skip 1 using ($1==1?$2:1/0):3 with lines lw 2 title "Kuiper K1", \
+     ""                                        skip 1 using ($1==2?$2:1/0):3 with lines lw 2 title "Starlink S1"
+unset xrange
+
+# ---- Fig 10: unused bandwidth ------------------------------------------
+set output "bench_output/fig10.png"
+set title "Fig 10 — unused bandwidth, Rio de Janeiro - St. Petersburg"
+set xlabel "time (s)"
+set ylabel "unused bandwidth (Mbit/s)"
+set yrange [0:10.5]
+plot "bench_output/fig10_unused_bandwidth.csv" skip 1 using 1:($2<0?1/0:$2) with lines lw 2 lc rgb "#4477cc" title "dynamic constellation", \
+     ""                                         skip 1 using 1:($3<0?1/0:$3) with lines lw 1 lc rgb "#999999" title "frozen at t=0"
+unset yrange
+
+# ---- Extension: BBR vs NewReno vs Vegas --------------------------------
+set output "bench_output/ext_bbr.png"
+set title "Extension — congestion control on a LEO path"
+set xlabel "time (s)"
+set ylabel "throughput (Mbit/s)"
+plot "bench_output/ext_bbr_rate_newreno.csv" skip 1 using 1:2 with lines lw 2 title "NewReno", \
+     "bench_output/ext_bbr_rate_vegas.csv"   skip 1 using 1:2 with lines lw 2 title "Vegas", \
+     "bench_output/ext_bbr_rate_bbr.csv"     skip 1 using 1:2 with lines lw 2 title "BBR"
+
+print "PNG figures written to bench_output/"

@@ -1,0 +1,98 @@
+#include "src/core/experiment.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace hypatia::core {
+
+std::vector<std::unique_ptr<sim::TcpFlow>> attach_tcp_flows(
+    LeoNetwork& leo, const std::vector<route::GsPair>& pairs,
+    const std::string& cc_name, const sim::TcpConfig& base_config, TimeNs stagger) {
+    std::vector<std::unique_ptr<sim::TcpFlow>> flows;
+    flows.reserve(pairs.size());
+    std::uint64_t flow_id = base_config.flow_id;
+    for (const auto& pair : pairs) {
+        leo.add_destination(pair.src_gs);  // reverse path for ACKs
+        leo.add_destination(pair.dst_gs);
+        sim::TcpConfig cfg = base_config;
+        cfg.flow_id = flow_id++;
+        cfg.src_node = leo.gs_node(pair.src_gs);
+        cfg.dst_node = leo.gs_node(pair.dst_gs);
+        // Start strictly after the t = 0 forwarding-state installation
+        // (same-time events run in scheduling order, and flows are
+        // created before LeoNetwork::run schedules the installer), and
+        // stagger flows to avoid lock-step slow starts.
+        cfg.start = std::max<TimeNs>(cfg.start, kNsPerUs) +
+                    static_cast<TimeNs>(flows.size()) * stagger;
+        auto cc = cc_name == "vegas"     ? sim::make_vegas()
+                  : cc_name == "bbr"     ? sim::make_bbr()
+                  : cc_name == "newreno"
+                      ? sim::make_newreno()
+                      : throw std::invalid_argument("unknown cc: " + cc_name);
+        flows.push_back(std::make_unique<sim::TcpFlow>(leo.network(), cfg, std::move(cc)));
+    }
+    return flows;
+}
+
+std::vector<std::unique_ptr<sim::UdpFlow>> attach_udp_flows(
+    LeoNetwork& leo, const std::vector<route::GsPair>& pairs, TimeNs stop,
+    int packet_size_bytes) {
+    std::vector<std::unique_ptr<sim::UdpFlow>> flows;
+    flows.reserve(pairs.size());
+    std::uint64_t flow_id = 1;
+    for (const auto& pair : pairs) {
+        leo.add_destination(pair.dst_gs);
+        sim::UdpFlow::Config cfg;
+        cfg.start = kNsPerUs;  // after the t = 0 forwarding installation
+        cfg.flow_id = flow_id++;
+        cfg.src_node = leo.gs_node(pair.src_gs);
+        cfg.dst_node = leo.gs_node(pair.dst_gs);
+        cfg.rate_bps = leo.scenario().gsl_rate_bps;  // paced at line rate
+        cfg.packet_size_bytes = packet_size_bytes;
+        cfg.stop = stop;
+        flows.push_back(std::make_unique<sim::UdpFlow>(leo.network(), cfg));
+    }
+    return flows;
+}
+
+WorkloadResult run_permutation_workload(const PermutationWorkloadConfig& config) {
+    Scenario scenario = config.scenario;
+    if (config.num_ground_stations <
+        static_cast<int>(scenario.ground_stations.size())) {
+        scenario.ground_stations.erase(
+            scenario.ground_stations.begin() + config.num_ground_stations,
+            scenario.ground_stations.end());
+    }
+    LeoNetwork leo(scenario);
+    const auto pairs = route::random_permutation_pairs(
+        static_cast<int>(scenario.ground_stations.size()), config.seed);
+
+    std::vector<std::unique_ptr<sim::TcpFlow>> tcp_flows;
+    std::vector<std::unique_ptr<sim::UdpFlow>> udp_flows;
+    if (config.tcp) {
+        // Short scalability runs: keep the stagger small so every flow
+        // contributes for nearly the whole window.
+        tcp_flows = attach_tcp_flows(leo, pairs, "newreno", {}, 1 * kNsPerMs);
+    } else {
+        udp_flows = attach_udp_flows(leo, pairs, config.duration);
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    leo.run(config.duration);
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    WorkloadResult result;
+    result.virtual_seconds = ns_to_seconds(config.duration);
+    result.wall_seconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    result.slowdown = result.wall_seconds / result.virtual_seconds;
+    std::uint64_t payload_bytes = 0;
+    for (const auto& f : tcp_flows) payload_bytes += f->delivered_bytes();
+    for (const auto& f : udp_flows) payload_bytes += f->received_payload_bytes();
+    result.goodput_bps =
+        static_cast<double>(payload_bytes) * 8.0 / result.virtual_seconds;
+    result.events = leo.simulator().events_executed();
+    return result;
+}
+
+}  // namespace hypatia::core

@@ -1,0 +1,53 @@
+// Experiment helpers: the paper's workloads packaged as functions.
+//  * attach_tcp_flows / attach_udp_flows — long-running flows between GS
+//    pairs (the random-permutation traffic matrix of sections 3.4, 5.4).
+//  * run_permutation_workload — the Fig 2 scalability experiment: run the
+//    permutation workload at a line rate, report wall-clock slowdown and
+//    network-wide goodput.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/leo_network.hpp"
+#include "src/routing/path_analysis.hpp"
+#include "src/sim/tcp_socket.hpp"
+#include "src/sim/udp_app.hpp"
+
+namespace hypatia::core {
+
+/// Creates one long-running TCP flow per pair on `leo` (and registers the
+/// destinations for forwarding state). `cc_name` is "newreno", "vegas" or
+/// "bbr". Flow starts are staggered by `stagger` each to avoid lock-step
+/// slow starts (short workloads may want a smaller value).
+std::vector<std::unique_ptr<sim::TcpFlow>> attach_tcp_flows(
+    LeoNetwork& leo, const std::vector<route::GsPair>& pairs,
+    const std::string& cc_name, const sim::TcpConfig& base_config = {},
+    TimeNs stagger = 10 * kNsPerMs);
+
+/// Creates one paced UDP flow per pair sending at the GSL line rate.
+std::vector<std::unique_ptr<sim::UdpFlow>> attach_udp_flows(
+    LeoNetwork& leo, const std::vector<route::GsPair>& pairs, TimeNs stop,
+    int packet_size_bytes = 1500);
+
+struct WorkloadResult {
+    double virtual_seconds = 0.0;
+    double wall_seconds = 0.0;
+    double slowdown = 0.0;      // wall / virtual (paper Fig 2 y-axis)
+    double goodput_bps = 0.0;   // network-wide payload goodput (x-axis)
+    std::uint64_t events = 0;   // simulator events executed
+};
+
+struct PermutationWorkloadConfig {
+    Scenario scenario;
+    unsigned seed = 42;          // traffic matrix permutation seed
+    bool tcp = true;             // TCP (true) or paced UDP (false)
+    TimeNs duration = 10 * kNsPerSec;
+    int num_ground_stations = 100;  // use the first N of the GS list
+};
+
+/// Runs the paper's scalability workload and measures slowdown.
+WorkloadResult run_permutation_workload(const PermutationWorkloadConfig& config);
+
+}  // namespace hypatia::core

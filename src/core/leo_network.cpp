@@ -1,0 +1,125 @@
+#include "src/core/leo_network.hpp"
+
+#include <cmath>
+
+#include "src/orbit/coords.hpp"
+#include "src/routing/shortest_path.hpp"
+
+namespace hypatia::core {
+
+LeoNetwork::LeoNetwork(const Scenario& scenario)
+    : scenario_(scenario),
+      constellation_(scenario.shell, topo::default_epoch()),
+      mobility_(constellation_),
+      isls_(topo::build_isls(constellation_, scenario.isl_pattern)),
+      net_(sim_) {
+    if (scenario.weather.has_value()) weather_.emplace(*scenario.weather);
+    const int num_sats = constellation_.num_satellites();
+    const int num_gs = num_ground_stations();
+    net_.create_nodes(num_sats + num_gs);
+
+    const auto delay = [this](int from, int to, TimeNs t) {
+        return propagation_delay(from, to, t);
+    };
+
+    for (const auto& isl : isls_) {
+        net_.add_isl(isl.sat_a, isl.sat_b, scenario_.isl_rate_bps,
+                     scenario_.isl_queue_packets, delay);
+    }
+    // One GSL device per satellite and per ground station (paper 3.1).
+    for (int s = 0; s < num_sats; ++s) {
+        net_.add_gsl(s, scenario_.gsl_rate_bps, scenario_.gsl_queue_packets, delay);
+    }
+    for (int g = 0; g < num_gs; ++g) {
+        net_.add_gsl(gs_node(g), scenario_.gsl_rate_bps, scenario_.gsl_queue_packets,
+                     delay);
+    }
+}
+
+Vec3 LeoNetwork::node_position(int node, TimeNs orbit_time) const {
+    if (node < num_satellites()) return mobility_.position_ecef(node, orbit_time);
+    return scenario_.ground_stations[static_cast<std::size_t>(node - num_satellites())]
+        .ecef();
+}
+
+TimeNs LeoNetwork::propagation_delay(int from, int to, TimeNs sim_time) const {
+    const TimeNs t = orbit_time(sim_time);
+    const double km = node_position(from, t).distance_to(node_position(to, t));
+    return seconds_to_ns(km / orbit::kSpeedOfLightKmPerS);
+}
+
+void LeoNetwork::add_destination(int gs_index) { destination_gs_.insert(gs_index); }
+
+void LeoNetwork::install_fstate(TimeNs sim_time) {
+    route::SnapshotOptions opts;
+    opts.relay_gs_indices = scenario_.relay_gs_indices;
+    opts.include_isls = scenario_.isl_pattern != topo::IslPattern::kNone;
+    opts.gs_nearest_satellite_only = scenario_.gs_nearest_satellite_only;
+    if (weather_.has_value()) {
+        opts.gsl_range_factor = [this](int gs_index, TimeNs t) {
+            return weather_->gsl_range_factor(gs_index, t);
+        };
+    }
+    const route::Graph graph = route::build_snapshot(
+        mobility_, isls_, scenario_.ground_stations, orbit_time(sim_time), opts);
+
+    for (int dst_gs : destination_gs_) {
+        const int dst_node = gs_node(dst_gs);
+        auto tree = route::dijkstra_to(graph, dst_node);
+        // Install only entries that changed since the previous state
+        // (Hypatia's fstate deltas); the first installation writes all.
+        const route::DestinationTree* prev = fstate_.tree(dst_node);
+        for (int node = 0; node < graph.num_nodes(); ++node) {
+            const int nh = tree.next_hop[static_cast<std::size_t>(node)];
+            if (prev != nullptr &&
+                prev->next_hop[static_cast<std::size_t>(node)] == nh) {
+                continue;
+            }
+            net_.node(node).set_next_hop(dst_node, nh);
+        }
+        fstate_.set_tree(dst_node, std::move(tree));
+    }
+    ++fstate_installs_;
+    if (on_fstate_update) on_fstate_update(sim_time);
+}
+
+void LeoNetwork::run(TimeNs duration) {
+    // Install state at t = 0 and then at every interval boundary. Events
+    // are scheduled one at a time so the event queue stays small.
+    const TimeNs interval = scenario_.fstate_interval;
+    auto self = std::make_shared<std::function<void()>>();
+    *self = [this, interval, duration, self]() {
+        install_fstate(sim_.now());
+        const TimeNs next = sim_.now() + interval;
+        if (next <= duration) sim_.schedule_at(next, *self);
+    };
+    sim_.schedule_at(0, *self);
+    sim_.run_until(duration);
+}
+
+std::vector<int> LeoNetwork::current_path(int src_gs, int dst_gs) const {
+    const auto* tree = fstate_.tree(gs_node(dst_gs));
+    if (tree == nullptr) return {};
+    return route::extract_path(*tree, gs_node(src_gs));
+}
+
+double LeoNetwork::current_distance_km(int src_gs, int dst_gs) const {
+    return fstate_.distance_km(gs_node(src_gs), gs_node(dst_gs));
+}
+
+sim::NetDevice* LeoNetwork::device_between(int from, int to) {
+    sim::Node& node = net_.node(from);
+    if (sim::NetDevice* isl = node.isl_device_to(to)) return isl;
+    return node.gsl_device();
+}
+
+std::vector<sim::NetDevice*> LeoNetwork::current_path_devices(int src_gs, int dst_gs) {
+    std::vector<sim::NetDevice*> devices;
+    const auto path = current_path(src_gs, dst_gs);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        devices.push_back(device_between(path[i], path[i + 1]));
+    }
+    return devices;
+}
+
+}  // namespace hypatia::core

@@ -1,0 +1,14 @@
+#include "src/core/scenario.hpp"
+
+#include "src/topology/cities.hpp"
+
+namespace hypatia::core {
+
+Scenario Scenario::paper_default(const std::string& shell_name) {
+    Scenario s;
+    s.shell = topo::shell_by_name(shell_name);
+    s.ground_stations = topo::top100_cities();
+    return s;
+}
+
+}  // namespace hypatia::core

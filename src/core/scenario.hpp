@@ -1,0 +1,61 @@
+// Scenario: the full description of one Hypatia experiment — which
+// constellation, which ground stations, link rates, queue sizes, the
+// forwarding-state recomputation interval, and where in the
+// constellation's orbital timeline the simulation window starts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/orbit/ground_station.hpp"
+#include "src/topology/constellation.hpp"
+#include "src/topology/isl.hpp"
+#include "src/topology/weather.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::core {
+
+struct Scenario {
+    topo::ShellParams shell;
+    std::vector<orbit::GroundStation> ground_stations;
+    topo::IslPattern isl_pattern = topo::IslPattern::kPlusGrid;
+
+    /// Link parameters (paper default: every link 10 Mbit/s, 100-packet
+    /// drop-tail queues — section 4).
+    double isl_rate_bps = 10e6;
+    double gsl_rate_bps = 10e6;
+    std::size_t isl_queue_packets = 100;
+    std::size_t gsl_queue_packets = 100;
+
+    /// Forwarding state recomputation granularity (paper default 100 ms).
+    TimeNs fstate_interval = 100 * kNsPerMs;
+
+    /// Constellation time at simulation t = 0. The paper's qualitative
+    /// events (e.g. the St. Petersburg disconnection) occur at specific
+    /// points of the orbital timeline; benches pick windows that exhibit
+    /// them.
+    TimeNs start_offset = 0;
+
+    /// Ground stations allowed to relay (bent-pipe experiments).
+    std::vector<int> relay_gs_indices;
+
+    /// Ground stations connect only to their nearest satellite (paper
+    /// section 3.1(c)'s user-terminal mode) instead of all connectable.
+    bool gs_nearest_satellite_only = false;
+
+    /// Optional weather model: rain cells shrink GSL cones (section 7).
+    std::optional<topo::WeatherModel::Config> weather;
+
+    /// Freeze the network at its start_offset state: satellite positions
+    /// (and hence link delays, visibility, and routes) stop evolving.
+    /// This is the paper's Fig 10 static baseline ("the satellite network
+    /// frozen at its t = 0 position").
+    bool freeze = false;
+
+    /// Builds the paper's default scenario: the given Table-1 shell with
+    /// the world's 100 most populous cities as ground stations.
+    static Scenario paper_default(const std::string& shell_name);
+};
+
+}  // namespace hypatia::core

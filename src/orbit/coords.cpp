@@ -1,0 +1,96 @@
+#include "src/orbit/coords.hpp"
+
+#include <cmath>
+
+namespace hypatia::orbit {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kRadToDeg = 180.0 / M_PI;
+}  // namespace
+
+Vec3 geodetic_to_ecef(const Geodetic& g) {
+    const double lat = g.latitude_deg * kDegToRad;
+    const double lon = g.longitude_deg * kDegToRad;
+    const double a = Wgs72::kEarthRadiusKm;
+    const double f = Wgs72::kFlattening;
+    const double e2 = f * (2.0 - f);
+    const double sin_lat = std::sin(lat);
+    const double n = a / std::sqrt(1.0 - e2 * sin_lat * sin_lat);
+    return {
+        (n + g.altitude_km) * std::cos(lat) * std::cos(lon),
+        (n + g.altitude_km) * std::cos(lat) * std::sin(lon),
+        (n * (1.0 - e2) + g.altitude_km) * sin_lat,
+    };
+}
+
+Geodetic ecef_to_geodetic(const Vec3& ecef) {
+    const double a = Wgs72::kEarthRadiusKm;
+    const double f = Wgs72::kFlattening;
+    const double e2 = f * (2.0 - f);
+    const double p = std::hypot(ecef.x, ecef.y);
+    double lat = std::atan2(ecef.z, p * (1.0 - e2));  // initial guess
+    double alt = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        const double sin_lat = std::sin(lat);
+        const double n = a / std::sqrt(1.0 - e2 * sin_lat * sin_lat);
+        alt = p / std::cos(lat) - n;
+        const double new_lat = std::atan2(ecef.z, p * (1.0 - e2 * n / (n + alt)));
+        if (std::abs(new_lat - lat) < 1e-12) {
+            lat = new_lat;
+            break;
+        }
+        lat = new_lat;
+    }
+    return {lat * kRadToDeg, std::atan2(ecef.y, ecef.x) * kRadToDeg, alt};
+}
+
+Vec3 teme_to_ecef(const Vec3& teme, const JulianDate& jd) {
+    const double theta = gmst_radians(jd);
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    // ECEF = Rz(gmst) * TEME
+    return {c * teme.x + s * teme.y, -s * teme.x + c * teme.y, teme.z};
+}
+
+LookAngles look_angles(const Geodetic& observer_geo, const Vec3& observer_ecef,
+                       const Vec3& target_ecef) {
+    const double lat = observer_geo.latitude_deg * kDegToRad;
+    const double lon = observer_geo.longitude_deg * kDegToRad;
+    const Vec3 delta = target_ecef - observer_ecef;
+
+    // Rotate the ECEF delta into the local SEZ (south-east-zenith) frame.
+    const double sin_lat = std::sin(lat), cos_lat = std::cos(lat);
+    const double sin_lon = std::sin(lon), cos_lon = std::cos(lon);
+    const double south = sin_lat * cos_lon * delta.x + sin_lat * sin_lon * delta.y -
+                         cos_lat * delta.z;
+    const double east = -sin_lon * delta.x + cos_lon * delta.y;
+    const double zenith = cos_lat * cos_lon * delta.x + cos_lat * sin_lon * delta.y +
+                          sin_lat * delta.z;
+
+    LookAngles out;
+    out.range_km = delta.norm();
+    out.elevation_deg = std::asin(zenith / out.range_km) * kRadToDeg;
+    out.azimuth_deg = std::atan2(east, -south) * kRadToDeg;  // 0=N, 90=E
+    if (out.azimuth_deg < 0.0) out.azimuth_deg += 360.0;
+    return out;
+}
+
+double great_circle_distance_km(const Geodetic& a, const Geodetic& b) {
+    const double lat1 = a.latitude_deg * kDegToRad;
+    const double lat2 = b.latitude_deg * kDegToRad;
+    const double dlat = lat2 - lat1;
+    const double dlon = (b.longitude_deg - a.longitude_deg) * kDegToRad;
+    const double h = std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+                     std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2.0) *
+                         std::sin(dlon / 2.0);
+    // Mean Earth radius consistent with WGS72 (a * (1 - f/3)).
+    const double r = Wgs72::kEarthRadiusKm * (1.0 - Wgs72::kFlattening / 3.0);
+    return 2.0 * r * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double geodesic_rtt_s(const Geodetic& a, const Geodetic& b) {
+    return 2.0 * great_circle_distance_km(a, b) / kSpeedOfLightKmPerS;
+}
+
+}  // namespace hypatia::orbit

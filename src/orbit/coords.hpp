@@ -1,0 +1,63 @@
+// Coordinate systems: WGS72 geodetic <-> ECEF, TEME -> ECEF rotation, and
+// topocentric look angles (azimuth / elevation / range) as seen from a
+// ground station. Hypatia works in WGS72 because the TLE/SGP4 stack does
+// (paper section 3.1: "TLEs in the WGS72 world geodetic system standard").
+#pragma once
+
+#include "src/orbit/time.hpp"
+#include "src/util/vec3.hpp"
+
+namespace hypatia::orbit {
+
+/// WGS72 ellipsoid and gravity constants (the gravity model SGP4 expects).
+struct Wgs72 {
+    static constexpr double kEarthRadiusKm = 6378.135;       // equatorial radius
+    static constexpr double kFlattening = 1.0 / 298.26;      // ellipsoid flattening
+    static constexpr double kMuKm3PerS2 = 398600.8;          // GM of Earth
+    static constexpr double kJ2 = 0.001082616;
+    static constexpr double kJ3 = -0.00000253881;
+    static constexpr double kJ4 = -0.00000165597;
+};
+
+/// Speed of light in vacuum, km/s. Link latencies are distance / c
+/// (laser ISLs and radio GSLs both propagate at c in vacuum/air).
+inline constexpr double kSpeedOfLightKmPerS = 299792.458;
+
+/// Geodetic position on the WGS72 ellipsoid.
+struct Geodetic {
+    double latitude_deg = 0.0;
+    double longitude_deg = 0.0;  // east positive, in [-180, 180]
+    double altitude_km = 0.0;    // above the ellipsoid
+};
+
+/// Geodetic -> ECEF (km).
+Vec3 geodetic_to_ecef(const Geodetic& g);
+
+/// ECEF (km) -> geodetic, iterative (Bowring); converges in a few rounds.
+Geodetic ecef_to_geodetic(const Vec3& ecef);
+
+/// Rotates a TEME position into ECEF by the Earth rotation angle (GMST).
+/// Polar motion is ignored (sub-20 m, irrelevant at network scale).
+Vec3 teme_to_ecef(const Vec3& teme, const JulianDate& jd);
+
+/// Topocentric view of a target from an observer, both in ECEF.
+struct LookAngles {
+    double azimuth_deg = 0.0;    // 0 = North, 90 = East
+    double elevation_deg = 0.0;  // 0 = horizon, 90 = zenith
+    double range_km = 0.0;
+};
+
+/// Computes look angles using the observer's geodetic normal as "up"
+/// (the angle-of-elevation convention of the paper's Fig. 1 and Fig. 12).
+LookAngles look_angles(const Geodetic& observer_geo, const Vec3& observer_ecef,
+                       const Vec3& target_ecef);
+
+/// Great-circle distance between two geodetic points at sea level, km
+/// (haversine over the mean Earth radius). Used for the paper's
+/// "geodesic RTT" baseline in Fig. 6.
+double great_circle_distance_km(const Geodetic& a, const Geodetic& b);
+
+/// Geodesic round-trip time at the speed of light in vacuum, seconds.
+double geodesic_rtt_s(const Geodetic& a, const Geodetic& b);
+
+}  // namespace hypatia::orbit

@@ -1,0 +1,4 @@
+#include "src/orbit/ground_station.hpp"
+
+// GroundStation is header-only today; this translation unit anchors the
+// library target and keeps a stable place for future non-inline logic.

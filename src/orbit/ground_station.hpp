@@ -1,0 +1,38 @@
+// Ground stations: fixed geodetic sites with precomputed ECEF positions.
+// The paper models static GSes with multiple parabolic antennas (gateway
+// class), located at the world's 100 most populous cities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/orbit/coords.hpp"
+#include "src/util/vec3.hpp"
+
+namespace hypatia::orbit {
+
+class GroundStation {
+  public:
+    GroundStation(int id, std::string name, const Geodetic& geodetic)
+        : id_(id), name_(std::move(name)), geodetic_(geodetic),
+          ecef_(geodetic_to_ecef(geodetic)) {}
+
+    int id() const { return id_; }
+    const std::string& name() const { return name_; }
+    const Geodetic& geodetic() const { return geodetic_; }
+    const Vec3& ecef() const { return ecef_; }
+
+    /// Elevation angle (degrees) of a target at `target_ecef` above this
+    /// station's horizon; negative if below the horizon.
+    double elevation_deg_to(const Vec3& target_ecef) const {
+        return look_angles(geodetic_, ecef_, target_ecef).elevation_deg;
+    }
+
+  private:
+    int id_;
+    std::string name_;
+    Geodetic geodetic_;
+    Vec3 ecef_;
+};
+
+}  // namespace hypatia::orbit

@@ -1,0 +1,108 @@
+#include "src/orbit/kepler.hpp"
+
+#include <cmath>
+
+namespace hypatia::orbit {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kTwoPi = 2.0 * M_PI;
+}  // namespace
+
+double KeplerianElements::mean_motion_rad_per_s() const {
+    const double a = semi_major_axis_km;
+    return std::sqrt(Wgs72::kMuKm3PerS2 / (a * a * a));
+}
+
+double KeplerianElements::mean_motion_rev_per_day() const {
+    return mean_motion_rad_per_s() * 86400.0 / kTwoPi;
+}
+
+double KeplerianElements::period_s() const { return kTwoPi / mean_motion_rad_per_s(); }
+
+double KeplerianElements::circular_velocity_km_per_s() const {
+    return std::sqrt(Wgs72::kMuKm3PerS2 / semi_major_axis_km);
+}
+
+KeplerianElements KeplerianElements::circular(double altitude_km, double inclination_deg,
+                                              double raan_deg, double mean_anomaly_deg,
+                                              const JulianDate& epoch) {
+    KeplerianElements el;
+    el.semi_major_axis_km = Wgs72::kEarthRadiusKm + altitude_km;
+    el.eccentricity = 0.0;
+    el.inclination_deg = inclination_deg;
+    el.raan_deg = raan_deg;
+    el.arg_perigee_deg = 0.0;
+    el.mean_anomaly_deg = mean_anomaly_deg;
+    el.epoch = epoch;
+    return el;
+}
+
+double solve_kepler_equation(double mean_anomaly_rad, double eccentricity) {
+    double m = std::fmod(mean_anomaly_rad, kTwoPi);
+    if (m < 0.0) m += kTwoPi;
+    double e_anom = eccentricity < 0.8 ? m : M_PI;
+    for (int i = 0; i < 50; ++i) {
+        const double f = e_anom - eccentricity * std::sin(e_anom) - m;
+        const double fp = 1.0 - eccentricity * std::cos(e_anom);
+        const double delta = f / fp;
+        e_anom -= delta;
+        if (std::abs(delta) < 1e-13) break;
+    }
+    return e_anom;
+}
+
+StateVector propagate_kepler_j2(const KeplerianElements& el, const JulianDate& at) {
+    const double dt = at.seconds_since(el.epoch);
+    const double n = el.mean_motion_rad_per_s();
+    const double a = el.semi_major_axis_km;
+    const double e = el.eccentricity;
+    const double inc = el.inclination_deg * kDegToRad;
+    const double cos_i = std::cos(inc);
+    const double p = a * (1.0 - e * e);
+    const double re_over_p = Wgs72::kEarthRadiusKm / p;
+
+    // First-order J2 secular rates (Vallado 9.38-9.40).
+    const double j2_factor = 1.5 * Wgs72::kJ2 * re_over_p * re_over_p * n;
+    const double raan_dot = -j2_factor * cos_i;
+    const double argp_dot = j2_factor * (2.0 - 2.5 * std::sin(inc) * std::sin(inc));
+    const double m_dot =
+        n + j2_factor * std::sqrt(1.0 - e * e) * (1.0 - 1.5 * std::sin(inc) * std::sin(inc));
+
+    const double raan = el.raan_deg * kDegToRad + raan_dot * dt;
+    const double argp = el.arg_perigee_deg * kDegToRad + argp_dot * dt;
+    const double m = el.mean_anomaly_deg * kDegToRad + m_dot * dt;
+
+    const double e_anom = solve_kepler_equation(m, e);
+    const double cos_e = std::cos(e_anom);
+    const double sin_e = std::sin(e_anom);
+    const double r = a * (1.0 - e * cos_e);
+
+    // Perifocal position and velocity.
+    const double sqrt_1me2 = std::sqrt(1.0 - e * e);
+    const double xp = a * (cos_e - e);
+    const double yp = a * sqrt_1me2 * sin_e;
+    const double rdot_coeff = std::sqrt(Wgs72::kMuKm3PerS2 * a) / r;
+    const double vxp = -rdot_coeff * sin_e;
+    const double vyp = rdot_coeff * sqrt_1me2 * cos_e;
+
+    // Rotate perifocal -> inertial: Rz(-raan) Rx(-i) Rz(-argp).
+    const double cr = std::cos(raan), sr = std::sin(raan);
+    const double ci = std::cos(inc), si = std::sin(inc);
+    const double cw = std::cos(argp), sw = std::sin(argp);
+
+    const double r11 = cr * cw - sr * sw * ci;
+    const double r12 = -cr * sw - sr * cw * ci;
+    const double r21 = sr * cw + cr * sw * ci;
+    const double r22 = -sr * sw + cr * cw * ci;
+    const double r31 = sw * si;
+    const double r32 = cw * si;
+
+    StateVector sv;
+    sv.position_km = {r11 * xp + r12 * yp, r21 * xp + r22 * yp, r31 * xp + r32 * yp};
+    sv.velocity_km_per_s = {r11 * vxp + r12 * vyp, r21 * vxp + r22 * vyp,
+                            r31 * vxp + r32 * vyp};
+    return sv;
+}
+
+}  // namespace hypatia::orbit

@@ -1,0 +1,60 @@
+// Keplerian orbital elements and an analytic two-body propagator with J2
+// secular corrections. This is (a) the input format of the FCC/ITU filings
+// the paper works from (Table 1), and (b) an independent validation
+// reference for the SGP4 propagator.
+#pragma once
+
+#include "src/orbit/coords.hpp"
+#include "src/orbit/time.hpp"
+#include "src/util/vec3.hpp"
+
+namespace hypatia::orbit {
+
+/// Classical Keplerian elements. Angles in degrees (filing convention),
+/// semi-major axis in km. All upcoming mega-constellation filings use
+/// circular orbits, but eccentricity is supported throughout.
+struct KeplerianElements {
+    double semi_major_axis_km = 0.0;
+    double eccentricity = 0.0;
+    double inclination_deg = 0.0;
+    double raan_deg = 0.0;            // right ascension of ascending node
+    double arg_perigee_deg = 0.0;     // argument of perigee
+    double mean_anomaly_deg = 0.0;    // at epoch
+    JulianDate epoch;
+
+    /// Mean motion in radians per second: sqrt(mu / a^3).
+    double mean_motion_rad_per_s() const;
+    /// Mean motion in revolutions per day (the TLE unit).
+    double mean_motion_rev_per_day() const;
+    /// Orbital period in seconds.
+    double period_s() const;
+    /// Circular orbital velocity in km/s (exact for e = 0).
+    double circular_velocity_km_per_s() const;
+
+    /// Convenience: elements of a circular orbit at `altitude_km` above the
+    /// WGS72 equatorial radius.
+    static KeplerianElements circular(double altitude_km, double inclination_deg,
+                                      double raan_deg, double mean_anomaly_deg,
+                                      const JulianDate& epoch);
+};
+
+/// Position and velocity in an inertial frame (TEME-compatible for our
+/// purposes), km and km/s.
+struct StateVector {
+    Vec3 position_km;
+    Vec3 velocity_km_per_s;
+};
+
+/// Analytic two-body propagation with first-order J2 secular rates on
+/// RAAN, argument of perigee, and mean anomaly. Solves Kepler's equation
+/// by Newton iteration for the eccentric case.
+///
+/// This is not SGP4 (no periodic terms, no drag), but for near-circular
+/// LEO over a few hours it matches SGP4 to within a few kilometres, which
+/// is what the validation tests assert.
+StateVector propagate_kepler_j2(const KeplerianElements& el, const JulianDate& at);
+
+/// Solves Kepler's equation M = E - e*sin(E) for E (radians).
+double solve_kepler_equation(double mean_anomaly_rad, double eccentricity);
+
+}  // namespace hypatia::orbit

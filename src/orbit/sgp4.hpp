@@ -1,0 +1,71 @@
+// SGP4 orbital propagator (near-Earth variant), WGS72 gravity model.
+//
+// This is the same analytic theory (Vallado's revision of Spacetrack
+// Report #3) that backs python-sgp4 and the ns-3 satellite mobility model
+// the paper builds on. Only the near-Earth branch is implemented: every
+// shell in Table 1 of the paper orbits below 1,325 km (period < 120 min),
+// far from the 225-minute deep-space threshold.
+//
+// Output positions are in the TEME (true equator, mean equinox) inertial
+// frame in km; rotate with orbit::teme_to_ecef for Earth-fixed work.
+#pragma once
+
+#include "src/orbit/kepler.hpp"
+#include "src/orbit/time.hpp"
+#include "src/util/vec3.hpp"
+
+namespace hypatia::orbit {
+
+/// Initialization inputs in TLE units.
+struct Sgp4Elements {
+    JulianDate epoch;
+    double bstar = 0.0;              // drag term, 1/earth-radii
+    double inclination_rad = 0.0;
+    double raan_rad = 0.0;
+    double eccentricity = 0.0;
+    double arg_perigee_rad = 0.0;
+    double mean_anomaly_rad = 0.0;
+    double mean_motion_rad_per_min = 0.0;  // Kozai mean motion (TLE field)
+};
+
+/// One initialized SGP4 satellite. Construction runs the (comparatively
+/// expensive) init step once; propagate() is then cheap and can be called
+/// millions of times during a simulation.
+class Sgp4 {
+  public:
+    /// Throws std::invalid_argument for unpropagatable elements
+    /// (hyperbolic, sub-surface perigee, deep-space period).
+    explicit Sgp4(const Sgp4Elements& el);
+
+    /// State at `minutes_since_epoch`. Throws std::runtime_error if the
+    /// propagation decays below the Earth's surface or diverges.
+    StateVector propagate_minutes(double minutes_since_epoch) const;
+
+    /// State at an absolute time.
+    StateVector propagate(const JulianDate& at) const;
+
+    const JulianDate& epoch() const { return elements_.epoch; }
+
+    /// Un-Kozai'd ("Brouwer") mean motion after init, rad/min.
+    double no_unkozai() const { return no_unkozai_; }
+
+  private:
+    Sgp4Elements elements_;
+
+    // Derived init-time constants (names follow the standard SGP4 code so
+    // the implementation can be audited against the published theory).
+    int isimp_ = 0;
+    double aycof_ = 0, con41_ = 0, cc1_ = 0, cc4_ = 0, cc5_ = 0;
+    double d2_ = 0, d3_ = 0, d4_ = 0, delmo_ = 0, eta_ = 0, argpdot_ = 0;
+    double omgcof_ = 0, sinmao_ = 0, t2cof_ = 0, t3cof_ = 0, t4cof_ = 0, t5cof_ = 0;
+    double x1mth2_ = 0, x7thm1_ = 0, mdot_ = 0, nodedot_ = 0, xlcof_ = 0;
+    double xmcof_ = 0, nodecf_ = 0;
+    double no_unkozai_ = 0;
+};
+
+/// Builds SGP4 init elements from Keplerian elements (degrees/km -> TLE
+/// radians/rev units), with zero drag — the paper's generated TLEs for
+/// not-yet-launched satellites have no drag history to fit.
+Sgp4Elements sgp4_elements_from_kepler(const KeplerianElements& kep, double bstar = 0.0);
+
+}  // namespace hypatia::orbit

@@ -1,0 +1,59 @@
+#include "src/orbit/time.hpp"
+
+#include <cmath>
+
+namespace hypatia::orbit {
+
+namespace {
+constexpr double kTwoPi = 2.0 * M_PI;
+constexpr double kSecondsPerDay = 86400.0;
+}  // namespace
+
+JulianDate JulianDate::plus_seconds(double seconds) const {
+    JulianDate out = *this;
+    out.frac += seconds / kSecondsPerDay;
+    const double whole = std::floor(out.frac);
+    out.day += whole;
+    out.frac -= whole;
+    return out;
+}
+
+double JulianDate::seconds_since(const JulianDate& other) const {
+    return ((day - other.day) + (frac - other.frac)) * kSecondsPerDay;
+}
+
+JulianDate julian_date_from_utc(int year, int month, int day, int hour, int minute,
+                                double second) {
+    // Standard algorithm (Vallado, "Fundamentals of Astrodynamics", Alg. 14).
+    const double jd_day =
+        367.0 * year - std::floor(7.0 * (year + std::floor((month + 9.0) / 12.0)) * 0.25) +
+        std::floor(275.0 * month / 9.0) + day + 1721013.5;
+    const double day_frac = (second + minute * 60.0 + hour * 3600.0) / kSecondsPerDay;
+    JulianDate jd{jd_day, day_frac};
+    const double whole = std::floor(jd.frac);
+    jd.day += whole;
+    jd.frac -= whole;
+    return jd;
+}
+
+double gmst_radians(const JulianDate& jd) {
+    // IAU-82 GMST (Vallado Alg. 15), evaluated with the split representation
+    // to preserve precision: centuries from J2000 of the 0h part plus the
+    // intra-day rotation term.
+    const double t_ut1 = (jd.total() - kJ2000) / 36525.0;
+    double gmst_sec = 67310.54841 +
+                      (876600.0 * 3600.0 + 8640184.812866) * t_ut1 +
+                      0.093104 * t_ut1 * t_ut1 - 6.2e-6 * t_ut1 * t_ut1 * t_ut1;
+    gmst_sec = std::fmod(gmst_sec, kSecondsPerDay);
+    double gmst = gmst_sec / 240.0 * M_PI / 180.0;  // 240 sec of time per degree
+    gmst = std::fmod(gmst, kTwoPi);
+    if (gmst < 0.0) gmst += kTwoPi;
+    return gmst;
+}
+
+double days_since_1949_dec_31(const JulianDate& jd) {
+    // JD of 1949-12-31 00:00 UT is 2433281.5.
+    return jd.total() - 2433281.5;
+}
+
+}  // namespace hypatia::orbit

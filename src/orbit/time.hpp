@@ -1,0 +1,41 @@
+// Astronomical time: Julian dates, calendar conversion and Greenwich Mean
+// Sidereal Time (GMST, IAU-82 model). GMST rotates the inertial TEME frame
+// that SGP4 outputs into the Earth-fixed ECEF frame that ground stations
+// live in.
+#pragma once
+
+#include <cstdint>
+
+namespace hypatia::orbit {
+
+/// A Julian date split into whole days and day fraction for precision
+/// (a single double loses ~0.1 ms of resolution at J2000 epochs; the split
+/// representation keeps sub-microsecond resolution for simulation offsets).
+struct JulianDate {
+    double day = 0.0;   // whole Julian day number part (e.g. 2451544.5)
+    double frac = 0.0;  // fraction of a day in [0, 1)
+
+    double total() const { return day + frac; }
+
+    /// Returns this date advanced by `seconds`.
+    JulianDate plus_seconds(double seconds) const;
+
+    /// Seconds elapsed from `other` to this date.
+    double seconds_since(const JulianDate& other) const;
+};
+
+/// Julian date of a proleptic-Gregorian UTC instant. Valid for years
+/// 1900-2100 (the standard astronomical algorithm's validity window).
+JulianDate julian_date_from_utc(int year, int month, int day, int hour, int minute,
+                                double second);
+
+/// The J2000.0 reference epoch: 2000-01-01 12:00:00 TT ~ JD 2451545.0.
+inline constexpr double kJ2000 = 2451545.0;
+
+/// Greenwich Mean Sidereal Time in radians in [0, 2*pi), IAU-82.
+double gmst_radians(const JulianDate& jd);
+
+/// Days since the TLE epoch origin (1949 December 31 00:00 UT) used by SGP4.
+double days_since_1949_dec_31(const JulianDate& jd);
+
+}  // namespace hypatia::orbit

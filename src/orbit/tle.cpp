@@ -1,0 +1,170 @@
+#include "src/orbit/tle.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hypatia::orbit {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+/// JD -> (year, fractional day-of-year starting at 1.0).
+void jd_to_year_doy(const JulianDate& jd, int& year, double& doy) {
+    year = static_cast<int>(1900 + std::floor((jd.total() - 2415020.5) / 365.25));
+    // Adjust the estimate across year boundaries.
+    for (int adjust = 0; adjust < 3; ++adjust) {
+        const double jan1 = julian_date_from_utc(year, 1, 1, 0, 0, 0.0).total();
+        const double next_jan1 = julian_date_from_utc(year + 1, 1, 1, 0, 0, 0.0).total();
+        if (jd.total() < jan1) {
+            --year;
+        } else if (jd.total() >= next_jan1) {
+            ++year;
+        } else {
+            break;
+        }
+    }
+    doy = (jd.day - julian_date_from_utc(year, 1, 1, 0, 0, 0.0).total()) + jd.frac + 1.0;
+}
+
+/// Formats a TLE "implied decimal point + exponent" field, e.g. " 11423-4"
+/// for 0.11423e-4. Width is 8 characters.
+std::string format_exp_field(double value) {
+    char buf[32];
+    if (value == 0.0) return " 00000+0";
+    const char sign = value < 0.0 ? '-' : ' ';
+    double mag = std::abs(value);
+    int exponent = static_cast<int>(std::ceil(std::log10(mag)));
+    double mantissa = mag / std::pow(10.0, exponent);
+    long digits = std::lround(mantissa * 1e5);
+    if (digits >= 100000) {  // rounding overflowed the mantissa
+        digits /= 10;
+        ++exponent;
+    }
+    std::snprintf(buf, sizeof buf, "%c%05ld%+d", sign, digits, exponent);
+    return buf;
+}
+
+double parse_exp_field(const std::string& field) {
+    // e.g. " 11423-4" or "+11423-4" or " 00000+0"
+    if (field.size() < 8) throw std::invalid_argument("tle: short exponent field");
+    const double sign = field[0] == '-' ? -1.0 : 1.0;
+    const double mantissa = std::stod("0." + field.substr(1, 5));
+    const int exponent = std::stoi(field.substr(6, 2));
+    return sign * mantissa * std::pow(10.0, exponent);
+}
+
+void check_line(const std::string& line, char first_char) {
+    if (line.size() < 69) throw std::invalid_argument("tle: line shorter than 69 chars");
+    if (line[0] != first_char) throw std::invalid_argument("tle: wrong line number");
+    const int expected = tle_checksum(line.substr(0, 68));
+    const int actual = line[68] - '0';
+    if (expected != actual) throw std::invalid_argument("tle: checksum mismatch");
+}
+
+}  // namespace
+
+int tle_checksum(const std::string& line_without_checksum) {
+    int sum = 0;
+    for (char c : line_without_checksum) {
+        if (c >= '0' && c <= '9') sum += c - '0';
+        if (c == '-') sum += 1;
+    }
+    return sum % 10;
+}
+
+std::string Tle::line1() const {
+    int year = 0;
+    double doy = 0.0;
+    jd_to_year_doy(epoch, year, doy);
+    const int yy = year % 100;
+
+    char ndot_buf[32];
+    std::snprintf(ndot_buf, sizeof ndot_buf, "%c.%08ld",
+                  mean_motion_dot < 0 ? '-' : ' ',
+                  std::lround(std::abs(mean_motion_dot) * 1e8));
+
+    char buf[80];
+    std::snprintf(buf, sizeof buf, "1 %05dU %-8s %02d%012.8f %s %s %s 0 %4d",
+                  satellite_number, international_designator.c_str(), yy, doy,
+                  ndot_buf, format_exp_field(mean_motion_ddot).c_str(),
+                  format_exp_field(bstar).c_str(), 999);
+    std::string line(buf);
+    line += static_cast<char>('0' + tle_checksum(line));
+    return line;
+}
+
+std::string Tle::line2() const {
+    char buf[80];
+    std::snprintf(buf, sizeof buf,
+                  "2 %05d %8.4f %8.4f %07ld %8.4f %8.4f %11.8f%5d",
+                  satellite_number, inclination_deg, raan_deg,
+                  std::lround(eccentricity * 1e7), arg_perigee_deg, mean_anomaly_deg,
+                  mean_motion_rev_per_day, revolution_number);
+    std::string line(buf);
+    line += static_cast<char>('0' + tle_checksum(line));
+    return line;
+}
+
+Sgp4Elements Tle::to_sgp4_elements() const {
+    Sgp4Elements el;
+    el.epoch = epoch;
+    el.bstar = bstar;
+    el.inclination_rad = inclination_deg * M_PI / 180.0;
+    el.raan_rad = raan_deg * M_PI / 180.0;
+    el.eccentricity = eccentricity;
+    el.arg_perigee_rad = arg_perigee_deg * M_PI / 180.0;
+    el.mean_anomaly_rad = mean_anomaly_deg * M_PI / 180.0;
+    el.mean_motion_rad_per_min = mean_motion_rev_per_day * kTwoPi / 1440.0;
+    return el;
+}
+
+Tle Tle::from_kepler(const KeplerianElements& kep, int satellite_number,
+                     const std::string& name) {
+    Tle tle;
+    tle.satellite_number = satellite_number;
+    tle.name = name;
+    tle.epoch = kep.epoch;
+    tle.inclination_deg = kep.inclination_deg;
+    tle.raan_deg = kep.raan_deg;
+    tle.eccentricity = kep.eccentricity;
+    tle.arg_perigee_deg = kep.arg_perigee_deg;
+    tle.mean_anomaly_deg = kep.mean_anomaly_deg;
+    tle.mean_motion_rev_per_day = kep.mean_motion_rev_per_day();
+    tle.revolution_number = 0;
+    return tle;
+}
+
+Tle Tle::parse(const std::string& l1, const std::string& l2) {
+    check_line(l1, '1');
+    check_line(l2, '2');
+
+    Tle tle;
+    tle.satellite_number = std::stoi(l1.substr(2, 5));
+    if (std::stoi(l2.substr(2, 5)) != tle.satellite_number) {
+        throw std::invalid_argument("tle: satellite numbers differ between lines");
+    }
+    tle.international_designator = l1.substr(9, 8);
+
+    const int yy = std::stoi(l1.substr(18, 2));
+    const int year = yy < 57 ? 2000 + yy : 1900 + yy;
+    const double doy = std::stod(l1.substr(20, 12));
+    JulianDate jan1 = julian_date_from_utc(year, 1, 1, 0, 0, 0.0);
+    tle.epoch = jan1.plus_seconds((doy - 1.0) * 86400.0);
+
+    tle.mean_motion_dot = std::stod(l1.substr(33, 10));
+    tle.mean_motion_ddot = parse_exp_field(l1.substr(44, 8));
+    tle.bstar = parse_exp_field(l1.substr(53, 8));
+
+    tle.inclination_deg = std::stod(l2.substr(8, 8));
+    tle.raan_deg = std::stod(l2.substr(17, 8));
+    tle.eccentricity = std::stod("0." + l2.substr(26, 7));
+    tle.arg_perigee_deg = std::stod(l2.substr(34, 8));
+    tle.mean_anomaly_deg = std::stod(l2.substr(43, 8));
+    tle.mean_motion_rev_per_day = std::stod(l2.substr(52, 11));
+    tle.revolution_number = std::stoi(l2.substr(63, 5));
+    return tle;
+}
+
+}  // namespace hypatia::orbit

@@ -1,0 +1,54 @@
+// Two-line element (TLE) generation and parsing.
+//
+// The paper (section 3.1) generates TLEs for not-yet-launched satellites
+// from the Keplerian elements in the FCC/ITU filings, in the WGS72
+// standard, and validates that elements -> TLE -> propagation round-trips.
+// This module is that utility: it formats standards-compliant TLE line
+// pairs (with checksums) and parses them back.
+#pragma once
+
+#include <string>
+
+#include "src/orbit/kepler.hpp"
+#include "src/orbit/sgp4.hpp"
+#include "src/orbit/time.hpp"
+
+namespace hypatia::orbit {
+
+/// A parsed / to-be-formatted two-line element set.
+struct Tle {
+    int satellite_number = 0;
+    std::string name;                 // optional "line 0" title
+    std::string international_designator = "00001A";
+    JulianDate epoch;
+    double mean_motion_dot = 0.0;     // rev/day^2 / 2 (TLE field convention)
+    double mean_motion_ddot = 0.0;    // rev/day^3 / 6
+    double bstar = 0.0;               // 1 / earth radii
+    double inclination_deg = 0.0;
+    double raan_deg = 0.0;
+    double eccentricity = 0.0;
+    double arg_perigee_deg = 0.0;
+    double mean_anomaly_deg = 0.0;
+    double mean_motion_rev_per_day = 0.0;
+    int revolution_number = 0;
+
+    /// Formats the two 69-character lines (without the title line).
+    std::string line1() const;
+    std::string line2() const;
+
+    /// SGP4 initialization inputs in TLE units.
+    Sgp4Elements to_sgp4_elements() const;
+
+    /// Builds a TLE from Keplerian elements (the paper's Kepler->TLE step).
+    static Tle from_kepler(const KeplerianElements& kep, int satellite_number,
+                           const std::string& name = "");
+
+    /// Parses a line pair. Throws std::invalid_argument on malformed input
+    /// or checksum mismatch.
+    static Tle parse(const std::string& line1, const std::string& line2);
+};
+
+/// TLE checksum: sum of digits plus one per '-' sign, modulo 10.
+int tle_checksum(const std::string& line_without_checksum);
+
+}  // namespace hypatia::orbit

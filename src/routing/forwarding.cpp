@@ -1,0 +1,14 @@
+#include "src/routing/forwarding.hpp"
+
+namespace hypatia::route {
+
+ForwardingState compute_forwarding(const Graph& graph,
+                                   const std::vector<int>& destinations) {
+    ForwardingState state;
+    for (int dst : destinations) {
+        state.set_tree(dst, dijkstra_to(graph, dst));
+    }
+    return state;
+}
+
+}  // namespace hypatia::route

@@ -1,0 +1,56 @@
+// Forwarding state: per-node next hops toward each destination ground
+// station, recomputed at a fixed time-step granularity (paper section 3.1,
+// default 100 ms) and installed into the packet simulator by events.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/routing/shortest_path.hpp"
+
+namespace hypatia::route {
+
+/// The complete forwarding state of the network at one instant, for a set
+/// of destinations (only destinations that traffic actually targets need
+/// state — Hypatia does the same).
+class ForwardingState {
+  public:
+    ForwardingState() = default;
+
+    void set_tree(int destination, DestinationTree tree) {
+        trees_[destination] = std::move(tree);
+    }
+
+    /// Next hop from `node` toward `destination`; -1 if unreachable or if
+    /// no state exists for that destination.
+    int next_hop(int node, int destination) const {
+        const auto it = trees_.find(destination);
+        if (it == trees_.end()) return -1;
+        if (node == destination) return node;
+        return it->second.next_hop[static_cast<std::size_t>(node)];
+    }
+
+    /// Shortest distance (km) from `node` to `destination`; infinity when
+    /// unreachable or unknown.
+    double distance_km(int node, int destination) const {
+        const auto it = trees_.find(destination);
+        if (it == trees_.end()) return kInfDistance;
+        return it->second.distance_km[static_cast<std::size_t>(node)];
+    }
+
+    const DestinationTree* tree(int destination) const {
+        const auto it = trees_.find(destination);
+        return it == trees_.end() ? nullptr : &it->second;
+    }
+
+    std::size_t num_destinations() const { return trees_.size(); }
+
+  private:
+    std::unordered_map<int, DestinationTree> trees_;
+};
+
+/// Computes forwarding state on `graph` for every node in `destinations`.
+ForwardingState compute_forwarding(const Graph& graph,
+                                   const std::vector<int>& destinations);
+
+}  // namespace hypatia::route

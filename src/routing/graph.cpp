@@ -1,0 +1,62 @@
+#include "src/routing/graph.hpp"
+
+#include <stdexcept>
+
+namespace hypatia::route {
+
+Graph::Graph(int num_satellites, int num_ground_stations)
+    : num_satellites_(num_satellites),
+      adj_(static_cast<std::size_t>(num_satellites + num_ground_stations)),
+      relay_(static_cast<std::size_t>(num_satellites + num_ground_stations), 0) {
+    for (int i = 0; i < num_satellites; ++i) relay_[static_cast<std::size_t>(i)] = 1;
+}
+
+void Graph::add_undirected_edge(int a, int b, double distance_km) {
+    if (a == b) throw std::invalid_argument("graph: self-loop");
+    adj_.at(static_cast<std::size_t>(a)).push_back({b, distance_km});
+    adj_.at(static_cast<std::size_t>(b)).push_back({a, distance_km});
+}
+
+std::size_t Graph::num_edges() const {
+    std::size_t total = 0;
+    for (const auto& n : adj_) total += n.size();
+    return total / 2;
+}
+
+Graph build_snapshot(const topo::SatelliteMobility& mobility,
+                     const std::vector<topo::Isl>& isls,
+                     const std::vector<orbit::GroundStation>& ground_stations, TimeNs t,
+                     const SnapshotOptions& options) {
+    const int num_sats = mobility.num_satellites();
+    Graph g(num_sats, static_cast<int>(ground_stations.size()));
+
+    if (options.include_isls) {
+        for (const auto& isl : isls) {
+            const double d = mobility.position_ecef(isl.sat_a, t)
+                                 .distance_to(mobility.position_ecef(isl.sat_b, t));
+            g.add_undirected_edge(isl.sat_a, isl.sat_b, d);
+        }
+    }
+
+    const double base_range = mobility.constellation().params().max_gsl_range_km();
+    for (std::size_t gi = 0; gi < ground_stations.size(); ++gi) {
+        const int gs_node = g.gs_node(static_cast<int>(gi));
+        double max_range = base_range;
+        if (options.gsl_range_factor) {
+            max_range *= options.gsl_range_factor(static_cast<int>(gi), t);
+        }
+        for (const auto& entry :
+             topo::visible_satellites(ground_stations[gi], mobility, t)) {
+            if (entry.range_km > max_range) continue;  // weather-shrunk cone
+            g.add_undirected_edge(gs_node, entry.sat_id, entry.range_km);
+            if (options.gs_nearest_satellite_only) break;  // entries sorted by range
+        }
+    }
+
+    for (int relay_gs : options.relay_gs_indices) {
+        g.set_relay(g.gs_node(relay_gs), true);
+    }
+    return g;
+}
+
+}  // namespace hypatia::route

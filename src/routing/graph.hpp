@@ -1,0 +1,76 @@
+// Time-snapshot network graphs. Node ids: satellites first
+// [0, num_sats), then ground stations [num_sats, num_sats + num_gs).
+// Edges carry geometric distance in km (latency = distance / c). Ground
+// stations are non-transit by default (they terminate paths); bent-pipe
+// relay experiments mark specific GSes as relays.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "src/orbit/ground_station.hpp"
+#include "src/topology/isl.hpp"
+#include "src/topology/mobility.hpp"
+#include "src/topology/visibility.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::route {
+
+struct Edge {
+    int to = 0;
+    double distance_km = 0.0;
+};
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Adjacency-list snapshot of the LEO network at one instant.
+class Graph {
+  public:
+    Graph(int num_satellites, int num_ground_stations);
+
+    int num_nodes() const { return static_cast<int>(adj_.size()); }
+    int num_satellites() const { return num_satellites_; }
+    int num_ground_stations() const { return num_nodes() - num_satellites_; }
+    int gs_node(int gs_index) const { return num_satellites_ + gs_index; }
+    bool is_ground_station(int node) const { return node >= num_satellites_; }
+
+    void add_undirected_edge(int a, int b, double distance_km);
+    const std::vector<Edge>& neighbors(int node) const { return adj_[node]; }
+    std::size_t num_edges() const;  // undirected count
+
+    /// Whether a node may forward traffic that neither originates nor
+    /// terminates at it. Satellites always relay.
+    bool can_relay(int node) const { return relay_[node]; }
+    void set_relay(int node, bool relay) { relay_[node] = relay; }
+
+  private:
+    int num_satellites_;
+    std::vector<std::vector<Edge>> adj_;
+    std::vector<char> relay_;
+};
+
+/// Options controlling snapshot construction.
+struct SnapshotOptions {
+    bool include_isls = true;
+    /// Extra ground stations allowed to relay (bent-pipe GS relays).
+    std::vector<int> relay_gs_indices;
+    /// Paper section 3.1(c): a GS either connects to all connectable
+    /// satellites (default) or only to its nearest one (user-terminal
+    /// style single phased-array behaviour).
+    bool gs_nearest_satellite_only = false;
+    /// Optional weather / link-budget hook: scales the maximum GSL range
+    /// of ground station `gs_index` at time `t` (1.0 = clear sky; rain
+    /// fade shrinks the usable cone). Section 7's weather-model extension.
+    std::function<double(int gs_index, TimeNs t)> gsl_range_factor;
+};
+
+/// Builds the graph at simulation time `t`: ISL edges with current
+/// satellite separation, plus GSL edges from every GS to every satellite
+/// above its minimum elevation angle.
+Graph build_snapshot(const topo::SatelliteMobility& mobility,
+                     const std::vector<topo::Isl>& isls,
+                     const std::vector<orbit::GroundStation>& ground_stations, TimeNs t,
+                     const SnapshotOptions& options = {});
+
+}  // namespace hypatia::route

@@ -1,0 +1,29 @@
+#include "src/routing/multi_shell.hpp"
+
+namespace hypatia::route {
+
+Graph build_group_snapshot(const topo::ShellGroup& group,
+                           const std::vector<orbit::GroundStation>& ground_stations,
+                           TimeNs t, const SnapshotOptions& options) {
+    Graph g(group.num_satellites(), static_cast<int>(ground_stations.size()));
+
+    if (options.include_isls) {
+        for (const auto& isl : group.isls()) {
+            const double d = group.position_ecef(isl.sat_a, t)
+                                 .distance_to(group.position_ecef(isl.sat_b, t));
+            g.add_undirected_edge(isl.sat_a, isl.sat_b, d);
+        }
+    }
+    for (std::size_t gi = 0; gi < ground_stations.size(); ++gi) {
+        const int gs_node = g.gs_node(static_cast<int>(gi));
+        for (const auto& entry : group.visible_satellites(ground_stations[gi], t)) {
+            g.add_undirected_edge(gs_node, entry.sat_id, entry.range_km);
+        }
+    }
+    for (int relay_gs : options.relay_gs_indices) {
+        g.set_relay(g.gs_node(relay_gs), true);
+    }
+    return g;
+}
+
+}  // namespace hypatia::route

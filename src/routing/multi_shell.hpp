@@ -1,0 +1,16 @@
+// Snapshot graphs over multi-shell constellations (ShellGroup): the same
+// node convention as single-shell graphs (all satellites first, ground
+// stations after), with intra-shell ISLs only and GSLs to every shell.
+#pragma once
+
+#include "src/routing/graph.hpp"
+#include "src/topology/shell_group.hpp"
+
+namespace hypatia::route {
+
+/// Builds the topology snapshot of a shell group at time `t`.
+Graph build_group_snapshot(const topo::ShellGroup& group,
+                           const std::vector<orbit::GroundStation>& ground_stations,
+                           TimeNs t, const SnapshotOptions& options = {});
+
+}  // namespace hypatia::route

@@ -1,0 +1,120 @@
+#include "src/routing/path_analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <set>
+#include <unordered_map>
+
+#include "src/orbit/coords.hpp"
+
+namespace hypatia::route {
+
+AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
+                             const std::vector<topo::Isl>& isls,
+                             const std::vector<orbit::GroundStation>& ground_stations,
+                             const std::vector<GsPair>& pairs,
+                             const AnalysisOptions& options) {
+    AnalysisResult result;
+    result.pair_stats.assign(pairs.size(), PairStats{});
+
+    // Previous-step satellite path per pair, for change detection.
+    std::vector<std::vector<int>> prev_path(pairs.size());
+    std::vector<char> have_prev(pairs.size(), 0);
+
+    // Destinations we need trees for (deduplicated).
+    std::set<int> dest_set;
+    for (const auto& p : pairs) dest_set.insert(p.dst_gs);
+
+    SnapshotOptions snap_opts;
+    snap_opts.include_isls = options.include_isls;
+    snap_opts.relay_gs_indices = options.relay_gs_indices;
+    snap_opts.gs_nearest_satellite_only = options.gs_nearest_satellite_only;
+    snap_opts.gsl_range_factor = options.gsl_range_factor;
+
+    for (TimeNs t = options.t_start; t < options.t_end; t += options.step) {
+        result.step_times.push_back(t);
+        const Graph g = build_snapshot(mobility, isls, ground_stations, t, snap_opts);
+
+        std::unordered_map<int, DestinationTree> trees;
+        for (int dst_gs : dest_set) {
+            trees.emplace(dst_gs, dijkstra_to(g, g.gs_node(dst_gs)));
+        }
+
+        int changes_this_step = 0;
+        for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+            const auto& pair = pairs[pi];
+            const auto& tree = trees.at(pair.dst_gs);
+            const int src_node = g.gs_node(pair.src_gs);
+            auto& stats = result.pair_stats[pi];
+            ++stats.total_steps;
+
+            const double dist = tree.distance_km[static_cast<std::size_t>(src_node)];
+            std::vector<int> sat_path;
+            double rtt_s = kInfDistance;
+            if (dist == kInfDistance) {
+                ++stats.unreachable_steps;
+            } else {
+                rtt_s = 2.0 * dist / orbit::kSpeedOfLightKmPerS;
+                const auto full = extract_path(tree, src_node);
+                // Keep only the satellite portion (strip both GS endpoints).
+                sat_path.assign(full.begin() + 1, full.end() - 1);
+
+                const bool first = stats.min_rtt_s == 0.0 && stats.max_rtt_s == 0.0;
+                if (first || rtt_s < stats.min_rtt_s) stats.min_rtt_s = rtt_s;
+                if (first || rtt_s > stats.max_rtt_s) stats.max_rtt_s = rtt_s;
+                const int hops = static_cast<int>(sat_path.size());
+                const bool first_hops = stats.min_hops == 0 && stats.max_hops == 0;
+                if (first_hops || hops < stats.min_hops) stats.min_hops = hops;
+                if (first_hops || hops > stats.max_hops) stats.max_hops = hops;
+            }
+
+            if (have_prev[pi] && !sat_path.empty() && !prev_path[pi].empty() &&
+                sat_path != prev_path[pi]) {
+                ++stats.path_changes;
+                ++changes_this_step;
+            }
+            if (!sat_path.empty()) {
+                prev_path[pi] = sat_path;
+                have_prev[pi] = 1;
+            }
+
+            if (options.per_step_observer) {
+                options.per_step_observer(t, static_cast<int>(pi), rtt_s, sat_path);
+            }
+        }
+        result.path_changes_per_step.push_back(changes_this_step);
+    }
+    return result;
+}
+
+std::vector<GsPair> random_permutation_pairs(int num_gs, unsigned seed) {
+    std::vector<int> perm(static_cast<std::size_t>(num_gs));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::mt19937_64 rng(seed);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    std::vector<GsPair> pairs;
+    pairs.reserve(perm.size());
+    for (int i = 0; i < num_gs; ++i) {
+        if (perm[static_cast<std::size_t>(i)] == i) continue;  // skip fixed points
+        pairs.push_back({i, perm[static_cast<std::size_t>(i)]});
+    }
+    return pairs;
+}
+
+std::vector<GsPair> all_pairs_min_distance(
+    const std::vector<orbit::GroundStation>& ground_stations, double min_geodesic_km) {
+    std::vector<GsPair> pairs;
+    const int n = static_cast<int>(ground_stations.size());
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            const double d = orbit::great_circle_distance_km(
+                ground_stations[static_cast<std::size_t>(i)].geodetic(),
+                ground_stations[static_cast<std::size_t>(j)].geodetic());
+            if (d >= min_geodesic_km) pairs.push_back({i, j});
+        }
+    }
+    return pairs;
+}
+
+}  // namespace hypatia::route

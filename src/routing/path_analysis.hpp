@@ -1,0 +1,81 @@
+// Constellation-wide path analytics over time — the computations behind
+// the paper's Figs 3 (computed RTT), 6-8 (RTT/geodesic CDFs, path-change
+// CDFs), 9 (time-step granularity) and 13 (paths at RTT extremes).
+//
+// The analysis steps a clock from t0 to t1, rebuilds the topology
+// snapshot at each step, runs Dijkstra rooted at every destination that
+// appears in the pair list, and folds per-pair statistics.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/orbit/ground_station.hpp"
+#include "src/routing/forwarding.hpp"
+#include "src/routing/graph.hpp"
+#include "src/topology/isl.hpp"
+#include "src/topology/mobility.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::route {
+
+/// A source-destination ground-station pair (indices into the GS list).
+struct GsPair {
+    int src_gs = 0;
+    int dst_gs = 0;
+};
+
+/// Folded per-pair statistics over the analysis window.
+struct PairStats {
+    double min_rtt_s = 0.0;
+    double max_rtt_s = 0.0;
+    int path_changes = 0;      // paper's metric: any satellite differs
+    int min_hops = 0;          // satellite count on the path
+    int max_hops = 0;
+    int unreachable_steps = 0;
+    int total_steps = 0;
+
+    bool ever_reachable() const { return total_steps > unreachable_steps; }
+};
+
+/// Full analysis output.
+struct AnalysisResult {
+    std::vector<PairStats> pair_stats;      // parallel to the input pair list
+    std::vector<int> path_changes_per_step; // network-wide, per step (Fig 9a)
+    std::vector<TimeNs> step_times;
+};
+
+struct AnalysisOptions {
+    TimeNs t_start = 0;
+    TimeNs t_end = 200 * kNsPerSec;
+    TimeNs step = 100 * kNsPerMs;
+    bool include_isls = true;
+    std::vector<int> relay_gs_indices;  // bent-pipe relays, if any
+    bool gs_nearest_satellite_only = false;
+    std::function<double(int gs_index, TimeNs t)> gsl_range_factor;
+    /// Optional observer called at every step with the pair index, the
+    /// current RTT (seconds, +inf if unreachable) and the node path
+    /// (satellite ids between two GS node ids; empty if unreachable).
+    std::function<void(TimeNs t, int pair_index, double rtt_s,
+                       const std::vector<int>& path)>
+        per_step_observer;
+};
+
+/// Runs the stepped analysis for `pairs` over the window in `options`.
+AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
+                             const std::vector<topo::Isl>& isls,
+                             const std::vector<orbit::GroundStation>& ground_stations,
+                             const std::vector<GsPair>& pairs,
+                             const AnalysisOptions& options);
+
+/// Builds the random-permutation traffic matrix the paper uses: a seeded
+/// permutation of the GS indices, pairing each GS with its image (skipping
+/// fixed points). Every GS appears exactly once as source.
+std::vector<GsPair> random_permutation_pairs(int num_gs, unsigned seed);
+
+/// All ordered pairs (i, j), i != j, whose endpoints are at least
+/// `min_geodesic_km` apart (the paper excludes pairs within 500 km).
+std::vector<GsPair> all_pairs_min_distance(
+    const std::vector<orbit::GroundStation>& ground_stations, double min_geodesic_km);
+
+}  // namespace hypatia::route

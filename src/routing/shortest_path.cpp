@@ -1,0 +1,88 @@
+#include "src/routing/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hypatia::route {
+
+DestinationTree dijkstra_to(const Graph& graph, int destination) {
+    const auto n = static_cast<std::size_t>(graph.num_nodes());
+    DestinationTree tree;
+    tree.destination = destination;
+    tree.distance_km.assign(n, kInfDistance);
+    tree.next_hop.assign(n, -1);
+
+    using QueueItem = std::pair<double, int>;  // (distance, node)
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+    std::vector<char> done(n, 0);
+
+    tree.distance_km[static_cast<std::size_t>(destination)] = 0.0;
+    pq.push({0.0, destination});
+
+    while (!pq.empty()) {
+        const auto [dist, u] = pq.top();
+        pq.pop();
+        const auto ui = static_cast<std::size_t>(u);
+        if (done[ui]) continue;
+        done[ui] = 1;
+        // Non-transit nodes may terminate at the destination but not relay:
+        // once settled, their edges are not expanded (unless they are the
+        // destination itself, whose edges are the last hops of all paths).
+        if (u != destination && !graph.can_relay(u)) continue;
+        for (const Edge& e : graph.neighbors(u)) {
+            const auto vi = static_cast<std::size_t>(e.to);
+            const double nd = dist + e.distance_km;
+            if (nd < tree.distance_km[vi]) {
+                tree.distance_km[vi] = nd;
+                tree.next_hop[vi] = u;
+                pq.push({nd, e.to});
+            }
+        }
+    }
+    return tree;
+}
+
+std::vector<int> extract_path(const DestinationTree& tree, int source) {
+    std::vector<int> path;
+    if (source != tree.destination &&
+        tree.next_hop[static_cast<std::size_t>(source)] < 0) {
+        return path;  // unreachable
+    }
+    int node = source;
+    path.push_back(node);
+    while (node != tree.destination) {
+        node = tree.next_hop[static_cast<std::size_t>(node)];
+        path.push_back(node);
+        if (path.size() > static_cast<std::size_t>(tree.next_hop.size())) {
+            // Defensive: a cycle here would indicate corrupted state.
+            path.clear();
+            return path;
+        }
+    }
+    return path;
+}
+
+std::vector<std::vector<double>> floyd_warshall(const Graph& graph) {
+    const auto n = static_cast<std::size_t>(graph.num_nodes());
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n, kInfDistance));
+    for (std::size_t i = 0; i < n; ++i) {
+        dist[i][i] = 0.0;
+        for (const Edge& e : graph.neighbors(static_cast<int>(i))) {
+            dist[i][static_cast<std::size_t>(e.to)] =
+                std::min(dist[i][static_cast<std::size_t>(e.to)], e.distance_km);
+        }
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        if (!graph.can_relay(static_cast<int>(k))) continue;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (dist[i][k] == kInfDistance) continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                const double through = dist[i][k] + dist[k][j];
+                if (through < dist[i][j]) dist[i][j] = through;
+            }
+        }
+    }
+    return dist;
+}
+
+}  // namespace hypatia::route

@@ -1,0 +1,39 @@
+// Shortest-path computation. The workhorse is Dijkstra rooted at a
+// *destination* node: it yields, for every node, the distance to the
+// destination and the next hop toward it — exactly the forwarding state
+// Hypatia installs per time step. Floyd-Warshall (what the paper's
+// networkx step uses) is provided for small graphs and as a
+// cross-validation oracle; both produce identical distances.
+#pragma once
+
+#include <vector>
+
+#include "src/routing/graph.hpp"
+
+namespace hypatia::route {
+
+/// Shortest-path tree rooted at a destination.
+struct DestinationTree {
+    int destination = 0;
+    /// distance_km[u]: shortest distance from u to the destination
+    /// (kInfDistance if unreachable).
+    std::vector<double> distance_km;
+    /// next_hop[u]: first hop on u's shortest path to the destination
+    /// (-1 if unreachable or u == destination).
+    std::vector<int> next_hop;
+};
+
+/// Dijkstra from `destination` over the (undirected) graph, honouring
+/// non-transit nodes: a node with can_relay() == false is never expanded
+/// (it can start or end a path but not carry through-traffic).
+DestinationTree dijkstra_to(const Graph& graph, int destination);
+
+/// Extracts the node sequence from `source` to the tree's destination;
+/// empty if unreachable.
+std::vector<int> extract_path(const DestinationTree& tree, int source);
+
+/// All-pairs shortest distances by Floyd-Warshall (O(V^3); use only for
+/// small graphs / tests). Honors the same non-transit constraint.
+std::vector<std::vector<double>> floyd_warshall(const Graph& graph);
+
+}  // namespace hypatia::route

@@ -1,0 +1,21 @@
+#include "src/sim/event_queue.hpp"
+
+#include <utility>
+
+namespace hypatia::sim {
+
+void EventQueue::push(TimeNs t, Callback cb) {
+    heap_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+EventQueue::Callback EventQueue::pop(TimeNs* time_out) {
+    // priority_queue::top() is const; moving the callback out is safe
+    // because we pop immediately after.
+    Event& top = const_cast<Event&>(heap_.top());
+    Callback cb = std::move(top.cb);
+    if (time_out != nullptr) *time_out = top.time;
+    heap_.pop();
+    return cb;
+}
+
+}  // namespace hypatia::sim

@@ -1,0 +1,46 @@
+// The discrete-event core: a time-ordered queue of callbacks with stable
+// FIFO ordering for simultaneous events (ties broken by insertion order,
+// like ns-3's scheduler).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace hypatia::sim {
+
+class EventQueue {
+  public:
+    using Callback = std::function<void()>;
+
+    /// Schedules `cb` at absolute time `t` (must be >= the last popped
+    /// event's time; enforced by the Simulator wrapper).
+    void push(TimeNs t, Callback cb);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+    TimeNs next_time() const { return heap_.top().time; }
+
+    /// Pops and returns the earliest event's callback.
+    Callback pop(TimeNs* time_out = nullptr);
+
+  private:
+    struct Event {
+        TimeNs time;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hypatia::sim

@@ -1,0 +1,47 @@
+#include "src/sim/net_device.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hypatia::sim {
+
+NetDevice::NetDevice(Simulator& sim, int owner_node, double rate_bps,
+                     std::size_t queue_capacity, DelayModel delay, DeliverFn deliver,
+                     int fixed_peer)
+    : sim_(sim), owner_(owner_node), rate_bps_(rate_bps), queue_(queue_capacity),
+      delay_(std::move(delay)), deliver_(std::move(deliver)), fixed_peer_(fixed_peer) {
+    if (rate_bps <= 0.0) throw std::invalid_argument("net_device: rate must be positive");
+}
+
+bool NetDevice::send(const Packet& packet, int next_hop) {
+    const int target = fixed_peer_ >= 0 ? fixed_peer_ : next_hop;
+    if (target < 0) throw std::invalid_argument("net_device: GSL send without next hop");
+    if (busy_) return queue_.enqueue(packet, target);
+    start_transmission({packet, target});
+    return true;
+}
+
+void NetDevice::start_transmission(const DropTailQueue::Entry& entry) {
+    busy_ = true;
+    const double tx_seconds =
+        static_cast<double>(entry.packet.size_bytes) * 8.0 / rate_bps_;
+    sim_.schedule_in(seconds_to_ns(tx_seconds),
+                     [this, entry]() { on_transmit_complete(entry); });
+}
+
+void NetDevice::on_transmit_complete(DropTailQueue::Entry entry) {
+    tx_bytes_ += static_cast<std::uint64_t>(entry.packet.size_bytes);
+    ++tx_packets_;
+
+    // The wavefront left the device; propagation delay is measured from
+    // the geometry at this instant.
+    const TimeNs prop = delay_(owner_, entry.next_hop, sim_.now());
+    const Packet packet = entry.packet;
+    const int to = entry.next_hop;
+    sim_.schedule_in(prop, [this, packet, to]() { deliver_(packet, to); });
+
+    busy_ = false;
+    if (!queue_.empty()) start_transmission(queue_.dequeue());
+}
+
+}  // namespace hypatia::sim

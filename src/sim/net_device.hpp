@@ -1,0 +1,72 @@
+// Network devices: a transmitter with a drop-tail queue and a data rate.
+//
+// Two flavours mirror Hypatia's ns-3 module (paper section 3.1):
+//  * ISL device  — point-to-point to a fixed peer satellite; one device
+//    (and one queue) per direction per ISL.
+//  * GSL device  — one per satellite and per ground station; serializes
+//    all its outgoing packets through a single queue but can address any
+//    GSL peer ("each network device can send packets to any other GSL
+//    network device, as long as the forwarding plan allows it").
+//
+// Propagation delay is evaluated per packet at transmit time from the
+// current satellite/GS geometry, so link latencies vary continuously as
+// satellites move, and packets already in flight during a handoff are
+// still delivered (the paper's loss-free handoff assumption).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/packet.hpp"
+#include "src/sim/queue.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace hypatia::sim {
+
+/// Propagation delay between two nodes at a given time.
+using DelayModel = std::function<TimeNs(int from_node, int to_node, TimeNs t)>;
+
+/// Called when a packet finishes propagating: deliver to `to_node`.
+using DeliverFn = std::function<void(const Packet&, int to_node)>;
+
+class NetDevice {
+  public:
+    /// `fixed_peer` >= 0 makes this a point-to-point (ISL) device; -1 a
+    /// GSL device that sends to whatever next hop each packet carries.
+    NetDevice(Simulator& sim, int owner_node, double rate_bps,
+              std::size_t queue_capacity, DelayModel delay, DeliverFn deliver,
+              int fixed_peer = -1);
+
+    /// Enqueues toward `next_hop` (ignored for ISL devices, which always
+    /// use their fixed peer). Returns false if the queue dropped it.
+    bool send(const Packet& packet, int next_hop);
+
+    int owner_node() const { return owner_; }
+    int fixed_peer() const { return fixed_peer_; }
+    bool is_gsl() const { return fixed_peer_ < 0; }
+    double rate_bps() const { return rate_bps_; }
+
+    const DropTailQueue& queue() const { return queue_; }
+    std::uint64_t tx_bytes() const { return tx_bytes_; }
+    std::uint64_t tx_packets() const { return tx_packets_; }
+
+    /// Packets in the device (queued + the one being serialized).
+    std::size_t backlog() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+  private:
+    void start_transmission(const DropTailQueue::Entry& entry);
+    void on_transmit_complete(DropTailQueue::Entry entry);
+
+    Simulator& sim_;
+    int owner_;
+    double rate_bps_;
+    DropTailQueue queue_;
+    DelayModel delay_;
+    DeliverFn deliver_;
+    int fixed_peer_;
+    bool busy_ = false;
+    std::uint64_t tx_bytes_ = 0;
+    std::uint64_t tx_packets_ = 0;
+};
+
+}  // namespace hypatia::sim

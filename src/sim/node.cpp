@@ -1,0 +1,44 @@
+#include "src/sim/node.hpp"
+
+namespace hypatia::sim {
+
+void Node::receive(const Packet& packet) {
+    if (packet.dst_node == id_) {
+        ++delivered_;
+        const auto it = handlers_.find(packet.flow_id);
+        if (it != handlers_.end()) it->second(packet);
+        return;
+    }
+    forward(packet);
+}
+
+void Node::forward(const Packet& in) {
+    Packet packet = in;
+    if (++packet.hops > kMaxHops) {
+        ++ttl_drops_;
+        return;
+    }
+    const int nh = next_hop(packet.dst_node);
+    if (nh < 0) {
+        ++no_route_drops_;
+        return;
+    }
+    if (NetDevice* isl = isl_device_to(nh)) {
+        isl->send(packet, nh);
+        return;
+    }
+    if (gsl_device_ != nullptr) {
+        gsl_device_->send(packet, nh);
+        return;
+    }
+    ++no_route_drops_;  // no device capable of reaching the next hop
+}
+
+std::uint64_t Node::queue_drops() const {
+    std::uint64_t total = 0;
+    for (const auto& [peer, dev] : isl_devices_) total += dev->queue().drops();
+    if (gsl_device_ != nullptr) total += gsl_device_->queue().drops();
+    return total;
+}
+
+}  // namespace hypatia::sim

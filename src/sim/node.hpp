@@ -1,0 +1,72 @@
+// A network node (satellite or ground station): owns its devices, a
+// destination -> next-hop forwarding table (installed/refreshed by the
+// routing schedule, paper section 3.1 "forwarding state"), and the flow
+// handlers of locally terminating traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/net_device.hpp"
+#include "src/sim/packet.hpp"
+
+namespace hypatia::sim {
+
+class Node {
+  public:
+    explicit Node(int id) : id_(id) {}
+
+    int id() const { return id_; }
+
+    /// Registers the point-to-point device toward satellite `peer`.
+    void attach_isl_device(int peer, NetDevice* device) { isl_devices_[peer] = device; }
+    /// Registers this node's (single) GSL device.
+    void attach_gsl_device(NetDevice* device) { gsl_device_ = device; }
+
+    NetDevice* gsl_device() const { return gsl_device_; }
+    NetDevice* isl_device_to(int peer) const {
+        const auto it = isl_devices_.find(peer);
+        return it == isl_devices_.end() ? nullptr : it->second;
+    }
+    const std::unordered_map<int, NetDevice*>& isl_devices() const {
+        return isl_devices_;
+    }
+
+    /// Replaces the next hop toward destination `dst` (-1 = unreachable).
+    void set_next_hop(int dst, int next_hop) { fstate_[dst] = next_hop; }
+    int next_hop(int dst) const {
+        const auto it = fstate_.find(dst);
+        return it == fstate_.end() ? -1 : it->second;
+    }
+
+    /// Handler for traffic terminating here, keyed by flow id.
+    using FlowHandler = std::function<void(const Packet&)>;
+    void set_flow_handler(std::uint64_t flow_id, FlowHandler handler) {
+        handlers_[flow_id] = std::move(handler);
+    }
+
+    /// Entry point for packets arriving from a device (or injected by a
+    /// local application with hops == 0).
+    void receive(const Packet& packet);
+
+    std::uint64_t no_route_drops() const { return no_route_drops_; }
+    std::uint64_t ttl_drops() const { return ttl_drops_; }
+    std::uint64_t queue_drops() const;
+    std::uint64_t delivered_packets() const { return delivered_; }
+
+  private:
+    void forward(const Packet& packet);
+
+    int id_;
+    std::unordered_map<int, NetDevice*> isl_devices_;
+    NetDevice* gsl_device_ = nullptr;
+    std::unordered_map<int, int> fstate_;
+    std::unordered_map<std::uint64_t, FlowHandler> handlers_;
+    std::uint64_t no_route_drops_ = 0;
+    std::uint64_t ttl_drops_ = 0;
+    std::uint64_t delivered_ = 0;
+};
+
+}  // namespace hypatia::sim

@@ -1,0 +1,3 @@
+#include "src/sim/packet.hpp"
+
+// Packet is a plain struct; this file anchors the translation unit.

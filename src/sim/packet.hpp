@@ -1,0 +1,46 @@
+// The packet: one plain struct for every transport (UDP, ping, TCP).
+// Packets are passed by value — they are small and the simulator is
+// single-threaded, so copying is cheaper and safer than shared ownership.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/units.hpp"
+
+namespace hypatia::sim {
+
+enum class PacketKind : std::uint8_t {
+    kUdp,
+    kPingRequest,
+    kPingReply,
+    kTcpData,
+    kTcpAck,
+};
+
+struct Packet {
+    PacketKind kind = PacketKind::kUdp;
+    int src_node = -1;        // originating endpoint (node id)
+    int dst_node = -1;        // final destination (node id)
+    int size_bytes = 0;       // wire size (headers + payload)
+    int payload_bytes = 0;    // application payload (for goodput accounting)
+    std::uint64_t flow_id = 0;
+    std::uint64_t seq = 0;    // transport sequence (segment index / ping id)
+    std::uint64_t ack = 0;    // TCP cumulative ACK (next expected segment)
+    TimeNs sent_time = 0;     // origin timestamp (for RTT measurement)
+    TimeNs echo_time = 0;     // timestamp echoed by the peer (RTTM)
+    int hops = 0;             // hop counter (TTL-style safety + analytics)
+};
+
+/// Header overhead used for all transports (IP+TCP/UDP-ish, matching the
+/// ~60-byte overhead ns-3 point-to-point simulations carry).
+inline constexpr int kHeaderBytes = 60;
+
+/// Default TCP maximum segment size (payload bytes). 1440 + 60 header
+/// = 1500 B on the wire, so a 100-packet queue at 10 Mbit/s drains in
+/// 120 ms — the paper's "approximately 1 BDP for 10 Mbps and 100 ms".
+inline constexpr int kDefaultMss = 1440;
+
+/// Safety TTL: LEO paths are < 40 hops; anything longer is a loop.
+inline constexpr int kMaxHops = 64;
+
+}  // namespace hypatia::sim

@@ -1,0 +1,52 @@
+#include "src/sim/ping_app.hpp"
+
+namespace hypatia::sim {
+
+PingApp::PingApp(Network& network, const Config& config)
+    : network_(network), config_(config) {
+    samples_.reserve(
+        static_cast<std::size_t>((config.stop - config.start) / config.interval + 1));
+
+    // Destination: echo requests straight back (src/dst swapped).
+    network_.node(config.dst_node)
+        .set_flow_handler(config.flow_id, [this](const Packet& request) {
+            Packet reply = request;
+            reply.kind = PacketKind::kPingReply;
+            reply.src_node = request.dst_node;
+            reply.dst_node = request.src_node;
+            reply.hops = 0;
+            network_.node(reply.src_node).receive(reply);
+        });
+
+    // Source: match replies to outstanding probes by sequence number.
+    network_.node(config.src_node)
+        .set_flow_handler(config.flow_id, [this](const Packet& reply) {
+            if (reply.seq >= samples_.size()) return;
+            auto& s = samples_[static_cast<std::size_t>(reply.seq)];
+            if (s.replied) return;  // duplicate
+            s.replied = true;
+            s.rtt = network_.simulator().now() - s.send_time;
+            ++replies_;
+        });
+
+    network_.simulator().schedule_at(config.start, [this]() { send_next(); });
+}
+
+void PingApp::send_next() {
+    auto& sim = network_.simulator();
+    if (sim.now() >= config_.stop) return;
+    Packet p;
+    p.kind = PacketKind::kPingRequest;
+    p.src_node = config_.src_node;
+    p.dst_node = config_.dst_node;
+    p.size_bytes = config_.packet_size_bytes;
+    p.payload_bytes = 0;
+    p.flow_id = config_.flow_id;
+    p.seq = samples_.size();
+    p.sent_time = sim.now();
+    samples_.push_back({sim.now(), 0, false});
+    network_.node(config_.src_node).receive(p);
+    sim.schedule_in(config_.interval, [this]() { send_next(); });
+}
+
+}  // namespace hypatia::sim

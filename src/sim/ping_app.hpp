@@ -1,0 +1,47 @@
+// The ping application of the paper's section 4.1: the source sends a
+// small probe every interval (default 1 ms); the destination echoes it
+// back immediately; RTT samples are logged. Probes that never return
+// (e.g. during the St. Petersburg disconnection) are recorded as lost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/network.hpp"
+
+namespace hypatia::sim {
+
+class PingApp {
+  public:
+    struct Config {
+        std::uint64_t flow_id = 0;
+        int src_node = -1;
+        int dst_node = -1;
+        TimeNs interval = 1 * kNsPerMs;
+        TimeNs start = 0;
+        TimeNs stop = 0;
+        int packet_size_bytes = 64;
+    };
+
+    struct Sample {
+        TimeNs send_time = 0;
+        TimeNs rtt = 0;  // 0 if no reply arrived (paper's convention in Fig 3)
+        bool replied = false;
+    };
+
+    PingApp(Network& network, const Config& config);
+
+    const std::vector<Sample>& samples() const { return samples_; }
+    std::uint64_t sent() const { return samples_.size(); }
+    std::uint64_t replies() const { return replies_; }
+
+  private:
+    void send_next();
+
+    Network& network_;
+    Config config_;
+    std::vector<Sample> samples_;
+    std::uint64_t replies_ = 0;
+};
+
+}  // namespace hypatia::sim

@@ -1,0 +1,21 @@
+#include "src/sim/queue.hpp"
+
+namespace hypatia::sim {
+
+bool DropTailQueue::enqueue(const Packet& p, int next_hop) {
+    if (items_.size() >= capacity_) {
+        ++drops_;
+        return false;
+    }
+    items_.push_back({p, next_hop});
+    ++enqueues_;
+    return true;
+}
+
+DropTailQueue::Entry DropTailQueue::dequeue() {
+    Entry e = items_.front();
+    items_.pop_front();
+    return e;
+}
+
+}  // namespace hypatia::sim

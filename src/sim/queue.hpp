@@ -1,0 +1,40 @@
+// Drop-tail FIFO packet queue with byte/packet statistics — the queueing
+// discipline the paper's experiments use (100-packet device queues).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "src/sim/packet.hpp"
+
+namespace hypatia::sim {
+
+class DropTailQueue {
+  public:
+    explicit DropTailQueue(std::size_t capacity_packets)
+        : capacity_(capacity_packets) {}
+
+    struct Entry {
+        Packet packet;
+        int next_hop = -1;  // routing decision made at enqueue time
+    };
+
+    /// Returns false (and counts a drop) when full.
+    bool enqueue(const Packet& p, int next_hop);
+    /// Precondition: !empty().
+    Entry dequeue();
+
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t drops() const { return drops_; }
+    std::uint64_t enqueues() const { return enqueues_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<Entry> items_;
+    std::uint64_t drops_ = 0;
+    std::uint64_t enqueues_ = 0;
+};
+
+}  // namespace hypatia::sim

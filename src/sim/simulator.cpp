@@ -1,0 +1,34 @@
+#include "src/sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hypatia::sim {
+
+void Simulator::schedule_in(TimeNs delay, EventQueue::Callback cb) {
+    if (delay < 0) throw std::invalid_argument("simulator: negative delay");
+    queue_.push(now_ + delay, std::move(cb));
+}
+
+void Simulator::schedule_at(TimeNs t, EventQueue::Callback cb) {
+    if (t < now_) throw std::invalid_argument("simulator: scheduling in the past");
+    queue_.push(t, std::move(cb));
+}
+
+std::uint64_t Simulator::run_until(TimeNs t_end) {
+    stopped_ = false;
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && !stopped_) {
+        if (queue_.next_time() > t_end) break;
+        TimeNs t = 0;
+        auto cb = queue_.pop(&t);
+        now_ = t;
+        cb();
+        ++executed;
+        ++events_executed_;
+    }
+    if (now_ < t_end) now_ = t_end;
+    return executed;
+}
+
+}  // namespace hypatia::sim

@@ -1,0 +1,40 @@
+// The simulation kernel: the virtual clock plus the event queue. All
+// network components hold a reference to one Simulator and schedule
+// their work through it.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/event_queue.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::sim {
+
+class Simulator {
+  public:
+    TimeNs now() const { return now_; }
+
+    /// Schedules `cb` `delay` nanoseconds from now (delay >= 0).
+    void schedule_in(TimeNs delay, EventQueue::Callback cb);
+
+    /// Schedules `cb` at absolute time `t` (t >= now()).
+    void schedule_at(TimeNs t, EventQueue::Callback cb);
+
+    /// Runs events until the queue drains or the clock passes `t_end`
+    /// (events at exactly t_end still run). Returns the number of events
+    /// executed.
+    std::uint64_t run_until(TimeNs t_end);
+
+    /// Requests run_until to return after the current event.
+    void stop() { stopped_ = true; }
+
+    std::uint64_t events_executed() const { return events_executed_; }
+
+  private:
+    TimeNs now_ = 0;
+    bool stopped_ = false;
+    std::uint64_t events_executed_ = 0;
+    EventQueue queue_;
+};
+
+}  // namespace hypatia::sim

@@ -1,0 +1,246 @@
+// Simplified BBRv1 congestion control (Cardwell et al., "BBR:
+// Congestion-Based Congestion Control") — the evaluation the paper names
+// as high-interest future work (section 4.2: "once a mature
+// implementation of BBR is available, evaluating its behavior on LEO
+// networks would be of high interest").
+//
+// Model-based operation:
+//  * btl_bw  — windowed max of delivery-rate samples (last ~10 RTTs),
+//  * rt_prop — windowed min of RTT samples (last 10 s),
+//  * pacing at pacing_gain * btl_bw; cwnd capped at cwnd_gain * BDP.
+// States: STARTUP (gain 2/ln2 until bandwidth plateaus 3 rounds), DRAIN,
+// PROBE_BW (8-phase gain cycle 1.25, 0.75, 1 x6), PROBE_RTT (cwnd = 4 for
+// 200 ms every 10 s).
+//
+// On LEO paths the interesting property is the contrast with Vegas: a
+// propagation-delay *increase* raises BBR's BDP estimate rather than
+// signalling congestion, so throughput survives path changes; rt_prop's
+// 10 s window expiry adapts the model to the new path.
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "src/sim/tcp_socket.hpp"
+
+namespace hypatia::sim {
+
+namespace {
+
+constexpr double kStartupGain = 2.885;  // 2/ln(2)
+constexpr double kDrainGain = 1.0 / kStartupGain;
+constexpr double kCwndGain = 2.0;
+constexpr double kProbeBwGains[] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr TimeNs kRtPropWindow = 10 * kNsPerSec;
+constexpr TimeNs kProbeRttDuration = 200 * kNsPerMs;
+constexpr int kBwWindowRounds = 10;
+
+class Bbr final : public CongestionControl {
+  public:
+    const char* name() const override { return "bbr"; }
+
+    void on_ack(TcpFlow& /*flow*/, int /*acked_segments*/, TimeNs /*rtt*/) override {
+        // All work happens in on_ack_model, which also runs in recovery.
+    }
+
+    void on_ack_model(TcpFlow& flow, int acked_segments, TimeNs rtt) override {
+        const TimeNs now = flow.now();
+
+        // --- update the path model -------------------------------------
+        if (rtt > 0) {
+            if (rtt <= rt_prop_ || now - rt_prop_stamp_ > kRtPropWindow) {
+                rt_prop_ = rtt;
+                rt_prop_stamp_ = now;
+            }
+        }
+        // Delivery-rate sample, BBR style: data delivered over the window
+        // from when the just-ACKed segment was transmitted (echo_time =
+        // now - rtt) until now — an RTT-long window, immune to ACK
+        // compression (unlike naive inter-ACK-gap sampling).
+        (void)acked_segments;
+        if (rtt > 0) {
+            const TimeNs sent_at = now - rtt;
+            // Delivery counter at transmit time, from history; the rate is
+            // measured over the *actual* window back to the history point
+            // (a sparse history would otherwise inflate the sample). Skip
+            // when the history has no point that old.
+            std::uint64_t delivered_then = 0;
+            TimeNs t_then = 0;
+            const std::uint64_t delivered_now = flow.segments_received();
+            if (delivered_at(sent_at, &delivered_then, &t_then) &&
+                delivered_now > delivered_then && now > t_then) {
+                const double sample_bps =
+                    static_cast<double>(delivered_now - delivered_then) *
+                    static_cast<double>(flow.mss() + kHeaderBytes) * 8.0 /
+                    ns_to_seconds(now - t_then);
+                bw_samples_.push_back({round_count_, sample_bps});
+                while (!bw_samples_.empty() &&
+                       bw_samples_.front().round + kBwWindowRounds < round_count_) {
+                    bw_samples_.pop_front();
+                }
+            }
+        }
+        delivery_history_.push_back({now, flow.segments_received()});
+        while (delivery_history_.size() > 2 &&
+               delivery_history_.front().t < now - 30 * kNsPerSec) {
+            delivery_history_.pop_front();
+        }
+
+        // Round accounting: one round per RTT of delivered data.
+        if (flow.snd_una() >= next_round_seq_) {
+            ++round_count_;
+            next_round_seq_ = flow.snd_nxt();
+            on_round_start(flow, now);
+        }
+
+        apply_model(flow, now);
+    }
+
+    void on_loss(TcpFlow& flow, bool /*timeout*/) override {
+        // BBR does not react to loss with multiplicative decrease; keep the
+        // socket core's recovery bookkeeping consistent by pinning ssthresh
+        // to the model-derived cwnd target.
+        flow.set_ssthresh(std::max(4.0, target_cwnd()));
+    }
+
+    double pacing_rate_bps() const override {
+        const double bw = btl_bw();
+        if (bw <= 0.0) return 10e6;  // pre-model startup rate guess
+        // Floor: never pace below 4 segments per rt_prop (or 0.5 Mbit/s),
+        // so the pacing timer can't outlast the RTO.
+        double floor_bps = 0.5e6;
+        if (rt_prop_ != std::numeric_limits<TimeNs>::max()) {
+            floor_bps = std::max(floor_bps,
+                                 4.0 * 1500.0 * 8.0 / ns_to_seconds(rt_prop_));
+        }
+        return std::max(floor_bps, pacing_gain_ * bw);
+    }
+
+  private:
+    struct BwSample {
+        std::uint64_t round;
+        double bps;
+    };
+
+    double btl_bw() const {
+        double best = 0.0;
+        for (const auto& s : bw_samples_) best = std::max(best, s.bps);
+        return best;
+    }
+
+    double bdp_segments(const TcpFlow& flow) const {
+        const double bw = btl_bw();
+        if (bw <= 0.0 || rt_prop_ == std::numeric_limits<TimeNs>::max()) return 4.0;
+        return bw * ns_to_seconds(rt_prop_) /
+               (static_cast<double>(flow.mss() + kHeaderBytes) * 8.0);
+    }
+
+    double target_cwnd() const { return cached_target_cwnd_; }
+
+    void on_round_start(TcpFlow& flow, TimeNs now) {
+        switch (state_) {
+            case State::kStartup: {
+                const double bw = btl_bw();
+                if (bw > 1.25 * full_bw_) {
+                    full_bw_ = bw;
+                    full_bw_rounds_ = 0;
+                } else if (++full_bw_rounds_ >= 3) {
+                    state_ = State::kDrain;
+                    pacing_gain_ = kDrainGain;
+                }
+                break;
+            }
+            case State::kDrain:
+                if (static_cast<double>(flow.flight_size()) <= bdp_segments(flow)) {
+                    enter_probe_bw(now);
+                }
+                break;
+            case State::kProbeBw:
+                cycle_index_ = (cycle_index_ + 1) % 8;
+                pacing_gain_ = kProbeBwGains[cycle_index_];
+                break;
+            case State::kProbeRtt:
+                break;
+        }
+
+        // PROBE_RTT entry: rt_prop stale and not already probing.
+        if (state_ != State::kProbeRtt &&
+            now - rt_prop_stamp_ > kRtPropWindow && !probe_rtt_done_recently(now)) {
+            state_ = State::kProbeRtt;
+            pacing_gain_ = 1.0;
+            probe_rtt_until_ = now + kProbeRttDuration;
+        }
+        if (state_ == State::kProbeRtt && now >= probe_rtt_until_) {
+            last_probe_rtt_ = now;
+            enter_probe_bw(now);
+        }
+    }
+
+    void enter_probe_bw(TimeNs /*now*/) {
+        state_ = State::kProbeBw;
+        cycle_index_ = 2;  // start in a cruise phase
+        pacing_gain_ = kProbeBwGains[cycle_index_];
+    }
+
+    bool probe_rtt_done_recently(TimeNs now) const {
+        return last_probe_rtt_ > 0 && now - last_probe_rtt_ < kRtPropWindow;
+    }
+
+    void apply_model(TcpFlow& flow, TimeNs /*now*/) {
+        if (state_ == State::kProbeRtt) {
+            cached_target_cwnd_ = 4.0;
+        } else {
+            const double gain = state_ == State::kStartup ? kStartupGain : kCwndGain;
+            cached_target_cwnd_ = std::max(4.0, gain * bdp_segments(flow));
+        }
+        // Pin ssthresh to the model target too: the socket core copies
+        // ssthresh into cwnd when leaving fast recovery, and BBR wants the
+        // model to own the window at all times.
+        flow.set_ssthresh(cached_target_cwnd_);
+        flow.set_cwnd(cached_target_cwnd_);
+    }
+
+    enum class State { kStartup, kDrain, kProbeBw, kProbeRtt };
+
+    State state_ = State::kStartup;
+    double pacing_gain_ = kStartupGain;
+    double full_bw_ = 0.0;
+    int full_bw_rounds_ = 0;
+    int cycle_index_ = 0;
+    double cached_target_cwnd_ = 4.0;
+
+    TimeNs rt_prop_ = std::numeric_limits<TimeNs>::max();
+    TimeNs rt_prop_stamp_ = 0;
+    TimeNs probe_rtt_until_ = 0;
+    TimeNs last_probe_rtt_ = 0;
+
+    struct DeliveryPoint {
+        TimeNs t;
+        std::uint64_t snd_una;
+    };
+
+    /// Cumulative delivery at time `when` (latest history point <= when);
+    /// false when the history does not reach back that far (no valid
+    /// baseline -> the caller must skip the sample).
+    bool delivered_at(TimeNs when, std::uint64_t* out, TimeNs* t_out) const {
+        for (auto it = delivery_history_.rbegin(); it != delivery_history_.rend();
+             ++it) {
+            if (it->t <= when) {
+                *out = it->snd_una;
+                *t_out = it->t;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::deque<BwSample> bw_samples_;
+    std::deque<DeliveryPoint> delivery_history_;
+    std::uint64_t round_count_ = 0;
+    std::uint64_t next_round_seq_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionControl> make_bbr() { return std::make_unique<Bbr>(); }
+
+}  // namespace hypatia::sim

@@ -1,0 +1,39 @@
+// TCP NewReno congestion control (RFC 5681 growth + RFC 6582 recovery;
+// the recovery bookkeeping itself lives in the socket core). This is the
+// loss-based algorithm of the paper's section 4.2.
+#include <algorithm>
+
+#include "src/sim/tcp_socket.hpp"
+
+namespace hypatia::sim {
+
+namespace {
+
+class NewReno final : public CongestionControl {
+  public:
+    const char* name() const override { return "newreno"; }
+
+    void on_ack(TcpFlow& flow, int acked_segments, TimeNs /*rtt*/) override {
+        // Appropriate byte counting (RFC 3465, L=2): a stretch ACK after a
+        // reordering episode must not balloon the window.
+        const double credit = std::min(acked_segments, 2);
+        if (flow.in_slow_start()) {
+            flow.set_cwnd(flow.cwnd() + credit);
+        } else {
+            // Congestion avoidance: ~one segment per RTT.
+            flow.set_cwnd(flow.cwnd() + credit / flow.cwnd());
+        }
+    }
+
+    void on_loss(TcpFlow& flow, bool /*timeout*/) override {
+        flow.set_ssthresh(std::max(static_cast<double>(flow.flight_size()) / 2.0, 2.0));
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionControl> make_newreno() {
+    return std::make_unique<NewReno>();
+}
+
+}  // namespace hypatia::sim

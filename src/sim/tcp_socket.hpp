@@ -1,0 +1,220 @@
+// Segment-based TCP with pluggable congestion control.
+//
+// Implements the machinery the paper's congestion-control study (section
+// 4.2, Figs 4-5, 18-19) relies on:
+//  * slow start / congestion avoidance, fast retransmit & NewReno fast
+//    recovery with partial-ACK handling (RFC 6582),
+//  * retransmission timeout with Jacobson/Karn estimation and
+//    exponential backoff,
+//  * delayed ACKs (count 2, 200 ms timer; can be disabled — the paper
+//    checks both), and
+//  * timestamp-echo RTT measurement, so reordering-induced duplicate
+//    ACKs behave exactly as the paper describes: a path shortening makes
+//    later segments arrive first, the receiver emits duplicate ACKs, and
+//    the sender halves its window although nothing was lost.
+//
+// Sequence numbers are segment indices (one MSS per segment), matching
+// how the paper counts its congestion window in packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/network.hpp"
+#include "src/sim/packet.hpp"
+
+namespace hypatia::sim {
+
+struct TcpConfig {
+    std::uint64_t flow_id = 0;
+    int src_node = -1;
+    int dst_node = -1;
+    int mss_bytes = kDefaultMss;  // payload per segment
+    double initial_cwnd = 1.0;    // segments
+    double initial_ssthresh = 1e9;
+    bool delayed_ack = true;
+    int delayed_ack_count = 2;
+    TimeNs delayed_ack_timeout = 200 * kNsPerMs;
+    TimeNs min_rto = 1 * kNsPerSec;  // ns-3's default MinRto
+    TimeNs max_rto = 60 * kNsPerSec;
+    /// RFC 6582 retransmit-timer variant during fast recovery:
+    /// false = "slow-but-steady" (reset the timer on every partial ACK,
+    /// like ns-3; recovery rides out long multi-loss episodes),
+    /// true  = "impatient" (reset only for the first partial ACK; heavy
+    /// loss falls back to RTO quickly).
+    bool impatient_rto = false;
+    /// Selective-acknowledgement recovery (default on, like ns-3): during
+    /// fast recovery the sender retransmits the *actual* holes — one per
+    /// arriving ACK (packet conservation) — instead of NewReno's one hole
+    /// per RTT. Implemented with an exact scoreboard (sender reads the
+    /// receiver's reassembly buffer, which is what SACK blocks would
+    /// carry, one propagation delay fresher).
+    bool sack = true;
+    TimeNs start = 0;
+    /// 0 = unlimited ("long running TCP flow"); otherwise stop sending
+    /// new segments once this many have been queued.
+    std::uint64_t max_segments = 0;
+};
+
+class TcpFlow;
+
+/// Congestion-control strategy interface. The socket core owns the loss
+/// detection (dupACKs, RTO) and fast-recovery window accounting; the
+/// strategy decides how cwnd grows on ACKs and shrinks on loss.
+class CongestionControl {
+  public:
+    virtual ~CongestionControl() = default;
+    virtual const char* name() const = 0;
+
+    /// A cumulative ACK advanced snd_una by `acked_segments`;
+    /// `rtt` is the timestamp-echo RTT sample (0 if unavailable).
+    /// Called only OUTSIDE loss recovery (window growth).
+    virtual void on_ack(TcpFlow& flow, int acked_segments, TimeNs rtt) = 0;
+
+    /// Model update, called for EVERY cumulative-ACK advance, including
+    /// during loss recovery (rate-based algorithms keep estimating).
+    virtual void on_ack_model(TcpFlow& /*flow*/, int /*acked_segments*/,
+                              TimeNs /*rtt*/) {}
+
+    /// Loss detected. `timeout` distinguishes RTO from fast retransmit.
+    /// Must set ssthresh (and may set cwnd; the core sets cwnd for the
+    /// standard cases after this call per RFC defaults).
+    virtual void on_loss(TcpFlow& flow, bool timeout) = 0;
+
+    /// Pacing rate in bits/s; 0 disables pacing (window-limited bursts).
+    /// Rate-based algorithms (BBR) return their current pacing rate.
+    virtual double pacing_rate_bps() const { return 0.0; }
+};
+
+std::unique_ptr<CongestionControl> make_newreno();
+std::unique_ptr<CongestionControl> make_vegas(double alpha = 2.0, double beta = 4.0,
+                                              double gamma = 1.0);
+/// Simplified BBRv1 (Cardwell et al.): windowed-max bottleneck-bandwidth
+/// and windowed-min RTT estimation, pacing-gain cycling, PROBE_RTT — the
+/// evaluation the paper calls out as high-interest future work (sec 4.2).
+std::unique_ptr<CongestionControl> make_bbr();
+
+/// One long-running TCP connection between two ground stations.
+class TcpFlow {
+  public:
+    TcpFlow(Network& network, const TcpConfig& config,
+            std::unique_ptr<CongestionControl> cc);
+
+    // --- observability -------------------------------------------------
+    struct CwndSample {
+        TimeNs t;
+        double cwnd;      // segments
+        double ssthresh;  // segments
+        bool in_recovery;
+    };
+    struct RttSample {
+        TimeNs t;
+        TimeNs rtt;
+    };
+    const std::vector<CwndSample>& cwnd_trace() const { return cwnd_trace_; }
+    const std::vector<RttSample>& rtt_trace() const { return rtt_trace_; }
+
+    /// Optional protocol-event hook (event name, detail value), fired on
+    /// "dup_ack", "fast_retransmit", "partial_ack", "full_ack", "rto".
+    std::function<void(const char*, std::uint64_t)> on_event;
+
+    /// Payload bytes delivered in order to the receiving application.
+    std::uint64_t delivered_bytes() const { return delivered_segments_ * mss(); }
+    /// Unique data segments that have *arrived* at the receiver (in order
+    /// or buffered out of order). Monotone and smooth across recovery —
+    /// the delivery counter BBR's rate estimator needs.
+    std::uint64_t segments_received() const { return segments_received_; }
+    std::uint64_t delivered_segments() const { return delivered_segments_; }
+    std::uint64_t retransmissions() const { return retransmissions_; }
+    std::uint64_t timeouts() const { return timeouts_; }
+    std::uint64_t fast_retransmits() const { return fast_retransmits_; }
+    std::uint64_t dup_acks_received() const { return dup_acks_total_; }
+
+    /// Receiver-side delivery time series: payload bytes per fixed bin
+    /// (for the paper's Fig 5c "throughput over 100 ms intervals").
+    void enable_delivery_bins(TimeNs bin_width, TimeNs horizon);
+    std::vector<double> delivery_rate_bps() const;  // one value per bin
+    TimeNs delivery_bin_width() const { return delivery_bin_width_; }
+
+    // --- state access for CongestionControl strategies ------------------
+    double cwnd() const { return cwnd_; }
+    void set_cwnd(double segments);
+    double ssthresh() const { return ssthresh_; }
+    void set_ssthresh(double segments) { ssthresh_ = segments; }
+    bool in_slow_start() const { return cwnd_ < ssthresh_; }
+    bool in_recovery() const { return in_recovery_; }
+    std::uint64_t flight_size() const { return snd_nxt_ - snd_una_; }
+    std::uint64_t snd_una() const { return snd_una_; }
+    std::uint64_t snd_nxt() const { return snd_nxt_; }
+    TimeNs now() const;
+    std::uint64_t mss() const { return static_cast<std::uint64_t>(config_.mss_bytes); }
+    const TcpConfig& config() const { return config_; }
+
+  private:
+    // Sender side.
+    void try_send();
+    void send_segment(std::uint64_t seq, bool retransmission);
+    void on_ack_packet(const Packet& ack);
+    void enter_fast_recovery();
+    void on_rto();
+    void arm_rto();
+    void record_cwnd();
+
+    // Receiver side.
+    void on_data_packet(const Packet& data);
+    void send_ack(TimeNs echo_time);
+    void maybe_delay_ack(TimeNs echo_time);
+
+    Network& network_;
+    TcpConfig config_;
+    std::unique_ptr<CongestionControl> cc_;
+
+    // Sender state (segment indices).
+    std::uint64_t snd_una_ = 0;
+    std::uint64_t snd_nxt_ = 0;
+    double cwnd_ = 1.0;
+    double ssthresh_ = 1e9;
+    int dup_acks_ = 0;
+    bool in_recovery_ = false;
+    bool partial_ack_seen_ = false;
+    std::uint64_t recover_ = 0;
+    std::uint64_t hole_cursor_ = 0;  // next hole candidate (SACK recovery)
+
+    /// Retransmits the next not-yet-retransmitted hole below recover_,
+    /// if any; returns true when a retransmission was sent.
+    bool retransmit_next_hole();
+
+    // RTT estimation (Jacobson) and RTO management.
+    TimeNs srtt_ = 0;
+    TimeNs rttvar_ = 0;
+    TimeNs rto_ = 1 * kNsPerSec;
+    std::uint64_t rto_generation_ = 0;
+    bool rto_armed_ = false;
+
+    // Receiver state.
+    std::uint64_t rcv_nxt_ = 0;
+    std::vector<std::uint64_t> out_of_order_;  // sorted buffered seqs
+    int pending_ack_segments_ = 0;
+    TimeNs pending_ack_echo_ = 0;
+    std::uint64_t delack_generation_ = 0;
+
+    // Stats / traces.
+    std::uint64_t delivered_segments_ = 0;
+    std::uint64_t segments_received_ = 0;
+    std::uint64_t retransmissions_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t fast_retransmits_ = 0;
+    std::uint64_t dup_acks_total_ = 0;
+    std::vector<CwndSample> cwnd_trace_;
+    std::vector<RttSample> rtt_trace_;
+    TimeNs delivery_bin_width_ = 0;
+    std::vector<std::uint64_t> delivery_bins_;
+
+    // Pacing (used when cc_->pacing_rate_bps() > 0).
+    bool pace_timer_armed_ = false;
+    std::uint64_t pace_generation_ = 0;
+};
+
+}  // namespace hypatia::sim

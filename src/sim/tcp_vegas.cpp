@@ -1,0 +1,94 @@
+// TCP Vegas congestion control (Brakmo & Peterson) — the delay-based
+// algorithm of the paper's section 4.2. Vegas compares the expected rate
+// (cwnd / baseRTT) against the actual rate (cwnd / currentRTT); the
+// backlog estimate diff = (expected - actual) * baseRTT is held between
+// alpha and beta segments.
+//
+// On an LEO path the propagation delay itself changes: when the path
+// lengthens, currentRTT rises with no queueing at all, Vegas reads it as
+// congestion and shrinks its window — the throughput collapse of the
+// paper's Fig. 5.
+#include <algorithm>
+#include <limits>
+
+#include "src/sim/tcp_socket.hpp"
+
+namespace hypatia::sim {
+
+namespace {
+
+class Vegas final : public CongestionControl {
+  public:
+    Vegas(double alpha, double beta, double gamma)
+        : alpha_(alpha), beta_(beta), gamma_(gamma) {}
+
+    const char* name() const override { return "vegas"; }
+
+    void on_ack(TcpFlow& flow, int acked_segments, TimeNs rtt) override {
+        if (rtt > 0) {
+            base_rtt_ = std::min(base_rtt_, rtt);
+            epoch_min_rtt_ = std::min(epoch_min_rtt_, rtt);
+            ++epoch_rtt_samples_;
+        }
+
+        // Epoch boundary: one congestion decision per RTT, marked by the
+        // ACK passing the snd_nxt recorded at the previous boundary.
+        if (flow.snd_una() < epoch_end_seq_ || epoch_rtt_samples_ < 1) {
+            grow_within_epoch(flow, acked_segments);
+            return;
+        }
+
+        const double rtt_s = ns_to_seconds(epoch_min_rtt_);
+        const double base_s = ns_to_seconds(base_rtt_);
+        const double diff = flow.cwnd() * (rtt_s - base_s) / rtt_s;  // segments
+
+        if (flow.in_slow_start()) {
+            if (diff > gamma_) {
+                // Leave slow start: settle at the current window.
+                flow.set_ssthresh(std::min(flow.ssthresh(), flow.cwnd() - 1.0));
+                flow.set_cwnd(flow.cwnd() - diff);
+            } else {
+                grow_within_epoch(flow, acked_segments);
+            }
+        } else if (diff > beta_) {
+            flow.set_cwnd(flow.cwnd() - 1.0);
+        } else if (diff < alpha_) {
+            flow.set_cwnd(flow.cwnd() + 1.0);
+        }
+        // else: within [alpha, beta] — hold.
+
+        epoch_end_seq_ = flow.snd_nxt();
+        epoch_min_rtt_ = std::numeric_limits<TimeNs>::max();
+        epoch_rtt_samples_ = 0;
+        slow_start_parity_ = !slow_start_parity_;
+    }
+
+    void on_loss(TcpFlow& flow, bool timeout) override {
+        flow.set_ssthresh(std::max(static_cast<double>(flow.flight_size()) / 2.0, 2.0));
+        if (timeout) base_rtt_ = std::numeric_limits<TimeNs>::max();  // re-probe
+    }
+
+  private:
+    void grow_within_epoch(TcpFlow& flow, int acked_segments) {
+        if (!flow.in_slow_start()) return;
+        // Vegas doubles only every other RTT while probing; ABC-capped.
+        if (slow_start_parity_) {
+            flow.set_cwnd(flow.cwnd() + std::min(acked_segments, 2));
+        }
+    }
+
+    double alpha_, beta_, gamma_;
+    TimeNs base_rtt_ = std::numeric_limits<TimeNs>::max();
+    TimeNs epoch_min_rtt_ = std::numeric_limits<TimeNs>::max();
+    int epoch_rtt_samples_ = 0;
+    std::uint64_t epoch_end_seq_ = 0;
+    bool slow_start_parity_ = true;
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionControl> make_vegas(double alpha, double beta, double gamma) {
+    return std::make_unique<Vegas>(alpha, beta, gamma);
+}
+
+}  // namespace hypatia::sim

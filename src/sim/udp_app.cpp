@@ -1,0 +1,48 @@
+#include "src/sim/udp_app.hpp"
+
+#include <stdexcept>
+
+namespace hypatia::sim {
+
+UdpFlow::UdpFlow(Network& network, const Config& config)
+    : network_(network), config_(config) {
+    if (config.packet_size_bytes <= kHeaderBytes) {
+        throw std::invalid_argument("udp: packet smaller than headers");
+    }
+    const double packets_per_second =
+        config.rate_bps / (static_cast<double>(config.packet_size_bytes) * 8.0);
+    interval_ = seconds_to_ns(1.0 / packets_per_second);
+
+    network_.node(config.dst_node)
+        .set_flow_handler(config.flow_id, [this](const Packet& p) {
+            ++received_packets_;
+            received_payload_bytes_ += static_cast<std::uint64_t>(p.payload_bytes);
+        });
+
+    network_.simulator().schedule_at(config.start, [this]() { send_next(); });
+}
+
+void UdpFlow::send_next() {
+    auto& sim = network_.simulator();
+    if (sim.now() >= config_.stop) return;
+    Packet p;
+    p.kind = PacketKind::kUdp;
+    p.src_node = config_.src_node;
+    p.dst_node = config_.dst_node;
+    p.size_bytes = config_.packet_size_bytes;
+    p.payload_bytes = config_.packet_size_bytes - kHeaderBytes;
+    p.flow_id = config_.flow_id;
+    p.seq = next_seq_++;
+    p.sent_time = sim.now();
+    ++sent_packets_;
+    network_.node(config_.src_node).receive(p);
+    sim.schedule_in(interval_, [this]() { send_next(); });
+}
+
+double UdpFlow::goodput_bps(TimeNs measured_until) const {
+    const double window_s = ns_to_seconds(measured_until - config_.start);
+    if (window_s <= 0.0) return 0.0;
+    return static_cast<double>(received_payload_bytes_) * 8.0 / window_s;
+}
+
+}  // namespace hypatia::sim

@@ -1,0 +1,46 @@
+// Constant-rate paced UDP flow (the paper's UDP workload in the
+// scalability experiment, Fig. 2): the source emits fixed-size packets at
+// a configured rate; the sink counts payload arrivals for goodput.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/network.hpp"
+
+namespace hypatia::sim {
+
+class UdpFlow {
+  public:
+    struct Config {
+        std::uint64_t flow_id = 0;
+        int src_node = -1;
+        int dst_node = -1;
+        double rate_bps = 1e6;     // paced sending rate (wire bits/s)
+        int packet_size_bytes = 1500;  // wire size; payload = size - header
+        TimeNs start = 0;
+        TimeNs stop = 0;  // no packets sent at/after this time
+    };
+
+    UdpFlow(Network& network, const Config& config);
+
+    std::uint64_t sent_packets() const { return sent_packets_; }
+    std::uint64_t received_packets() const { return received_packets_; }
+    std::uint64_t received_payload_bytes() const { return received_payload_bytes_; }
+
+    /// Goodput in bit/s of payload over [start, measured_until].
+    double goodput_bps(TimeNs measured_until) const;
+
+  private:
+    void send_next();
+
+    Network& network_;
+    Config config_;
+    TimeNs interval_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t sent_packets_ = 0;
+    std::uint64_t received_packets_ = 0;
+    std::uint64_t received_payload_bytes_ = 0;
+};
+
+}  // namespace hypatia::sim

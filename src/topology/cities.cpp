@@ -1,0 +1,149 @@
+#include "src/topology/cities.hpp"
+
+#include <stdexcept>
+
+namespace hypatia::topo {
+
+namespace {
+
+struct CityRow {
+    const char* name;
+    double lat_deg;
+    double lon_deg;
+};
+
+// The 100 most populous metropolitan areas (2020-era agglomeration
+// estimates), population-ranked. Coordinates are city-centre approximations;
+// the paper's behaviour (RTT fluctuation, path churn, congestion shifts)
+// is insensitive to sub-degree coordinate precision.
+constexpr CityRow kCities[] = {
+    {"Tokyo", 35.6762, 139.6503},
+    {"Delhi", 28.7041, 77.1025},
+    {"Shanghai", 31.2304, 121.4737},
+    {"Sao Paulo", -23.5505, -46.6333},
+    {"Mexico City", 19.4326, -99.1332},
+    {"Cairo", 30.0444, 31.2357},
+    {"Mumbai", 19.0760, 72.8777},
+    {"Beijing", 39.9042, 116.4074},
+    {"Dhaka", 23.8103, 90.4125},
+    {"Osaka", 34.6937, 135.5023},
+    {"New York", 40.7128, -74.0060},
+    {"Karachi", 24.8607, 67.0011},
+    {"Buenos Aires", -34.6037, -58.3816},
+    {"Chongqing", 29.4316, 106.9123},
+    {"Istanbul", 41.0082, 28.9784},
+    {"Kolkata", 22.5726, 88.3639},
+    {"Manila", 14.5995, 120.9842},
+    {"Lagos", 6.5244, 3.3792},
+    {"Rio de Janeiro", -22.9068, -43.1729},
+    {"Tianjin", 39.3434, 117.3616},
+    {"Kinshasa", -4.4419, 15.2663},
+    {"Guangzhou", 23.1291, 113.2644},
+    {"Los Angeles", 34.0522, -118.2437},
+    {"Moscow", 55.7558, 37.6173},
+    {"Shenzhen", 22.5431, 114.0579},
+    {"Lahore", 31.5204, 74.3587},
+    {"Bangalore", 12.9716, 77.5946},
+    {"Paris", 48.8566, 2.3522},
+    {"Bogota", 4.7110, -74.0721},
+    {"Jakarta", -6.2088, 106.8456},
+    {"Chennai", 13.0827, 80.2707},
+    {"Lima", -12.0464, -77.0428},
+    {"Bangkok", 13.7563, 100.5018},
+    {"Seoul", 37.5665, 126.9780},
+    {"Nagoya", 35.1815, 136.9066},
+    {"Hyderabad", 17.3850, 78.4867},
+    {"London", 51.5074, -0.1278},
+    {"Tehran", 35.6892, 51.3890},
+    {"Chicago", 41.8781, -87.6298},
+    {"Chengdu", 30.5728, 104.0668},
+    {"Nanjing", 32.0603, 118.7969},
+    {"Wuhan", 30.5928, 114.3055},
+    {"Ho Chi Minh City", 10.8231, 106.6297},
+    {"Luanda", -8.8390, 13.2894},
+    {"Ahmedabad", 23.0225, 72.5714},
+    {"Kuala Lumpur", 3.1390, 101.6869},
+    {"Xian", 34.3416, 108.9398},
+    {"Hong Kong", 22.3193, 114.1694},
+    {"Dongguan", 23.0207, 113.7518},
+    {"Hangzhou", 30.2741, 120.1551},
+    {"Foshan", 23.0218, 113.1064},
+    {"Shenyang", 41.8057, 123.4315},
+    {"Riyadh", 24.7136, 46.6753},
+    {"Baghdad", 33.3152, 44.3661},
+    {"Santiago", -33.4489, -70.6693},
+    {"Surat", 21.1702, 72.8311},
+    {"Madrid", 40.4168, -3.7038},
+    {"Suzhou", 31.2989, 120.5853},
+    {"Pune", 18.5204, 73.8567},
+    {"Harbin", 45.8038, 126.5349},
+    {"Houston", 29.7604, -95.3698},
+    {"Dallas", 32.7767, -96.7970},
+    {"Toronto", 43.6532, -79.3832},
+    {"Dar es Salaam", -6.7924, 39.2083},
+    {"Miami", 25.7617, -80.1918},
+    {"Belo Horizonte", -19.9167, -43.9345},
+    {"Singapore", 1.3521, 103.8198},
+    {"Philadelphia", 39.9526, -75.1652},
+    {"Atlanta", 33.7490, -84.3880},
+    {"Fukuoka", 33.5904, 130.4017},
+    {"Khartoum", 15.5007, 32.5599},
+    {"Barcelona", 41.3851, 2.1734},
+    {"Johannesburg", -26.2041, 28.0473},
+    {"Saint Petersburg", 59.9311, 30.3609},
+    {"Qingdao", 36.0671, 120.3826},
+    {"Dalian", 38.9140, 121.6147},
+    {"Washington", 38.9072, -77.0369},
+    {"Yangon", 16.8409, 96.1735},
+    {"Alexandria", 31.2001, 29.9187},
+    {"Jinan", 36.6512, 117.1201},
+    {"Guadalajara", 20.6597, -103.3496},
+    {"Nairobi", -1.2921, 36.8219},
+    {"Zhengzhou", 34.7466, 113.6253},
+    {"Abidjan", 5.3600, -4.0083},
+    {"Chittagong", 22.3569, 91.7832},
+    {"Monterrey", 25.6866, -100.3161},
+    {"Ankara", 39.9334, 32.8597},
+    {"Melbourne", -37.8136, 144.9631},
+    {"Sydney", -33.8688, 151.2093},
+    {"Brasilia", -15.8267, -47.9218},
+    {"Recife", -8.0476, -34.8770},
+    {"Fortaleza", -3.7319, -38.5267},
+    {"Porto Alegre", -30.0346, -51.2177},
+    {"Salvador", -12.9714, -38.5014},
+    {"Casablanca", 33.5731, -7.5898},
+    {"Accra", 5.6037, -0.1870},
+    {"Addis Ababa", 9.0320, 38.7469},
+    {"Jeddah", 21.4858, 39.1925},
+    {"Hanoi", 21.0285, 105.8542},
+    {"Kabul", 34.5553, 69.2075},
+};
+static_assert(sizeof(kCities) / sizeof(kCities[0]) == 100,
+              "the ground station dataset must hold exactly 100 cities");
+
+}  // namespace
+
+std::vector<orbit::GroundStation> top100_cities() {
+    std::vector<orbit::GroundStation> out;
+    out.reserve(100);
+    int id = 0;
+    for (const auto& c : kCities) {
+        out.emplace_back(id++, c.name, orbit::Geodetic{c.lat_deg, c.lon_deg, 0.0});
+    }
+    return out;
+}
+
+int city_index(const std::string& name) {
+    for (int i = 0; i < 100; ++i) {
+        if (name == kCities[i].name) return i;
+    }
+    throw std::out_of_range("unknown city: " + name);
+}
+
+orbit::GroundStation city_by_name(const std::string& name) {
+    const int i = city_index(name);
+    return {i, kCities[i].name,
+            orbit::Geodetic{kCities[i].lat_deg, kCities[i].lon_deg, 0.0}};
+}
+
+}  // namespace hypatia::topo

@@ -1,0 +1,24 @@
+// The embedded ground-station dataset: the world's 100 most populous
+// metropolitan areas (the paper's GS placement for every experiment),
+// population-ranked, with approximate centre coordinates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/orbit/ground_station.hpp"
+
+namespace hypatia::topo {
+
+/// All 100 cities as ground stations, ids 0..99 in population-rank order.
+std::vector<orbit::GroundStation> top100_cities();
+
+/// Looks up one city by name from the embedded table (exact match).
+/// Throws std::out_of_range if absent. The returned station keeps its
+/// population-rank id.
+orbit::GroundStation city_by_name(const std::string& name);
+
+/// Index of a city name within top100_cities(); throws if absent.
+int city_index(const std::string& name);
+
+}  // namespace hypatia::topo

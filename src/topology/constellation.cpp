@@ -1,0 +1,85 @@
+#include "src/topology/constellation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hypatia::topo {
+
+Constellation::Constellation(const ShellParams& params, const orbit::JulianDate& epoch)
+    : params_(params), epoch_(epoch) {
+    if (params.num_orbits <= 0 || params.sats_per_orbit <= 0) {
+        throw std::invalid_argument("constellation: orbits and sats/orbit must be positive");
+    }
+    satellites_.reserve(static_cast<std::size_t>(params.num_satellites()));
+    const double raan_step = 360.0 / params.num_orbits;
+    const double ma_step = 360.0 / params.sats_per_orbit;
+    for (int o = 0; o < params.num_orbits; ++o) {
+        for (int s = 0; s < params.sats_per_orbit; ++s) {
+            const int id = o * params.sats_per_orbit + s;
+            // Hypatia's phase_diff: odd orbits are shifted by half an
+            // in-orbit slot (checkerboard). Expressed cumulatively as
+            // phase_factor (in slots) per plane: 0.5 * o mod 1 alternates
+            // 0 / half-slot exactly like the original generator.
+            double ma = (s + o * params.phase_factor) * ma_step;
+            ma = std::fmod(ma, 360.0);
+            auto kep = orbit::KeplerianElements::circular(
+                params.altitude_km, params.inclination_deg, o * raan_step, ma, epoch_);
+            auto tle = orbit::Tle::from_kepler(kep, id + 1,
+                                               params.name + "-" + std::to_string(id));
+            satellites_.emplace_back(id, o, s, kep, tle, params.propagator);
+        }
+    }
+}
+
+double ShellParams::max_gsl_range_km() const {
+    const double h = altitude_km;
+    const double cone_radius = h / std::tan(min_elevation_deg * M_PI / 180.0);
+    const double cone_range = std::sqrt(cone_radius * cone_radius + h * h);
+    const double re = orbit::Wgs72::kEarthRadiusKm;
+    const double horizon_range = std::sqrt((re + h) * (re + h) - re * re);
+    return std::min(cone_range, horizon_range);
+}
+
+const std::vector<ShellParams>& table1_shells() {
+    // Values straight from Table 1 of the paper; minimum elevation angles
+    // from sections 2.2 and 5.1 (Starlink 25, Kuiper 30, Telesat 10).
+    static const std::vector<ShellParams> shells = {
+        {"starlink_s1", 550.0, 72, 22, 53.0, 25.0, 0.5},
+        {"starlink_s2", 1110.0, 32, 50, 53.8, 25.0, 0.5},
+        {"starlink_s3", 1130.0, 8, 50, 74.0, 25.0, 0.5},
+        {"starlink_s4", 1275.0, 5, 75, 81.0, 25.0, 0.5},
+        {"starlink_s5", 1325.0, 6, 75, 70.0, 25.0, 0.5},
+        {"kuiper_k1", 630.0, 34, 34, 51.9, 30.0, 0.5},
+        {"kuiper_k2", 610.0, 36, 36, 42.0, 30.0, 0.5},
+        {"kuiper_k3", 590.0, 28, 28, 33.0, 30.0, 0.5},
+        {"telesat_t1", 1015.0, 27, 13, 98.98, 10.0, 0.5},
+        {"telesat_t2", 1325.0, 40, 33, 50.88, 10.0, 0.5},
+    };
+    return shells;
+}
+
+const ShellParams& shell_by_name(const std::string& name) {
+    for (const auto& s : table1_shells()) {
+        if (s.name == name) return s;
+    }
+    throw std::out_of_range("unknown shell: " + name);
+}
+
+orbit::JulianDate default_epoch() {
+    return orbit::julian_date_from_utc(2000, 1, 1, 0, 0, 0.0);
+}
+
+ShellParams geostationary_shell(int num_satellites, double min_elevation_deg) {
+    ShellParams p;
+    p.name = "geo_" + std::to_string(num_satellites);
+    p.altitude_km = 35786.0;
+    p.num_orbits = 1;
+    p.sats_per_orbit = num_satellites;
+    p.inclination_deg = 0.0;
+    p.min_elevation_deg = min_elevation_deg;
+    p.phase_factor = 0.0;
+    p.propagator = PropagatorKind::kKeplerJ2;
+    return p;
+}
+
+}  // namespace hypatia::topo

@@ -1,0 +1,123 @@
+// Constellation construction from shell parameters (the form the FCC/ITU
+// filings use — Table 1 of the paper) and the preset registry for the
+// three constellations the paper analyzes: Starlink, Kuiper, Telesat.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/orbit/kepler.hpp"
+#include "src/orbit/sgp4.hpp"
+#include "src/orbit/tle.hpp"
+#include "src/orbit/time.hpp"
+
+namespace hypatia::topo {
+
+/// Which analytic theory propagates a shell's satellites. SGP4 covers
+/// every LEO shell; orbits with periods >= 225 minutes (MEO/GEO — the
+/// paper's section 7 GEO-LEO extension) fall outside SGP4's near-Earth
+/// branch and use the Kepler+J2 propagator instead.
+enum class PropagatorKind {
+    kSgp4,
+    kKeplerJ2,
+};
+
+/// One orbital shell: `num_orbits` circular orbits of `sats_per_orbit`
+/// satellites at `altitude_km` / `inclination_deg`, RAANs spread uniformly
+/// over 360 degrees, satellites uniformly spaced within each orbit.
+/// Adjacent planes are staggered in mean anomaly by `phase_factor` of an
+/// in-orbit slot, cumulatively (0.5 alternates 0 / half-slot per plane —
+/// the checkerboard of Hypatia's phase_diff=True generator).
+struct ShellParams {
+    std::string name;
+    double altitude_km = 0.0;
+    int num_orbits = 0;
+    int sats_per_orbit = 0;
+    double inclination_deg = 0.0;
+    double min_elevation_deg = 25.0;  // GS-satellite visibility cone (Fig. 1)
+    double phase_factor = 0.5;        // inter-plane stagger, in slots
+    PropagatorKind propagator = PropagatorKind::kSgp4;
+
+    int num_satellites() const { return num_orbits * sats_per_orbit; }
+
+    /// Maximum GS-satellite slant range under Hypatia's cone model: each
+    /// satellite covers a ground disk of radius h / tan(l), so a GS may
+    /// connect while its straight-line distance is at most
+    /// sqrt((h/tan l)^2 + h^2), clamped to the line-of-sight horizon range
+    /// sqrt((Re+h)^2 - Re^2) (relevant for Telesat's l = 10 deg, whose
+    /// cone otherwise reaches beyond the horizon).
+    double max_gsl_range_km() const;
+};
+
+/// A satellite of a built constellation: its shell-grid coordinates, the
+/// generated TLE, and an initialized propagator.
+struct Satellite {
+    int id = 0;          // dense id in [0, num_satellites)
+    int orbit = 0;       // plane index within the shell
+    int index_in_orbit = 0;
+    orbit::KeplerianElements kepler;
+    orbit::Tle tle;
+    PropagatorKind propagator_kind = PropagatorKind::kSgp4;
+    std::optional<orbit::Sgp4> sgp4;  // engaged iff kind == kSgp4
+
+    Satellite(int id, int orbit, int index_in_orbit, const orbit::KeplerianElements& kep,
+              const orbit::Tle& tle, PropagatorKind kind)
+        : id(id), orbit(orbit), index_in_orbit(index_in_orbit), kepler(kep), tle(tle),
+          propagator_kind(kind) {
+        if (kind == PropagatorKind::kSgp4) sgp4.emplace(tle.to_sgp4_elements());
+    }
+
+    /// Inertial (TEME-compatible) state at an absolute time.
+    orbit::StateVector propagate(const orbit::JulianDate& at) const {
+        if (propagator_kind == PropagatorKind::kSgp4) return sgp4->propagate(at);
+        return orbit::propagate_kepler_j2(kepler, at);
+    }
+};
+
+/// A built (single-shell) constellation. The paper's experiments all use
+/// one shell at a time (S1, K1, T1); multi-shell studies can instantiate
+/// several Constellations side by side.
+class Constellation {
+  public:
+    /// Generates Kepler elements per satellite, converts them to TLEs
+    /// (paper's TLE-generation step) and initializes SGP4 for each.
+    Constellation(const ShellParams& params, const orbit::JulianDate& epoch);
+
+    const ShellParams& params() const { return params_; }
+    const orbit::JulianDate& epoch() const { return epoch_; }
+    int num_satellites() const { return static_cast<int>(satellites_.size()); }
+    const Satellite& satellite(int id) const { return satellites_.at(id); }
+    const std::vector<Satellite>& satellites() const { return satellites_; }
+
+    /// Dense id of the satellite at grid position (orbit, index).
+    int sat_id(int orbit, int index_in_orbit) const {
+        return orbit * params_.sats_per_orbit + index_in_orbit;
+    }
+
+  private:
+    ShellParams params_;
+    orbit::JulianDate epoch_;
+    std::vector<Satellite> satellites_;
+};
+
+/// Preset registry: all shells of Table 1. Shell names: "starlink_s1" ..
+/// "starlink_s5", "kuiper_k1" .. "kuiper_k3", "telesat_t1", "telesat_t2".
+/// Minimum elevation angles follow the paper: Starlink 25 deg, Kuiper
+/// 30 deg, Telesat 10 deg.
+const std::vector<ShellParams>& table1_shells();
+
+/// Looks up one Table-1 shell by name; throws std::out_of_range if absent.
+const ShellParams& shell_by_name(const std::string& name);
+
+/// The constellation epoch used throughout: 2000-01-01 00:00:00 UTC.
+orbit::JulianDate default_epoch();
+
+/// A geostationary "shell": `num_satellites` satellites uniformly spaced
+/// along the equatorial geostationary ring (h = 35,786 km). Propagated
+/// with Kepler+J2 (GEO is outside SGP4's near-Earth branch). The paper's
+/// section 2.4 GEO baseline (HughesNet/Viasat-class latency) and the
+/// section 7 GEO-LEO extension build on this.
+ShellParams geostationary_shell(int num_satellites, double min_elevation_deg = 25.0);
+
+}  // namespace hypatia::topo

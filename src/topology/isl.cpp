@@ -1,0 +1,39 @@
+#include "src/topology/isl.hpp"
+
+#include <stdexcept>
+
+namespace hypatia::topo {
+
+std::vector<Isl> build_isls(const Constellation& constellation, IslPattern pattern) {
+    std::vector<Isl> isls;
+    if (pattern == IslPattern::kNone) return isls;
+
+    const auto& p = constellation.params();
+    if (p.num_orbits < 3 || p.sats_per_orbit < 3) {
+        throw std::invalid_argument("+Grid needs >= 3 orbits and >= 3 sats/orbit");
+    }
+    isls.reserve(static_cast<std::size_t>(2 * p.num_orbits * p.sats_per_orbit));
+    for (int o = 0; o < p.num_orbits; ++o) {
+        for (int s = 0; s < p.sats_per_orbit; ++s) {
+            const int self = constellation.sat_id(o, s);
+            // Intra-orbit successor (wraps around the ring).
+            const int next_in_orbit = constellation.sat_id(o, (s + 1) % p.sats_per_orbit);
+            isls.push_back({self, next_in_orbit});
+            // Same slot in the next orbit (wraps across the seam).
+            const int next_orbit = constellation.sat_id((o + 1) % p.num_orbits, s);
+            isls.push_back({self, next_orbit});
+        }
+    }
+    return isls;
+}
+
+std::vector<int> isl_degrees(int num_satellites, const std::vector<Isl>& isls) {
+    std::vector<int> deg(static_cast<std::size_t>(num_satellites), 0);
+    for (const auto& isl : isls) {
+        ++deg.at(static_cast<std::size_t>(isl.sat_a));
+        ++deg.at(static_cast<std::size_t>(isl.sat_b));
+    }
+    return deg;
+}
+
+}  // namespace hypatia::topo

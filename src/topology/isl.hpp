@@ -1,0 +1,33 @@
+// Inter-satellite link topologies. The default is "+Grid" (paper section
+// 3.1): each satellite has 4 ISLs — two to its immediate neighbours in the
+// same orbit and two to the corresponding satellites in adjacent orbits,
+// forming a mesh. Constellations without ISLs (bent-pipe, Appendix A) are
+// expressed by an empty ISL list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/constellation.hpp"
+
+namespace hypatia::topo {
+
+/// One undirected ISL between two satellites (ids in constellation order).
+struct Isl {
+    int sat_a = 0;
+    int sat_b = 0;
+};
+
+enum class IslPattern {
+    kNone,      // bent-pipe constellation: no ISLs at all
+    kPlusGrid,  // the 4-neighbour mesh the filings and prior work suggest
+};
+
+/// Builds the ISL list for a constellation. For kPlusGrid, every satellite
+/// gets exactly degree 4 (assuming >= 3 orbits and >= 3 sats/orbit).
+std::vector<Isl> build_isls(const Constellation& constellation, IslPattern pattern);
+
+/// Degree of each satellite under `isls` (for invariant checks).
+std::vector<int> isl_degrees(int num_satellites, const std::vector<Isl>& isls);
+
+}  // namespace hypatia::topo

@@ -1,0 +1,34 @@
+#include "src/topology/mobility.hpp"
+
+namespace hypatia::topo {
+
+SatelliteMobility::SatelliteMobility(const Constellation& constellation,
+                                     TimeNs cache_quantum)
+    : constellation_(&constellation), quantum_(cache_quantum),
+      cache_(static_cast<std::size_t>(constellation.num_satellites())) {}
+
+Vec3 SatelliteMobility::position_ecef_exact(int sat_id, TimeNs t) const {
+    const auto& sat = constellation_->satellite(sat_id);
+    const auto at = constellation_->epoch().plus_seconds(ns_to_seconds(t));
+    const auto sv = sat.propagate(at);
+    return orbit::teme_to_ecef(sv.position_km, at);
+}
+
+const Vec3& SatelliteMobility::position_ecef(int sat_id, TimeNs t) const {
+    CacheEntry& e = cache_[static_cast<std::size_t>(sat_id)];
+    if (e.last_query == t && e.bucket_start >= 0) return e.interpolated;
+
+    const TimeNs bucket = (t / quantum_) * quantum_;
+    if (e.bucket_start != bucket) {
+        e.bucket_start = bucket;
+        e.at_start = position_ecef_exact(sat_id, bucket);
+        e.at_end = position_ecef_exact(sat_id, bucket + quantum_);
+    }
+    const double frac =
+        static_cast<double>(t - bucket) / static_cast<double>(quantum_);
+    e.interpolated = e.at_start + (e.at_end - e.at_start) * frac;
+    e.last_query = t;
+    return e.interpolated;
+}
+
+}  // namespace hypatia::topo

@@ -1,0 +1,47 @@
+// Mobility: maps simulation time (ns since constellation epoch) to ECEF
+// positions. Satellites are propagated with SGP4 + GMST rotation; lookups
+// are cached on a 10 ms grid with linear interpolation in between — a
+// satellite moves ~76 m per 10 ms, so the induced link-delay error is
+// below 0.3 microseconds, negligible against the paper's own tolerances
+// (its mobility model drifts 1-3 km per day, section 3.2).
+#pragma once
+
+#include <vector>
+
+#include "src/orbit/coords.hpp"
+#include "src/topology/constellation.hpp"
+#include "src/util/units.hpp"
+#include "src/util/vec3.hpp"
+
+namespace hypatia::topo {
+
+/// Cached ECEF positions for all satellites of one constellation.
+class SatelliteMobility {
+  public:
+    explicit SatelliteMobility(const Constellation& constellation,
+                               TimeNs cache_quantum = 10 * kNsPerMs);
+
+    /// ECEF position (km) of satellite `sat_id` at simulation time `t`.
+    const Vec3& position_ecef(int sat_id, TimeNs t) const;
+
+    /// Uncached exact position (propagate + rotate), for tests.
+    Vec3 position_ecef_exact(int sat_id, TimeNs t) const;
+
+    int num_satellites() const { return static_cast<int>(cache_.size()); }
+    const Constellation& constellation() const { return *constellation_; }
+
+  private:
+    struct CacheEntry {
+        TimeNs bucket_start = -1;
+        Vec3 at_start;
+        Vec3 interpolated;  // value returned for the last query
+        TimeNs last_query = -1;
+        Vec3 at_end;
+    };
+
+    const Constellation* constellation_;
+    TimeNs quantum_;
+    mutable std::vector<CacheEntry> cache_;
+};
+
+}  // namespace hypatia::topo

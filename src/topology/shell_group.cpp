@@ -1,0 +1,67 @@
+#include "src/topology/shell_group.hpp"
+
+#include <stdexcept>
+
+namespace hypatia::topo {
+
+ShellGroup::ShellGroup(const std::vector<ShellParams>& shells,
+                       const orbit::JulianDate& epoch) {
+    if (shells.empty()) throw std::invalid_argument("shell group: no shells");
+    for (const auto& params : shells) {
+        ShellEntry entry;
+        entry.constellation = std::make_unique<Constellation>(params, epoch);
+        entry.mobility = std::make_unique<SatelliteMobility>(*entry.constellation);
+        offsets_.push_back(total_satellites_);
+        total_satellites_ += entry.constellation->num_satellites();
+        shells_.push_back(std::move(entry));
+    }
+    // Intra-shell ISLs only, lifted into the global id space.
+    for (std::size_t si = 0; si < shells_.size(); ++si) {
+        const int off = offsets_[si];
+        for (const auto& isl :
+             build_isls(*shells_[si].constellation, IslPattern::kPlusGrid)) {
+            isls_.push_back({isl.sat_a + off, isl.sat_b + off});
+        }
+    }
+}
+
+int ShellGroup::shell_of(int global_sat_id) const {
+    for (int s = num_shells() - 1; s >= 0; --s) {
+        if (global_sat_id >= offsets_[static_cast<std::size_t>(s)]) return s;
+    }
+    throw std::out_of_range("shell group: bad satellite id");
+}
+
+int ShellGroup::local_id(int global_sat_id) const {
+    return global_sat_id - offsets_[static_cast<std::size_t>(shell_of(global_sat_id))];
+}
+
+const Vec3& ShellGroup::position_ecef(int global_sat_id, TimeNs t) const {
+    const int s = shell_of(global_sat_id);
+    return shells_[static_cast<std::size_t>(s)].mobility->position_ecef(
+        local_id(global_sat_id), t);
+}
+
+std::vector<SkyEntry> ShellGroup::visible_satellites(const orbit::GroundStation& gs,
+                                                     TimeNs t) const {
+    std::vector<SkyEntry> out;
+    for (int s = 0; s < num_shells(); ++s) {
+        auto vis = topo::visible_satellites(gs, *shells_[static_cast<std::size_t>(s)].mobility, t);
+        for (auto& e : vis) {
+            e.sat_id += offsets_[static_cast<std::size_t>(s)];
+            out.push_back(e);
+        }
+    }
+    return out;
+}
+
+bool ShellGroup::has_coverage(const orbit::GroundStation& gs, TimeNs t) const {
+    for (int s = 0; s < num_shells(); ++s) {
+        if (topo::has_coverage(gs, *shells_[static_cast<std::size_t>(s)].mobility, t)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace hypatia::topo

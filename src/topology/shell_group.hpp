@@ -1,0 +1,66 @@
+// Multi-shell constellations: several shells operated as one network
+// (e.g. Kuiper K1+K2+K3, or Starlink's full phase 1). Satellites get a
+// single global id space; ISLs exist within each shell (+Grid), never
+// across shells — cross-shell traffic must pass through the ground, as
+// in all current operator filings. Ground stations may connect to any
+// shell they can see.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/orbit/ground_station.hpp"
+#include "src/topology/constellation.hpp"
+#include "src/topology/isl.hpp"
+#include "src/topology/mobility.hpp"
+#include "src/topology/visibility.hpp"
+
+namespace hypatia::topo {
+
+class ShellGroup {
+  public:
+    ShellGroup(const std::vector<ShellParams>& shells, const orbit::JulianDate& epoch);
+
+    int num_shells() const { return static_cast<int>(shells_.size()); }
+    int num_satellites() const { return total_satellites_; }
+
+    /// Which shell a global satellite id belongs to, and its local id.
+    int shell_of(int global_sat_id) const;
+    int local_id(int global_sat_id) const;
+    int global_id(int shell, int local_sat_id) const {
+        return offsets_[static_cast<std::size_t>(shell)] + local_sat_id;
+    }
+
+    const Constellation& constellation(int shell) const {
+        return *shells_[static_cast<std::size_t>(shell)].constellation;
+    }
+    const SatelliteMobility& mobility(int shell) const {
+        return *shells_[static_cast<std::size_t>(shell)].mobility;
+    }
+
+    /// ECEF position of a global satellite id.
+    const Vec3& position_ecef(int global_sat_id, TimeNs t) const;
+
+    /// All intra-shell +Grid ISLs, in global satellite ids.
+    const std::vector<Isl>& isls() const { return isls_; }
+
+    /// Connectable satellites (global ids) from `gs` across all shells,
+    /// each under its own shell's cone-range rule.
+    std::vector<SkyEntry> visible_satellites(const orbit::GroundStation& gs,
+                                             TimeNs t) const;
+
+    /// True if any shell covers `gs` at `t`.
+    bool has_coverage(const orbit::GroundStation& gs, TimeNs t) const;
+
+  private:
+    struct ShellEntry {
+        std::unique_ptr<Constellation> constellation;
+        std::unique_ptr<SatelliteMobility> mobility;
+    };
+    std::vector<ShellEntry> shells_;
+    std::vector<int> offsets_;  // global id of each shell's satellite 0
+    int total_satellites_ = 0;
+    std::vector<Isl> isls_;
+};
+
+}  // namespace hypatia::topo

@@ -1,0 +1,56 @@
+#include "src/topology/visibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hypatia::topo {
+
+namespace {
+
+std::vector<SkyEntry> scan_sky(const orbit::GroundStation& gs,
+                               const SatelliteMobility& mobility, TimeNs t,
+                               double min_elevation_for_listing) {
+    // Connectability follows Hypatia's cone model: slant range at most
+    // max_gsl_range_km() and the satellite above the horizon.
+    const double max_range = mobility.constellation().params().max_gsl_range_km();
+    std::vector<SkyEntry> out;
+    const int n = mobility.num_satellites();
+    const double alt = mobility.constellation().params().altitude_km;
+    const double horizon_range =
+        std::sqrt(alt * (alt + 2.0 * orbit::Wgs72::kEarthRadiusKm)) + 100.0;
+    for (int sat = 0; sat < n; ++sat) {
+        const Vec3& pos = mobility.position_ecef(sat, t);
+        // Cheap rejection: beyond line-of-sight range it cannot be above
+        // the horizon (the +100 km pad absorbs ellipsoid effects).
+        const double d = gs.ecef().distance_to(pos);
+        if (d > horizon_range) continue;
+        const auto look = orbit::look_angles(gs.geodetic(), gs.ecef(), pos);
+        if (look.elevation_deg < min_elevation_for_listing) continue;
+        out.push_back({sat, look.azimuth_deg, look.elevation_deg, look.range_km,
+                       look.elevation_deg >= 0.0 && look.range_km <= max_range});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SkyEntry& a, const SkyEntry& b) { return a.range_km < b.range_km; });
+    return out;
+}
+
+}  // namespace
+
+std::vector<SkyEntry> visible_satellites(const orbit::GroundStation& gs,
+                                         const SatelliteMobility& mobility, TimeNs t) {
+    auto all = scan_sky(gs, mobility, t, 0.0);
+    std::erase_if(all, [](const SkyEntry& e) { return !e.connectable; });
+    return all;
+}
+
+std::vector<SkyEntry> sky_view(const orbit::GroundStation& gs,
+                               const SatelliteMobility& mobility, TimeNs t) {
+    return scan_sky(gs, mobility, t, 0.0);
+}
+
+bool has_coverage(const orbit::GroundStation& gs, const SatelliteMobility& mobility,
+                  TimeNs t) {
+    return !visible_satellites(gs, mobility, t).empty();
+}
+
+}  // namespace hypatia::topo

@@ -1,0 +1,38 @@
+// GS-satellite visibility: which satellites a ground station can talk to
+// at a given time, under the shell's minimum-elevation-angle constraint
+// (paper Fig. 1). Also provides the ground-observer sky view that drives
+// the Fig. 12 visualization.
+#pragma once
+
+#include <vector>
+
+#include "src/orbit/ground_station.hpp"
+#include "src/topology/mobility.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::topo {
+
+/// One satellite as seen in a ground station's sky.
+struct SkyEntry {
+    int sat_id = 0;
+    double azimuth_deg = 0.0;
+    double elevation_deg = 0.0;
+    double range_km = 0.0;
+    bool connectable = false;  // elevation >= shell minimum
+};
+
+/// Satellites visible (elevation >= min elevation of the shell) from `gs`
+/// at time `t`, with distances. Sorted by ascending range.
+std::vector<SkyEntry> visible_satellites(const orbit::GroundStation& gs,
+                                         const SatelliteMobility& mobility, TimeNs t);
+
+/// Full sky view: every satellite above the horizon (elevation >= 0), with
+/// the `connectable` flag set per the minimum elevation angle.
+std::vector<SkyEntry> sky_view(const orbit::GroundStation& gs,
+                               const SatelliteMobility& mobility, TimeNs t);
+
+/// True if `gs` can connect to at least one satellite at time `t`.
+bool has_coverage(const orbit::GroundStation& gs, const SatelliteMobility& mobility,
+                  TimeNs t);
+
+}  // namespace hypatia::topo

@@ -1,0 +1,26 @@
+#include "src/topology/weather.hpp"
+
+namespace hypatia::topo {
+
+namespace {
+
+/// SplitMix64: a tiny, well-mixed integer hash.
+std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool WeatherModel::raining(int gs_index, TimeNs t) const {
+    const auto cell = static_cast<std::uint64_t>(t / config_.cell_duration);
+    const std::uint64_t h =
+        mix(mix(config_.seed ^ static_cast<std::uint64_t>(gs_index) * 0x51ed270b) ^ cell);
+    // Map to [0, 1) and compare against the rain probability.
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < config_.rain_probability;
+}
+
+}  // namespace hypatia::topo

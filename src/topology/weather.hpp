@@ -1,0 +1,42 @@
+// A simple deterministic weather model (the paper's section 7 extension):
+// rain cells at ground stations shrink the usable GSL cone, because rain
+// fade eats the link budget and forces higher minimum elevations.
+//
+// Time is divided into fixed-length cells; each (ground station, cell)
+// pair is independently "raining" with a configured probability, decided
+// by a seeded hash so runs are reproducible and need no stored schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/units.hpp"
+
+namespace hypatia::topo {
+
+class WeatherModel {
+  public:
+    struct Config {
+        TimeNs cell_duration = 300 * kNsPerSec;  // rain cells last ~5 min
+        double rain_probability = 0.1;           // fraction of cells raining
+        double rain_range_factor = 0.7;          // usable GSL range scale in rain
+        std::uint64_t seed = 1;
+    };
+
+    explicit WeatherModel(const Config& config) : config_(config) {}
+
+    /// True if ground station `gs_index` is inside a rain cell at `t`.
+    bool raining(int gs_index, TimeNs t) const;
+
+    /// Scale factor for the GS's maximum GSL range at `t`
+    /// (1.0 clear sky, rain_range_factor in rain).
+    double gsl_range_factor(int gs_index, TimeNs t) const {
+        return raining(gs_index, t) ? config_.rain_range_factor : 1.0;
+    }
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+}  // namespace hypatia::topo

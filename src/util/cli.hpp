@@ -1,0 +1,29 @@
+// Minimal command-line flag parser shared by the bench binaries and
+// examples: --name value / --name=value / boolean --flag.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hypatia::util {
+
+class Cli {
+  public:
+    Cli(int argc, char** argv);
+
+    bool has(const std::string& name) const;
+    double get_double(const std::string& name, double def) const;
+    long get_long(const std::string& name, long def) const;
+    std::string get_string(const std::string& name, const std::string& def) const;
+    bool get_bool(const std::string& name, bool def = false) const;
+
+    /// Positional (non-flag) arguments, in order.
+    const std::vector<std::string>& positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace hypatia::util

@@ -1,0 +1,38 @@
+#include "src/util/csv.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace hypatia::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+    if (!out_.is_open()) {
+        throw std::runtime_error("CsvWriter: cannot open " + path);
+    }
+    out_.precision(10);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i > 0) out_ << ",";
+        out_ << columns[i];
+    }
+    out_ << "\n";
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) out_ << ",";
+        out_ << values[i];
+    }
+    out_ << "\n";
+}
+
+void CsvWriter::raw_line(const std::string& line) { out_ << line << "\n"; }
+
+std::string output_path(const std::string& dir, const std::string& name) {
+    std::filesystem::create_directories(dir);
+    return (std::filesystem::path(dir) / name).string();
+}
+
+}  // namespace hypatia::util

@@ -1,0 +1,30 @@
+// Tiny CSV / gnuplot-data writer used by benches and the viz exporters.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hypatia::util {
+
+/// Writes rows of doubles/strings to a file, one comma-separated row per
+/// call. Throws std::runtime_error if the file cannot be opened.
+class CsvWriter {
+  public:
+    explicit CsvWriter(const std::string& path);
+
+    void header(const std::vector<std::string>& columns);
+    void row(const std::vector<double>& values);
+    void raw_line(const std::string& line);
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+};
+
+/// Ensures the directory for output artifacts exists and returns `dir/name`.
+std::string output_path(const std::string& dir, const std::string& name);
+
+}  // namespace hypatia::util

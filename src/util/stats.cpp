@@ -1,0 +1,65 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace hypatia::util {
+
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    if (p <= 0.0) return values.front();
+    if (p >= 100.0) return values.back();
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary summarize(std::vector<double> values) {
+    Summary s;
+    s.count = values.size();
+    if (values.empty()) return s;
+    std::sort(values.begin(), values.end());
+    s.min = values.front();
+    s.max = values.back();
+    s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+    auto at = [&](double p) {
+        const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+        const auto lo = static_cast<std::size_t>(std::floor(rank));
+        const auto hi = static_cast<std::size_t>(std::ceil(rank));
+        const double frac = rank - static_cast<double>(lo);
+        return values[lo] * (1.0 - frac) + values[hi] * frac;
+    };
+    s.median = at(50.0);
+    s.p90 = at(90.0);
+    s.p99 = at(99.0);
+    return s;
+}
+
+std::vector<EcdfPoint> ecdf(std::vector<double> values, std::size_t max_points) {
+    std::vector<EcdfPoint> out;
+    if (values.empty()) return out;
+    std::sort(values.begin(), values.end());
+    const auto n = values.size();
+    out.reserve(max_points > 0 ? std::min(n, max_points) : n);
+    std::size_t stride = 1;
+    if (max_points > 0 && n > max_points) stride = (n + max_points - 1) / max_points;
+    for (std::size_t i = 0; i < n; i += stride) {
+        out.push_back({values[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+    }
+    if (out.back().fraction < 1.0) out.push_back({values.back(), 1.0});
+    return out;
+}
+
+std::string ecdf_to_string(const std::vector<EcdfPoint>& points) {
+    std::ostringstream os;
+    for (const auto& p : points) os << p.x << " " << p.fraction << "\n";
+    return os.str();
+}
+
+}  // namespace hypatia::util

@@ -1,0 +1,64 @@
+// Small statistics helpers: percentiles, ECDF extraction, running summaries.
+// Used by the path analytics and by every bench that prints a CDF from the
+// paper (Figs 6-9).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hypatia::util {
+
+/// Summary statistics over a sample set.
+struct Summary {
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double median = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+/// Computes the p-th percentile (0 <= p <= 100) by linear interpolation
+/// between closest ranks. Returns 0 for an empty sample.
+double percentile(std::vector<double> values, double p);
+
+/// Computes the full summary in one pass over a copy of `values`.
+Summary summarize(std::vector<double> values);
+
+/// One (x, F(x)) point of an empirical CDF.
+struct EcdfPoint {
+    double x;
+    double fraction;  // in (0, 1]
+};
+
+/// Builds the empirical CDF of `values` (sorted ascending, cumulative
+/// fractions). `max_points` > 0 thins the curve for printing.
+std::vector<EcdfPoint> ecdf(std::vector<double> values, std::size_t max_points = 0);
+
+/// Renders an ECDF as gnuplot-style two-column text.
+std::string ecdf_to_string(const std::vector<EcdfPoint>& points);
+
+/// Incremental mean/min/max accumulator (no storage of samples).
+class RunningStats {
+  public:
+    void add(double v) {
+        if (count_ == 0 || v < min_) min_ = v;
+        if (count_ == 0 || v > max_) max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+    std::size_t count() const { return count_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  private:
+    std::size_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+}  // namespace hypatia::util

@@ -1,0 +1,20 @@
+// Shared scalar unit types and conversions. Simulation time is integer
+// nanoseconds (like ns-3) so event ordering is exact; rates are bits/s.
+#pragma once
+
+#include <cstdint>
+
+namespace hypatia {
+
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNsPerSec = 1'000'000'000LL;
+constexpr TimeNs kNsPerMs = 1'000'000LL;
+constexpr TimeNs kNsPerUs = 1'000LL;
+
+constexpr TimeNs seconds_to_ns(double s) { return static_cast<TimeNs>(s * 1e9); }
+constexpr TimeNs ms_to_ns(double ms) { return static_cast<TimeNs>(ms * 1e6); }
+constexpr double ns_to_seconds(TimeNs t) { return static_cast<double>(t) / 1e9; }
+constexpr double ns_to_ms(TimeNs t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace hypatia

@@ -1,0 +1,44 @@
+// Minimal 3-vector used throughout the orbital and topology code.
+// Units are whatever the call site says (we consistently use kilometres).
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace hypatia {
+
+struct Vec3 {
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3& operator+=(const Vec3& o) {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+    constexpr Vec3 cross(const Vec3& o) const {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    double norm() const { return std::sqrt(dot(*this)); }
+    Vec3 normalized() const {
+        const double n = norm();
+        return n > 0.0 ? *this / n : Vec3{};
+    }
+    double distance_to(const Vec3& o) const { return (*this - o).norm(); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace hypatia

@@ -1,0 +1,57 @@
+#include "src/viz/ground_view.hpp"
+
+#include <sstream>
+
+namespace hypatia::viz {
+
+std::vector<GroundViewFrame> ground_view_series(const orbit::GroundStation& gs,
+                                                const topo::SatelliteMobility& mobility,
+                                                TimeNs t0, TimeNs t1, TimeNs step) {
+    std::vector<GroundViewFrame> frames;
+    for (TimeNs t = t0; t < t1; t += step) {
+        GroundViewFrame f;
+        f.t = t;
+        f.sky = topo::sky_view(gs, mobility, t);
+        f.connectable = false;
+        for (const auto& e : f.sky) {
+            if (e.connectable) {
+                f.connectable = true;
+                break;
+            }
+        }
+        frames.push_back(std::move(f));
+    }
+    return frames;
+}
+
+std::string ground_view_to_csv(const std::vector<GroundViewFrame>& frames) {
+    std::ostringstream os;
+    os << "t_s,sat_id,azimuth_deg,elevation_deg,range_km,connectable\n";
+    os.precision(6);
+    for (const auto& f : frames) {
+        for (const auto& e : f.sky) {
+            os << ns_to_seconds(f.t) << "," << e.sat_id << "," << e.azimuth_deg << ","
+               << e.elevation_deg << "," << e.range_km << "," << (e.connectable ? 1 : 0)
+               << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string ascii_sky_chart(const GroundViewFrame& frame, int width, int height) {
+    std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), '.'));
+    for (const auto& e : frame.sky) {
+        const int col = std::min(width - 1, static_cast<int>(e.azimuth_deg / 360.0 * width));
+        const int row =
+            std::min(height - 1, static_cast<int>((90.0 - e.elevation_deg) / 90.0 * height));
+        grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+            e.connectable ? 'O' : 'x';
+    }
+    std::ostringstream os;
+    os << "elevation 90 deg (top) to 0 deg (bottom); azimuth 0..360 deg left to right\n";
+    for (const auto& row : grid) os << row << "\n";
+    return os.str();
+}
+
+}  // namespace hypatia::viz

@@ -1,0 +1,34 @@
+// Ground-observer view — the paper's Fig 12: the sky as seen from a
+// ground station, azimuth on x (0 = North, 90 = East), elevation on y,
+// with satellites below the minimum connectable criterion shaded.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/orbit/ground_station.hpp"
+#include "src/topology/visibility.hpp"
+
+namespace hypatia::viz {
+
+struct GroundViewFrame {
+    TimeNs t;
+    std::vector<topo::SkyEntry> sky;  // everything above the horizon
+    bool connectable;                 // any satellite connectable?
+};
+
+/// Samples the observer's sky over a window.
+std::vector<GroundViewFrame> ground_view_series(const orbit::GroundStation& gs,
+                                                const topo::SatelliteMobility& mobility,
+                                                TimeNs t0, TimeNs t1, TimeNs step);
+
+/// CSV rows: t_s, sat_id, azimuth_deg, elevation_deg, range_km,
+/// connectable. For gnuplot-style reproduction of Fig 12.
+std::string ground_view_to_csv(const std::vector<GroundViewFrame>& frames);
+
+/// An ASCII sky chart of one frame (azimuth columns, elevation rows;
+/// 'O' = connectable satellite, 'x' = visible but below the minimum).
+std::string ascii_sky_chart(const GroundViewFrame& frame, int width = 72,
+                            int height = 18);
+
+}  // namespace hypatia::viz

@@ -1,0 +1,66 @@
+#include "src/viz/path_export.hpp"
+
+#include <sstream>
+
+#include "src/orbit/coords.hpp"
+
+namespace hypatia::viz {
+
+std::vector<PathNode> resolve_path(const std::vector<int>& path,
+                                   const topo::SatelliteMobility& mobility,
+                                   const std::vector<orbit::GroundStation>& gses,
+                                   TimeNs t) {
+    std::vector<PathNode> out;
+    out.reserve(path.size());
+    const int num_sats = mobility.num_satellites();
+    for (int node : path) {
+        PathNode pn;
+        pn.node = node;
+        if (node >= num_sats) {
+            const auto& gs = gses[static_cast<std::size_t>(node - num_sats)];
+            pn.is_gs = true;
+            pn.label = gs.name();
+            pn.latitude_deg = gs.geodetic().latitude_deg;
+            pn.longitude_deg = gs.geodetic().longitude_deg;
+            pn.altitude_km = gs.geodetic().altitude_km;
+        } else {
+            const auto geo = orbit::ecef_to_geodetic(mobility.position_ecef(node, t));
+            pn.is_gs = false;
+            pn.label = "sat-" + std::to_string(node);
+            pn.latitude_deg = geo.latitude_deg;
+            pn.longitude_deg = geo.longitude_deg;
+            pn.altitude_km = geo.altitude_km;
+        }
+        out.push_back(std::move(pn));
+    }
+    return out;
+}
+
+std::string path_to_json(const std::vector<PathNode>& nodes, TimeNs t, double rtt_ms) {
+    std::ostringstream os;
+    os.precision(6);
+    os << "{\"t_s\":" << ns_to_seconds(t) << ",\"rtt_ms\":" << rtt_ms << ",\"nodes\":[";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const auto& n = nodes[i];
+        if (i > 0) os << ",";
+        os << "{\"label\":\"" << n.label << "\",\"is_gs\":" << (n.is_gs ? "true" : "false")
+           << ",\"lat\":" << n.latitude_deg << ",\"lon\":" << n.longitude_deg
+           << ",\"alt_km\":" << n.altitude_km << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string path_to_string(const std::vector<PathNode>& nodes) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (i > 0) os << " -> ";
+        os << nodes[i].label;
+    }
+    if (nodes.size() >= 2) {
+        os << " (" << nodes.size() - 2 << " satellite hops)";
+    }
+    return os.str();
+}
+
+}  // namespace hypatia::viz

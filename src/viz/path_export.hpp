@@ -1,0 +1,36 @@
+// End-end path export — the paper's Fig 13 (shortest path changing over
+// time) and Figs 16/17 (ISL vs bent-pipe paths): node sequences with
+// geodetic coordinates, as JSON and human-readable text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/orbit/ground_station.hpp"
+#include "src/topology/mobility.hpp"
+
+namespace hypatia::viz {
+
+struct PathNode {
+    int node = 0;       // graph node id
+    bool is_gs = false;
+    std::string label;  // GS name or "sat-<id>"
+    double latitude_deg = 0.0;
+    double longitude_deg = 0.0;
+    double altitude_km = 0.0;
+};
+
+/// Resolves a node-id path into labelled geodetic waypoints at orbital
+/// time `t`. GS node ids start at mobility.num_satellites().
+std::vector<PathNode> resolve_path(const std::vector<int>& path,
+                                   const topo::SatelliteMobility& mobility,
+                                   const std::vector<orbit::GroundStation>& gses,
+                                   TimeNs t);
+
+/// JSON: {"t": ..., "rtt_ms": ..., "nodes": [{...}]}.
+std::string path_to_json(const std::vector<PathNode>& nodes, TimeNs t, double rtt_ms);
+
+/// One-line rendering: "Paris -> sat-42 -> sat-77 -> Luanda (9 hops)".
+std::string path_to_string(const std::vector<PathNode>& nodes);
+
+}  // namespace hypatia::viz

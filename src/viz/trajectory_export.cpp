@@ -1,0 +1,66 @@
+#include "src/viz/trajectory_export.hpp"
+
+#include <sstream>
+
+#include "src/orbit/coords.hpp"
+
+namespace hypatia::viz {
+
+std::vector<std::vector<TrackPoint>> sample_tracks(const topo::SatelliteMobility& mobility,
+                                                   TimeNs t0, TimeNs t1, TimeNs step) {
+    std::vector<std::vector<TrackPoint>> tracks(
+        static_cast<std::size_t>(mobility.num_satellites()));
+    for (int sat = 0; sat < mobility.num_satellites(); ++sat) {
+        auto& track = tracks[static_cast<std::size_t>(sat)];
+        for (TimeNs t = t0; t < t1; t += step) {
+            const auto geo = orbit::ecef_to_geodetic(mobility.position_ecef(sat, t));
+            track.push_back({t, geo.latitude_deg, geo.longitude_deg, geo.altitude_km});
+        }
+    }
+    return tracks;
+}
+
+std::string tracks_to_json(const std::string& constellation_name,
+                           const std::vector<std::vector<TrackPoint>>& tracks) {
+    std::ostringstream os;
+    os.precision(6);
+    os << "{\"constellation\":\"" << constellation_name << "\",\"satellites\":[";
+    for (std::size_t sat = 0; sat < tracks.size(); ++sat) {
+        if (sat > 0) os << ",";
+        os << "{\"id\":" << sat << ",\"positions\":[";
+        for (std::size_t i = 0; i < tracks[sat].size(); ++i) {
+            const auto& p = tracks[sat][i];
+            if (i > 0) os << ",";
+            os << "[" << ns_to_seconds(p.t) << "," << p.latitude_deg << ","
+               << p.longitude_deg << "," << p.altitude_km << "]";
+        }
+        os << "]}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::vector<TrackPoint> snapshot(const topo::SatelliteMobility& mobility, TimeNs t) {
+    std::vector<TrackPoint> out;
+    out.reserve(static_cast<std::size_t>(mobility.num_satellites()));
+    for (int sat = 0; sat < mobility.num_satellites(); ++sat) {
+        const auto geo = orbit::ecef_to_geodetic(mobility.position_ecef(sat, t));
+        out.push_back({t, geo.latitude_deg, geo.longitude_deg, geo.altitude_km});
+    }
+    return out;
+}
+
+std::vector<double> latitude_density(const topo::SatelliteMobility& mobility, TimeNs t) {
+    std::vector<double> bands(18, 0.0);
+    const auto snap = snapshot(mobility, t);
+    for (const auto& p : snap) {
+        int band = static_cast<int>((p.latitude_deg + 90.0) / 10.0);
+        if (band < 0) band = 0;
+        if (band > 17) band = 17;
+        bands[static_cast<std::size_t>(band)] += 1.0;
+    }
+    for (auto& b : bands) b /= static_cast<double>(snap.size());
+    return bands;
+}
+
+}  // namespace hypatia::viz

@@ -1,0 +1,41 @@
+// Trajectory export — the data behind the paper's Fig 11 (constellation
+// snapshots) and the online Cesium visualization. Emits CZML-like JSON
+// (one document per export) with per-satellite position series, plus a
+// coverage-by-latitude summary used by the Fig 11 bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/topology/mobility.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::viz {
+
+/// One satellite's ground-track samples.
+struct TrackPoint {
+    TimeNs t;
+    double latitude_deg;
+    double longitude_deg;
+    double altitude_km;
+};
+
+/// Samples every satellite's geodetic position over [t0, t1).
+std::vector<std::vector<TrackPoint>> sample_tracks(const topo::SatelliteMobility& mobility,
+                                                   TimeNs t0, TimeNs t1, TimeNs step);
+
+/// CZML-like JSON document with all satellite tracks ("id", "positions":
+/// [[t_s, lat, lon, alt_km], ...]). Loadable by the Cesium glue the
+/// original project ships, or by any JSON consumer.
+std::string tracks_to_json(const std::string& constellation_name,
+                           const std::vector<std::vector<TrackPoint>>& tracks);
+
+/// Instantaneous snapshot: one (lat, lon) per satellite (Fig 11's dots).
+std::vector<TrackPoint> snapshot(const topo::SatelliteMobility& mobility, TimeNs t);
+
+/// Fraction of satellites within each 10-degree latitude band at time t;
+/// index 0 = [-90, -80), ..., 17 = [80, 90]. Quantifies Fig 11's visual:
+/// polar (Telesat) vs low-inclination (Kuiper/Starlink) density.
+std::vector<double> latitude_density(const topo::SatelliteMobility& mobility, TimeNs t);
+
+}  // namespace hypatia::viz

@@ -1,0 +1,71 @@
+#include "src/viz/utilization_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/orbit/coords.hpp"
+
+namespace hypatia::viz {
+
+std::vector<IslUtilization> isl_utilization_map(core::LeoNetwork& leo,
+                                                const core::UtilizationSampler& sampler,
+                                                std::size_t bin) {
+    // Aggregate the two directions of each ISL.
+    std::unordered_map<std::uint64_t, double> max_util;
+    const auto& devices = leo.network().devices();
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        const auto& dev = *devices[d];
+        if (dev.is_gsl()) continue;
+        const int a = std::min(dev.owner_node(), dev.fixed_peer());
+        const int b = std::max(dev.owner_node(), dev.fixed_peer());
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint32_t>(b);
+        const double u = sampler.utilization(d, bin);
+        auto [it, inserted] = max_util.try_emplace(key, u);
+        if (!inserted) it->second = std::max(it->second, u);
+    }
+
+    const TimeNs t = leo.orbit_time(static_cast<TimeNs>(bin) * sampler.bin_width());
+    std::vector<IslUtilization> out;
+    out.reserve(max_util.size());
+    for (const auto& [key, util] : max_util) {
+        if (util <= 0.0) continue;  // Fig 15 excludes traffic-free ISLs
+        IslUtilization iu;
+        iu.sat_a = static_cast<int>(key >> 32);
+        iu.sat_b = static_cast<int>(key & 0xffffffffu);
+        const auto geo_a =
+            orbit::ecef_to_geodetic(leo.mobility().position_ecef(iu.sat_a, t));
+        const auto geo_b =
+            orbit::ecef_to_geodetic(leo.mobility().position_ecef(iu.sat_b, t));
+        iu.lat_a = geo_a.latitude_deg;
+        iu.lon_a = geo_a.longitude_deg;
+        iu.lat_b = geo_b.latitude_deg;
+        iu.lon_b = geo_b.longitude_deg;
+        iu.utilization = util;
+        out.push_back(iu);
+    }
+    return out;
+}
+
+std::vector<IslUtilization> top_bottlenecks(std::vector<IslUtilization> map,
+                                            std::size_t count) {
+    std::sort(map.begin(), map.end(), [](const IslUtilization& a, const IslUtilization& b) {
+        return a.utilization > b.utilization;
+    });
+    if (map.size() > count) map.resize(count);
+    return map;
+}
+
+std::string utilization_to_csv(const std::vector<IslUtilization>& map) {
+    std::ostringstream os;
+    os << "sat_a,sat_b,lat_a,lon_a,lat_b,lon_b,utilization\n";
+    os.precision(6);
+    for (const auto& iu : map) {
+        os << iu.sat_a << "," << iu.sat_b << "," << iu.lat_a << "," << iu.lon_a << ","
+           << iu.lat_b << "," << iu.lon_b << "," << iu.utilization << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace hypatia::viz

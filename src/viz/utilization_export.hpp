@@ -1,0 +1,35 @@
+// Link-utilization export — the paper's Figs 14/15: per-ISL utilization
+// with satellite coordinates so a renderer can draw thick/warm lines for
+// congested links. Also identifies the network-wide bottleneck ISLs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/leo_network.hpp"
+#include "src/core/metrics.hpp"
+
+namespace hypatia::viz {
+
+struct IslUtilization {
+    int sat_a = 0;
+    int sat_b = 0;
+    double lat_a = 0.0, lon_a = 0.0;
+    double lat_b = 0.0, lon_b = 0.0;
+    double utilization = 0.0;  // max of both directions, in [0, 1]
+};
+
+/// Utilization of every ISL during time bin `bin` (positions at the bin's
+/// start). ISLs with zero traffic are excluded (as in Fig 15).
+std::vector<IslUtilization> isl_utilization_map(core::LeoNetwork& leo,
+                                                const core::UtilizationSampler& sampler,
+                                                std::size_t bin);
+
+/// Top `count` most-utilized ISLs (the constellation's bottlenecks).
+std::vector<IslUtilization> top_bottlenecks(std::vector<IslUtilization> map,
+                                            std::size_t count);
+
+/// CSV rows: sat_a,sat_b,lat_a,lon_a,lat_b,lon_b,utilization.
+std::string utilization_to_csv(const std::vector<IslUtilization>& map);
+
+}  // namespace hypatia::viz

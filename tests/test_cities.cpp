@@ -1,0 +1,68 @@
+#include "src/topology/cities.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace hypatia::topo {
+namespace {
+
+TEST(Cities, ExactlyOneHundred) { EXPECT_EQ(top100_cities().size(), 100u); }
+
+TEST(Cities, IdsAreRankOrder) {
+    const auto cities = top100_cities();
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(cities[static_cast<std::size_t>(i)].id(), i);
+}
+
+TEST(Cities, NamesUnique) {
+    std::set<std::string> names;
+    for (const auto& c : top100_cities()) {
+        EXPECT_TRUE(names.insert(c.name()).second) << c.name();
+    }
+}
+
+TEST(Cities, CoordinatesInRange) {
+    for (const auto& c : top100_cities()) {
+        EXPECT_GE(c.geodetic().latitude_deg, -90.0);
+        EXPECT_LE(c.geodetic().latitude_deg, 90.0);
+        EXPECT_GE(c.geodetic().longitude_deg, -180.0);
+        EXPECT_LE(c.geodetic().longitude_deg, 180.0);
+    }
+}
+
+TEST(Cities, PaperPairsArePresent) {
+    // Every city named in the paper's experiments must exist.
+    for (const char* name :
+         {"Rio de Janeiro", "Saint Petersburg", "Manila", "Dalian", "Istanbul",
+          "Nairobi", "Paris", "Luanda", "Chicago", "Zhengzhou", "Moscow"}) {
+        EXPECT_NO_THROW(city_by_name(name)) << name;
+    }
+}
+
+TEST(Cities, LookupPreservesRankId) {
+    const auto sp = city_by_name("Saint Petersburg");
+    EXPECT_EQ(sp.id(), city_index("Saint Petersburg"));
+    EXPECT_EQ(top100_cities()[static_cast<std::size_t>(sp.id())].name(),
+              "Saint Petersburg");
+}
+
+TEST(Cities, UnknownCityThrows) {
+    EXPECT_THROW(city_by_name("Atlantis"), std::out_of_range);
+}
+
+TEST(Cities, SaintPetersburgIsHighLatitude) {
+    // The paper's disconnection result hinges on St. Petersburg being near
+    // Kuiper's coverage edge (~60 N vs 51.9 deg inclination).
+    EXPECT_GT(city_by_name("Saint Petersburg").geodetic().latitude_deg, 59.0);
+}
+
+TEST(Cities, EcefOnEllipsoidSurface) {
+    for (const auto& c : top100_cities()) {
+        const double r = c.ecef().norm();
+        EXPECT_GT(r, 6330.0);
+        EXPECT_LT(r, 6385.0);
+    }
+}
+
+}  // namespace
+}  // namespace hypatia::topo

@@ -1,0 +1,53 @@
+#include "src/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypatia::util {
+namespace {
+
+Cli make_cli(std::vector<std::string> args) {
+    static std::vector<std::string> storage;
+    storage = std::move(args);
+    storage.insert(storage.begin(), "prog");
+    std::vector<char*> argv;
+    for (auto& s : storage) argv.push_back(s.data());
+    return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+    const auto cli = make_cli({"--duration-s", "123"});
+    EXPECT_EQ(cli.get_long("duration-s", 0), 123);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+    const auto cli = make_cli({"--rate=5.5"});
+    EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 5.5);
+}
+
+TEST(Cli, BooleanFlag) {
+    const auto cli = make_cli({"--paper"});
+    EXPECT_TRUE(cli.get_bool("paper"));
+    EXPECT_FALSE(cli.get_bool("absent"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+    const auto cli = make_cli({});
+    EXPECT_EQ(cli.get_string("name", "fallback"), "fallback");
+    EXPECT_EQ(cli.get_long("n", 7), 7);
+}
+
+TEST(Cli, PositionalArguments) {
+    const auto cli = make_cli({"first", "--flag", "v", "second"});
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "first");
+    EXPECT_EQ(cli.positional()[1], "second");
+}
+
+TEST(Cli, BooleanFollowedByFlag) {
+    const auto cli = make_cli({"--verbose", "--n", "3"});
+    EXPECT_TRUE(cli.get_bool("verbose"));
+    EXPECT_EQ(cli.get_long("n", 0), 3);
+}
+
+}  // namespace
+}  // namespace hypatia::util

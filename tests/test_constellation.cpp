@@ -1,0 +1,119 @@
+#include "src/topology/constellation.hpp"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace hypatia::topo {
+namespace {
+
+TEST(Table1, AllTenShellsPresent) {
+    const auto& shells = table1_shells();
+    ASSERT_EQ(shells.size(), 10u);
+    int starlink_total = 0, kuiper_total = 0, telesat_total = 0;
+    for (const auto& s : shells) {
+        if (s.name.rfind("starlink", 0) == 0) starlink_total += s.num_satellites();
+        if (s.name.rfind("kuiper", 0) == 0) kuiper_total += s.num_satellites();
+        if (s.name.rfind("telesat", 0) == 0) telesat_total += s.num_satellites();
+    }
+    // Paper: Starlink phase 1 = 4,409 sats; Kuiper = 3,236; Telesat = 1,671.
+    EXPECT_EQ(starlink_total, 4409);
+    EXPECT_EQ(kuiper_total, 3236);
+    EXPECT_EQ(telesat_total, 1671);
+}
+
+TEST(Table1, FirstShellParametersMatchPaper) {
+    const auto& s1 = shell_by_name("starlink_s1");
+    EXPECT_EQ(s1.num_orbits, 72);
+    EXPECT_EQ(s1.sats_per_orbit, 22);
+    EXPECT_DOUBLE_EQ(s1.altitude_km, 550.0);
+    EXPECT_DOUBLE_EQ(s1.inclination_deg, 53.0);
+    EXPECT_DOUBLE_EQ(s1.min_elevation_deg, 25.0);
+
+    const auto& k1 = shell_by_name("kuiper_k1");
+    EXPECT_EQ(k1.num_orbits, 34);
+    EXPECT_EQ(k1.sats_per_orbit, 34);
+    EXPECT_DOUBLE_EQ(k1.altitude_km, 630.0);
+    EXPECT_DOUBLE_EQ(k1.inclination_deg, 51.9);
+    EXPECT_DOUBLE_EQ(k1.min_elevation_deg, 30.0);
+
+    const auto& t1 = shell_by_name("telesat_t1");
+    EXPECT_EQ(t1.num_orbits, 27);
+    EXPECT_EQ(t1.sats_per_orbit, 13);
+    EXPECT_DOUBLE_EQ(t1.altitude_km, 1015.0);
+    EXPECT_DOUBLE_EQ(t1.inclination_deg, 98.98);
+    EXPECT_DOUBLE_EQ(t1.min_elevation_deg, 10.0);
+}
+
+TEST(Table1, UnknownShellThrows) {
+    EXPECT_THROW(shell_by_name("oneweb"), std::out_of_range);
+}
+
+TEST(Constellation, BuildsAllSatellites) {
+    const Constellation c(shell_by_name("telesat_t1"), default_epoch());
+    EXPECT_EQ(c.num_satellites(), 27 * 13);
+}
+
+TEST(Constellation, GridIdsAreDense) {
+    const Constellation c(shell_by_name("telesat_t1"), default_epoch());
+    std::set<int> ids;
+    for (int o = 0; o < 27; ++o) {
+        for (int s = 0; s < 13; ++s) ids.insert(c.sat_id(o, s));
+    }
+    EXPECT_EQ(ids.size(), static_cast<std::size_t>(c.num_satellites()));
+    EXPECT_EQ(*ids.begin(), 0);
+    EXPECT_EQ(*ids.rbegin(), c.num_satellites() - 1);
+}
+
+TEST(Constellation, RaansSpreadUniformly) {
+    const Constellation c(shell_by_name("telesat_t1"), default_epoch());
+    for (int o = 0; o < 27; ++o) {
+        const auto& sat = c.satellite(c.sat_id(o, 0));
+        EXPECT_NEAR(sat.kepler.raan_deg, o * 360.0 / 27.0, 1e-9);
+    }
+}
+
+TEST(Constellation, MeanAnomaliesUniformWithinOrbit) {
+    const Constellation c(shell_by_name("telesat_t1"), default_epoch());
+    for (int s = 0; s < 13; ++s) {
+        const auto& sat = c.satellite(c.sat_id(0, s));
+        EXPECT_NEAR(sat.kepler.mean_anomaly_deg, s * 360.0 / 13.0, 1e-9);
+    }
+}
+
+TEST(Constellation, PhasingStaggersAdjacentPlanes) {
+    ShellParams p{"mini", 550.0, 4, 8, 53.0, 25.0, 0.5};
+    const Constellation c(p, default_epoch());
+    // Odd planes are offset by half an in-orbit slot (checkerboard).
+    const double expected_offset = 0.5 * 360.0 / 8;
+    const double ma0 = c.satellite(c.sat_id(0, 0)).kepler.mean_anomaly_deg;
+    const double ma1 = c.satellite(c.sat_id(1, 0)).kepler.mean_anomaly_deg;
+    EXPECT_NEAR(ma1 - ma0, expected_offset, 1e-9);
+}
+
+TEST(Constellation, TlesGeneratedPerSatellite) {
+    ShellParams p{"mini", 550.0, 3, 4, 53.0, 25.0, 1.0};
+    const Constellation c(p, default_epoch());
+    for (const auto& sat : c.satellites()) {
+        EXPECT_EQ(sat.tle.line1().size(), 69u);
+        EXPECT_EQ(sat.tle.satellite_number, sat.id + 1);
+    }
+}
+
+TEST(Constellation, RejectsDegenerateParameters) {
+    ShellParams p{"bad", 550.0, 0, 10, 53.0, 25.0, 1.0};
+    EXPECT_THROW(Constellation(p, default_epoch()), std::invalid_argument);
+}
+
+TEST(Constellation, SatellitesStartAtNominalAltitude) {
+    ShellParams p{"mini", 630.0, 3, 5, 51.9, 30.0, 1.0};
+    const Constellation c(p, default_epoch());
+    for (const auto& sat : c.satellites()) {
+        const auto sv = sat.sgp4->propagate_minutes(0.0);
+        EXPECT_NEAR(sv.position_km.norm() - orbit::Wgs72::kEarthRadiusKm, 630.0, 15.0);
+    }
+}
+
+}  // namespace
+}  // namespace hypatia::topo

@@ -1,0 +1,113 @@
+#include "src/orbit/coords.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hypatia::orbit {
+namespace {
+
+TEST(GeodeticToEcef, EquatorPrimeMeridian) {
+    const Vec3 p = geodetic_to_ecef({0.0, 0.0, 0.0});
+    EXPECT_NEAR(p.x, Wgs72::kEarthRadiusKm, 1e-6);
+    EXPECT_NEAR(p.y, 0.0, 1e-9);
+    EXPECT_NEAR(p.z, 0.0, 1e-9);
+}
+
+TEST(GeodeticToEcef, NorthPoleUsesPolarRadius) {
+    const Vec3 p = geodetic_to_ecef({90.0, 0.0, 0.0});
+    const double polar_radius = Wgs72::kEarthRadiusKm * (1.0 - Wgs72::kFlattening);
+    EXPECT_NEAR(p.z, polar_radius, 1e-6);
+    EXPECT_NEAR(std::hypot(p.x, p.y), 0.0, 1e-6);
+}
+
+TEST(GeodeticToEcef, EastLongitudePositiveY) {
+    const Vec3 p = geodetic_to_ecef({0.0, 90.0, 0.0});
+    EXPECT_NEAR(p.y, Wgs72::kEarthRadiusKm, 1e-6);
+    EXPECT_NEAR(p.x, 0.0, 1e-6);
+}
+
+TEST(EcefToGeodetic, RoundTripsManyPoints) {
+    for (double lat = -85.0; lat <= 85.0; lat += 17.0) {
+        for (double lon = -170.0; lon <= 170.0; lon += 35.0) {
+            for (double alt : {0.0, 1.2, 550.0}) {
+                const Geodetic g{lat, lon, alt};
+                const Geodetic back = ecef_to_geodetic(geodetic_to_ecef(g));
+                EXPECT_NEAR(back.latitude_deg, lat, 1e-8) << lat << "," << lon;
+                EXPECT_NEAR(back.longitude_deg, lon, 1e-8);
+                EXPECT_NEAR(back.altitude_km, alt, 1e-7);
+            }
+        }
+    }
+}
+
+TEST(TemeToEcef, PureRotationPreservesNorm) {
+    const Vec3 teme{4000.0, 3000.0, 2000.0};
+    const auto jd = julian_date_from_utc(2000, 1, 1, 6, 0, 0.0);
+    const Vec3 ecef = teme_to_ecef(teme, jd);
+    EXPECT_NEAR(ecef.norm(), teme.norm(), 1e-9);
+    EXPECT_NEAR(ecef.z, teme.z, 1e-12);  // rotation about the z axis
+}
+
+TEST(LookAngles, SatelliteDirectlyOverheadIsZenith) {
+    const Geodetic obs_geo{45.0, 10.0, 0.0};
+    const Vec3 obs = geodetic_to_ecef(obs_geo);
+    const Vec3 target = geodetic_to_ecef({45.0, 10.0, 550.0});
+    const auto look = look_angles(obs_geo, obs, target);
+    EXPECT_NEAR(look.elevation_deg, 90.0, 0.05);
+    EXPECT_NEAR(look.range_km, 550.0, 1.0);
+}
+
+TEST(LookAngles, TargetDueNorthHasZeroAzimuth) {
+    const Geodetic obs_geo{0.0, 0.0, 0.0};
+    const Vec3 obs = geodetic_to_ecef(obs_geo);
+    const Vec3 target = geodetic_to_ecef({5.0, 0.0, 550.0});
+    const auto look = look_angles(obs_geo, obs, target);
+    EXPECT_NEAR(look.azimuth_deg, 0.0, 0.5);
+    EXPECT_GT(look.elevation_deg, 0.0);
+}
+
+TEST(LookAngles, TargetDueEastHasAzimuth90) {
+    const Geodetic obs_geo{0.0, 0.0, 0.0};
+    const Vec3 obs = geodetic_to_ecef(obs_geo);
+    const Vec3 target = geodetic_to_ecef({0.0, 5.0, 550.0});
+    const auto look = look_angles(obs_geo, obs, target);
+    EXPECT_NEAR(look.azimuth_deg, 90.0, 0.5);
+}
+
+TEST(LookAngles, AntipodalTargetBelowHorizon) {
+    const Geodetic obs_geo{0.0, 0.0, 0.0};
+    const Vec3 obs = geodetic_to_ecef(obs_geo);
+    const Vec3 target = geodetic_to_ecef({0.0, 180.0, 550.0});
+    const auto look = look_angles(obs_geo, obs, target);
+    EXPECT_LT(look.elevation_deg, 0.0);
+}
+
+TEST(GreatCircle, KnownDistanceLondonNewYork) {
+    // ~5570 km commonly quoted.
+    const Geodetic london{51.5074, -0.1278, 0.0};
+    const Geodetic new_york{40.7128, -74.0060, 0.0};
+    const double d = great_circle_distance_km(london, new_york);
+    EXPECT_NEAR(d, 5570.0, 60.0);
+}
+
+TEST(GreatCircle, ZeroForSamePoint) {
+    const Geodetic p{10.0, 20.0, 0.0};
+    EXPECT_NEAR(great_circle_distance_km(p, p), 0.0, 1e-9);
+}
+
+TEST(GreatCircle, SymmetricInArguments) {
+    const Geodetic a{35.6762, 139.6503, 0.0};
+    const Geodetic b{-33.8688, 151.2093, 0.0};
+    EXPECT_DOUBLE_EQ(great_circle_distance_km(a, b), great_circle_distance_km(b, a));
+}
+
+TEST(GeodesicRtt, MatchesDistanceOverC) {
+    const Geodetic a{0.0, 0.0, 0.0};
+    const Geodetic b{0.0, 90.0, 0.0};
+    const double d = great_circle_distance_km(a, b);
+    EXPECT_NEAR(geodesic_rtt_s(a, b), 2.0 * d / kSpeedOfLightKmPerS, 1e-12);
+}
+
+}  // namespace
+}  // namespace hypatia::orbit

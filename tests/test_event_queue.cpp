@@ -1,0 +1,101 @@
+#include "src/sim/event_queue.hpp"
+#include "src/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypatia::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.push(30, [&] { order.push_back(3); });
+    q.push(10, [&] { order.push_back(1); });
+    q.push(20, [&] { order.push_back(2); });
+    while (!q.empty()) q.pop()();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) q.push(5, [&order, i] { order.push_back(i); });
+    while (!q.empty()) q.pop()();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ReportsNextTime) {
+    EventQueue q;
+    q.push(42, [] {});
+    EXPECT_EQ(q.next_time(), 42);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+    Simulator sim;
+    TimeNs seen = -1;
+    sim.schedule_at(100, [&] { seen = sim.now(); });
+    sim.run_until(1000);
+    EXPECT_EQ(seen, 100);
+    EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+    Simulator sim;
+    std::vector<TimeNs> times;
+    sim.schedule_at(50, [&] {
+        times.push_back(sim.now());
+        sim.schedule_in(25, [&] { times.push_back(sim.now()); });
+    });
+    sim.run_until(1000);
+    EXPECT_EQ(times, (std::vector<TimeNs>{50, 75}));
+}
+
+TEST(Simulator, EventsPastHorizonNotRun) {
+    Simulator sim;
+    bool ran = false;
+    sim.schedule_at(200, [&] { ran = true; });
+    sim.run_until(199);
+    EXPECT_FALSE(ran);
+    sim.run_until(200);
+    EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, EventAtExactHorizonRuns) {
+    Simulator sim;
+    bool ran = false;
+    sim.schedule_at(300, [&] { ran = true; });
+    sim.run_until(300);
+    EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+    Simulator sim;
+    sim.schedule_at(100, [&] {
+        EXPECT_THROW(sim.schedule_at(50, [] {}), std::invalid_argument);
+    });
+    sim.run_until(200);
+    EXPECT_THROW(sim.schedule_in(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, StopHaltsExecution) {
+    Simulator sim;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i) {
+        sim.schedule_at(i, [&] {
+            if (++count == 3) sim.stop();
+        });
+    }
+    sim.run_until(100);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+    Simulator sim;
+    for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+    EXPECT_EQ(sim.run_until(10), 5u);
+    EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace hypatia::sim

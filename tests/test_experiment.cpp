@@ -1,0 +1,75 @@
+#include "src/core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/topology/cities.hpp"
+
+namespace hypatia::core {
+namespace {
+
+TEST(AttachTcpFlows, OneFlowPerPair) {
+    Scenario s = Scenario::paper_default("kuiper_k1");
+    s.ground_stations = {topo::city_by_name("Manila"), topo::city_by_name("Dalian"),
+                         topo::city_by_name("Tokyo"), topo::city_by_name("Seoul")};
+    LeoNetwork leo(s);
+    auto flows = attach_tcp_flows(leo, {{0, 1}, {2, 3}}, "newreno");
+    EXPECT_EQ(flows.size(), 2u);
+    leo.run(3 * kNsPerSec);
+    for (const auto& f : flows) EXPECT_GT(f->delivered_bytes(), 0u);
+}
+
+TEST(AttachTcpFlows, VegasSelectable) {
+    Scenario s = Scenario::paper_default("kuiper_k1");
+    s.ground_stations = {topo::city_by_name("Manila"), topo::city_by_name("Dalian")};
+    LeoNetwork leo(s);
+    auto flows = attach_tcp_flows(leo, {{0, 1}}, "vegas");
+    leo.run(3 * kNsPerSec);
+    EXPECT_GT(flows[0]->delivered_bytes(), 0u);
+}
+
+TEST(AttachTcpFlows, UnknownCcThrows) {
+    Scenario s = Scenario::paper_default("kuiper_k1");
+    s.ground_stations = {topo::city_by_name("Manila"), topo::city_by_name("Dalian")};
+    LeoNetwork leo(s);
+    EXPECT_THROW(attach_tcp_flows(leo, {{0, 1}}, "cubic"), std::invalid_argument);
+}
+
+TEST(AttachUdpFlows, DeliversAtLineRate) {
+    Scenario s = Scenario::paper_default("kuiper_k1");
+    s.ground_stations = {topo::city_by_name("Manila"), topo::city_by_name("Dalian")};
+    LeoNetwork leo(s);
+    auto flows = attach_udp_flows(leo, {{0, 1}}, 3 * kNsPerSec);
+    leo.run(3 * kNsPerSec);
+    // Paced at 10 Mbit/s wire for 3 s: payload goodput ~ 9.6 Mbit/s.
+    EXPECT_NEAR(flows[0]->goodput_bps(3 * kNsPerSec), 9.6e6, 0.6e6);
+}
+
+TEST(PermutationWorkload, ReportsConsistentMetrics) {
+    PermutationWorkloadConfig cfg;
+    cfg.scenario = Scenario::paper_default("kuiper_k1");
+    cfg.num_ground_stations = 10;
+    cfg.duration = 2 * kNsPerSec;
+    cfg.tcp = false;
+    const auto result = run_permutation_workload(cfg);
+    EXPECT_DOUBLE_EQ(result.virtual_seconds, 2.0);
+    EXPECT_GT(result.wall_seconds, 0.0);
+    EXPECT_NEAR(result.slowdown, result.wall_seconds / 2.0, 1e-12);
+    EXPECT_GT(result.goodput_bps, 1e6);  // ~10 flows x up to 9.6 Mbit/s
+    EXPECT_GT(result.events, 1000u);
+}
+
+TEST(PermutationWorkload, TcpAndUdpBothRun) {
+    PermutationWorkloadConfig cfg;
+    cfg.scenario = Scenario::paper_default("kuiper_k1");
+    cfg.num_ground_stations = 6;
+    cfg.duration = 2 * kNsPerSec;
+    cfg.tcp = true;
+    const auto tcp = run_permutation_workload(cfg);
+    cfg.tcp = false;
+    const auto udp = run_permutation_workload(cfg);
+    EXPECT_GT(tcp.goodput_bps, 0.0);
+    EXPECT_GT(udp.goodput_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace hypatia::core

@@ -1,0 +1,77 @@
+#include "src/routing/forwarding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypatia::route {
+namespace {
+
+Graph diamond() {
+    // gs4 - sat0 - sat1 - gs5 and gs4 - sat2 - sat3 - gs5 (longer).
+    Graph g(4, 2);
+    g.add_undirected_edge(4, 0, 1.0);
+    g.add_undirected_edge(0, 1, 1.0);
+    g.add_undirected_edge(1, 5, 1.0);
+    g.add_undirected_edge(4, 2, 2.0);
+    g.add_undirected_edge(2, 3, 2.0);
+    g.add_undirected_edge(3, 5, 2.0);
+    return g;
+}
+
+TEST(ForwardingState, NextHopsFollowShortestPath) {
+    const auto g = diamond();
+    const auto state = compute_forwarding(g, {5});
+    EXPECT_EQ(state.next_hop(4, 5), 0);
+    EXPECT_EQ(state.next_hop(0, 5), 1);
+    EXPECT_EQ(state.next_hop(1, 5), 5);
+}
+
+TEST(ForwardingState, UnknownDestinationReturnsMinusOne) {
+    const auto g = diamond();
+    const auto state = compute_forwarding(g, {5});
+    EXPECT_EQ(state.next_hop(4, 4), -1);
+    EXPECT_EQ(state.distance_km(0, 4), kInfDistance);
+}
+
+TEST(ForwardingState, DistanceMatchesTree) {
+    const auto g = diamond();
+    const auto state = compute_forwarding(g, {5});
+    EXPECT_DOUBLE_EQ(state.distance_km(4, 5), 3.0);
+    EXPECT_DOUBLE_EQ(state.distance_km(5, 5), 0.0);
+}
+
+TEST(ForwardingState, MultipleDestinations) {
+    const auto g = diamond();
+    const auto state = compute_forwarding(g, {4, 5});
+    EXPECT_EQ(state.num_destinations(), 2u);
+    EXPECT_EQ(state.next_hop(1, 4), 0);
+    EXPECT_EQ(state.next_hop(0, 4), 4);
+}
+
+TEST(ForwardingState, LoopFreedom) {
+    // Following next hops from any node must reach the destination without
+    // revisiting a node (invariant of shortest-path trees).
+    const auto g = diamond();
+    const auto state = compute_forwarding(g, {5});
+    for (int start = 0; start < g.num_nodes(); ++start) {
+        if (state.next_hop(start, 5) < 0) continue;
+        std::vector<char> seen(static_cast<std::size_t>(g.num_nodes()), 0);
+        int node = start;
+        int steps = 0;
+        while (node != 5) {
+            ASSERT_FALSE(seen[static_cast<std::size_t>(node)]) << "loop at " << node;
+            seen[static_cast<std::size_t>(node)] = 1;
+            node = state.next_hop(node, 5);
+            ASSERT_GE(node, 0);
+            ASSERT_LE(++steps, g.num_nodes());
+        }
+    }
+}
+
+TEST(ForwardingState, DestinationNextHopIsSelf) {
+    const auto g = diamond();
+    const auto state = compute_forwarding(g, {5});
+    EXPECT_EQ(state.next_hop(5, 5), 5);
+}
+
+}  // namespace
+}  // namespace hypatia::route

@@ -1,0 +1,111 @@
+#include "src/routing/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/topology/cities.hpp"
+
+namespace hypatia::route {
+namespace {
+
+topo::Constellation mini() {
+    return topo::Constellation({"mini", 630.0, 6, 8, 51.9, 30.0, 0.5},
+                               topo::default_epoch());
+}
+
+TEST(Graph, NodeNumbering) {
+    Graph g(10, 3);
+    EXPECT_EQ(g.num_nodes(), 13);
+    EXPECT_EQ(g.num_satellites(), 10);
+    EXPECT_EQ(g.num_ground_stations(), 3);
+    EXPECT_EQ(g.gs_node(0), 10);
+    EXPECT_FALSE(g.is_ground_station(9));
+    EXPECT_TRUE(g.is_ground_station(10));
+}
+
+TEST(Graph, SatellitesRelayGroundStationsDoNot) {
+    Graph g(4, 2);
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(g.can_relay(i));
+    EXPECT_FALSE(g.can_relay(4));
+    EXPECT_FALSE(g.can_relay(5));
+    g.set_relay(5, true);
+    EXPECT_TRUE(g.can_relay(5));
+}
+
+TEST(Graph, UndirectedEdgesVisibleFromBothSides) {
+    Graph g(2, 0);
+    g.add_undirected_edge(0, 1, 42.0);
+    ASSERT_EQ(g.neighbors(0).size(), 1u);
+    ASSERT_EQ(g.neighbors(1).size(), 1u);
+    EXPECT_EQ(g.neighbors(0)[0].to, 1);
+    EXPECT_DOUBLE_EQ(g.neighbors(1)[0].distance_km, 42.0);
+    EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+    Graph g(2, 0);
+    EXPECT_THROW(g.add_undirected_edge(1, 1, 1.0), std::invalid_argument);
+}
+
+TEST(BuildSnapshot, IslEdgeCountMatches) {
+    const auto c = mini();
+    const topo::SatelliteMobility mob(c);
+    const auto isls = topo::build_isls(c, topo::IslPattern::kPlusGrid);
+    std::vector<orbit::GroundStation> gses;  // none
+    const Graph g = build_snapshot(mob, isls, gses, 0);
+    EXPECT_EQ(g.num_edges(), isls.size());
+}
+
+TEST(BuildSnapshot, GslEdgesOnlyToVisibleSatellites) {
+    const auto c = mini();
+    const topo::SatelliteMobility mob(c);
+    const auto isls = topo::build_isls(c, topo::IslPattern::kPlusGrid);
+    std::vector<orbit::GroundStation> gses = {topo::city_by_name("Singapore")};
+    const Graph g = build_snapshot(mob, isls, gses, 0);
+    const auto vis = topo::visible_satellites(gses[0], mob, 0);
+    EXPECT_EQ(g.neighbors(g.gs_node(0)).size(), vis.size());
+}
+
+TEST(BuildSnapshot, IslDistancesArePlausible) {
+    const auto c = mini();
+    const topo::SatelliteMobility mob(c);
+    const auto isls = topo::build_isls(c, topo::IslPattern::kPlusGrid);
+    std::vector<orbit::GroundStation> gses;
+    const Graph g = build_snapshot(mob, isls, gses, 0);
+    for (int u = 0; u < g.num_satellites(); ++u) {
+        for (const auto& e : g.neighbors(u)) {
+            EXPECT_GT(e.distance_km, 100.0);
+            EXPECT_LT(e.distance_km, 10000.0);
+        }
+    }
+}
+
+TEST(BuildSnapshot, NoIslOptionDropsIsls) {
+    const auto c = mini();
+    const topo::SatelliteMobility mob(c);
+    const auto isls = topo::build_isls(c, topo::IslPattern::kPlusGrid);
+    std::vector<orbit::GroundStation> gses = {topo::city_by_name("Singapore")};
+    SnapshotOptions opt;
+    opt.include_isls = false;
+    const Graph g = build_snapshot(mob, isls, gses, 0, opt);
+    for (int u = 0; u < g.num_satellites(); ++u) {
+        for (const auto& e : g.neighbors(u)) {
+            EXPECT_TRUE(g.is_ground_station(e.to));
+        }
+    }
+}
+
+TEST(BuildSnapshot, RelayGsFlagApplied) {
+    const auto c = mini();
+    const topo::SatelliteMobility mob(c);
+    const auto isls = topo::build_isls(c, topo::IslPattern::kPlusGrid);
+    std::vector<orbit::GroundStation> gses = {topo::city_by_name("Paris"),
+                                              topo::city_by_name("Moscow")};
+    SnapshotOptions opt;
+    opt.relay_gs_indices = {1};
+    const Graph g = build_snapshot(mob, isls, gses, 0, opt);
+    EXPECT_FALSE(g.can_relay(g.gs_node(0)));
+    EXPECT_TRUE(g.can_relay(g.gs_node(1)));
+}
+
+}  // namespace
+}  // namespace hypatia::route

@@ -1,0 +1,87 @@
+#include "src/topology/isl.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace hypatia::topo {
+namespace {
+
+Constellation mini() {
+    return Constellation({"mini", 550.0, 5, 6, 53.0, 25.0, 0.5}, default_epoch());
+}
+
+TEST(PlusGrid, EverySatelliteHasDegreeFour) {
+    const auto c = mini();
+    const auto isls = build_isls(c, IslPattern::kPlusGrid);
+    const auto deg = isl_degrees(c.num_satellites(), isls);
+    for (int d : deg) EXPECT_EQ(d, 4);
+}
+
+TEST(PlusGrid, EdgeCountIsTwoPerSatellite) {
+    const auto c = mini();
+    const auto isls = build_isls(c, IslPattern::kPlusGrid);
+    EXPECT_EQ(isls.size(), static_cast<std::size_t>(2 * c.num_satellites()));
+}
+
+TEST(PlusGrid, NoDuplicateEdges) {
+    const auto c = mini();
+    const auto isls = build_isls(c, IslPattern::kPlusGrid);
+    std::set<std::pair<int, int>> seen;
+    for (const auto& isl : isls) {
+        auto key = std::minmax(isl.sat_a, isl.sat_b);
+        EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+            << isl.sat_a << "-" << isl.sat_b;
+    }
+}
+
+TEST(PlusGrid, IntraOrbitRingWraps) {
+    const auto c = mini();
+    const auto isls = build_isls(c, IslPattern::kPlusGrid);
+    // Satellite (0, last) must link to (0, 0).
+    const int last = c.sat_id(0, 5);
+    const int first = c.sat_id(0, 0);
+    bool found = false;
+    for (const auto& isl : isls) {
+        if ((isl.sat_a == last && isl.sat_b == first) ||
+            (isl.sat_a == first && isl.sat_b == last)) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(PlusGrid, CrossOrbitSeamWraps) {
+    const auto c = mini();
+    const auto isls = build_isls(c, IslPattern::kPlusGrid);
+    // Satellite (last orbit, 0) must link to (0, 0).
+    const int seam = c.sat_id(4, 0);
+    const int first = c.sat_id(0, 0);
+    bool found = false;
+    for (const auto& isl : isls) {
+        if ((isl.sat_a == seam && isl.sat_b == first) ||
+            (isl.sat_a == first && isl.sat_b == seam)) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(PlusGrid, RejectsTooSmallShells) {
+    const Constellation tiny({"tiny", 550.0, 2, 6, 53.0, 25.0, 0.5}, default_epoch());
+    EXPECT_THROW(build_isls(tiny, IslPattern::kPlusGrid), std::invalid_argument);
+}
+
+TEST(NoIsls, BentPipeHasNoLinks) {
+    const auto c = mini();
+    EXPECT_TRUE(build_isls(c, IslPattern::kNone).empty());
+}
+
+TEST(PlusGrid, KuiperK1Counts) {
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const auto isls = build_isls(k1, IslPattern::kPlusGrid);
+    EXPECT_EQ(isls.size(), static_cast<std::size_t>(2 * 34 * 34));
+}
+
+}  // namespace
+}  // namespace hypatia::topo

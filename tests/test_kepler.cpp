@@ -1,0 +1,114 @@
+#include "src/orbit/kepler.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hypatia::orbit {
+namespace {
+
+JulianDate epoch() { return julian_date_from_utc(2000, 1, 1, 0, 0, 0.0); }
+
+TEST(KeplerianElements, PaperOrbitalInvariants) {
+    // Paper section 2.3: at h = 550 km the orbital velocity is more than
+    // 27,000 km/h and the period is ~100 minutes (the period at 550 km is
+    // ~95.6 min; "~100 minutes" in the text).
+    const auto el = KeplerianElements::circular(550.0, 53.0, 0.0, 0.0, epoch());
+    EXPECT_GT(el.circular_velocity_km_per_s() * 3600.0, 27000.0);
+    EXPECT_NEAR(el.period_s() / 60.0, 95.6, 1.0);
+}
+
+TEST(KeplerianElements, MeanMotionUnits) {
+    const auto el = KeplerianElements::circular(550.0, 53.0, 0.0, 0.0, epoch());
+    EXPECT_NEAR(el.mean_motion_rev_per_day(),
+                86400.0 / el.period_s(), 1e-9);
+    // ~15 revs/day is the hallmark of LEO.
+    EXPECT_NEAR(el.mean_motion_rev_per_day(), 15.06, 0.1);
+}
+
+TEST(SolveKepler, CircularIsIdentity) {
+    for (double m = 0.0; m < 6.28; m += 0.7) {
+        EXPECT_NEAR(solve_kepler_equation(m, 0.0), m, 1e-12);
+    }
+}
+
+TEST(SolveKepler, SatisfiesEquation) {
+    for (double e : {0.001, 0.1, 0.5, 0.9}) {
+        for (double m = 0.1; m < 6.2; m += 0.5) {
+            const double ea = solve_kepler_equation(m, e);
+            EXPECT_NEAR(ea - e * std::sin(ea), m, 1e-10) << "e=" << e << " m=" << m;
+        }
+    }
+}
+
+TEST(PropagateKeplerJ2, RadiusConstantForCircularOrbit) {
+    const auto el = KeplerianElements::circular(630.0, 51.9, 40.0, 70.0, epoch());
+    for (double t = 0.0; t <= 6000.0; t += 500.0) {
+        const auto sv = propagate_kepler_j2(el, epoch().plus_seconds(t));
+        EXPECT_NEAR(sv.position_km.norm(), el.semi_major_axis_km, 1e-6);
+    }
+}
+
+TEST(PropagateKeplerJ2, SpeedMatchesCircularVelocity) {
+    const auto el = KeplerianElements::circular(550.0, 53.0, 10.0, 20.0, epoch());
+    const auto sv = propagate_kepler_j2(el, epoch().plus_seconds(1234.0));
+    EXPECT_NEAR(sv.velocity_km_per_s.norm(), el.circular_velocity_km_per_s(), 1e-9);
+}
+
+TEST(PropagateKeplerJ2, VelocityPerpendicularToPositionWhenCircular) {
+    const auto el = KeplerianElements::circular(1015.0, 98.98, 123.0, 45.0, epoch());
+    const auto sv = propagate_kepler_j2(el, epoch().plus_seconds(777.0));
+    const double cosang = sv.position_km.normalized().dot(sv.velocity_km_per_s.normalized());
+    EXPECT_NEAR(cosang, 0.0, 1e-9);
+}
+
+TEST(PropagateKeplerJ2, InclinationBoundsLatitude) {
+    const auto el = KeplerianElements::circular(630.0, 51.9, 0.0, 0.0, epoch());
+    double max_z_over_r = 0.0;
+    for (double t = 0.0; t < el.period_s(); t += 10.0) {
+        const auto sv = propagate_kepler_j2(el, epoch().plus_seconds(t));
+        max_z_over_r = std::max(max_z_over_r,
+                                std::abs(sv.position_km.z) / sv.position_km.norm());
+    }
+    // max |latitude| == inclination for a circular orbit.
+    EXPECT_NEAR(std::asin(max_z_over_r) * 180.0 / M_PI, 51.9, 0.05);
+}
+
+TEST(PropagateKeplerJ2, PeriodReturnsNearStart) {
+    const auto el = KeplerianElements::circular(550.0, 53.0, 0.0, 0.0, epoch());
+    const auto sv0 = propagate_kepler_j2(el, epoch());
+    const auto sv1 = propagate_kepler_j2(el, epoch().plus_seconds(el.period_s()));
+    // J2 precession causes a small drift over one orbit; require < 100 km.
+    EXPECT_LT(sv0.position_km.distance_to(sv1.position_km), 100.0);
+}
+
+TEST(PropagateKeplerJ2, RaanDriftDirectionMatchesJ2Theory) {
+    // Prograde orbits (i < 90) regress westward; retrograde (i > 90)
+    // precess eastward. Compare node movement after one day.
+    auto measure_drift = [&](double inclination) {
+        const auto el = KeplerianElements::circular(700.0, inclination, 0.0, 0.0, epoch());
+        const double n = el.mean_motion_rad_per_s();
+        const double p = el.semi_major_axis_km;
+        const double re_over_p = Wgs72::kEarthRadiusKm / p;
+        return -1.5 * Wgs72::kJ2 * re_over_p * re_over_p * n *
+               std::cos(inclination * M_PI / 180.0);
+    };
+    EXPECT_LT(measure_drift(53.0), 0.0);
+    EXPECT_GT(measure_drift(98.98), 0.0);
+}
+
+TEST(PropagateKeplerJ2, EccentricOrbitRespectsApsides) {
+    KeplerianElements el = KeplerianElements::circular(1000.0, 60.0, 0.0, 0.0, epoch());
+    el.eccentricity = 0.1;
+    double rmin = 1e18, rmax = 0.0;
+    for (double t = 0.0; t < el.period_s(); t += 5.0) {
+        const double r = propagate_kepler_j2(el, epoch().plus_seconds(t)).position_km.norm();
+        rmin = std::min(rmin, r);
+        rmax = std::max(rmax, r);
+    }
+    EXPECT_NEAR(rmin, el.semi_major_axis_km * 0.9, 1.0);
+    EXPECT_NEAR(rmax, el.semi_major_axis_km * 1.1, 1.0);
+}
+
+}  // namespace
+}  // namespace hypatia::orbit

@@ -1,0 +1,146 @@
+#include "src/core/leo_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/orbit/coords.hpp"
+#include "src/sim/ping_app.hpp"
+#include "src/topology/cities.hpp"
+
+namespace hypatia::core {
+namespace {
+
+Scenario small_scenario() {
+    // Kuiper K1 with just the endpoints we exercise, to keep tests fast.
+    Scenario s;
+    s.shell = topo::shell_by_name("kuiper_k1");
+    s.ground_stations = {topo::city_by_name("Manila"), topo::city_by_name("Dalian"),
+                         topo::city_by_name("Tokyo")};
+    return s;
+}
+
+TEST(LeoNetwork, NodeLayout) {
+    LeoNetwork leo(small_scenario());
+    EXPECT_EQ(leo.num_satellites(), 34 * 34);
+    EXPECT_EQ(leo.num_ground_stations(), 3);
+    EXPECT_EQ(leo.gs_node(0), 34 * 34);
+    EXPECT_EQ(leo.network().num_nodes(), 34 * 34 + 3);
+}
+
+TEST(LeoNetwork, DeviceCounts) {
+    LeoNetwork leo(small_scenario());
+    // 2 devices per ISL (2 * 2 * 1156 directed) + 1 GSL per node.
+    const std::size_t expected =
+        2 * leo.isls().size() + static_cast<std::size_t>(leo.network().num_nodes());
+    EXPECT_EQ(leo.network().devices().size(), expected);
+}
+
+TEST(LeoNetwork, ForwardingInstalledOnRun) {
+    LeoNetwork leo(small_scenario());
+    leo.add_destination(1);
+    int updates = 0;
+    leo.on_fstate_update = [&](TimeNs) { ++updates; };
+    leo.run(1 * kNsPerSec);
+    EXPECT_EQ(updates, 11);  // t = 0, 100ms, ..., 1000ms
+    EXPECT_FALSE(leo.current_path(0, 1).empty());
+}
+
+TEST(LeoNetwork, PathEndpointsAreGsNodes) {
+    LeoNetwork leo(small_scenario());
+    leo.add_destination(1);
+    leo.run(200 * kNsPerMs);
+    const auto path = leo.current_path(0, 1);
+    ASSERT_GE(path.size(), 3u);
+    EXPECT_EQ(path.front(), leo.gs_node(0));
+    EXPECT_EQ(path.back(), leo.gs_node(1));
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+        EXPECT_LT(path[i], leo.num_satellites());
+    }
+}
+
+TEST(LeoNetwork, PingRttMatchesComputedRtt) {
+    // The paper's Fig 3 validation: packet-level ping RTTs overlap the
+    // graph-computed RTTs.
+    LeoNetwork leo(small_scenario());
+    leo.add_destination(0);
+    leo.add_destination(1);
+
+    sim::PingApp::Config ping_cfg;
+    ping_cfg.flow_id = 77;
+    ping_cfg.src_node = leo.gs_node(0);
+    ping_cfg.dst_node = leo.gs_node(1);
+    ping_cfg.interval = 100 * kNsPerMs;
+    ping_cfg.stop = 5 * kNsPerSec;
+    sim::PingApp ping(leo.network(), ping_cfg);
+
+    std::vector<double> computed_rtts_ms;
+    leo.on_fstate_update = [&](TimeNs) {
+        const double d = leo.current_distance_km(0, 1);
+        computed_rtts_ms.push_back(2.0 * d / orbit::kSpeedOfLightKmPerS * 1e3);
+    };
+    leo.run(6 * kNsPerSec);
+
+    ASSERT_GT(ping.replies(), 40u);
+    double computed_min = 1e18, computed_max = 0.0;
+    for (double r : computed_rtts_ms) {
+        computed_min = std::min(computed_min, r);
+        computed_max = std::max(computed_max, r);
+    }
+    for (const auto& s : ping.samples()) {
+        if (!s.replied) continue;
+        const double rtt_ms = ns_to_ms(s.rtt);
+        // Ping RTT = computed propagation RTT + tiny serialization (64 B
+        // over up to ~12 hops at 10 Mbit/s < 1.3 ms) and the path may
+        // change between fstate samples; allow a 2 ms envelope.
+        EXPECT_GT(rtt_ms, computed_min - 0.5);
+        EXPECT_LT(rtt_ms, computed_max + 2.0);
+    }
+}
+
+TEST(LeoNetwork, LinkDelaysVaryWithSatelliteMotion) {
+    LeoNetwork leo(small_scenario());
+    leo.add_destination(0);  // reply path
+    leo.add_destination(1);
+    sim::PingApp::Config ping_cfg;
+    ping_cfg.flow_id = 7;
+    ping_cfg.src_node = leo.gs_node(0);
+    ping_cfg.dst_node = leo.gs_node(1);
+    ping_cfg.interval = 500 * kNsPerMs;
+    ping_cfg.stop = 60 * kNsPerSec;
+    sim::PingApp ping(leo.network(), ping_cfg);
+    leo.run(61 * kNsPerSec);
+    TimeNs min_rtt = std::numeric_limits<TimeNs>::max(), max_rtt = 0;
+    for (const auto& s : ping.samples()) {
+        if (!s.replied) continue;
+        min_rtt = std::min(min_rtt, s.rtt);
+        max_rtt = std::max(max_rtt, s.rtt);
+    }
+    // Over a minute, Manila-Dalian RTT must visibly drift (satellites
+    // move ~450 km along track).
+    EXPECT_GT(ns_to_ms(max_rtt) - ns_to_ms(min_rtt), 0.1);
+}
+
+TEST(LeoNetwork, StartOffsetShiftsOrbitalGeometry) {
+    Scenario a = small_scenario();
+    Scenario b = small_scenario();
+    b.start_offset = 600 * kNsPerSec;
+    LeoNetwork la(a), lb(b);
+    la.add_destination(1);
+    lb.add_destination(1);
+    la.run(100 * kNsPerMs);
+    lb.run(100 * kNsPerMs);
+    // Ten minutes of orbital motion must change the Manila-Dalian path
+    // distance.
+    EXPECT_NE(la.current_distance_km(0, 1), lb.current_distance_km(0, 1));
+}
+
+TEST(LeoNetwork, BentPipeScenarioHasNoIslDevices) {
+    Scenario s = small_scenario();
+    s.isl_pattern = topo::IslPattern::kNone;
+    LeoNetwork leo(s);
+    for (const auto& dev : leo.network().devices()) {
+        EXPECT_TRUE(dev->is_gsl());
+    }
+}
+
+}  // namespace
+}  // namespace hypatia::core

@@ -1,0 +1,103 @@
+#include "src/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+#include "src/topology/cities.hpp"
+
+namespace hypatia::core {
+namespace {
+
+Scenario tiny_scenario() {
+    Scenario s;
+    s.shell = topo::shell_by_name("kuiper_k1");
+    s.ground_stations = {topo::city_by_name("Manila"), topo::city_by_name("Dalian")};
+    return s;
+}
+
+TEST(UtilizationSampler, IdleNetworkIsZero) {
+    LeoNetwork leo(tiny_scenario());
+    UtilizationSampler sampler(leo, 1 * kNsPerSec, 3 * kNsPerSec);
+    leo.run(3 * kNsPerSec);
+    for (std::size_t d = 0; d < sampler.num_devices(); ++d) {
+        for (std::size_t b = 0; b < 3; ++b) {
+            EXPECT_EQ(sampler.bytes(d, b), 0u);
+        }
+    }
+}
+
+TEST(UtilizationSampler, CapturesTcpTraffic) {
+    LeoNetwork leo(tiny_scenario());
+    UtilizationSampler sampler(leo, 1 * kNsPerSec, 5 * kNsPerSec);
+    auto flows = attach_tcp_flows(leo, {{0, 1}}, "newreno");
+    leo.run(5 * kNsPerSec);
+    std::uint64_t total = 0;
+    for (std::size_t d = 0; d < sampler.num_devices(); ++d) {
+        for (std::size_t b = 0; b < sampler.num_bins(); ++b) total += sampler.bytes(d, b);
+    }
+    EXPECT_GT(total, 1'000'000u);  // multiple hops x megabytes
+}
+
+TEST(UtilizationSampler, UtilizationBounded) {
+    LeoNetwork leo(tiny_scenario());
+    UtilizationSampler sampler(leo, 1 * kNsPerSec, 5 * kNsPerSec);
+    auto flows = attach_tcp_flows(leo, {{0, 1}}, "newreno");
+    leo.run(5 * kNsPerSec);
+    for (std::size_t d = 0; d < sampler.num_devices(); ++d) {
+        for (std::size_t b = 0; b < sampler.num_bins(); ++b) {
+            const double u = sampler.utilization(d, b);
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+    }
+}
+
+TEST(UnusedBandwidth, FullCapacityWhenIdle) {
+    LeoNetwork leo(tiny_scenario());
+    leo.add_destination(1);
+    UtilizationSampler sampler(leo, 1 * kNsPerSec, 3 * kNsPerSec);
+    UnusedBandwidthTracker tracker(leo, sampler, 0, 1);
+    leo.run(3 * kNsPerSec);
+    const auto unused = tracker.unused_bps();
+    ASSERT_GE(unused.size(), 3u);
+    for (std::size_t b = 0; b < 3; ++b) {
+        EXPECT_NEAR(unused[b], 10e6, 1.0) << b;  // idle path: full line rate
+    }
+}
+
+TEST(UnusedBandwidth, NearZeroUnderSaturation) {
+    LeoNetwork leo(tiny_scenario());
+    UtilizationSampler sampler(leo, 1 * kNsPerSec, 10 * kNsPerSec);
+    auto flows = attach_tcp_flows(leo, {{0, 1}}, "newreno");
+    UnusedBandwidthTracker tracker(leo, sampler, 0, 1);
+    leo.run(10 * kNsPerSec);
+    const auto unused = tracker.unused_bps();
+    // Once TCP converges (after the first seconds), the bottleneck is
+    // nearly fully used.
+    double min_late = 1e18;
+    for (std::size_t b = 5; b < 10; ++b) min_late = std::min(min_late, unused[b]);
+    EXPECT_LT(min_late, 2.5e6);  // >= 75% of 10 Mbit/s used
+}
+
+TEST(UnusedBandwidth, MarksUnreachableBins) {
+    Scenario s = tiny_scenario();
+    // Saint Petersburg on Kuiper: guaranteed unreachable periods.
+    s.ground_stations = {topo::city_by_name("Rio de Janeiro"),
+                         topo::city_by_name("Saint Petersburg")};
+    LeoNetwork leo(s);
+    leo.add_destination(1);
+    UtilizationSampler sampler(leo, 1 * kNsPerSec, 200 * kNsPerSec);
+    UnusedBandwidthTracker tracker(leo, sampler, 0, 1);
+    leo.run(200 * kNsPerSec);
+    const auto unused = tracker.unused_bps();
+    int unreachable = 0;
+    for (double u : unused) {
+        if (u < 0) ++unreachable;
+    }
+    // The ~10 s disconnection around t = 156..166 s must appear.
+    EXPECT_GE(unreachable, 5);
+    EXPECT_LE(unreachable, 40);
+}
+
+}  // namespace
+}  // namespace hypatia::core

@@ -1,0 +1,75 @@
+#include "src/topology/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypatia::topo {
+namespace {
+
+Constellation mini() {
+    return Constellation({"mini", 550.0, 4, 5, 53.0, 25.0, 0.5}, default_epoch());
+}
+
+TEST(SatelliteMobility, CachedMatchesExactOnGrid) {
+    const auto c = mini();
+    const SatelliteMobility mob(c);
+    for (TimeNs t : {TimeNs{0}, 10 * kNsPerMs, 5 * kNsPerSec}) {
+        for (int sat = 0; sat < c.num_satellites(); ++sat) {
+            const Vec3 cached = mob.position_ecef(sat, t);
+            const Vec3 exact = mob.position_ecef_exact(sat, t);
+            EXPECT_LT(cached.distance_to(exact), 1e-6) << sat << " " << t;
+        }
+    }
+}
+
+TEST(SatelliteMobility, InterpolationErrorTiny) {
+    const auto c = mini();
+    const SatelliteMobility mob(c);
+    // Off-grid query: linear interpolation over 10 ms. A LEO satellite
+    // moves ~76 m in 10 ms along an arc; chord-vs-arc error is << 1 m.
+    for (TimeNs t : {3 * kNsPerMs, 7 * kNsPerMs, TimeNs{123456789}}) {
+        const Vec3 cached = mob.position_ecef(0, t);
+        const Vec3 exact = mob.position_ecef_exact(0, t);
+        EXPECT_LT(cached.distance_to(exact), 0.001) << t;  // < 1 m
+    }
+}
+
+TEST(SatelliteMobility, PositionsMoveOverTime) {
+    const auto c = mini();
+    const SatelliteMobility mob(c);
+    const Vec3 p0 = mob.position_ecef(0, 0);
+    const Vec3 p1 = mob.position_ecef(0, 10 * kNsPerSec);
+    // ~7.6 km/s ground-frame speed -> ~76 km in 10 s.
+    EXPECT_GT(p0.distance_to(p1), 30.0);
+}
+
+TEST(SatelliteMobility, RepeatedQueryIsStable) {
+    const auto c = mini();
+    const SatelliteMobility mob(c);
+    const Vec3 a = mob.position_ecef(2, 1234567LL);
+    const Vec3 b = mob.position_ecef(2, 1234567LL);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.y, b.y);
+    EXPECT_EQ(a.z, b.z);
+}
+
+TEST(SatelliteMobility, BackwardQueryAfterForwardWorks) {
+    const auto c = mini();
+    const SatelliteMobility mob(c);
+    const Vec3 later = mob.position_ecef(1, 60 * kNsPerSec);
+    const Vec3 earlier = mob.position_ecef(1, 1 * kNsPerSec);
+    const Vec3 exact = mob.position_ecef_exact(1, 1 * kNsPerSec);
+    EXPECT_LT(earlier.distance_to(exact), 0.001);
+    EXPECT_GT(later.distance_to(earlier), 1.0);
+}
+
+TEST(SatelliteMobility, EcefAltitudeStaysNominal) {
+    const auto c = mini();
+    const SatelliteMobility mob(c);
+    for (TimeNs t = 0; t < 200 * kNsPerSec; t += 20 * kNsPerSec) {
+        const double r = mob.position_ecef(3, t).norm();
+        EXPECT_NEAR(r - orbit::Wgs72::kEarthRadiusKm, 550.0, 20.0);
+    }
+}
+
+}  // namespace
+}  // namespace hypatia::topo

@@ -1,0 +1,155 @@
+// Property-based sweeps over the orbital substrate: SGP4 invariants
+// across all Table-1 shells and many orbital geometries, TLE round-trip
+// stability across randomized elements, and coordinate-transform
+// consistency. These are the para-metrized counterparts of the targeted
+// unit tests in test_sgp4 / test_tle.
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/orbit/kepler.hpp"
+#include "src/orbit/sgp4.hpp"
+#include "src/orbit/tle.hpp"
+#include "src/topology/constellation.hpp"
+
+namespace hypatia::orbit {
+namespace {
+
+JulianDate epoch() { return julian_date_from_utc(2000, 1, 1, 0, 0, 0.0); }
+
+// ---------------------------------------------------------------------
+// SGP4 invariants across every Table-1 shell.
+class Sgp4ShellInvariants : public ::testing::TestWithParam<topo::ShellParams> {};
+
+TEST_P(Sgp4ShellInvariants, RadiusStaysNearNominal) {
+    const auto& shell = GetParam();
+    const auto kep = KeplerianElements::circular(shell.altitude_km,
+                                                 shell.inclination_deg, 123.0, 45.0,
+                                                 epoch());
+    const Sgp4 sgp4(sgp4_elements_from_kepler(kep));
+    for (double t = 0.0; t <= 200.0; t += 20.0) {
+        const double r = sgp4.propagate_minutes(t).position_km.norm();
+        EXPECT_NEAR(r - Wgs72::kEarthRadiusKm, shell.altitude_km, 20.0)
+            << shell.name << " t=" << t;
+    }
+}
+
+TEST_P(Sgp4ShellInvariants, SpeedConsistentWithVisViva) {
+    const auto& shell = GetParam();
+    const auto kep = KeplerianElements::circular(shell.altitude_km,
+                                                 shell.inclination_deg, 10.0, 200.0,
+                                                 epoch());
+    const Sgp4 sgp4(sgp4_elements_from_kepler(kep));
+    for (double t : {0.0, 33.0, 77.0}) {
+        const auto sv = sgp4.propagate_minutes(t);
+        const double r = sv.position_km.norm();
+        const double vis_viva = std::sqrt(Wgs72::kMuKm3PerS2 / r);
+        EXPECT_NEAR(sv.velocity_km_per_s.norm(), vis_viva, 0.05) << shell.name;
+    }
+}
+
+TEST_P(Sgp4ShellInvariants, LatitudeBoundedByInclination) {
+    const auto& shell = GetParam();
+    const auto kep = KeplerianElements::circular(shell.altitude_km,
+                                                 shell.inclination_deg, 0.0, 0.0,
+                                                 epoch());
+    const Sgp4 sgp4(sgp4_elements_from_kepler(kep));
+    const double max_lat = shell.inclination_deg > 90.0
+                               ? 180.0 - shell.inclination_deg
+                               : shell.inclination_deg;
+    for (double t = 0.0; t < 120.0; t += 3.0) {
+        const auto p = sgp4.propagate_minutes(t).position_km;
+        const double lat = std::asin(std::abs(p.z) / p.norm()) * 180.0 / M_PI;
+        EXPECT_LE(lat, max_lat + 0.5) << shell.name;
+    }
+}
+
+TEST_P(Sgp4ShellInvariants, MatchesKeplerJ2ShortHorizon) {
+    const auto& shell = GetParam();
+    const auto kep = KeplerianElements::circular(shell.altitude_km,
+                                                 shell.inclination_deg, 250.0, 17.0,
+                                                 epoch());
+    const Sgp4 sgp4(sgp4_elements_from_kepler(kep));
+    const auto at = epoch().plus_seconds(300.0);
+    const auto a = sgp4.propagate(at).position_km;
+    const auto b = propagate_kepler_j2(kep, at).position_km;
+    EXPECT_LT(a.distance_to(b), 30.0) << shell.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShells, Sgp4ShellInvariants,
+                         ::testing::ValuesIn(topo::table1_shells()),
+                         [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------
+// TLE round-trip across randomized element sets.
+class TleRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TleRoundTrip, RandomElementsSurvive) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+    std::uniform_real_distribution<double> alt(400.0, 1500.0);
+    std::uniform_real_distribution<double> inc(5.0, 120.0);
+    std::uniform_real_distribution<double> angle(0.0, 359.99);
+    for (int i = 0; i < 20; ++i) {
+        KeplerianElements kep = KeplerianElements::circular(alt(rng), inc(rng),
+                                                            angle(rng), angle(rng),
+                                                            epoch());
+        const auto tle = Tle::from_kepler(kep, 1 + i);
+        const auto parsed = Tle::parse(tle.line1(), tle.line2());
+        EXPECT_NEAR(parsed.inclination_deg, kep.inclination_deg, 1e-4);
+        EXPECT_NEAR(parsed.raan_deg, kep.raan_deg, 1e-4);
+        EXPECT_NEAR(parsed.mean_anomaly_deg, kep.mean_anomaly_deg, 1e-4);
+        EXPECT_NEAR(parsed.mean_motion_rev_per_day, kep.mean_motion_rev_per_day(),
+                    1e-7);
+        // The parsed TLE must initialize SGP4 without throwing and land at
+        // the same position as direct initialization.
+        const Sgp4 direct(sgp4_elements_from_kepler(kep));
+        const Sgp4 via(parsed.to_sgp4_elements());
+        const auto pa = direct.propagate_minutes(10.0).position_km;
+        const auto pb = via.propagate_minutes(10.0).position_km;
+        EXPECT_LT(pa.distance_to(pb), 2.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TleRoundTrip, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------
+// Coordinate transforms: random round trips.
+class CoordRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoordRoundTrip, GeodeticEcefRandom) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 97);
+    std::uniform_real_distribution<double> lat(-89.0, 89.0);
+    std::uniform_real_distribution<double> lon(-180.0, 180.0);
+    std::uniform_real_distribution<double> alt(0.0, 2000.0);
+    for (int i = 0; i < 50; ++i) {
+        const Geodetic g{lat(rng), lon(rng), alt(rng)};
+        const Geodetic back = ecef_to_geodetic(geodetic_to_ecef(g));
+        EXPECT_NEAR(back.latitude_deg, g.latitude_deg, 1e-7);
+        EXPECT_NEAR(back.longitude_deg, g.longitude_deg, 1e-7);
+        EXPECT_NEAR(back.altitude_km, g.altitude_km, 1e-6);
+    }
+}
+
+TEST_P(CoordRoundTrip, LookAnglesRangeMatchesDistance) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31);
+    std::uniform_real_distribution<double> lat(-60.0, 60.0);
+    std::uniform_real_distribution<double> lon(-180.0, 180.0);
+    for (int i = 0; i < 30; ++i) {
+        const Geodetic obs_geo{lat(rng), lon(rng), 0.0};
+        const Geodetic target_geo{lat(rng), lon(rng), 550.0};
+        const Vec3 obs = geodetic_to_ecef(obs_geo);
+        const Vec3 target = geodetic_to_ecef(target_geo);
+        const auto look = look_angles(obs_geo, obs, target);
+        EXPECT_NEAR(look.range_km, obs.distance_to(target), 1e-9);
+        EXPECT_GE(look.azimuth_deg, 0.0);
+        EXPECT_LT(look.azimuth_deg, 360.0);
+        EXPECT_GE(look.elevation_deg, -90.0);
+        EXPECT_LE(look.elevation_deg, 90.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoordRoundTrip, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace hypatia::orbit

@@ -1,0 +1,157 @@
+// Property-based sweeps over the routing substrate on real constellation
+// snapshots: loop freedom, distance symmetry, Dijkstra = Floyd-Warshall
+// equivalence, and triangle-style sanity on every Table-1 first shell.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/routing/forwarding.hpp"
+#include "src/routing/shortest_path.hpp"
+#include "src/topology/cities.hpp"
+
+namespace hypatia::route {
+namespace {
+
+struct ShellCase {
+    std::string shell;
+    TimeNs t;
+};
+
+class RoutingOnSnapshots : public ::testing::TestWithParam<ShellCase> {
+  protected:
+    void SetUp() override {
+        const auto& param = GetParam();
+        constellation_ = std::make_unique<topo::Constellation>(
+            topo::shell_by_name(param.shell), topo::default_epoch());
+        mobility_ = std::make_unique<topo::SatelliteMobility>(*constellation_);
+        isls_ = topo::build_isls(*constellation_, topo::IslPattern::kPlusGrid);
+        gses_ = topo::top100_cities();
+        graph_ = std::make_unique<Graph>(
+            build_snapshot(*mobility_, isls_, gses_, param.t));
+    }
+
+    std::unique_ptr<topo::Constellation> constellation_;
+    std::unique_ptr<topo::SatelliteMobility> mobility_;
+    std::vector<topo::Isl> isls_;
+    std::vector<orbit::GroundStation> gses_;
+    std::unique_ptr<Graph> graph_;
+};
+
+TEST_P(RoutingOnSnapshots, ForwardingIsLoopFree) {
+    // Follow next hops from every node toward a handful of destinations.
+    for (int dst_gs : {0, 23, 75}) {
+        const int dst = graph_->gs_node(dst_gs);
+        const auto tree = dijkstra_to(*graph_, dst);
+        for (int start = 0; start < graph_->num_nodes(); start += 13) {
+            if (tree.next_hop[static_cast<std::size_t>(start)] < 0) continue;
+            int node = start;
+            int steps = 0;
+            while (node != dst) {
+                node = tree.next_hop[static_cast<std::size_t>(node)];
+                ASSERT_GE(node, 0);
+                ASSERT_LE(++steps, graph_->num_nodes()) << "loop from " << start;
+            }
+        }
+    }
+}
+
+TEST_P(RoutingOnSnapshots, DistanceSymmetric) {
+    // The graph is undirected, so dist(a->b) == dist(b->a).
+    const int a = graph_->gs_node(3);
+    const int b = graph_->gs_node(42);
+    const auto tree_a = dijkstra_to(*graph_, a);
+    const auto tree_b = dijkstra_to(*graph_, b);
+    const double ab = tree_b.distance_km[static_cast<std::size_t>(a)];
+    const double ba = tree_a.distance_km[static_cast<std::size_t>(b)];
+    if (ab == kInfDistance) {
+        EXPECT_EQ(ba, kInfDistance);
+    } else {
+        EXPECT_NEAR(ab, ba, 1e-6);
+    }
+}
+
+TEST_P(RoutingOnSnapshots, PathDistanceMatchesEdgeSum) {
+    const int dst = graph_->gs_node(10);
+    const auto tree = dijkstra_to(*graph_, dst);
+    for (int src_gs : {5, 60, 99}) {
+        const int src = graph_->gs_node(src_gs);
+        const auto path = extract_path(tree, src);
+        if (path.empty()) continue;
+        double total = 0.0;
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            double edge = kInfDistance;
+            for (const auto& e : graph_->neighbors(path[i])) {
+                if (e.to == path[i + 1]) edge = std::min(edge, e.distance_km);
+            }
+            ASSERT_NE(edge, kInfDistance) << "path uses a non-edge";
+            total += edge;
+        }
+        EXPECT_NEAR(total, tree.distance_km[static_cast<std::size_t>(src)], 1e-6);
+    }
+}
+
+TEST_P(RoutingOnSnapshots, DistanceAtLeastChord) {
+    // No network path can beat the straight-line chord between endpoints.
+    const int dst = graph_->gs_node(7);
+    const auto tree = dijkstra_to(*graph_, dst);
+    for (int src_gs = 0; src_gs < 100; src_gs += 7) {
+        if (src_gs == 7) continue;
+        const int src = graph_->gs_node(src_gs);
+        const double d = tree.distance_km[static_cast<std::size_t>(src)];
+        if (d == kInfDistance) continue;
+        const double chord = gses_[static_cast<std::size_t>(src_gs)].ecef().distance_to(
+            gses_[7].ecef());
+        EXPECT_GE(d, chord - 1e-6);
+    }
+}
+
+TEST_P(RoutingOnSnapshots, SubpathsAreShortestPaths) {
+    // Every node on a shortest path has distance = remaining path length
+    // (optimal substructure of the Dijkstra tree).
+    const int dst = graph_->gs_node(50);
+    const auto tree = dijkstra_to(*graph_, dst);
+    const auto path = extract_path(tree, graph_->gs_node(2));
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+        EXPECT_LT(tree.distance_km[static_cast<std::size_t>(path[i])],
+                  tree.distance_km[static_cast<std::size_t>(path[i - 1])]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shells, RoutingOnSnapshots,
+    ::testing::Values(ShellCase{"telesat_t1", 0}, ShellCase{"telesat_t1", 90 * kNsPerSec},
+                      ShellCase{"kuiper_k1", 0}, ShellCase{"kuiper_k1", 50 * kNsPerSec},
+                      ShellCase{"starlink_s1", 30 * kNsPerSec}),
+    [](const auto& info) {
+        return info.param.shell + "_t" +
+               std::to_string(info.param.t / kNsPerSec);
+    });
+
+TEST(RoutingSmallGraphEquivalence, DijkstraMatchesFloydWarshallOnTelesat) {
+    // Full all-pairs equivalence on the smallest real shell.
+    const topo::Constellation c(topo::shell_by_name("telesat_t1"),
+                                topo::default_epoch());
+    const topo::SatelliteMobility mob(c);
+    const auto isls = topo::build_isls(c, topo::IslPattern::kPlusGrid);
+    std::vector<orbit::GroundStation> gses = {topo::city_by_name("Paris"),
+                                              topo::city_by_name("Nairobi"),
+                                              topo::city_by_name("Sydney")};
+    const auto g = build_snapshot(mob, isls, gses, 12 * kNsPerSec);
+    const auto fw = floyd_warshall(g);
+    for (int gi = 0; gi < 3; ++gi) {
+        const int dst = g.gs_node(gi);
+        const auto tree = dijkstra_to(g, dst);
+        for (int src = 0; src < g.num_nodes(); ++src) {
+            const double fw_d = fw[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+            const double dj_d = tree.distance_km[static_cast<std::size_t>(src)];
+            if (fw_d == kInfDistance) {
+                EXPECT_EQ(dj_d, kInfDistance);
+            } else {
+                EXPECT_NEAR(dj_d, fw_d, 1e-6) << src << "->" << dst;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace hypatia::route

@@ -1,0 +1,141 @@
+#include "src/orbit/sgp4.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/orbit/kepler.hpp"
+#include "src/orbit/time.hpp"
+
+namespace hypatia::orbit {
+namespace {
+
+JulianDate epoch() { return julian_date_from_utc(2000, 1, 1, 0, 0, 0.0); }
+
+Sgp4 make_circular(double alt_km, double inc_deg, double raan_deg = 0.0,
+                   double ma_deg = 0.0) {
+    const auto kep = KeplerianElements::circular(alt_km, inc_deg, raan_deg, ma_deg, epoch());
+    return Sgp4(sgp4_elements_from_kepler(kep));
+}
+
+TEST(Sgp4, AltitudeNearNominalAtEpoch) {
+    // SGP4's periodic terms wiggle the radius by ~10 km around the mean.
+    for (double alt : {550.0, 630.0, 1015.0, 1325.0}) {
+        const auto sgp4 = make_circular(alt, 53.0);
+        const auto sv = sgp4.propagate_minutes(0.0);
+        EXPECT_NEAR(sv.position_km.norm() - Wgs72::kEarthRadiusKm, alt, 15.0) << alt;
+    }
+}
+
+TEST(Sgp4, VelocityNearCircularVelocity) {
+    const auto sgp4 = make_circular(550.0, 53.0);
+    const auto kep = KeplerianElements::circular(550.0, 53.0, 0.0, 0.0, epoch());
+    for (double t : {0.0, 30.0, 60.0, 95.0}) {
+        const auto sv = sgp4.propagate_minutes(t);
+        EXPECT_NEAR(sv.velocity_km_per_s.norm(), kep.circular_velocity_km_per_s(), 0.02);
+    }
+}
+
+TEST(Sgp4, PaperVelocityClaim) {
+    // Paper section 2.3: "At h = 550 km, the orbital velocity is more than
+    // 27,000 km/hr".
+    const auto sv = make_circular(550.0, 53.0).propagate_minutes(10.0);
+    EXPECT_GT(sv.velocity_km_per_s.norm() * 3600.0, 27000.0);
+}
+
+TEST(Sgp4, OrbitalPeriodReturnsToStart) {
+    const auto sgp4 = make_circular(550.0, 53.0, 120.0, 40.0);
+    const auto kep = KeplerianElements::circular(550.0, 53.0, 120.0, 40.0, epoch());
+    const auto sv0 = sgp4.propagate_minutes(0.0);
+    const auto sv1 = sgp4.propagate_minutes(kep.period_s() / 60.0);
+    // Within one orbit, J2 precession moves the track by well under 150 km.
+    EXPECT_LT(sv0.position_km.distance_to(sv1.position_km), 150.0);
+}
+
+TEST(Sgp4, AgreesWithKeplerJ2OverTenMinutes) {
+    // SGP4 and the independent Kepler+J2 propagator should stay within a
+    // few km over short horizons (periodic terms dominate the difference).
+    const auto kep = KeplerianElements::circular(630.0, 51.9, 77.0, 33.0, epoch());
+    const Sgp4 sgp4(sgp4_elements_from_kepler(kep));
+    for (double t_min : {0.0, 2.0, 5.0, 10.0}) {
+        const auto at = epoch().plus_seconds(t_min * 60.0);
+        const auto a = sgp4.propagate(at).position_km;
+        const auto b = propagate_kepler_j2(kep, at).position_km;
+        EXPECT_LT(a.distance_to(b), 20.0) << "t=" << t_min;
+    }
+}
+
+TEST(Sgp4, AgreesWithKeplerJ2OverTwoHundredSeconds) {
+    // The paper's experiment window is 200 s; over that window the two
+    // models' *relative motion* must agree closely for every shell.
+    for (double alt : {550.0, 630.0, 1015.0}) {
+        const auto kep = KeplerianElements::circular(alt, 53.0, 10.0, 250.0, epoch());
+        const Sgp4 sgp4(sgp4_elements_from_kepler(kep));
+        const auto at = epoch().plus_seconds(200.0);
+        const auto a = sgp4.propagate(at).position_km;
+        const auto b = propagate_kepler_j2(kep, at).position_km;
+        EXPECT_LT(a.distance_to(b), 25.0) << alt;
+    }
+}
+
+TEST(Sgp4, InclinationBoundsZExcursion) {
+    const auto sgp4 = make_circular(1015.0, 98.98);
+    double max_lat = 0.0;
+    for (double t = 0.0; t < 110.0; t += 1.0) {
+        const auto p = sgp4.propagate_minutes(t).position_km;
+        max_lat = std::max(max_lat, std::asin(std::abs(p.z) / p.norm()) * 180.0 / M_PI);
+    }
+    EXPECT_NEAR(max_lat, 98.98 > 90.0 ? 180.0 - 98.98 : 98.98, 0.5);
+}
+
+TEST(Sgp4, MeanAnomalySpacingPreserved) {
+    // Two satellites separated by 180 deg mean anomaly in the same orbit
+    // stay on opposite sides of the Earth.
+    const auto a = make_circular(550.0, 53.0, 0.0, 0.0);
+    const auto b = make_circular(550.0, 53.0, 0.0, 180.0);
+    for (double t : {0.0, 47.0, 95.0}) {
+        const auto pa = a.propagate_minutes(t).position_km;
+        const auto pb = b.propagate_minutes(t).position_km;
+        const double cosang = pa.normalized().dot(pb.normalized());
+        EXPECT_NEAR(cosang, -1.0, 0.01) << t;
+    }
+}
+
+TEST(Sgp4, RejectsDeepSpaceOrbit) {
+    // Geostationary-ish orbit: period >> 225 min.
+    auto kep = KeplerianElements::circular(35786.0, 0.1, 0.0, 0.0, epoch());
+    EXPECT_THROW(Sgp4{sgp4_elements_from_kepler(kep)}, std::invalid_argument);
+}
+
+TEST(Sgp4, RejectsInvalidEccentricity) {
+    auto el = sgp4_elements_from_kepler(
+        KeplerianElements::circular(550.0, 53.0, 0.0, 0.0, epoch()));
+    el.eccentricity = 1.5;
+    EXPECT_THROW(Sgp4{el}, std::invalid_argument);
+}
+
+TEST(Sgp4, RejectsSubSurfacePerigee) {
+    auto kep = KeplerianElements::circular(550.0, 53.0, 0.0, 0.0, epoch());
+    kep.eccentricity = 0.5;  // perigee far below the surface
+    EXPECT_THROW(Sgp4{sgp4_elements_from_kepler(kep)}, std::invalid_argument);
+}
+
+TEST(Sgp4, UnKozaiCloseToInput) {
+    const auto kep = KeplerianElements::circular(550.0, 53.0, 0.0, 0.0, epoch());
+    const Sgp4 sgp4(sgp4_elements_from_kepler(kep));
+    const double no_kozai = kep.mean_motion_rad_per_s() * 60.0;
+    EXPECT_NEAR(sgp4.no_unkozai() / no_kozai, 1.0, 1e-3);
+}
+
+TEST(Sgp4, DragTermsShrinkOrbitSlowly) {
+    auto el = sgp4_elements_from_kepler(
+        KeplerianElements::circular(550.0, 53.0, 0.0, 0.0, epoch()), /*bstar=*/1e-4);
+    const Sgp4 sgp4(el);
+    const double r0 = sgp4.propagate_minutes(0.0).position_km.norm();
+    const double r1 = sgp4.propagate_minutes(1440.0).position_km.norm();
+    // With positive drag the mean radius decays, but only slightly per day.
+    EXPECT_LT(r1 - r0, 5.0);
+}
+
+}  // namespace
+}  // namespace hypatia::orbit

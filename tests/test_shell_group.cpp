@@ -1,0 +1,138 @@
+#include "src/topology/shell_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/routing/multi_shell.hpp"
+#include "src/routing/shortest_path.hpp"
+#include "src/topology/cities.hpp"
+
+namespace hypatia::topo {
+namespace {
+
+std::vector<ShellParams> two_minis() {
+    return {
+        {"mini_a", 550.0, 4, 5, 53.0, 25.0, 0.5, PropagatorKind::kSgp4},
+        {"mini_b", 630.0, 3, 6, 42.0, 30.0, 0.5, PropagatorKind::kSgp4},
+    };
+}
+
+TEST(ShellGroup, GlobalIdSpace) {
+    const ShellGroup g(two_minis(), default_epoch());
+    EXPECT_EQ(g.num_shells(), 2);
+    EXPECT_EQ(g.num_satellites(), 20 + 18);
+    EXPECT_EQ(g.shell_of(0), 0);
+    EXPECT_EQ(g.shell_of(19), 0);
+    EXPECT_EQ(g.shell_of(20), 1);
+    EXPECT_EQ(g.local_id(20), 0);
+    EXPECT_EQ(g.global_id(1, 3), 23);
+}
+
+TEST(ShellGroup, RejectsEmpty) {
+    EXPECT_THROW(ShellGroup({}, default_epoch()), std::invalid_argument);
+}
+
+TEST(ShellGroup, PositionsMatchUnderlyingShells) {
+    const ShellGroup g(two_minis(), default_epoch());
+    const SatelliteMobility& mob1 = g.mobility(1);
+    for (int local = 0; local < 5; ++local) {
+        const Vec3 a = g.position_ecef(g.global_id(1, local), 7 * kNsPerSec);
+        const Vec3 b = mob1.position_ecef(local, 7 * kNsPerSec);
+        EXPECT_LT(a.distance_to(b), 1e-9);
+    }
+}
+
+TEST(ShellGroup, IslsStayWithinShells) {
+    const ShellGroup g(two_minis(), default_epoch());
+    EXPECT_EQ(g.isls().size(), 2u * 20 + 2u * 18);
+    for (const auto& isl : g.isls()) {
+        EXPECT_EQ(g.shell_of(isl.sat_a), g.shell_of(isl.sat_b));
+    }
+}
+
+TEST(ShellGroup, VisibilityMergesShells) {
+    const ShellGroup g({shell_by_name("kuiper_k1"), shell_by_name("kuiper_k2")},
+                       default_epoch());
+    const auto singapore = city_by_name("Singapore");
+    const auto merged = g.visible_satellites(singapore, 0);
+    const auto only_k1 =
+        visible_satellites(singapore, g.mobility(0), 0);
+    EXPECT_GT(merged.size(), only_k1.size());
+    // Global ids from the second shell start at |K1|.
+    bool saw_second_shell = false;
+    for (const auto& e : merged) {
+        if (e.sat_id >= g.constellation(0).num_satellites()) saw_second_shell = true;
+    }
+    EXPECT_TRUE(saw_second_shell);
+}
+
+TEST(ShellGroup, FullKuiperCoverageSupersetOfK1) {
+    const ShellGroup full({shell_by_name("kuiper_k1"), shell_by_name("kuiper_k2"),
+                           shell_by_name("kuiper_k3")},
+                          default_epoch());
+    const auto miami = city_by_name("Miami");
+    for (TimeNs t = 0; t < 60 * kNsPerSec; t += 20 * kNsPerSec) {
+        const bool k1 = has_coverage(miami, full.mobility(0), t);
+        EXPECT_LE(k1, full.has_coverage(miami, t));  // k1 covered => group covered
+    }
+}
+
+TEST(MultiShellSnapshot, RoutesAcrossTheGroundBetweenShells) {
+    // Without inter-shell ISLs, a path can still switch shells through the
+    // GS endpoints' multiple GSL options; routing must simply work.
+    const ShellGroup g({shell_by_name("kuiper_k1"), shell_by_name("kuiper_k2")},
+                       default_epoch());
+    std::vector<orbit::GroundStation> gses = {city_by_name("Manila"),
+                                              city_by_name("Dalian")};
+    const auto graph = route::build_group_snapshot(g, gses, 0);
+    const auto tree = route::dijkstra_to(graph, graph.gs_node(1));
+    const double d = tree.distance_km[static_cast<std::size_t>(graph.gs_node(0))];
+    EXPECT_LT(d, 1e5);
+    // Multi-shell distance can only be <= the single-shell distance.
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const SatelliteMobility mob(k1);
+    const auto isls = build_isls(k1, IslPattern::kPlusGrid);
+    const auto single = route::build_snapshot(mob, isls, gses, 0);
+    const auto single_tree = route::dijkstra_to(single, single.gs_node(1));
+    EXPECT_LE(d, single_tree.distance_km[static_cast<std::size_t>(single.gs_node(0))] +
+                     1e-6);
+}
+
+TEST(GeoShell, RingAtGeostationaryAltitude) {
+    const auto params = geostationary_shell(3);
+    const Constellation geo(params, default_epoch());
+    const SatelliteMobility mob(geo);
+    for (int sat = 0; sat < 3; ++sat) {
+        const Vec3 p = mob.position_ecef(sat, 0);
+        EXPECT_NEAR(p.norm() - orbit::Wgs72::kEarthRadiusKm, 35786.0, 100.0);
+        EXPECT_NEAR(p.z, 0.0, 50.0);  // equatorial
+    }
+}
+
+TEST(GeoShell, StationaryRelativeToEarth) {
+    const Constellation geo(geostationary_shell(3), default_epoch());
+    const SatelliteMobility mob(geo);
+    const Vec3 p0 = mob.position_ecef(0, 0);
+    const Vec3 p1 = mob.position_ecef(0, 600 * kNsPerSec);
+    // Over 10 minutes a geostationary satellite moves < ~40 km in ECEF
+    // (only J2/modelling residue); a LEO satellite would move ~4,500 km.
+    EXPECT_LT(p0.distance_to(p1), 50.0);
+}
+
+TEST(GeoShell, GsGeoGsPathHasGeoLatency) {
+    // The paper's section 2.4 GEO baseline: bent-pipe through one GEO
+    // satellite costs hundreds of milliseconds.
+    const Constellation geo(geostationary_shell(3), default_epoch());
+    const SatelliteMobility mob(geo);
+    std::vector<orbit::GroundStation> gses = {city_by_name("Miami"),
+                                              city_by_name("Bogota")};
+    const auto graph = route::build_snapshot(mob, {}, gses, 0);
+    const auto tree = route::dijkstra_to(graph, graph.gs_node(1));
+    const double d = tree.distance_km[static_cast<std::size_t>(graph.gs_node(0))];
+    ASSERT_NE(d, route::kInfDistance);
+    const double rtt_ms = 2.0 * d / orbit::kSpeedOfLightKmPerS * 1e3;
+    EXPECT_GT(rtt_ms, 450.0);
+    EXPECT_LT(rtt_ms, 600.0);
+}
+
+}  // namespace
+}  // namespace hypatia::topo

@@ -1,0 +1,130 @@
+#include "src/routing/shortest_path.hpp"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/topology/cities.hpp"
+
+namespace hypatia::route {
+namespace {
+
+TEST(Dijkstra, LineGraph) {
+    Graph g(3, 2);  // sats 0,1,2; gs 3,4
+    g.add_undirected_edge(3, 0, 1.0);
+    g.add_undirected_edge(0, 1, 2.0);
+    g.add_undirected_edge(1, 2, 3.0);
+    g.add_undirected_edge(2, 4, 4.0);
+    const auto tree = dijkstra_to(g, 4);
+    EXPECT_DOUBLE_EQ(tree.distance_km[3], 10.0);
+    EXPECT_EQ(tree.next_hop[3], 0);
+    EXPECT_EQ(tree.next_hop[0], 1);
+    EXPECT_EQ(tree.next_hop[1], 2);
+    EXPECT_EQ(tree.next_hop[2], 4);
+}
+
+TEST(Dijkstra, GroundStationDoesNotRelay) {
+    // Two GSes connected through a middle GS that must not relay:
+    // gs2 - sat0 - gs3 - sat1 - gs4. Path 2->4 must not shortcut via gs3.
+    Graph g(2, 3);
+    g.add_undirected_edge(2, 0, 1.0);
+    g.add_undirected_edge(0, 3, 1.0);
+    g.add_undirected_edge(3, 1, 1.0);
+    g.add_undirected_edge(1, 4, 1.0);
+    const auto tree = dijkstra_to(g, 4);
+    EXPECT_EQ(tree.distance_km[2], kInfDistance);
+    EXPECT_EQ(tree.next_hop[2], -1);
+}
+
+TEST(Dijkstra, RelayGroundStationBridges) {
+    Graph g(2, 3);
+    g.add_undirected_edge(2, 0, 1.0);
+    g.add_undirected_edge(0, 3, 1.0);
+    g.add_undirected_edge(3, 1, 1.0);
+    g.add_undirected_edge(1, 4, 1.0);
+    g.set_relay(3, true);  // bent-pipe relay
+    const auto tree = dijkstra_to(g, 4);
+    EXPECT_DOUBLE_EQ(tree.distance_km[2], 4.0);
+    const auto path = extract_path(tree, 2);
+    const std::vector<int> expected = {2, 0, 3, 1, 4};
+    EXPECT_EQ(path, expected);
+}
+
+TEST(Dijkstra, UnreachableNode) {
+    Graph g(2, 2);
+    g.add_undirected_edge(2, 0, 1.0);  // gs2 - sat0, sat1/gs3 isolated
+    const auto tree = dijkstra_to(g, 2);
+    EXPECT_EQ(tree.distance_km[3], kInfDistance);
+    EXPECT_TRUE(extract_path(tree, 3).empty());
+}
+
+TEST(Dijkstra, DestinationPathIsItself) {
+    Graph g(1, 1);
+    g.add_undirected_edge(0, 1, 5.0);
+    const auto tree = dijkstra_to(g, 1);
+    const auto path = extract_path(tree, 1);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], 1);
+    EXPECT_DOUBLE_EQ(tree.distance_km[1], 0.0);
+}
+
+TEST(Dijkstra, PicksShorterOfTwoRoutes) {
+    Graph g(4, 2);
+    g.add_undirected_edge(4, 0, 1.0);
+    g.add_undirected_edge(0, 1, 1.0);
+    g.add_undirected_edge(1, 5, 1.0);  // total 3
+    g.add_undirected_edge(4, 2, 1.0);
+    g.add_undirected_edge(2, 3, 5.0);
+    g.add_undirected_edge(3, 5, 1.0);  // total 7
+    const auto tree = dijkstra_to(g, 5);
+    EXPECT_DOUBLE_EQ(tree.distance_km[4], 3.0);
+    EXPECT_EQ(extract_path(tree, 4).size(), 4u);
+}
+
+TEST(FloydWarshall, MatchesDijkstraOnRandomGraphs) {
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> w(1.0, 10.0);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int sats = 8, gs = 4;
+        Graph g(sats, gs);
+        std::uniform_int_distribution<int> pick(0, sats + gs - 1);
+        for (int e = 0; e < 25; ++e) {
+            const int a = pick(rng), b = pick(rng);
+            if (a == b) continue;
+            g.add_undirected_edge(a, b, w(rng));
+        }
+        const auto fw = floyd_warshall(g);
+        for (int dst = sats; dst < sats + gs; ++dst) {
+            const auto tree = dijkstra_to(g, dst);
+            for (int src = 0; src < sats + gs; ++src) {
+                if (src == dst) continue;
+                // Floyd-Warshall computes src->dst honoring relay rules at
+                // intermediate nodes only, exactly like Dijkstra.
+                const double fw_dist =
+                    fw[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+                const double dj_dist = tree.distance_km[static_cast<std::size_t>(src)];
+                if (fw_dist == kInfDistance) {
+                    EXPECT_EQ(dj_dist, kInfDistance) << trial << " " << src << "->" << dst;
+                } else {
+                    EXPECT_NEAR(dj_dist, fw_dist, 1e-9) << trial << " " << src << "->" << dst;
+                }
+            }
+        }
+    }
+}
+
+TEST(ExtractPath, EndpointsAndContiguity) {
+    Graph g(5, 2);
+    g.add_undirected_edge(5, 0, 1.0);
+    g.add_undirected_edge(0, 1, 1.0);
+    g.add_undirected_edge(1, 2, 1.0);
+    g.add_undirected_edge(2, 6, 1.0);
+    const auto tree = dijkstra_to(g, 6);
+    const auto path = extract_path(tree, 5);
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), 5);
+    EXPECT_EQ(path.back(), 6);
+}
+
+}  // namespace
+}  // namespace hypatia::route

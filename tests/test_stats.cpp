@@ -1,0 +1,72 @@
+#include "src/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypatia::util {
+namespace {
+
+TEST(Percentile, EmptyReturnsZero) { EXPECT_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(Percentile, SingleValue) { EXPECT_EQ(percentile({42.0}, 50.0), 42.0); }
+
+TEST(Percentile, MedianInterpolates) {
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+}
+
+TEST(Percentile, ExtremesClampToMinMax) {
+    std::vector<double> v = {5.0, 1.0, 3.0};
+    EXPECT_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+    EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 50.0), 5.0);
+}
+
+TEST(Summarize, BasicFields) {
+    const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_EQ(s.min, 1.0);
+    EXPECT_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Ecdf, FractionsAreMonotoneAndEndAtOne) {
+    const auto points = ecdf({3.0, 1.0, 2.0, 2.0});
+    ASSERT_FALSE(points.empty());
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_LE(points[i - 1].x, points[i].x);
+        EXPECT_LT(points[i - 1].fraction, points[i].fraction);
+    }
+    EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+    EXPECT_DOUBLE_EQ(points.back().x, 3.0);
+}
+
+TEST(Ecdf, ThinningKeepsLastPoint) {
+    std::vector<double> v(1000);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+    const auto points = ecdf(v, 10);
+    EXPECT_LE(points.size(), 12u);
+    EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+    EXPECT_DOUBLE_EQ(points.back().x, 999.0);
+}
+
+TEST(RunningStats, TracksMinMaxMean) {
+    RunningStats rs;
+    rs.add(2.0);
+    rs.add(-1.0);
+    rs.add(5.0);
+    EXPECT_EQ(rs.count(), 3u);
+    EXPECT_EQ(rs.min(), -1.0);
+    EXPECT_EQ(rs.max(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+}
+
+TEST(RunningStats, EmptyMeanIsZero) {
+    RunningStats rs;
+    EXPECT_EQ(rs.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace hypatia::util

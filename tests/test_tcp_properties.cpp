@@ -1,0 +1,118 @@
+// Property-based sweeps over the TCP implementation: conservation and
+// correctness invariants across a grid of path delays, line rates, queue
+// sizes, and congestion-control algorithms.
+#include <gtest/gtest.h>
+
+#include "src/sim/tcp_socket.hpp"
+
+namespace hypatia::sim {
+namespace {
+
+struct TcpCase {
+    TimeNs link_delay;
+    double rate_bps;
+    std::size_t queue_packets;
+    const char* cc;
+};
+
+std::string case_name(const ::testing::TestParamInfo<TcpCase>& info) {
+    const auto& p = info.param;
+    return std::string(p.cc) + "_d" + std::to_string(p.link_delay / kNsPerMs) +
+           "ms_r" + std::to_string(static_cast<int>(p.rate_bps / 1e6)) + "mbps_q" +
+           std::to_string(p.queue_packets);
+}
+
+class TcpGrid : public ::testing::TestWithParam<TcpCase> {
+  protected:
+    void SetUp() override {
+        const auto& p = GetParam();
+        net_ = std::make_unique<Network>(sim_);
+        net_->create_nodes(4);
+        auto delay = [d = p.link_delay](int, int, TimeNs) { return d; };
+        for (int n = 0; n < 4; ++n) net_->add_gsl(n, p.rate_bps, p.queue_packets, delay);
+        net_->add_isl(1, 2, p.rate_bps, p.queue_packets, delay);
+        net_->node(0).set_next_hop(3, 1);
+        net_->node(1).set_next_hop(3, 2);
+        net_->node(2).set_next_hop(3, 3);
+        net_->node(3).set_next_hop(0, 2);
+        net_->node(2).set_next_hop(0, 1);
+        net_->node(1).set_next_hop(0, 0);
+    }
+
+    std::unique_ptr<TcpFlow> make_flow(std::uint64_t max_segments = 0) {
+        TcpConfig cfg;
+        cfg.flow_id = 1;
+        cfg.src_node = 0;
+        cfg.dst_node = 3;
+        cfg.max_segments = max_segments;
+        const auto& p = GetParam();
+        auto cc = std::string(p.cc) == "vegas" ? make_vegas() : make_newreno();
+        return std::make_unique<TcpFlow>(*net_, cfg, std::move(cc));
+    }
+
+    Simulator sim_;
+    std::unique_ptr<Network> net_;
+};
+
+TEST_P(TcpGrid, FiniteTransferCompletesInOrder) {
+    auto flow = make_flow(300);
+    sim_.run_until(120 * kNsPerSec);
+    EXPECT_EQ(flow->delivered_segments(), 300u);
+    EXPECT_EQ(flow->flight_size(), 0u);
+}
+
+TEST_P(TcpGrid, CwndNeverBelowOne) {
+    auto flow = make_flow();
+    sim_.run_until(20 * kNsPerSec);
+    for (const auto& s : flow->cwnd_trace()) EXPECT_GE(s.cwnd, 1.0);
+}
+
+TEST_P(TcpGrid, RttNeverBelowPropagation) {
+    auto flow = make_flow();
+    sim_.run_until(20 * kNsPerSec);
+    const TimeNs floor = 6 * GetParam().link_delay;  // 3 hops each way
+    for (const auto& s : flow->rtt_trace()) EXPECT_GE(s.rtt, floor);
+}
+
+TEST_P(TcpGrid, RttBoundedByQueueCapacity) {
+    auto flow = make_flow();
+    sim_.run_until(20 * kNsPerSec);
+    const auto& p = GetParam();
+    // Max RTT <= propagation + every queue on the round trip full
+    // (5 devices out + 5 back) + delayed-ACK timeout.
+    const double pkt_s = 1500.0 * 8.0 / p.rate_bps;
+    const TimeNs max_queueing =
+        seconds_to_ns(10.0 * (p.queue_packets + 2) * pkt_s);
+    const TimeNs bound = 6 * p.link_delay + max_queueing + 250 * kNsPerMs;
+    for (const auto& s : flow->rtt_trace()) EXPECT_LE(s.rtt, bound);
+}
+
+TEST_P(TcpGrid, GoodputWithinLineRate) {
+    auto flow = make_flow();
+    sim_.run_until(30 * kNsPerSec);
+    const double goodput = static_cast<double>(flow->delivered_bytes()) * 8.0 / 30.0;
+    const auto& p = GetParam();
+    EXPECT_LE(goodput, p.rate_bps);      // can't beat the wire
+    EXPECT_GT(goodput, 0.05 * p.rate_bps);  // and it's not broken
+}
+
+TEST_P(TcpGrid, DeliveredNeverExceedsSent) {
+    auto flow = make_flow();
+    sim_.run_until(10 * kNsPerSec);
+    EXPECT_LE(flow->delivered_segments(), flow->snd_nxt());
+    EXPECT_LE(flow->snd_una(), flow->snd_nxt());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TcpGrid,
+    ::testing::Values(TcpCase{2 * kNsPerMs, 10e6, 100, "newreno"},
+                      TcpCase{20 * kNsPerMs, 10e6, 100, "newreno"},
+                      TcpCase{2 * kNsPerMs, 2e6, 20, "newreno"},
+                      TcpCase{10 * kNsPerMs, 50e6, 50, "newreno"},
+                      TcpCase{2 * kNsPerMs, 10e6, 100, "vegas"},
+                      TcpCase{20 * kNsPerMs, 10e6, 100, "vegas"},
+                      TcpCase{10 * kNsPerMs, 2e6, 20, "vegas"}),
+    case_name);
+
+}  // namespace
+}  // namespace hypatia::sim

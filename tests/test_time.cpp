@@ -1,0 +1,74 @@
+#include "src/orbit/time.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hypatia::orbit {
+namespace {
+
+TEST(JulianDateFromUtc, KnownEpochs) {
+    // J2000: 2000-01-01 12:00 UTC = JD 2451545.0.
+    EXPECT_NEAR(julian_date_from_utc(2000, 1, 1, 12, 0, 0.0).total(), 2451545.0, 1e-9);
+    // 2000-01-01 00:00 UTC = JD 2451544.5.
+    EXPECT_NEAR(julian_date_from_utc(2000, 1, 1, 0, 0, 0.0).total(), 2451544.5, 1e-9);
+    // Unix epoch 1970-01-01 00:00 UTC = JD 2440587.5.
+    EXPECT_NEAR(julian_date_from_utc(1970, 1, 1, 0, 0, 0.0).total(), 2440587.5, 1e-9);
+    // Vallado example: 1996-10-26 14:20:00 UTC = JD 2450383.09722222.
+    EXPECT_NEAR(julian_date_from_utc(1996, 10, 26, 14, 20, 0.0).total(),
+                2450383.09722222, 1e-7);
+}
+
+TEST(JulianDate, PlusSecondsRoundTrips) {
+    const auto jd = julian_date_from_utc(2000, 1, 1, 0, 0, 0.0);
+    const auto later = jd.plus_seconds(86400.0 * 2.5);
+    EXPECT_NEAR(later.seconds_since(jd), 86400.0 * 2.5, 1e-6);
+}
+
+TEST(JulianDate, FractionStaysNormalized) {
+    auto jd = julian_date_from_utc(2020, 6, 15, 23, 59, 59.0);
+    for (int i = 0; i < 1000; ++i) jd = jd.plus_seconds(3600.0);
+    EXPECT_GE(jd.frac, 0.0);
+    EXPECT_LT(jd.frac, 1.0);
+}
+
+TEST(JulianDate, NegativeSecondsSupported) {
+    const auto jd = julian_date_from_utc(2000, 1, 2, 0, 0, 0.0);
+    const auto earlier = jd.plus_seconds(-86400.0);
+    EXPECT_NEAR(earlier.total(), julian_date_from_utc(2000, 1, 1, 0, 0, 0.0).total(),
+                1e-9);
+}
+
+TEST(Gmst, KnownValue) {
+    // Vallado Example 3-5: 1992-08-20 12:14 UT1 -> GMST = 152.578787886 deg.
+    const auto jd = julian_date_from_utc(1992, 8, 20, 12, 14, 0.0);
+    const double gmst_deg = gmst_radians(jd) * 180.0 / M_PI;
+    EXPECT_NEAR(gmst_deg, 152.578787886, 1e-6);
+}
+
+TEST(Gmst, AlwaysInRange) {
+    for (int h = 0; h < 48; ++h) {
+        const auto jd = julian_date_from_utc(2000, 1, 1, 0, 0, 0.0).plus_seconds(h * 3600.0);
+        const double g = gmst_radians(jd);
+        EXPECT_GE(g, 0.0);
+        EXPECT_LT(g, 2.0 * M_PI);
+    }
+}
+
+TEST(Gmst, AdvancesBySiderealRate) {
+    // Earth rotates ~360.9856 deg per solar day in sidereal terms.
+    const auto jd0 = julian_date_from_utc(2000, 1, 1, 0, 0, 0.0);
+    const auto jd1 = jd0.plus_seconds(86400.0);
+    double delta = gmst_radians(jd1) - gmst_radians(jd0);
+    if (delta < 0.0) delta += 2.0 * M_PI;
+    EXPECT_NEAR(delta * 180.0 / M_PI, 0.9856, 2e-3);
+}
+
+TEST(DaysSince1949, Epoch2000) {
+    // 2000-01-01 00:00 minus 1949-12-31 00:00 = 18263 days.
+    const auto jd = julian_date_from_utc(2000, 1, 1, 0, 0, 0.0);
+    EXPECT_NEAR(days_since_1949_dec_31(jd), 18263.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hypatia::orbit

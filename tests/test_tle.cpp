@@ -1,0 +1,119 @@
+#include "src/orbit/tle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/orbit/kepler.hpp"
+#include "src/orbit/sgp4.hpp"
+#include "src/orbit/time.hpp"
+
+namespace hypatia::orbit {
+namespace {
+
+JulianDate epoch() { return julian_date_from_utc(2000, 1, 1, 0, 0, 0.0); }
+
+Tle sample_tle() {
+    const auto kep = KeplerianElements::circular(630.0, 51.9, 123.4567, 42.42, epoch());
+    return Tle::from_kepler(kep, 1234, "Kuiper-1234");
+}
+
+TEST(TleChecksum, KnownIssLine) {
+    // Real ISS TLE line 1 (checksum digit is the trailing '7').
+    const std::string l1 =
+        "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  292";
+    EXPECT_EQ(tle_checksum(l1), 7);
+}
+
+TEST(TleFormat, LinesAre69Chars) {
+    const auto tle = sample_tle();
+    EXPECT_EQ(tle.line1().size(), 69u);
+    EXPECT_EQ(tle.line2().size(), 69u);
+}
+
+TEST(TleFormat, ChecksumsSelfConsistent) {
+    const auto tle = sample_tle();
+    for (const auto& line : {tle.line1(), tle.line2()}) {
+        EXPECT_EQ(tle_checksum(line.substr(0, 68)), line[68] - '0') << line;
+    }
+}
+
+TEST(TleRoundTrip, FieldsSurviveFormatParse) {
+    const auto tle = sample_tle();
+    const auto parsed = Tle::parse(tle.line1(), tle.line2());
+    EXPECT_EQ(parsed.satellite_number, 1234);
+    EXPECT_NEAR(parsed.inclination_deg, 51.9, 1e-4);
+    EXPECT_NEAR(parsed.raan_deg, 123.4567, 1e-4);
+    EXPECT_NEAR(parsed.eccentricity, 0.0, 1e-7);
+    EXPECT_NEAR(parsed.mean_anomaly_deg, 42.42, 1e-4);
+    EXPECT_NEAR(parsed.mean_motion_rev_per_day, tle.mean_motion_rev_per_day, 1e-7);
+    EXPECT_NEAR(parsed.epoch.seconds_since(epoch()), 0.0, 1e-2);
+}
+
+TEST(TleRoundTrip, PropagationMatchesDirectKepler) {
+    // The paper's validation: elements -> TLE -> propagate should produce
+    // the same constellation as direct initialization from the elements.
+    const auto kep = KeplerianElements::circular(550.0, 53.0, 200.0, 300.0, epoch());
+    const Sgp4 direct(sgp4_elements_from_kepler(kep));
+    const auto tle = Tle::from_kepler(kep, 42);
+    const auto parsed = Tle::parse(tle.line1(), tle.line2());
+    const Sgp4 via_tle(parsed.to_sgp4_elements());
+    for (double t : {0.0, 50.0, 100.0, 200.0}) {
+        const auto a = direct.propagate_minutes(t).position_km;
+        const auto b = via_tle.propagate_minutes(t).position_km;
+        // TLE fields quantize angles to 1e-4 deg -> tens of metres of
+        // position difference; allow 2 km for the worst alignment.
+        EXPECT_LT(a.distance_to(b), 2.0) << t;
+    }
+}
+
+TEST(TleParse, RejectsBadChecksum) {
+    auto tle = sample_tle();
+    std::string l1 = tle.line1();
+    l1[68] = l1[68] == '0' ? '1' : '0';
+    EXPECT_THROW(Tle::parse(l1, tle.line2()), std::invalid_argument);
+}
+
+TEST(TleParse, RejectsShortLine) {
+    EXPECT_THROW(Tle::parse("1 00001U", "2 00001"), std::invalid_argument);
+}
+
+TEST(TleParse, RejectsMismatchedSatNumbers) {
+    const auto a = sample_tle();
+    auto b = sample_tle();
+    b.satellite_number = 9999;
+    EXPECT_THROW(Tle::parse(a.line1(), b.line2()), std::invalid_argument);
+}
+
+TEST(TleParse, RejectsWrongLineOrder) {
+    const auto tle = sample_tle();
+    EXPECT_THROW(Tle::parse(tle.line2(), tle.line1()), std::invalid_argument);
+}
+
+TEST(TleEpoch, YearWindowConvention) {
+    // Epoch years 57-99 are 1900s, 00-56 are 2000s. Our epoch is 2000.
+    const auto tle = sample_tle();
+    const auto parsed = Tle::parse(tle.line1(), tle.line2());
+    EXPECT_NEAR(parsed.epoch.total(), epoch().total(), 1e-6);
+}
+
+TEST(TleBstar, ExponentFieldRoundTrips) {
+    auto tle = sample_tle();
+    tle.bstar = 1.1423e-5;
+    const auto parsed = Tle::parse(tle.line1(), tle.line2());
+    EXPECT_NEAR(parsed.bstar, 1.1423e-5, 1e-9);
+}
+
+TEST(TleBstar, NegativeExponentFieldRoundTrips) {
+    auto tle = sample_tle();
+    tle.bstar = -3.4e-4;
+    const auto parsed = Tle::parse(tle.line1(), tle.line2());
+    EXPECT_NEAR(parsed.bstar, -3.4e-4, 1e-8);
+}
+
+TEST(TleBstar, ZeroFieldRoundTrips) {
+    const auto tle = sample_tle();
+    const auto parsed = Tle::parse(tle.line1(), tle.line2());
+    EXPECT_EQ(parsed.bstar, 0.0);
+}
+
+}  // namespace
+}  // namespace hypatia::orbit

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/ping_app.hpp"
+#include "src/sim/udp_app.hpp"
+
+namespace hypatia::sim {
+namespace {
+
+// Symmetric two-GS chain with 2 satellites (like the paper's minimum
+// end-end path: GSL up, one ISL, GSL down), 10 Mbit/s everywhere.
+struct TestNet {
+    Simulator sim;
+    Network net{sim};
+
+    explicit TestNet(TimeNs link_delay = 5 * kNsPerMs, double rate = 1e7) {
+        net.create_nodes(4);
+        auto delay = [link_delay](int, int, TimeNs) { return link_delay; };
+        for (int n = 0; n < 4; ++n) net.add_gsl(n, rate, 100, delay);
+        net.add_isl(1, 2, rate, 100, delay);
+        net.node(0).set_next_hop(3, 1);
+        net.node(1).set_next_hop(3, 2);
+        net.node(2).set_next_hop(3, 3);
+        net.node(3).set_next_hop(0, 2);
+        net.node(2).set_next_hop(0, 1);
+        net.node(1).set_next_hop(0, 0);
+    }
+};
+
+TEST(UdpFlow, DeliversAllPacketsBelowCapacity) {
+    TestNet t;
+    UdpFlow::Config cfg;
+    cfg.flow_id = 1;
+    cfg.src_node = 0;
+    cfg.dst_node = 3;
+    cfg.rate_bps = 5e6;  // half the line rate
+    cfg.packet_size_bytes = 1500;
+    cfg.start = 0;
+    cfg.stop = 1 * kNsPerSec;
+    UdpFlow flow(t.net, cfg);
+    t.sim.run_until(2 * kNsPerSec);
+    EXPECT_GT(flow.sent_packets(), 400u);
+    EXPECT_EQ(flow.received_packets(), flow.sent_packets());
+}
+
+TEST(UdpFlow, GoodputMatchesOfferedLoad) {
+    TestNet t;
+    UdpFlow::Config cfg;
+    cfg.flow_id = 1;
+    cfg.src_node = 0;
+    cfg.dst_node = 3;
+    cfg.rate_bps = 4e6;
+    cfg.packet_size_bytes = 1500;
+    cfg.stop = 2 * kNsPerSec;
+    UdpFlow flow(t.net, cfg);
+    t.sim.run_until(3 * kNsPerSec);
+    // Goodput = payload fraction of the offered wire rate.
+    const double expected = 4e6 * (1500.0 - kHeaderBytes) / 1500.0;
+    EXPECT_NEAR(flow.goodput_bps(2 * kNsPerSec), expected, expected * 0.05);
+}
+
+TEST(UdpFlow, OverloadIsCappedByLineRate) {
+    TestNet t;
+    UdpFlow::Config cfg;
+    cfg.flow_id = 1;
+    cfg.src_node = 0;
+    cfg.dst_node = 3;
+    cfg.rate_bps = 3e7;  // 3x the line rate
+    cfg.packet_size_bytes = 1500;
+    cfg.stop = 1 * kNsPerSec;
+    UdpFlow flow(t.net, cfg);
+    t.sim.run_until(3 * kNsPerSec);
+    // Capacity over 1 s of sending = line_rate / packet_size, plus the
+    // queue contents that drain after the sender stops.
+    const double capacity_packets = 1e7 / (1500.0 * 8.0) + 100.0 + 2.0;
+    EXPECT_LE(flow.received_packets(), static_cast<std::uint64_t>(capacity_packets));
+    EXPECT_GT(flow.received_packets(), 750u);
+    EXPECT_GT(t.net.total_queue_drops(), 0u);
+}
+
+TEST(PingApp, RttEqualsPathDelay) {
+    TestNet t;  // 5 ms per link, 3 links each way, negligible serialization
+    PingApp::Config cfg;
+    cfg.flow_id = 2;
+    cfg.src_node = 0;
+    cfg.dst_node = 3;
+    cfg.interval = 100 * kNsPerMs;
+    cfg.stop = 1 * kNsPerSec;
+    PingApp ping(t.net, cfg);
+    t.sim.run_until(2 * kNsPerSec);
+    ASSERT_GT(ping.replies(), 5u);
+    for (const auto& s : ping.samples()) {
+        if (!s.replied) continue;
+        EXPECT_NEAR(ns_to_ms(s.rtt), 30.0, 1.0);  // 6 x 5 ms + tx times
+    }
+}
+
+TEST(PingApp, LostProbesRecordedUnreplied) {
+    TestNet t;
+    t.net.node(1).set_next_hop(3, -1);  // black-hole the forward path
+    PingApp::Config cfg;
+    cfg.flow_id = 2;
+    cfg.src_node = 0;
+    cfg.dst_node = 3;
+    cfg.interval = 100 * kNsPerMs;
+    cfg.stop = 1 * kNsPerSec;
+    PingApp ping(t.net, cfg);
+    t.sim.run_until(2 * kNsPerSec);
+    EXPECT_EQ(ping.replies(), 0u);
+    EXPECT_EQ(ping.sent(), 10u);
+    for (const auto& s : ping.samples()) EXPECT_FALSE(s.replied);
+}
+
+TEST(PingApp, SamplesEveryInterval) {
+    TestNet t;
+    PingApp::Config cfg;
+    cfg.flow_id = 2;
+    cfg.src_node = 0;
+    cfg.dst_node = 3;
+    cfg.interval = 1 * kNsPerMs;
+    cfg.stop = 500 * kNsPerMs;
+    PingApp ping(t.net, cfg);
+    t.sim.run_until(1 * kNsPerSec);
+    EXPECT_EQ(ping.sent(), 500u);
+    EXPECT_EQ(ping.replies(), 500u);
+}
+
+}  // namespace
+}  // namespace hypatia::sim

@@ -1,0 +1,120 @@
+#include "src/topology/visibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/topology/cities.hpp"
+
+namespace hypatia::topo {
+namespace {
+
+TEST(Visibility, KuiperCoversEquatorialCity) {
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const SatelliteMobility mob(k1);
+    const auto singapore = city_by_name("Singapore");
+    // A 1,156-satellite shell at 51.9 deg inclination always covers the
+    // equator.
+    for (TimeNs t = 0; t < 100 * kNsPerSec; t += 25 * kNsPerSec) {
+        EXPECT_TRUE(has_coverage(singapore, mob, t)) << t;
+    }
+}
+
+TEST(Visibility, KuiperNeverCoversPole) {
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const SatelliteMobility mob(k1);
+    const orbit::GroundStation pole(0, "South Pole", {-89.9, 0.0, 0.0});
+    // Paper: "Kuiper entirely eschews connectivity near the poles".
+    for (TimeNs t = 0; t < 100 * kNsPerSec; t += 25 * kNsPerSec) {
+        EXPECT_FALSE(has_coverage(pole, mob, t)) << t;
+    }
+}
+
+TEST(Visibility, TelesatPolarShellCoversHighLatitudes) {
+    const Constellation t1(shell_by_name("telesat_t1"), default_epoch());
+    const SatelliteMobility mob(t1);
+    const orbit::GroundStation tromso(0, "Tromso", {69.65, 18.96, 0.0});
+    int covered = 0;
+    const int samples = 10;
+    for (int i = 0; i < samples; ++i) {
+        if (has_coverage(tromso, mob, i * 20 * kNsPerSec)) ++covered;
+    }
+    // 98.98 deg inclination covers the poles; with l=10 deg coverage
+    // should be continuous or nearly so.
+    EXPECT_GE(covered, samples - 1);
+}
+
+TEST(Visibility, EntriesRespectConeRange) {
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const SatelliteMobility mob(k1);
+    const auto tokyo = city_by_name("Tokyo");
+    const double max_range = k1.params().max_gsl_range_km();
+    for (const auto& e : visible_satellites(tokyo, mob, 0)) {
+        EXPECT_LE(e.range_km, max_range + 1e-9);
+        EXPECT_GE(e.elevation_deg, 0.0);
+        EXPECT_TRUE(e.connectable);
+    }
+}
+
+TEST(Visibility, ConeRangeFormula) {
+    // Kuiper: sqrt((630/tan 30)^2 + 630^2) = 1260 km; the cone is within
+    // the horizon. Telesat T1: the l = 10 deg cone reaches past the
+    // horizon, so the range clamps to sqrt((Re+h)^2 - Re^2).
+    EXPECT_NEAR(shell_by_name("kuiper_k1").max_gsl_range_km(), 1260.0, 1.0);
+    const auto& t1 = shell_by_name("telesat_t1");
+    const double re = orbit::Wgs72::kEarthRadiusKm;
+    EXPECT_NEAR(t1.max_gsl_range_km(),
+                std::sqrt((re + 1015.0) * (re + 1015.0) - re * re), 1.0);
+}
+
+TEST(Visibility, SortedByRange) {
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const SatelliteMobility mob(k1);
+    const auto delhi = city_by_name("Delhi");
+    const auto vis = visible_satellites(delhi, mob, 0);
+    for (std::size_t i = 1; i < vis.size(); ++i) {
+        EXPECT_LE(vis[i - 1].range_km, vis[i].range_km);
+    }
+}
+
+TEST(Visibility, SkyViewSupersetOfConnectable) {
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const SatelliteMobility mob(k1);
+    const auto paris = city_by_name("Paris");
+    const auto sky = sky_view(paris, mob, 0);
+    const auto vis = visible_satellites(paris, mob, 0);
+    EXPECT_GE(sky.size(), vis.size());
+    int connectable = 0;
+    for (const auto& e : sky) {
+        EXPECT_GE(e.elevation_deg, 0.0);
+        if (e.connectable) ++connectable;
+    }
+    EXPECT_EQ(static_cast<std::size_t>(connectable), vis.size());
+}
+
+TEST(Visibility, RangeWithinGeometricBounds) {
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const SatelliteMobility mob(k1);
+    const auto lagos = city_by_name("Lagos");
+    for (const auto& e : visible_satellites(lagos, mob, 0)) {
+        EXPECT_GE(e.range_km, 600.0);   // can't be closer than ~the altitude
+        EXPECT_LE(e.range_km, 1261.0);  // the Kuiper cone-range cap
+    }
+}
+
+TEST(Visibility, LowerMinElevationSeesMoreSatellites) {
+    // Telesat's l=10 vs a hypothetical l=35 on the same shell.
+    ShellParams lo = shell_by_name("telesat_t2");
+    ShellParams hi = lo;
+    hi.min_elevation_deg = 35.0;
+    const Constellation c_lo(lo, default_epoch());
+    const Constellation c_hi(hi, default_epoch());
+    const SatelliteMobility mob_lo(c_lo), mob_hi(c_hi);
+    const auto istanbul = city_by_name("Istanbul");
+    const auto n_lo = visible_satellites(istanbul, mob_lo, 0).size();
+    const auto n_hi = visible_satellites(istanbul, mob_hi, 0).size();
+    EXPECT_GT(n_lo, n_hi);
+}
+
+}  // namespace
+}  // namespace hypatia::topo

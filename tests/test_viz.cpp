@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+#include "src/topology/cities.hpp"
+#include "src/viz/ground_view.hpp"
+#include "src/viz/path_export.hpp"
+#include "src/viz/trajectory_export.hpp"
+#include "src/viz/utilization_export.hpp"
+
+namespace hypatia::viz {
+namespace {
+
+topo::Constellation mini() {
+    return topo::Constellation({"mini", 630.0, 5, 6, 51.9, 30.0, 0.5},
+                               topo::default_epoch());
+}
+
+TEST(TrajectoryExport, SnapshotHasAllSatellites) {
+    const auto c = mini();
+    const topo::SatelliteMobility mob(c);
+    const auto snap = snapshot(mob, 0);
+    EXPECT_EQ(snap.size(), 30u);
+    for (const auto& p : snap) {
+        EXPECT_LE(std::abs(p.latitude_deg), 52.5);  // bounded by inclination
+        EXPECT_NEAR(p.altitude_km, 630.0, 20.0);
+    }
+}
+
+TEST(TrajectoryExport, TracksJsonWellFormedEnough) {
+    const auto c = mini();
+    const topo::SatelliteMobility mob(c);
+    const auto tracks = sample_tracks(mob, 0, 10 * kNsPerSec, 5 * kNsPerSec);
+    const auto json = tracks_to_json("mini", tracks);
+    EXPECT_NE(json.find("\"constellation\":\"mini\""), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TrajectoryExport, LatitudeDensitySumsToOne) {
+    const auto c = mini();
+    const topo::SatelliteMobility mob(c);
+    const auto bands = latitude_density(mob, 0);
+    double sum = 0.0;
+    for (double b : bands) sum += b;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Inclination 51.9: no satellites above 60 degrees.
+    EXPECT_EQ(bands[16], 0.0);
+    EXPECT_EQ(bands[17], 0.0);
+    EXPECT_EQ(bands[0], 0.0);
+}
+
+TEST(GroundView, SeriesAndCsv) {
+    const topo::Constellation k1(topo::shell_by_name("kuiper_k1"),
+                                 topo::default_epoch());
+    const topo::SatelliteMobility mob(k1);
+    const auto sp = topo::city_by_name("Saint Petersburg");
+    const auto frames = ground_view_series(sp, mob, 0, 10 * kNsPerSec, 5 * kNsPerSec);
+    ASSERT_EQ(frames.size(), 2u);
+    const auto csv = ground_view_to_csv(frames);
+    EXPECT_NE(csv.find("t_s,sat_id"), std::string::npos);
+    for (const auto& f : frames) {
+        for (const auto& e : f.sky) {
+            EXPECT_GE(e.elevation_deg, 0.0);
+            EXPECT_GE(e.azimuth_deg, 0.0);
+            EXPECT_LT(e.azimuth_deg, 360.0);
+        }
+    }
+}
+
+TEST(GroundView, AsciiChartDimensions) {
+    const topo::Constellation k1(topo::shell_by_name("kuiper_k1"),
+                                 topo::default_epoch());
+    const topo::SatelliteMobility mob(k1);
+    const auto tokyo = topo::city_by_name("Tokyo");
+    const auto frames = ground_view_series(tokyo, mob, 0, kNsPerSec, kNsPerSec);
+    const auto chart = ascii_sky_chart(frames[0], 40, 10);
+    EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 11);  // header + 10 rows
+}
+
+TEST(PathExport, ResolveAndRender) {
+    const auto c = mini();
+    const topo::SatelliteMobility mob(c);
+    std::vector<orbit::GroundStation> gses = {topo::city_by_name("Paris"),
+                                              topo::city_by_name("Luanda")};
+    // Path: gs30 -> sat2 -> sat3 -> gs31 (node ids: gs = 30 + index).
+    const std::vector<int> path = {30, 2, 3, 31};
+    const auto resolved = resolve_path(path, mob, gses, 0);
+    ASSERT_EQ(resolved.size(), 4u);
+    EXPECT_TRUE(resolved[0].is_gs);
+    EXPECT_EQ(resolved[0].label, "Paris");
+    EXPECT_FALSE(resolved[1].is_gs);
+    EXPECT_EQ(resolved[3].label, "Luanda");
+    const auto str = path_to_string(resolved);
+    EXPECT_NE(str.find("Paris -> sat-2 -> sat-3 -> Luanda"), std::string::npos);
+    EXPECT_NE(str.find("2 satellite hops"), std::string::npos);
+    const auto json = path_to_json(resolved, 0, 42.0);
+    EXPECT_NE(json.find("\"rtt_ms\":42"), std::string::npos);
+}
+
+TEST(UtilizationExport, MapAndBottlenecks) {
+    core::Scenario s;
+    s.shell = topo::shell_by_name("kuiper_k1");
+    s.ground_stations = {topo::city_by_name("Manila"), topo::city_by_name("Dalian")};
+    core::LeoNetwork leo(s);
+    core::UtilizationSampler sampler(leo, kNsPerSec, 5 * kNsPerSec);
+    auto flows = core::attach_tcp_flows(leo, {{0, 1}}, "newreno");
+    leo.run(5 * kNsPerSec);
+    auto map = isl_utilization_map(leo, sampler, 2);
+    EXPECT_FALSE(map.empty());  // the flow crossed at least one ISL
+    for (const auto& iu : map) {
+        EXPECT_GT(iu.utilization, 0.0);
+        EXPECT_LE(iu.utilization, 1.0);
+    }
+    const auto top = top_bottlenecks(map, 3);
+    ASSERT_LE(top.size(), 3u);
+    for (std::size_t i = 1; i < top.size(); ++i) {
+        EXPECT_GE(top[i - 1].utilization, top[i].utilization);
+    }
+    const auto csv = utilization_to_csv(map);
+    EXPECT_NE(csv.find("sat_a,sat_b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypatia::viz

@@ -1,0 +1,115 @@
+#include "src/topology/weather.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/routing/path_analysis.hpp"
+#include "src/topology/cities.hpp"
+
+namespace hypatia::topo {
+namespace {
+
+TEST(WeatherModel, DeterministicForSeed) {
+    WeatherModel::Config cfg;
+    cfg.rain_probability = 0.3;
+    const WeatherModel a(cfg), b(cfg);
+    for (int gs = 0; gs < 20; ++gs) {
+        for (TimeNs t = 0; t < 3000 * kNsPerSec; t += 300 * kNsPerSec) {
+            EXPECT_EQ(a.raining(gs, t), b.raining(gs, t));
+        }
+    }
+}
+
+TEST(WeatherModel, DifferentSeedsDiffer) {
+    WeatherModel::Config ca, cb;
+    ca.rain_probability = cb.rain_probability = 0.5;
+    ca.seed = 1;
+    cb.seed = 2;
+    const WeatherModel a(ca), b(cb);
+    int differing = 0;
+    for (int gs = 0; gs < 50; ++gs) {
+        if (a.raining(gs, 0) != b.raining(gs, 0)) ++differing;
+    }
+    EXPECT_GT(differing, 5);
+}
+
+TEST(WeatherModel, RainFractionNearProbability) {
+    WeatherModel::Config cfg;
+    cfg.rain_probability = 0.25;
+    const WeatherModel w(cfg);
+    int raining = 0;
+    const int samples = 100 * 50;
+    for (int gs = 0; gs < 100; ++gs) {
+        for (int cell = 0; cell < 50; ++cell) {
+            if (w.raining(gs, cell * cfg.cell_duration)) ++raining;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(raining) / samples, 0.25, 0.03);
+}
+
+TEST(WeatherModel, ConstantWithinCell) {
+    WeatherModel::Config cfg;
+    cfg.rain_probability = 0.5;
+    const WeatherModel w(cfg);
+    for (int gs = 0; gs < 10; ++gs) {
+        const bool at_start = w.raining(gs, 0);
+        EXPECT_EQ(w.raining(gs, cfg.cell_duration / 2), at_start);
+        EXPECT_EQ(w.raining(gs, cfg.cell_duration - 1), at_start);
+    }
+}
+
+TEST(WeatherModel, FactorMatchesRainState) {
+    WeatherModel::Config cfg;
+    cfg.rain_probability = 0.5;
+    cfg.rain_range_factor = 0.6;
+    const WeatherModel w(cfg);
+    for (int gs = 0; gs < 20; ++gs) {
+        const double f = w.gsl_range_factor(gs, 0);
+        EXPECT_EQ(f, w.raining(gs, 0) ? 0.6 : 1.0);
+    }
+}
+
+TEST(WeatherModel, ZeroProbabilityNeverRains) {
+    WeatherModel::Config cfg;
+    cfg.rain_probability = 0.0;
+    const WeatherModel w(cfg);
+    for (int gs = 0; gs < 100; ++gs) EXPECT_FALSE(w.raining(gs, 0));
+}
+
+TEST(WeatherIntegration, RainReducesGslOptions) {
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const SatelliteMobility mob(k1);
+    const auto isls = build_isls(k1, IslPattern::kPlusGrid);
+    std::vector<orbit::GroundStation> gses = {city_by_name("Singapore")};
+
+    route::SnapshotOptions clear;
+    const auto g_clear = route::build_snapshot(mob, isls, gses, 0, clear);
+
+    route::SnapshotOptions rainy;
+    rainy.gsl_range_factor = [](int, TimeNs) { return 0.6; };
+    const auto g_rain = route::build_snapshot(mob, isls, gses, 0, rainy);
+
+    EXPECT_LT(g_rain.neighbors(g_rain.gs_node(0)).size(),
+              g_clear.neighbors(g_clear.gs_node(0)).size());
+}
+
+TEST(GsPolicyIntegration, NearestOnlyHasSingleGslEdge) {
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const SatelliteMobility mob(k1);
+    const auto isls = build_isls(k1, IslPattern::kPlusGrid);
+    std::vector<orbit::GroundStation> gses = {city_by_name("Tokyo"),
+                                              city_by_name("Delhi")};
+    route::SnapshotOptions nearest;
+    nearest.gs_nearest_satellite_only = true;
+    const auto g = route::build_snapshot(mob, isls, gses, 0, nearest);
+    for (int gi = 0; gi < 2; ++gi) {
+        EXPECT_LE(g.neighbors(g.gs_node(gi)).size(), 1u);
+    }
+    // And the single edge is the *nearest* connectable satellite.
+    const auto vis = visible_satellites(gses[0], mob, 0);
+    ASSERT_FALSE(vis.empty());
+    ASSERT_EQ(g.neighbors(g.gs_node(0)).size(), 1u);
+    EXPECT_EQ(g.neighbors(g.gs_node(0))[0].to, vis[0].sat_id);
+}
+
+}  // namespace
+}  // namespace hypatia::topo
