@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_multishell"
+  "../bench/bench_ablation_multishell.pdb"
+  "CMakeFiles/bench_ablation_multishell.dir/bench_ablation_multishell.cpp.o"
+  "CMakeFiles/bench_ablation_multishell.dir/bench_ablation_multishell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multishell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

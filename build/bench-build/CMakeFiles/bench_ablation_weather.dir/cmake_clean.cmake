@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_weather"
+  "../bench/bench_ablation_weather.pdb"
+  "CMakeFiles/bench_ablation_weather.dir/bench_ablation_weather.cpp.o"
+  "CMakeFiles/bench_ablation_weather.dir/bench_ablation_weather.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

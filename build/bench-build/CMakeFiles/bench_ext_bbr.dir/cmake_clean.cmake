@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_bbr"
+  "../bench/bench_ext_bbr.pdb"
+  "CMakeFiles/bench_ext_bbr.dir/bench_ext_bbr.cpp.o"
+  "CMakeFiles/bench_ext_bbr.dir/bench_ext_bbr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

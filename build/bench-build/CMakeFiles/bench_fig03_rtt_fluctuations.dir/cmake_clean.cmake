@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_rtt_fluctuations"
+  "../bench/bench_fig03_rtt_fluctuations.pdb"
+  "CMakeFiles/bench_fig03_rtt_fluctuations.dir/bench_fig03_rtt_fluctuations.cpp.o"
+  "CMakeFiles/bench_fig03_rtt_fluctuations.dir/bench_fig03_rtt_fluctuations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_rtt_fluctuations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_cwnd"
+  "../bench/bench_fig04_cwnd.pdb"
+  "CMakeFiles/bench_fig04_cwnd.dir/bench_fig04_cwnd.cpp.o"
+  "CMakeFiles/bench_fig04_cwnd.dir/bench_fig04_cwnd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_cwnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_newreno_vs_vegas"
+  "../bench/bench_fig05_newreno_vs_vegas.pdb"
+  "CMakeFiles/bench_fig05_newreno_vs_vegas.dir/bench_fig05_newreno_vs_vegas.cpp.o"
+  "CMakeFiles/bench_fig05_newreno_vs_vegas.dir/bench_fig05_newreno_vs_vegas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_newreno_vs_vegas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

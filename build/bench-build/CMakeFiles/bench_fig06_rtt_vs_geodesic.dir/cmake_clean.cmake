@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_rtt_vs_geodesic"
+  "../bench/bench_fig06_rtt_vs_geodesic.pdb"
+  "CMakeFiles/bench_fig06_rtt_vs_geodesic.dir/bench_fig06_rtt_vs_geodesic.cpp.o"
+  "CMakeFiles/bench_fig06_rtt_vs_geodesic.dir/bench_fig06_rtt_vs_geodesic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_rtt_vs_geodesic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_path_changes"
+  "../bench/bench_fig08_path_changes.pdb"
+  "CMakeFiles/bench_fig08_path_changes.dir/bench_fig08_path_changes.cpp.o"
+  "CMakeFiles/bench_fig08_path_changes.dir/bench_fig08_path_changes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_path_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_time_granularity"
+  "../bench/bench_fig09_time_granularity.pdb"
+  "CMakeFiles/bench_fig09_time_granularity.dir/bench_fig09_time_granularity.cpp.o"
+  "CMakeFiles/bench_fig09_time_granularity.dir/bench_fig09_time_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_time_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

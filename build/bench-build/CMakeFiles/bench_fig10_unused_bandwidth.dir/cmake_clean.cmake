@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_unused_bandwidth"
+  "../bench/bench_fig10_unused_bandwidth.pdb"
+  "CMakeFiles/bench_fig10_unused_bandwidth.dir/bench_fig10_unused_bandwidth.cpp.o"
+  "CMakeFiles/bench_fig10_unused_bandwidth.dir/bench_fig10_unused_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_unused_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

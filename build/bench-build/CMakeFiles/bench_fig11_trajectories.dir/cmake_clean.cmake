@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_trajectories"
+  "../bench/bench_fig11_trajectories.pdb"
+  "CMakeFiles/bench_fig11_trajectories.dir/bench_fig11_trajectories.cpp.o"
+  "CMakeFiles/bench_fig11_trajectories.dir/bench_fig11_trajectories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

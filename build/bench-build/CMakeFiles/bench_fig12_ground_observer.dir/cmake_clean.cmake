@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_ground_observer"
+  "../bench/bench_fig12_ground_observer.pdb"
+  "CMakeFiles/bench_fig12_ground_observer.dir/bench_fig12_ground_observer.cpp.o"
+  "CMakeFiles/bench_fig12_ground_observer.dir/bench_fig12_ground_observer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ground_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

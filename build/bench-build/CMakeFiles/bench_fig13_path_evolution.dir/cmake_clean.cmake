@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_path_evolution"
+  "../bench/bench_fig13_path_evolution.pdb"
+  "CMakeFiles/bench_fig13_path_evolution.dir/bench_fig13_path_evolution.cpp.o"
+  "CMakeFiles/bench_fig13_path_evolution.dir/bench_fig13_path_evolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_path_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

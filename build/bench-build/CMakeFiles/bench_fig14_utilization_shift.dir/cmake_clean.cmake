@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_utilization_shift"
+  "../bench/bench_fig14_utilization_shift.pdb"
+  "CMakeFiles/bench_fig14_utilization_shift.dir/bench_fig14_utilization_shift.cpp.o"
+  "CMakeFiles/bench_fig14_utilization_shift.dir/bench_fig14_utilization_shift.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_utilization_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

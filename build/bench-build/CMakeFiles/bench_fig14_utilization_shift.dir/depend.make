@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_utilization_shift.
+# This may be replaced when dependencies are built.

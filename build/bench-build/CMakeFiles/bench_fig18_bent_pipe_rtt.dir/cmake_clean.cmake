@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_bent_pipe_rtt"
+  "../bench/bench_fig18_bent_pipe_rtt.pdb"
+  "CMakeFiles/bench_fig18_bent_pipe_rtt.dir/bench_fig18_bent_pipe_rtt.cpp.o"
+  "CMakeFiles/bench_fig18_bent_pipe_rtt.dir/bench_fig18_bent_pipe_rtt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_bent_pipe_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

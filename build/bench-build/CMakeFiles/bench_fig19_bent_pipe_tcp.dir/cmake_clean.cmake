@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_bent_pipe_tcp"
+  "../bench/bench_fig19_bent_pipe_tcp.pdb"
+  "CMakeFiles/bench_fig19_bent_pipe_tcp.dir/bench_fig19_bent_pipe_tcp.cpp.o"
+  "CMakeFiles/bench_fig19_bent_pipe_tcp.dir/bench_fig19_bent_pipe_tcp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_bent_pipe_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

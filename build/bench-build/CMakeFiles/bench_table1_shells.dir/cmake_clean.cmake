@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_shells"
+  "../bench/bench_table1_shells.pdb"
+  "CMakeFiles/bench_table1_shells.dir/bench_table1_shells.cpp.o"
+  "CMakeFiles/bench_table1_shells.dir/bench_table1_shells.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_shells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

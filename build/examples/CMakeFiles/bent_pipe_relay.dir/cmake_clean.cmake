@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bent_pipe_relay.dir/bent_pipe_relay.cpp.o"
+  "CMakeFiles/bent_pipe_relay.dir/bent_pipe_relay.cpp.o.d"
+  "bent_pipe_relay"
+  "bent_pipe_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bent_pipe_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

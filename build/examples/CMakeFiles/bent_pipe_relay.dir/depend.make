@@ -1,0 +1,2 @@
+# Empty dependencies file for bent_pipe_relay.
+# This may be replaced when dependencies are built.

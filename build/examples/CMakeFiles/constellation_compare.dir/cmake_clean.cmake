@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constellation_compare.dir/constellation_compare.cpp.o"
+  "CMakeFiles/constellation_compare.dir/constellation_compare.cpp.o.d"
+  "constellation_compare"
+  "constellation_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constellation_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gen_tles.cpp" "examples/CMakeFiles/gen_tles.dir/gen_tles.cpp.o" "gcc" "examples/CMakeFiles/gen_tles.dir/gen_tles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/hypatia_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/hypatia_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hypatia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_tles.dir/gen_tles.cpp.o"
+  "CMakeFiles/gen_tles.dir/gen_tles.cpp.o.d"
+  "gen_tles"
+  "gen_tles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_tles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

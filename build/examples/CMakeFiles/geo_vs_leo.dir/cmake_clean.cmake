@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_vs_leo.dir/geo_vs_leo.cpp.o"
+  "CMakeFiles/geo_vs_leo.dir/geo_vs_leo.cpp.o.d"
+  "geo_vs_leo"
+  "geo_vs_leo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_vs_leo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

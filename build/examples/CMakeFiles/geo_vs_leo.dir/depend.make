@@ -1,0 +1,2 @@
+# Empty dependencies file for geo_vs_leo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypatia_core.dir/experiment.cpp.o"
+  "CMakeFiles/hypatia_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/hypatia_core.dir/leo_network.cpp.o"
+  "CMakeFiles/hypatia_core.dir/leo_network.cpp.o.d"
+  "CMakeFiles/hypatia_core.dir/metrics.cpp.o"
+  "CMakeFiles/hypatia_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/hypatia_core.dir/scenario.cpp.o"
+  "CMakeFiles/hypatia_core.dir/scenario.cpp.o.d"
+  "libhypatia_core.a"
+  "libhypatia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypatia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

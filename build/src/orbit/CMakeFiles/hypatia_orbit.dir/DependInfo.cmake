@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/coords.cpp" "src/orbit/CMakeFiles/hypatia_orbit.dir/coords.cpp.o" "gcc" "src/orbit/CMakeFiles/hypatia_orbit.dir/coords.cpp.o.d"
+  "/root/repo/src/orbit/ground_station.cpp" "src/orbit/CMakeFiles/hypatia_orbit.dir/ground_station.cpp.o" "gcc" "src/orbit/CMakeFiles/hypatia_orbit.dir/ground_station.cpp.o.d"
+  "/root/repo/src/orbit/kepler.cpp" "src/orbit/CMakeFiles/hypatia_orbit.dir/kepler.cpp.o" "gcc" "src/orbit/CMakeFiles/hypatia_orbit.dir/kepler.cpp.o.d"
+  "/root/repo/src/orbit/sgp4.cpp" "src/orbit/CMakeFiles/hypatia_orbit.dir/sgp4.cpp.o" "gcc" "src/orbit/CMakeFiles/hypatia_orbit.dir/sgp4.cpp.o.d"
+  "/root/repo/src/orbit/time.cpp" "src/orbit/CMakeFiles/hypatia_orbit.dir/time.cpp.o" "gcc" "src/orbit/CMakeFiles/hypatia_orbit.dir/time.cpp.o.d"
+  "/root/repo/src/orbit/tle.cpp" "src/orbit/CMakeFiles/hypatia_orbit.dir/tle.cpp.o" "gcc" "src/orbit/CMakeFiles/hypatia_orbit.dir/tle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hypatia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypatia_orbit.dir/coords.cpp.o"
+  "CMakeFiles/hypatia_orbit.dir/coords.cpp.o.d"
+  "CMakeFiles/hypatia_orbit.dir/ground_station.cpp.o"
+  "CMakeFiles/hypatia_orbit.dir/ground_station.cpp.o.d"
+  "CMakeFiles/hypatia_orbit.dir/kepler.cpp.o"
+  "CMakeFiles/hypatia_orbit.dir/kepler.cpp.o.d"
+  "CMakeFiles/hypatia_orbit.dir/sgp4.cpp.o"
+  "CMakeFiles/hypatia_orbit.dir/sgp4.cpp.o.d"
+  "CMakeFiles/hypatia_orbit.dir/time.cpp.o"
+  "CMakeFiles/hypatia_orbit.dir/time.cpp.o.d"
+  "CMakeFiles/hypatia_orbit.dir/tle.cpp.o"
+  "CMakeFiles/hypatia_orbit.dir/tle.cpp.o.d"
+  "libhypatia_orbit.a"
+  "libhypatia_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypatia_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhypatia_orbit.a"
+)

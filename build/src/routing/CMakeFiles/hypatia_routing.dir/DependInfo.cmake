@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/forwarding.cpp" "src/routing/CMakeFiles/hypatia_routing.dir/forwarding.cpp.o" "gcc" "src/routing/CMakeFiles/hypatia_routing.dir/forwarding.cpp.o.d"
+  "/root/repo/src/routing/graph.cpp" "src/routing/CMakeFiles/hypatia_routing.dir/graph.cpp.o" "gcc" "src/routing/CMakeFiles/hypatia_routing.dir/graph.cpp.o.d"
+  "/root/repo/src/routing/multi_shell.cpp" "src/routing/CMakeFiles/hypatia_routing.dir/multi_shell.cpp.o" "gcc" "src/routing/CMakeFiles/hypatia_routing.dir/multi_shell.cpp.o.d"
+  "/root/repo/src/routing/path_analysis.cpp" "src/routing/CMakeFiles/hypatia_routing.dir/path_analysis.cpp.o" "gcc" "src/routing/CMakeFiles/hypatia_routing.dir/path_analysis.cpp.o.d"
+  "/root/repo/src/routing/shortest_path.cpp" "src/routing/CMakeFiles/hypatia_routing.dir/shortest_path.cpp.o" "gcc" "src/routing/CMakeFiles/hypatia_routing.dir/shortest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/hypatia_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/hypatia_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hypatia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypatia_routing.dir/forwarding.cpp.o"
+  "CMakeFiles/hypatia_routing.dir/forwarding.cpp.o.d"
+  "CMakeFiles/hypatia_routing.dir/graph.cpp.o"
+  "CMakeFiles/hypatia_routing.dir/graph.cpp.o.d"
+  "CMakeFiles/hypatia_routing.dir/multi_shell.cpp.o"
+  "CMakeFiles/hypatia_routing.dir/multi_shell.cpp.o.d"
+  "CMakeFiles/hypatia_routing.dir/path_analysis.cpp.o"
+  "CMakeFiles/hypatia_routing.dir/path_analysis.cpp.o.d"
+  "CMakeFiles/hypatia_routing.dir/shortest_path.cpp.o"
+  "CMakeFiles/hypatia_routing.dir/shortest_path.cpp.o.d"
+  "libhypatia_routing.a"
+  "libhypatia_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypatia_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

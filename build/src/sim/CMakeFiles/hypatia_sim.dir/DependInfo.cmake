@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/net_device.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/net_device.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/net_device.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/packet.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/packet.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/packet.cpp.o.d"
+  "/root/repo/src/sim/ping_app.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/ping_app.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/ping_app.cpp.o.d"
+  "/root/repo/src/sim/queue.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/queue.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/tcp_bbr.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/tcp_bbr.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/tcp_bbr.cpp.o.d"
+  "/root/repo/src/sim/tcp_newreno.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/tcp_newreno.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/tcp_newreno.cpp.o.d"
+  "/root/repo/src/sim/tcp_socket.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/tcp_socket.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/tcp_socket.cpp.o.d"
+  "/root/repo/src/sim/tcp_vegas.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/tcp_vegas.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/tcp_vegas.cpp.o.d"
+  "/root/repo/src/sim/udp_app.cpp" "src/sim/CMakeFiles/hypatia_sim.dir/udp_app.cpp.o" "gcc" "src/sim/CMakeFiles/hypatia_sim.dir/udp_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/hypatia_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hypatia_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/hypatia_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hypatia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypatia_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/net_device.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/net_device.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/network.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/network.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/node.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/node.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/packet.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/packet.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/ping_app.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/ping_app.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/queue.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/queue.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/tcp_bbr.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/tcp_bbr.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/tcp_newreno.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/tcp_newreno.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/tcp_socket.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/tcp_socket.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/tcp_vegas.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/tcp_vegas.cpp.o.d"
+  "CMakeFiles/hypatia_sim.dir/udp_app.cpp.o"
+  "CMakeFiles/hypatia_sim.dir/udp_app.cpp.o.d"
+  "libhypatia_sim.a"
+  "libhypatia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypatia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

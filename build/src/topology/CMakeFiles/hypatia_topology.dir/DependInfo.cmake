@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/cities.cpp" "src/topology/CMakeFiles/hypatia_topology.dir/cities.cpp.o" "gcc" "src/topology/CMakeFiles/hypatia_topology.dir/cities.cpp.o.d"
+  "/root/repo/src/topology/constellation.cpp" "src/topology/CMakeFiles/hypatia_topology.dir/constellation.cpp.o" "gcc" "src/topology/CMakeFiles/hypatia_topology.dir/constellation.cpp.o.d"
+  "/root/repo/src/topology/isl.cpp" "src/topology/CMakeFiles/hypatia_topology.dir/isl.cpp.o" "gcc" "src/topology/CMakeFiles/hypatia_topology.dir/isl.cpp.o.d"
+  "/root/repo/src/topology/mobility.cpp" "src/topology/CMakeFiles/hypatia_topology.dir/mobility.cpp.o" "gcc" "src/topology/CMakeFiles/hypatia_topology.dir/mobility.cpp.o.d"
+  "/root/repo/src/topology/shell_group.cpp" "src/topology/CMakeFiles/hypatia_topology.dir/shell_group.cpp.o" "gcc" "src/topology/CMakeFiles/hypatia_topology.dir/shell_group.cpp.o.d"
+  "/root/repo/src/topology/visibility.cpp" "src/topology/CMakeFiles/hypatia_topology.dir/visibility.cpp.o" "gcc" "src/topology/CMakeFiles/hypatia_topology.dir/visibility.cpp.o.d"
+  "/root/repo/src/topology/weather.cpp" "src/topology/CMakeFiles/hypatia_topology.dir/weather.cpp.o" "gcc" "src/topology/CMakeFiles/hypatia_topology.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orbit/CMakeFiles/hypatia_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hypatia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

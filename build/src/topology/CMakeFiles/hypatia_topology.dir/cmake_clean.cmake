@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypatia_topology.dir/cities.cpp.o"
+  "CMakeFiles/hypatia_topology.dir/cities.cpp.o.d"
+  "CMakeFiles/hypatia_topology.dir/constellation.cpp.o"
+  "CMakeFiles/hypatia_topology.dir/constellation.cpp.o.d"
+  "CMakeFiles/hypatia_topology.dir/isl.cpp.o"
+  "CMakeFiles/hypatia_topology.dir/isl.cpp.o.d"
+  "CMakeFiles/hypatia_topology.dir/mobility.cpp.o"
+  "CMakeFiles/hypatia_topology.dir/mobility.cpp.o.d"
+  "CMakeFiles/hypatia_topology.dir/shell_group.cpp.o"
+  "CMakeFiles/hypatia_topology.dir/shell_group.cpp.o.d"
+  "CMakeFiles/hypatia_topology.dir/visibility.cpp.o"
+  "CMakeFiles/hypatia_topology.dir/visibility.cpp.o.d"
+  "CMakeFiles/hypatia_topology.dir/weather.cpp.o"
+  "CMakeFiles/hypatia_topology.dir/weather.cpp.o.d"
+  "libhypatia_topology.a"
+  "libhypatia_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypatia_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypatia_util.dir/cli.cpp.o"
+  "CMakeFiles/hypatia_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hypatia_util.dir/csv.cpp.o"
+  "CMakeFiles/hypatia_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hypatia_util.dir/stats.cpp.o"
+  "CMakeFiles/hypatia_util.dir/stats.cpp.o.d"
+  "libhypatia_util.a"
+  "libhypatia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypatia_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypatia_viz.dir/ground_view.cpp.o"
+  "CMakeFiles/hypatia_viz.dir/ground_view.cpp.o.d"
+  "CMakeFiles/hypatia_viz.dir/path_export.cpp.o"
+  "CMakeFiles/hypatia_viz.dir/path_export.cpp.o.d"
+  "CMakeFiles/hypatia_viz.dir/trajectory_export.cpp.o"
+  "CMakeFiles/hypatia_viz.dir/trajectory_export.cpp.o.d"
+  "CMakeFiles/hypatia_viz.dir/utilization_export.cpp.o"
+  "CMakeFiles/hypatia_viz.dir/utilization_export.cpp.o.d"
+  "libhypatia_viz.a"
+  "libhypatia_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypatia_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

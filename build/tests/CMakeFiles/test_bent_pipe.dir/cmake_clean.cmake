@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bent_pipe.dir/test_bent_pipe.cpp.o"
+  "CMakeFiles/test_bent_pipe.dir/test_bent_pipe.cpp.o.d"
+  "test_bent_pipe"
+  "test_bent_pipe.pdb"
+  "test_bent_pipe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bent_pipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

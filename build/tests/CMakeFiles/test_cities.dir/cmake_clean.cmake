@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cities.dir/test_cities.cpp.o"
+  "CMakeFiles/test_cities.dir/test_cities.cpp.o.d"
+  "test_cities"
+  "test_cities.pdb"
+  "test_cities[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isl.dir/test_isl.cpp.o"
+  "CMakeFiles/test_isl.dir/test_isl.cpp.o.d"
+  "test_isl"
+  "test_isl.pdb"
+  "test_isl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

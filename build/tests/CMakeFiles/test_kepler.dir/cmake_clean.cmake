@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kepler.dir/test_kepler.cpp.o"
+  "CMakeFiles/test_kepler.dir/test_kepler.cpp.o.d"
+  "test_kepler"
+  "test_kepler.pdb"
+  "test_kepler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kepler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

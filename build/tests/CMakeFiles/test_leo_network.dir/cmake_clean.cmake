@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leo_network.dir/test_leo_network.cpp.o"
+  "CMakeFiles/test_leo_network.dir/test_leo_network.cpp.o.d"
+  "test_leo_network"
+  "test_leo_network.pdb"
+  "test_leo_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leo_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_device.dir/test_net_device.cpp.o"
+  "CMakeFiles/test_net_device.dir/test_net_device.cpp.o.d"
+  "test_net_device"
+  "test_net_device.pdb"
+  "test_net_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

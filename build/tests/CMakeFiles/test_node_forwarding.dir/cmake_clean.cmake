@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_forwarding.dir/test_node_forwarding.cpp.o"
+  "CMakeFiles/test_node_forwarding.dir/test_node_forwarding.cpp.o.d"
+  "test_node_forwarding"
+  "test_node_forwarding.pdb"
+  "test_node_forwarding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

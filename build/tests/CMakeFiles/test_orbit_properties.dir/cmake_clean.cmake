@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orbit_properties.dir/test_orbit_properties.cpp.o"
+  "CMakeFiles/test_orbit_properties.dir/test_orbit_properties.cpp.o.d"
+  "test_orbit_properties"
+  "test_orbit_properties.pdb"
+  "test_orbit_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orbit_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_analysis.dir/test_path_analysis.cpp.o"
+  "CMakeFiles/test_path_analysis.dir/test_path_analysis.cpp.o.d"
+  "test_path_analysis"
+  "test_path_analysis.pdb"
+  "test_path_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

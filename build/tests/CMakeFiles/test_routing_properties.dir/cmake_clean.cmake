@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_properties.dir/test_routing_properties.cpp.o"
+  "CMakeFiles/test_routing_properties.dir/test_routing_properties.cpp.o.d"
+  "test_routing_properties"
+  "test_routing_properties.pdb"
+  "test_routing_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_bbr.dir/test_tcp_bbr.cpp.o"
+  "CMakeFiles/test_tcp_bbr.dir/test_tcp_bbr.cpp.o.d"
+  "test_tcp_bbr"
+  "test_tcp_bbr.pdb"
+  "test_tcp_bbr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_bbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

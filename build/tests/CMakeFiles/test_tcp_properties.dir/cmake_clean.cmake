@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_properties.dir/test_tcp_properties.cpp.o"
+  "CMakeFiles/test_tcp_properties.dir/test_tcp_properties.cpp.o.d"
+  "test_tcp_properties"
+  "test_tcp_properties.pdb"
+  "test_tcp_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_ping.dir/test_udp_ping.cpp.o"
+  "CMakeFiles/test_udp_ping.dir/test_udp_ping.cpp.o.d"
+  "test_udp_ping"
+  "test_udp_ping.pdb"
+  "test_udp_ping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_properties.dir/test_udp_properties.cpp.o"
+  "CMakeFiles/test_udp_properties.dir/test_udp_properties.cpp.o.d"
+  "test_udp_properties"
+  "test_udp_properties.pdb"
+  "test_udp_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

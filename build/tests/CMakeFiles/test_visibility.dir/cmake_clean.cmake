@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_visibility.dir/test_visibility.cpp.o"
+  "CMakeFiles/test_visibility.dir/test_visibility.cpp.o.d"
+  "test_visibility"
+  "test_visibility.pdb"
+  "test_visibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
