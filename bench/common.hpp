@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/manifest.hpp"
+#include "src/obs/observability.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/stats.hpp"
@@ -23,17 +25,39 @@ inline std::string out_path(const std::string& name) {
 
 /// Standard bench knobs. Each bench documents its own defaults; --paper
 /// switches to the full-scale parameters of the publication (slower).
+///
+/// Every bench also emits bench_output/run_manifest.json on exit: the
+/// resolved knobs, the profiler's per-phase wall-clock breakdown
+/// (propagation / routing / event loop) and a snapshot of all registered
+/// metrics — see src/obs/manifest.hpp.
 struct BenchArgs {
     util::Cli cli;
     bool paper;
+    obs::RunManifest manifest;
 
-    BenchArgs(int argc, char** argv) : cli(argc, argv), paper(cli.get_bool("paper")) {}
-
-    double duration_s(double fast_default, double paper_default) const {
-        return cli.get_double("duration-s", paper ? paper_default : fast_default);
+    BenchArgs(int argc, char** argv) : cli(argc, argv), paper(cli.get_bool("paper")) {
+        std::string name = argc > 0 && argv[0] != nullptr ? argv[0] : "bench";
+        const auto slash = name.find_last_of('/');
+        if (slash != std::string::npos) name = name.substr(slash + 1);
+        manifest.set_name(name);
+        manifest.stamp_environment();
+        manifest.set_param("paper", paper ? "true" : "false");
     }
-    double step_ms(double fast_default, double paper_default) const {
-        return cli.get_double("step-ms", paper ? paper_default : fast_default);
+
+    ~BenchArgs() {
+        manifest.capture(obs::profiler(), obs::metrics());
+        manifest.write(out_path("run_manifest.json"));
+    }
+
+    double duration_s(double fast_default, double paper_default) {
+        const double v = cli.get_double("duration-s", paper ? paper_default : fast_default);
+        manifest.set_param("duration_s", v);
+        return v;
+    }
+    double step_ms(double fast_default, double paper_default) {
+        const double v = cli.get_double("step-ms", paper ? paper_default : fast_default);
+        manifest.set_param("step_ms", v);
+        return v;
     }
 };
 

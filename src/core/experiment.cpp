@@ -1,7 +1,11 @@
 #include "src/core/experiment.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "src/obs/manifest.hpp"
+#include "src/obs/observability.hpp"
 
 namespace hypatia::core {
 
@@ -92,6 +96,26 @@ WorkloadResult run_permutation_workload(const PermutationWorkloadConfig& config)
     result.goodput_bps =
         static_cast<double>(payload_bytes) * 8.0 / result.virtual_seconds;
     result.events = leo.simulator().events_executed();
+
+    std::string manifest_path = config.manifest_path;
+    if (manifest_path.empty()) {
+        if (const char* env = std::getenv("HYPATIA_MANIFEST")) manifest_path = env;
+    }
+    if (!manifest_path.empty()) {
+        obs::RunManifest manifest;
+        manifest.set_name("permutation_workload");
+        manifest.stamp_environment();
+        manifest.set_param("transport", config.tcp ? "tcp" : "udp");
+        manifest.set_param("duration_s", result.virtual_seconds);
+        manifest.set_param("seed", static_cast<double>(config.seed));
+        manifest.set_param("num_ground_stations",
+                           static_cast<double>(scenario.ground_stations.size()));
+        manifest.set_param("wall_seconds", result.wall_seconds);
+        manifest.set_param("slowdown", result.slowdown);
+        manifest.set_param("goodput_bps", result.goodput_bps);
+        manifest.capture(obs::profiler(), obs::metrics());
+        manifest.write(manifest_path);
+    }
     return result;
 }
 

@@ -45,6 +45,10 @@ struct PermutationWorkloadConfig {
     bool tcp = true;             // TCP (true) or paced UDP (false)
     TimeNs duration = 10 * kNsPerSec;
     int num_ground_stations = 100;  // use the first N of the GS list
+    /// When non-empty, write a run_manifest.json (scenario params, phase
+    /// breakdown, metrics snapshot) to this path after the run. The
+    /// HYPATIA_MANIFEST environment variable overrides an empty value.
+    std::string manifest_path;
 };
 
 /// Runs the paper's scalability workload and measures slowdown.

@@ -1,0 +1,30 @@
+// Periodic stderr progress line for long runs. Opt-in: attach_heartbeat()
+// is a no-op unless called, and callers typically gate it on
+// heartbeat_enabled_from_env() (HYPATIA_PROGRESS=1, optionally
+// HYPATIA_PROGRESS_INTERVAL_MS to change the default 1000 ms cadence).
+//
+// Each line reports sim time vs. horizon, events executed, event rate
+// since the previous beat, and a wall-clock ETA extrapolated from the
+// sim-time rate:
+//   [hypatia] t=12.0s/200.0s (6.0%) events=1523412 rate=2.1 Mev/s eta=31s
+#pragma once
+
+#include "src/sim/simulator.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::core {
+
+/// True when the HYPATIA_PROGRESS environment variable is set to a value
+/// other than "" or "0".
+bool heartbeat_enabled_from_env();
+
+/// Interval from HYPATIA_PROGRESS_INTERVAL_MS, default 1000 ms.
+TimeNs heartbeat_interval_from_env();
+
+/// Schedules a self-rescheduling event on `sim` that prints a progress
+/// line to stderr every `interval` of simulation time until `horizon`.
+/// Must be called before the run; the heartbeat dies with the horizon.
+void attach_heartbeat(sim::Simulator& sim, TimeNs horizon,
+                      TimeNs interval = kNsPerSec);
+
+}  // namespace hypatia::core

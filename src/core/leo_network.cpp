@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/core/heartbeat.hpp"
+#include "src/obs/observability.hpp"
 #include "src/orbit/coords.hpp"
 #include "src/routing/shortest_path.hpp"
 
@@ -14,6 +16,17 @@ LeoNetwork::LeoNetwork(const Scenario& scenario)
       isls_(topo::build_isls(constellation_, scenario.isl_pattern)),
       net_(sim_) {
     if (scenario.weather.has_value()) weather_.emplace(*scenario.weather);
+    // Publish the scenario's shape so every run manifest self-describes.
+    auto& m = obs::metrics();
+    m.gauge("scenario.num_satellites").set(constellation_.num_satellites());
+    m.gauge("scenario.num_ground_stations")
+        .set(static_cast<std::int64_t>(scenario_.ground_stations.size()));
+    m.gauge("scenario.num_isls").set(static_cast<std::int64_t>(isls_.size()));
+    m.gauge("scenario.isl_rate_bps")
+        .set(static_cast<std::int64_t>(scenario_.isl_rate_bps));
+    m.gauge("scenario.gsl_rate_bps")
+        .set(static_cast<std::int64_t>(scenario_.gsl_rate_bps));
+    m.gauge("scenario.fstate_interval_ms").set(scenario_.fstate_interval / kNsPerMs);
     const int num_sats = constellation_.num_satellites();
     const int num_gs = num_ground_stations();
     net_.create_nodes(num_sats + num_gs);
@@ -51,6 +64,11 @@ TimeNs LeoNetwork::propagation_delay(int from, int to, TimeNs sim_time) const {
 void LeoNetwork::add_destination(int gs_index) { destination_gs_.insert(gs_index); }
 
 void LeoNetwork::install_fstate(TimeNs sim_time) {
+    HYPATIA_PROFILE_SCOPE("routing.fstate_install");
+    static obs::Counter* const installs_metric =
+        &obs::metrics().counter("route.fstate_installs");
+    static obs::Counter* const changed_metric =
+        &obs::metrics().counter("route.fstate_entries_changed");
     route::SnapshotOptions opts;
     opts.relay_gs_indices = scenario_.relay_gs_indices;
     opts.include_isls = scenario_.isl_pattern != topo::IslPattern::kNone;
@@ -63,6 +81,7 @@ void LeoNetwork::install_fstate(TimeNs sim_time) {
     const route::Graph graph = route::build_snapshot(
         mobility_, isls_, scenario_.ground_stations, orbit_time(sim_time), opts);
 
+    std::uint64_t entries_changed = 0;
     for (int dst_gs : destination_gs_) {
         const int dst_node = gs_node(dst_gs);
         auto tree = route::dijkstra_to(graph, dst_node);
@@ -76,14 +95,27 @@ void LeoNetwork::install_fstate(TimeNs sim_time) {
                 continue;
             }
             net_.node(node).set_next_hop(dst_node, nh);
+            ++entries_changed;
         }
         fstate_.set_tree(dst_node, std::move(tree));
     }
     ++fstate_installs_;
+    installs_metric->inc();
+    changed_metric->inc(entries_changed);
+    auto& tracer = obs::tracer();
+    if (tracer.enabled(obs::TraceCategory::kRouting)) {
+        tracer.emit(obs::make_record(sim_time, obs::TraceCategory::kRouting,
+                                     "route.fstate_install", /*node=*/-1,
+                                     /*peer=*/-1, /*flow_id=*/0,
+                                     static_cast<std::int64_t>(entries_changed)));
+    }
     if (on_fstate_update) on_fstate_update(sim_time);
 }
 
 void LeoNetwork::run(TimeNs duration) {
+    if (heartbeat_enabled_from_env()) {
+        attach_heartbeat(sim_, duration, heartbeat_interval_from_env());
+    }
     // Install state at t = 0 and then at every interval boundary. Events
     // are scheduled one at a time so the event queue stays small.
     const TimeNs interval = scenario_.fstate_interval;

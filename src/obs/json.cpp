@@ -1,0 +1,330 @@
+#include "src/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hypatia::obs::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, Value::Type got) {
+    throw std::logic_error(std::string("json: value is not ") + wanted +
+                           " (type " + std::to_string(static_cast<int>(got)) + ")");
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void append_number(std::string& out, double d) {
+    if (!std::isfinite(d)) {  // JSON has no inf/nan; null is the convention
+        out += "null";
+        return;
+    }
+    // Integers (the common case for counters) print without an exponent.
+    if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+        out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", d);
+    out += buf;
+}
+
+class Parser {
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Value parse_document() {
+        Value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("json parse error at byte " + std::to_string(pos_) +
+                                 ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        skip_ws();
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* lit) {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value parse_value() {
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Value(parse_string());
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                return Value(true);
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                return Value(false);
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                return Value();
+            default: return parse_number();
+        }
+    }
+
+    Value parse_object() {
+        expect('{');
+        Object obj;
+        if (peek() == '}') {
+            ++pos_;
+            return Value(std::move(obj));
+        }
+        while (true) {
+            if (peek() != '"') fail("expected object key");
+            std::string key = parse_string();
+            expect(':');
+            obj[std::move(key)] = parse_value();
+            const char c = peek();
+            ++pos_;
+            if (c == '}') return Value(std::move(obj));
+            if (c != ',') fail("expected ',' or '}'");
+        }
+    }
+
+    Value parse_array() {
+        expect('[');
+        Array arr;
+        if (peek() == ']') {
+            ++pos_;
+            return Value(std::move(arr));
+        }
+        while (true) {
+            arr.push_back(parse_value());
+            const char c = peek();
+            ++pos_;
+            if (c == ']') return Value(std::move(arr));
+            if (c != ',') fail("expected ',' or ']'");
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad \\u escape");
+                    }
+                    // UTF-8 encode (BMP only; surrogate pairs unsupported —
+                    // trace/manifest strings are ASCII in practice).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    Value parse_number() {
+        skip_ws();
+        const char* start = text_.c_str() + pos_;
+        char* end = nullptr;
+        const double d = std::strtod(start, &end);
+        if (end == start) fail("bad number");
+        pos_ += static_cast<std::size_t>(end - start);
+        return Value(d);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Value::as_bool() const {
+    if (type_ != Type::kBool) type_error("a bool", type_);
+    return bool_;
+}
+
+double Value::as_number() const {
+    if (type_ != Type::kNumber) type_error("a number", type_);
+    return number_;
+}
+
+const std::string& Value::as_string() const {
+    if (type_ != Type::kString) type_error("a string", type_);
+    return string_;
+}
+
+const Array& Value::as_array() const {
+    if (type_ != Type::kArray) type_error("an array", type_);
+    return array_;
+}
+
+const Object& Value::as_object() const {
+    if (type_ != Type::kObject) type_error("an object", type_);
+    return object_;
+}
+
+Value& Value::operator[](const std::string& key) {
+    if (type_ == Type::kNull) type_ = Type::kObject;
+    if (type_ != Type::kObject) type_error("an object", type_);
+    return object_[key];
+}
+
+const Value& Value::at(const std::string& key) const {
+    const auto& obj = as_object();
+    const auto it = obj.find(key);
+    if (it == obj.end()) throw std::out_of_range("json: missing key '" + key + "'");
+    return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+    return type_ == Type::kObject && object_.count(key) > 0;
+}
+
+void Value::push_back(Value v) {
+    if (type_ == Type::kNull) type_ = Type::kArray;
+    if (type_ != Type::kArray) type_error("an array", type_);
+    array_.push_back(std::move(v));
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+    const bool pretty = indent >= 0;
+    const std::string pad = pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ') : "";
+    const std::string close_pad = pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+    const char* nl = pretty ? "\n" : "";
+    const char* colon = pretty ? ": " : ":";
+
+    switch (type_) {
+        case Type::kNull: out += "null"; break;
+        case Type::kBool: out += bool_ ? "true" : "false"; break;
+        case Type::kNumber: append_number(out, number_); break;
+        case Type::kString: append_escaped(out, string_); break;
+        case Type::kArray: {
+            if (array_.empty()) {
+                out += "[]";
+                break;
+            }
+            out += '[';
+            out += nl;
+            for (std::size_t i = 0; i < array_.size(); ++i) {
+                out += pad;
+                array_[i].dump_to(out, indent, depth + 1);
+                if (i + 1 < array_.size()) out += ',';
+                out += nl;
+            }
+            out += close_pad;
+            out += ']';
+            break;
+        }
+        case Type::kObject: {
+            if (object_.empty()) {
+                out += "{}";
+                break;
+            }
+            out += '{';
+            out += nl;
+            std::size_t i = 0;
+            for (const auto& [key, value] : object_) {
+                out += pad;
+                append_escaped(out, key);
+                out += colon;
+                value.dump_to(out, indent, depth + 1);
+                if (++i < object_.size()) out += ',';
+                out += nl;
+            }
+            out += close_pad;
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string Value::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+Value Value::parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace hypatia::obs::json

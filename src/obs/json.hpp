@@ -1,0 +1,82 @@
+// Minimal JSON value model with a parser and serializer — the document
+// format of the observability layer (JSONL trace records, run
+// manifests). Implements the subset those need: objects, arrays,
+// strings with escapes, numbers (stored as double), booleans and null.
+// Object keys are kept sorted, so serialization is deterministic and
+// manifests diff cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hypatia::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+  public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Value() = default;
+    Value(bool b) : type_(Type::kBool), bool_(b) {}
+    Value(double d) : type_(Type::kNumber), number_(d) {}
+    Value(int i) : Value(static_cast<double>(i)) {}
+    Value(std::int64_t i) : Value(static_cast<double>(i)) {}
+    Value(std::uint64_t u) : Value(static_cast<double>(u)) {}
+    Value(const char* s) : type_(Type::kString), string_(s) {}
+    Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+    Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+    Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+    static Value object() { return Value(Object{}); }
+    static Value array() { return Value(Array{}); }
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::kNull; }
+    bool is_bool() const { return type_ == Type::kBool; }
+    bool is_number() const { return type_ == Type::kNumber; }
+    bool is_string() const { return type_ == Type::kString; }
+    bool is_array() const { return type_ == Type::kArray; }
+    bool is_object() const { return type_ == Type::kObject; }
+
+    /// Typed accessors; throw std::logic_error on a type mismatch.
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const Array& as_array() const;
+    const Object& as_object() const;
+
+    /// Object access. `operator[]` inserts a null member when absent (and
+    /// turns a null value into an object); `at` throws when absent.
+    Value& operator[](const std::string& key);
+    const Value& at(const std::string& key) const;
+    bool contains(const std::string& key) const;
+
+    /// Array append (turns a null value into an array).
+    void push_back(Value v);
+
+    /// Serializes the value. `indent` < 0 gives one compact line;
+    /// otherwise members are pretty-printed with `indent` spaces per
+    /// nesting level.
+    std::string dump(int indent = -1) const;
+
+    /// Parses one JSON document; throws std::runtime_error with the
+    /// offending byte offset on malformed input.
+    static Value parse(const std::string& text);
+
+  private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+}  // namespace hypatia::obs::json

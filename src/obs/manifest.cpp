@@ -1,0 +1,160 @@
+#include "src/obs/manifest.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hypatia::obs {
+
+namespace {
+
+std::string format_number(double value) {
+    char buf[32];
+    if (value == static_cast<double>(static_cast<long long>(value)) &&
+        value < 9.0e15 && value > -9.0e15) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.12g", value);
+    }
+    return buf;
+}
+
+std::string run_git_describe() {
+    FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+    if (pipe == nullptr) return "unknown";
+    char buf[128] = {0};
+    std::string out;
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) out = buf;
+    ::pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+    return out.empty() ? "unknown" : out;
+}
+
+double seconds(std::uint64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+}  // namespace
+
+void RunManifest::stamp_environment() {
+    const std::time_t now = std::time(nullptr);
+    char buf[32];
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    created_utc_ = buf;
+    git_describe_ = run_git_describe();
+}
+
+void RunManifest::set_param(const std::string& key, double value) {
+    params_[key] = format_number(value);
+}
+
+void RunManifest::capture(const Profiler& profiler, const MetricsRegistry& metrics) {
+    phases_.clear();
+    for (const auto& [name, stats] : profiler.snapshot()) {
+        phases_[name] = Phase{stats.calls, seconds(stats.total_ns),
+                              seconds(stats.self_ns)};
+    }
+    metrics_.clear();
+    for (const auto& [name, c] : metrics.counters()) {
+        metrics_[name] = static_cast<double>(c.value());
+    }
+    for (const auto& [name, g] : metrics.gauges()) metrics_[name] = g.value();
+    for (const auto& [name, h] : metrics.histograms()) {
+        metrics_[name + ".count"] = static_cast<double>(h.count());
+        metrics_[name + ".mean"] = h.mean();
+        metrics_[name + ".p50"] = static_cast<double>(h.percentile(50));
+        metrics_[name + ".p99"] = static_cast<double>(h.percentile(99));
+        metrics_[name + ".max"] = static_cast<double>(h.max());
+    }
+}
+
+json::Value RunManifest::to_json() const {
+    json::Value root = json::Value::object();
+    root["name"] = name_;
+    root["created_utc"] = created_utc_;
+    root["git_describe"] = git_describe_;
+
+    json::Value params = json::Value::object();
+    for (const auto& [key, value] : params_) params[key] = value;
+    root["params"] = std::move(params);
+
+    json::Value phases = json::Value::object();
+    for (const auto& [name, phase] : phases_) {
+        json::Value p = json::Value::object();
+        p["calls"] = static_cast<double>(phase.calls);
+        p["total_s"] = phase.total_s;
+        p["self_s"] = phase.self_s;
+        phases[name] = std::move(p);
+    }
+    root["phases"] = std::move(phases);
+
+    // The canonical three-way wall-clock rollup: SGP4 propagation,
+    // routing recompute, event loop. Self time sums without double
+    // counting (the scopes nest); total time is inclusive. Recomputed
+    // from `phases` on every serialization, so parse() round-trips.
+    json::Value breakdown = json::Value::object();
+    const auto rollup = [&](const char* key, const char* prefix) {
+        double total_s = 0.0;
+        double self_s = 0.0;
+        std::uint64_t calls = 0;
+        for (const auto& [name, phase] : phases_) {
+            if (name.compare(0, std::string::traits_type::length(prefix), prefix) != 0)
+                continue;
+            total_s += phase.total_s;
+            self_s += phase.self_s;
+            calls += phase.calls;
+        }
+        json::Value p = json::Value::object();
+        p["calls"] = static_cast<double>(calls);
+        p["total_s"] = total_s;
+        p["self_s"] = self_s;
+        breakdown[key] = std::move(p);
+    };
+    rollup("propagation", "propagation.");
+    rollup("routing", "routing.");
+    rollup("event_loop", "sim.event_loop");
+    root["phase_breakdown"] = std::move(breakdown);
+
+    json::Value metrics = json::Value::object();
+    for (const auto& [name, value] : metrics_) metrics[name] = value;
+    root["metrics"] = std::move(metrics);
+    return root;
+}
+
+void RunManifest::write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("manifest: cannot open " + path);
+    out << dump() << '\n';
+}
+
+RunManifest RunManifest::parse(const std::string& text) {
+    const json::Value root = json::Value::parse(text);
+    RunManifest m;
+    m.name_ = root.at("name").as_string();
+    m.created_utc_ = root.at("created_utc").as_string();
+    m.git_describe_ = root.at("git_describe").as_string();
+    for (const auto& [key, value] : root.at("params").as_object()) {
+        m.params_[key] = value.as_string();
+    }
+    for (const auto& [name, p] : root.at("phases").as_object()) {
+        m.phases_[name] = Phase{
+            static_cast<std::uint64_t>(p.at("calls").as_number()),
+            p.at("total_s").as_number(), p.at("self_s").as_number()};
+    }
+    for (const auto& [name, value] : root.at("metrics").as_object()) {
+        m.metrics_[name] = value.as_number();
+    }
+    return m;
+}
+
+RunManifest RunManifest::read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("manifest: cannot open " + path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+}  // namespace hypatia::obs

@@ -1,0 +1,69 @@
+// The run manifest: one JSON document per run recording what ran (name,
+// wall-clock timestamp, git describe), with which parameters, where the
+// wall-clock time went (per-phase profiler breakdown, plus the derived
+// propagation / routing / event-loop rollup) and the final values of
+// every registered metric. Benches drop it next to their CSV artifacts
+// as run_manifest.json; experiment helpers write one when asked
+// (config field or HYPATIA_MANIFEST). Manifests parse back losslessly,
+// so downstream tooling can diff runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/profile.hpp"
+
+namespace hypatia::obs {
+
+class RunManifest {
+  public:
+    struct Phase {
+        std::uint64_t calls = 0;
+        double total_s = 0.0;
+        double self_s = 0.0;
+    };
+
+    void set_name(std::string name) { name_ = std::move(name); }
+    const std::string& name() const { return name_; }
+
+    /// Fills created_utc and git_describe from the environment (wall
+    /// clock; `git describe --always --dirty`, "unknown" outside a
+    /// checkout).
+    void stamp_environment();
+    const std::string& created_utc() const { return created_utc_; }
+    const std::string& git_describe() const { return git_describe_; }
+
+    void set_param(const std::string& key, const std::string& value) {
+        params_[key] = value;
+    }
+    void set_param(const std::string& key, double value);
+    const std::map<std::string, std::string>& params() const { return params_; }
+
+    /// Snapshots the profiler phases and every registered metric.
+    void capture(const Profiler& profiler, const MetricsRegistry& metrics);
+
+    const std::map<std::string, Phase>& phases() const { return phases_; }
+    /// Flat metric view: counters and gauges by name; histograms expand
+    /// to name.count / name.mean / name.p50 / name.p99 / name.max.
+    const std::map<std::string, double>& metrics() const { return metrics_; }
+
+    json::Value to_json() const;
+    std::string dump() const { return to_json().dump(2); }
+    void write(const std::string& path) const;
+
+    static RunManifest parse(const std::string& text);
+    static RunManifest read_file(const std::string& path);
+
+  private:
+    std::string name_;
+    std::string created_utc_;
+    std::string git_describe_;
+    std::map<std::string, std::string> params_;
+    std::map<std::string, Phase> phases_;
+    std::map<std::string, double> metrics_;
+};
+
+}  // namespace hypatia::obs

@@ -1,0 +1,77 @@
+#include "src/obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace hypatia::obs {
+
+void Histogram::record(std::uint64_t v) {
+    const std::size_t index = bucket_index(v);
+    if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+    ++buckets_[index];
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+    if (count_ == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    // Rank of the percentile sample (1-based, nearest-rank definition).
+    // The cumulative count first reaches the rank at a non-empty bucket.
+    auto target = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count_) + 0.5);
+    if (target == 0) target = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= target) return bucket_lower_bound(i);
+    }
+    return max_;
+}
+
+void Histogram::reset() {
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~std::uint64_t{0};
+    max_ = 0;
+}
+
+void MetricsRegistry::check_kind(const std::string& name, const char* kind) const {
+    const bool is_counter = counters_.count(name) > 0;
+    const bool is_gauge = gauges_.count(name) > 0;
+    const bool is_histogram = histograms_.count(name) > 0;
+    const bool wanted_counter = kind[0] == 'c';
+    const bool wanted_gauge = kind[0] == 'g';
+    const bool wanted_histogram = kind[0] == 'h';
+    if ((is_counter && !wanted_counter) || (is_gauge && !wanted_gauge) ||
+        (is_histogram && !wanted_histogram)) {
+        throw std::invalid_argument("metrics: '" + name +
+                                    "' already registered with a different kind");
+    }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    check_kind(name, "counter");
+    return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    check_kind(name, "gauge");
+    return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+    check_kind(name, "histogram");
+    return histograms_[name];
+}
+
+void MetricsRegistry::reset_values() {
+    for (auto& [name, c] : counters_) c.reset();
+    for (auto& [name, g] : gauges_) g.reset();
+    for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace hypatia::obs

@@ -1,0 +1,121 @@
+// The metrics registry: named counters, gauges and log-bucketed
+// (HDR-style) histograms that every simulator component registers into.
+// Components look a metric up by name once (at construction) and keep
+// the returned pointer — recording is then a couple of integer
+// operations, cheap enough for per-packet hot paths. The registry is
+// single-threaded, like the simulator itself.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hypatia::obs {
+
+/// Monotone event count (packets sent, drops, retransmissions, ...).
+class Counter {
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/// Last-written point-in-time value (sim clock, queue peak, scenario
+/// parameters).
+class Gauge {
+  public:
+    void set(double v) { value_ = v; }
+    /// Keeps the maximum of all observations (peak tracking).
+    void set_max(double v) {
+        if (v > value_) value_ = v;
+    }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/// Distribution of non-negative integer samples in logarithmic buckets
+/// with 8 sub-buckets per power of two (HDR-histogram style): values
+/// 0..7 are exact, larger values land in a bucket within 12.5% of their
+/// magnitude. Recording is O(1) with no allocation after warm-up.
+class Histogram {
+  public:
+    void record(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return max_; }
+    double mean() const {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) / static_cast<double>(count_);
+    }
+    /// Lower bound of the bucket holding the p-th percentile (p in
+    /// [0, 100]); 0 when empty.
+    std::uint64_t percentile(double p) const;
+    void reset();
+
+    /// Bucket mapping, exposed for tests.
+    static std::size_t bucket_index(std::uint64_t v) {
+        constexpr unsigned kSubBits = 3;
+        if (v < (1u << kSubBits)) return static_cast<std::size_t>(v);
+        const unsigned msb = static_cast<unsigned>(std::bit_width(v)) - 1;
+        const unsigned shift = msb - kSubBits;
+        return static_cast<std::size_t>(((msb - kSubBits) << kSubBits) +
+                                        ((v >> shift) & ((1u << kSubBits) - 1)) +
+                                        (1u << kSubBits));
+    }
+    static std::uint64_t bucket_lower_bound(std::size_t index) {
+        constexpr unsigned kSubBits = 3;
+        if (index < (1u << kSubBits)) return index;
+        const std::uint64_t block = (index - (1u << kSubBits)) >> kSubBits;
+        const std::uint64_t sub = (index - (1u << kSubBits)) & ((1u << kSubBits) - 1);
+        const unsigned msb = static_cast<unsigned>(block) + kSubBits;
+        return (std::uint64_t{1} << msb) + (sub << (msb - kSubBits));
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+/// Name -> metric map with get-or-create semantics. References returned
+/// by the accessors stay valid for the registry's lifetime (node-based
+/// storage). Registering a name twice with different kinds throws.
+class MetricsRegistry {
+  public:
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    std::size_t size() const {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /// Zeroes every metric's value; registrations (and outstanding
+    /// pointers) stay valid.
+    void reset_values();
+
+    const std::map<std::string, Counter>& counters() const { return counters_; }
+    const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+    const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  private:
+    void check_kind(const std::string& name, const char* kind) const;
+
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace hypatia::obs

@@ -1,0 +1,49 @@
+#include "src/obs/observability.hpp"
+
+namespace hypatia::obs {
+
+Observability& Observability::instance() {
+    static Observability instance;
+    return instance;
+}
+
+Observability::Observability() {
+    register_core_metrics();
+    tracer_.configure_from_env();
+}
+
+void Observability::register_core_metrics() {
+    // The stable metric schema (documented in README.md). Components
+    // get-or-create the same names, so a binary that never constructs a
+    // simulator still reports the full set (at zero) in its manifest.
+    metrics_.counter("sim.events_executed");
+    metrics_.counter("sim.run_until_calls");
+    metrics_.gauge("sim.time_ns");
+    metrics_.gauge("sim.event_queue_peak");
+    metrics_.counter("net.tx_packets");
+    metrics_.counter("net.tx_bytes");
+    metrics_.counter("net.rx_packets");
+    metrics_.counter("net.queue_drops");
+    metrics_.counter("net.no_route_drops");
+    metrics_.counter("net.ttl_drops");
+    metrics_.histogram("net.queue_depth");
+    metrics_.counter("tcp.retransmissions");
+    metrics_.counter("tcp.timeouts");
+    metrics_.counter("tcp.fast_retransmits");
+    metrics_.counter("tcp.dup_acks");
+    metrics_.histogram("tcp.rtt_us");
+    metrics_.histogram("tcp.cwnd_segments");
+    metrics_.counter("route.fstate_installs");
+    metrics_.counter("route.fstate_entries_changed");
+    metrics_.counter("route.snapshots");
+    metrics_.counter("route.dijkstra_runs");
+    metrics_.counter("propagation.sgp4_cache_fills");
+}
+
+void Observability::reset() {
+    metrics_.reset_values();
+    profiler_.reset();
+    tracer_.reset();
+}
+
+}  // namespace hypatia::obs

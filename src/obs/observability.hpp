@@ -1,0 +1,48 @@
+// The process-wide observability context: one metrics registry, one
+// tracer, one profiler. Components reach it through the obs::metrics()
+// / obs::tracer() / obs::profiler() accessors, look their instruments
+// up once at construction and keep the pointers (lookups are get-or-
+// create, so any number of simulators in one process share the same
+// named metrics — values accumulate per process).
+//
+// The core metric set is registered eagerly at first use, so every
+// binary — including ones that never build a packet network — reports
+// the same schema in its run manifest. The tracer is configured from
+// the environment on first use (HYPATIA_TRACE / HYPATIA_TRACE_FILE /
+// HYPATIA_TRACE_SAMPLE); with no environment set, every category stays
+// disabled and tracing costs one bitmask test per would-be record.
+#pragma once
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/profile.hpp"
+#include "src/obs/trace.hpp"
+
+namespace hypatia::obs {
+
+class Observability {
+  public:
+    static Observability& instance();
+
+    MetricsRegistry& metrics() { return metrics_; }
+    Tracer& tracer() { return tracer_; }
+    Profiler& profiler() { return profiler_; }
+
+    /// Zeroes metric values, clears profiler phases and detaches the
+    /// trace sink. Registered metric names (and outstanding pointers)
+    /// stay valid. For tests and multi-run binaries.
+    void reset();
+
+  private:
+    Observability();
+    void register_core_metrics();
+
+    MetricsRegistry metrics_;
+    Tracer tracer_;
+    Profiler profiler_;
+};
+
+inline MetricsRegistry& metrics() { return Observability::instance().metrics(); }
+inline Tracer& tracer() { return Observability::instance().tracer(); }
+inline Profiler& profiler() { return Observability::instance().profiler(); }
+
+}  // namespace hypatia::obs

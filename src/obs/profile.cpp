@@ -1,0 +1,50 @@
+#include "src/obs/profile.hpp"
+
+#include <chrono>
+#include <string_view>
+
+#include "src/obs/observability.hpp"
+
+namespace hypatia::obs {
+
+namespace {
+
+thread_local ProfileScope* g_current_scope = nullptr;
+
+std::uint64_t wall_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+void Profiler::record(const char* name, std::uint64_t total_ns, std::uint64_t self_ns,
+                      std::uint64_t calls) {
+    auto it = phases_.find(std::string_view(name));
+    if (it == phases_.end()) it = phases_.emplace(name, PhaseStats{}).first;
+    it->second.calls += calls;
+    it->second.total_ns += total_ns;
+    it->second.self_ns += self_ns;
+}
+
+ProfileScope::ProfileScope(const char* name, std::uint32_t weight, bool active)
+    : name_(name), weight_(weight == 0 ? 1 : weight),
+      active_(active && profiler().enabled()) {
+    if (!active_) return;
+    parent_ = g_current_scope;
+    g_current_scope = this;
+    start_ns_ = wall_ns();
+}
+
+ProfileScope::~ProfileScope() {
+    if (!active_) return;
+    const std::uint64_t elapsed = (wall_ns() - start_ns_) * weight_;
+    const std::uint64_t self = elapsed > child_ns_ ? elapsed - child_ns_ : 0;
+    profiler().record(name_, elapsed, self, weight_);
+    g_current_scope = parent_;
+    if (parent_ != nullptr) parent_->child_ns_ += elapsed;
+}
+
+}  // namespace hypatia::obs

@@ -1,0 +1,79 @@
+// Profiling scopes: RAII wall-clock timers aggregated per phase name.
+// Scopes nest; each phase accumulates both inclusive time and self time
+// (inclusive minus time spent in nested scopes), so the per-phase
+// breakdown of a run sums cleanly: the event-loop scope's self time
+// excludes the routing recomputes it triggers, which in turn exclude
+// the SGP4 propagation they trigger.
+//
+// Hot call sites can sample: a scope constructed with weight N times
+// only one in N invocations (the macro keeps the call-site counter) and
+// records the observed duration scaled by N — the per-phase totals stay
+// unbiased while the untimed invocations cost one counter increment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hypatia::obs {
+
+class Profiler {
+  public:
+    struct PhaseStats {
+        std::uint64_t calls = 0;
+        std::uint64_t total_ns = 0;  // inclusive wall clock
+        std::uint64_t self_ns = 0;   // exclusive of nested scopes
+    };
+
+    /// Folds one (possibly weighted) scope observation into the phase.
+    void record(const char* name, std::uint64_t total_ns, std::uint64_t self_ns,
+                std::uint64_t calls);
+
+    std::map<std::string, PhaseStats, std::less<>> snapshot() const { return phases_; }
+    void reset() { phases_.clear(); }
+
+    bool enabled() const { return enabled_; }
+    void set_enabled(bool e) { enabled_ = e; }
+
+  private:
+    bool enabled_ = true;
+    std::map<std::string, PhaseStats, std::less<>> phases_;
+};
+
+/// Times the enclosing block and records it into the global profiler
+/// (obs::profiler()). `name` must outlive the scope — use string
+/// literals. See Profiler for the weight/sampling contract.
+class ProfileScope {
+  public:
+    explicit ProfileScope(const char* name, std::uint32_t weight = 1,
+                          bool active = true);
+    ~ProfileScope();
+    ProfileScope(const ProfileScope&) = delete;
+    ProfileScope& operator=(const ProfileScope&) = delete;
+
+  private:
+    const char* name_;
+    std::uint32_t weight_;
+    bool active_;
+    std::uint64_t start_ns_ = 0;
+    std::uint64_t child_ns_ = 0;
+    ProfileScope* parent_ = nullptr;
+};
+
+#define HYPATIA_PROFILE_CONCAT2(a, b) a##b
+#define HYPATIA_PROFILE_CONCAT(a, b) HYPATIA_PROFILE_CONCAT2(a, b)
+
+/// Times the rest of the enclosing block under `name`.
+#define HYPATIA_PROFILE_SCOPE(name) \
+    ::hypatia::obs::ProfileScope HYPATIA_PROFILE_CONCAT(hypatia_prof_, __LINE__)(name)
+
+/// Sampled variant for hot call sites: times one in `every` invocations
+/// and scales the recorded duration by `every`.
+#define HYPATIA_PROFILE_SCOPE_SAMPLED(name, every)                                   \
+    static thread_local std::uint32_t HYPATIA_PROFILE_CONCAT(hypatia_prof_ctr_,      \
+                                                             __LINE__) = 0;          \
+    ::hypatia::obs::ProfileScope HYPATIA_PROFILE_CONCAT(hypatia_prof_, __LINE__)(    \
+        name, (every),                                                               \
+        (HYPATIA_PROFILE_CONCAT(hypatia_prof_ctr_, __LINE__)++ % (every)) == 0)
+
+}  // namespace hypatia::obs

@@ -1,0 +1,120 @@
+#include "src/obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace hypatia::obs {
+
+const char* trace_category_name(TraceCategory c) {
+    switch (c) {
+        case TraceCategory::kPacket: return "packet";
+        case TraceCategory::kTcp: return "tcp";
+        case TraceCategory::kRouting: return "routing";
+        case TraceCategory::kSim: return "sim";
+    }
+    return "unknown";
+}
+
+std::optional<TraceCategory> trace_category_from_name(const std::string& name) {
+    if (name == "packet") return TraceCategory::kPacket;
+    if (name == "tcp") return TraceCategory::kTcp;
+    if (name == "routing") return TraceCategory::kRouting;
+    if (name == "sim") return TraceCategory::kSim;
+    return std::nullopt;
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) : out_(path) {
+    if (!out_) throw std::runtime_error("trace: cannot open " + path);
+}
+
+void JsonlTraceSink::write(const TraceRecord& r) {
+    // Hand-rolled line (one snprintf) — building a json::Value per packet
+    // record would dominate the cost of tracing.
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"t\":%lld,\"cat\":\"%s\",\"event\":\"%s\",\"node\":%d,"
+                  "\"peer\":%d,\"flow\":%llu,\"value\":%lld,\"fvalue\":%.9g}",
+                  static_cast<long long>(r.t), trace_category_name(r.category),
+                  r.event, r.node, r.peer, static_cast<unsigned long long>(r.flow_id),
+                  static_cast<long long>(r.value), r.fvalue);
+    out_ << buf << '\n';
+}
+
+CsvTraceSink::CsvTraceSink(const std::string& path) : out_(path) {
+    if (!out_) throw std::runtime_error("trace: cannot open " + path);
+    out_ << "t_ns,category,event,node,peer,flow_id,value,fvalue\n";
+}
+
+void CsvTraceSink::write(const TraceRecord& r) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%lld,%s,%s,%d,%d,%llu,%lld,%.9g",
+                  static_cast<long long>(r.t), trace_category_name(r.category),
+                  r.event, r.node, r.peer, static_cast<unsigned long long>(r.flow_id),
+                  static_cast<long long>(r.value), r.fvalue);
+    out_ << buf << '\n';
+}
+
+void Tracer::emit(const TraceRecord& record) {
+    if (!enabled(record.category)) return;
+    const auto c = static_cast<std::size_t>(record.category);
+    if (sample_every_[c] > 1 && (sample_seen_[c]++ % sample_every_[c]) != 0) return;
+    sink_->write(record);
+    ++written_;
+}
+
+void Tracer::configure_from_env() {
+    const char* spec = std::getenv("HYPATIA_TRACE");
+    if (spec == nullptr || spec[0] == '\0') return;
+
+    const char* file = std::getenv("HYPATIA_TRACE_FILE");
+    const std::string path = file != nullptr && file[0] != '\0' ? file : "trace.jsonl";
+    // An unusable path disables tracing with a warning rather than
+    // aborting the run — env-driven config must not crash the simulation.
+    try {
+        if (path.size() > 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+            set_sink(std::make_unique<CsvTraceSink>(path));
+        } else {
+            set_sink(std::make_unique<JsonlTraceSink>(path));
+        }
+    } catch (const std::runtime_error& e) {
+        std::fprintf(stderr, "[hypatia] HYPATIA_TRACE disabled: %s\n", e.what());
+        return;
+    }
+
+    std::stringstream ss(spec);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+        if (token == "all") {
+            enable_all();
+        } else if (const auto cat = trace_category_from_name(token)) {
+            enable(*cat);
+        } else {
+            std::fprintf(stderr, "[hypatia] HYPATIA_TRACE: unknown category '%s'\n",
+                         token.c_str());
+        }
+    }
+
+    if (const char* sample = std::getenv("HYPATIA_TRACE_SAMPLE")) {
+        const long n = std::strtol(sample, nullptr, 10);
+        if (n > 1) {
+            for (std::size_t c = 0; c < kNumTraceCategories; ++c) {
+                set_sample_every(static_cast<TraceCategory>(c),
+                                 static_cast<std::uint32_t>(n));
+            }
+        }
+    }
+}
+
+void Tracer::reset() {
+    mask_ = 0;
+    sink_.reset();
+    written_ = 0;
+    for (std::size_t c = 0; c < kNumTraceCategories; ++c) {
+        sample_every_[c] = 1;
+        sample_seen_[c] = 0;
+    }
+}
+
+}  // namespace hypatia::obs

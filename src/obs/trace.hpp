@@ -1,0 +1,147 @@
+// Structured event tracing: typed records (packet lifecycle, TCP state
+// transitions, routing recomputes) routed through a pluggable TraceSink
+// (JSONL, CSV, in-memory). Tracing is off by default; the hot-path
+// contract is that a disabled category costs one inline bitmask test —
+// call sites guard with `if (tracer.enabled(cat))` before building the
+// record. Per-category sampling (keep 1 of N) bounds the output volume
+// of high-rate categories like the packet lifecycle.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace hypatia::obs {
+
+enum class TraceCategory : std::uint8_t {
+    kPacket = 0,   // pkt.enqueue / pkt.drop / pkt.tx / pkt.deliver
+    kTcp = 1,      // tcp.cwnd / tcp.fast_retransmit / tcp.rto / tcp.recovery_*
+    kRouting = 2,  // route.fstate_install
+    kSim = 3,      // simulator-level events
+};
+inline constexpr std::size_t kNumTraceCategories = 4;
+
+const char* trace_category_name(TraceCategory c);
+std::optional<TraceCategory> trace_category_from_name(const std::string& name);
+
+/// One trace event. The generic fields carry the per-event payload
+/// (documented per event name in README.md): `value` holds integral
+/// detail (sequence number, bytes, entries changed), `fvalue` floating
+/// point detail (cwnd in segments, RTT in seconds).
+struct TraceRecord {
+    TimeNs t = 0;
+    TraceCategory category = TraceCategory::kSim;
+    const char* event = "";
+    int node = -1;
+    int peer = -1;
+    std::uint64_t flow_id = 0;
+    std::int64_t value = 0;
+    double fvalue = 0.0;
+};
+
+inline TraceRecord make_record(TimeNs t, TraceCategory category, const char* event,
+                               int node, int peer = -1, std::uint64_t flow_id = 0,
+                               std::int64_t value = 0, double fvalue = 0.0) {
+    TraceRecord r;
+    r.t = t;
+    r.category = category;
+    r.event = event;
+    r.node = node;
+    r.peer = peer;
+    r.flow_id = flow_id;
+    r.value = value;
+    r.fvalue = fvalue;
+    return r;
+}
+
+class TraceSink {
+  public:
+    virtual ~TraceSink() = default;
+    virtual void write(const TraceRecord& record) = 0;
+    virtual void flush() {}
+};
+
+/// One JSON object per line: {"t":..,"cat":"packet","event":"pkt.drop",..}.
+class JsonlTraceSink final : public TraceSink {
+  public:
+    explicit JsonlTraceSink(const std::string& path);
+    void write(const TraceRecord& record) override;
+    void flush() override { out_.flush(); }
+
+  private:
+    std::ofstream out_;
+};
+
+/// CSV with a fixed header: t_ns,category,event,node,peer,flow_id,value,fvalue.
+class CsvTraceSink final : public TraceSink {
+  public:
+    explicit CsvTraceSink(const std::string& path);
+    void write(const TraceRecord& record) override;
+    void flush() override { out_.flush(); }
+
+  private:
+    std::ofstream out_;
+};
+
+/// Buffers records in memory; for tests and programmatic consumers.
+class MemoryTraceSink final : public TraceSink {
+  public:
+    void write(const TraceRecord& record) override { records_.push_back(record); }
+    const std::vector<TraceRecord>& records() const { return records_; }
+    void clear() { records_.clear(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+class Tracer {
+  public:
+    /// The hot-path test: true only when the category is switched on AND
+    /// a sink is attached.
+    bool enabled(TraceCategory c) const {
+        return (mask_ & (1u << static_cast<unsigned>(c))) != 0 && sink_ != nullptr;
+    }
+
+    void enable(TraceCategory c) { mask_ |= 1u << static_cast<unsigned>(c); }
+    void disable(TraceCategory c) { mask_ &= ~(1u << static_cast<unsigned>(c)); }
+    void enable_all() { mask_ = (1u << kNumTraceCategories) - 1; }
+    void disable_all() { mask_ = 0; }
+    unsigned category_mask() const { return mask_; }
+
+    void set_sink(std::unique_ptr<TraceSink> sink) { sink_ = std::move(sink); }
+    TraceSink* sink() { return sink_.get(); }
+
+    /// Keep 1 of every `n` records of category `c` (n >= 1).
+    void set_sample_every(TraceCategory c, std::uint32_t n) {
+        sample_every_[static_cast<std::size_t>(c)] = n == 0 ? 1 : n;
+    }
+
+    /// Writes `record` to the sink if its category is enabled and the
+    /// sampler selects it.
+    void emit(const TraceRecord& record);
+
+    std::uint64_t records_written() const { return written_; }
+
+    /// Reads HYPATIA_TRACE (comma-separated category names or "all"),
+    /// HYPATIA_TRACE_FILE (default "trace.jsonl"; a ".csv" suffix
+    /// selects the CSV sink) and HYPATIA_TRACE_SAMPLE (keep 1 of N for
+    /// every enabled category). No-op when HYPATIA_TRACE is unset.
+    void configure_from_env();
+
+    /// Detaches the sink and disables every category (tests).
+    void reset();
+
+  private:
+    unsigned mask_ = 0;
+    std::unique_ptr<TraceSink> sink_;
+    std::uint32_t sample_every_[kNumTraceCategories] = {1, 1, 1, 1};
+    std::uint32_t sample_seen_[kNumTraceCategories] = {0, 0, 0, 0};
+    std::uint64_t written_ = 0;
+};
+
+}  // namespace hypatia::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/observability.hpp"
+
 namespace hypatia::route {
 
 Graph::Graph(int num_satellites, int num_ground_stations)
@@ -27,6 +29,10 @@ Graph build_snapshot(const topo::SatelliteMobility& mobility,
                      const std::vector<topo::Isl>& isls,
                      const std::vector<orbit::GroundStation>& ground_stations, TimeNs t,
                      const SnapshotOptions& options) {
+    HYPATIA_PROFILE_SCOPE("routing.snapshot");
+    static obs::Counter* const snapshots_metric =
+        &obs::metrics().counter("route.snapshots");
+    snapshots_metric->inc();
     const int num_sats = mobility.num_satellites();
     Graph g(num_sats, static_cast<int>(ground_stations.size()));
 

@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <queue>
 
+#include "src/obs/observability.hpp"
+
 namespace hypatia::route {
 
 DestinationTree dijkstra_to(const Graph& graph, int destination) {
+    HYPATIA_PROFILE_SCOPE("routing.dijkstra");
+    static obs::Counter* const runs_metric =
+        &obs::metrics().counter("route.dijkstra_runs");
+    runs_metric->inc();
     const auto n = static_cast<std::size_t>(graph.num_nodes());
     DestinationTree tree;
     tree.destination = destination;

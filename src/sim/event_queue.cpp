@@ -9,6 +9,7 @@ void EventQueue::push(TimeNs t, Callback cb) {
 }
 
 EventQueue::Callback EventQueue::pop(TimeNs* time_out) {
+    if (heap_.empty()) throw std::logic_error("event queue: pop() on empty queue");
     // priority_queue::top() is const; moving the callback out is safe
     // because we pop immediately after.
     Event& top = const_cast<Event&>(heap_.top());

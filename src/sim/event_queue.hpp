@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "src/util/units.hpp"
@@ -22,9 +23,19 @@ class EventQueue {
 
     bool empty() const { return heap_.empty(); }
     std::size_t size() const { return heap_.size(); }
-    TimeNs next_time() const { return heap_.top().time; }
 
-    /// Pops and returns the earliest event's callback.
+    /// Time of the earliest pending event. Precondition: !empty() —
+    /// peeking an empty heap would be undefined behaviour, so an empty
+    /// queue throws std::logic_error instead.
+    TimeNs next_time() const {
+        if (heap_.empty()) {
+            throw std::logic_error("event queue: next_time() on empty queue");
+        }
+        return heap_.top().time;
+    }
+
+    /// Pops and returns the earliest event's callback. Precondition:
+    /// !empty() (throws std::logic_error, like next_time()).
     Callback pop(TimeNs* time_out = nullptr);
 
   private:

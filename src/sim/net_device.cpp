@@ -3,22 +3,54 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/observability.hpp"
+
 namespace hypatia::sim {
 
 NetDevice::NetDevice(Simulator& sim, int owner_node, double rate_bps,
                      std::size_t queue_capacity, DelayModel delay, DeliverFn deliver,
                      int fixed_peer)
     : sim_(sim), owner_(owner_node), rate_bps_(rate_bps), queue_(queue_capacity),
-      delay_(std::move(delay)), deliver_(std::move(deliver)), fixed_peer_(fixed_peer) {
+      delay_(std::move(delay)), deliver_(std::move(deliver)), fixed_peer_(fixed_peer),
+      tx_packets_metric_(&obs::metrics().counter("net.tx_packets")),
+      tx_bytes_metric_(&obs::metrics().counter("net.tx_bytes")),
+      rx_packets_metric_(&obs::metrics().counter("net.rx_packets")),
+      drops_metric_(&obs::metrics().counter("net.queue_drops")),
+      queue_depth_metric_(&obs::metrics().histogram("net.queue_depth")),
+      tracer_(&obs::tracer()) {
     if (rate_bps <= 0.0) throw std::invalid_argument("net_device: rate must be positive");
 }
 
 bool NetDevice::send(const Packet& packet, int next_hop) {
     const int target = fixed_peer_ >= 0 ? fixed_peer_ : next_hop;
     if (target < 0) throw std::invalid_argument("net_device: GSL send without next hop");
-    if (busy_) return queue_.enqueue(packet, target);
-    start_transmission({packet, target});
-    return true;
+    queue_depth_metric_->record(backlog());
+    if (!busy_) {
+        if (tracer_->enabled(obs::TraceCategory::kPacket)) {
+            tracer_->emit(obs::make_record(sim_.now(), obs::TraceCategory::kPacket,
+                                           "pkt.enqueue", owner_, target,
+                                           packet.flow_id,
+                                           static_cast<std::int64_t>(packet.seq)));
+        }
+        start_transmission({packet, target});
+        return true;
+    }
+    if (queue_.enqueue(packet, target)) {
+        if (tracer_->enabled(obs::TraceCategory::kPacket)) {
+            tracer_->emit(obs::make_record(sim_.now(), obs::TraceCategory::kPacket,
+                                           "pkt.enqueue", owner_, target,
+                                           packet.flow_id,
+                                           static_cast<std::int64_t>(packet.seq)));
+        }
+        return true;
+    }
+    drops_metric_->inc();
+    if (tracer_->enabled(obs::TraceCategory::kPacket)) {
+        tracer_->emit(obs::make_record(sim_.now(), obs::TraceCategory::kPacket,
+                                       "pkt.drop", owner_, target, packet.flow_id,
+                                       static_cast<std::int64_t>(packet.seq)));
+    }
+    return false;
 }
 
 void NetDevice::start_transmission(const DropTailQueue::Entry& entry) {
@@ -32,13 +64,28 @@ void NetDevice::start_transmission(const DropTailQueue::Entry& entry) {
 void NetDevice::on_transmit_complete(DropTailQueue::Entry entry) {
     tx_bytes_ += static_cast<std::uint64_t>(entry.packet.size_bytes);
     ++tx_packets_;
+    tx_bytes_metric_->inc(static_cast<std::uint64_t>(entry.packet.size_bytes));
+    tx_packets_metric_->inc();
 
     // The wavefront left the device; propagation delay is measured from
     // the geometry at this instant.
     const TimeNs prop = delay_(owner_, entry.next_hop, sim_.now());
     const Packet packet = entry.packet;
     const int to = entry.next_hop;
-    sim_.schedule_in(prop, [this, packet, to]() { deliver_(packet, to); });
+    if (tracer_->enabled(obs::TraceCategory::kPacket)) {
+        tracer_->emit(obs::make_record(sim_.now(), obs::TraceCategory::kPacket,
+                                       "pkt.tx", owner_, to, packet.flow_id,
+                                       static_cast<std::int64_t>(packet.size_bytes)));
+    }
+    sim_.schedule_in(prop, [this, packet, to]() {
+        rx_packets_metric_->inc();
+        if (tracer_->enabled(obs::TraceCategory::kPacket)) {
+            tracer_->emit(obs::make_record(sim_.now(), obs::TraceCategory::kPacket,
+                                           "pkt.deliver", to, owner_, packet.flow_id,
+                                           static_cast<std::int64_t>(packet.seq)));
+        }
+        deliver_(packet, to);
+    });
 
     busy_ = false;
     if (!queue_.empty()) start_transmission(queue_.dequeue());

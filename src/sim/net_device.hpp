@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/packet.hpp"
 #include "src/sim/queue.hpp"
 #include "src/sim/simulator.hpp"
@@ -67,6 +69,14 @@ class NetDevice {
     bool busy_ = false;
     std::uint64_t tx_bytes_ = 0;
     std::uint64_t tx_packets_ = 0;
+    // Shared registry instruments (one set of names across all devices)
+    // and the tracer, resolved once at construction.
+    obs::Counter* tx_packets_metric_;
+    obs::Counter* tx_bytes_metric_;
+    obs::Counter* rx_packets_metric_;
+    obs::Counter* drops_metric_;
+    obs::Histogram* queue_depth_metric_;
+    obs::Tracer* tracer_;
 };
 
 }  // namespace hypatia::sim

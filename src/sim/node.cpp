@@ -1,6 +1,21 @@
 #include "src/sim/node.hpp"
 
+#include "src/obs/observability.hpp"
+
 namespace hypatia::sim {
+
+namespace {
+// Nodes carry no simulator reference, so the shared drop counters are
+// resolved lazily here instead of per instance.
+obs::Counter& ttl_drops_metric() {
+    static obs::Counter& c = obs::metrics().counter("net.ttl_drops");
+    return c;
+}
+obs::Counter& no_route_drops_metric() {
+    static obs::Counter& c = obs::metrics().counter("net.no_route_drops");
+    return c;
+}
+}  // namespace
 
 void Node::receive(const Packet& packet) {
     if (packet.dst_node == id_) {
@@ -16,11 +31,13 @@ void Node::forward(const Packet& in) {
     Packet packet = in;
     if (++packet.hops > kMaxHops) {
         ++ttl_drops_;
+        ttl_drops_metric().inc();
         return;
     }
     const int nh = next_hop(packet.dst_node);
     if (nh < 0) {
         ++no_route_drops_;
+        no_route_drops_metric().inc();
         return;
     }
     if (NetDevice* isl = isl_device_to(nh)) {
@@ -32,6 +49,7 @@ void Node::forward(const Packet& in) {
         return;
     }
     ++no_route_drops_;  // no device capable of reaching the next hop
+    no_route_drops_metric().inc();
 }
 
 std::uint64_t Node::queue_drops() const {

@@ -3,7 +3,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/observability.hpp"
+#include "src/obs/profile.hpp"
+
 namespace hypatia::sim {
+
+Simulator::Simulator()
+    : events_metric_(&obs::metrics().counter("sim.events_executed")),
+      runs_metric_(&obs::metrics().counter("sim.run_until_calls")),
+      time_metric_(&obs::metrics().gauge("sim.time_ns")),
+      queue_peak_metric_(&obs::metrics().gauge("sim.event_queue_peak")) {}
 
 void Simulator::schedule_in(TimeNs delay, EventQueue::Callback cb) {
     if (delay < 0) throw std::invalid_argument("simulator: negative delay");
@@ -16,9 +25,12 @@ void Simulator::schedule_at(TimeNs t, EventQueue::Callback cb) {
 }
 
 std::uint64_t Simulator::run_until(TimeNs t_end) {
+    HYPATIA_PROFILE_SCOPE("sim.event_loop");
     stopped_ = false;
     std::uint64_t executed = 0;
+    std::size_t peak = queue_.size();
     while (!queue_.empty() && !stopped_) {
+        if (queue_.size() > peak) peak = queue_.size();
         if (queue_.next_time() > t_end) break;
         TimeNs t = 0;
         auto cb = queue_.pop(&t);
@@ -27,7 +39,13 @@ std::uint64_t Simulator::run_until(TimeNs t_end) {
         ++executed;
         ++events_executed_;
     }
-    if (now_ < t_end) now_ = t_end;
+    // After stop() the clock keeps the last event's time so that the
+    // still-queued events are not in the past when execution resumes.
+    if (!stopped_ && now_ < t_end) now_ = t_end;
+    events_metric_->inc(executed);
+    runs_metric_->inc();
+    time_metric_->set(static_cast<double>(now_));
+    queue_peak_metric_->set_max(static_cast<double>(peak));
     return executed;
 }
 

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "src/obs/metrics.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/util/units.hpp"
 
@@ -12,6 +13,8 @@ namespace hypatia::sim {
 
 class Simulator {
   public:
+    Simulator();
+
     TimeNs now() const { return now_; }
 
     /// Schedules `cb` `delay` nanoseconds from now (delay >= 0).
@@ -22,19 +25,32 @@ class Simulator {
 
     /// Runs events until the queue drains or the clock passes `t_end`
     /// (events at exactly t_end still run). Returns the number of events
-    /// executed.
+    /// executed. When the run completes normally the clock advances to
+    /// t_end; after stop() it stays at the last executed event's time,
+    /// so a later run_until resumes where the stopped run left off.
     std::uint64_t run_until(TimeNs t_end);
 
-    /// Requests run_until to return after the current event.
+    /// Requests run_until to return after the current event. Pending
+    /// events stay queued and run on the next run_until call.
     void stop() { stopped_ = true; }
 
+    /// Events executed over the simulator's lifetime (accumulates
+    /// across run_until calls).
     std::uint64_t events_executed() const { return events_executed_; }
+
+    /// Events currently pending in the queue.
+    std::size_t events_pending() const { return queue_.size(); }
 
   private:
     TimeNs now_ = 0;
     bool stopped_ = false;
     std::uint64_t events_executed_ = 0;
     EventQueue queue_;
+    // Registry instruments, resolved once (see src/obs/observability.hpp).
+    obs::Counter* events_metric_;
+    obs::Counter* runs_metric_;
+    obs::Gauge* time_metric_;
+    obs::Gauge* queue_peak_metric_;
 };
 
 }  // namespace hypatia::sim

@@ -4,11 +4,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/obs/observability.hpp"
+
 namespace hypatia::sim {
 
 TcpFlow::TcpFlow(Network& network, const TcpConfig& config,
                  std::unique_ptr<CongestionControl> cc)
-    : network_(network), config_(config), cc_(std::move(cc)) {
+    : network_(network), config_(config), cc_(std::move(cc)),
+      retx_metric_(&obs::metrics().counter("tcp.retransmissions")),
+      timeouts_metric_(&obs::metrics().counter("tcp.timeouts")),
+      fast_retx_metric_(&obs::metrics().counter("tcp.fast_retransmits")),
+      dup_acks_metric_(&obs::metrics().counter("tcp.dup_acks")),
+      rtt_metric_(&obs::metrics().histogram("tcp.rtt_us")),
+      cwnd_metric_(&obs::metrics().histogram("tcp.cwnd_segments")),
+      tracer_(&obs::tracer()) {
     if (config.src_node < 0 || config.dst_node < 0) {
         throw std::invalid_argument("tcp: endpoints required");
     }
@@ -42,6 +51,12 @@ void TcpFlow::set_cwnd(double segments) {
 void TcpFlow::record_cwnd() {
     // Trace every change; callers downsample when plotting.
     cwnd_trace_.push_back({now(), cwnd_, ssthresh_, in_recovery_});
+    cwnd_metric_->record(static_cast<std::uint64_t>(std::llround(cwnd_)));
+    if (tracer_->enabled(obs::TraceCategory::kTcp)) {
+        tracer_->emit(obs::make_record(now(), obs::TraceCategory::kTcp, "tcp.cwnd",
+                                       config_.src_node, config_.dst_node,
+                                       config_.flow_id, in_recovery_ ? 1 : 0, cwnd_));
+    }
 }
 
 void TcpFlow::enable_delivery_bins(TimeNs bin_width, TimeNs horizon) {
@@ -100,7 +115,16 @@ void TcpFlow::send_segment(std::uint64_t seq, bool retransmission) {
     p.flow_id = config_.flow_id;
     p.seq = seq;
     p.sent_time = now();
-    if (retransmission) ++retransmissions_;
+    if (retransmission) {
+        ++retransmissions_;
+        retx_metric_->inc();
+        if (tracer_->enabled(obs::TraceCategory::kTcp)) {
+            tracer_->emit(obs::make_record(now(), obs::TraceCategory::kTcp,
+                                           "tcp.retransmit", config_.src_node,
+                                           config_.dst_node, config_.flow_id,
+                                           static_cast<std::int64_t>(seq)));
+        }
+    }
     network_.node(config_.src_node).receive(p);
     if (!rto_armed_) arm_rto();
 }
@@ -117,6 +141,13 @@ void TcpFlow::arm_rto() {
 
 void TcpFlow::on_rto() {
     ++timeouts_;
+    timeouts_metric_->inc();
+    if (tracer_->enabled(obs::TraceCategory::kTcp)) {
+        tracer_->emit(obs::make_record(now(), obs::TraceCategory::kTcp, "tcp.rto",
+                                       config_.src_node, config_.dst_node,
+                                       config_.flow_id,
+                                       static_cast<std::int64_t>(snd_una_)));
+    }
     if (on_event) on_event("rto", snd_una_);
     cc_->on_loss(*this, /*timeout=*/true);
     set_cwnd(1.0);
@@ -135,6 +166,13 @@ void TcpFlow::on_rto() {
 
 void TcpFlow::enter_fast_recovery() {
     ++fast_retransmits_;
+    fast_retx_metric_->inc();
+    if (tracer_->enabled(obs::TraceCategory::kTcp)) {
+        tracer_->emit(obs::make_record(now(), obs::TraceCategory::kTcp,
+                                       "tcp.recovery_enter", config_.src_node,
+                                       config_.dst_node, config_.flow_id,
+                                       static_cast<std::int64_t>(snd_una_)));
+    }
     if (on_event) on_event("fast_retransmit", snd_una_);
     cc_->on_loss(*this, /*timeout=*/false);
     in_recovery_ = true;
@@ -175,6 +213,7 @@ void TcpFlow::on_ack_packet(const Packet& ack) {
     if (ack.echo_time > 0) {
         rtt = now() - ack.echo_time;
         rtt_trace_.push_back({now(), rtt});
+        rtt_metric_->record(static_cast<std::uint64_t>(rtt / kNsPerUs));
         // Jacobson/Karels.
         if (srtt_ == 0) {
             srtt_ = rtt;
@@ -201,6 +240,12 @@ void TcpFlow::on_ack_packet(const Packet& ack) {
                 // Full ACK: leave recovery, deflate to ssthresh.
                 in_recovery_ = false;
                 dup_acks_ = 0;
+                if (tracer_->enabled(obs::TraceCategory::kTcp)) {
+                    tracer_->emit(obs::make_record(
+                        now(), obs::TraceCategory::kTcp, "tcp.recovery_exit",
+                        config_.src_node, config_.dst_node, config_.flow_id,
+                        static_cast<std::int64_t>(snd_una_)));
+                }
                 if (on_event) on_event("full_ack", snd_una_);
                 set_cwnd(ssthresh_);
                 ++rto_generation_;
@@ -237,6 +282,7 @@ void TcpFlow::on_ack_packet(const Packet& ack) {
     // Duplicate ACK.
     if (flight_size() == 0) return;
     ++dup_acks_total_;
+    dup_acks_metric_->inc();
     if (on_event) on_event("dup_ack", ack.ack);
     if (in_recovery_) {
         // Packet conservation: each arriving ACK grants one retransmission

@@ -22,6 +22,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/network.hpp"
 #include "src/sim/packet.hpp"
 
@@ -215,6 +217,16 @@ class TcpFlow {
     // Pacing (used when cc_->pacing_rate_bps() > 0).
     bool pace_timer_armed_ = false;
     std::uint64_t pace_generation_ = 0;
+
+    // Shared registry instruments and the tracer, resolved once (see
+    // src/obs/observability.hpp).
+    obs::Counter* retx_metric_;
+    obs::Counter* timeouts_metric_;
+    obs::Counter* fast_retx_metric_;
+    obs::Counter* dup_acks_metric_;
+    obs::Histogram* rtt_metric_;
+    obs::Histogram* cwnd_metric_;
+    obs::Tracer* tracer_;
 };
 
 }  // namespace hypatia::sim

@@ -1,11 +1,14 @@
 #include "src/topology/mobility.hpp"
 
+#include "src/obs/observability.hpp"
+
 namespace hypatia::topo {
 
 SatelliteMobility::SatelliteMobility(const Constellation& constellation,
                                      TimeNs cache_quantum)
     : constellation_(&constellation), quantum_(cache_quantum),
-      cache_(static_cast<std::size_t>(constellation.num_satellites())) {}
+      cache_(static_cast<std::size_t>(constellation.num_satellites())),
+      cache_fills_metric_(&obs::metrics().counter("propagation.sgp4_cache_fills")) {}
 
 Vec3 SatelliteMobility::position_ecef_exact(int sat_id, TimeNs t) const {
     const auto& sat = constellation_->satellite(sat_id);
@@ -20,6 +23,11 @@ const Vec3& SatelliteMobility::position_ecef(int sat_id, TimeNs t) const {
 
     const TimeNs bucket = (t / quantum_) * quantum_;
     if (e.bucket_start != bucket) {
+        // The SGP4 propagations below dominate mobility cost; the scope is
+        // sampled (1 in 16, scaled back up) so the cache-hit fast path stays
+        // timer-free and the fill path pays ~one clock read per 16 fills.
+        HYPATIA_PROFILE_SCOPE_SAMPLED("propagation.sgp4", 16);
+        cache_fills_metric_->inc();
         e.bucket_start = bucket;
         e.at_start = position_ecef_exact(sat_id, bucket);
         e.at_end = position_ecef_exact(sat_id, bucket + quantum_);

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/orbit/coords.hpp"
 #include "src/topology/constellation.hpp"
 #include "src/util/units.hpp"
@@ -42,6 +43,7 @@ class SatelliteMobility {
     const Constellation* constellation_;
     TimeNs quantum_;
     mutable std::vector<CacheEntry> cache_;
+    obs::Counter* cache_fills_metric_;  // shared registry counter
 };
 
 }  // namespace hypatia::topo

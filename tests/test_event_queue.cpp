@@ -31,6 +31,19 @@ TEST(EventQueue, ReportsNextTime) {
     EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, NextTimeOnEmptyThrows) {
+    EventQueue q;
+    EXPECT_THROW(q.next_time(), std::logic_error);
+    q.push(7, [] {});
+    q.pop()();
+    EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+    EventQueue q;
+    EXPECT_THROW(q.pop(), std::logic_error);
+}
+
 TEST(Simulator, ClockAdvancesWithEvents) {
     Simulator sim;
     TimeNs seen = -1;
@@ -95,6 +108,43 @@ TEST(Simulator, CountsExecutedEvents) {
     for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
     EXPECT_EQ(sim.run_until(10), 5u);
     EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, StopLeavesClockAtLastEvent) {
+    Simulator sim;
+    sim.schedule_at(10, [&] { sim.stop(); });
+    sim.schedule_at(20, [] {});
+    sim.run_until(100);
+    // After stop() the clock must stay at the stopped event, not jump to
+    // the horizon — otherwise the still-queued t=20 event would be in the
+    // clock's past on resume.
+    EXPECT_EQ(sim.now(), 10);
+    EXPECT_EQ(sim.events_pending(), 1u);
+}
+
+TEST(Simulator, ResumeAfterStopRunsRemainingEvents) {
+    Simulator sim;
+    std::vector<TimeNs> times;
+    sim.schedule_at(10, [&] {
+        times.push_back(sim.now());
+        sim.stop();
+    });
+    sim.schedule_at(20, [&] { times.push_back(sim.now()); });
+    sim.schedule_at(30, [&] { times.push_back(sim.now()); });
+    EXPECT_EQ(sim.run_until(100), 1u);
+    EXPECT_EQ(sim.run_until(100), 2u);
+    EXPECT_EQ(times, (std::vector<TimeNs>{10, 20, 30}));
+    EXPECT_EQ(sim.now(), 100);
+    EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, EventsExecutedAccumulatesAcrossRuns) {
+    Simulator sim;
+    for (int i = 1; i <= 6; ++i) sim.schedule_at(i * 10, [] {});
+    EXPECT_EQ(sim.run_until(30), 3u);   // per-call count
+    EXPECT_EQ(sim.events_executed(), 3u);
+    EXPECT_EQ(sim.run_until(60), 3u);
+    EXPECT_EQ(sim.events_executed(), 6u);  // lifetime count accumulates
 }
 
 }  // namespace

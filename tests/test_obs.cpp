@@ -1,0 +1,376 @@
+// The observability layer: metrics registry semantics, histogram bucket
+// mapping, trace sinks and sampling, JSON round trips, profiler nesting
+// and the run manifest.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/json.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/observability.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace hypatia::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + name;
+}
+
+std::string read_all(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableReferences) {
+    MetricsRegistry reg;
+    Counter& c1 = reg.counter("a.count");
+    c1.inc(3);
+    Counter& c2 = reg.counter("a.count");
+    EXPECT_EQ(&c1, &c2);
+    EXPECT_EQ(c2.value(), 3u);
+
+    // Pointers survive later registrations (node-based storage).
+    Counter* before = &reg.counter("a.count");
+    for (int i = 0; i < 100; ++i) reg.counter("fill." + std::to_string(i));
+    EXPECT_EQ(before, &reg.counter("a.count"));
+    EXPECT_EQ(reg.size(), 101u);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+    MetricsRegistry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+    EXPECT_THROW(reg.histogram("x"), std::invalid_argument);
+    reg.gauge("y");
+    EXPECT_THROW(reg.counter("y"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("c");
+    Gauge& g = reg.gauge("g");
+    Histogram& h = reg.histogram("h");
+    c.inc(5);
+    g.set(7.0);
+    h.record(9);
+    reg.reset_values();
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_EQ(c.value(), 0u);      // same objects, zeroed
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Gauge, SetMaxKeepsPeak) {
+    Gauge g;
+    g.set_max(3.0);
+    g.set_max(10.0);
+    g.set_max(5.0);
+    EXPECT_EQ(g.value(), 10.0);
+}
+
+// --- Histogram ------------------------------------------------------------
+
+TEST(Histogram, SmallValuesAreExact) {
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        EXPECT_EQ(Histogram::bucket_index(v), v);
+        EXPECT_EQ(Histogram::bucket_lower_bound(v), v);
+    }
+}
+
+TEST(Histogram, BucketLowerBoundInvertsBucketIndex) {
+    for (std::uint64_t v : {8ull, 9ull, 100ull, 1000ull, 123456ull, 1ull << 40,
+                            (1ull << 40) + 12345ull}) {
+        const std::size_t idx = Histogram::bucket_index(v);
+        const std::uint64_t lo = Histogram::bucket_lower_bound(idx);
+        EXPECT_LE(lo, v);
+        // The bucket containing v starts within 12.5% below v.
+        EXPECT_EQ(Histogram::bucket_index(lo), idx);
+        EXPECT_GT(Histogram::bucket_lower_bound(idx + 1), v);
+    }
+}
+
+TEST(Histogram, StatsAndPercentiles) {
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 5050u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    // Percentiles return the containing bucket's lower bound: within
+    // 12.5% below the exact rank value.
+    EXPECT_LE(h.percentile(50), 50u);
+    EXPECT_GE(h.percentile(50), 44u);
+    EXPECT_LE(h.percentile(99), 99u);
+    EXPECT_GE(h.percentile(99), 87u);
+    EXPECT_EQ(h.percentile(0), 1u);
+    EXPECT_LE(h.percentile(100), 100u);
+}
+
+TEST(Histogram, EmptyIsZero) {
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(50), 0u);
+}
+
+// --- Tracer ---------------------------------------------------------------
+
+TEST(Tracer, CategoryMaskGatesEmission) {
+    Tracer tracer;
+    auto sink = std::make_unique<MemoryTraceSink>();
+    MemoryTraceSink* mem = sink.get();
+    tracer.set_sink(std::move(sink));
+
+    EXPECT_FALSE(tracer.enabled(TraceCategory::kPacket));
+    tracer.enable(TraceCategory::kPacket);
+    EXPECT_TRUE(tracer.enabled(TraceCategory::kPacket));
+    EXPECT_FALSE(tracer.enabled(TraceCategory::kTcp));
+
+    tracer.emit(make_record(1, TraceCategory::kPacket, "pkt.enqueue", 0));
+    tracer.emit(make_record(2, TraceCategory::kTcp, "tcp.cwnd", 0));  // disabled
+    ASSERT_EQ(mem->records().size(), 1u);
+    EXPECT_STREQ(mem->records()[0].event, "pkt.enqueue");
+    EXPECT_EQ(tracer.records_written(), 1u);
+}
+
+TEST(Tracer, NoSinkMeansDisabled) {
+    Tracer tracer;
+    tracer.enable_all();
+    EXPECT_FALSE(tracer.enabled(TraceCategory::kPacket));  // no sink attached
+}
+
+TEST(Tracer, SamplingKeepsOneOfN) {
+    Tracer tracer;
+    auto sink = std::make_unique<MemoryTraceSink>();
+    MemoryTraceSink* mem = sink.get();
+    tracer.set_sink(std::move(sink));
+    tracer.enable(TraceCategory::kPacket);
+    tracer.set_sample_every(TraceCategory::kPacket, 10);
+    for (int i = 0; i < 100; ++i) {
+        tracer.emit(make_record(i, TraceCategory::kPacket, "pkt.tx", 0));
+    }
+    EXPECT_EQ(mem->records().size(), 10u);
+    EXPECT_EQ(mem->records()[0].t, 0);   // first of each stride is kept
+    EXPECT_EQ(mem->records()[1].t, 10);
+}
+
+TEST(Tracer, CategoryNamesRoundTrip) {
+    for (std::size_t i = 0; i < kNumTraceCategories; ++i) {
+        const auto c = static_cast<TraceCategory>(i);
+        const auto back = trace_category_from_name(trace_category_name(c));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, c);
+    }
+    EXPECT_FALSE(trace_category_from_name("nonsense").has_value());
+}
+
+TEST(JsonlTraceSink, WritesParsableLines) {
+    const std::string path = temp_path("trace_test.jsonl");
+    {
+        JsonlTraceSink sink(path);
+        sink.write(make_record(123, TraceCategory::kPacket, "pkt.drop",
+                               /*node=*/4, /*peer=*/7, /*flow_id=*/9,
+                               /*value=*/1500, /*fvalue=*/2.5));
+        sink.write(make_record(456, TraceCategory::kTcp, "tcp.cwnd", 1));
+        sink.flush();
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    const auto v = json::Value::parse(line);
+    EXPECT_EQ(v.at("t").as_number(), 123.0);
+    EXPECT_EQ(v.at("cat").as_string(), "packet");
+    EXPECT_EQ(v.at("event").as_string(), "pkt.drop");
+    EXPECT_EQ(v.at("node").as_number(), 4.0);
+    EXPECT_EQ(v.at("peer").as_number(), 7.0);
+    EXPECT_EQ(v.at("flow").as_number(), 9.0);
+    EXPECT_EQ(v.at("value").as_number(), 1500.0);
+    EXPECT_EQ(v.at("fvalue").as_number(), 2.5);
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(json::Value::parse(line).at("cat").as_string(), "tcp");
+    std::remove(path.c_str());
+}
+
+TEST(CsvTraceSink, WritesHeaderAndRows) {
+    const std::string path = temp_path("trace_test.csv");
+    {
+        CsvTraceSink sink(path);
+        sink.write(make_record(5, TraceCategory::kRouting, "route.fstate_install",
+                               -1, -1, 0, 42));
+        sink.flush();
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "t_ns,category,event,node,peer,flow_id,value,fvalue");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line.substr(0, 30), "5,routing,route.fstate_install");
+    std::remove(path.c_str());
+}
+
+// --- JSON -----------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+    json::Value v = json::Value::object();
+    v["name"] = "hello \"world\"\n";
+    v["count"] = 42;
+    v["pi"] = 3.25;
+    v["flag"] = true;
+    v["nothing"] = json::Value();
+    v["list"].push_back(1);
+    v["list"].push_back("two");
+    v["nested"]["deep"] = std::int64_t{1} << 50;
+
+    const std::string text = v.dump();
+    const json::Value back = json::Value::parse(text);
+    EXPECT_EQ(back.dump(), text);                 // stable serialization
+    EXPECT_EQ(back.at("name").as_string(), "hello \"world\"\n");
+    EXPECT_EQ(back.at("count").as_number(), 42.0);
+    EXPECT_TRUE(back.at("flag").as_bool());
+    EXPECT_TRUE(back.at("nothing").is_null());
+    EXPECT_EQ(back.at("list").as_array().size(), 2u);
+    EXPECT_EQ(back.at("nested").at("deep").as_number(),
+              static_cast<double>(std::int64_t{1} << 50));
+    // Integers print without an exponent; keys are sorted.
+    EXPECT_NE(text.find("\"count\":42"), std::string::npos);
+    EXPECT_LT(text.find("\"count\""), text.find("\"name\""));
+}
+
+TEST(Json, ParseRejectsMalformed) {
+    EXPECT_THROW(json::Value::parse("{"), std::runtime_error);
+    EXPECT_THROW(json::Value::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(json::Value::parse("{\"a\":1} trailing"), std::runtime_error);
+    EXPECT_THROW(json::Value::parse(""), std::runtime_error);
+}
+
+TEST(Json, ParsesEscapesAndUnicode) {
+    const auto v = json::Value::parse(R"(["a\tb", "é", "\\"])");
+    const auto& a = v.as_array();
+    EXPECT_EQ(a[0].as_string(), "a\tb");
+    EXPECT_EQ(a[1].as_string(), "\xc3\xa9");  // é in UTF-8
+    EXPECT_EQ(a[2].as_string(), "\\");
+}
+
+// --- Profiler -------------------------------------------------------------
+
+TEST(Profiler, NestedScopesSplitSelfTime) {
+    auto& prof = profiler();
+    prof.reset();
+    volatile int spin = 0;
+    {
+        HYPATIA_PROFILE_SCOPE("outer");
+        for (int i = 0; i < 100000; ++i) spin = i;
+        {
+            HYPATIA_PROFILE_SCOPE("inner");
+            for (int i = 0; i < 100000; ++i) spin = i;
+        }
+    }
+    (void)spin;
+    const auto snap = prof.snapshot();
+    ASSERT_TRUE(snap.count("outer"));
+    ASSERT_TRUE(snap.count("inner"));
+    const auto& outer = snap.at("outer");
+    const auto& inner = snap.at("inner");
+    EXPECT_EQ(outer.calls, 1u);
+    EXPECT_EQ(inner.calls, 1u);
+    // outer's inclusive time covers inner; its self time excludes it.
+    EXPECT_GE(outer.total_ns, inner.total_ns);
+    EXPECT_LE(outer.self_ns, outer.total_ns - inner.total_ns);
+    EXPECT_LE(inner.self_ns, inner.total_ns);
+    prof.reset();
+}
+
+TEST(Profiler, SampledScopeScalesCallsAndDuration) {
+    auto& prof = profiler();
+    prof.reset();
+    for (int i = 0; i < 32; ++i) {
+        HYPATIA_PROFILE_SCOPE_SAMPLED("sampled_phase", 16);
+    }
+    const auto snap = prof.snapshot();
+    ASSERT_TRUE(snap.count("sampled_phase"));
+    // 32 invocations at 1-in-16 sampling: 2 timed, each counted as 16.
+    EXPECT_EQ(snap.at("sampled_phase").calls, 32u);
+    prof.reset();
+}
+
+// --- RunManifest ----------------------------------------------------------
+
+TEST(RunManifest, RoundTripsThroughDisk) {
+    Profiler prof;
+    prof.record("routing.snapshot", 2'000'000, 1'500'000, 4);
+    prof.record("sim.event_loop", 10'000'000, 8'000'000, 1);
+    MetricsRegistry reg;
+    reg.counter("net.tx_packets").inc(123);
+    reg.gauge("scenario.num_satellites").set(72.0);
+    reg.histogram("tcp.rtt_us").record(30'000);
+
+    RunManifest m;
+    m.set_name("unit_test_run");
+    m.stamp_environment();
+    m.set_param("duration_s", 12.5);
+    m.set_param("transport", "tcp");
+    m.capture(prof, reg);
+
+    EXPECT_FALSE(m.created_utc().empty());
+    EXPECT_FALSE(m.git_describe().empty());
+
+    const std::string path = temp_path("run_manifest_test.json");
+    m.write(path);
+    const RunManifest back = RunManifest::read_file(path);
+    EXPECT_EQ(back.dump(), m.dump());  // lossless round trip
+    EXPECT_EQ(back.name(), "unit_test_run");
+    EXPECT_EQ(back.params().at("transport"), "tcp");
+    EXPECT_EQ(back.metrics().at("net.tx_packets"), 123.0);
+    EXPECT_EQ(back.metrics().at("tcp.rtt_us.count"), 1.0);
+    ASSERT_TRUE(back.phases().count("routing.snapshot"));
+    EXPECT_EQ(back.phases().at("routing.snapshot").calls, 4u);
+
+    // The derived rollup groups phases into the paper's three buckets.
+    const auto doc = json::Value::parse(read_all(path));
+    ASSERT_TRUE(doc.contains("phase_breakdown"));
+    const auto& breakdown = doc.at("phase_breakdown");
+    EXPECT_GT(breakdown.at("routing").at("total_s").as_number(), 0.0);
+    EXPECT_GT(breakdown.at("event_loop").at("total_s").as_number(), 0.0);
+    EXPECT_EQ(breakdown.at("propagation").at("calls").as_number(), 0.0);
+    std::remove(path.c_str());
+}
+
+// --- integration with the simulator --------------------------------------
+
+TEST(Observability, SimulatorReportsIntoGlobalRegistry) {
+    auto& reg = metrics();
+    const std::uint64_t before = reg.counter("sim.events_executed").value();
+    sim::Simulator sim;
+    for (int i = 1; i <= 7; ++i) sim.schedule_at(i, [] {});
+    sim.run_until(10);
+    EXPECT_EQ(reg.counter("sim.events_executed").value(), before + 7);
+    EXPECT_GE(reg.gauge("sim.event_queue_peak").value(), 7.0);
+}
+
+TEST(Observability, CoreSchemaIsRegisteredEagerly) {
+    // Any binary that touches obs:: sees the full schema, so manifests
+    // from routing-only benches still report the same metric names.
+    auto& reg = metrics();
+    EXPECT_GE(reg.size(), 10u);
+    for (const char* name :
+         {"sim.events_executed", "net.tx_packets", "net.queue_drops",
+          "tcp.retransmissions", "route.fstate_installs", "route.dijkstra_runs",
+          "propagation.sgp4_cache_fills"}) {
+        EXPECT_EQ(reg.counter(name).value(), 0u) << name;
+    }
+    EXPECT_EQ(reg.histogram("tcp.rtt_us").count(), 0u);
+    EXPECT_EQ(reg.histogram("net.queue_depth").count(), 0u);
+}
+
+}  // namespace
+}  // namespace hypatia::obs
