@@ -1,0 +1,214 @@
+// Flow-level engine scalability + cross-validation — the extension of
+// Fig 2 past the packet simulator's wall. Two parts:
+//
+//  1. Scale sweep: Starlink S1 with the 100 most populous cities, a
+//     gravity-model matrix of long-running flows, 200 virtual seconds.
+//     Default sweeps {10k, 100k} concurrent flows; --paper adds 1M.
+//     The packet simulator's cost grows with rate x duration (Fig 2); the
+//     fluid engine's is O(epochs * (routing + path length + solver)), so
+//     100k flows complete in well under a minute of wall clock.
+//
+//  2. Cross-validation (--skip-crossval to omit): for the paper's three
+//     section-4 city pairs on Kuiper K1, a single long-running flow is
+//     run through the packet-level NewReno stack and through the fluid
+//     engine; the fluid rate (scaled by the 1440/1500 payload fraction)
+//     must match packet goodput within +/-15% (tolerance documented in
+//     EXPERIMENTS.md). The bench exits non-zero on a violation, so CI
+//     catches the two engines drifting apart.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bench/paper_pairs.hpp"
+#include "src/core/experiment.hpp"
+#include "src/flowsim/engine.hpp"
+#include "src/sim/packet.hpp"
+
+using namespace hypatia;
+
+namespace {
+
+/// Payload bits per wire bit (1440-byte MSS in 1500-byte packets): the
+/// factor between the fluid engine's wire-level rate and TCP goodput.
+constexpr double kPayloadFraction =
+    static_cast<double>(sim::kDefaultMss) / (sim::kDefaultMss + sim::kHeaderBytes);
+
+struct ScaleRow {
+    std::size_t flows = 0;
+    double wall_s = 0.0;
+    double slowdown = 0.0;
+    double mean_active = 0.0;
+    double mean_rounds = 0.0;
+    bool converged = true;
+};
+
+ScaleRow run_scale_point(std::size_t num_flows, double duration_s, double epoch_s) {
+    core::Scenario scenario = core::Scenario::paper_default("starlink_s1");
+
+    flowsim::GravityTrafficConfig traffic;
+    traffic.num_gs = static_cast<int>(scenario.ground_stations.size());
+    traffic.num_flows = num_flows;  // unbounded size: all stay concurrent
+    traffic.seed = 1;
+
+    flowsim::EngineOptions opts;
+    opts.epoch = seconds_to_ns(epoch_s);
+    opts.duration = seconds_to_ns(duration_s);
+
+    flowsim::Engine engine(scenario, flowsim::gravity_traffic(traffic), opts);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto summary = engine.run();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+
+    ScaleRow row;
+    row.flows = num_flows;
+    row.wall_s = wall.count();
+    row.slowdown = wall.count() / duration_s;
+    row.converged = summary.all_converged;
+    double active = 0.0, rounds = 0.0;
+    for (const auto& e : summary.epochs) {
+        active += static_cast<double>(e.active);
+        rounds += e.solver_rounds;
+    }
+    if (!summary.epochs.empty()) {
+        active /= static_cast<double>(summary.epochs.size());
+        rounds /= static_cast<double>(summary.epochs.size());
+    }
+    row.mean_active = active;
+    row.mean_rounds = rounds;
+    return row;
+}
+
+struct CrossValRow {
+    std::string src, dst;
+    double packet_goodput_bps = 0.0;
+    double flow_goodput_bps = 0.0;  // fluid wire rate * payload fraction
+    double relative_error = 0.0;
+    bool within_tolerance = true;
+};
+
+CrossValRow cross_validate_pair(const std::string& src, const std::string& dst,
+                                double duration_s, double warmup_s) {
+    const auto scenario = bench::scenario_with_cities("kuiper_k1", {src, dst});
+    const TimeNs duration = seconds_to_ns(duration_s);
+
+    // Packet level: one NewReno flow. Goodput is averaged over the
+    // steady-state window only — slow start and the first loss episode
+    // are transport transients the fluid model deliberately omits.
+    core::LeoNetwork leo(scenario);
+    auto flows = core::attach_tcp_flows(leo, {{0, 1}}, "newreno");
+    flows[0]->enable_delivery_bins(kNsPerSec, duration);
+    leo.run(duration);
+    const auto bins = flows[0]->delivery_rate_bps();
+    double packet_goodput = 0.0;
+    std::size_t steady_bins = 0;
+    for (std::size_t b = static_cast<std::size_t>(warmup_s); b < bins.size(); ++b) {
+        packet_goodput += bins[b];
+        ++steady_bins;
+    }
+    if (steady_bins > 0) packet_goodput /= static_cast<double>(steady_bins);
+
+    // Flow level: the same unbounded demand through the fluid engine,
+    // averaged over the same steady-state window.
+    flowsim::EngineOptions opts;
+    opts.epoch = kNsPerSec;
+    opts.duration = duration;
+    opts.tracked_flows = {0};
+    flowsim::Engine engine(scenario, flowsim::cbr_background({{0, 1}}, flowsim::kNoRateCap),
+                           opts);
+    const auto summary = engine.run();
+    double flow_wire_rate = 0.0;
+    std::size_t steady_epochs = 0;
+    for (const auto& [t, rate] : summary.tracked_series[0]) {
+        if (ns_to_seconds(t) < warmup_s) continue;
+        flow_wire_rate += rate;
+        ++steady_epochs;
+    }
+    if (steady_epochs > 0) flow_wire_rate /= static_cast<double>(steady_epochs);
+
+    CrossValRow row;
+    row.src = src;
+    row.dst = dst;
+    row.packet_goodput_bps = packet_goodput;
+    row.flow_goodput_bps = flow_wire_rate * kPayloadFraction;
+    row.relative_error = row.flow_goodput_bps > 0.0
+                             ? std::abs(packet_goodput - row.flow_goodput_bps) /
+                                   row.flow_goodput_bps
+                             : 1.0;
+    row.within_tolerance = row.relative_error <= 0.15;
+    return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::BenchArgs args(argc, argv);
+    args.cli.describe("flows", "run a single sweep point with this many flows");
+    args.cli.describe("epoch-s", "fluid re-route/re-solve interval in seconds");
+    args.cli.describe("crossval-s", "virtual seconds per cross-validation pair");
+    args.cli.describe("crossval-warmup-s", "transport warmup excluded from averaging");
+    args.cli.describe("skip-crossval", "skip the packet-level cross-validation");
+    bench::print_header("Flowsim scale: fluid max-min engine vs Fig 2's wall");
+
+    const double duration_s = args.duration_s(200.0, 200.0);
+    const double epoch_s = args.cli.get_double("epoch-s", 1.0);
+    const double crossval_s = args.cli.get_double("crossval-s", 60.0);
+    const double crossval_warmup_s = args.cli.get_double("crossval-warmup-s", 10.0);
+    const bool skip_crossval = args.cli.get_bool("skip-crossval");
+    const long flows_override = args.cli.get_long("flows", 0);
+    args.finish_flags("Flow-level engine scalability sweep + packet cross-validation.");
+
+    args.manifest.set_param("epoch_s", epoch_s);
+    args.manifest.set_param("shell", "starlink_s1");
+
+    std::vector<std::size_t> sweep = {10'000, 100'000};
+    if (args.paper) sweep.push_back(1'000'000);
+    if (flows_override > 0) sweep = {static_cast<std::size_t>(flows_override)};
+
+    util::CsvWriter csv(bench::out_path("flowsim_scale.csv"));
+    csv.header({"flows", "virtual_s", "wall_s", "slowdown", "mean_active",
+                "mean_solver_rounds", "converged"});
+
+    bool failed = false;
+    std::printf("%10s %10s %10s %10s %12s %8s\n", "flows", "wall(s)", "slowdown",
+                "active", "rounds/ep", "conv");
+    for (const std::size_t n : sweep) {
+        const auto row = run_scale_point(n, duration_s, epoch_s);
+        std::printf("%10zu %10.2f %10.4f %10.0f %12.1f %8s\n", row.flows, row.wall_s,
+                    row.slowdown, row.mean_active, row.mean_rounds,
+                    row.converged ? "yes" : "NO");
+        std::fflush(stdout);
+        csv.row({static_cast<double>(row.flows), duration_s, row.wall_s, row.slowdown,
+                 row.mean_active, row.mean_rounds, row.converged ? 1.0 : 0.0});
+        failed = failed || !row.converged;
+    }
+    std::printf("(packet-level TCP at this scale: Fig 2 reports slowdown in the\n");
+    std::printf(" hundreds; the fluid engine's slowdown above is < 1.)\n");
+
+    if (!skip_crossval) {
+        std::printf("\ncross-validation vs packet NewReno (+/-15%%, %g s windows,\n"
+                    " first %g s of transport warmup excluded)\n",
+                    crossval_s, crossval_warmup_s);
+        util::CsvWriter xcsv(bench::out_path("flowsim_crossval.csv"));
+        xcsv.header({"src", "dst", "packet_goodput_mbps", "flow_goodput_mbps",
+                     "relative_error"});
+        for (const auto& [src, dst] : bench::section4_pairs()) {
+            const auto row = cross_validate_pair(src, dst, crossval_s, crossval_warmup_s);
+            std::printf("  %-16s -> %-18s packet %6.3f Mbit/s, fluid %6.3f, err %5.1f%% %s\n",
+                        src.c_str(), dst.c_str(), row.packet_goodput_bps / 1e6,
+                        row.flow_goodput_bps / 1e6, 100.0 * row.relative_error,
+                        row.within_tolerance ? "ok" : "OUT OF TOLERANCE");
+            std::fflush(stdout);
+            xcsv.row(std::vector<std::string>{
+                src, dst, std::to_string(row.packet_goodput_bps / 1e6),
+                std::to_string(row.flow_goodput_bps / 1e6),
+                std::to_string(row.relative_error)});
+            failed = failed || !row.within_tolerance;
+        }
+        std::printf("rows written to %s\n", bench::out_path("flowsim_crossval.csv").c_str());
+    }
+
+    std::printf("rows written to %s\n", bench::out_path("flowsim_scale.csv").c_str());
+    return failed ? 1 : 0;
+}

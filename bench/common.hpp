@@ -42,6 +42,15 @@ struct BenchArgs {
         manifest.set_name(name);
         manifest.stamp_environment();
         manifest.set_param("paper", paper ? "true" : "false");
+        cli.describe("paper", "full-scale publication parameters (slower)");
+        cli.describe("duration-s", "virtual duration in seconds");
+        cli.describe("step-ms", "time-step granularity in milliseconds");
+    }
+
+    /// Call once every bench-specific flag has been read: --help prints
+    /// the auto-generated flag list and exits 0; an unknown flag exits 2.
+    void finish_flags(const std::string& summary = "") const {
+        cli.finish(manifest.name(), summary);
     }
 
     ~BenchArgs() {

@@ -1,0 +1,370 @@
+#include "src/flowsim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/observability.hpp"
+#include "src/routing/graph.hpp"
+#include "src/routing/shortest_path.hpp"
+
+namespace hypatia::flowsim {
+namespace {
+
+std::uint64_t pack_hop(int from, int to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+}
+
+}  // namespace
+
+Engine::Engine(const core::Scenario& scenario, TrafficMatrix matrix,
+               EngineOptions options)
+    : scenario_(scenario),
+      constellation_(scenario.shell, topo::default_epoch()),
+      mobility_(constellation_),
+      isls_(topo::build_isls(constellation_, scenario.isl_pattern)),
+      matrix_(std::move(matrix)),
+      options_(std::move(options)) {
+    if (scenario.weather.has_value()) weather_.emplace(*scenario.weather);
+    matrix_.sort_by_arrival();
+
+    const int num_nodes = constellation_.num_satellites() +
+                          static_cast<int>(scenario_.ground_stations.size());
+    isl_resource_.reserve(isls_.size() * 2);
+    for (std::size_t i = 0; i < isls_.size(); ++i) {
+        isl_resource_[pack_hop(isls_[i].sat_a, isls_[i].sat_b)] =
+            static_cast<std::uint32_t>(2 * i);
+        isl_resource_[pack_hop(isls_[i].sat_b, isls_[i].sat_a)] =
+            static_cast<std::uint32_t>(2 * i + 1);
+    }
+    gsl_base_ = static_cast<std::uint32_t>(2 * isls_.size());
+    num_resources_ = gsl_base_ + static_cast<std::uint32_t>(num_nodes);
+
+    auto& m = obs::metrics();
+    m.gauge("scenario.num_satellites").set(constellation_.num_satellites());
+    m.gauge("scenario.num_ground_stations")
+        .set(static_cast<double>(scenario_.ground_stations.size()));
+    m.gauge("scenario.num_isls").set(static_cast<double>(isls_.size()));
+    m.gauge("flowsim.num_flows").set(static_cast<double>(matrix_.size()));
+    m.gauge("flowsim.epoch_ms").set(ns_to_ms(options_.epoch));
+}
+
+std::uint32_t Engine::resource_for_hop(int from, int to) const {
+    if (from < num_satellites() && to < num_satellites()) {
+        const auto it = isl_resource_.find(pack_hop(from, to));
+        if (it != isl_resource_.end()) return it->second;
+    }
+    // Any hop that is not a provisioned ISL serializes on `from`'s shared
+    // GSL transmit device — the same contention point the packet model has.
+    return gsl_base_ + static_cast<std::uint32_t>(from);
+}
+
+route::ForwardingState Engine::compute_epoch_forwarding(
+    TimeNs t, const std::vector<int>& dst_gs) {
+    route::SnapshotOptions opts;
+    opts.include_isls = scenario_.isl_pattern != topo::IslPattern::kNone;
+    opts.relay_gs_indices = scenario_.relay_gs_indices;
+    opts.gs_nearest_satellite_only = scenario_.gs_nearest_satellite_only;
+    if (weather_.has_value()) {
+        opts.gsl_range_factor = [this](int gs_index, TimeNs at) {
+            return weather_->gsl_range_factor(gs_index, at);
+        };
+    }
+    const route::Graph graph = [&] {
+        HYPATIA_PROFILE_SCOPE("flowsim.snapshot");
+        return route::build_snapshot(mobility_, isls_, scenario_.ground_stations,
+                                     orbit_time(t), opts);
+    }();
+    HYPATIA_PROFILE_SCOPE("flowsim.forwarding");
+    std::vector<int> dst_nodes;
+    dst_nodes.reserve(dst_gs.size());
+    for (const int gs : dst_gs) dst_nodes.push_back(gs_node(gs));
+    return route::compute_forwarding(graph, dst_nodes);
+}
+
+Engine::EpochProblem Engine::build_problem(const route::ForwardingState& fstate,
+                                           const std::vector<std::uint32_t>& active,
+                                           TimeNs t) {
+    HYPATIA_PROFILE_SCOPE("flowsim.paths");
+    EpochProblem ep;
+    const double factor =
+        options_.capacity_factor ? options_.capacity_factor(t) : 1.0;
+    ep.problem.capacity_bps.assign(num_resources_, 0.0);
+    for (std::size_t i = 0; i < isls_.size(); ++i) {
+        ep.problem.capacity_bps[2 * i] = scenario_.isl_rate_bps * factor;
+        ep.problem.capacity_bps[2 * i + 1] = scenario_.isl_rate_bps * factor;
+    }
+    for (std::uint32_t r = gsl_base_; r < num_resources_; ++r) {
+        ep.problem.capacity_bps[r] = scenario_.gsl_rate_bps * factor;
+    }
+
+    const int max_hops = num_satellites() +
+                         static_cast<int>(scenario_.ground_stations.size());
+    ep.flow_of_problem.reserve(active.size());
+    std::vector<std::uint32_t> links;
+    for (const std::uint32_t f : active) {
+        const Flow& flow = matrix_.flows[f];
+        const int dst_node = gs_node(flow.dst_gs);
+        const route::DestinationTree* tree = fstate.tree(dst_node);
+        links.clear();
+        bool reachable = tree != nullptr;
+        int node = gs_node(flow.src_gs);
+        while (reachable && node != dst_node) {
+            const int nh = tree->next_hop[static_cast<std::size_t>(node)];
+            if (nh < 0 || static_cast<int>(links.size()) >= max_hops) {
+                reachable = false;
+                break;
+            }
+            links.push_back(resource_for_hop(node, nh));
+            node = nh;
+        }
+        if (!reachable) {
+            ep.unreachable.push_back(f);
+            continue;
+        }
+        ep.problem.add_flow(links, flow.rate_cap_bps);
+        ep.flow_of_problem.push_back(f);
+    }
+    return ep;
+}
+
+RunSummary Engine::run() {
+    HYPATIA_PROFILE_SCOPE("flowsim.run");
+    auto& m = obs::metrics();
+    obs::Counter* const created_metric = &m.counter("flowsim.flows_created");
+    obs::Counter* const completed_metric = &m.counter("flowsim.flows_completed");
+    obs::Counter* const epochs_metric = &m.counter("flowsim.epochs");
+    obs::Counter* const unreachable_metric =
+        &m.counter("flowsim.unreachable_flow_epochs");
+    obs::Gauge* const active_peak = &m.gauge("flowsim.active_flows_peak");
+    obs::Histogram* const fct_ms = &m.histogram("flowsim.fct_ms");
+    obs::Histogram* const rate_kbps = &m.histogram("flowsim.flow_rate_kbps");
+    auto& tracer = obs::tracer();
+
+    isl_utilization_.clear();
+    RunSummary summary;
+    summary.flows.assign(matrix_.size(), FlowOutcome{});
+    summary.tracked_series.resize(options_.tracked_flows.size());
+    std::unordered_map<std::size_t, std::size_t> tracked_slot;
+    for (std::size_t i = 0; i < options_.tracked_flows.size(); ++i) {
+        tracked_slot[options_.tracked_flows[i]] = i;
+    }
+
+    std::vector<double> remaining(matrix_.size(), 0.0);
+    std::vector<double> rate(matrix_.size(), 0.0);
+    std::vector<char> done(matrix_.size(), 0);
+    std::vector<std::uint32_t> active;  // ascending flow id (arrival order)
+    std::size_t next_arrival = 0;
+    const int num_gs = static_cast<int>(scenario_.ground_stations.size());
+    std::vector<char> dst_seen(static_cast<std::size_t>(num_gs), 0);
+
+    const auto complete_flow = [&](std::uint32_t f, TimeNs at) {
+        done[f] = 1;
+        FlowOutcome& outcome = summary.flows[f];
+        outcome.completion = at;
+        ++summary.completed;
+        completed_metric->inc();
+        fct_ms->record(static_cast<std::uint64_t>(
+            std::max<TimeNs>(0, at - matrix_.flows[f].arrival) / kNsPerMs));
+        rate_kbps->record(static_cast<std::uint64_t>(rate[f] / 1e3));
+        if (tracer.enabled(obs::TraceCategory::kFlow)) {
+            tracer.emit(obs::make_record(
+                at, obs::TraceCategory::kFlow, "flow.complete",
+                matrix_.flows[f].src_gs, matrix_.flows[f].dst_gs, f,
+                static_cast<std::int64_t>(outcome.bits_sent), rate[f]));
+        }
+    };
+
+    for (TimeNs t = 0; t < options_.duration; t += options_.epoch) {
+        const TimeNs dt = std::min<TimeNs>(options_.epoch, options_.duration - t);
+        const double dt_s = ns_to_seconds(dt);
+        EpochStats stats;
+        stats.t = t;
+
+        while (next_arrival < matrix_.size() &&
+               matrix_.flows[next_arrival].arrival <= t) {
+            const auto f = static_cast<std::uint32_t>(next_arrival);
+            active.push_back(f);
+            remaining[f] = matrix_.flows[f].size_bits;
+            ++stats.arrivals;
+            created_metric->inc();
+            if (tracer.enabled(obs::TraceCategory::kFlow)) {
+                tracer.emit(obs::make_record(
+                    t, obs::TraceCategory::kFlow, "flow.arrive",
+                    matrix_.flows[f].src_gs, matrix_.flows[f].dst_gs, f,
+                    matrix_.flows[f].size_bits == kUnboundedSize
+                        ? -1
+                        : static_cast<std::int64_t>(matrix_.flows[f].size_bits)));
+            }
+            ++next_arrival;
+        }
+        stats.active = active.size();
+        active_peak->set_max(static_cast<double>(active.size()));
+
+        // Distinct destinations of the active flows, ascending.
+        std::fill(dst_seen.begin(), dst_seen.end(), 0);
+        for (const std::uint32_t f : active) {
+            dst_seen[static_cast<std::size_t>(matrix_.flows[f].dst_gs)] = 1;
+        }
+        std::vector<int> dst_gs;
+        for (int g = 0; g < num_gs; ++g) {
+            if (dst_seen[static_cast<std::size_t>(g)]) dst_gs.push_back(g);
+        }
+
+        const route::ForwardingState fstate = compute_epoch_forwarding(t, dst_gs);
+        EpochProblem ep = build_problem(fstate, active, t);
+        FairShareResult solution = solve_max_min(ep.problem);
+        stats.solver_rounds = solution.rounds;
+        stats.converged = solution.converged;
+        summary.all_converged = summary.all_converged && solution.converged;
+
+        for (std::size_t row = 0; row < ep.flow_of_problem.size(); ++row) {
+            rate[ep.flow_of_problem[row]] = solution.rate_bps[row];
+            stats.sum_rate_bps += solution.rate_bps[row];
+        }
+        for (const std::uint32_t f : ep.unreachable) {
+            rate[f] = 0.0;
+            ++summary.flows[f].unreachable_epochs;
+        }
+        stats.unreachable = ep.unreachable.size();
+        unreachable_metric->inc(ep.unreachable.size());
+
+        // Per-resource load (for the utilization map and overload check).
+        if (options_.record_link_utilization) {
+            std::vector<double> load(num_resources_, 0.0);
+            for (std::size_t row = 0; row < ep.flow_of_problem.size(); ++row) {
+                const double r = solution.rate_bps[row];
+                for (std::uint32_t i = ep.problem.flow_offset[row];
+                     i < ep.problem.flow_offset[row + 1]; ++i) {
+                    load[ep.problem.flow_links[i]] += r;
+                }
+            }
+            std::vector<double> per_isl(isls_.size(), 0.0);
+            for (std::size_t i = 0; i < isls_.size(); ++i) {
+                const double cap = ep.problem.capacity_bps[2 * i];
+                if (cap > 0.0) {
+                    per_isl[i] = std::max(load[2 * i], load[2 * i + 1]) / cap;
+                }
+                stats.max_link_utilization =
+                    std::max(stats.max_link_utilization, per_isl[i]);
+            }
+            for (std::uint32_t r = gsl_base_; r < num_resources_; ++r) {
+                const double cap = ep.problem.capacity_bps[r];
+                if (cap > 0.0) {
+                    stats.max_link_utilization =
+                        std::max(stats.max_link_utilization, load[r] / cap);
+                }
+            }
+            isl_utilization_.push_back(std::move(per_isl));
+        }
+
+        for (const auto& [flow_id, slot] : tracked_slot) {
+            if (!done[flow_id] && flow_id < matrix_.size()) {
+                const bool is_active =
+                    std::binary_search(active.begin(), active.end(),
+                                       static_cast<std::uint32_t>(flow_id));
+                if (is_active) {
+                    summary.tracked_series[slot].emplace_back(t, rate[flow_id]);
+                }
+            }
+        }
+
+        // Advance the fluid state to the next epoch boundary.
+        {
+            HYPATIA_PROFILE_SCOPE("flowsim.advance");
+            double advanced_s = 0.0;
+            while (true) {
+                // Earliest mid-epoch completion (only consulted when
+                // resolve_on_completion re-solves afterwards).
+                double next_completion_s = kNoRateCap;
+                if (options_.resolve_on_completion) {
+                    for (const std::uint32_t f : active) {
+                        if (remaining[f] != kUnboundedSize && rate[f] > 0.0) {
+                            next_completion_s = std::min(
+                                next_completion_s, remaining[f] / rate[f]);
+                        }
+                    }
+                }
+                const double window_s = dt_s - advanced_s;
+                if (!options_.resolve_on_completion ||
+                    next_completion_s >= window_s) {
+                    for (const std::uint32_t f : active) {
+                        FlowOutcome& outcome = summary.flows[f];
+                        outcome.last_rate_bps = rate[f];
+                        if (remaining[f] == kUnboundedSize) {
+                            outcome.bits_sent += rate[f] * window_s;
+                            continue;
+                        }
+                        const double sent = rate[f] * window_s;
+                        if (rate[f] > 0.0 && remaining[f] <= sent) {
+                            outcome.bits_sent += remaining[f];
+                            const TimeNs at =
+                                t + seconds_to_ns(advanced_s +
+                                                  remaining[f] / rate[f]);
+                            remaining[f] = 0.0;
+                            complete_flow(f, at);
+                            ++stats.completions;
+                        } else {
+                            outcome.bits_sent += sent;
+                            remaining[f] -= sent;
+                        }
+                    }
+                    break;
+                }
+                // Exact-fluid mode: advance to the completion instant,
+                // retire finished flows and re-solve on the same paths.
+                for (const std::uint32_t f : active) {
+                    FlowOutcome& outcome = summary.flows[f];
+                    outcome.last_rate_bps = rate[f];
+                    const double sent = rate[f] * next_completion_s;
+                    if (remaining[f] == kUnboundedSize) {
+                        outcome.bits_sent += sent;
+                        continue;
+                    }
+                    outcome.bits_sent += std::min(sent, remaining[f]);
+                    remaining[f] = std::max(0.0, remaining[f] - sent);
+                }
+                advanced_s += next_completion_s;
+                const TimeNs at = t + seconds_to_ns(advanced_s);
+                for (const std::uint32_t f : active) {
+                    if (!done[f] && remaining[f] <= 1e-6 &&
+                        remaining[f] != kUnboundedSize) {
+                        complete_flow(f, at);
+                        ++stats.completions;
+                    }
+                }
+                active.erase(std::remove_if(active.begin(), active.end(),
+                                            [&](std::uint32_t f) { return done[f]; }),
+                             active.end());
+                ep = build_problem(fstate, active, t);
+                solution = solve_max_min(ep.problem);
+                summary.all_converged = summary.all_converged && solution.converged;
+                for (std::size_t row = 0; row < ep.flow_of_problem.size(); ++row) {
+                    rate[ep.flow_of_problem[row]] = solution.rate_bps[row];
+                }
+                for (const std::uint32_t f : ep.unreachable) rate[f] = 0.0;
+            }
+        }
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](std::uint32_t f) { return done[f]; }),
+                     active.end());
+
+        epochs_metric->inc();
+        if (tracer.enabled(obs::TraceCategory::kFlow)) {
+            tracer.emit(obs::make_record(t, obs::TraceCategory::kFlow, "flow.epoch",
+                                         -1, -1, 0,
+                                         static_cast<std::int64_t>(stats.active),
+                                         stats.sum_rate_bps));
+        }
+        summary.epochs.push_back(stats);
+    }
+
+    // Flows still active at the end contribute their final allocation to
+    // the rate distribution (completed flows recorded at completion).
+    for (const std::uint32_t f : active) {
+        rate_kbps->record(static_cast<std::uint64_t>(rate[f] / 1e3));
+    }
+    return summary;
+}
+
+}  // namespace hypatia::flowsim

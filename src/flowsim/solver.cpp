@@ -1,0 +1,172 @@
+#include "src/flowsim/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/obs/observability.hpp"
+
+namespace hypatia::flowsim {
+
+void FairShareProblem::add_flow(const std::vector<std::uint32_t>& links, double cap) {
+    flow_links.insert(flow_links.end(), links.begin(), links.end());
+    flow_offset.push_back(static_cast<std::uint32_t>(flow_links.size()));
+    if (cap != kNoRateCap || !rate_cap_bps.empty()) {
+        // Lazily materialize: backfill earlier uncapped flows on first cap.
+        rate_cap_bps.resize(num_flows() - 1, kNoRateCap);
+        rate_cap_bps.push_back(cap);
+    }
+}
+
+FairShareResult solve_max_min(const FairShareProblem& p) {
+    HYPATIA_PROFILE_SCOPE("flowsim.solve");
+    static obs::Counter* const runs_metric =
+        &obs::metrics().counter("flowsim.solver_runs");
+    static obs::Counter* const rounds_metric =
+        &obs::metrics().counter("flowsim.solver_rounds");
+    runs_metric->inc();
+
+    const std::size_t num_flows = p.num_flows();
+    const std::size_t num_links = p.capacity_bps.size();
+    FairShareResult result;
+    result.rate_bps.assign(num_flows, 0.0);
+    if (num_flows == 0) return result;
+
+    const auto flow_cap = [&p](std::size_t f) {
+        return p.rate_cap_bps.empty() ? kNoRateCap : p.rate_cap_bps[f];
+    };
+
+    // CSR reverse index: flows crossing each link.
+    std::vector<std::uint32_t> link_degree(num_links, 0);
+    for (const std::uint32_t l : p.flow_links) ++link_degree[l];
+    std::vector<std::uint32_t> link_offset(num_links + 1, 0);
+    for (std::size_t l = 0; l < num_links; ++l) {
+        link_offset[l + 1] = link_offset[l] + link_degree[l];
+    }
+    std::vector<std::uint32_t> link_flows(p.flow_links.size());
+    {
+        std::vector<std::uint32_t> cursor(link_offset.begin(), link_offset.end() - 1);
+        for (std::size_t f = 0; f < num_flows; ++f) {
+            for (std::uint32_t i = p.flow_offset[f]; i < p.flow_offset[f + 1]; ++i) {
+                link_flows[cursor[p.flow_links[i]]++] = static_cast<std::uint32_t>(f);
+            }
+        }
+    }
+
+    std::vector<std::uint32_t> unfrozen_on(link_degree);  // flows still rising
+    std::vector<double> frozen_load(num_links, 0.0);      // bps held by frozen flows
+    std::vector<char> frozen(num_flows, 0);
+    std::size_t num_unfrozen = num_flows;
+
+    // Freezes `f` at `rate`, releasing its claim on every crossed link.
+    const auto freeze = [&](std::size_t f, double rate) {
+        frozen[f] = 1;
+        result.rate_bps[f] = rate;
+        --num_unfrozen;
+        for (std::uint32_t i = p.flow_offset[f]; i < p.flow_offset[f + 1]; ++i) {
+            const std::uint32_t l = p.flow_links[i];
+            frozen_load[l] += rate;
+            --unfrozen_on[l];
+        }
+    };
+
+    // Flows with no resource constraint are limited by their cap alone.
+    for (std::size_t f = 0; f < num_flows; ++f) {
+        if (p.flow_offset[f] == p.flow_offset[f + 1]) freeze(f, flow_cap(f));
+    }
+
+    // Capped flows in ascending cap order: the next cap to bind is always
+    // at `next_capped` (already-frozen entries are skipped on the way).
+    std::vector<std::uint32_t> by_cap;
+    if (!p.rate_cap_bps.empty()) {
+        for (std::size_t f = 0; f < num_flows; ++f) {
+            if (!frozen[f] && flow_cap(f) != kNoRateCap) {
+                by_cap.push_back(static_cast<std::uint32_t>(f));
+            }
+        }
+        std::sort(by_cap.begin(), by_cap.end(), [&](std::uint32_t a, std::uint32_t b) {
+            return flow_cap(a) < flow_cap(b);
+        });
+    }
+    std::size_t next_capped = 0;
+
+    // Every round freezes at least one flow, so `num_flows` rounds is a
+    // hard ceiling; hitting it means a numeric anomaly (NaN capacity).
+    const int max_rounds = static_cast<int>(num_flows) + 1;
+    while (num_unfrozen > 0) {
+        if (++result.rounds > max_rounds) {
+            result.converged = false;
+            break;
+        }
+        // The level at which the next link saturates...
+        double level = kNoRateCap;
+        for (std::size_t l = 0; l < num_links; ++l) {
+            if (unfrozen_on[l] == 0) continue;
+            const double headroom = std::max(0.0, p.capacity_bps[l] - frozen_load[l]);
+            level = std::min(level, headroom / unfrozen_on[l]);
+        }
+        // ...unless a rate cap binds first.
+        while (next_capped < by_cap.size() && frozen[by_cap[next_capped]]) {
+            ++next_capped;
+        }
+        const double next_cap = next_capped < by_cap.size()
+                                    ? flow_cap(by_cap[next_capped])
+                                    : kNoRateCap;
+        if (next_cap != kNoRateCap && next_cap <= level) {
+            // Freeze every remaining flow whose cap binds at this level.
+            while (next_capped < by_cap.size() &&
+                   (frozen[by_cap[next_capped]] ||
+                    flow_cap(by_cap[next_capped]) <= next_cap)) {
+                const std::uint32_t f = by_cap[next_capped++];
+                if (!frozen[f]) freeze(f, flow_cap(f));
+            }
+            continue;
+        }
+        if (level == kNoRateCap) {
+            // Only uncapped flows over unconstrained links remain.
+            for (std::size_t f = 0; f < num_flows; ++f) {
+                if (!frozen[f]) freeze(f, kNoRateCap);
+            }
+            break;
+        }
+        // Freeze everything crossing a link that saturates at `level`
+        // (a tiny relative epsilon merges numerically-tied bottlenecks).
+        const double threshold = level + 1e-12 * std::max(1.0, level);
+        bool froze_any = false;
+        for (std::size_t l = 0; l < num_links; ++l) {
+            if (unfrozen_on[l] == 0) continue;
+            const double headroom = std::max(0.0, p.capacity_bps[l] - frozen_load[l]);
+            if (headroom / unfrozen_on[l] > threshold) continue;
+            for (std::uint32_t i = link_offset[l]; i < link_offset[l + 1]; ++i) {
+                const std::uint32_t f = link_flows[i];
+                if (!frozen[f]) {
+                    freeze(f, level);
+                    froze_any = true;
+                }
+            }
+        }
+        if (!froze_any) {  // NaN capacities can make every share incomparable
+            result.converged = false;
+            break;
+        }
+    }
+    rounds_metric->inc(static_cast<std::uint64_t>(result.rounds));
+    return result;
+}
+
+bool allocation_feasible(const FairShareProblem& p, const std::vector<double>& rates,
+                         double tolerance) {
+    std::vector<double> load(p.capacity_bps.size(), 0.0);
+    for (std::size_t f = 0; f < p.num_flows(); ++f) {
+        for (std::uint32_t i = p.flow_offset[f]; i < p.flow_offset[f + 1]; ++i) {
+            load[p.flow_links[i]] += rates[f];
+        }
+    }
+    for (std::size_t l = 0; l < load.size(); ++l) {
+        const double cap = p.capacity_bps[l];
+        if (load[l] > cap + tolerance * std::max(1.0, cap)) return false;
+    }
+    return true;
+}
+
+}  // namespace hypatia::flowsim

@@ -1,0 +1,61 @@
+// Max-min fair-share rate allocation by progressive filling (the classic
+// water-filling construction, e.g. Bertsekas & Gallager §6.5.2): every
+// active flow's rate rises from zero at the same speed; when a link
+// saturates, all flows crossing it freeze at the current level and the
+// remaining flows keep rising. The result is the unique max-min fair
+// allocation: no flow's rate can be increased without decreasing the rate
+// of a flow that is no larger.
+//
+// Flows may carry a finite rate cap (constant-bit-rate background load
+// caps itself below the fair share); a capped flow freezes when the fill
+// level reaches its cap, exactly like hitting a private bottleneck link.
+//
+// The solver is pure (no topology knowledge): callers present flows as
+// index lists into a flat resource-capacity vector. The engine maps
+// directed ISLs and GSL transmit devices onto those resources.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hypatia::flowsim {
+
+inline constexpr double kNoRateCap = std::numeric_limits<double>::infinity();
+
+/// One allocation problem: `num_flows()` flows over `capacity_bps.size()`
+/// resources. Flow f crosses the resources
+/// `flow_links[flow_offset[f] .. flow_offset[f+1])`. A flow with an empty
+/// link list is only limited by its cap (unreachable flows should not be
+/// submitted at all — give them rate 0 upstream).
+struct FairShareProblem {
+    std::vector<double> capacity_bps;
+    std::vector<std::uint32_t> flow_links;
+    std::vector<std::uint32_t> flow_offset{0};  // size num_flows() + 1
+    std::vector<double> rate_cap_bps;           // empty = no flow capped
+
+    std::size_t num_flows() const { return flow_offset.size() - 1; }
+
+    /// Appends one flow crossing `links` (indices into capacity_bps).
+    void add_flow(const std::vector<std::uint32_t>& links, double cap = kNoRateCap);
+};
+
+struct FairShareResult {
+    std::vector<double> rate_bps;  // per flow, parallel to the problem
+    int rounds = 0;                // progressive-filling iterations
+    /// False only if the iteration failed to freeze every flow within the
+    /// theoretical bound (indicates a bug or NaN capacities); rates are
+    /// still returned for the flows that froze.
+    bool converged = true;
+};
+
+/// Solves the max-min fair allocation. O(rounds * links + total path
+/// length); rounds is bounded by the number of distinct bottlenecks.
+FairShareResult solve_max_min(const FairShareProblem& problem);
+
+/// True if `rates` is feasible: no resource carries more than
+/// `capacity_bps * (1 + tolerance)`. Exposed for tests and CI assertions.
+bool allocation_feasible(const FairShareProblem& problem,
+                         const std::vector<double>& rates, double tolerance = 1e-9);
+
+}  // namespace hypatia::flowsim

@@ -1,0 +1,114 @@
+#include "src/flowsim/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <tuple>
+
+namespace hypatia::flowsim {
+namespace {
+
+// Uniform double in [0, 1) from the top 53 bits — identical on every
+// platform, unlike std::uniform_real_distribution.
+double u01(std::mt19937_64& gen) {
+    return static_cast<double>(gen() >> 11) * 0x1.0p-53;
+}
+
+double exponential(std::mt19937_64& gen, double mean) {
+    return -mean * std::log1p(-u01(gen));
+}
+
+// Uniform integer in [0, n) by rejection-free scaling (the tiny modulo
+// bias is irrelevant for workload generation; determinism is not).
+int uniform_below(std::mt19937_64& gen, int n) {
+    return static_cast<int>(gen() % static_cast<std::uint64_t>(n));
+}
+
+// Samples an index from cumulative weights (last entry = total).
+int sample_cumulative(std::mt19937_64& gen, const std::vector<double>& cumulative) {
+    const double u = u01(gen) * cumulative.back();
+    const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+    return static_cast<int>(it - cumulative.begin());
+}
+
+}  // namespace
+
+void TrafficMatrix::sort_by_arrival() {
+    std::sort(flows.begin(), flows.end(), [](const Flow& a, const Flow& b) {
+        return std::tie(a.arrival, a.src_gs, a.dst_gs, a.size_bits) <
+               std::tie(b.arrival, b.src_gs, b.dst_gs, b.size_bits);
+    });
+}
+
+void TrafficMatrix::merge(const TrafficMatrix& other) {
+    flows.insert(flows.end(), other.flows.begin(), other.flows.end());
+    sort_by_arrival();
+}
+
+TrafficMatrix poisson_traffic(const PoissonTrafficConfig& config) {
+    TrafficMatrix matrix;
+    std::mt19937_64 gen(config.seed);
+    const double mean_gap_s =
+        config.arrivals_per_s > 0.0 ? 1.0 / config.arrivals_per_s : 0.0;
+    double t_s = 0.0;
+    while (true) {
+        t_s += exponential(gen, mean_gap_s);
+        const TimeNs arrival = seconds_to_ns(t_s);
+        if (arrival >= config.window) break;
+        Flow flow;
+        flow.arrival = arrival;
+        flow.src_gs = uniform_below(gen, config.num_gs);
+        flow.dst_gs = uniform_below(gen, config.num_gs - 1);
+        if (flow.dst_gs >= flow.src_gs) ++flow.dst_gs;  // distinct endpoints
+        flow.size_bits = std::max(1.0, exponential(gen, config.mean_size_bits));
+        matrix.flows.push_back(flow);
+    }
+    matrix.sort_by_arrival();
+    return matrix;
+}
+
+TrafficMatrix gravity_traffic(const GravityTrafficConfig& config) {
+    // Cumulative gravity weights over cities: w_i = 1 / (1 + rank)^alpha.
+    std::vector<double> cumulative(static_cast<std::size_t>(config.num_gs));
+    double total = 0.0;
+    for (int i = 0; i < config.num_gs; ++i) {
+        total += 1.0 / std::pow(1.0 + i, config.rank_alpha);
+        cumulative[static_cast<std::size_t>(i)] = total;
+    }
+
+    TrafficMatrix matrix;
+    matrix.flows.reserve(config.num_flows);
+    std::mt19937_64 gen(config.seed);
+    for (std::size_t f = 0; f < config.num_flows; ++f) {
+        Flow flow;
+        flow.src_gs = sample_cumulative(gen, cumulative);
+        do {
+            flow.dst_gs = sample_cumulative(gen, cumulative);
+        } while (flow.dst_gs == flow.src_gs);
+        flow.arrival = config.window > 0
+                           ? static_cast<TimeNs>(u01(gen) *
+                                                 static_cast<double>(config.window))
+                           : 0;
+        flow.size_bits = config.size_bits;
+        matrix.flows.push_back(flow);
+    }
+    matrix.sort_by_arrival();
+    return matrix;
+}
+
+TrafficMatrix cbr_background(const std::vector<route::GsPair>& pairs,
+                             double rate_cap_bps) {
+    TrafficMatrix matrix;
+    matrix.flows.reserve(pairs.size());
+    for (const auto& pair : pairs) {
+        Flow flow;
+        flow.src_gs = pair.src_gs;
+        flow.dst_gs = pair.dst_gs;
+        flow.rate_cap_bps = rate_cap_bps;
+        matrix.flows.push_back(flow);
+    }
+    matrix.sort_by_arrival();
+    return matrix;
+}
+
+}  // namespace hypatia::flowsim

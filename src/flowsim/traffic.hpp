@@ -1,0 +1,76 @@
+// Flow and traffic-matrix model for the flow-level engine. Three seeded,
+// fully deterministic demand generators (all randomness is inverse-
+// transform sampling over a private mt19937_64, so the same seed yields
+// the same matrix on every platform):
+//  * poisson_traffic  — network-wide Poisson flow arrivals with
+//    exponential sizes and uniform-random distinct city pairs (the
+//    classic "many short flows" workload).
+//  * gravity_traffic  — city pairs drawn from a gravity model over the
+//    top-100 cities: p(i, j) proportional to w_i * w_j with w = 1 /
+//    (1 + population_rank)^alpha, the standard population-proxy when the
+//    dataset is rank-ordered (ours is).
+//  * cbr_background   — constant-bit-rate background load: one
+//    rate-capped, never-ending flow per given pair, active from t = 0.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/routing/path_analysis.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::flowsim {
+
+inline constexpr double kUnboundedSize = std::numeric_limits<double>::infinity();
+
+/// One demand: `size_bits` of traffic from `src_gs` to `dst_gs`, offered
+/// at `arrival`. Unbounded-size flows run until the simulation ends;
+/// `rate_cap_bps` bounds the rate the flow will ever take (CBR sources).
+struct Flow {
+    int src_gs = 0;
+    int dst_gs = 0;
+    TimeNs arrival = 0;
+    double size_bits = kUnboundedSize;
+    double rate_cap_bps = std::numeric_limits<double>::infinity();
+};
+
+/// An arrival-ordered list of flows. Flow ids used by the engine, traces
+/// and results are indices into `flows` after sort_by_arrival().
+struct TrafficMatrix {
+    std::vector<Flow> flows;
+
+    std::size_t size() const { return flows.size(); }
+
+    /// Sorts by (arrival, src, dst, size) — a total, deterministic order.
+    void sort_by_arrival();
+
+    /// Appends `other` and re-sorts.
+    void merge(const TrafficMatrix& other);
+};
+
+struct PoissonTrafficConfig {
+    int num_gs = 100;
+    double arrivals_per_s = 100.0;   // network-wide arrival rate
+    double mean_size_bits = 8e6;     // exponential flow sizes (1 MB mean)
+    TimeNs window = 100 * kNsPerSec; // arrivals fall in [0, window)
+    unsigned seed = 1;
+};
+
+struct GravityTrafficConfig {
+    int num_gs = 100;
+    std::size_t num_flows = 1000;
+    double rank_alpha = 1.0;           // w_i = 1 / (1 + rank_i)^alpha
+    double size_bits = kUnboundedSize; // finite value => finite flows
+    TimeNs window = 0;                 // 0: all at t = 0; else uniform in window
+    unsigned seed = 1;
+};
+
+TrafficMatrix poisson_traffic(const PoissonTrafficConfig& config);
+TrafficMatrix gravity_traffic(const GravityTrafficConfig& config);
+
+/// One unbounded flow per pair at `rate_cap_bps`, all arriving at t = 0.
+TrafficMatrix cbr_background(const std::vector<route::GsPair>& pairs,
+                             double rate_cap_bps);
+
+}  // namespace hypatia::flowsim

@@ -38,6 +38,15 @@ void Observability::register_core_metrics() {
     metrics_.counter("route.snapshots");
     metrics_.counter("route.dijkstra_runs");
     metrics_.counter("propagation.sgp4_cache_fills");
+    metrics_.counter("flowsim.flows_created");
+    metrics_.counter("flowsim.flows_completed");
+    metrics_.counter("flowsim.epochs");
+    metrics_.counter("flowsim.solver_runs");
+    metrics_.counter("flowsim.solver_rounds");
+    metrics_.counter("flowsim.unreachable_flow_epochs");
+    metrics_.gauge("flowsim.active_flows_peak");
+    metrics_.histogram("flowsim.fct_ms");
+    metrics_.histogram("flowsim.flow_rate_kbps");
 }
 
 void Observability::reset() {

@@ -13,6 +13,7 @@ const char* trace_category_name(TraceCategory c) {
         case TraceCategory::kTcp: return "tcp";
         case TraceCategory::kRouting: return "routing";
         case TraceCategory::kSim: return "sim";
+        case TraceCategory::kFlow: return "flow";
     }
     return "unknown";
 }
@@ -22,6 +23,7 @@ std::optional<TraceCategory> trace_category_from_name(const std::string& name) {
     if (name == "tcp") return TraceCategory::kTcp;
     if (name == "routing") return TraceCategory::kRouting;
     if (name == "sim") return TraceCategory::kSim;
+    if (name == "flow") return TraceCategory::kFlow;
     return std::nullopt;
 }
 

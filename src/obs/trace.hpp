@@ -23,8 +23,9 @@ enum class TraceCategory : std::uint8_t {
     kTcp = 1,      // tcp.cwnd / tcp.fast_retransmit / tcp.rto / tcp.recovery_*
     kRouting = 2,  // route.fstate_install
     kSim = 3,      // simulator-level events
+    kFlow = 4,     // flow.arrive / flow.complete / flow.epoch (flowsim)
 };
-inline constexpr std::size_t kNumTraceCategories = 4;
+inline constexpr std::size_t kNumTraceCategories = 5;
 
 const char* trace_category_name(TraceCategory c);
 std::optional<TraceCategory> trace_category_from_name(const std::string& name);
@@ -139,8 +140,8 @@ class Tracer {
   private:
     unsigned mask_ = 0;
     std::unique_ptr<TraceSink> sink_;
-    std::uint32_t sample_every_[kNumTraceCategories] = {1, 1, 1, 1};
-    std::uint32_t sample_seen_[kNumTraceCategories] = {0, 0, 0, 0};
+    std::uint32_t sample_every_[kNumTraceCategories] = {1, 1, 1, 1, 1};
+    std::uint32_t sample_seen_[kNumTraceCategories] = {0, 0, 0, 0, 0};
     std::uint64_t written_ = 0;
 };
 

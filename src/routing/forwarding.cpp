@@ -1,6 +1,46 @@
 #include "src/routing/forwarding.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
 namespace hypatia::route {
+
+std::vector<int> ForwardingState::destinations() const {
+    std::vector<int> ids;
+    ids.reserve(trees_.size());
+    for (const auto& [dst, tree] : trees_) {
+        (void)tree;
+        ids.push_back(dst);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+void ForwardingState::serialize_csv(std::ostream& out) const {
+    out << "destination,node,next_hop,distance_km\n";
+    char buf[64];
+    for (const int dst : destinations()) {
+        const DestinationTree& tree = trees_.at(dst);
+        for (std::size_t node = 0; node < tree.next_hop.size(); ++node) {
+            if (tree.distance_km[node] == kInfDistance) {
+                std::snprintf(buf, sizeof(buf), "%d,%zu,%d,inf\n", dst, node,
+                              tree.next_hop[node]);
+            } else {
+                std::snprintf(buf, sizeof(buf), "%d,%zu,%d,%.6f\n", dst, node,
+                              tree.next_hop[node], tree.distance_km[node]);
+            }
+            out << buf;
+        }
+    }
+}
+
+std::string ForwardingState::dump_csv() const {
+    std::ostringstream os;
+    serialize_csv(os);
+    return os.str();
+}
 
 ForwardingState compute_forwarding(const Graph& graph,
                                    const std::vector<int>& destinations) {

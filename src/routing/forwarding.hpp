@@ -3,6 +3,8 @@
 // default 100 ms) and installed into the packet simulator by events.
 #pragma once
 
+#include <iosfwd>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +46,18 @@ class ForwardingState {
     }
 
     std::size_t num_destinations() const { return trees_.size(); }
+
+    /// Destination ids with installed trees, ascending. Dumps, traces and
+    /// manifests must iterate the state through this (never the backing
+    /// unordered_map) so their output is byte-stable across runs and
+    /// insertion orders.
+    std::vector<int> destinations() const;
+
+    /// Serializes the complete state as CSV rows
+    /// "destination,node,next_hop,distance_km", destinations ascending
+    /// and nodes ascending — identical states dump byte-identically.
+    void serialize_csv(std::ostream& out) const;
+    std::string dump_csv() const;
 
   private:
     std::unordered_map<int, DestinationTree> trees_;

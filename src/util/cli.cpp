@@ -1,6 +1,9 @@
 #include "src/util/cli.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 namespace hypatia::util {
 
@@ -23,27 +26,86 @@ Cli::Cli(int argc, char** argv) {
     }
 }
 
-bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+void Cli::note_known(const std::string& name) const {
+    if (known_help_.count(name) > 0) return;
+    known_help_[name] = "";
+    known_order_.push_back(name);
+}
+
+bool Cli::has(const std::string& name) const {
+    note_known(name);
+    return flags_.count(name) > 0;
+}
 
 double Cli::get_double(const std::string& name, double def) const {
+    note_known(name);
     const auto it = flags_.find(name);
     return it == flags_.end() || it->second.empty() ? def : std::strtod(it->second.c_str(), nullptr);
 }
 
 long Cli::get_long(const std::string& name, long def) const {
+    note_known(name);
     const auto it = flags_.find(name);
     return it == flags_.end() || it->second.empty() ? def : std::strtol(it->second.c_str(), nullptr, 10);
 }
 
 std::string Cli::get_string(const std::string& name, const std::string& def) const {
+    note_known(name);
     const auto it = flags_.find(name);
     return it == flags_.end() ? def : it->second;
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {
+    note_known(name);
     const auto it = flags_.find(name);
     if (it == flags_.end()) return def;
     return it->second.empty() || it->second == "1" || it->second == "true";
+}
+
+void Cli::describe(const std::string& name, const std::string& help) {
+    note_known(name);
+    known_help_[name] = help;
+}
+
+std::string Cli::help_text(const std::string& program,
+                           const std::string& summary) const {
+    std::ostringstream os;
+    if (!program.empty()) os << "usage: " << program << " [flags]\n";
+    if (!summary.empty()) os << summary << "\n";
+    os << "flags:\n";
+    std::size_t width = 6;  // "--help"
+    for (const auto& name : known_order_) width = std::max(width, name.size() + 2);
+    for (const auto& name : known_order_) {
+        if (name == "help") continue;
+        os << "  --" << name << std::string(width - name.size() - 2 + 2, ' ')
+           << known_help_.at(name) << "\n";
+    }
+    os << "  --help" << std::string(width - 6 + 2, ' ') << "print this help\n";
+    return os.str();
+}
+
+std::vector<std::string> Cli::unknown_flags() const {
+    std::vector<std::string> unknown;
+    for (const auto& [name, value] : flags_) {
+        (void)value;
+        if (name != "help" && known_help_.count(name) == 0) unknown.push_back(name);
+    }
+    return unknown;
+}
+
+void Cli::finish(const std::string& program, const std::string& summary) const {
+    if (help_requested()) {
+        std::fputs(help_text(program, summary).c_str(), stdout);
+        std::exit(0);
+    }
+    const auto unknown = unknown_flags();
+    if (!unknown.empty()) {
+        for (const auto& name : unknown) {
+            std::fprintf(stderr, "error: unknown flag --%s\n", name.c_str());
+        }
+        std::fprintf(stderr, "run with --help for the flag list\n");
+        std::exit(2);
+    }
 }
 
 }  // namespace hypatia::util

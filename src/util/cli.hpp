@@ -1,5 +1,12 @@
 // Minimal command-line flag parser shared by the bench binaries and
 // examples: --name value / --name=value / boolean --flag.
+//
+// Flags become *known* either by an explicit describe() (which also
+// attaches the --help text) or implicitly at first get_*()/has() lookup.
+// After every flag has been read, finish() implements the standard
+// protocol: --help prints the auto-generated usage and exits 0; a parsed
+// flag that no code ever looked up (a typo like --durations) prints a
+// message and exits 2 instead of being silently ignored.
 #pragma once
 
 #include <map>
@@ -21,9 +28,34 @@ class Cli {
     /// Positional (non-flag) arguments, in order.
     const std::vector<std::string>& positional() const { return positional_; }
 
+    /// Registers `--name` with its help line (shown by help_text()).
+    void describe(const std::string& name, const std::string& help);
+
+    /// Auto-generated usage text: one "  --name  help" line per
+    /// registered flag, in registration order; --help is always listed.
+    std::string help_text(const std::string& program = "",
+                          const std::string& summary = "") const;
+
+    bool help_requested() const { return flags_.count("help") > 0; }
+
+    /// Flags that were parsed but never described or looked up.
+    std::vector<std::string> unknown_flags() const;
+
+    /// Standard end-of-parsing protocol (call after the last get_*):
+    /// prints help and exits 0 on --help; prints the unknown flags to
+    /// stderr and exits 2 if any. No-op otherwise.
+    void finish(const std::string& program = "",
+                const std::string& summary = "") const;
+
   private:
+    void note_known(const std::string& name) const;
+
     std::map<std::string, std::string> flags_;
     std::vector<std::string> positional_;
+    // Registration order for help; map for membership. `mutable` because
+    // get_*() const lookups register the name as known.
+    mutable std::vector<std::string> known_order_;
+    mutable std::map<std::string, std::string> known_help_;
 };
 
 }  // namespace hypatia::util

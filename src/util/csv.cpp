@@ -12,10 +12,29 @@ CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
     out_.precision(10);
 }
 
+std::string CsvWriter::escape(const std::string& cell) {
+    const bool needs_quoting =
+        cell.find_first_of(",\"\r\n") != std::string::npos;
+    if (!needs_quoting) return cell;
+    std::string quoted;
+    quoted.reserve(cell.size() + 2);
+    quoted.push_back('"');
+    for (const char c : cell) {
+        if (c == '"') quoted.push_back('"');
+        quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return quoted;
+}
+
 void CsvWriter::header(const std::vector<std::string>& columns) {
-    for (std::size_t i = 0; i < columns.size(); ++i) {
+    row(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i > 0) out_ << ",";
-        out_ << columns[i];
+        out_ << escape(cells[i]);
     }
     out_ << "\n";
 }

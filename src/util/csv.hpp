@@ -9,15 +9,24 @@
 namespace hypatia::util {
 
 /// Writes rows of doubles/strings to a file, one comma-separated row per
-/// call. Throws std::runtime_error if the file cannot be opened.
+/// call. Throws std::runtime_error if the file cannot be opened. String
+/// cells (headers and string rows) are RFC-4180 escaped: a cell
+/// containing a comma, double quote, CR or LF is wrapped in double
+/// quotes with embedded quotes doubled — "Washington, D.C." stays one
+/// cell. raw_line() bypasses escaping by design.
 class CsvWriter {
   public:
     explicit CsvWriter(const std::string& path);
 
     void header(const std::vector<std::string>& columns);
     void row(const std::vector<double>& values);
+    /// One row of string cells, each RFC-4180 escaped.
+    void row(const std::vector<std::string>& cells);
     void raw_line(const std::string& line);
     const std::string& path() const { return path_; }
+
+    /// RFC-4180 escaping of one cell (quoting only when needed).
+    static std::string escape(const std::string& cell);
 
   private:
     std::string path_;

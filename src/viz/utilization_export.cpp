@@ -48,6 +48,32 @@ std::vector<IslUtilization> isl_utilization_map(core::LeoNetwork& leo,
     return out;
 }
 
+std::vector<IslUtilization> flow_isl_utilization_map(const flowsim::Engine& engine,
+                                                     std::size_t epoch) {
+    const TimeNs t =
+        engine.orbit_time(static_cast<TimeNs>(epoch) * engine.epoch_interval());
+    const auto& isls = engine.isls();
+    std::vector<IslUtilization> out;
+    for (std::size_t i = 0; i < isls.size(); ++i) {
+        const double util = engine.isl_utilization(epoch, i);
+        if (util <= 0.0) continue;  // same convention as the packet map
+        IslUtilization iu;
+        iu.sat_a = isls[i].sat_a;
+        iu.sat_b = isls[i].sat_b;
+        const auto geo_a =
+            orbit::ecef_to_geodetic(engine.mobility().position_ecef(iu.sat_a, t));
+        const auto geo_b =
+            orbit::ecef_to_geodetic(engine.mobility().position_ecef(iu.sat_b, t));
+        iu.lat_a = geo_a.latitude_deg;
+        iu.lon_a = geo_a.longitude_deg;
+        iu.lat_b = geo_b.latitude_deg;
+        iu.lon_b = geo_b.longitude_deg;
+        iu.utilization = util;
+        out.push_back(iu);
+    }
+    return out;
+}
+
 std::vector<IslUtilization> top_bottlenecks(std::vector<IslUtilization> map,
                                             std::size_t count) {
     std::sort(map.begin(), map.end(), [](const IslUtilization& a, const IslUtilization& b) {

@@ -8,6 +8,7 @@
 
 #include "src/core/leo_network.hpp"
 #include "src/core/metrics.hpp"
+#include "src/flowsim/engine.hpp"
 
 namespace hypatia::viz {
 
@@ -24,6 +25,14 @@ struct IslUtilization {
 std::vector<IslUtilization> isl_utilization_map(core::LeoNetwork& leo,
                                                 const core::UtilizationSampler& sampler,
                                                 std::size_t bin);
+
+/// Same map from a flow-level run: per-ISL max-min allocated load during
+/// flowsim epoch `epoch` (positions at the epoch's start). The engine
+/// must have run with EngineOptions::record_link_utilization. Feeds the
+/// identical CSV/bottleneck pipeline as the packet-level sampler, so the
+/// Fig 14/15 tooling consumes either engine's output unchanged.
+std::vector<IslUtilization> flow_isl_utilization_map(const flowsim::Engine& engine,
+                                                     std::size_t epoch);
 
 /// Top `count` most-utilized ISLs (the constellation's bottlenecks).
 std::vector<IslUtilization> top_bottlenecks(std::vector<IslUtilization> map,

@@ -49,5 +49,68 @@ TEST(Cli, BooleanFollowedByFlag) {
     EXPECT_EQ(cli.get_long("n", 0), 3);
 }
 
+TEST(Cli, HelpTextListsDescribedFlagsInOrder) {
+    auto cli = make_cli({});
+    cli.describe("duration-s", "simulated seconds");
+    cli.describe("paper", "run the full paper-scale configuration");
+    const std::string help = cli.help_text("bench_x", "One-line summary.");
+    EXPECT_NE(help.find("bench_x"), std::string::npos);
+    EXPECT_NE(help.find("One-line summary."), std::string::npos);
+    const auto pos_duration = help.find("--duration-s");
+    const auto pos_paper = help.find("--paper");
+    const auto pos_help = help.find("--help");
+    ASSERT_NE(pos_duration, std::string::npos);
+    ASSERT_NE(pos_paper, std::string::npos);
+    ASSERT_NE(pos_help, std::string::npos);
+    EXPECT_LT(pos_duration, pos_paper);  // registration order
+    EXPECT_LT(pos_paper, pos_help);      // --help always listed last
+    EXPECT_NE(help.find("simulated seconds"), std::string::npos);
+}
+
+TEST(Cli, HelpRequested) {
+    EXPECT_TRUE(make_cli({"--help"}).help_requested());
+    EXPECT_FALSE(make_cli({"--verbose"}).help_requested());
+}
+
+TEST(Cli, UnknownFlagsAreOnesNeverLookedUp) {
+    const auto cli = make_cli({"--known", "1", "--typo-flag", "2"});
+    EXPECT_EQ(cli.get_long("known", 0), 1);
+    const auto unknown = cli.unknown_flags();
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "typo-flag");
+}
+
+TEST(Cli, DescribeMakesFlagKnownWithoutLookup) {
+    auto cli = make_cli({"--described", "5"});
+    cli.describe("described", "some flag");
+    EXPECT_TRUE(cli.unknown_flags().empty());
+}
+
+TEST(Cli, HelpIsNeverUnknown) {
+    const auto cli = make_cli({"--help"});
+    EXPECT_TRUE(cli.unknown_flags().empty());
+}
+
+TEST(CliDeathTest, FinishExitsZeroOnHelp) {
+    auto cli = make_cli({"--help"});
+    cli.describe("n", "a number");
+    // Help goes to stdout (EXPECT_EXIT only matches stderr), so assert on
+    // the exit code alone.
+    EXPECT_EXIT(cli.finish("prog"), ::testing::ExitedWithCode(0), "");
+}
+
+TEST(CliDeathTest, FinishExitsTwoOnUnknownFlag) {
+    const auto cli = make_cli({"--durations", "10"});
+    EXPECT_EXIT(cli.finish("prog"), ::testing::ExitedWithCode(2),
+                "unknown flag --durations");
+}
+
+TEST(Cli, FinishIsNoOpWhenAllFlagsKnown) {
+    const auto cli = make_cli({"--n", "3"});
+    EXPECT_EQ(cli.get_long("n", 0), 3);
+    cli.finish("prog");  // must not exit
+    SUCCEED();
+}
+
 }  // namespace
 }  // namespace hypatia::util

@@ -1,0 +1,67 @@
+// CsvWriter: RFC-4180 quoting of string cells (commas, quotes, CR/LF),
+// double rows, raw passthrough, and round-tripping through a real file.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/csv.hpp"
+
+namespace hypatia::util {
+namespace {
+
+TEST(CsvEscape, PlainCellsPassThroughUnquoted) {
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape(""), "");
+    EXPECT_EQ(CsvWriter::escape("with space"), "with space");
+    EXPECT_EQ(CsvWriter::escape("semi;colon"), "semi;colon");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+    EXPECT_EQ(CsvWriter::escape("Washington, D.C."), "\"Washington, D.C.\"");
+}
+
+TEST(CsvEscape, EmbeddedQuotesAreDoubled) {
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("\""), "\"\"\"\"");
+}
+
+TEST(CsvEscape, NewlinesTriggerQuoting) {
+    EXPECT_EQ(CsvWriter::escape("line1\nline2"), "\"line1\nline2\"");
+    EXPECT_EQ(CsvWriter::escape("cr\rcell"), "\"cr\rcell\"");
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(CsvWriter, FileRoundTripEscapesHeaderAndStringRows) {
+    const std::string path = "test_csv_roundtrip.csv";
+    {
+        CsvWriter csv(path);
+        csv.header({"city", "note, with comma", "value"});
+        csv.row(std::vector<std::string>{"Rio de Janeiro", "plain", "1"});
+        csv.row(std::vector<std::string>{"Washington, D.C.", "has \"quote\"", "2"});
+        csv.row(std::vector<double>{1.5, 2.0, 3.0});
+        csv.raw_line("raw,unescaped,\"as is\"");
+    }
+    const std::string contents = slurp(path);
+    EXPECT_EQ(contents,
+              "city,\"note, with comma\",value\n"
+              "Rio de Janeiro,plain,1\n"
+              "\"Washington, D.C.\",\"has \"\"quote\"\"\",2\n"
+              "1.5,2,3\n"
+              "raw,unescaped,\"as is\"\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsWhenFileCannotBeOpened) {
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x/y.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hypatia::util

@@ -3,7 +3,10 @@
 // and regression workflow on top of the framework relies on).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/core/experiment.hpp"
+#include "src/routing/forwarding.hpp"
 #include "src/topology/cities.hpp"
 
 namespace hypatia::core {
@@ -61,6 +64,47 @@ TEST(Determinism, PermutationWorkloadRepeatable) {
     const auto b = run_permutation_workload(cfg);
     EXPECT_EQ(a.events, b.events);
     EXPECT_DOUBLE_EQ(a.goodput_bps, b.goodput_bps);
+}
+
+route::Graph ring_graph() {
+    // 4 satellites in a ring, 2 ground stations hanging off sats 0 and 2.
+    route::Graph g(4, 2);
+    g.add_undirected_edge(0, 1, 1000.0);
+    g.add_undirected_edge(1, 2, 1000.0);
+    g.add_undirected_edge(2, 3, 1000.0);
+    g.add_undirected_edge(3, 0, 1000.0);
+    g.add_undirected_edge(g.gs_node(0), 0, 600.0);
+    g.add_undirected_edge(g.gs_node(1), 2, 600.0);
+    return g;
+}
+
+TEST(Determinism, ForwardingDumpIsByteStableAcrossInsertionOrders) {
+    const auto g = ring_graph();
+    const std::vector<int> dsts = {g.gs_node(0), g.gs_node(1)};
+
+    // Same trees inserted in opposite orders must dump identically: the
+    // serialization iterates destinations() (sorted), never the backing
+    // unordered_map's bucket order.
+    route::ForwardingState forward, reverse;
+    for (int d : dsts) forward.set_tree(d, route::dijkstra_to(g, d));
+    for (auto it = dsts.rbegin(); it != dsts.rend(); ++it) {
+        reverse.set_tree(*it, route::dijkstra_to(g, *it));
+    }
+    EXPECT_EQ(forward.dump_csv(), reverse.dump_csv());
+
+    const auto listed = forward.destinations();
+    EXPECT_TRUE(std::is_sorted(listed.begin(), listed.end()));
+    ASSERT_EQ(listed.size(), 2u);
+
+    // Byte-stable across independent computations too.
+    const auto recomputed = route::compute_forwarding(g, dsts);
+    EXPECT_EQ(forward.dump_csv(), recomputed.dump_csv());
+
+    // Sanity of format: header once, one row per (destination, node).
+    const std::string dump = forward.dump_csv();
+    EXPECT_EQ(dump.rfind("destination,node,next_hop,distance_km\n", 0), 0u);
+    const auto rows = std::count(dump.begin(), dump.end(), '\n');
+    EXPECT_EQ(rows, 1 + 2 * g.num_nodes());
 }
 
 TEST(Determinism, DifferentSeedsDifferentMatrices) {
