@@ -4,12 +4,16 @@
 // forwarding-state computation, and event-queue throughput.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "src/orbit/sgp4.hpp"
 #include "src/orbit/tle.hpp"
+#include "src/routing/forwarding.hpp"
 #include "src/routing/shortest_path.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/topology/cities.hpp"
 #include "src/topology/visibility.hpp"
+#include "src/util/thread_pool.hpp"
 
 using namespace hypatia;
 
@@ -97,6 +101,50 @@ void BM_DijkstraPerDestination(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_DijkstraPerDestination)->Unit(benchmark::kMillisecond);
+
+// The routing-precompute hot loop (100 destination Dijkstras over one
+// kuiper snapshot) at 1/2/4/8 pool lanes. Reports "speedup_vs_serial"
+// against the 1-lane run of the same process — on an 8-core runner the
+// 8-lane entry is expected to show >= 3x (the PR's acceptance bar); on
+// fewer cores the counter degrades gracefully and "threads" records the
+// configuration so CI logs stay interpretable.
+void BM_ForwardingPrecomputeParallel(benchmark::State& state) {
+    static double serial_ns_per_iter = 0.0;  // filled by the Arg(1) run
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    const topo::SatelliteMobility mob(kuiper());
+    const auto isls = topo::build_isls(kuiper(), topo::IslPattern::kPlusGrid);
+    const auto gses = topo::top100_cities();
+    const auto graph = route::build_snapshot(mob, isls, gses, 0);
+    std::vector<int> dests;
+    for (int gs = 0; gs < static_cast<int>(gses.size()); ++gs) {
+        dests.push_back(graph.gs_node(gs));
+    }
+    util::ThreadPool::set_global_threads(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t iters = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(route::compute_forwarding(graph, dests));
+        ++iters;
+    }
+    const double ns_per_iter =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count()) /
+        static_cast<double>(iters);
+    util::ThreadPool::set_global_threads(0);
+    if (threads == 1) serial_ns_per_iter = ns_per_iter;
+    state.counters["threads"] = static_cast<double>(threads);
+    if (serial_ns_per_iter > 0.0) {
+        state.counters["speedup_vs_serial"] = serial_ns_per_iter / ns_per_iter;
+    }
+}
+BENCHMARK(BM_ForwardingPrecomputeParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_EventQueuePushPop(benchmark::State& state) {
     sim::EventQueue q;

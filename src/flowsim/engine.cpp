@@ -6,6 +6,7 @@
 #include "src/obs/observability.hpp"
 #include "src/routing/graph.hpp"
 #include "src/routing/shortest_path.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace hypatia::flowsim {
 namespace {
@@ -100,29 +101,41 @@ Engine::EpochProblem Engine::build_problem(const route::ForwardingState& fstate,
 
     const int max_hops = num_satellites() +
                          static_cast<int>(scenario_.ground_stations.size());
-    ep.flow_of_problem.reserve(active.size());
-    std::vector<std::uint32_t> links;
-    for (const std::uint32_t f : active) {
-        const Flow& flow = matrix_.flows[f];
-        const int dst_node = gs_node(flow.dst_gs);
-        const route::DestinationTree* tree = fstate.tree(dst_node);
-        links.clear();
-        bool reachable = tree != nullptr;
-        int node = gs_node(flow.src_gs);
-        while (reachable && node != dst_node) {
-            const int nh = tree->next_hop[static_cast<std::size_t>(node)];
-            if (nh < 0 || static_cast<int>(links.size()) >= max_hops) {
-                reachable = false;
-                break;
+    // Per-flow path walks read only the forwarding state and the
+    // resource map, so they fan out on the pool; the CSR problem is
+    // then assembled serially in active-flow (ascending id) order, the
+    // same row layout the serial walk produced.
+    struct FlowPath {
+        std::vector<std::uint32_t> links;
+        bool reachable = false;
+    };
+    const std::vector<FlowPath> paths = util::parallel_map<FlowPath>(
+        active.size(), /*chunk=*/64, [&](std::size_t idx) {
+            FlowPath fp;
+            const Flow& flow = matrix_.flows[active[idx]];
+            const int dst_node = gs_node(flow.dst_gs);
+            const route::DestinationTree* tree = fstate.tree(dst_node);
+            fp.reachable = tree != nullptr;
+            int node = gs_node(flow.src_gs);
+            while (fp.reachable && node != dst_node) {
+                const int nh = tree->next_hop[static_cast<std::size_t>(node)];
+                if (nh < 0 || static_cast<int>(fp.links.size()) >= max_hops) {
+                    fp.reachable = false;
+                    break;
+                }
+                fp.links.push_back(resource_for_hop(node, nh));
+                node = nh;
             }
-            links.push_back(resource_for_hop(node, nh));
-            node = nh;
-        }
-        if (!reachable) {
+            return fp;
+        });
+    ep.flow_of_problem.reserve(active.size());
+    for (std::size_t idx = 0; idx < active.size(); ++idx) {
+        const std::uint32_t f = active[idx];
+        if (!paths[idx].reachable) {
             ep.unreachable.push_back(f);
             continue;
         }
-        ep.problem.add_flow(links, flow.rate_cap_bps);
+        ep.problem.add_flow(paths[idx].links, matrix_.flows[f].rate_cap_bps);
         ep.flow_of_problem.push_back(f);
     }
     return ep;

@@ -6,16 +6,59 @@ namespace hypatia::obs {
 
 void Histogram::record(std::uint64_t v) {
     const std::size_t index = bucket_index(v);
+    lock();
     if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
     ++buckets_[index];
     ++count_;
     sum_ += v;
     if (v < min_) min_ = v;
     if (v > max_) max_ = v;
+    unlock();
+}
+
+std::uint64_t Histogram::count() const {
+    lock();
+    const std::uint64_t c = count_;
+    unlock();
+    return c;
+}
+
+std::uint64_t Histogram::sum() const {
+    lock();
+    const std::uint64_t s = sum_;
+    unlock();
+    return s;
+}
+
+std::uint64_t Histogram::min() const {
+    lock();
+    const std::uint64_t m = count_ == 0 ? 0 : min_;
+    unlock();
+    return m;
+}
+
+std::uint64_t Histogram::max() const {
+    lock();
+    const std::uint64_t m = max_;
+    unlock();
+    return m;
+}
+
+double Histogram::mean() const {
+    lock();
+    const double m = count_ == 0 ? 0.0
+                                 : static_cast<double>(sum_) /
+                                       static_cast<double>(count_);
+    unlock();
+    return m;
 }
 
 std::uint64_t Histogram::percentile(double p) const {
-    if (count_ == 0) return 0;
+    lock();
+    if (count_ == 0) {
+        unlock();
+        return 0;
+    }
     if (p < 0.0) p = 0.0;
     if (p > 100.0) p = 100.0;
     // Rank of the percentile sample (1-based, nearest-rank definition).
@@ -26,17 +69,24 @@ std::uint64_t Histogram::percentile(double p) const {
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         cumulative += buckets_[i];
-        if (cumulative >= target) return bucket_lower_bound(i);
+        if (cumulative >= target) {
+            unlock();
+            return bucket_lower_bound(i);
+        }
     }
-    return max_;
+    const std::uint64_t m = max_;
+    unlock();
+    return m;
 }
 
 void Histogram::reset() {
+    lock();
     buckets_.clear();
     count_ = 0;
     sum_ = 0;
     min_ = ~std::uint64_t{0};
     max_ = 0;
+    unlock();
 }
 
 void MetricsRegistry::check_kind(const std::string& name, const char* kind) const {
@@ -54,21 +104,30 @@ void MetricsRegistry::check_kind(const std::string& name, const char* kind) cons
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
     check_kind(name, "counter");
     return counters_[name];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
     check_kind(name, "gauge");
     return gauges_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
     check_kind(name, "histogram");
     return histograms_[name];
 }
 
+std::size_t MetricsRegistry::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 void MetricsRegistry::reset_values() {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, c] : counters_) c.reset();
     for (auto& [name, g] : gauges_) g.reset();
     for (auto& [name, h] : histograms_) h.reset();

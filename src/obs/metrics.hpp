@@ -2,61 +2,74 @@
 // (HDR-style) histograms that every simulator component registers into.
 // Components look a metric up by name once (at construction) and keep
 // the returned pointer — recording is then a couple of integer
-// operations, cheap enough for per-packet hot paths. The registry is
-// single-threaded, like the simulator itself.
+// operations, cheap enough for per-packet hot paths.
+//
+// Thread-safety (DESIGN.md "Threading model"): recording is safe from
+// parallel_for workers. Counters and gauges are atomics updated with
+// relaxed ordering (totals are exact; ordering against other memory is
+// irrelevant for monotone tallies). Histograms serialize recording
+// through a per-histogram spinlock — the uncontended cost is a few
+// nanoseconds on top of the bucket increment. Registry lookups
+// (get-or-create) take a registry mutex; the map references returned by
+// counters()/gauges()/histograms() are for serial reporting code only.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace hypatia::obs {
 
 /// Monotone event count (packets sent, drops, retransmissions, ...).
+/// Exact under concurrent increments from any number of threads.
 class Counter {
   public:
-    void inc(std::uint64_t n = 1) { value_ += n; }
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written point-in-time value (sim clock, queue peak, scenario
-/// parameters).
+/// parameters). set_max is a CAS loop, so concurrent peak-tracking
+/// keeps the true maximum.
 class Gauge {
   public:
-    void set(double v) { value_ = v; }
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
     /// Keeps the maximum of all observations (peak tracking).
     void set_max(double v) {
-        if (v > value_) value_ = v;
+        double cur = value_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        }
     }
-    double value() const { return value_; }
-    void reset() { value_ = 0.0; }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /// Distribution of non-negative integer samples in logarithmic buckets
 /// with 8 sub-buckets per power of two (HDR-histogram style): values
 /// 0..7 are exact, larger values land in a bucket within 12.5% of their
 /// magnitude. Recording is O(1) with no allocation after warm-up.
+/// Recording and reading are serialized on an internal spinlock.
 class Histogram {
   public:
     void record(std::uint64_t v);
 
-    std::uint64_t count() const { return count_; }
-    std::uint64_t sum() const { return sum_; }
-    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
-    std::uint64_t max() const { return max_; }
-    double mean() const {
-        return count_ == 0 ? 0.0
-                           : static_cast<double>(sum_) / static_cast<double>(count_);
-    }
+    std::uint64_t count() const;
+    std::uint64_t sum() const;
+    std::uint64_t min() const;
+    std::uint64_t max() const;
+    double mean() const;
     /// Lower bound of the bucket holding the p-th percentile (p in
     /// [0, 100]); 0 when empty.
     std::uint64_t percentile(double p) const;
@@ -82,6 +95,13 @@ class Histogram {
     }
 
   private:
+    void lock() const {
+        while (lock_.test_and_set(std::memory_order_acquire)) {
+        }
+    }
+    void unlock() const { lock_.clear(std::memory_order_release); }
+
+    mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
@@ -92,15 +112,15 @@ class Histogram {
 /// Name -> metric map with get-or-create semantics. References returned
 /// by the accessors stay valid for the registry's lifetime (node-based
 /// storage). Registering a name twice with different kinds throws.
+/// Lookups are mutex-guarded (safe from workers); the map accessors
+/// below are for serial reporting code (manifests, tests) only.
 class MetricsRegistry {
   public:
     Counter& counter(const std::string& name);
     Gauge& gauge(const std::string& name);
     Histogram& histogram(const std::string& name);
 
-    std::size_t size() const {
-        return counters_.size() + gauges_.size() + histograms_.size();
-    }
+    std::size_t size() const;
 
     /// Zeroes every metric's value; registrations (and outstanding
     /// pointers) stay valid.
@@ -113,6 +133,7 @@ class MetricsRegistry {
   private:
     void check_kind(const std::string& name, const char* kind) const;
 
+    mutable std::mutex mu_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Histogram> histograms_;

@@ -22,6 +22,7 @@ std::uint64_t wall_ns() {
 
 void Profiler::record(const char* name, std::uint64_t total_ns, std::uint64_t self_ns,
                       std::uint64_t calls) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = phases_.find(std::string_view(name));
     if (it == phases_.end()) it = phases_.emplace(name, PhaseStats{}).first;
     it->second.calls += calls;

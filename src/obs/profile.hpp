@@ -11,17 +11,25 @@
 // unbiased while the untimed invocations cost one counter increment.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace hypatia::obs {
 
+/// Phase aggregation. Nesting and self-time are tracked per thread (the
+/// scope stack is thread-local), so a parallel region's scopes attribute
+/// their own self time correctly; the fold into the shared phase table
+/// at scope exit is mutex-guarded. Note that inside a parallel region
+/// the per-phase totals sum *thread* time, which can exceed wall clock —
+/// that is the number the speedup benches want.
 class Profiler {
   public:
     struct PhaseStats {
         std::uint64_t calls = 0;
-        std::uint64_t total_ns = 0;  // inclusive wall clock
+        std::uint64_t total_ns = 0;  // inclusive wall clock (per thread)
         std::uint64_t self_ns = 0;   // exclusive of nested scopes
     };
 
@@ -29,14 +37,21 @@ class Profiler {
     void record(const char* name, std::uint64_t total_ns, std::uint64_t self_ns,
                 std::uint64_t calls);
 
-    std::map<std::string, PhaseStats, std::less<>> snapshot() const { return phases_; }
-    void reset() { phases_.clear(); }
+    std::map<std::string, PhaseStats, std::less<>> snapshot() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return phases_;
+    }
+    void reset() {
+        std::lock_guard<std::mutex> lock(mu_);
+        phases_.clear();
+    }
 
-    bool enabled() const { return enabled_; }
-    void set_enabled(bool e) { enabled_ = e; }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void set_enabled(bool e) { enabled_.store(e, std::memory_order_relaxed); }
 
   private:
-    bool enabled_ = true;
+    std::atomic<bool> enabled_{true};
+    mutable std::mutex mu_;
     std::map<std::string, PhaseStats, std::less<>> phases_;
 };
 

@@ -60,6 +60,7 @@ void CsvTraceSink::write(const TraceRecord& r) {
 
 void Tracer::emit(const TraceRecord& record) {
     if (!enabled(record.category)) return;
+    std::lock_guard<std::mutex> lock(mu_);
     const auto c = static_cast<std::size_t>(record.category);
     if (sample_every_[c] > 1 && (sample_seen_[c]++ % sample_every_[c]) != 0) return;
     sink_->write(record);
@@ -110,6 +111,7 @@ void Tracer::configure_from_env() {
 }
 
 void Tracer::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     mask_ = 0;
     sink_.reset();
     written_ = 0;

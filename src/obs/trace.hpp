@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -123,10 +124,18 @@ class Tracer {
     }
 
     /// Writes `record` to the sink if its category is enabled and the
-    /// sampler selects it.
+    /// sampler selects it. Sampling state and the sink write are
+    /// mutex-guarded, so a stray emit from a parallel region is safe —
+    /// but parallel code must not emit by contract: interleaving would
+    /// make the trace order depend on scheduling (DESIGN.md "Threading
+    /// model"). Configuration (set_sink / enable / sampling) stays
+    /// serial-only.
     void emit(const TraceRecord& record);
 
-    std::uint64_t records_written() const { return written_; }
+    std::uint64_t records_written() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return written_;
+    }
 
     /// Reads HYPATIA_TRACE (comma-separated category names or "all"),
     /// HYPATIA_TRACE_FILE (default "trace.jsonl"; a ".csv" suffix
@@ -138,6 +147,7 @@ class Tracer {
     void reset();
 
   private:
+    mutable std::mutex mu_;  // guards the sampler state and sink writes
     unsigned mask_ = 0;
     std::unique_ptr<TraceSink> sink_;
     std::uint32_t sample_every_[kNumTraceCategories] = {1, 1, 1, 1, 1};

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/util/thread_pool.hpp"
+
 namespace hypatia::route {
 
 std::vector<int> ForwardingState::destinations() const {
@@ -44,10 +46,18 @@ std::string ForwardingState::dump_csv() const {
 
 ForwardingState compute_forwarding(const Graph& graph,
                                    const std::vector<int>& destinations) {
+    // Each destination tree is an independent Dijkstra over the shared
+    // read-only graph — the routing-precompute hot loop (paper Fig 2).
+    // The fan-out runs on the pool; the merge below installs trees in
+    // input order on the calling thread, so the state (and its sorted
+    // CSV serialization) is byte-identical at any thread count.
     ForwardingState state;
-    for (int dst : destinations) {
-        state.set_tree(dst, dijkstra_to(graph, dst));
-    }
+    util::ordered_reduce<DestinationTree>(
+        destinations.size(), /*chunk=*/1,
+        [&](std::size_t i) { return dijkstra_to(graph, destinations[i]); },
+        [&](std::size_t i, DestinationTree tree) {
+            state.set_tree(destinations[i], std::move(tree));
+        });
     return state;
 }
 

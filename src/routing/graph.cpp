@@ -36,6 +36,10 @@ Graph build_snapshot(const topo::SatelliteMobility& mobility,
     const int num_sats = mobility.num_satellites();
     Graph g(num_sats, static_cast<int>(ground_stations.size()));
 
+    // Batch the SGP4 propagations for this instant across the pool; the
+    // serial ISL and visibility loops below then run on warm cache hits.
+    mobility.warm_cache(t);
+
     if (options.include_isls) {
         for (const auto& isl : isls) {
             const double d = mobility.position_ecef(isl.sat_a, t)

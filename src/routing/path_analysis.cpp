@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "src/orbit/coords.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace hypatia::route {
 
@@ -22,9 +23,11 @@ AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
     std::vector<std::vector<int>> prev_path(pairs.size());
     std::vector<char> have_prev(pairs.size(), 0);
 
-    // Destinations we need trees for (deduplicated).
+    // Destinations we need trees for (deduplicated, ascending — the
+    // fixed order the parallel fan-out below folds back in).
     std::set<int> dest_set;
     for (const auto& p : pairs) dest_set.insert(p.dst_gs);
+    const std::vector<int> dest_list(dest_set.begin(), dest_set.end());
 
     SnapshotOptions snap_opts;
     snap_opts.include_isls = options.include_isls;
@@ -36,10 +39,16 @@ AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
         result.step_times.push_back(t);
         const Graph g = build_snapshot(mobility, isls, ground_stations, t, snap_opts);
 
+        // Per-destination Dijkstra fan-out on the pool; trees land in
+        // dest_list order, so downstream folds see identical state at
+        // any thread count.
         std::unordered_map<int, DestinationTree> trees;
-        for (int dst_gs : dest_set) {
-            trees.emplace(dst_gs, dijkstra_to(g, g.gs_node(dst_gs)));
-        }
+        util::ordered_reduce<DestinationTree>(
+            dest_list.size(), /*chunk=*/1,
+            [&](std::size_t i) { return dijkstra_to(g, g.gs_node(dest_list[i])); },
+            [&](std::size_t i, DestinationTree tree) {
+                trees.emplace(dest_list[i], std::move(tree));
+            });
 
         int changes_this_step = 0;
         for (std::size_t pi = 0; pi < pairs.size(); ++pi) {

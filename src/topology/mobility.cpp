@@ -1,6 +1,7 @@
 #include "src/topology/mobility.hpp"
 
 #include "src/obs/observability.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace hypatia::topo {
 
@@ -37,6 +38,17 @@ const Vec3& SatelliteMobility::position_ecef(int sat_id, TimeNs t) const {
     e.interpolated = e.at_start + (e.at_end - e.at_start) * frac;
     e.last_query = t;
     return e.interpolated;
+}
+
+void SatelliteMobility::warm_cache(TimeNs t) const {
+    // Chunked so each worker amortizes its claim over ~dozens of SGP4
+    // propagations; every cache entry is touched by exactly one lane.
+    util::ThreadPool::global().parallel_for(
+        cache_.size(), /*chunk=*/64, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t sat = begin; sat < end; ++sat) {
+                (void)position_ecef(static_cast<int>(sat), t);
+            }
+        });
 }
 
 }  // namespace hypatia::topo

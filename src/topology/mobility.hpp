@@ -23,7 +23,18 @@ class SatelliteMobility {
                                TimeNs cache_quantum = 10 * kNsPerMs);
 
     /// ECEF position (km) of satellite `sat_id` at simulation time `t`.
+    /// NOT safe to call concurrently for the same sat_id (the per-
+    /// satellite cache entry is mutated); warm_cache() is the parallel
+    /// entry point.
     const Vec3& position_ecef(int sat_id, TimeNs t) const;
+
+    /// Batched SGP4: fills every satellite's cache entry for time `t` on
+    /// the global thread pool (each worker owns a disjoint range of
+    /// satellites, so entries are written by exactly one thread). After
+    /// warming, position_ecef(sat, t) is a pure cache hit for all sats.
+    /// Values are identical to on-demand fills at any thread count —
+    /// each entry is a deterministic function of (sat_id, time bucket).
+    void warm_cache(TimeNs t) const;
 
     /// Uncached exact position (propagate + rotate), for tests.
     Vec3 position_ecef_exact(int sat_id, TimeNs t) const;

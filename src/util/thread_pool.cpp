@@ -1,0 +1,175 @@
+#include "src/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace hypatia::util {
+
+namespace {
+
+// Set while the current thread executes a chunk body (worker or the
+// participating caller); nested parallel_for calls then run inline.
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+    // One in-flight job. All fields are guarded by `mu` — chunks are
+    // claimed under the lock (chunks are coarse: a claim is nanoseconds
+    // against a body that runs micro- to milliseconds), which keeps a
+    // straggling worker from ever touching a later job's body with an
+    // earlier job's state.
+    struct Job {
+        const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+        std::size_t n = 0;
+        std::size_t chunk = 1;
+        std::size_t next = 0;       // first unclaimed index
+        std::size_t remaining = 0;  // indices claimed-or-not yet completed
+        std::exception_ptr error;   // first exception thrown by any chunk
+    };
+
+    std::vector<std::thread> workers;
+    std::mutex mu;
+    std::condition_variable work_cv;  // workers: new generation / shutdown
+    std::condition_variable done_cv;  // callers: job finished / slot free
+    std::uint64_t generation = 0;     // bumped when a job is installed
+    Job* job = nullptr;               // live job, or nullptr
+    bool shutdown = false;
+
+    // Claims and runs chunks of `job` until none remain. `lock` must
+    // hold `mu` on entry and holds it again on exit.
+    void run_chunks(Job& job, std::unique_lock<std::mutex>& lock) {
+        while (job.next < job.n) {
+            const std::size_t begin = job.next;
+            const std::size_t end = std::min(job.n, begin + job.chunk);
+            job.next = end;
+            lock.unlock();
+            const bool outer = t_in_worker;
+            t_in_worker = true;
+            std::exception_ptr thrown;
+            try {
+                (*job.body)(begin, end);
+            } catch (...) {
+                thrown = std::current_exception();
+            }
+            t_in_worker = outer;
+            lock.lock();
+            if (thrown && !job.error) job.error = thrown;
+            job.remaining -= end - begin;
+            if (job.remaining == 0) done_cv.notify_all();
+        }
+    }
+
+    void worker_loop() {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lock(mu);
+        while (true) {
+            work_cv.wait(lock, [&] {
+                return shutdown || (job != nullptr && generation != seen);
+            });
+            if (shutdown) return;
+            seen = generation;
+            run_chunks(*job, lock);
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) : impl_(new Impl) {
+    const std::size_t lanes = std::max<std::size_t>(1, num_threads);
+    impl_->workers.reserve(lanes - 1);
+    for (std::size_t i = 0; i + 1 < lanes; ++i) {
+        impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->shutdown = true;
+    }
+    impl_->work_cv.notify_all();
+    for (std::thread& w : impl_->workers) w.join();
+    delete impl_;
+}
+
+std::size_t ThreadPool::num_threads() const { return impl_->workers.size() + 1; }
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+    if (n == 0) return;
+    if (chunk == 0) chunk = 1;
+    // The exact serial path: one lane, a nested call, or too little work
+    // to split — run inline, touching no synchronization at all.
+    if (impl_->workers.empty() || t_in_worker || n <= chunk) {
+        for (std::size_t begin = 0; begin < n; begin += chunk) {
+            body(begin, std::min(n, begin + chunk));
+        }
+        return;
+    }
+
+    Impl::Job job;
+    job.body = &body;
+    job.n = n;
+    job.chunk = chunk;
+    job.remaining = n;
+
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    // One job at a time; a second caller thread queues here.
+    impl_->done_cv.wait(lock, [&] { return impl_->job == nullptr; });
+    impl_->job = &job;
+    ++impl_->generation;
+    impl_->work_cv.notify_all();
+    impl_->run_chunks(job, lock);  // the caller is a lane too
+    impl_->done_cv.wait(lock, [&] { return job.remaining == 0; });
+    impl_->job = nullptr;
+    impl_->done_cv.notify_all();  // free the slot for queued callers
+    const std::exception_ptr error = job.error;
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+}
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+std::size_t ThreadPool::decide_num_threads(const char* env_value) {
+    if (env_value != nullptr && env_value[0] != '\0') {
+        char* end = nullptr;
+        const long v = std::strtol(env_value, &end, 10);
+        if (end != env_value && *end == '\0' && v >= 1) {
+            return static_cast<std::size_t>(v);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global;
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+    std::lock_guard<std::mutex> lock(g_global_mu);
+    if (!g_global) {
+        g_global = std::make_unique<ThreadPool>(
+            decide_num_threads(std::getenv("HYPATIA_THREADS")));
+    }
+    return *g_global;
+}
+
+void ThreadPool::set_global_threads(std::size_t n) {
+    std::lock_guard<std::mutex> lock(g_global_mu);
+    g_global.reset();  // joins the old workers first
+    g_global = std::make_unique<ThreadPool>(
+        n == 0 ? decide_num_threads(std::getenv("HYPATIA_THREADS")) : n);
+}
+
+}  // namespace hypatia::util

@@ -1,0 +1,97 @@
+// Deterministic parallel compute: a fixed-size worker pool with a
+// chunked parallel_for primitive and ordered map/reduce helpers.
+//
+// The determinism contract (DESIGN.md "Threading model"): every
+// parallelized computation must produce byte-identical results at any
+// thread count. parallel_for only distributes *independent* index
+// ranges — each index's result may depend only on the index and on
+// state that is read-only for the duration of the call — and the
+// ordered helpers below merge per-index results back on the calling
+// thread in index order, so downstream serialization never observes
+// scheduling order. Floating-point work is unchanged per index (no
+// re-association across indices), which is why the outputs match the
+// serial run bit for bit.
+//
+// Thread count comes from HYPATIA_THREADS (default: hardware
+// concurrency). At 1 thread parallel_for degenerates to an inline loop
+// on the calling thread — the exact serial code path, with no worker
+// threads spawned and no synchronization touched. Nested parallel_for
+// calls (from inside a worker) also run inline, so library code may use
+// the primitive without caring whether a caller already parallelized an
+// outer level.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace hypatia::util {
+
+class ThreadPool {
+  public:
+    /// A pool executing on `num_threads` lanes in total: the calling
+    /// thread participates, so `num_threads == 1` spawns no workers.
+    explicit ThreadPool(std::size_t num_threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total execution lanes (workers + the calling thread); >= 1.
+    std::size_t num_threads() const;
+
+    /// Runs `body(begin, end)` over half-open chunks covering [0, n),
+    /// each chunk at most `chunk` indices wide, distributed over the
+    /// pool. Blocks until every index is processed; rethrows the first
+    /// exception a chunk threw (remaining chunks still run). The body
+    /// must not touch shared mutable state except through the obs layer
+    /// (which is thread-safe) or per-index output slots.
+    void parallel_for(std::size_t n, std::size_t chunk,
+                      const std::function<void(std::size_t, std::size_t)>& body);
+
+    /// The process-wide pool, sized from HYPATIA_THREADS on first use.
+    static ThreadPool& global();
+
+    /// Replaces the global pool with an `n`-lane one (0 = re-read the
+    /// environment / hardware default). For tests and benchmarks; must
+    /// not be called while parallel work is in flight.
+    static void set_global_threads(std::size_t n);
+
+    /// Thread-count policy: parses `env_value` (may be null); values
+    /// < 1 or unparsable fall back to hardware_concurrency (min 1).
+    /// Exposed for tests.
+    static std::size_t decide_num_threads(const char* env_value);
+
+    /// True while the current thread is a pool worker executing a chunk
+    /// (nested parallel_for calls run inline then).
+    static bool in_worker();
+
+  private:
+    struct Impl;
+    Impl* impl_;  // pimpl keeps <thread>/<mutex> out of this header
+};
+
+/// Computes `out[i] = fn(i)` for i in [0, n) on the global pool and
+/// returns the results in index order. T must be default-constructible
+/// and movable.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, std::size_t chunk, Fn&& fn) {
+    std::vector<T> out(n);
+    ThreadPool::global().parallel_for(
+        n, chunk, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+        });
+    return out;
+}
+
+/// Maps in parallel, then folds serially on the calling thread in
+/// ascending index order: `fold(i, std::move(result_i))`. The fold order
+/// is what keeps merged containers (forwarding state, CSR problems)
+/// byte-stable across thread counts.
+template <typename T, typename MapFn, typename FoldFn>
+void ordered_reduce(std::size_t n, std::size_t chunk, MapFn&& map, FoldFn&& fold) {
+    std::vector<T> out = parallel_map<T>(n, chunk, std::forward<MapFn>(map));
+    for (std::size_t i = 0; i < n; ++i) fold(i, std::move(out[i]));
+}
+
+}  // namespace hypatia::util

@@ -1,5 +1,8 @@
 #include "src/routing/forwarding.hpp"
 
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 namespace hypatia::route {
@@ -71,6 +74,35 @@ TEST(ForwardingState, DestinationNextHopIsSelf) {
     const auto g = diamond();
     const auto state = compute_forwarding(g, {5});
     EXPECT_EQ(state.next_hop(5, 5), 5);
+}
+
+// The diamond plus one isolated satellite (node 4), so the fixture also
+// pins the unreachable-row encoding ("-1,...,inf"). GS nodes shift to 5/6.
+Graph diamond_with_stray() {
+    Graph g(5, 2);
+    g.add_undirected_edge(5, 0, 1.0);
+    g.add_undirected_edge(0, 1, 1.0);
+    g.add_undirected_edge(1, 6, 1.0);
+    g.add_undirected_edge(5, 2, 2.0);
+    g.add_undirected_edge(2, 3, 2.0);
+    g.add_undirected_edge(3, 6, 2.0);
+    return g;
+}
+
+TEST(ForwardingState, SerializeCsvMatchesGoldenFixture) {
+    // Pins the exact serialization format — header, row order (destinations
+    // ascending, nodes ascending), "%.6f" distances, "inf" for unreachable —
+    // against a checked-in fixture. Any format drift breaks every consumer
+    // that diffs forwarding dumps (the equivalence suite, run manifests),
+    // so changing it must be a conscious act: regenerate tests/data/
+    // forwarding_golden.csv and update this comment's rationale.
+    const auto g = diamond_with_stray();
+    const auto state = compute_forwarding(g, {5, 6});
+    std::ifstream in(std::string(HYPATIA_TEST_DATA_DIR) + "/forwarding_golden.csv");
+    ASSERT_TRUE(in.is_open()) << "missing fixture forwarding_golden.csv";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(state.dump_csv(), golden.str());
 }
 
 }  // namespace

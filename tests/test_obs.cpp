@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -357,19 +359,98 @@ TEST(Observability, SimulatorReportsIntoGlobalRegistry) {
     EXPECT_GE(reg.gauge("sim.event_queue_peak").value(), 7.0);
 }
 
+// --- Thread safety --------------------------------------------------------
+
+TEST(MetricsThreadSafety, CounterHammeredFromEightThreadsIsExact) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("hammered");
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kIncsPerThread = 100'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (std::uint64_t i = 0; i < kIncsPerThread; ++i) c.inc();
+        });
+    }
+    for (auto& th : threads) th.join();
+    // Atomics make every increment land: the total is exact, not "close".
+    EXPECT_EQ(c.value(), kThreads * kIncsPerThread);
+}
+
+TEST(MetricsThreadSafety, GaugeSetMaxKeepsGlobalPeakAcrossThreads) {
+    MetricsRegistry reg;
+    Gauge& g = reg.gauge("peak");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&g, t] {
+            for (int i = 0; i < 50'000; ++i) {
+                g.set_max(static_cast<double>(t * 50'000 + i));
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(g.value(), 8.0 * 50'000 - 1);
+}
+
+TEST(MetricsThreadSafety, HistogramRecordsEveryObservation) {
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("hammered_hist");
+    constexpr int kThreads = 8;
+    constexpr int kRecordsPerThread = 20'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h] {
+            for (int i = 0; i < kRecordsPerThread; ++i) {
+                h.record(static_cast<double>(i % 100 + 1));
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kRecordsPerThread);
+    // Every thread records the same value stream, so the aggregate sum is
+    // exactly kThreads * sum(1..100) * 200.
+    EXPECT_DOUBLE_EQ(h.sum(), kThreads * 200.0 * (100.0 * 101.0 / 2.0));
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(MetricsThreadSafety, RegistryGetOrCreateRacesResolveToOneInstance) {
+    MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    std::vector<Counter*> seen(kThreads, nullptr);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, &seen, t] {
+            for (int i = 0; i < 1'000; ++i) {
+                Counter& c = reg.counter("contended.name");
+                c.inc();
+                seen[static_cast<std::size_t>(t)] = &c;
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+    }
+    EXPECT_EQ(reg.counter("contended.name").value(), 8u * 1'000);
+}
+
 TEST(Observability, CoreSchemaIsRegisteredEagerly) {
     // Any binary that touches obs:: sees the full schema, so manifests
     // from routing-only benches still report the same metric names.
     auto& reg = metrics();
     EXPECT_GE(reg.size(), 10u);
+    // Registration checks only (not value() == 0): earlier tests in this
+    // binary may already have driven the simulator, and get-or-create
+    // would mask a missing registration anyway.
     for (const char* name :
          {"sim.events_executed", "net.tx_packets", "net.queue_drops",
           "tcp.retransmissions", "route.fstate_installs", "route.dijkstra_runs",
           "propagation.sgp4_cache_fills"}) {
-        EXPECT_EQ(reg.counter(name).value(), 0u) << name;
+        EXPECT_EQ(reg.counters().count(name), 1u) << name;
     }
-    EXPECT_EQ(reg.histogram("tcp.rtt_us").count(), 0u);
-    EXPECT_EQ(reg.histogram("net.queue_depth").count(), 0u);
+    EXPECT_EQ(reg.histograms().count("tcp.rtt_us"), 1u);
+    EXPECT_EQ(reg.histograms().count("net.queue_depth"), 1u);
 }
 
 }  // namespace

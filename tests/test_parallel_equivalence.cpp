@@ -1,0 +1,297 @@
+// The thread-equivalence suite: the determinism contract of the
+// parallel compute layer (DESIGN.md "Threading model") is that every
+// parallelized computation — forwarding state, path analysis, flowsim
+// completion times, mobility cache warming — produces *byte-identical*
+// output at any thread count. Each test here serializes the full result
+// at HYPATIA_THREADS equivalents of 1, 2 and 8 lanes and asserts string
+// equality, so a scheduling-order regression fails loudly. Plus unit
+// tests for the ThreadPool primitive itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/flowsim/engine.hpp"
+#include "src/flowsim/traffic.hpp"
+#include "src/routing/forwarding.hpp"
+#include "src/routing/graph.hpp"
+#include "src/routing/path_analysis.hpp"
+#include "src/topology/cities.hpp"
+#include "src/topology/constellation.hpp"
+#include "src/topology/isl.hpp"
+#include "src/topology/mobility.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace hypatia {
+namespace {
+
+using util::ThreadPool;
+
+// The three lane counts the acceptance criteria pin: exact-serial, the
+// smallest parallel case, and an oversubscribed one.
+constexpr std::size_t kLaneCounts[] = {1, 2, 8};
+
+// Runs `fn` once per lane count and returns the serialized outputs.
+template <typename Fn>
+std::vector<std::string> outputs_at_lane_counts(Fn&& fn) {
+    std::vector<std::string> outputs;
+    for (const std::size_t lanes : kLaneCounts) {
+        ThreadPool::set_global_threads(lanes);
+        outputs.push_back(fn());
+    }
+    ThreadPool::set_global_threads(0);  // back to the environment default
+    return outputs;
+}
+
+void expect_all_equal(const std::vector<std::string>& outputs) {
+    ASSERT_EQ(outputs.size(), 3u);
+    EXPECT_FALSE(outputs[0].empty());
+    EXPECT_EQ(outputs[0], outputs[1]) << "1-lane vs 2-lane output differs";
+    EXPECT_EQ(outputs[0], outputs[2]) << "1-lane vs 8-lane output differs";
+}
+
+std::string fmt(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+// --- ThreadPool primitive --------------------------------------------------
+
+TEST(ThreadPool, DecideNumThreadsPolicy) {
+    EXPECT_EQ(ThreadPool::decide_num_threads("4"), 4u);
+    EXPECT_EQ(ThreadPool::decide_num_threads("1"), 1u);
+    const std::size_t hw = ThreadPool::decide_num_threads(nullptr);
+    EXPECT_GE(hw, 1u);
+    // Garbage, zero and negative values fall back to the hardware default.
+    EXPECT_EQ(ThreadPool::decide_num_threads("0"), hw);
+    EXPECT_EQ(ThreadPool::decide_num_threads("-3"), hw);
+    EXPECT_EQ(ThreadPool::decide_num_threads("many"), hw);
+    EXPECT_EQ(ThreadPool::decide_num_threads("8x"), hw);
+    EXPECT_EQ(ThreadPool::decide_num_threads(""), hw);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+    ThreadPool pool(8);
+    EXPECT_EQ(pool.num_threads(), 8u);
+    constexpr std::size_t kN = 10'000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, 7, [&](std::size_t begin, std::size_t end) {
+        ASSERT_LT(begin, end);
+        ASSERT_LE(end, kN);
+        for (std::size_t i = begin; i < end; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, SingleLaneRunsInlineOnCaller) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.num_threads(), 1u);
+    const auto caller = std::this_thread::get_id();
+    std::set<std::thread::id> seen;
+    pool.parallel_for(100, 8, [&](std::size_t, std::size_t) {
+        seen.insert(std::this_thread::get_id());  // serial: no race
+    });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(*seen.begin(), caller);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallel_for(1000, 16,
+                          [&](std::size_t begin, std::size_t) {
+                              if (begin >= 496) {
+                                  throw std::runtime_error("chunk failed");
+                              }
+                          }),
+        std::runtime_error);
+    // The pool survives an exception and accepts new work.
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(100, 10, [&](std::size_t begin, std::size_t end) {
+        count.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64 * 64);
+    pool.parallel_for(64, 1, [&](std::size_t ob, std::size_t oe) {
+        for (std::size_t outer = ob; outer < oe; ++outer) {
+            EXPECT_TRUE(ThreadPool::in_worker());
+            // A nested call must not deadlock on the single job slot —
+            // it runs inline on this lane.
+            pool.parallel_for(64, 8, [&](std::size_t ib, std::size_t ie) {
+                for (std::size_t inner = ib; inner < ie; ++inner) {
+                    hits[outer * 64 + inner].fetch_add(1,
+                                                       std::memory_order_relaxed);
+                }
+            });
+        }
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+    ThreadPool::set_global_threads(8);
+    const auto squares = util::parallel_map<std::size_t>(
+        1000, 3, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 1000u);
+    for (std::size_t i = 0; i < squares.size(); ++i) {
+        ASSERT_EQ(squares[i], i * i);
+    }
+    ThreadPool::set_global_threads(0);
+}
+
+TEST(ThreadPool, OrderedReduceFoldsInAscendingIndexOrder) {
+    ThreadPool::set_global_threads(8);
+    std::vector<std::size_t> fold_order;
+    util::ordered_reduce<std::size_t>(
+        500, 4, [](std::size_t i) { return i; },
+        [&](std::size_t i, std::size_t v) {
+            EXPECT_EQ(i, v);
+            fold_order.push_back(i);  // fold runs on the caller: no race
+        });
+    ASSERT_EQ(fold_order.size(), 500u);
+    for (std::size_t i = 0; i < fold_order.size(); ++i) {
+        ASSERT_EQ(fold_order[i], i);
+    }
+    ThreadPool::set_global_threads(0);
+}
+
+// --- Routing equivalence ---------------------------------------------------
+
+struct Substrate {
+    topo::Constellation constellation;
+    topo::SatelliteMobility mobility;
+    std::vector<topo::Isl> isls;
+    std::vector<orbit::GroundStation> gses;
+
+    Substrate()
+        : constellation(topo::shell_by_name("kuiper_k1"), topo::default_epoch()),
+          mobility(constellation),
+          isls(topo::build_isls(constellation, topo::IslPattern::kPlusGrid)),
+          gses(topo::top100_cities()) {
+        gses.erase(gses.begin() + 12, gses.end());  // a dozen GSes suffice
+    }
+};
+
+TEST(ParallelEquivalence, ForwardingStateCsvIsByteIdentical) {
+    const auto outputs = outputs_at_lane_counts([] {
+        // A fresh substrate per lane count: the mobility cache starts
+        // cold each time, so warm_cache really runs at this lane count.
+        Substrate s;
+        std::string dump;
+        for (const TimeNs t : {TimeNs{0}, 30 * kNsPerSec}) {
+            const route::Graph g =
+                route::build_snapshot(s.mobility, s.isls, s.gses, t);
+            std::vector<int> dests;
+            for (std::size_t gs = 0; gs < s.gses.size(); ++gs) {
+                dests.push_back(g.gs_node(static_cast<int>(gs)));
+            }
+            dump += route::compute_forwarding(g, dests).dump_csv();
+        }
+        return dump;
+    });
+    expect_all_equal(outputs);
+}
+
+TEST(ParallelEquivalence, PathAnalysisCsvIsByteIdentical) {
+    const auto outputs = outputs_at_lane_counts([] {
+        Substrate s;
+        const std::vector<route::GsPair> pairs = {{0, 5}, {1, 5}, {2, 7}, {3, 9}};
+        route::AnalysisOptions opts;
+        opts.t_start = 0;
+        opts.t_end = 5 * kNsPerSec;
+        opts.step = kNsPerSec;
+        std::string dump = "t_ns,pair,rtt_s,path\n";
+        opts.per_step_observer = [&](TimeNs t, int pair, double rtt_s,
+                                     const std::vector<int>& path) {
+            dump += std::to_string(t) + "," + std::to_string(pair) + "," +
+                    fmt(rtt_s) + ",";
+            for (const int node : path) dump += std::to_string(node) + " ";
+            dump += "\n";
+        };
+        const auto result =
+            route::analyze_pairs(s.mobility, s.isls, s.gses, pairs, opts);
+        dump += "pair,min_rtt,max_rtt,changes,min_hops,max_hops,unreachable\n";
+        for (std::size_t pi = 0; pi < result.pair_stats.size(); ++pi) {
+            const auto& st = result.pair_stats[pi];
+            dump += std::to_string(pi) + "," + fmt(st.min_rtt_s) + "," +
+                    fmt(st.max_rtt_s) + "," + std::to_string(st.path_changes) +
+                    "," + std::to_string(st.min_hops) + "," +
+                    std::to_string(st.max_hops) + "," +
+                    std::to_string(st.unreachable_steps) + "\n";
+        }
+        for (const int c : result.path_changes_per_step) {
+            dump += std::to_string(c) + ",";
+        }
+        return dump;
+    });
+    expect_all_equal(outputs);
+}
+
+TEST(ParallelEquivalence, MobilityWarmCacheMatchesExactPropagation) {
+    const auto outputs = outputs_at_lane_counts([] {
+        Substrate s;
+        const TimeNs t = 17 * kNsPerSec;
+        s.mobility.warm_cache(t);
+        std::string dump;
+        for (int sat = 0; sat < s.mobility.num_satellites(); sat += 97) {
+            const Vec3& p = s.mobility.position_ecef(sat, t);
+            dump += fmt(p.x) + "," + fmt(p.y) + "," + fmt(p.z) + "\n";
+        }
+        return dump;
+    });
+    expect_all_equal(outputs);
+}
+
+// --- Flowsim equivalence ---------------------------------------------------
+
+TEST(ParallelEquivalence, FlowsimCompletionTimesAreByteIdentical) {
+    const auto outputs = outputs_at_lane_counts([] {
+        core::Scenario scenario;
+        scenario.shell = topo::shell_by_name("kuiper_k1");
+        scenario.ground_stations = {
+            topo::city_by_name("Manila"), topo::city_by_name("Dalian"),
+            topo::city_by_name("Tokyo"), topo::city_by_name("Seoul")};
+        flowsim::PoissonTrafficConfig cfg;
+        cfg.num_gs = 4;
+        cfg.arrivals_per_s = 25.0;
+        cfg.mean_size_bits = 4e6;
+        cfg.window = 3 * kNsPerSec;
+        cfg.seed = 5;
+        flowsim::EngineOptions opts;
+        opts.epoch = kNsPerSec;
+        opts.duration = 6 * kNsPerSec;
+        opts.resolve_on_completion = true;
+        flowsim::Engine engine(scenario, flowsim::poisson_traffic(cfg), opts);
+        const auto summary = engine.run();
+        std::string dump = "flow,completion_ns,bits_sent,last_rate_bps\n";
+        for (std::size_t f = 0; f < summary.flows.size(); ++f) {
+            const auto& o = summary.flows[f];
+            dump += std::to_string(f) + "," + std::to_string(o.completion) + "," +
+                    fmt(o.bits_sent) + "," + fmt(o.last_rate_bps) + "\n";
+        }
+        dump += "epoch,active,sum_rate_bps\n";
+        for (const auto& e : summary.epochs) {
+            dump += std::to_string(e.t) + "," + std::to_string(e.active) + "," +
+                    fmt(e.sum_rate_bps) + "\n";
+        }
+        return dump;
+    });
+    expect_all_equal(outputs);
+}
+
+}  // namespace
+}  // namespace hypatia
