@@ -1,6 +1,7 @@
 #include "src/core/leo_network.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "src/core/heartbeat.hpp"
 #include "src/obs/observability.hpp"
@@ -78,18 +79,34 @@ void LeoNetwork::install_fstate(TimeNs sim_time) {
             return weather_->gsl_range_factor(gs_index, t);
         };
     }
-    const route::Graph graph = route::build_snapshot(
-        mobility_, isls_, scenario_.ground_stations, orbit_time(sim_time), opts);
+    // Refresh mode (the default) keeps one graph alive across installs
+    // and delta-patches it; HYPATIA_SNAPSHOT_MODE=rebuild reconstructs it
+    // every interval (the legacy reference path). Identical outputs.
+    std::optional<route::Graph> rebuilt;
+    const route::Graph* graph;
+    if (snapshot_mode_ == route::SnapshotMode::kRefresh) {
+        if (!refresher_.has_value()) {
+            refresher_.emplace(mobility_, isls_, scenario_.ground_stations,
+                               std::move(opts));
+        }
+        graph = &refresher_->refresh(orbit_time(sim_time));
+    } else {
+        rebuilt.emplace(route::build_snapshot(
+            mobility_, isls_, scenario_.ground_stations, orbit_time(sim_time), opts));
+        graph = &*rebuilt;
+    }
 
     std::uint64_t entries_changed = 0;
     for (int dst_gs : destination_gs_) {
         const int dst_node = gs_node(dst_gs);
-        auto tree = route::dijkstra_to(graph, dst_node);
+        // Compute into the recycled scratch buffer, diff, then swap it
+        // into the stored state — no per-install tree allocations.
+        route::thread_dijkstra_workspace().run(*graph, dst_node, scratch_tree_);
         // Install only entries that changed since the previous state
         // (Hypatia's fstate deltas); the first installation writes all.
         const route::DestinationTree* prev = fstate_.tree(dst_node);
-        for (int node = 0; node < graph.num_nodes(); ++node) {
-            const int nh = tree.next_hop[static_cast<std::size_t>(node)];
+        for (int node = 0; node < graph->num_nodes(); ++node) {
+            const int nh = scratch_tree_.next_hop[static_cast<std::size_t>(node)];
             if (prev != nullptr &&
                 prev->next_hop[static_cast<std::size_t>(node)] == nh) {
                 continue;
@@ -97,7 +114,7 @@ void LeoNetwork::install_fstate(TimeNs sim_time) {
             net_.node(node).set_next_hop(dst_node, nh);
             ++entries_changed;
         }
-        fstate_.set_tree(dst_node, std::move(tree));
+        std::swap(fstate_.mutable_tree(dst_node), scratch_tree_);
     }
     ++fstate_installs_;
     installs_metric->inc();

@@ -13,6 +13,7 @@
 #include "src/core/scenario.hpp"
 #include "src/routing/forwarding.hpp"
 #include "src/routing/graph.hpp"
+#include "src/routing/snapshot_refresh.hpp"
 #include "src/sim/network.hpp"
 #include "src/topology/mobility.hpp"
 
@@ -87,7 +88,10 @@ class LeoNetwork {
     sim::Network net_;
     std::set<int> destination_gs_;
     std::optional<topo::WeatherModel> weather_;
+    route::SnapshotMode snapshot_mode_ = route::snapshot_mode_from_env();
+    std::optional<route::SnapshotRefresher> refresher_;  // lazy, refresh mode
     route::ForwardingState fstate_;
+    route::DestinationTree scratch_tree_;  // recycled Dijkstra output buffer
     std::uint64_t fstate_installs_ = 0;
 };
 

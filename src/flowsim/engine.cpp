@@ -60,8 +60,7 @@ std::uint32_t Engine::resource_for_hop(int from, int to) const {
     return gsl_base_ + static_cast<std::uint32_t>(from);
 }
 
-route::ForwardingState Engine::compute_epoch_forwarding(
-    TimeNs t, const std::vector<int>& dst_gs) {
+route::SnapshotOptions Engine::snapshot_options() {
     route::SnapshotOptions opts;
     opts.include_isls = scenario_.isl_pattern != topo::IslPattern::kNone;
     opts.relay_gs_indices = scenario_.relay_gs_indices;
@@ -71,16 +70,38 @@ route::ForwardingState Engine::compute_epoch_forwarding(
             return weather_->gsl_range_factor(gs_index, at);
         };
     }
-    const route::Graph graph = [&] {
-        HYPATIA_PROFILE_SCOPE("flowsim.snapshot");
-        return route::build_snapshot(mobility_, isls_, scenario_.ground_stations,
-                                     orbit_time(t), opts);
-    }();
-    HYPATIA_PROFILE_SCOPE("flowsim.forwarding");
+    return opts;
+}
+
+const route::ForwardingState& Engine::compute_epoch_forwarding(
+    TimeNs t, const std::vector<int>& dst_gs) {
     std::vector<int> dst_nodes;
     dst_nodes.reserve(dst_gs.size());
     for (const int gs : dst_gs) dst_nodes.push_back(gs_node(gs));
-    return route::compute_forwarding(graph, dst_nodes);
+
+    if (snapshot_mode_ == route::SnapshotMode::kRefresh) {
+        const route::Graph* graph;
+        {
+            HYPATIA_PROFILE_SCOPE("flowsim.snapshot");
+            if (!refresher_.has_value()) {
+                refresher_.emplace(mobility_, isls_, scenario_.ground_stations,
+                                   snapshot_options());
+            }
+            graph = &refresher_->refresh(orbit_time(t));
+        }
+        HYPATIA_PROFILE_SCOPE("flowsim.forwarding");
+        route::compute_forwarding_into(*graph, dst_nodes, fstate_);
+        return fstate_;
+    }
+
+    const route::Graph graph = [&] {
+        HYPATIA_PROFILE_SCOPE("flowsim.snapshot");
+        return route::build_snapshot(mobility_, isls_, scenario_.ground_stations,
+                                     orbit_time(t), snapshot_options());
+    }();
+    HYPATIA_PROFILE_SCOPE("flowsim.forwarding");
+    fstate_ = route::compute_forwarding(graph, dst_nodes);
+    return fstate_;
 }
 
 Engine::EpochProblem Engine::build_problem(const route::ForwardingState& fstate,
@@ -224,7 +245,7 @@ RunSummary Engine::run() {
             if (dst_seen[static_cast<std::size_t>(g)]) dst_gs.push_back(g);
         }
 
-        const route::ForwardingState fstate = compute_epoch_forwarding(t, dst_gs);
+        const route::ForwardingState& fstate = compute_epoch_forwarding(t, dst_gs);
         EpochProblem ep = build_problem(fstate, active, t);
         FairShareResult solution = solve_max_min(ep.problem);
         stats.solver_rounds = solution.rounds;

@@ -1,8 +1,9 @@
 // The flow-level simulation engine: Hypatia's routing/mobility substrate
 // with the packet layer replaced by a fluid model. Instead of per-packet
 // events, every re-route epoch (default 1 s) the engine
-//   1. rebuilds the topology snapshot (SGP4 mobility + ISLs + GSL
-//      visibility, weather hooks included),
+//   1. brings the topology snapshot to the epoch time (SGP4 mobility +
+//      ISLs + GSL visibility, weather hooks included; in-place refresh
+//      by default, full rebuild under HYPATIA_SNAPSHOT_MODE=rebuild),
 //   2. recomputes per-destination forwarding trees (same Dijkstra the
 //      packet simulator installs),
 //   3. walks each active flow's path and maps its hops onto transmit
@@ -29,6 +30,7 @@
 #include "src/flowsim/solver.hpp"
 #include "src/flowsim/traffic.hpp"
 #include "src/routing/forwarding.hpp"
+#include "src/routing/snapshot_refresh.hpp"
 #include "src/topology/mobility.hpp"
 #include "src/topology/weather.hpp"
 
@@ -126,8 +128,13 @@ class Engine {
         std::vector<std::uint32_t> unreachable;      // active but pathless
     };
 
-    route::ForwardingState compute_epoch_forwarding(TimeNs t,
-                                                    const std::vector<int>& dst_gs);
+    /// Brings fstate_ to epoch `t` for the given destinations and returns
+    /// it. Refresh mode (the default) updates one long-lived graph and
+    /// recycles the tree buffers; HYPATIA_SNAPSHOT_MODE=rebuild rebuilds
+    /// both from scratch. Outputs are byte-identical either way.
+    const route::ForwardingState& compute_epoch_forwarding(
+        TimeNs t, const std::vector<int>& dst_gs);
+    route::SnapshotOptions snapshot_options();
     EpochProblem build_problem(const route::ForwardingState& fstate,
                                const std::vector<std::uint32_t>& active, TimeNs t);
     std::uint32_t resource_for_hop(int from, int to) const;
@@ -139,6 +146,10 @@ class Engine {
     std::optional<topo::WeatherModel> weather_;
     TrafficMatrix matrix_;
     EngineOptions options_;
+
+    route::SnapshotMode snapshot_mode_ = route::snapshot_mode_from_env();
+    std::optional<route::SnapshotRefresher> refresher_;  // lazy, refresh mode
+    route::ForwardingState fstate_;  // recycled across epochs
 
     // Resource layout: [2 * isl_index + direction] then [gsl_base_ + node].
     std::unordered_map<std::uint64_t, std::uint32_t> isl_resource_;

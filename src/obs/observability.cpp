@@ -36,6 +36,8 @@ void Observability::register_core_metrics() {
     metrics_.counter("route.fstate_installs");
     metrics_.counter("route.fstate_entries_changed");
     metrics_.counter("route.snapshots");
+    metrics_.counter("route.snapshot_refresh");
+    metrics_.counter("route.gsl_rows_patched");
     metrics_.counter("route.dijkstra_runs");
     metrics_.counter("propagation.sgp4_cache_fills");
     metrics_.counter("flowsim.flows_created");

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 #include "src/util/thread_pool.hpp"
 
@@ -44,21 +45,69 @@ std::string ForwardingState::dump_csv() const {
     return os.str();
 }
 
+void ForwardingState::prune_to(const std::vector<int>& destinations) {
+    if (trees_.size() == destinations.size()) {
+        bool all_present = true;
+        for (const int d : destinations) {
+            if (trees_.find(d) == trees_.end()) {
+                all_present = false;
+                break;
+            }
+        }
+        if (all_present) return;  // common steady state: same set as last epoch
+    }
+    const std::unordered_set<int> keep(destinations.begin(), destinations.end());
+    for (auto it = trees_.begin(); it != trees_.end();) {
+        it = keep.count(it->first) ? std::next(it) : trees_.erase(it);
+    }
+}
+
 ForwardingState compute_forwarding(const Graph& graph,
                                    const std::vector<int>& destinations) {
+    ForwardingState state;
+    compute_forwarding_into(graph, destinations, state);
+    return state;
+}
+
+void compute_forwarding_into(const Graph& graph, const std::vector<int>& destinations,
+                             ForwardingState& state) {
     // Each destination tree is an independent Dijkstra over the shared
     // read-only graph — the routing-precompute hot loop (paper Fig 2).
-    // The fan-out runs on the pool; the merge below installs trees in
-    // input order on the calling thread, so the state (and its sorted
-    // CSV serialization) is byte-identical at any thread count.
-    ForwardingState state;
-    util::ordered_reduce<DestinationTree>(
-        destinations.size(), /*chunk=*/1,
-        [&](std::size_t i) { return dijkstra_to(graph, destinations[i]); },
-        [&](std::size_t i, DestinationTree tree) {
-            state.set_tree(destinations[i], std::move(tree));
+    // Tree slots are created serially up front (so the map never
+    // rehashes under the fan-out) and each pool lane computes into its
+    // own slots through a lane-local workspace: results land in
+    // per-destination storage, so the state (and its sorted CSV
+    // serialization) is byte-identical at any thread count.
+    graph.finalize();
+    state.prune_to(destinations);
+    std::vector<int> unique;
+    std::vector<DestinationTree*> slots;
+    unique.reserve(destinations.size());
+    slots.reserve(destinations.size());
+    for (const int d : destinations) {
+        DestinationTree* slot = &state.mutable_tree(d);
+        // A duplicate destination would hand the same slot to two lanes;
+        // computing it once yields the identical state.
+        if (std::find(unique.begin(), unique.end(), d) != unique.end()) continue;
+        unique.push_back(d);
+        slots.push_back(slot);
+    }
+    // Flatten base + overlay into one merged CSR once: the |destinations|
+    // Dijkstras then walk a single packed edge array instead of paying a
+    // finalize branch plus an overlay-row indirection per node each. The
+    // scratch is caller-thread-local so steady-state epochs reuse it
+    // without allocating.
+    thread_local std::vector<std::int32_t> view_offsets;
+    thread_local std::vector<Edge> view_edges;
+    graph.export_merged_csr(view_offsets, view_edges);
+    const GraphView view{view_offsets.data(), view_edges.data(), graph.relay_data(),
+                         graph.num_nodes()};
+    util::ThreadPool::global().parallel_for(
+        unique.size(), /*chunk=*/1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                thread_dijkstra_workspace().run(view, unique[i], *slots[i]);
+            }
         });
-    return state;
 }
 
 }  // namespace hypatia::route

@@ -23,6 +23,16 @@ class ForwardingState {
         trees_[destination] = std::move(tree);
     }
 
+    /// Get-or-create the tree slot for `destination`. The refresher-era
+    /// epoch pipeline computes into existing slots so the per-node
+    /// buffers are recycled across epochs instead of reallocated.
+    DestinationTree& mutable_tree(int destination) { return trees_[destination]; }
+
+    /// Drops every tree whose destination is not in `destinations`, so a
+    /// recycled state never leaks trees from a previous epoch's
+    /// destination set.
+    void prune_to(const std::vector<int>& destinations);
+
     /// Next hop from `node` toward `destination`; -1 if unreachable or if
     /// no state exists for that destination.
     int next_hop(int node, int destination) const {
@@ -66,5 +76,13 @@ class ForwardingState {
 /// Computes forwarding state on `graph` for every node in `destinations`.
 ForwardingState compute_forwarding(const Graph& graph,
                                    const std::vector<int>& destinations);
+
+/// Same computation into an existing state: tree buffers are recycled
+/// (zero allocations per epoch once warm), stale destinations pruned.
+/// The per-destination Dijkstra fan-out runs on the pool using
+/// lane-local workspaces; results are byte-identical to
+/// compute_forwarding at any thread count.
+void compute_forwarding_into(const Graph& graph, const std::vector<int>& destinations,
+                             ForwardingState& state);
 
 }  // namespace hypatia::route

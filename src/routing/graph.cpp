@@ -1,5 +1,7 @@
 #include "src/routing/graph.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 #include "src/obs/observability.hpp"
@@ -8,21 +10,98 @@ namespace hypatia::route {
 
 Graph::Graph(int num_satellites, int num_ground_stations)
     : num_satellites_(num_satellites),
-      adj_(static_cast<std::size_t>(num_satellites + num_ground_stations)),
+      num_nodes_(num_satellites + num_ground_stations),
       relay_(static_cast<std::size_t>(num_satellites + num_ground_stations), 0) {
     for (int i = 0; i < num_satellites; ++i) relay_[static_cast<std::size_t>(i)] = 1;
 }
 
 void Graph::add_undirected_edge(int a, int b, double distance_km) {
     if (a == b) throw std::invalid_argument("graph: self-loop");
-    adj_.at(static_cast<std::size_t>(a)).push_back({b, distance_km});
-    adj_.at(static_cast<std::size_t>(b)).push_back({a, distance_km});
+    if (a < 0 || a >= num_nodes_ || b < 0 || b >= num_nodes_) {
+        throw std::out_of_range("graph: node id out of range");
+    }
+    if (overlay_enabled_) {
+        throw std::logic_error(
+            "graph: base structure is frozen once the overlay is enabled");
+    }
+    pending_from_.push_back(a);
+    pending_edges_.push_back({b, distance_km});
+    pending_from_.push_back(b);
+    pending_edges_.push_back({a, distance_km});
+    ++base_undirected_;
+    dirty_ = true;
 }
 
-std::size_t Graph::num_edges() const {
-    std::size_t total = 0;
-    for (const auto& n : adj_) total += n.size();
-    return total / 2;
+void Graph::reserve_edges(std::size_t undirected) {
+    pending_from_.reserve(2 * undirected);
+    pending_edges_.reserve(2 * undirected);
+}
+
+void Graph::finalize() const {
+    if (!dirty_) return;
+    const auto n = static_cast<std::size_t>(num_nodes_);
+    offsets_.assign(n + 1, 0);
+    for (const std::int32_t from : pending_from_) {
+        ++offsets_[static_cast<std::size_t>(from) + 1];
+    }
+    std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+    edges_.resize(pending_edges_.size());
+    // Stable counting-sort scatter: per-node relative order equals
+    // insertion order, exactly what the adjacency-list layout produced.
+    std::vector<std::int32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t i = 0; i < pending_edges_.size(); ++i) {
+        edges_[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(pending_from_[i])]++)] =
+            pending_edges_[i];
+    }
+    dirty_ = false;
+}
+
+std::size_t Graph::directed_edge_index(int from, int to) const {
+    finalize();
+    const auto begin = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(from)]);
+    const auto end =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(from) + 1]);
+    for (std::size_t i = begin; i < end; ++i) {
+        if (edges_[i].to == to) return i;
+    }
+    throw std::out_of_range("graph: no such directed edge");
+}
+
+void Graph::enable_overlay() {
+    if (overlay_enabled_) return;
+    finalize();
+    overlay_.resize(static_cast<std::size_t>(num_nodes_));
+    overlay_enabled_ = true;
+}
+
+void Graph::export_merged_csr(std::vector<std::int32_t>& offsets,
+                              std::vector<Edge>& edges) const {
+    finalize();
+    const auto n = static_cast<std::size_t>(num_nodes_);
+    offsets.resize(n + 1);
+    std::size_t total = edges_.size();
+    if (overlay_enabled_) {
+        for (const auto& row : overlay_) total += row.size();
+    }
+    edges.resize(total);
+    std::size_t at = 0;
+    for (std::size_t node = 0; node < n; ++node) {
+        offsets[node] = static_cast<std::int32_t>(at);
+        const auto begin = static_cast<std::size_t>(offsets_[node]);
+        const auto end = static_cast<std::size_t>(offsets_[node + 1]);
+        std::copy(edges_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  edges_.begin() + static_cast<std::ptrdiff_t>(end),
+                  edges.begin() + static_cast<std::ptrdiff_t>(at));
+        at += end - begin;
+        if (overlay_enabled_) {
+            const auto& row = overlay_[node];
+            std::copy(row.begin(), row.end(),
+                      edges.begin() + static_cast<std::ptrdiff_t>(at));
+            at += row.size();
+        }
+    }
+    offsets[n] = static_cast<std::int32_t>(at);
 }
 
 Graph build_snapshot(const topo::SatelliteMobility& mobility,
@@ -35,6 +114,8 @@ Graph build_snapshot(const topo::SatelliteMobility& mobility,
     snapshots_metric->inc();
     const int num_sats = mobility.num_satellites();
     Graph g(num_sats, static_cast<int>(ground_stations.size()));
+    g.reserve_edges((options.include_isls ? isls.size() : 0) +
+                    8 * ground_stations.size());
 
     // Batch the SGP4 propagations for this instant across the pool; the
     // serial ISL and visibility loops below then run on warm cache hits.
@@ -57,15 +138,21 @@ Graph build_snapshot(const topo::SatelliteMobility& mobility,
         }
         for (const auto& entry :
              topo::visible_satellites(ground_stations[gi], mobility, t)) {
-            if (entry.range_km > max_range) continue;  // weather-shrunk cone
+            // Entries are sorted by ascending range: the first one past
+            // the (possibly weather-shrunk) cone ends the row. In
+            // nearest-satellite-only mode this pins the semantics of a
+            // weather-shrunk nearest satellite: the GS is disconnected,
+            // it does not fall through to a farther satellite.
+            if (entry.range_km > max_range) break;
             g.add_undirected_edge(gs_node, entry.sat_id, entry.range_km);
-            if (options.gs_nearest_satellite_only) break;  // entries sorted by range
+            if (options.gs_nearest_satellite_only) break;
         }
     }
 
     for (int relay_gs : options.relay_gs_indices) {
         g.set_relay(g.gs_node(relay_gs), true);
     }
+    g.finalize();
     return g;
 }
 

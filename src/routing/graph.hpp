@@ -3,8 +3,20 @@
 // Edges carry geometric distance in km (latency = distance / c). Ground
 // stations are non-transit by default (they terminate paths); bent-pipe
 // relay experiments mark specific GSes as relays.
+//
+// Storage is a flat CSR layout (DESIGN.md "Snapshot and routing memory
+// layout"): one offsets array plus one packed {to, distance_km} edge
+// array, so a Dijkstra relaxation walks contiguous memory instead of
+// chasing one heap block per node. Edges added through
+// add_undirected_edge are staged and compacted into CSR on first read
+// (stable per-node insertion order, so iteration order — and therefore
+// every tie-break downstream — matches the historical adjacency-list
+// behaviour byte for byte). A second, mutable "overlay" tier holds the
+// per-epoch GSL rows for the SnapshotRefresher: the CSR base keeps the
+// quasi-static ISL structure while only the overlay churns.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <vector>
@@ -24,29 +36,129 @@ struct Edge {
 
 inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
 
-/// Adjacency-list snapshot of the LEO network at one instant.
+/// CSR snapshot of the LEO network at one instant.
 class Graph {
   public:
+    /// Contiguous view over one node's CSR row.
+    class EdgeSpan {
+      public:
+        EdgeSpan(const Edge* first, const Edge* last) : first_(first), last_(last) {}
+        const Edge* begin() const { return first_; }
+        const Edge* end() const { return last_; }
+        std::size_t size() const { return static_cast<std::size_t>(last_ - first_); }
+        bool empty() const { return first_ == last_; }
+        const Edge& operator[](std::size_t i) const { return first_[i]; }
+
+      private:
+        const Edge* first_;
+        const Edge* last_;
+    };
+
     Graph(int num_satellites, int num_ground_stations);
 
-    int num_nodes() const { return static_cast<int>(adj_.size()); }
+    int num_nodes() const { return num_nodes_; }
     int num_satellites() const { return num_satellites_; }
-    int num_ground_stations() const { return num_nodes() - num_satellites_; }
+    int num_ground_stations() const { return num_nodes_ - num_satellites_; }
     int gs_node(int gs_index) const { return num_satellites_ + gs_index; }
     bool is_ground_station(int node) const { return node >= num_satellites_; }
 
+    /// Stages an edge; the CSR arrays are (re)built lazily on the next
+    /// read. Throws if the overlay tier is enabled (a refresher-owned
+    /// graph has a frozen base structure).
     void add_undirected_edge(int a, int b, double distance_km);
-    const std::vector<Edge>& neighbors(int node) const { return adj_[node]; }
-    std::size_t num_edges() const;  // undirected count
+    /// Reserves staging capacity for `undirected` edges (2x directed).
+    void reserve_edges(std::size_t undirected);
+
+    /// The node's base (CSR) row. Finalizes lazily — the first read
+    /// after a mutation is not thread-safe; finalize() first when
+    /// handing the graph to parallel readers. Overlay edges are NOT
+    /// included; full iteration goes through for_each_neighbor.
+    EdgeSpan neighbors(int node) const {
+        if (dirty_) finalize();
+        return {edges_.data() + offsets_[static_cast<std::size_t>(node)],
+                edges_.data() + offsets_[static_cast<std::size_t>(node) + 1]};
+    }
+
+    /// Visits every edge out of `node`: the CSR base row first, then the
+    /// overlay row (matching build_snapshot's historical insertion
+    /// order: ISLs, then GSLs in ascending GS order).
+    template <typename Fn>
+    void for_each_neighbor(int node, Fn&& fn) const {
+        for (const Edge& e : neighbors(node)) fn(e);
+        if (overlay_enabled_) {
+            for (const Edge& e : overlay_[static_cast<std::size_t>(node)]) fn(e);
+        }
+    }
+
+    /// Undirected edge count across base + overlay. O(1): maintained by
+    /// add_undirected_edge / set_overlay_undirected_edges, never
+    /// recounted.
+    std::size_t num_edges() const { return base_undirected_ + overlay_undirected_; }
+
+    /// Compacts staged edges into the CSR arrays (no-op when clean).
+    /// Must be called (or a first read made) on a single thread before
+    /// the graph is shared with parallel readers.
+    void finalize() const;
+
+    // --- refresher support (base structure frozen, weights mutable) ----
+    /// Index into the packed edge array of the directed edge from -> to.
+    /// Requires a finalized graph; throws std::out_of_range if absent.
+    std::size_t directed_edge_index(int from, int to) const;
+    /// Overwrites the weight of one directed edge slot in place. Only
+    /// meaningful on a structure-frozen (overlay-enabled) graph: a later
+    /// add_undirected_edge would rebuild the CSR from staging and drop
+    /// the patch, which is why the two are mutually exclusive.
+    void set_edge_distance(std::size_t directed_index, double distance_km) {
+        edges_[directed_index].distance_km = distance_km;
+    }
+
+    /// Switches on the mutable overlay tier and freezes the base
+    /// structure. Idempotent.
+    void enable_overlay();
+    bool has_overlay() const { return overlay_enabled_; }
+    std::vector<Edge>& overlay_row(int node) {
+        return overlay_[static_cast<std::size_t>(node)];
+    }
+    const std::vector<Edge>& overlay(int node) const {
+        return overlay_[static_cast<std::size_t>(node)];
+    }
+    /// The refresher recounts its GSL rows after each delta patch.
+    void set_overlay_undirected_edges(std::size_t n) { overlay_undirected_ = n; }
 
     /// Whether a node may forward traffic that neither originates nor
     /// terminates at it. Satellites always relay.
-    bool can_relay(int node) const { return relay_[node]; }
-    void set_relay(int node, bool relay) { relay_[node] = relay; }
+    bool can_relay(int node) const { return relay_[static_cast<std::size_t>(node)]; }
+    void set_relay(int node, bool relay) {
+        relay_[static_cast<std::size_t>(node)] = relay;
+    }
+    /// Raw relay flags (one char per node), for flattened routing views.
+    const char* relay_data() const { return relay_.data(); }
+
+    /// Packs base + overlay rows into one merged CSR (offsets holds
+    /// num_nodes + 1 entries), each row in for_each_neighbor order.
+    /// A snapshot of the graph's current weights: the routing fan-out
+    /// reads the copy, so one flatten amortizes over every
+    /// per-destination Dijkstra of the epoch and the hot loop loses the
+    /// per-node overlay indirection. Finalizes lazily like any read.
+    void export_merged_csr(std::vector<std::int32_t>& offsets,
+                           std::vector<Edge>& edges) const;
 
   private:
     int num_satellites_;
-    std::vector<std::vector<Edge>> adj_;
+    int num_nodes_;
+    std::size_t base_undirected_ = 0;
+    std::size_t overlay_undirected_ = 0;
+
+    // Staging (source of truth for the base structure) + compacted CSR.
+    std::vector<std::int32_t> pending_from_;
+    std::vector<Edge> pending_edges_;
+    mutable bool dirty_ = true;
+    mutable std::vector<std::int32_t> offsets_;  // num_nodes_ + 1
+    mutable std::vector<Edge> edges_;            // packed, grouped by source
+
+    bool overlay_enabled_ = false;
+    std::vector<std::vector<Edge>> overlay_;
+
     std::vector<char> relay_;
 };
 
@@ -67,7 +179,8 @@ struct SnapshotOptions {
 
 /// Builds the graph at simulation time `t`: ISL edges with current
 /// satellite separation, plus GSL edges from every GS to every satellite
-/// above its minimum elevation angle.
+/// above its minimum elevation angle. The returned graph is finalized
+/// (safe to share with parallel readers).
 Graph build_snapshot(const topo::SatelliteMobility& mobility,
                      const std::vector<topo::Isl>& isls,
                      const std::vector<orbit::GroundStation>& ground_stations, TimeNs t,

@@ -23,6 +23,7 @@ Graph build_group_snapshot(const topo::ShellGroup& group,
     for (int relay_gs : options.relay_gs_indices) {
         g.set_relay(g.gs_node(relay_gs), true);
     }
+    g.finalize();
     return g;
 }
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <random>
 #include <set>
 #include <unordered_map>
 
 #include "src/orbit/coords.hpp"
+#include "src/routing/snapshot_refresh.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace hypatia::route {
@@ -35,25 +37,44 @@ AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
     snap_opts.gs_nearest_satellite_only = options.gs_nearest_satellite_only;
     snap_opts.gsl_range_factor = options.gsl_range_factor;
 
+    // Refresh mode (the default) keeps one graph alive for the whole
+    // window and delta-patches it per step; rebuild mode reconstructs it
+    // from scratch (the legacy reference path). Outputs are identical.
+    std::optional<SnapshotRefresher> refresher;
+    if (snapshot_mode_from_env() == SnapshotMode::kRefresh) {
+        refresher.emplace(mobility, isls, ground_stations, snap_opts);
+    }
+
+    // One tree slot per destination, in dest_list order, recycled across
+    // steps (the workspace fully overwrites each buffer per run).
+    std::vector<DestinationTree> trees(dest_list.size());
+    std::unordered_map<int, std::size_t> tree_slot;
+    tree_slot.reserve(dest_list.size());
+    for (std::size_t i = 0; i < dest_list.size(); ++i) tree_slot.emplace(dest_list[i], i);
+
     for (TimeNs t = options.t_start; t < options.t_end; t += options.step) {
         result.step_times.push_back(t);
-        const Graph g = build_snapshot(mobility, isls, ground_stations, t, snap_opts);
+        std::optional<Graph> rebuilt;
+        if (!refresher) {
+            rebuilt.emplace(build_snapshot(mobility, isls, ground_stations, t, snap_opts));
+        }
+        const Graph& g = refresher ? refresher->refresh(t) : *rebuilt;
 
-        // Per-destination Dijkstra fan-out on the pool; trees land in
-        // dest_list order, so downstream folds see identical state at
-        // any thread count.
-        std::unordered_map<int, DestinationTree> trees;
-        util::ordered_reduce<DestinationTree>(
-            dest_list.size(), /*chunk=*/1,
-            [&](std::size_t i) { return dijkstra_to(g, g.gs_node(dest_list[i])); },
-            [&](std::size_t i, DestinationTree tree) {
-                trees.emplace(dest_list[i], std::move(tree));
+        // Per-destination Dijkstra fan-out on the pool; slot i holds the
+        // tree for dest_list[i], so downstream folds see identical state
+        // at any thread count.
+        util::ThreadPool::global().parallel_for(
+            dest_list.size(), /*chunk=*/1, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    thread_dijkstra_workspace().run(g, g.gs_node(dest_list[i]),
+                                                    trees[i]);
+                }
             });
 
         int changes_this_step = 0;
         for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
             const auto& pair = pairs[pi];
-            const auto& tree = trees.at(pair.dst_gs);
+            const auto& tree = trees[tree_slot.at(pair.dst_gs)];
             const int src_node = g.gs_node(pair.src_gs);
             auto& stats = result.pair_stats[pi];
             ++stats.total_steps;

@@ -2,9 +2,11 @@
 // the paper's Figs 3 (computed RTT), 6-8 (RTT/geodesic CDFs, path-change
 // CDFs), 9 (time-step granularity) and 13 (paths at RTT extremes).
 //
-// The analysis steps a clock from t0 to t1, rebuilds the topology
-// snapshot at each step, runs Dijkstra rooted at every destination that
-// appears in the pair list, and folds per-pair statistics.
+// The analysis steps a clock from t0 to t1, brings the topology snapshot
+// to each step (in-place refresh by default, full rebuild under
+// HYPATIA_SNAPSHOT_MODE=rebuild — outputs are identical), runs Dijkstra
+// rooted at every destination that appears in the pair list, and folds
+// per-pair statistics.
 #pragma once
 
 #include <functional>

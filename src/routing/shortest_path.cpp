@@ -1,50 +1,216 @@
 #include "src/routing/shortest_path.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <bit>
+#include <cstdint>
 
 #include "src/obs/observability.hpp"
 
 namespace hypatia::route {
 
-DestinationTree dijkstra_to(const Graph& graph, int destination) {
+namespace {
+
+// Bucket indices derive from key / width; the widths are powers of two,
+// so multiplying by the exact reciprocal is bit-identical to dividing
+// and roughly 20 cycles cheaper on the hot path.
+constexpr double kInvCoarse = 1.0 / 512.0;
+constexpr double kInvFine = 1.0 / 8.0;
+
+// Keys whose coarse bin index would not round-trip through int64/double
+// arithmetic (> ~2^63 buckets). No physical distance gets here; the
+// guard only keeps degenerate inputs out of undefined casts.
+constexpr double kMaxBinnableBin = 9.0e18;
+
+inline int clamp_slot(std::int64_t s) {
+    return static_cast<int>(std::clamp<std::int64_t>(s, 0, 63));
+}
+
+}  // namespace
+
+void DijkstraWorkspace::push(double key, std::int32_t node) {
+    ++live_;
+    if (!(key < horizon_km_)) {  // also routes inf (and any NaN) to the spill list
+        overflow_.push_back({key, node});
+        return;
+    }
+    const double scaled = key * kInvCoarse;
+    if (!(scaled < kMaxBinnableBin)) {
+        overflow_.push_back({key, node});
+        return;
+    }
+    const auto bin = static_cast<std::int64_t>(scaled);
+    if (bin == fine_base_) {
+        const int s =
+            clamp_slot(static_cast<std::int64_t>((key - fine_base_km_) * kInvFine));
+        fine_[s].push_back({key, node});
+        fine_mask_ |= (1ull << s);
+    } else {
+        // With non-negative weights every new key is >= the cursor, so
+        // bin >= coarse_origin_; the clamp only defends slot arithmetic
+        // against out-of-contract (negative-weight) graphs.
+        const int s = clamp_slot(bin - coarse_origin_);
+        coarse_[s].push_back({key, node});
+        coarse_mask_ |= (1ull << s);
+    }
+}
+
+DijkstraWorkspace::Item DijkstraWorkspace::pop_min() {
+    for (;;) {
+        if (fine_mask_ != 0) {
+            const int s = std::countr_zero(fine_mask_);
+            auto& bucket = fine_[s];
+            // Exact (key, node) min of the bucket. Non-negative doubles
+            // order the same as their bit patterns, so the scan compares
+            // integers branchlessly instead of stalling on FP compares.
+            std::size_t mi = 0;
+            auto mk = std::bit_cast<std::uint64_t>(bucket[0].key);
+            std::int32_t mn = bucket[0].node;
+            for (std::size_t i = 1; i < bucket.size(); ++i) {
+                const auto k = std::bit_cast<std::uint64_t>(bucket[i].key);
+                const bool lt = (k < mk) | ((k == mk) & (bucket[i].node < mn));
+                mi = lt ? i : mi;
+                mk = lt ? k : mk;
+                mn = lt ? bucket[i].node : mn;
+            }
+            const Item min = bucket[mi];
+            bucket[mi] = bucket.back();
+            bucket.pop_back();
+            if (bucket.empty()) fine_mask_ &= ~(1ull << s);
+            --live_;
+            return min;
+        }
+        if (coarse_mask_ != 0) {
+            // Expand the first occupied coarse bin into the fine tier;
+            // each entry moves at most twice (coarse -> fine -> popped).
+            const int s = std::countr_zero(coarse_mask_);
+            auto& bucket = coarse_[s];
+            fine_base_ = coarse_origin_ + s;
+            fine_base_km_ = static_cast<double>(fine_base_) * kCoarseWidthKm;
+            const double base = fine_base_km_;
+            for (const Item& it : bucket) {
+                const int t =
+                    clamp_slot(static_cast<std::int64_t>((it.key - base) * kInvFine));
+                fine_[t].push_back(it);
+                fine_mask_ |= (1ull << t);
+            }
+            bucket.clear();
+            coarse_mask_ &= ~(1ull << s);
+            continue;
+        }
+        // Only spilled keys remain: advance the horizon to the smallest
+        // one and re-bin. Unbinnable keys (inf or astronomically large)
+        // are popped straight out of the spill list by exact linear scan
+        // instead, which preserves the (key, node) order without casts.
+        double m = overflow_[0].key;
+        for (const Item& it : overflow_) m = std::min(m, it.key);
+        if (!(m * kInvCoarse < kMaxBinnableBin)) {
+            std::size_t mi = 0;
+            for (std::size_t i = 1; i < overflow_.size(); ++i) {
+                const Item& a = overflow_[i];
+                const Item& b = overflow_[mi];
+                if (a.key < b.key || (a.key == b.key && a.node < b.node)) mi = i;
+            }
+            const Item min = overflow_[mi];
+            overflow_[mi] = overflow_.back();
+            overflow_.pop_back();
+            --live_;
+            return min;
+        }
+        coarse_origin_ = static_cast<std::int64_t>(m * kInvCoarse);
+        horizon_km_ = static_cast<double>(coarse_origin_ + 64) * kCoarseWidthKm;
+        fine_base_ = -1;
+        fine_base_km_ = -kCoarseWidthKm;
+        std::vector<Item> spill;
+        spill.swap(overflow_);
+        live_ -= spill.size();
+        for (const Item& it : spill) push(it.key, it.node);
+        overflow_.reserve(spill.capacity());
+    }
+}
+
+template <typename NeighborsFn, typename RelayFn>
+void DijkstraWorkspace::run_core(int num_nodes, int destination,
+                                 NeighborsFn&& neighbors_of, RelayFn&& relay,
+                                 DestinationTree& out) {
     HYPATIA_PROFILE_SCOPE("routing.dijkstra");
     static obs::Counter* const runs_metric =
         &obs::metrics().counter("route.dijkstra_runs");
     runs_metric->inc();
-    const auto n = static_cast<std::size_t>(graph.num_nodes());
-    DestinationTree tree;
-    tree.destination = destination;
-    tree.distance_km.assign(n, kInfDistance);
-    tree.next_hop.assign(n, -1);
+    const auto n = static_cast<std::size_t>(num_nodes);
+    out.destination = destination;
+    out.distance_km.assign(n, kInfDistance);
+    out.next_hop.assign(n, -1);
+    for (auto& bucket : coarse_) bucket.clear();
+    for (auto& bucket : fine_) bucket.clear();
+    overflow_.clear();
+    coarse_mask_ = 0;
+    fine_mask_ = 0;
+    coarse_origin_ = 0;
+    fine_base_ = -1;
+    horizon_km_ = 64.0 * kCoarseWidthKm;
+    fine_base_km_ = -kCoarseWidthKm;
+    live_ = 0;
+    double* const dist = out.distance_km.data();
+    int* const next_hop = out.next_hop.data();
 
-    using QueueItem = std::pair<double, int>;  // (distance, node)
-    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
-    std::vector<char> done(n, 0);
+    // Lazy insertion: every strict improvement pushes a fresh entry and
+    // strands the old one, which pops later with a key above the node's
+    // final distance and is skipped. Only transit-capable nodes are ever
+    // queued — a non-relay node is never expanded regardless (it may end
+    // a path but not carry one), and its distance/next_hop are written
+    // during relaxation from its settled neighbors, so keeping it out of
+    // the queue changes no output byte.
+    dist[destination] = 0.0;
+    push(0.0, destination);
 
-    tree.distance_km[static_cast<std::size_t>(destination)] = 0.0;
-    pq.push({0.0, destination});
-
-    while (!pq.empty()) {
-        const auto [dist, u] = pq.top();
-        pq.pop();
-        const auto ui = static_cast<std::size_t>(u);
-        if (done[ui]) continue;
-        done[ui] = 1;
-        // Non-transit nodes may terminate at the destination but not relay:
-        // once settled, their edges are not expanded (unless they are the
-        // destination itself, whose edges are the last hops of all paths).
-        if (u != destination && !graph.can_relay(u)) continue;
-        for (const Edge& e : graph.neighbors(u)) {
+    while (live_ != 0) {
+        const Item top = pop_min();
+        const auto u = static_cast<std::size_t>(top.node);
+        // A live (not yet superseded) entry always carries the node's
+        // current tentative distance; anything else is a stranded
+        // duplicate. Settled nodes cannot be improved afterwards (edge
+        // weights are non-negative), so this also filters re-pops.
+        if (top.key != dist[u]) continue;
+        const double du = top.key;
+        neighbors_of(top.node, [&](const Edge& e) {
             const auto vi = static_cast<std::size_t>(e.to);
-            const double nd = dist + e.distance_km;
-            if (nd < tree.distance_km[vi]) {
-                tree.distance_km[vi] = nd;
-                tree.next_hop[vi] = u;
-                pq.push({nd, e.to});
-            }
-        }
+            const double nd = du + e.distance_km;
+            const bool improved = nd < dist[vi];
+            dist[vi] = improved ? nd : dist[vi];
+            next_hop[vi] = improved ? top.node : next_hop[vi];
+            if (improved && relay(e.to)) push(nd, e.to);
+        });
     }
+}
+
+void DijkstraWorkspace::run(const Graph& graph, int destination,
+                            DestinationTree& out) {
+    run_core(
+        graph.num_nodes(), destination,
+        [&graph](int node, auto&& fn) { graph.for_each_neighbor(node, fn); },
+        [&graph](int node) { return graph.can_relay(node); }, out);
+}
+
+void DijkstraWorkspace::run(const GraphView& view, int destination,
+                            DestinationTree& out) {
+    run_core(
+        view.num_nodes, destination,
+        [&view](int node, auto&& fn) {
+            const Edge* e = view.edges + view.offsets[node];
+            const Edge* const end = view.edges + view.offsets[node + 1];
+            for (; e != end; ++e) fn(*e);
+        },
+        [&view](int node) { return view.relay[node] != 0; }, out);
+}
+
+DijkstraWorkspace& thread_dijkstra_workspace() {
+    thread_local DijkstraWorkspace workspace;
+    return workspace;
+}
+
+DestinationTree dijkstra_to(const Graph& graph, int destination) {
+    DestinationTree tree;
+    thread_dijkstra_workspace().run(graph, destination, tree);
     return tree;
 }
 
@@ -73,10 +239,10 @@ std::vector<std::vector<double>> floyd_warshall(const Graph& graph) {
     std::vector<std::vector<double>> dist(n, std::vector<double>(n, kInfDistance));
     for (std::size_t i = 0; i < n; ++i) {
         dist[i][i] = 0.0;
-        for (const Edge& e : graph.neighbors(static_cast<int>(i))) {
+        graph.for_each_neighbor(static_cast<int>(i), [&](const Edge& e) {
             dist[i][static_cast<std::size_t>(e.to)] =
                 std::min(dist[i][static_cast<std::size_t>(e.to)], e.distance_km);
-        }
+        });
     }
     for (std::size_t k = 0; k < n; ++k) {
         if (!graph.can_relay(static_cast<int>(k))) continue;

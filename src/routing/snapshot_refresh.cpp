@@ -1,0 +1,250 @@
+#include "src/routing/snapshot_refresh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/obs/observability.hpp"
+#include "src/topology/visibility.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace hypatia::route {
+
+namespace {
+
+// Cull-bound decay: a satellite measured slack_km beyond the horizon
+// bound cannot close the gap faster than ~15.2 km/s (1000/66 ms per km).
+// ECEF closing speed on a fixed ground station is bounded by the
+// satellite's ECEF speed: LEO orbital velocity (< 7.8 km/s for every
+// shell in the catalog) plus Earth-rotation carry (< 0.6 km/s), so the
+// constant carries an ~80% safety margin. Within the bound's window the
+// satellite provably still fails the scan's cheap-rejection test, so
+// skipping it cannot change any output byte.
+constexpr double kCullMsPerKm = 66.0;
+
+// Refresh times at/beyond this can't be tracked in the 32-bit ms bound
+// array; culling simply switches off (every pair rechecked each epoch).
+constexpr TimeNs kCullHorizonNs = TimeNs{0xf0000000} * 1'000'000;
+
+}  // namespace
+
+SnapshotMode snapshot_mode_from_env() {
+    const char* v = std::getenv("HYPATIA_SNAPSHOT_MODE");
+    if (v != nullptr && std::strcmp(v, "rebuild") == 0) return SnapshotMode::kRebuild;
+    return SnapshotMode::kRefresh;
+}
+
+SnapshotRefresher::SnapshotRefresher(
+    const topo::SatelliteMobility& mobility, const std::vector<topo::Isl>& isls,
+    const std::vector<orbit::GroundStation>& ground_stations, SnapshotOptions options)
+    : mobility_(&mobility),
+      isls_(&isls),
+      ground_stations_(&ground_stations),
+      options_(std::move(options)),
+      graph_(mobility.num_satellites(), static_cast<int>(ground_stations.size())) {
+    if (options_.include_isls) {
+        graph_.reserve_edges(isls.size());
+        // Structure only; the first refresh() fills in real distances.
+        for (const auto& isl : isls) {
+            graph_.add_undirected_edge(isl.sat_a, isl.sat_b, 0.0);
+        }
+        graph_.finalize();
+        isl_slots_.reserve(isls.size());
+        for (const auto& isl : isls) {
+            isl_slots_.emplace_back(graph_.directed_edge_index(isl.sat_a, isl.sat_b),
+                                    graph_.directed_edge_index(isl.sat_b, isl.sat_a));
+        }
+    }
+    graph_.enable_overlay();
+    for (int relay_gs : options_.relay_gs_indices) {
+        graph_.set_relay(graph_.gs_node(relay_gs), true);
+    }
+
+    horizon_range_km_ = topo::horizon_range_km(mobility);
+    shell_max_range_km_ = mobility.constellation().params().max_gsl_range_km();
+    constexpr double kDegToRad = M_PI / 180.0;
+    gs_frames_.reserve(ground_stations.size());
+    for (const auto& gs : ground_stations) {
+        const double lat = gs.geodetic().latitude_deg * kDegToRad;
+        const double lon = gs.geodetic().longitude_deg * kDegToRad;
+        const double sin_lat = std::sin(lat), cos_lat = std::cos(lat);
+        const double sin_lon = std::sin(lon), cos_lon = std::cos(lon);
+        gs_frames_.push_back(
+            {gs.ecef(), cos_lat * cos_lon, cos_lat * sin_lon, sin_lat});
+    }
+    const std::size_t num_gs = ground_stations.size();
+    const auto num_sats = static_cast<std::size_t>(mobility.num_satellites());
+    not_before_ms_.assign(num_gs * num_sats, 0);
+    fresh_rows_.resize(num_gs);
+    sky_scratch_.resize(num_gs);
+}
+
+void SnapshotRefresher::scan_gsl_row(int gs_index, TimeNs t, std::uint32_t now_ms,
+                                     bool cull, std::vector<Edge>& row) {
+    // Reproduces the full visibility scan (topo::visible_satellites_warm
+    // -> scan_sky) bit for bit, with two shortcuts that provably change
+    // nothing:
+    //   * satellites inside an unexpired cull bound are skipped — the
+    //     bound certifies they still fail scan_sky's cheap range
+    //     rejection;
+    //   * the elevation >= 0 listing test reduces to the sign of the
+    //     zenith (SEZ) component — asin and the positive rad->deg scale
+    //     are sign-exact — so no per-satellite trig is needed, and
+    //     range_km is the same delta-norm scan_sky computes.
+    // The candidates enter std::sort in the same order with the same
+    // keys as scan_sky's entries, so the (unstable) sort applies the
+    // same permutation and the connectable prefix is identical.
+    double max_range = shell_max_range_km_;
+    if (options_.gsl_range_factor) {
+        max_range *= options_.gsl_range_factor(gs_index, t);
+    }
+    const GsFrame& frame = gs_frames_[static_cast<std::size_t>(gs_index)];
+    const int num_sats = mobility_->num_satellites();
+    std::uint32_t* bounds =
+        not_before_ms_.data() +
+        static_cast<std::size_t>(gs_index) * static_cast<std::size_t>(num_sats);
+    auto& cand = sky_scratch_[static_cast<std::size_t>(gs_index)];
+    cand.clear();
+    for (int sat = 0; sat < num_sats; ++sat) {
+        if (cull && now_ms < bounds[sat]) continue;
+        const Vec3 delta = sat_positions_[static_cast<std::size_t>(sat)] - frame.ecef;
+        const double d = delta.norm();
+        if (d > horizon_range_km_) {
+            if (cull) {
+                const double expiry =
+                    static_cast<double>(now_ms) + (d - horizon_range_km_) * kCullMsPerKm;
+                bounds[sat] = expiry >= 4294967295.0
+                                  ? 0xffffffffu
+                                  : static_cast<std::uint32_t>(expiry);
+            }
+            continue;
+        }
+        bounds[sat] = 0;  // near the cone: recheck every epoch
+        const double zenith = frame.zenith_x * delta.x + frame.zenith_y * delta.y +
+                              frame.zenith_z * delta.z;
+        if (zenith < 0.0) continue;  // below the horizon plane
+        cand.push_back({sat, d});
+    }
+    std::sort(cand.begin(), cand.end(), [](const SkyCandidate& a, const SkyCandidate& b) {
+        return a.range_km < b.range_km;
+    });
+    row.clear();
+    for (const SkyCandidate& c : cand) {
+        if (c.range_km > shell_max_range_km_) break;  // ascending: rest unconnectable
+        if (c.range_km > max_range) break;  // weather-shrunk cone
+        row.push_back({c.sat, c.range_km});
+        if (options_.gs_nearest_satellite_only) break;
+    }
+}
+
+void SnapshotRefresher::patch_gs_row(int gs_index, const std::vector<Edge>& fresh) {
+    const int gs_node = graph_.gs_node(gs_index);
+    std::vector<Edge>& row = graph_.overlay_row(gs_node);
+    // Satellite-side overlay rows are kept sorted by GS node id, which
+    // reproduces build_snapshot's ascending-GS insertion order.
+    for (const Edge& old : row) {
+        std::vector<Edge>& sat_row = graph_.overlay_row(old.to);
+        const auto it = std::find_if(sat_row.begin(), sat_row.end(),
+                                     [&](const Edge& e) { return e.to == gs_node; });
+        sat_row.erase(it);
+    }
+    for (const Edge& e : fresh) {
+        std::vector<Edge>& sat_row = graph_.overlay_row(e.to);
+        const auto at = std::lower_bound(
+            sat_row.begin(), sat_row.end(), gs_node,
+            [](const Edge& lhs, int node) { return lhs.to < node; });
+        sat_row.insert(at, {gs_node, e.distance_km});
+    }
+    row.assign(fresh.begin(), fresh.end());
+}
+
+const Graph& SnapshotRefresher::refresh(TimeNs t) {
+    HYPATIA_PROFILE_SCOPE("routing.snapshot_refresh");
+    static obs::Counter* const refresh_metric =
+        &obs::metrics().counter("route.snapshot_refresh");
+    static obs::Counter* const patched_metric =
+        &obs::metrics().counter("route.gsl_rows_patched");
+    refresh_metric->inc();
+
+    mobility_->warm_cache(t);
+
+    // 0. Flatten this epoch's satellite positions: every consumer below
+    // (ISL weights, all GS scans) reads the same position, so
+    // interpolate each satellite once instead of once per (GS, sat).
+    const int num_sats = mobility_->num_satellites();
+    sat_positions_.resize(static_cast<std::size_t>(num_sats));
+    for (int sat = 0; sat < num_sats; ++sat) {
+        sat_positions_[static_cast<std::size_t>(sat)] =
+            mobility_->position_ecef_warm(sat, t);
+    }
+
+    // Cull bounds are one-sided (forward in time); a backwards jump
+    // invalidates them all. Times beyond the 32-bit ms horizon disable
+    // culling outright rather than risk a saturated stale bound.
+    const bool cull = t >= 0 && t < kCullHorizonNs;
+    if (t < last_refresh_t_) {
+        std::fill(not_before_ms_.begin(), not_before_ms_.end(), 0u);
+    }
+    last_refresh_t_ = t;
+    const std::uint32_t now_ms =
+        cull ? static_cast<std::uint32_t>(t / 1'000'000) : 0;
+
+    // 1. ISL weights in place (structure untouched).
+    if (options_.include_isls) {
+        for (std::size_t i = 0; i < isls_->size(); ++i) {
+            const auto& isl = (*isls_)[i];
+            const double d =
+                sat_positions_[static_cast<std::size_t>(isl.sat_a)].distance_to(
+                    sat_positions_[static_cast<std::size_t>(isl.sat_b)]);
+            graph_.set_edge_distance(isl_slots_[i].first, d);
+            graph_.set_edge_distance(isl_slots_[i].second, d);
+        }
+    }
+
+    // 2. Parallel visibility rescan: per-GS rows, cull bounds and
+    // scratch are disjoint slots and the flattened positions are
+    // read-only, so the scan fans out on the pool; results land in GS
+    // order regardless of scheduling.
+    const std::size_t num_gs = ground_stations_->size();
+    util::ThreadPool::global().parallel_for(
+        num_gs, /*chunk=*/1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t gi = begin; gi < end; ++gi) {
+                scan_gsl_row(static_cast<int>(gi), t, now_ms, cull, fresh_rows_[gi]);
+            }
+        });
+
+    // 3. Delta patch: rows with an unchanged satellite set only get
+    // their ranges overwritten; structurally changed rows are re-linked
+    // on both sides.
+    last_rows_patched_ = 0;
+    std::size_t overlay_undirected = 0;
+    for (std::size_t gi = 0; gi < num_gs; ++gi) {
+        const std::vector<Edge>& fresh = fresh_rows_[gi];
+        const int gs_node = graph_.gs_node(static_cast<int>(gi));
+        std::vector<Edge>& row = graph_.overlay_row(gs_node);
+        const bool same_sats =
+            row.size() == fresh.size() &&
+            std::equal(row.begin(), row.end(), fresh.begin(),
+                       [](const Edge& a, const Edge& b) { return a.to == b.to; });
+        if (same_sats) {
+            for (std::size_t j = 0; j < row.size(); ++j) {
+                row[j].distance_km = fresh[j].distance_km;
+                std::vector<Edge>& sat_row = graph_.overlay_row(row[j].to);
+                const auto it =
+                    std::find_if(sat_row.begin(), sat_row.end(),
+                                 [&](const Edge& e) { return e.to == gs_node; });
+                it->distance_km = fresh[j].distance_km;
+            }
+        } else {
+            patch_gs_row(static_cast<int>(gi), fresh);
+            ++last_rows_patched_;
+        }
+        overlay_undirected += fresh.size();
+    }
+    graph_.set_overlay_undirected_edges(overlay_undirected);
+    patched_metric->inc(last_rows_patched_);
+    return graph_;
+}
+
+}  // namespace hypatia::route

@@ -1,0 +1,105 @@
+// Zero-rebuild epoch pipeline (DESIGN.md "Snapshot and routing memory
+// layout"). A constellation's ISL edge *structure* is fixed — only the
+// weights (satellite separations) and the GSL visibility sets change
+// between 100 ms epochs. The SnapshotRefresher exploits that: it builds
+// the CSR base graph once per (constellation, GS set), then per epoch
+//   1. overwrites the ISL edge weights in place (no allocation, no
+//      re-sorting — the directed slot indices are recorded up front),
+//   2. rescans GS-satellite visibility in parallel (race-free warm
+//      reads), and
+//   3. delta-patches only the GSL overlay rows whose visibility set
+//      actually changed, updating ranges in place otherwise.
+// Outputs are byte-identical to build_snapshot() at any thread count;
+// the equivalence suite (tests/test_parallel_equivalence.cpp) pins it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "src/routing/graph.hpp"
+#include "src/util/vec3.hpp"
+
+namespace hypatia::route {
+
+/// Per-epoch snapshot strategy of the epoch consumers (analyze_pairs,
+/// flowsim::Engine, core::LeoNetwork): rebuild the graph from scratch
+/// every epoch (the legacy reference path) or refresh one graph in
+/// place. Selected by HYPATIA_SNAPSHOT_MODE=rebuild|refresh; refresh is
+/// the default.
+enum class SnapshotMode { kRebuild, kRefresh };
+SnapshotMode snapshot_mode_from_env();
+
+class SnapshotRefresher {
+  public:
+    /// The referenced mobility, ISL list and GS list must outlive the
+    /// refresher (they are the quasi-static inputs the graph is built
+    /// over). `options` is captured by value, weather hook included.
+    SnapshotRefresher(const topo::SatelliteMobility& mobility,
+                      const std::vector<topo::Isl>& isls,
+                      const std::vector<orbit::GroundStation>& ground_stations,
+                      SnapshotOptions options = {});
+
+    /// Brings the graph to time `t` and returns it. Not re-entrant.
+    const Graph& refresh(TimeNs t);
+
+    const Graph& graph() const { return graph_; }
+
+    /// GSL rows whose visibility set changed structurally during the
+    /// last refresh() (every row counts on the first call).
+    std::size_t last_rows_patched() const { return last_rows_patched_; }
+
+  private:
+    void scan_gsl_row(int gs_index, TimeNs t, std::uint32_t now_ms, bool cull,
+                      std::vector<Edge>& row);
+    void patch_gs_row(int gs_index, const std::vector<Edge>& fresh);
+
+    const topo::SatelliteMobility* mobility_;
+    const std::vector<topo::Isl>* isls_;
+    const std::vector<orbit::GroundStation>* ground_stations_;
+    SnapshotOptions options_;
+
+    Graph graph_;
+    /// Directed CSR slots of each ISL (a->b, b->a), for in-place weight
+    /// updates.
+    std::vector<std::pair<std::size_t, std::size_t>> isl_slots_;
+    std::size_t last_rows_patched_ = 0;
+
+    /// Per-GS constants the visibility rescan needs every epoch: the
+    /// ECEF position and the zenith row of the SEZ rotation (the only
+    /// part of the look-angle transform whose sign decides "above the
+    /// horizon"). Precomputing the row reproduces look_angles()'s
+    /// elevation >= 0 test bit-exactly without any per-satellite trig.
+    struct GsFrame {
+        Vec3 ecef;
+        double zenith_x, zenith_y, zenith_z;
+    };
+    /// One listing candidate of the rescan, ordered exactly as the full
+    /// sky scan orders SkyEntry (the sort comparator reads only
+    /// range_km, so the lighter element produces the same permutation).
+    struct SkyCandidate {
+        std::int32_t sat;
+        double range_km;
+    };
+
+    std::vector<GsFrame> gs_frames_;
+    double horizon_range_km_ = 0.0;
+    double shell_max_range_km_ = 0.0;
+    /// Flat ECEF satellite positions at the current refresh time: one
+    /// interpolation per satellite per epoch instead of one per
+    /// (GS, satellite) pair.
+    std::vector<Vec3> sat_positions_;
+    /// Temporal-coherence cull bounds, indexed gs * num_sats + sat: the
+    /// epoch-time (ms) before which the satellite provably stays beyond
+    /// horizon_range_km_ of the GS (0 = must recheck). Maintained only
+    /// while refresh times move forward; a backwards jump resets them.
+    std::vector<std::uint32_t> not_before_ms_;
+    /// Per-GS reusable buffers (disjoint slots under the parallel scan),
+    /// so a steady-state refresh allocates nothing.
+    std::vector<std::vector<Edge>> fresh_rows_;
+    std::vector<std::vector<SkyCandidate>> sky_scratch_;
+    TimeNs last_refresh_t_ = std::numeric_limits<TimeNs>::min();
+};
+
+}  // namespace hypatia::route

@@ -31,13 +31,43 @@ const Vec3& SatelliteMobility::position_ecef(int sat_id, TimeNs t) const {
         cache_fills_metric_->inc();
         e.bucket_start = bucket;
         e.at_start = position_ecef_exact(sat_id, bucket);
+        e.at_end_valid = false;
+    }
+    if (t == bucket) {
+        // On the boundary the interpolation weight is zero, so the
+        // bucket-end endpoint contributes nothing — skip propagating it.
+        e.interpolated = e.at_start;
+        e.last_query = t;
+        return e.interpolated;
+    }
+    if (!e.at_end_valid) {
+        HYPATIA_PROFILE_SCOPE_SAMPLED("propagation.sgp4", 16);
         e.at_end = position_ecef_exact(sat_id, bucket + quantum_);
+        e.at_end_valid = true;
     }
     const double frac =
         static_cast<double>(t - bucket) / static_cast<double>(quantum_);
     e.interpolated = e.at_start + (e.at_end - e.at_start) * frac;
     e.last_query = t;
     return e.interpolated;
+}
+
+Vec3 SatelliteMobility::position_ecef_warm(int sat_id, TimeNs t) const {
+    const CacheEntry& e = cache_[static_cast<std::size_t>(sat_id)];
+    const TimeNs bucket = (t / quantum_) * quantum_;
+    const bool have_start = e.bucket_start == bucket;
+    if (have_start && t == bucket) return e.at_start;  // zero-weight endpoint
+    const double frac =
+        static_cast<double>(t - bucket) / static_cast<double>(quantum_);
+    if (have_start && e.at_end_valid) {
+        return e.at_start + (e.at_end - e.at_start) * frac;
+    }
+    // Cold bucket (or deferred endpoint): same endpoints and
+    // interpolation as the fill path, recomputed without writing the
+    // shared entry.
+    const Vec3 at_start = have_start ? e.at_start : position_ecef_exact(sat_id, bucket);
+    const Vec3 at_end = position_ecef_exact(sat_id, bucket + quantum_);
+    return at_start + (at_end - at_start) * frac;
 }
 
 void SatelliteMobility::warm_cache(TimeNs t) const {

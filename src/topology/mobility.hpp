@@ -36,6 +36,15 @@ class SatelliteMobility {
     /// each entry is a deterministic function of (sat_id, time bucket).
     void warm_cache(TimeNs t) const;
 
+    /// Read-only position lookup: interpolates from the cached bucket
+    /// WITHOUT touching the per-entry memo, so any number of threads may
+    /// call it concurrently for any sat ids (position_ecef mutates the
+    /// memo even on a hit). Values are bit-identical to position_ecef:
+    /// same bucket endpoints, same interpolation. When the bucket is
+    /// cold (no warm_cache(t) beforehand) it recomputes the endpoints on
+    /// the fly — correct but slow, so warm first.
+    Vec3 position_ecef_warm(int sat_id, TimeNs t) const;
+
     /// Uncached exact position (propagate + rotate), for tests.
     Vec3 position_ecef_exact(int sat_id, TimeNs t) const;
 
@@ -49,6 +58,11 @@ class SatelliteMobility {
         Vec3 interpolated;  // value returned for the last query
         TimeNs last_query = -1;
         Vec3 at_end;
+        /// The bucket-end propagation is deferred until a query actually
+        /// interpolates (t off the bucket boundary): epoch pipelines that
+        /// sample on quantum multiples pay one SGP4 call per bucket, not
+        /// two.
+        bool at_end_valid = false;
     };
 
     const Constellation* constellation_;

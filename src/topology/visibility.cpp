@@ -9,17 +9,17 @@ namespace {
 
 std::vector<SkyEntry> scan_sky(const orbit::GroundStation& gs,
                                const SatelliteMobility& mobility, TimeNs t,
-                               double min_elevation_for_listing) {
+                               double min_elevation_for_listing,
+                               bool warm_reads = false) {
     // Connectability follows Hypatia's cone model: slant range at most
     // max_gsl_range_km() and the satellite above the horizon.
     const double max_range = mobility.constellation().params().max_gsl_range_km();
     std::vector<SkyEntry> out;
     const int n = mobility.num_satellites();
-    const double alt = mobility.constellation().params().altitude_km;
-    const double horizon_range =
-        std::sqrt(alt * (alt + 2.0 * orbit::Wgs72::kEarthRadiusKm)) + 100.0;
+    const double horizon_range = horizon_range_km(mobility);
     for (int sat = 0; sat < n; ++sat) {
-        const Vec3& pos = mobility.position_ecef(sat, t);
+        const Vec3 pos = warm_reads ? mobility.position_ecef_warm(sat, t)
+                                    : mobility.position_ecef(sat, t);
         // Cheap rejection: beyond line-of-sight range it cannot be above
         // the horizon (the +100 km pad absorbs ellipsoid effects).
         const double d = gs.ecef().distance_to(pos);
@@ -43,6 +43,14 @@ std::vector<SkyEntry> visible_satellites(const orbit::GroundStation& gs,
     return all;
 }
 
+std::vector<SkyEntry> visible_satellites_warm(const orbit::GroundStation& gs,
+                                              const SatelliteMobility& mobility,
+                                              TimeNs t) {
+    auto all = scan_sky(gs, mobility, t, 0.0, /*warm_reads=*/true);
+    std::erase_if(all, [](const SkyEntry& e) { return !e.connectable; });
+    return all;
+}
+
 std::vector<SkyEntry> sky_view(const orbit::GroundStation& gs,
                                const SatelliteMobility& mobility, TimeNs t) {
     return scan_sky(gs, mobility, t, 0.0);
@@ -51,6 +59,11 @@ std::vector<SkyEntry> sky_view(const orbit::GroundStation& gs,
 bool has_coverage(const orbit::GroundStation& gs, const SatelliteMobility& mobility,
                   TimeNs t) {
     return !visible_satellites(gs, mobility, t).empty();
+}
+
+double horizon_range_km(const SatelliteMobility& mobility) {
+    const double alt = mobility.constellation().params().altitude_km;
+    return std::sqrt(alt * (alt + 2.0 * orbit::Wgs72::kEarthRadiusKm)) + 100.0;
 }
 
 }  // namespace hypatia::topo

@@ -26,6 +26,15 @@ struct SkyEntry {
 std::vector<SkyEntry> visible_satellites(const orbit::GroundStation& gs,
                                          const SatelliteMobility& mobility, TimeNs t);
 
+/// Identical results to visible_satellites, but positions are read
+/// through SatelliteMobility::position_ecef_warm, which never mutates
+/// the mobility cache — safe for concurrent scans over many ground
+/// stations (the SnapshotRefresher's parallel GSL pass). Call
+/// mobility.warm_cache(t) first or every lookup re-propagates.
+std::vector<SkyEntry> visible_satellites_warm(const orbit::GroundStation& gs,
+                                              const SatelliteMobility& mobility,
+                                              TimeNs t);
+
 /// Full sky view: every satellite above the horizon (elevation >= 0), with
 /// the `connectable` flag set per the minimum elevation angle.
 std::vector<SkyEntry> sky_view(const orbit::GroundStation& gs,
@@ -34,5 +43,13 @@ std::vector<SkyEntry> sky_view(const orbit::GroundStation& gs,
 /// True if `gs` can connect to at least one satellite at time `t`.
 bool has_coverage(const orbit::GroundStation& gs, const SatelliteMobility& mobility,
                   TimeNs t);
+
+/// The cheap-rejection bound the visibility scans apply before any
+/// trigonometry: a satellite of this shell whose slant range exceeds the
+/// bound cannot be above the horizon (the pad absorbs ellipsoid
+/// effects). Exported so incremental scanners (SnapshotRefresher) can
+/// prove a satellite would be rejected without recomputing its range
+/// every epoch.
+double horizon_range_km(const SatelliteMobility& mobility);
 
 }  // namespace hypatia::topo

@@ -113,6 +113,28 @@ TEST(FloydWarshall, MatchesDijkstraOnRandomGraphs) {
     }
 }
 
+TEST(ExtractPath, UnreachableSourceReturnsEmpty) {
+    Graph g(2, 2);
+    g.add_undirected_edge(0, 3, 1.0);  // gs2 and sat1 isolated
+    const auto tree = dijkstra_to(g, 3);
+    EXPECT_TRUE(extract_path(tree, 2).empty());
+    EXPECT_TRUE(extract_path(tree, 1).empty());
+    // The destination itself is always "reachable" as a 1-node path.
+    ASSERT_EQ(extract_path(tree, 3).size(), 1u);
+}
+
+TEST(ExtractPath, CorruptedNextHopCycleReturnsEmpty) {
+    // A hand-corrupted tree whose next-hop chain loops 0 -> 1 -> 2 -> 0
+    // and never reaches the destination. The walk must detect the cycle
+    // (path longer than the node count) and return empty, not hang.
+    DestinationTree tree;
+    tree.destination = 3;
+    tree.next_hop = {1, 2, 0, 3};
+    tree.distance_km = {1.0, 1.0, 1.0, 0.0};
+    EXPECT_TRUE(extract_path(tree, 0).empty());
+    EXPECT_TRUE(extract_path(tree, 2).empty());
+}
+
 TEST(ExtractPath, EndpointsAndContiguity) {
     Graph g(5, 2);
     g.add_undirected_edge(5, 0, 1.0);

@@ -1,0 +1,264 @@
+// SnapshotRefresher correctness: the in-place refresh pipeline must be
+// indistinguishable — byte for byte — from rebuilding the snapshot from
+// scratch, under ISL weight drift, GSL visibility churn (weather cones),
+// relay flags and the nearest-satellite policy. Plus the
+// HYPATIA_SNAPSHOT_MODE plumbing through every epoch consumer.
+#include "src/routing/snapshot_refresh.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/leo_network.hpp"
+#include "src/flowsim/engine.hpp"
+#include "src/flowsim/traffic.hpp"
+#include "src/routing/forwarding.hpp"
+#include "src/routing/path_analysis.hpp"
+#include "src/topology/cities.hpp"
+#include "src/topology/constellation.hpp"
+#include "src/topology/isl.hpp"
+#include "src/topology/mobility.hpp"
+
+namespace hypatia {
+namespace {
+
+std::string fmt(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+// Serializes a graph through the same iteration the routing code uses,
+// so two graphs dump identically iff Dijkstra sees identical inputs.
+std::string dump_graph(const route::Graph& g) {
+    std::string out;
+    for (int node = 0; node < g.num_nodes(); ++node) {
+        out += std::to_string(node);
+        out += g.can_relay(node) ? "R:" : ":";
+        g.for_each_neighbor(node, [&](const route::Edge& e) {
+            out += " " + std::to_string(e.to) + "/" + fmt(e.distance_km);
+        });
+        out += "\n";
+    }
+    return out;
+}
+
+// Sets an environment variable for the enclosing scope, restoring by
+// unsetting (the unset default is refresh mode, same as the suite's).
+struct ScopedEnv {
+    explicit ScopedEnv(const char* name, const char* value) : name_(name) {
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+    const char* name_;
+};
+
+struct Substrate {
+    topo::Constellation constellation;
+    topo::SatelliteMobility mobility;
+    std::vector<topo::Isl> isls;
+    std::vector<orbit::GroundStation> gses;
+
+    Substrate()
+        : constellation(topo::shell_by_name("kuiper_k1"), topo::default_epoch()),
+          mobility(constellation),
+          isls(topo::build_isls(constellation, topo::IslPattern::kPlusGrid)),
+          gses(topo::top100_cities()) {
+        gses.erase(gses.begin() + 10, gses.end());
+    }
+};
+
+TEST(SnapshotMode, EnvParsing) {
+    {
+        ScopedEnv env("HYPATIA_SNAPSHOT_MODE", "rebuild");
+        EXPECT_EQ(route::snapshot_mode_from_env(), route::SnapshotMode::kRebuild);
+    }
+    {
+        ScopedEnv env("HYPATIA_SNAPSHOT_MODE", "refresh");
+        EXPECT_EQ(route::snapshot_mode_from_env(), route::SnapshotMode::kRefresh);
+    }
+    {
+        ScopedEnv env("HYPATIA_SNAPSHOT_MODE", "bogus");
+        EXPECT_EQ(route::snapshot_mode_from_env(), route::SnapshotMode::kRefresh);
+    }
+    ::unsetenv("HYPATIA_SNAPSHOT_MODE");
+    EXPECT_EQ(route::snapshot_mode_from_env(), route::SnapshotMode::kRefresh);
+}
+
+TEST(SnapshotRefresher, FirstRefreshMatchesBuildSnapshot) {
+    Substrate s;
+    route::SnapshotRefresher refresher(s.mobility, s.isls, s.gses);
+    const route::Graph& refreshed = refresher.refresh(0);
+    const route::Graph rebuilt = route::build_snapshot(s.mobility, s.isls, s.gses, 0);
+    EXPECT_EQ(dump_graph(refreshed), dump_graph(rebuilt));
+    EXPECT_EQ(refreshed.num_edges(), rebuilt.num_edges());
+    // Every GS with visibility counts as structurally patched on the
+    // first refresh (the overlay starts empty).
+    EXPECT_GT(refresher.last_rows_patched(), 0u);
+}
+
+TEST(SnapshotRefresher, RepeatRefreshAtSameTimePatchesNothing) {
+    Substrate s;
+    route::SnapshotRefresher refresher(s.mobility, s.isls, s.gses);
+    refresher.refresh(5 * kNsPerSec);
+    const std::string first = dump_graph(refresher.graph());
+    refresher.refresh(5 * kNsPerSec);
+    EXPECT_EQ(refresher.last_rows_patched(), 0u);
+    EXPECT_EQ(dump_graph(refresher.graph()), first);
+}
+
+TEST(SnapshotRefresher, TracksRebuildUnderVisibilityChurn) {
+    // Coarse 5 s strides plus an oscillating weather cone force real
+    // structural churn in the GSL rows; the refreshed graph must stay
+    // byte-identical to a from-scratch rebuild at every step, and the
+    // O(1) edge counter must track the true (ISL + GSL) edge count.
+    Substrate s;
+    route::SnapshotOptions opts;
+    opts.relay_gs_indices = {1};
+    opts.gsl_range_factor = [](int gs_index, TimeNs t) {
+        return 0.55 + 0.08 * static_cast<double>((gs_index + t / (5 * kNsPerSec)) % 6);
+    };
+    route::SnapshotRefresher refresher(s.mobility, s.isls, s.gses, opts);
+    std::size_t structurally_changed_steps = 0;
+    for (int step = 0; step < 12; ++step) {
+        const TimeNs t = step * 5 * kNsPerSec;
+        const route::Graph& refreshed = refresher.refresh(t);
+        const route::Graph rebuilt =
+            route::build_snapshot(s.mobility, s.isls, s.gses, t, opts);
+        ASSERT_EQ(dump_graph(refreshed), dump_graph(rebuilt)) << "step " << step;
+        ASSERT_EQ(refreshed.num_edges(), rebuilt.num_edges()) << "step " << step;
+        if (step > 0 && refresher.last_rows_patched() > 0) {
+            ++structurally_changed_steps;
+        }
+    }
+    // The churn hook must actually have exercised the delta-patch path.
+    EXPECT_GT(structurally_changed_steps, 0u);
+}
+
+TEST(SnapshotRefresher, NearestSatelliteOnlyMatchesRebuild) {
+    Substrate s;
+    route::SnapshotOptions opts;
+    opts.gs_nearest_satellite_only = true;
+    route::SnapshotRefresher refresher(s.mobility, s.isls, s.gses, opts);
+    for (int step = 0; step < 6; ++step) {
+        const TimeNs t = step * 10 * kNsPerSec;
+        const route::Graph& refreshed = refresher.refresh(t);
+        const route::Graph rebuilt =
+            route::build_snapshot(s.mobility, s.isls, s.gses, t, opts);
+        ASSERT_EQ(dump_graph(refreshed), dump_graph(rebuilt)) << "step " << step;
+    }
+}
+
+// --- Consumer plumbing ------------------------------------------------------
+
+std::string analysis_dump(const Substrate& s) {
+    const std::vector<route::GsPair> pairs = {{0, 5}, {1, 5}, {2, 7}, {3, 9}};
+    route::AnalysisOptions opts;
+    opts.t_start = 0;
+    opts.t_end = 12 * 100 * kNsPerMs;
+    opts.step = 100 * kNsPerMs;
+    std::string dump;
+    opts.per_step_observer = [&](TimeNs t, int pair, double rtt_s,
+                                 const std::vector<int>& path) {
+        dump += std::to_string(t) + "," + std::to_string(pair) + "," + fmt(rtt_s) + ",";
+        for (const int node : path) dump += std::to_string(node) + " ";
+        dump += "\n";
+    };
+    const auto result = route::analyze_pairs(s.mobility, s.isls, s.gses, pairs, opts);
+    for (std::size_t pi = 0; pi < result.pair_stats.size(); ++pi) {
+        const auto& st = result.pair_stats[pi];
+        dump += fmt(st.min_rtt_s) + "," + fmt(st.max_rtt_s) + "," +
+                std::to_string(st.path_changes) + "," +
+                std::to_string(st.unreachable_steps) + "\n";
+    }
+    return dump;
+}
+
+TEST(SnapshotModeConsumers, AnalyzePairsIdenticalInBothModes) {
+    Substrate s;
+    std::string rebuild_dump, refresh_dump;
+    {
+        ScopedEnv env("HYPATIA_SNAPSHOT_MODE", "rebuild");
+        rebuild_dump = analysis_dump(s);
+    }
+    {
+        ScopedEnv env("HYPATIA_SNAPSHOT_MODE", "refresh");
+        refresh_dump = analysis_dump(s);
+    }
+    EXPECT_FALSE(rebuild_dump.empty());
+    EXPECT_EQ(rebuild_dump, refresh_dump);
+}
+
+std::string flowsim_dump() {
+    core::Scenario scenario;
+    scenario.shell = topo::shell_by_name("kuiper_k1");
+    scenario.ground_stations = {topo::city_by_name("Manila"),
+                                topo::city_by_name("Dalian"),
+                                topo::city_by_name("Tokyo"),
+                                topo::city_by_name("Seoul")};
+    flowsim::PoissonTrafficConfig cfg;
+    cfg.num_gs = 4;
+    cfg.arrivals_per_s = 20.0;
+    cfg.mean_size_bits = 4e6;
+    cfg.window = 3 * kNsPerSec;
+    cfg.seed = 11;
+    flowsim::EngineOptions opts;
+    opts.epoch = 500 * kNsPerMs;
+    opts.duration = 5 * kNsPerSec;
+    opts.resolve_on_completion = true;
+    flowsim::Engine engine(scenario, flowsim::poisson_traffic(cfg), opts);
+    const auto summary = engine.run();
+    std::string dump;
+    for (std::size_t f = 0; f < summary.flows.size(); ++f) {
+        const auto& o = summary.flows[f];
+        dump += std::to_string(o.completion) + "," + fmt(o.bits_sent) + "," +
+                fmt(o.last_rate_bps) + "\n";
+    }
+    return dump;
+}
+
+TEST(SnapshotModeConsumers, FlowsimCompletionTimesIdenticalInBothModes) {
+    std::string rebuild_dump, refresh_dump;
+    {
+        ScopedEnv env("HYPATIA_SNAPSHOT_MODE", "rebuild");
+        rebuild_dump = flowsim_dump();
+    }
+    {
+        ScopedEnv env("HYPATIA_SNAPSHOT_MODE", "refresh");
+        refresh_dump = flowsim_dump();
+    }
+    EXPECT_FALSE(rebuild_dump.empty());
+    EXPECT_EQ(rebuild_dump, refresh_dump);
+}
+
+std::string leo_network_dump() {
+    core::Scenario s;
+    s.shell = topo::shell_by_name("kuiper_k1");
+    s.ground_stations = {topo::city_by_name("Manila"), topo::city_by_name("Dalian"),
+                         topo::city_by_name("Tokyo")};
+    core::LeoNetwork leo(s);
+    leo.add_destination(1);
+    leo.add_destination(2);
+    leo.run(500 * kNsPerMs);
+    return leo.current_fstate().dump_csv();
+}
+
+TEST(SnapshotModeConsumers, LeoNetworkFstateIdenticalInBothModes) {
+    std::string rebuild_dump, refresh_dump;
+    {
+        ScopedEnv env("HYPATIA_SNAPSHOT_MODE", "rebuild");
+        rebuild_dump = leo_network_dump();
+    }
+    {
+        ScopedEnv env("HYPATIA_SNAPSHOT_MODE", "refresh");
+        refresh_dump = leo_network_dump();
+    }
+    EXPECT_FALSE(rebuild_dump.empty());
+    EXPECT_EQ(rebuild_dump, refresh_dump);
+}
+
+}  // namespace
+}  // namespace hypatia

@@ -111,5 +111,42 @@ TEST(GsPolicyIntegration, NearestOnlyHasSingleGslEdge) {
     EXPECT_EQ(g.neighbors(g.gs_node(0))[0].to, vis[0].sat_id);
 }
 
+TEST(GsPolicyIntegration, NearestOnlyComposesWithWeatherCone) {
+    // Pins the nearest-satellite x weather-cone semantics: the policy
+    // considers the nearest *visible* satellite, and the (possibly
+    // rain-shrunk) cone then decides whether that satellite is
+    // connectable. A cone that excludes the nearest satellite leaves the
+    // GS disconnected — it must not fall through to a farther satellite
+    // that happens to sit inside the cone.
+    const Constellation k1(shell_by_name("kuiper_k1"), default_epoch());
+    const SatelliteMobility mob(k1);
+    const auto isls = build_isls(k1, IslPattern::kPlusGrid);
+    std::vector<orbit::GroundStation> gses = {city_by_name("Tokyo")};
+
+    const auto vis = visible_satellites(gses[0], mob, 0);
+    ASSERT_GE(vis.size(), 2u);
+    ASSERT_LT(vis[0].range_km, vis[1].range_km);
+    const double max_range = mob.constellation().params().max_gsl_range_km();
+
+    // Cone shrunk to just below the nearest satellite: no GSL edge at all.
+    route::SnapshotOptions exclude;
+    exclude.gs_nearest_satellite_only = true;
+    exclude.gsl_range_factor = [&](int, TimeNs) {
+        return (vis[0].range_km - 1.0) / max_range;
+    };
+    const auto g_excl = route::build_snapshot(mob, isls, gses, 0, exclude);
+    EXPECT_TRUE(g_excl.neighbors(g_excl.gs_node(0)).empty());
+
+    // Cone between nearest and second-nearest: exactly the nearest edge.
+    route::SnapshotOptions admit;
+    admit.gs_nearest_satellite_only = true;
+    admit.gsl_range_factor = [&](int, TimeNs) {
+        return 0.5 * (vis[0].range_km + vis[1].range_km) / max_range;
+    };
+    const auto g_admit = route::build_snapshot(mob, isls, gses, 0, admit);
+    ASSERT_EQ(g_admit.neighbors(g_admit.gs_node(0)).size(), 1u);
+    EXPECT_EQ(g_admit.neighbors(g_admit.gs_node(0))[0].to, vis[0].sat_id);
+}
+
 }  // namespace
 }  // namespace hypatia::topo
