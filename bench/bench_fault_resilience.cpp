@@ -1,0 +1,217 @@
+// Resilience curves under seeded fault injection (DESIGN.md section 8):
+// Starlink S1 with the top-100 cities, sweeping the steady-state
+// satellite failure rate and measuring how routing degrades —
+//   * unreachable-pair fraction (steps with no path / all steps),
+//   * RTT inflation of the surviving paths relative to the fault-free
+//     baseline (detours around dead satellites cost distance),
+//   * mean recovery time (length of contiguous unreachable streaks).
+// Each rate r uses an MTBF of mttr * (1 - r) / r, so the renewal
+// process's steady-state down-fraction equals r. The baseline point
+// passes an explicitly empty schedule, which also neutralizes any
+// HYPATIA_FAULTS in the environment.
+//
+// Writes bench_output/BENCH_fault.json. Exits non-zero if the highest
+// failure rate produces no unreachable pairs or masks no links — a
+// fault pipeline that visibly does nothing is a regression.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/fault/fault.hpp"
+#include "src/routing/path_analysis.hpp"
+#include "src/topology/cities.hpp"
+#include "src/topology/constellation.hpp"
+#include "src/topology/isl.hpp"
+#include "src/topology/mobility.hpp"
+
+namespace hypatia {
+namespace {
+
+struct RatePoint {
+    double rate = 0.0;
+    double mtbf_s = 0.0;
+    double sats_down_mean = 0.0;
+    double unreachable_fraction = 0.0;
+    double mean_rtt_ms = 0.0;
+    double rtt_inflation = 1.0;
+    double mean_recovery_s = 0.0;
+    std::uint64_t links_masked = 0;
+};
+
+RatePoint measure_rate(const topo::SatelliteMobility& mobility,
+                       const std::vector<topo::Isl>& isls,
+                       const std::vector<orbit::GroundStation>& gses,
+                       const std::vector<route::GsPair>& pairs, double rate,
+                       double mttr_s, TimeNs duration, TimeNs step) {
+    RatePoint point;
+    point.rate = rate;
+
+    fault::FaultSchedule schedule;  // empty: the fault-free baseline
+    if (rate > 0.0) {
+        fault::FaultConfig cfg;
+        cfg.seed = 2026;
+        cfg.horizon = duration;
+        cfg.sat_mttr_s = mttr_s;
+        cfg.sat_mtbf_s = mttr_s * (1.0 - rate) / rate;
+        point.mtbf_s = cfg.sat_mtbf_s;
+        schedule = fault::FaultSchedule::generate(
+            cfg, mobility.num_satellites(), isls, gses);
+    }
+
+    route::AnalysisOptions opts;
+    opts.t_start = 0;
+    opts.t_end = duration;
+    opts.step = step;
+    // Always set: an empty schedule pins the baseline to fault-free even
+    // when HYPATIA_FAULTS is exported in the calling environment.
+    opts.faults = &schedule;
+
+    // Per-pair unreachable streak tracking for the recovery-time curve.
+    std::vector<int> streak(pairs.size(), 0);
+    std::vector<double> completed_streak_steps;
+    double rtt_sum_s = 0.0;
+    std::size_t reachable_steps = 0, unreachable_steps = 0;
+    opts.per_step_observer = [&](TimeNs, int pair_index, double rtt_s,
+                                 const std::vector<int>&) {
+        auto& run = streak[static_cast<std::size_t>(pair_index)];
+        if (rtt_s == route::kInfDistance) {
+            ++unreachable_steps;
+            ++run;
+        } else {
+            ++reachable_steps;
+            rtt_sum_s += rtt_s;
+            if (run > 0) completed_streak_steps.push_back(run);
+            run = 0;
+        }
+    };
+
+    auto& masked_counter = obs::metrics().counter("fault.links_masked");
+    const std::uint64_t masked_before = masked_counter.value();
+    route::analyze_pairs(mobility, isls, gses, pairs, opts);
+    point.links_masked = masked_counter.value() - masked_before;
+
+    const std::size_t total = reachable_steps + unreachable_steps;
+    point.unreachable_fraction =
+        total == 0 ? 0.0
+                   : static_cast<double>(unreachable_steps) / static_cast<double>(total);
+    point.mean_rtt_ms = reachable_steps == 0
+                            ? 0.0
+                            : 1e3 * rtt_sum_s / static_cast<double>(reachable_steps);
+    if (!completed_streak_steps.empty()) {
+        double sum = 0.0;
+        for (const double v : completed_streak_steps) sum += v;
+        point.mean_recovery_s = sum / static_cast<double>(completed_streak_steps.size()) *
+                                ns_to_seconds(step);
+    }
+
+    double down_sum = 0.0;
+    std::size_t down_samples = 0;
+    for (TimeNs t = 0; t < duration; t += step) {
+        down_sum += static_cast<double>(
+            schedule.down_count(fault::FaultKind::kSatellite, t));
+        ++down_samples;
+    }
+    if (down_samples > 0) point.sats_down_mean = down_sum / down_samples;
+    return point;
+}
+
+int run(int argc, char** argv) {
+    bench::BenchArgs args(argc, argv);
+    const double duration_s = args.duration_s(60.0, 300.0);
+    const double step_ms = args.step_ms(2000.0, 5000.0);
+    const double mttr_s = args.cli.get_double("mttr-s", args.paper ? 60.0 : 15.0);
+    args.cli.describe("mttr-s", "mean satellite repair time in seconds");
+    args.finish_flags("fault-injection resilience curves on Starlink S1");
+    args.manifest.set_param("mttr_s", mttr_s);
+
+    bench::print_header("Fault resilience: Starlink S1, top-100 cities");
+
+    topo::Constellation constellation(topo::shell_by_name("starlink_s1"),
+                                      topo::default_epoch());
+    topo::SatelliteMobility mobility(constellation);
+    const auto isls = topo::build_isls(constellation, topo::IslPattern::kPlusGrid);
+    const auto gses = topo::top100_cities();
+    const auto pairs = route::random_permutation_pairs(
+        static_cast<int>(gses.size()), /*seed=*/7);
+
+    const TimeNs duration = seconds_to_ns(duration_s);
+    const TimeNs step = ms_to_ns(step_ms);
+    const std::vector<double> rates = {0.0, 0.05, 0.15, 0.30, 0.50};
+
+    std::vector<RatePoint> points;
+    for (const double rate : rates) {
+        RatePoint p =
+            measure_rate(mobility, isls, gses, pairs, rate, mttr_s, duration, step);
+        points.push_back(p);
+        std::printf(
+            "rate %.2f: mtbf %7.1f s, mean sats down %7.1f, unreachable %6.2f%%, "
+            "rtt %6.2f ms, recovery %5.1f s, links masked %llu\n",
+            p.rate, p.mtbf_s, p.sats_down_mean, 100.0 * p.unreachable_fraction,
+            p.mean_rtt_ms, p.mean_recovery_s,
+            static_cast<unsigned long long>(p.links_masked));
+    }
+    const double base_rtt = points.front().mean_rtt_ms;
+    for (auto& p : points) {
+        if (base_rtt > 0.0 && p.mean_rtt_ms > 0.0) {
+            p.rtt_inflation = p.mean_rtt_ms / base_rtt;
+        }
+    }
+
+    const std::string path = util::output_path("bench_output", "BENCH_fault.json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"fault_resilience\",\n"
+                 "  \"constellation\": \"starlink_s1\",\n"
+                 "  \"num_ground_stations\": %zu,\n"
+                 "  \"num_pairs\": %zu,\n"
+                 "  \"duration_s\": %.1f,\n"
+                 "  \"step_ms\": %.1f,\n"
+                 "  \"mttr_s\": %.1f,\n"
+                 "  \"points\": [\n",
+                 gses.size(), pairs.size(), duration_s, step_ms, mttr_s);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto& p = points[i];
+        std::fprintf(f,
+                     "    {\"rate\": %.2f, \"mtbf_s\": %.2f, \"sats_down_mean\": "
+                     "%.2f, \"unreachable_fraction\": %.6f, \"mean_rtt_ms\": %.4f, "
+                     "\"rtt_inflation\": %.4f, \"mean_recovery_s\": %.2f, "
+                     "\"links_masked\": %llu}%s\n",
+                     p.rate, p.mtbf_s, p.sats_down_mean, p.unreachable_fraction,
+                     p.mean_rtt_ms, p.rtt_inflation, p.mean_recovery_s,
+                     static_cast<unsigned long long>(p.links_masked),
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+
+    // Self-check: at a 50%% steady-state failure rate the +Grid cannot be
+    // fully connected and the masking pipeline must have fired.
+    const RatePoint& worst = points.back();
+    if (worst.links_masked == 0) {
+        std::fprintf(stderr, "FAIL: highest failure rate masked no links\n");
+        return 1;
+    }
+    if (worst.unreachable_fraction == 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: highest failure rate produced no unreachable pairs\n");
+        return 1;
+    }
+    if (points.front().unreachable_fraction > worst.unreachable_fraction) {
+        std::fprintf(stderr, "FAIL: resilience curve is not monotone at the ends\n");
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace hypatia
+
+int main(int argc, char** argv) { return hypatia::run(argc, argv); }

@@ -17,6 +17,16 @@ LeoNetwork::LeoNetwork(const Scenario& scenario)
       isls_(topo::build_isls(constellation_, scenario.isl_pattern)),
       net_(sim_) {
     if (scenario.weather.has_value()) weather_.emplace(*scenario.weather);
+    {
+        std::optional<fault::FaultSpec> spec = scenario_.faults;
+        if (!spec.has_value()) spec = fault::spec_from_env();
+        if (spec.has_value()) {
+            faults_.emplace(fault::FaultSchedule::from_spec(
+                *spec, constellation_.num_satellites(), isls_,
+                scenario_.ground_stations));
+            if (faults_->empty()) faults_.reset();
+        }
+    }
     // Publish the scenario's shape so every run manifest self-describes.
     auto& m = obs::metrics();
     m.gauge("scenario.num_satellites").set(constellation_.num_satellites());
@@ -35,18 +45,29 @@ LeoNetwork::LeoNetwork(const Scenario& scenario)
     const auto delay = [this](int from, int to, TimeNs t) {
         return propagation_delay(from, to, t);
     };
+    // Device-level fault probe: the schedule lives in orbit time, the
+    // simulator in sim time. Routing avoids dead hops at each install,
+    // but packets forwarded on stale state (or in flight when a link
+    // dies) cross the probe and are dropped.
+    sim::LinkUpFn link_up = nullptr;
+    if (faults_.has_value()) {
+        link_up = [this](int from, int to, TimeNs t) {
+            return faults_->link_up(from, to, orbit_time(t));
+        };
+    }
 
     for (const auto& isl : isls_) {
         net_.add_isl(isl.sat_a, isl.sat_b, scenario_.isl_rate_bps,
-                     scenario_.isl_queue_packets, delay);
+                     scenario_.isl_queue_packets, delay, link_up);
     }
     // One GSL device per satellite and per ground station (paper 3.1).
     for (int s = 0; s < num_sats; ++s) {
-        net_.add_gsl(s, scenario_.gsl_rate_bps, scenario_.gsl_queue_packets, delay);
+        net_.add_gsl(s, scenario_.gsl_rate_bps, scenario_.gsl_queue_packets, delay,
+                     link_up);
     }
     for (int g = 0; g < num_gs; ++g) {
         net_.add_gsl(gs_node(g), scenario_.gsl_rate_bps, scenario_.gsl_queue_packets,
-                     delay);
+                     delay, link_up);
     }
 }
 
@@ -79,6 +100,7 @@ void LeoNetwork::install_fstate(TimeNs sim_time) {
             return weather_->gsl_range_factor(gs_index, t);
         };
     }
+    if (faults_.has_value()) opts.faults = &*faults_;
     // Refresh mode (the default) keeps one graph alive across installs
     // and delta-patches it; HYPATIA_SNAPSHOT_MODE=rebuild reconstructs it
     // every interval (the legacy reference path). Identical outputs.

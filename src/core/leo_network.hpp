@@ -11,6 +11,7 @@
 #include <set>
 
 #include "src/core/scenario.hpp"
+#include "src/fault/fault.hpp"
 #include "src/routing/forwarding.hpp"
 #include "src/routing/graph.hpp"
 #include "src/routing/snapshot_refresh.hpp"
@@ -88,6 +89,12 @@ class LeoNetwork {
     sim::Network net_;
     std::set<int> destination_gs_;
     std::optional<topo::WeatherModel> weather_;
+    // Resolved fault schedule (scenario.faults, else HYPATIA_FAULTS);
+    // absent when neither yields outages. Routing excludes failed
+    // elements at each fstate install; the per-device link_up probe
+    // drops packets crossing a hop that is dead at transmit/delivery
+    // time (DESIGN.md section 8).
+    std::optional<fault::FaultSchedule> faults_;
     route::SnapshotMode snapshot_mode_ = route::snapshot_mode_from_env();
     std::optional<route::SnapshotRefresher> refresher_;  // lazy, refresh mode
     route::ForwardingState fstate_;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault.hpp"
 #include "src/orbit/ground_station.hpp"
 #include "src/topology/constellation.hpp"
 #include "src/topology/isl.hpp"
@@ -46,6 +47,12 @@ struct Scenario {
 
     /// Optional weather model: rain cells shrink GSL cones (section 7).
     std::optional<topo::WeatherModel::Config> weather;
+
+    /// Optional fault injection (DESIGN.md §8): a seeded failure model
+    /// or a CSV scenario file. When unset, consumers fall back to
+    /// HYPATIA_FAULTS; an empty resolved schedule behaves exactly like
+    /// no schedule at all.
+    std::optional<fault::FaultSpec> faults;
 
     /// Freeze the network at its start_offset state: satellite positions
     /// (and hence link delays, visibility, and routes) stop evolving.

@@ -1,0 +1,548 @@
+#include "src/fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/orbit/coords.hpp"
+
+namespace hypatia::fault {
+
+namespace {
+
+constexpr TimeNs kForever = std::numeric_limits<TimeNs>::max();
+
+// RNG stream ids: each (purpose, entity) pair owns an independent
+// stream, so one entity's timeline never depends on another's draws.
+constexpr std::uint64_t kStreamSatRenewal = 1;
+constexpr std::uint64_t kStreamIslRenewal = 2;
+constexpr std::uint64_t kStreamGsRenewal = 3;
+constexpr std::uint64_t kStreamSatKill = 4;
+constexpr std::uint64_t kStreamIslKill = 5;
+constexpr std::uint64_t kStreamGsKill = 6;
+constexpr std::uint64_t kStreamRegion = 7;
+
+std::uint64_t mix64(std::uint64_t x) {
+    // splitmix64 finalizer: cheap, full-avalanche.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::mt19937_64 entity_rng(std::uint64_t seed, std::uint64_t stream, int a, int b) {
+    std::uint64_t h = mix64(seed ^ mix64(stream));
+    h = mix64(h ^ static_cast<std::uint64_t>(a + 1));
+    h = mix64(h ^ static_cast<std::uint64_t>(b + 1));
+    return std::mt19937_64(h);
+}
+
+// Uniform in [0, 1) from the top 53 bits — exact and portable, unlike
+// std::uniform_real_distribution whose output is implementation-defined.
+double uniform01(std::mt19937_64& rng) {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+// Exponential with the given mean; std::exponential_distribution is
+// implementation-defined, this formula is not.
+double exp_draw(std::mt19937_64& rng, double mean) {
+    return -mean * std::log1p(-uniform01(rng));
+}
+
+// One uniform draw from a fresh per-entity stream (hard-kill lottery).
+double kill_draw(std::uint64_t seed, std::uint64_t stream, int a, int b) {
+    auto rng = entity_rng(seed, stream, a, b);
+    return uniform01(rng);
+}
+
+// One entity's alternating up/down renewal process on [0, horizon).
+void renewal_timeline(std::mt19937_64 rng, double mtbf_s, double mttr_s,
+                      TimeNs horizon, FaultKind kind, int a, int b,
+                      std::vector<FaultEvent>& out) {
+    if (mtbf_s <= 0.0 || mttr_s <= 0.0) return;
+    const double horizon_s = ns_to_seconds(horizon);
+    double t = 0.0;
+    for (;;) {
+        t += exp_draw(rng, mtbf_s);
+        if (t >= horizon_s) return;
+        const double repair = exp_draw(rng, mttr_s);
+        const TimeNs start = seconds_to_ns(t);
+        const TimeNs end = seconds_to_ns(t + repair);
+        if (end > start) out.push_back({kind, a, b, start, end});
+        t += repair;
+    }
+}
+
+std::string trim(const std::string& s) {
+    const auto begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) return "";
+    const auto end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+}
+
+double parse_number(const std::string& key, const std::string& value) {
+    std::size_t used = 0;
+    double parsed = 0.0;
+    try {
+        parsed = std::stod(value, &used);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("fault spec: value of '" + key +
+                                    "' is not a number: '" + value + "'");
+    }
+    if (used != value.size() || !std::isfinite(parsed)) {
+        throw std::invalid_argument("fault spec: value of '" + key +
+                                    "' is not a number: '" + value + "'");
+    }
+    return parsed;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::kSatellite: return "sat";
+        case FaultKind::kIsl: return "isl";
+        case FaultKind::kGroundStation: return "gs";
+    }
+    return "?";
+}
+
+std::optional<FaultKind> fault_kind_from_name(const std::string& name) {
+    if (name == "sat") return FaultKind::kSatellite;
+    if (name == "isl") return FaultKind::kIsl;
+    if (name == "gs") return FaultKind::kGroundStation;
+    return std::nullopt;
+}
+
+FaultSpec parse_fault_spec(const std::string& text) {
+    FaultSpec spec;
+    const std::string trimmed = trim(text);
+    if (trimmed.empty()) return spec;
+    if (trimmed.rfind("file:", 0) == 0) {
+        spec.csv_path = trim(trimmed.substr(5));
+        if (spec.csv_path.empty()) {
+            throw std::invalid_argument("fault spec: 'file:' with no path");
+        }
+        return spec;
+    }
+    FaultConfig config;
+    std::stringstream stream(trimmed);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        item = trim(item);
+        if (item.empty()) continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument("fault spec: expected key=value, got '" +
+                                        item + "'");
+        }
+        const std::string key = trim(item.substr(0, eq));
+        const std::string value = trim(item.substr(eq + 1));
+        const double v = parse_number(key, value);
+        if (v < 0.0) {
+            throw std::invalid_argument("fault spec: '" + key +
+                                        "' must be non-negative");
+        }
+        if (key == "seed") {
+            config.seed = static_cast<std::uint64_t>(v);
+        } else if (key == "horizon_s") {
+            config.horizon = seconds_to_ns(v);
+        } else if (key == "sat_mtbf_s") {
+            config.sat_mtbf_s = v;
+        } else if (key == "sat_mttr_s") {
+            config.sat_mttr_s = v;
+        } else if (key == "isl_mtbf_s") {
+            config.isl_mtbf_s = v;
+        } else if (key == "isl_mttr_s") {
+            config.isl_mttr_s = v;
+        } else if (key == "gs_mtbf_s") {
+            config.gs_mtbf_s = v;
+        } else if (key == "gs_mttr_s") {
+            config.gs_mttr_s = v;
+        } else if (key == "sat_kill_frac" || key == "isl_kill_frac" ||
+                   key == "gs_kill_frac") {
+            if (v > 1.0) {
+                throw std::invalid_argument("fault spec: '" + key +
+                                            "' must be in [0, 1]");
+            }
+            if (key == "sat_kill_frac") config.sat_kill_frac = v;
+            if (key == "isl_kill_frac") config.isl_kill_frac = v;
+            if (key == "gs_kill_frac") config.gs_kill_frac = v;
+        } else if (key == "region_per_hour") {
+            config.region_per_hour = v;
+        } else if (key == "region_radius_km") {
+            config.region_radius_km = v;
+        } else if (key == "region_mttr_s") {
+            config.region_mttr_s = v;
+        } else {
+            throw std::invalid_argument("fault spec: unknown key '" + key + "'");
+        }
+    }
+    spec.config = config;
+    return spec;
+}
+
+std::optional<FaultSpec> spec_from_env() {
+    const char* raw = std::getenv("HYPATIA_FAULTS");
+    if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+    try {
+        FaultSpec spec = parse_fault_spec(raw);
+        if (spec.empty()) return std::nullopt;
+        return spec;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "hypatia: ignoring HYPATIA_FAULTS: %s\n", e.what());
+        return std::nullopt;
+    }
+}
+
+std::uint64_t FaultSchedule::isl_key(int sat_a, int sat_b) {
+    const auto lo = static_cast<std::uint64_t>(std::min(sat_a, sat_b));
+    const auto hi = static_cast<std::uint64_t>(std::max(sat_a, sat_b));
+    return (lo << 32) | hi;
+}
+
+bool FaultSchedule::down_at(const Timeline& timeline, TimeNs t) {
+    // Last interval with start <= t; down iff t precedes its end.
+    auto it = std::upper_bound(
+        timeline.begin(), timeline.end(), t,
+        [](TimeNs value, const Outage& o) { return value < o.start; });
+    if (it == timeline.begin()) return false;
+    return t < std::prev(it)->end;
+}
+
+void FaultSchedule::index_events(std::vector<FaultEvent> events) {
+    sat_.assign(static_cast<std::size_t>(num_satellites_), {});
+    gs_.assign(static_cast<std::size_t>(num_gs_), {});
+    isl_.clear();
+    // Group raw events into per-entity timelines, then merge overlaps.
+    for (const FaultEvent& e : events) {
+        if (e.end <= e.start) continue;
+        switch (e.kind) {
+            case FaultKind::kSatellite:
+                sat_[static_cast<std::size_t>(e.a)].push_back({e.start, e.end});
+                break;
+            case FaultKind::kIsl:
+                isl_[isl_key(e.a, e.b)].push_back({e.start, e.end});
+                break;
+            case FaultKind::kGroundStation:
+                gs_[static_cast<std::size_t>(e.a)].push_back({e.start, e.end});
+                break;
+        }
+    }
+    const auto merge = [](Timeline& timeline) {
+        if (timeline.empty()) return;
+        std::sort(timeline.begin(), timeline.end(),
+                  [](const Outage& a, const Outage& b) {
+                      return a.start != b.start ? a.start < b.start : a.end < b.end;
+                  });
+        Timeline merged;
+        merged.push_back(timeline.front());
+        for (std::size_t i = 1; i < timeline.size(); ++i) {
+            if (timeline[i].start <= merged.back().end) {
+                merged.back().end = std::max(merged.back().end, timeline[i].end);
+            } else {
+                merged.push_back(timeline[i]);
+            }
+        }
+        timeline.swap(merged);
+    };
+    for (Timeline& timeline : sat_) merge(timeline);
+    for (Timeline& timeline : gs_) merge(timeline);
+    for (auto& [key, timeline] : isl_) merge(timeline);
+
+    // Canonical event list + transition index, rebuilt from the merged
+    // timelines so a save/load round trip is the identity.
+    events_.clear();
+    transitions_.clear();
+    const auto emit = [this](FaultKind kind, int a, int b, const Timeline& timeline) {
+        for (const Outage& o : timeline) {
+            events_.push_back({kind, a, b, o.start, o.end});
+            transitions_.push_back(o.start);
+            if (o.end != kForever) transitions_.push_back(o.end);
+        }
+    };
+    for (int s = 0; s < num_satellites_; ++s) {
+        emit(FaultKind::kSatellite, s, -1, sat_[static_cast<std::size_t>(s)]);
+    }
+    std::vector<std::uint64_t> keys;
+    keys.reserve(isl_.size());
+    for (const auto& [key, timeline] : isl_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const std::uint64_t key : keys) {
+        emit(FaultKind::kIsl, static_cast<int>(key >> 32),
+             static_cast<int>(key & 0xffffffffULL), isl_.at(key));
+    }
+    for (int g = 0; g < num_gs_; ++g) {
+        emit(FaultKind::kGroundStation, g, -1, gs_[static_cast<std::size_t>(g)]);
+    }
+    std::sort(events_.begin(), events_.end(),
+              [](const FaultEvent& a, const FaultEvent& b) {
+                  if (a.start != b.start) return a.start < b.start;
+                  if (a.kind != b.kind) return a.kind < b.kind;
+                  if (a.a != b.a) return a.a < b.a;
+                  if (a.b != b.b) return a.b < b.b;
+                  return a.end < b.end;
+              });
+    std::sort(transitions_.begin(), transitions_.end());
+    transitions_.erase(std::unique(transitions_.begin(), transitions_.end()),
+                       transitions_.end());
+}
+
+FaultSchedule FaultSchedule::from_events(std::vector<FaultEvent> events,
+                                         int num_satellites, int num_ground_stations) {
+    for (const FaultEvent& e : events) {
+        const bool sat_ok = e.a >= 0 && e.a < num_satellites;
+        const bool valid =
+            (e.kind == FaultKind::kSatellite && sat_ok && e.b == -1) ||
+            (e.kind == FaultKind::kIsl && sat_ok && e.b >= 0 &&
+             e.b < num_satellites && e.a != e.b) ||
+            (e.kind == FaultKind::kGroundStation && e.a >= 0 &&
+             e.a < num_ground_stations && e.b == -1);
+        if (!valid) {
+            throw std::invalid_argument(
+                std::string("fault event: invalid ") + fault_kind_name(e.kind) +
+                " ids (" + std::to_string(e.a) + ", " + std::to_string(e.b) + ")");
+        }
+        if (e.end < e.start) {
+            throw std::invalid_argument("fault event: end precedes start");
+        }
+    }
+    FaultSchedule schedule;
+    schedule.num_satellites_ = num_satellites;
+    schedule.num_gs_ = num_ground_stations;
+    schedule.index_events(std::move(events));
+    return schedule;
+}
+
+FaultSchedule FaultSchedule::generate(
+    const FaultConfig& config, int num_satellites, const std::vector<topo::Isl>& isls,
+    const std::vector<orbit::GroundStation>& ground_stations) {
+    std::vector<FaultEvent> events;
+    const auto num_gs = static_cast<int>(ground_stations.size());
+
+    for (int s = 0; s < num_satellites; ++s) {
+        renewal_timeline(entity_rng(config.seed, kStreamSatRenewal, s, -1),
+                         config.sat_mtbf_s, config.sat_mttr_s, config.horizon,
+                         FaultKind::kSatellite, s, -1, events);
+        if (config.sat_kill_frac > 0.0 &&
+            kill_draw(config.seed, kStreamSatKill, s, -1) <
+                config.sat_kill_frac) {
+            events.push_back({FaultKind::kSatellite, s, -1, 0, kForever});
+        }
+    }
+    for (const topo::Isl& isl : isls) {
+        const int a = std::min(isl.sat_a, isl.sat_b);
+        const int b = std::max(isl.sat_a, isl.sat_b);
+        renewal_timeline(entity_rng(config.seed, kStreamIslRenewal, a, b),
+                         config.isl_mtbf_s, config.isl_mttr_s, config.horizon,
+                         FaultKind::kIsl, a, b, events);
+        if (config.isl_kill_frac > 0.0 &&
+            kill_draw(config.seed, kStreamIslKill, a, b) <
+                config.isl_kill_frac) {
+            events.push_back({FaultKind::kIsl, a, b, 0, kForever});
+        }
+    }
+    for (int g = 0; g < num_gs; ++g) {
+        renewal_timeline(entity_rng(config.seed, kStreamGsRenewal, g, -1),
+                         config.gs_mtbf_s, config.gs_mttr_s, config.horizon,
+                         FaultKind::kGroundStation, g, -1, events);
+        if (config.gs_kill_frac > 0.0 &&
+            kill_draw(config.seed, kStreamGsKill, g, -1) <
+                config.gs_kill_frac) {
+            events.push_back({FaultKind::kGroundStation, g, -1, 0, kForever});
+        }
+    }
+
+    // Correlated regional outages: a Poisson process of epicentres, each
+    // taking down every ground station inside the radius.
+    if (config.region_per_hour > 0.0 && num_gs > 0) {
+        auto rng = entity_rng(config.seed, kStreamRegion, 0, -1);
+        const double mean_gap_s = 3600.0 / config.region_per_hour;
+        const double horizon_s = ns_to_seconds(config.horizon);
+        double t = 0.0;
+        for (;;) {
+            t += exp_draw(rng, mean_gap_s);
+            if (t >= horizon_s) break;
+            orbit::Geodetic epicentre;
+            // Uniform on the sphere: lat = asin(2u - 1), lon uniform.
+            epicentre.latitude_deg =
+                std::asin(2.0 * uniform01(rng) - 1.0) * 180.0 / M_PI;
+            epicentre.longitude_deg = -180.0 + 360.0 * uniform01(rng);
+            const double repair = exp_draw(rng, config.region_mttr_s);
+            const TimeNs start = seconds_to_ns(t);
+            const TimeNs end = seconds_to_ns(t + repair);
+            if (end <= start) continue;
+            for (int g = 0; g < num_gs; ++g) {
+                const double d = orbit::great_circle_distance_km(
+                    epicentre, ground_stations[static_cast<std::size_t>(g)].geodetic());
+                if (d <= config.region_radius_km) {
+                    events.push_back({FaultKind::kGroundStation, g, -1, start, end});
+                }
+            }
+        }
+    }
+
+    return from_events(std::move(events), num_satellites, num_gs);
+}
+
+FaultSchedule FaultSchedule::load_csv(const std::string& path, int num_satellites,
+                                      int num_ground_stations) {
+    std::ifstream in(path);
+    if (!in) {
+        throw std::runtime_error("fault csv: cannot open '" + path + "'");
+    }
+    std::vector<FaultEvent> events;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string row = trim(line);
+        if (row.empty() || row[0] == '#') continue;
+        if (line_no == 1 && row.rfind("kind", 0) == 0) continue;  // header
+        std::stringstream fields(row);
+        std::string kind_s, a_s, b_s, start_s, end_s;
+        if (!std::getline(fields, kind_s, ',') || !std::getline(fields, a_s, ',') ||
+            !std::getline(fields, b_s, ',') || !std::getline(fields, start_s, ',') ||
+            !std::getline(fields, end_s)) {
+            throw std::runtime_error("fault csv " + path + ":" +
+                                     std::to_string(line_no) +
+                                     ": expected kind,a,b,start_ns,end_ns");
+        }
+        const auto kind = fault_kind_from_name(trim(kind_s));
+        if (!kind) {
+            throw std::runtime_error("fault csv " + path + ":" +
+                                     std::to_string(line_no) + ": unknown kind '" +
+                                     trim(kind_s) + "' (want sat|isl|gs)");
+        }
+        FaultEvent e;
+        e.kind = *kind;
+        const auto parse_field = [&](const std::string& raw, const char* what,
+                                     std::int64_t fallback,
+                                     bool allow_empty) -> std::int64_t {
+            const std::string v = trim(raw);
+            if (v.empty()) {
+                if (allow_empty) return fallback;
+                throw std::runtime_error("fault csv " + path + ":" +
+                                         std::to_string(line_no) + ": empty " + what);
+            }
+            try {
+                std::size_t used = 0;
+                const std::int64_t parsed = std::stoll(v, &used);
+                if (used != v.size()) throw std::invalid_argument(v);
+                return parsed;
+            } catch (const std::exception&) {
+                throw std::runtime_error("fault csv " + path + ":" +
+                                         std::to_string(line_no) + ": bad " + what +
+                                         " '" + v + "'");
+            }
+        };
+        e.a = static_cast<int>(parse_field(a_s, "entity id", -1, false));
+        e.b = static_cast<int>(parse_field(b_s, "peer id", -1, true));
+        e.start = parse_field(start_s, "start_ns", 0, false);
+        e.end = parse_field(end_s, "end_ns", 0, false);
+        events.push_back(e);
+    }
+    try {
+        return from_events(std::move(events), num_satellites, num_ground_stations);
+    } catch (const std::invalid_argument& e) {
+        throw std::runtime_error("fault csv " + path + ": " + e.what());
+    }
+}
+
+FaultSchedule FaultSchedule::from_spec(
+    const FaultSpec& spec, int num_satellites, const std::vector<topo::Isl>& isls,
+    const std::vector<orbit::GroundStation>& ground_stations) {
+    if (!spec.csv_path.empty()) {
+        return load_csv(spec.csv_path, num_satellites,
+                        static_cast<int>(ground_stations.size()));
+    }
+    if (spec.config.has_value()) {
+        return generate(*spec.config, num_satellites, isls, ground_stations);
+    }
+    FaultSchedule empty;
+    empty.num_satellites_ = num_satellites;
+    empty.num_gs_ = static_cast<int>(ground_stations.size());
+    empty.sat_.assign(static_cast<std::size_t>(num_satellites), {});
+    empty.gs_.assign(ground_stations.size(), {});
+    return empty;
+}
+
+void FaultSchedule::save_csv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error("fault csv: cannot write '" + path + "'");
+    }
+    out << "kind,a,b,start_ns,end_ns\n";
+    for (const FaultEvent& e : events_) {
+        out << fault_kind_name(e.kind) << ',' << e.a << ',' << e.b << ',' << e.start
+            << ',' << e.end << '\n';
+    }
+}
+
+bool FaultSchedule::satellite_down(int sat, TimeNs t) const {
+    if (sat < 0 || sat >= num_satellites_) return false;
+    return down_at(sat_[static_cast<std::size_t>(sat)], t);
+}
+
+bool FaultSchedule::isl_down(int sat_a, int sat_b, TimeNs t) const {
+    if (isl_.empty()) return false;
+    const auto it = isl_.find(isl_key(sat_a, sat_b));
+    return it != isl_.end() && down_at(it->second, t);
+}
+
+bool FaultSchedule::gs_down(int gs_index, TimeNs t) const {
+    if (gs_index < 0 || gs_index >= num_gs_) return false;
+    return down_at(gs_[static_cast<std::size_t>(gs_index)], t);
+}
+
+bool FaultSchedule::link_up(int from, int to, TimeNs t) const {
+    const auto node_up = [&](int node) {
+        return node < num_satellites_ ? !satellite_down(node, t)
+                                      : !gs_down(node - num_satellites_, t);
+    };
+    if (!node_up(from) || !node_up(to)) return false;
+    if (from < num_satellites_ && to < num_satellites_) {
+        return !isl_down(from, to, t);
+    }
+    return true;
+}
+
+void FaultSchedule::fill_satellites_down(TimeNs t, std::vector<char>& out) const {
+    out.assign(static_cast<std::size_t>(num_satellites_), 0);
+    for (int s = 0; s < num_satellites_; ++s) {
+        const Timeline& timeline = sat_[static_cast<std::size_t>(s)];
+        if (!timeline.empty() && down_at(timeline, t)) {
+            out[static_cast<std::size_t>(s)] = 1;
+        }
+    }
+}
+
+std::size_t FaultSchedule::down_count(FaultKind kind, TimeNs t) const {
+    std::size_t n = 0;
+    switch (kind) {
+        case FaultKind::kSatellite:
+            for (const Timeline& timeline : sat_) n += down_at(timeline, t);
+            break;
+        case FaultKind::kIsl:
+            for (const auto& [key, timeline] : isl_) n += down_at(timeline, t);
+            break;
+        case FaultKind::kGroundStation:
+            for (const Timeline& timeline : gs_) n += down_at(timeline, t);
+            break;
+    }
+    return n;
+}
+
+void FaultSchedule::change_times_in(TimeNs t0, TimeNs t1,
+                                    std::vector<TimeNs>& out) const {
+    auto it = std::upper_bound(transitions_.begin(), transitions_.end(), t0);
+    for (; it != transitions_.end() && *it < t1; ++it) out.push_back(*it);
+}
+
+}  // namespace hypatia::fault

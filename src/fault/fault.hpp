@@ -1,0 +1,201 @@
+// Deterministic fault injection. A FaultSchedule is a reproducible
+// timeline of outages — satellite hard failures, per-ISL link cuts, and
+// ground-station (GSL) outages — generated from a seeded model or
+// loaded from a CSV scenario file. The schedule is immutable once
+// built; every consumer (snapshot construction, the snapshot refresher,
+// flowsim, the packet simulator) asks the same point queries, so all
+// layers observe one consistent failure state at any instant.
+//
+// Determinism contract: generation draws from per-entity RNG streams
+// seeded by hash(seed, kind, a, b) — the timeline for one entity never
+// depends on how many other entities exist or on iteration order, and
+// two runs with the same spec are byte-identical at any thread count.
+//
+// Time base: outage times live in the *orbit time* base (the time handed
+// to build_snapshot / mobility), not wall-clock sim time. Consumers that
+// run in sim time convert via their start-offset first, so a frozen
+// scenario observes a constant fault state, matching how it observes a
+// constant topology.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/orbit/ground_station.hpp"
+#include "src/topology/isl.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::fault {
+
+enum class FaultKind : std::uint8_t {
+    kSatellite = 0,      // whole satellite down: all its ISLs and GSLs
+    kIsl = 1,            // one inter-satellite link cut (both directions)
+    kGroundStation = 2,  // GS outage: all its GSLs down
+};
+
+/// "sat" / "isl" / "gs" — the tokens used by the CSV scenario format.
+const char* fault_kind_name(FaultKind kind);
+std::optional<FaultKind> fault_kind_from_name(const std::string& name);
+
+/// One outage interval, half-open [start, end) in orbit-time ns.
+/// `a` is the satellite id (kSatellite), the lower node id of the ISL
+/// pair (kIsl), or the ground-station index (kGroundStation). `b` is the
+/// ISL peer satellite id, or -1 for the other kinds.
+struct FaultEvent {
+    FaultKind kind = FaultKind::kSatellite;
+    int a = -1;
+    int b = -1;
+    TimeNs start = 0;
+    TimeNs end = 0;
+};
+
+/// Parameters of the seeded fault model. Each entity class runs an
+/// independent MTBF/MTTR renewal process (exponential up-times with the
+/// given mean, exponential repair times); an MTBF of 0 disables the
+/// class. kill_frac additionally fails a deterministic pseudo-random
+/// fraction of the class permanently from t = 0 (hard failures — the
+/// "kill 5% of the constellation" experiments). Regional outages are a
+/// Poisson process of events that take down every ground station within
+/// radius of a uniformly random epicentre — correlated failures that
+/// compose with (and degrade independently of) the weather model.
+struct FaultConfig {
+    std::uint64_t seed = 1;
+    /// Timeline horizon: renewal processes are materialized on
+    /// [0, horizon); queries past the horizon see only hard failures.
+    TimeNs horizon = 2LL * 3600LL * kNsPerSec;
+
+    double sat_mtbf_s = 0.0;
+    double sat_mttr_s = 120.0;
+    double isl_mtbf_s = 0.0;
+    double isl_mttr_s = 60.0;
+    double gs_mtbf_s = 0.0;
+    double gs_mttr_s = 300.0;
+
+    double sat_kill_frac = 0.0;
+    double isl_kill_frac = 0.0;
+    double gs_kill_frac = 0.0;
+
+    double region_per_hour = 0.0;
+    double region_radius_km = 1000.0;
+    double region_mttr_s = 600.0;
+};
+
+/// How to obtain a schedule: either generate from a FaultConfig or load
+/// a CSV scenario file. Parsed from HYPATIA_FAULTS (or embedded in a
+/// core::Scenario).
+struct FaultSpec {
+    std::optional<FaultConfig> config;
+    std::string csv_path;
+
+    bool empty() const { return !config.has_value() && csv_path.empty(); }
+};
+
+/// Parses a HYPATIA_FAULTS value. Two forms:
+///   "file:<path>"             — load the CSV scenario at <path>
+///   "key=value,key=value,..." — a FaultConfig; keys are seed,
+///       horizon_s, sat_mtbf_s, sat_mttr_s, isl_mtbf_s, isl_mttr_s,
+///       gs_mtbf_s, gs_mttr_s, sat_kill_frac, isl_kill_frac,
+///       gs_kill_frac, region_per_hour, region_radius_km, region_mttr_s
+/// Throws std::invalid_argument with a descriptive message on malformed
+/// input.
+FaultSpec parse_fault_spec(const std::string& text);
+
+/// Reads HYPATIA_FAULTS. Unset or empty returns nullopt; a malformed
+/// value warns on stderr once and returns nullopt (a bad env var
+/// disables fault injection rather than crashing the run, matching the
+/// HYPATIA_TRACE convention).
+std::optional<FaultSpec> spec_from_env();
+
+/// Immutable outage timeline with O(log outages-per-entity) point
+/// queries. Thread-safe for concurrent reads after construction.
+class FaultSchedule {
+  public:
+    FaultSchedule() = default;
+
+    /// Deterministically generates the timeline for `config` over a
+    /// constellation of `num_satellites` satellites, the given ISL list,
+    /// and ground stations (positions are used for regional outages).
+    static FaultSchedule generate(const FaultConfig& config, int num_satellites,
+                                  const std::vector<topo::Isl>& isls,
+                                  const std::vector<orbit::GroundStation>& ground_stations);
+
+    /// Builds a schedule from an explicit event list (tests, scenarios).
+    /// Events may overlap; they are merged per entity. Throws on ids
+    /// outside [0, num_satellites) / [0, num_ground_stations).
+    static FaultSchedule from_events(std::vector<FaultEvent> events, int num_satellites,
+                                     int num_ground_stations);
+
+    /// Loads a CSV scenario: header "kind,a,b,start_ns,end_ns", one
+    /// event per row, kind in {sat, isl, gs}, b empty or -1 for non-ISL
+    /// rows. Throws std::runtime_error with file/line context on
+    /// malformed rows.
+    static FaultSchedule load_csv(const std::string& path, int num_satellites,
+                                  int num_ground_stations);
+
+    /// Resolves a FaultSpec (generate or load). An empty spec yields an
+    /// empty schedule.
+    static FaultSchedule from_spec(const FaultSpec& spec, int num_satellites,
+                                   const std::vector<topo::Isl>& isls,
+                                   const std::vector<orbit::GroundStation>& ground_stations);
+
+    /// Writes the canonical event list in the load_csv format.
+    void save_csv(const std::string& path) const;
+
+    bool empty() const { return events_.empty(); }
+    int num_satellites() const { return num_satellites_; }
+    int num_ground_stations() const { return num_gs_; }
+
+    /// Canonical event list, sorted by (start, kind, a, b, end). The
+    /// merged per-entity intervals, not the raw generator draws, so a
+    /// save/load round trip is the identity.
+    const std::vector<FaultEvent>& events() const { return events_; }
+
+    // --- point queries (orbit-time t) ---------------------------------
+    bool satellite_down(int sat, TimeNs t) const;
+    bool isl_down(int sat_a, int sat_b, TimeNs t) const;
+    bool gs_down(int gs_index, TimeNs t) const;
+
+    /// Directed-hop health between node ids in the routing/packet node
+    /// space (satellites [0, num_satellites), then ground stations): the
+    /// hop is up iff both endpoints are alive and, for a sat-sat hop,
+    /// the ISL itself is not cut. Symmetric in (from, to).
+    bool link_up(int from, int to, TimeNs t) const;
+
+    /// Fills `out` (resized to num_satellites) with 1 for each satellite
+    /// down at `t`. One pass per snapshot beats per-edge binary searches.
+    void fill_satellites_down(TimeNs t, std::vector<char>& out) const;
+
+    /// Number of entities of `kind` down at `t` (gauges, bench curves).
+    std::size_t down_count(FaultKind kind, TimeNs t) const;
+
+    /// Appends every fault-state transition instant strictly inside
+    /// (t0, t1), ascending. Consumers split their epochs at these
+    /// boundaries so a path severed mid-epoch is observed, not skipped.
+    void change_times_in(TimeNs t0, TimeNs t1, std::vector<TimeNs>& out) const;
+
+  private:
+    struct Outage {
+        TimeNs start;
+        TimeNs end;
+    };
+    using Timeline = std::vector<Outage>;  // sorted, disjoint, half-open
+
+    static bool down_at(const Timeline& timeline, TimeNs t);
+    static std::uint64_t isl_key(int sat_a, int sat_b);
+    /// Sorts, merges overlapping intervals per entity, rebuilds the
+    /// canonical event list and the transition-time index.
+    void index_events(std::vector<FaultEvent> events);
+
+    int num_satellites_ = 0;
+    int num_gs_ = 0;
+    std::vector<FaultEvent> events_;
+    std::vector<Timeline> sat_;  // size num_satellites_ (empty timelines allowed)
+    std::vector<Timeline> gs_;   // size num_gs_
+    std::unordered_map<std::uint64_t, Timeline> isl_;
+    std::vector<TimeNs> transitions_;  // sorted unique starts + ends
+};
+
+}  // namespace hypatia::fault

@@ -27,6 +27,18 @@ Engine::Engine(const core::Scenario& scenario, TrafficMatrix matrix,
       matrix_(std::move(matrix)),
       options_(std::move(options)) {
     if (scenario.weather.has_value()) weather_.emplace(*scenario.weather);
+
+    // Fault schedule: the scenario's spec wins; otherwise HYPATIA_FAULTS.
+    // An empty resolved schedule is discarded so the epoch loop stays on
+    // the plain grid.
+    std::optional<fault::FaultSpec> fault_spec = scenario_.faults;
+    if (!fault_spec.has_value()) fault_spec = fault::spec_from_env();
+    if (fault_spec.has_value() && !fault_spec->empty()) {
+        faults_.emplace(fault::FaultSchedule::from_spec(
+            *fault_spec, constellation_.num_satellites(), isls_,
+            scenario_.ground_stations));
+        if (faults_->empty()) faults_.reset();
+    }
     matrix_.sort_by_arrival();
 
     const int num_nodes = constellation_.num_satellites() +
@@ -70,6 +82,7 @@ route::SnapshotOptions Engine::snapshot_options() {
             return weather_->gsl_range_factor(gs_index, at);
         };
     }
+    if (faults_.has_value()) opts.faults = &*faults_;
     return opts;
 }
 
@@ -192,6 +205,33 @@ RunSummary Engine::run() {
     const int num_gs = static_cast<int>(scenario_.ground_stations.size());
     std::vector<char> dst_seen(static_cast<std::size_t>(num_gs), 0);
 
+    // Epoch boundaries: the plain epoch grid, plus — with a fault
+    // schedule — every fault transition inside the window, so a path
+    // severed mid-epoch is observed and re-solved at the exact instant
+    // it breaks instead of the next grid point. Without faults this is
+    // exactly the historical fixed-step loop. A frozen scenario observes
+    // the constant fault state at start_offset, like it observes a
+    // constant topology.
+    std::vector<TimeNs> boundaries;
+    for (TimeNs t = 0; t < options_.duration; t += options_.epoch) {
+        boundaries.push_back(t);
+    }
+    if (faults_.has_value() && !scenario_.freeze) {
+        const std::size_t grid_points = boundaries.size();
+        std::vector<TimeNs> cuts;
+        faults_->change_times_in(orbit_time(0), orbit_time(options_.duration), cuts);
+        for (const TimeNs cut : cuts) {
+            boundaries.push_back(cut - scenario_.start_offset);
+        }
+        std::sort(boundaries.begin(), boundaries.end());
+        boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                         boundaries.end());
+        m.counter("fault.segments").inc(boundaries.size() - grid_points);
+    }
+    // Flows whose previous segment had a path, for severed detection.
+    std::vector<char> was_reachable(matrix_.size(), 0);
+    obs::Counter* const severed_metric = &m.counter("fault.flows_severed");
+
     const auto complete_flow = [&](std::uint32_t f, TimeNs at) {
         done[f] = 1;
         FlowOutcome& outcome = summary.flows[f];
@@ -209,8 +249,11 @@ RunSummary Engine::run() {
         }
     };
 
-    for (TimeNs t = 0; t < options_.duration; t += options_.epoch) {
-        const TimeNs dt = std::min<TimeNs>(options_.epoch, options_.duration - t);
+    for (std::size_t bi = 0; bi < boundaries.size(); ++bi) {
+        const TimeNs t = boundaries[bi];
+        const TimeNs t_next =
+            bi + 1 < boundaries.size() ? boundaries[bi + 1] : options_.duration;
+        const TimeNs dt = t_next - t;
         const double dt_s = ns_to_seconds(dt);
         EpochStats stats;
         stats.t = t;
@@ -262,6 +305,24 @@ RunSummary Engine::run() {
         }
         stats.unreachable = ep.unreachable.size();
         unreachable_metric->inc(ep.unreachable.size());
+
+        // Severed flows: had a path last segment, lost it this one. The
+        // flow stalls at rate 0 (or reroutes transparently if Dijkstra
+        // found an alternative, in which case it never appears here).
+        if (faults_.has_value()) {
+            for (const std::uint32_t f : ep.unreachable) {
+                if (was_reachable[f] != 0) {
+                    severed_metric->inc();
+                    if (tracer.enabled(obs::TraceCategory::kFault)) {
+                        tracer.emit(obs::make_record(
+                            t, obs::TraceCategory::kFault, "fault.flow_severed",
+                            matrix_.flows[f].src_gs, matrix_.flows[f].dst_gs, f));
+                    }
+                }
+                was_reachable[f] = 0;
+            }
+            for (const std::uint32_t f : ep.flow_of_problem) was_reachable[f] = 1;
+        }
 
         // Per-resource load (for the utilization map and overload check).
         if (options_.record_link_utilization) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/core/scenario.hpp"
+#include "src/fault/fault.hpp"
 #include "src/flowsim/solver.hpp"
 #include "src/flowsim/traffic.hpp"
 #include "src/routing/forwarding.hpp"
@@ -144,6 +145,13 @@ class Engine {
     topo::SatelliteMobility mobility_;
     std::vector<topo::Isl> isls_;
     std::optional<topo::WeatherModel> weather_;
+    /// Resolved fault schedule (scenario spec or HYPATIA_FAULTS);
+    /// disengaged when neither yields any outage. With a schedule, run()
+    /// splits epochs at fault transitions so severed flows stall or
+    /// reroute at the exact instant, and rate conservation (bits_sent
+    /// integrates the allocated rate, severed flows allocate zero) is
+    /// preserved across the extra boundaries.
+    std::optional<fault::FaultSchedule> faults_;
     TrafficMatrix matrix_;
     EngineOptions options_;
 

@@ -49,6 +49,11 @@ void Observability::register_core_metrics() {
     metrics_.gauge("flowsim.active_flows_peak");
     metrics_.histogram("flowsim.fct_ms");
     metrics_.histogram("flowsim.flow_rate_kbps");
+    metrics_.counter("fault.links_masked");
+    metrics_.counter("fault.packets_dropped");
+    metrics_.counter("fault.flows_severed");
+    metrics_.counter("fault.segments");
+    metrics_.gauge("fault.nodes_down");
 }
 
 void Observability::reset() {

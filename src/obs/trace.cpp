@@ -14,6 +14,7 @@ const char* trace_category_name(TraceCategory c) {
         case TraceCategory::kRouting: return "routing";
         case TraceCategory::kSim: return "sim";
         case TraceCategory::kFlow: return "flow";
+        case TraceCategory::kFault: return "fault";
     }
     return "unknown";
 }
@@ -24,6 +25,7 @@ std::optional<TraceCategory> trace_category_from_name(const std::string& name) {
     if (name == "routing") return TraceCategory::kRouting;
     if (name == "sim") return TraceCategory::kSim;
     if (name == "flow") return TraceCategory::kFlow;
+    if (name == "fault") return TraceCategory::kFault;
     return std::nullopt;
 }
 

@@ -25,8 +25,9 @@ enum class TraceCategory : std::uint8_t {
     kRouting = 2,  // route.fstate_install
     kSim = 3,      // simulator-level events
     kFlow = 4,     // flow.arrive / flow.complete / flow.epoch (flowsim)
+    kFault = 5,    // fault.pkt_drop / fault.flow_severed (fault injection)
 };
-inline constexpr std::size_t kNumTraceCategories = 5;
+inline constexpr std::size_t kNumTraceCategories = 6;
 
 const char* trace_category_name(TraceCategory c);
 std::optional<TraceCategory> trace_category_from_name(const std::string& name);
@@ -150,8 +151,8 @@ class Tracer {
     mutable std::mutex mu_;  // guards the sampler state and sink writes
     unsigned mask_ = 0;
     std::unique_ptr<TraceSink> sink_;
-    std::uint32_t sample_every_[kNumTraceCategories] = {1, 1, 1, 1, 1};
-    std::uint32_t sample_seen_[kNumTraceCategories] = {0, 0, 0, 0, 0};
+    std::uint32_t sample_every_[kNumTraceCategories] = {1, 1, 1, 1, 1, 1};
+    std::uint32_t sample_seen_[kNumTraceCategories] = {0, 0, 0, 0, 0, 0};
     std::uint64_t written_ = 0;
 };
 

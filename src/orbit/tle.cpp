@@ -46,21 +46,101 @@ std::string format_exp_field(double value) {
     return buf;
 }
 
-double parse_exp_field(const std::string& field) {
+/// Error text carrying the field name and the raw column content, so a
+/// bad catalogue file points at the offending value, not just "stoi".
+[[noreturn]] void fail_field(const char* field, const std::string& raw,
+                             const char* why) {
+    throw std::invalid_argument(std::string("tle: ") + field + " field \"" + raw +
+                                "\": " + why);
+}
+
+/// Strict fixed-column integer parse: optional sign, then digits and
+/// column-alignment spaces only. std::stoi would silently accept
+/// garbage suffixes ("12ab" -> 12) and give unhelpful errors.
+int parse_int_field(const std::string& line, std::size_t pos, std::size_t len,
+                    const char* field) {
+    const std::string raw = line.substr(pos, len);
+    std::size_t idx = 0;
+    int value = 0;
+    try {
+        value = std::stoi(raw, &idx);
+    } catch (const std::exception&) {
+        fail_field(field, raw, "not a number");
+    }
+    for (; idx < raw.size(); ++idx) {
+        if (raw[idx] != ' ') fail_field(field, raw, "trailing garbage");
+    }
+    return value;
+}
+
+/// Strict fixed-column floating-point parse (same contract as above).
+double parse_double_field(const std::string& line, std::size_t pos, std::size_t len,
+                          const char* field) {
+    const std::string raw = line.substr(pos, len);
+    std::size_t idx = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(raw, &idx);
+    } catch (const std::exception&) {
+        fail_field(field, raw, "not a number");
+    }
+    for (; idx < raw.size(); ++idx) {
+        if (raw[idx] != ' ') fail_field(field, raw, "trailing garbage");
+    }
+    if (!std::isfinite(value)) fail_field(field, raw, "not finite");
+    return value;
+}
+
+void check_range(double value, double lo, double hi, const char* field) {
+    if (!(value >= lo && value <= hi)) {
+        char buf[128];
+        std::snprintf(buf, sizeof buf, "tle: %s %.6g out of range [%g, %g]", field,
+                      value, lo, hi);
+        throw std::invalid_argument(buf);
+    }
+}
+
+double parse_exp_field(const std::string& field, const char* name) {
     // e.g. " 11423-4" or "+11423-4" or " 00000+0"
-    if (field.size() < 8) throw std::invalid_argument("tle: short exponent field");
+    if (field.size() < 8) fail_field(name, field, "short exponent field");
     const double sign = field[0] == '-' ? -1.0 : 1.0;
-    const double mantissa = std::stod("0." + field.substr(1, 5));
-    const int exponent = std::stoi(field.substr(6, 2));
+    const std::string mantissa_digits = field.substr(1, 5);
+    for (char c : mantissa_digits) {
+        if (c < '0' || c > '9') fail_field(name, field, "non-digit mantissa");
+    }
+    const double mantissa = std::stod("0." + mantissa_digits);
+    int exponent = 0;
+    try {
+        std::size_t idx = 0;
+        exponent = std::stoi(field.substr(6, 2), &idx);
+        if (idx != 2) fail_field(name, field, "bad exponent");
+    } catch (const std::invalid_argument&) {
+        fail_field(name, field, "bad exponent");
+    }
     return sign * mantissa * std::pow(10.0, exponent);
 }
 
 void check_line(const std::string& line, char first_char) {
-    if (line.size() < 69) throw std::invalid_argument("tle: line shorter than 69 chars");
-    if (line[0] != first_char) throw std::invalid_argument("tle: wrong line number");
+    if (line.size() < 69) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "tle: line %c truncated (%zu chars, need 69)", first_char,
+                      line.size());
+        throw std::invalid_argument(buf);
+    }
+    if (line[0] != first_char) {
+        throw std::invalid_argument(std::string("tle: expected line to start with '") +
+                                    first_char + "', got '" + line[0] + "'");
+    }
     const int expected = tle_checksum(line.substr(0, 68));
     const int actual = line[68] - '0';
-    if (expected != actual) throw std::invalid_argument("tle: checksum mismatch");
+    if (expected != actual) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "tle: line %c checksum mismatch (computed %d, stored %c)",
+                      first_char, expected, line[68]);
+        throw std::invalid_argument(buf);
+    }
 }
 
 }  // namespace
@@ -141,29 +221,43 @@ Tle Tle::parse(const std::string& l1, const std::string& l2) {
     check_line(l2, '2');
 
     Tle tle;
-    tle.satellite_number = std::stoi(l1.substr(2, 5));
-    if (std::stoi(l2.substr(2, 5)) != tle.satellite_number) {
+    tle.satellite_number = parse_int_field(l1, 2, 5, "satellite number");
+    if (parse_int_field(l2, 2, 5, "satellite number") != tle.satellite_number) {
         throw std::invalid_argument("tle: satellite numbers differ between lines");
     }
     tle.international_designator = l1.substr(9, 8);
 
-    const int yy = std::stoi(l1.substr(18, 2));
+    const int yy = parse_int_field(l1, 18, 2, "epoch year");
     const int year = yy < 57 ? 2000 + yy : 1900 + yy;
-    const double doy = std::stod(l1.substr(20, 12));
+    const double doy = parse_double_field(l1, 20, 12, "epoch day-of-year");
+    check_range(doy, 1.0, 367.0, "epoch day-of-year");
     JulianDate jan1 = julian_date_from_utc(year, 1, 1, 0, 0, 0.0);
     tle.epoch = jan1.plus_seconds((doy - 1.0) * 86400.0);
 
-    tle.mean_motion_dot = std::stod(l1.substr(33, 10));
-    tle.mean_motion_ddot = parse_exp_field(l1.substr(44, 8));
-    tle.bstar = parse_exp_field(l1.substr(53, 8));
+    tle.mean_motion_dot = parse_double_field(l1, 33, 10, "mean-motion derivative");
+    tle.mean_motion_ddot = parse_exp_field(l1.substr(44, 8), "mean-motion 2nd derivative");
+    tle.bstar = parse_exp_field(l1.substr(53, 8), "bstar");
 
-    tle.inclination_deg = std::stod(l2.substr(8, 8));
-    tle.raan_deg = std::stod(l2.substr(17, 8));
-    tle.eccentricity = std::stod("0." + l2.substr(26, 7));
-    tle.arg_perigee_deg = std::stod(l2.substr(34, 8));
-    tle.mean_anomaly_deg = std::stod(l2.substr(43, 8));
-    tle.mean_motion_rev_per_day = std::stod(l2.substr(52, 11));
-    tle.revolution_number = std::stoi(l2.substr(63, 5));
+    tle.inclination_deg = parse_double_field(l2, 8, 8, "inclination");
+    check_range(tle.inclination_deg, 0.0, 180.0, "inclination");
+    tle.raan_deg = parse_double_field(l2, 17, 8, "raan");
+    check_range(tle.raan_deg, 0.0, 360.0, "raan");
+    const std::string ecc_digits = l2.substr(26, 7);
+    for (char c : ecc_digits) {
+        if (c < '0' || c > '9') {
+            fail_field("eccentricity", ecc_digits, "non-digit character");
+        }
+    }
+    tle.eccentricity = std::stod("0." + ecc_digits);
+    tle.arg_perigee_deg = parse_double_field(l2, 34, 8, "argument of perigee");
+    check_range(tle.arg_perigee_deg, 0.0, 360.0, "argument of perigee");
+    tle.mean_anomaly_deg = parse_double_field(l2, 43, 8, "mean anomaly");
+    check_range(tle.mean_anomaly_deg, 0.0, 360.0, "mean anomaly");
+    tle.mean_motion_rev_per_day = parse_double_field(l2, 52, 11, "mean motion");
+    if (tle.mean_motion_rev_per_day <= 0.0) {
+        fail_field("mean motion", l2.substr(52, 11), "must be positive");
+    }
+    tle.revolution_number = parse_int_field(l2, 63, 5, "revolution number");
     return tle;
 }
 

@@ -43,8 +43,11 @@ struct Tle {
     static Tle from_kepler(const KeplerianElements& kep, int satellite_number,
                            const std::string& name = "");
 
-    /// Parses a line pair. Throws std::invalid_argument on malformed input
-    /// or checksum mismatch.
+    /// Parses a line pair. Throws std::invalid_argument on malformed input:
+    /// truncated lines, checksum mismatches, non-numeric columns, and
+    /// out-of-range elements (inclination outside [0, 180], angles outside
+    /// [0, 360], non-positive mean motion, day-of-year outside [1, 367]).
+    /// The message names the offending field and quotes its raw text.
     static Tle parse(const std::string& line1, const std::string& line2);
 };
 

@@ -66,6 +66,9 @@ class ForwardingState {
     /// Serializes the complete state as CSV rows
     /// "destination,node,next_hop,distance_km", destinations ascending
     /// and nodes ascending — identical states dump byte-identically.
+    /// Unreachable (e.g. partitioned-graph) rows use the documented
+    /// sentinel next_hop == -1 with the literal distance "inf"; they are
+    /// ordinary rows, never an error.
     void serialize_csv(std::ostream& out) const;
     std::string dump_csv() const;
 

@@ -111,11 +111,26 @@ Graph build_snapshot(const topo::SatelliteMobility& mobility,
     HYPATIA_PROFILE_SCOPE("routing.snapshot");
     static obs::Counter* const snapshots_metric =
         &obs::metrics().counter("route.snapshots");
+    static obs::Counter* const masked_metric =
+        &obs::metrics().counter("fault.links_masked");
+    static obs::Gauge* const down_gauge = &obs::metrics().gauge("fault.nodes_down");
     snapshots_metric->inc();
     const int num_sats = mobility.num_satellites();
     Graph g(num_sats, static_cast<int>(ground_stations.size()));
     g.reserve_edges((options.include_isls ? isls.size() : 0) +
                     8 * ground_stations.size());
+
+    const fault::FaultSchedule* faults =
+        (options.faults != nullptr && !options.faults->empty()) ? options.faults
+                                                                : nullptr;
+    std::vector<char> sat_down;
+    if (faults != nullptr) {
+        faults->fill_satellites_down(t, sat_down);
+        down_gauge->set(
+            static_cast<double>(faults->down_count(fault::FaultKind::kSatellite, t) +
+                                faults->down_count(fault::FaultKind::kGroundStation, t)));
+    }
+    std::size_t masked = 0;
 
     // Batch the SGP4 propagations for this instant across the pool; the
     // serial ISL and visibility loops below then run on warm cache hits.
@@ -123,14 +138,27 @@ Graph build_snapshot(const topo::SatelliteMobility& mobility,
 
     if (options.include_isls) {
         for (const auto& isl : isls) {
-            const double d = mobility.position_ecef(isl.sat_a, t)
-                                 .distance_to(mobility.position_ecef(isl.sat_b, t));
+            double d = mobility.position_ecef(isl.sat_a, t)
+                           .distance_to(mobility.position_ecef(isl.sat_b, t));
+            // A failed link keeps its slot with infinite weight (see
+            // SnapshotOptions::faults): routing-invisible, yet the CSR
+            // structure stays congruent with the refresher's frozen base.
+            if (faults != nullptr &&
+                (sat_down[static_cast<std::size_t>(isl.sat_a)] != 0 ||
+                 sat_down[static_cast<std::size_t>(isl.sat_b)] != 0 ||
+                 faults->isl_down(isl.sat_a, isl.sat_b, t))) {
+                d = kInfDistance;
+                ++masked;
+            }
             g.add_undirected_edge(isl.sat_a, isl.sat_b, d);
         }
     }
 
     const double base_range = mobility.constellation().params().max_gsl_range_km();
     for (std::size_t gi = 0; gi < ground_stations.size(); ++gi) {
+        if (faults != nullptr && faults->gs_down(static_cast<int>(gi), t)) {
+            continue;  // GS outage: its GSL row is empty this epoch
+        }
         const int gs_node = g.gs_node(static_cast<int>(gi));
         double max_range = base_range;
         if (options.gsl_range_factor) {
@@ -144,10 +172,15 @@ Graph build_snapshot(const topo::SatelliteMobility& mobility,
             // weather-shrunk nearest satellite: the GS is disconnected,
             // it does not fall through to a farther satellite.
             if (entry.range_km > max_range) break;
+            if (faults != nullptr && sat_down[static_cast<std::size_t>(entry.sat_id)] != 0) {
+                ++masked;
+                continue;  // dead satellite: not a connectable target
+            }
             g.add_undirected_edge(gs_node, entry.sat_id, entry.range_km);
             if (options.gs_nearest_satellite_only) break;
         }
     }
+    if (masked != 0) masked_metric->inc(masked);
 
     for (int relay_gs : options.relay_gs_indices) {
         g.set_relay(g.gs_node(relay_gs), true);

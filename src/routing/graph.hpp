@@ -21,6 +21,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/fault/fault.hpp"
 #include "src/orbit/ground_station.hpp"
 #include "src/topology/isl.hpp"
 #include "src/topology/mobility.hpp"
@@ -175,6 +176,21 @@ struct SnapshotOptions {
     /// of ground station `gs_index` at time `t` (1.0 = clear sky; rain
     /// fade shrinks the usable cone). Section 7's weather-model extension.
     std::function<double(int gs_index, TimeNs t)> gsl_range_factor;
+    /// Optional fault mask (must outlive the snapshot/refresher; nullptr
+    /// or an empty schedule disables it). Failed elements are excluded
+    /// identically in rebuild and refresh modes:
+    ///   * a cut ISL, or an ISL with a dead endpoint, keeps its edge
+    ///     slot but carries kInfDistance — an infinite-weight edge never
+    ///     relaxes in Dijkstra (inf < inf is false), so every routing
+    ///     output is byte-identical to the edge being absent while the
+    ///     refresher's frozen CSR base structure is preserved;
+    ///   * GSLs of a dead satellite or a ground station in outage are
+    ///     excluded structurally (the GSL tier is rebuilt per epoch
+    ///     anyway). In nearest-satellite-only mode a GS whose nearest
+    ///     satellite is dead falls through to the nearest *alive* one —
+    ///     a dead satellite is simply not there to associate with,
+    ///     unlike a weather-shrunk cone, which disconnects the GS.
+    const fault::FaultSchedule* faults = nullptr;
 };
 
 /// Builds the graph at simulation time `t`: ISL edges with current

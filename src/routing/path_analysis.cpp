@@ -36,6 +36,18 @@ AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
     snap_opts.relay_gs_indices = options.relay_gs_indices;
     snap_opts.gs_nearest_satellite_only = options.gs_nearest_satellite_only;
     snap_opts.gsl_range_factor = options.gsl_range_factor;
+    snap_opts.faults = options.faults;
+
+    // HYPATIA_FAULTS fallback: a schedule materialized here must outlive
+    // every snapshot of the window.
+    std::optional<fault::FaultSchedule> env_faults;
+    if (snap_opts.faults == nullptr) {
+        if (const auto spec = fault::spec_from_env()) {
+            env_faults.emplace(fault::FaultSchedule::from_spec(
+                *spec, mobility.num_satellites(), isls, ground_stations));
+            if (!env_faults->empty()) snap_opts.faults = &*env_faults;
+        }
+    }
 
     // Refresh mode (the default) keeps one graph alive for the whole
     // window and delta-patches it per step; rebuild mode reconstructs it
@@ -87,8 +99,13 @@ AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
             } else {
                 rtt_s = 2.0 * dist / orbit::kSpeedOfLightKmPerS;
                 const auto full = extract_path(tree, src_node);
-                // Keep only the satellite portion (strip both GS endpoints).
-                sat_path.assign(full.begin() + 1, full.end() - 1);
+                // Keep only the satellite portion (strip both GS
+                // endpoints). A finite distance guarantees a >= 2 node
+                // path, but guard anyway: an empty extraction (corrupted
+                // tree) must not index full.begin() + 1.
+                if (full.size() >= 2) {
+                    sat_path.assign(full.begin() + 1, full.end() - 1);
+                }
 
                 const bool first = stats.min_rtt_s == 0.0 && stats.max_rtt_s == 0.0;
                 if (first || rtt_s < stats.min_rtt_s) stats.min_rtt_s = rtt_s;

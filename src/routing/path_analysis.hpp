@@ -55,9 +55,16 @@ struct AnalysisOptions {
     std::vector<int> relay_gs_indices;  // bent-pipe relays, if any
     bool gs_nearest_satellite_only = false;
     std::function<double(int gs_index, TimeNs t)> gsl_range_factor;
+    /// Optional fault schedule (see SnapshotOptions::faults; must
+    /// outlive the analysis). When nullptr, HYPATIA_FAULTS is consulted
+    /// instead; pass a pointer to an empty schedule to force
+    /// fault-free analysis regardless of the environment.
+    const fault::FaultSchedule* faults = nullptr;
     /// Optional observer called at every step with the pair index, the
     /// current RTT (seconds, +inf if unreachable) and the node path
-    /// (satellite ids between two GS node ids; empty if unreachable).
+    /// (satellite ids between two GS node ids; empty if unreachable —
+    /// the documented partitioned-graph sentinel: rtt_s == +inf AND an
+    /// empty path, never an infinite-distance path artifact).
     std::function<void(TimeNs t, int pair_index, double rtt_s,
                        const std::vector<int>& path)>
         per_step_observer;

@@ -216,6 +216,8 @@ DestinationTree dijkstra_to(const Graph& graph, int destination) {
 
 std::vector<int> extract_path(const DestinationTree& tree, int source) {
     std::vector<int> path;
+    const auto n = static_cast<std::ptrdiff_t>(tree.next_hop.size());
+    if (source < 0 || source >= n) return path;  // out of range: no path
     if (source != tree.destination &&
         tree.next_hop[static_cast<std::size_t>(source)] < 0) {
         return path;  // unreachable
@@ -224,6 +226,13 @@ std::vector<int> extract_path(const DestinationTree& tree, int source) {
     path.push_back(node);
     while (node != tree.destination) {
         node = tree.next_hop[static_cast<std::size_t>(node)];
+        // A -1 (or out-of-range) hop mid-chain means the tree is
+        // inconsistent (e.g. a stale destination field); report the
+        // source as unreachable rather than walking off the buffer.
+        if (node < 0 || node >= n) {
+            path.clear();
+            return path;
+        }
         path.push_back(node);
         if (path.size() > static_cast<std::size_t>(tree.next_hop.size())) {
             // Defensive: a cycle here would indicate corrupted state.

@@ -43,6 +43,11 @@ SnapshotRefresher::SnapshotRefresher(
       ground_stations_(&ground_stations),
       options_(std::move(options)),
       graph_(mobility.num_satellites(), static_cast<int>(ground_stations.size())) {
+    // Normalize "no faults" to nullptr so the per-epoch tests reduce to
+    // one pointer check (and an empty schedule costs nothing).
+    if (options_.faults != nullptr && options_.faults->empty()) {
+        options_.faults = nullptr;
+    }
     if (options_.include_isls) {
         graph_.reserve_edges(isls.size());
         // Structure only; the first refresh() fills in real distances.
@@ -95,6 +100,10 @@ void SnapshotRefresher::scan_gsl_row(int gs_index, TimeNs t, std::uint32_t now_m
     // The candidates enter std::sort in the same order with the same
     // keys as scan_sky's entries, so the (unstable) sort applies the
     // same permutation and the connectable prefix is identical.
+    if (options_.faults != nullptr && options_.faults->gs_down(gs_index, t)) {
+        row.clear();  // GS outage: empty row, matching build_snapshot's skip
+        return;
+    }
     double max_range = shell_max_range_km_;
     if (options_.gsl_range_factor) {
         max_range *= options_.gsl_range_factor(gs_index, t);
@@ -130,11 +139,22 @@ void SnapshotRefresher::scan_gsl_row(int gs_index, TimeNs t, std::uint32_t now_m
         return a.range_km < b.range_km;
     });
     row.clear();
+    std::size_t masked = 0;
     for (const SkyCandidate& c : cand) {
         if (c.range_km > shell_max_range_km_) break;  // ascending: rest unconnectable
         if (c.range_km > max_range) break;  // weather-shrunk cone
+        if (!fault_sat_down_.empty() &&
+            fault_sat_down_[static_cast<std::size_t>(c.sat)] != 0) {
+            ++masked;
+            continue;  // dead satellite: same skip as build_snapshot
+        }
         row.push_back({c.sat, c.range_km});
         if (options_.gs_nearest_satellite_only) break;
+    }
+    if (masked != 0) {
+        static obs::Counter* const masked_metric =
+            &obs::metrics().counter("fault.links_masked");
+        masked_metric->inc(masked);
     }
 }
 
@@ -190,15 +210,41 @@ const Graph& SnapshotRefresher::refresh(TimeNs t) {
     const std::uint32_t now_ms =
         cull ? static_cast<std::uint32_t>(t / 1'000'000) : 0;
 
-    // 1. ISL weights in place (structure untouched).
+    // 0b. Fault state for this epoch: one satellite mask shared by the
+    // ISL pass and every GS scan (same mask build_snapshot computes).
+    const fault::FaultSchedule* const faults = options_.faults;
+    if (faults != nullptr) {
+        faults->fill_satellites_down(t, fault_sat_down_);
+        static obs::Gauge* const down_gauge =
+            &obs::metrics().gauge("fault.nodes_down");
+        down_gauge->set(static_cast<double>(
+            faults->down_count(fault::FaultKind::kSatellite, t) +
+            faults->down_count(fault::FaultKind::kGroundStation, t)));
+    }
+
+    // 1. ISL weights in place (structure untouched). A failed link gets
+    // kInfDistance — routing-equivalent to removal (inf never relaxes)
+    // without disturbing the frozen slot indices.
     if (options_.include_isls) {
+        std::size_t masked = 0;
         for (std::size_t i = 0; i < isls_->size(); ++i) {
             const auto& isl = (*isls_)[i];
-            const double d =
-                sat_positions_[static_cast<std::size_t>(isl.sat_a)].distance_to(
-                    sat_positions_[static_cast<std::size_t>(isl.sat_b)]);
+            double d = sat_positions_[static_cast<std::size_t>(isl.sat_a)].distance_to(
+                sat_positions_[static_cast<std::size_t>(isl.sat_b)]);
+            if (faults != nullptr &&
+                (fault_sat_down_[static_cast<std::size_t>(isl.sat_a)] != 0 ||
+                 fault_sat_down_[static_cast<std::size_t>(isl.sat_b)] != 0 ||
+                 faults->isl_down(isl.sat_a, isl.sat_b, t))) {
+                d = kInfDistance;
+                ++masked;
+            }
             graph_.set_edge_distance(isl_slots_[i].first, d);
             graph_.set_edge_distance(isl_slots_[i].second, d);
+        }
+        if (masked != 0) {
+            static obs::Counter* const masked_metric =
+                &obs::metrics().counter("fault.links_masked");
+            masked_metric->inc(masked);
         }
     }
 

@@ -100,6 +100,10 @@ class SnapshotRefresher {
     std::vector<std::vector<Edge>> fresh_rows_;
     std::vector<std::vector<SkyCandidate>> sky_scratch_;
     TimeNs last_refresh_t_ = std::numeric_limits<TimeNs>::min();
+    /// Fault state at the current refresh time, mirrored from
+    /// options_.faults once per epoch (read-only under the parallel
+    /// scan). Empty when no fault schedule is active.
+    std::vector<char> fault_sat_down_;
 };
 
 }  // namespace hypatia::route

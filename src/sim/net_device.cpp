@@ -9,16 +9,27 @@ namespace hypatia::sim {
 
 NetDevice::NetDevice(Simulator& sim, int owner_node, double rate_bps,
                      std::size_t queue_capacity, DelayModel delay, DeliverFn deliver,
-                     int fixed_peer)
+                     int fixed_peer, LinkUpFn link_up)
     : sim_(sim), owner_(owner_node), rate_bps_(rate_bps), queue_(queue_capacity),
-      delay_(std::move(delay)), deliver_(std::move(deliver)), fixed_peer_(fixed_peer),
+      delay_(std::move(delay)), deliver_(std::move(deliver)),
+      link_up_(std::move(link_up)), fixed_peer_(fixed_peer),
       tx_packets_metric_(&obs::metrics().counter("net.tx_packets")),
       tx_bytes_metric_(&obs::metrics().counter("net.tx_bytes")),
       rx_packets_metric_(&obs::metrics().counter("net.rx_packets")),
       drops_metric_(&obs::metrics().counter("net.queue_drops")),
+      fault_drops_metric_(&obs::metrics().counter("fault.packets_dropped")),
       queue_depth_metric_(&obs::metrics().histogram("net.queue_depth")),
       tracer_(&obs::tracer()) {
     if (rate_bps <= 0.0) throw std::invalid_argument("net_device: rate must be positive");
+}
+
+void NetDevice::drop_on_dead_link(const Packet& packet, int to) {
+    fault_drops_metric_->inc();
+    if (tracer_->enabled(obs::TraceCategory::kFault)) {
+        tracer_->emit(obs::make_record(sim_.now(), obs::TraceCategory::kFault,
+                                       "fault.pkt_drop", owner_, to, packet.flow_id,
+                                       static_cast<std::int64_t>(packet.seq)));
+    }
 }
 
 bool NetDevice::send(const Packet& packet, int next_hop) {
@@ -77,15 +88,27 @@ void NetDevice::on_transmit_complete(DropTailQueue::Entry entry) {
                                        "pkt.tx", owner_, to, packet.flow_id,
                                        static_cast<std::int64_t>(packet.size_bytes)));
     }
-    sim_.schedule_in(prop, [this, packet, to]() {
-        rx_packets_metric_->inc();
-        if (tracer_->enabled(obs::TraceCategory::kPacket)) {
-            tracer_->emit(obs::make_record(sim_.now(), obs::TraceCategory::kPacket,
-                                           "pkt.deliver", to, owner_, packet.flow_id,
-                                           static_cast<std::int64_t>(packet.seq)));
-        }
-        deliver_(packet, to);
-    });
+    if (link_up_ && !link_up_(owner_, to, sim_.now())) {
+        // The link died while the packet was serializing: the frame
+        // leaves a dead transmitter and is lost.
+        drop_on_dead_link(packet, to);
+    } else {
+        sim_.schedule_in(prop, [this, packet, to]() {
+            if (link_up_ && !link_up_(owner_, to, sim_.now())) {
+                // Died mid-flight: the wavefront arrives at a dead
+                // receiver and is lost (no loss-free handoff for faults).
+                drop_on_dead_link(packet, to);
+                return;
+            }
+            rx_packets_metric_->inc();
+            if (tracer_->enabled(obs::TraceCategory::kPacket)) {
+                tracer_->emit(obs::make_record(sim_.now(), obs::TraceCategory::kPacket,
+                                               "pkt.deliver", to, owner_, packet.flow_id,
+                                               static_cast<std::int64_t>(packet.seq)));
+            }
+            deliver_(packet, to);
+        });
+    }
 
     busy_ = false;
     if (!queue_.empty()) start_transmission(queue_.dequeue());

@@ -31,13 +31,20 @@ using DelayModel = std::function<TimeNs(int from_node, int to_node, TimeNs t)>;
 /// Called when a packet finishes propagating: deliver to `to_node`.
 using DeliverFn = std::function<void(const Packet&, int to_node)>;
 
+/// Link health probe (fault injection): false when the hop from_node ->
+/// to_node is dead at `t`. Consulted when the wavefront leaves the
+/// device and again at the delivery instant, so a link that dies while
+/// a packet is in flight loses that packet (a dead transceiver cannot
+/// receive). nullptr = always up.
+using LinkUpFn = std::function<bool(int from_node, int to_node, TimeNs t)>;
+
 class NetDevice {
   public:
     /// `fixed_peer` >= 0 makes this a point-to-point (ISL) device; -1 a
     /// GSL device that sends to whatever next hop each packet carries.
     NetDevice(Simulator& sim, int owner_node, double rate_bps,
               std::size_t queue_capacity, DelayModel delay, DeliverFn deliver,
-              int fixed_peer = -1);
+              int fixed_peer = -1, LinkUpFn link_up = nullptr);
 
     /// Enqueues toward `next_hop` (ignored for ISL devices, which always
     /// use their fixed peer). Returns false if the queue dropped it.
@@ -58,6 +65,7 @@ class NetDevice {
   private:
     void start_transmission(const DropTailQueue::Entry& entry);
     void on_transmit_complete(DropTailQueue::Entry entry);
+    void drop_on_dead_link(const Packet& packet, int to);
 
     Simulator& sim_;
     int owner_;
@@ -65,6 +73,7 @@ class NetDevice {
     DropTailQueue queue_;
     DelayModel delay_;
     DeliverFn deliver_;
+    LinkUpFn link_up_;
     int fixed_peer_;
     bool busy_ = false;
     std::uint64_t tx_bytes_ = 0;
@@ -75,6 +84,7 @@ class NetDevice {
     obs::Counter* tx_bytes_metric_;
     obs::Counter* rx_packets_metric_;
     obs::Counter* drops_metric_;
+    obs::Counter* fault_drops_metric_;
     obs::Histogram* queue_depth_metric_;
     obs::Tracer* tracer_;
 };

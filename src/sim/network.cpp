@@ -11,24 +11,27 @@ void Network::create_nodes(int count) {
 }
 
 NetDevice& Network::make_device(int owner, double rate_bps, std::size_t queue_capacity,
-                                DelayModel delay, int fixed_peer) {
+                                DelayModel delay, int fixed_peer, LinkUpFn link_up) {
     devices_.push_back(std::make_unique<NetDevice>(
         sim_, owner, rate_bps, queue_capacity, std::move(delay),
-        [this](const Packet& p, int to) { node(to).receive(p); }, fixed_peer));
+        [this](const Packet& p, int to) { node(to).receive(p); }, fixed_peer,
+        std::move(link_up)));
     return *devices_.back();
 }
 
 void Network::add_isl(int a, int b, double rate_bps, std::size_t queue_capacity,
-                      DelayModel delay) {
-    NetDevice& ab = make_device(a, rate_bps, queue_capacity, delay, b);
-    NetDevice& ba = make_device(b, rate_bps, queue_capacity, std::move(delay), a);
+                      DelayModel delay, LinkUpFn link_up) {
+    NetDevice& ab = make_device(a, rate_bps, queue_capacity, delay, b, link_up);
+    NetDevice& ba =
+        make_device(b, rate_bps, queue_capacity, std::move(delay), a, std::move(link_up));
     node(a).attach_isl_device(b, &ab);
     node(b).attach_isl_device(a, &ba);
 }
 
 void Network::add_gsl(int n, double rate_bps, std::size_t queue_capacity,
-                      DelayModel delay) {
-    NetDevice& dev = make_device(n, rate_bps, queue_capacity, std::move(delay), -1);
+                      DelayModel delay, LinkUpFn link_up) {
+    NetDevice& dev =
+        make_device(n, rate_bps, queue_capacity, std::move(delay), -1, std::move(link_up));
     node(n).attach_gsl_device(&dev);
 }
 

@@ -24,11 +24,14 @@ class Network {
     Simulator& simulator() { return sim_; }
 
     /// Adds the two unidirectional devices of one ISL (a<->b).
+    /// `link_up` (optional) is the fault probe both devices consult; see
+    /// sim::LinkUpFn.
     void add_isl(int a, int b, double rate_bps, std::size_t queue_capacity,
-                 DelayModel delay);
+                 DelayModel delay, LinkUpFn link_up = nullptr);
 
     /// Adds the single GSL device of node `n`.
-    void add_gsl(int n, double rate_bps, std::size_t queue_capacity, DelayModel delay);
+    void add_gsl(int n, double rate_bps, std::size_t queue_capacity, DelayModel delay,
+                 LinkUpFn link_up = nullptr);
 
     /// All devices, for utilization accounting.
     const std::vector<std::unique_ptr<NetDevice>>& devices() const { return devices_; }
@@ -39,7 +42,7 @@ class Network {
 
   private:
     NetDevice& make_device(int owner, double rate_bps, std::size_t queue_capacity,
-                           DelayModel delay, int fixed_peer);
+                           DelayModel delay, int fixed_peer, LinkUpFn link_up);
 
     Simulator& sim_;
     std::vector<std::unique_ptr<Node>> nodes_;

@@ -148,5 +148,70 @@ TEST(AnalyzePairs, StepCountMatchesWindow) {
     EXPECT_EQ(res.path_changes_per_step.size(), 20u);
 }
 
+TEST(AnalyzePairs, AllSatellitesDownReportsUnreachableNotArtifacts) {
+    // A fully partitioned graph (every satellite dead the whole window)
+    // must count every step unreachable and keep the RTT extrema at
+    // their zero-initialized state — no infinite-distance values leaking
+    // into the stats, no crash extracting paths from empty trees.
+    Fixture f;
+    std::vector<fault::FaultEvent> events;
+    const int num_sats = f.constellation.num_satellites();
+    for (int sat = 0; sat < num_sats; ++sat) {
+        events.push_back(
+            {fault::FaultKind::kSatellite, sat, -1, 0, 100 * kNsPerSec});
+    }
+    const auto sched = fault::FaultSchedule::from_events(
+        events, num_sats, static_cast<int>(f.gses.size()));
+
+    std::vector<GsPair> pairs = {
+        {topo::city_index("Manila"), topo::city_index("Dalian")},
+        {topo::city_index("Tokyo"), topo::city_index("Seoul")}};
+    AnalysisOptions opt;
+    opt.t_end = 3 * kNsPerSec;
+    opt.step = 1 * kNsPerSec;
+    opt.faults = &sched;
+    int unreachable_observations = 0;
+    opt.per_step_observer = [&](TimeNs, int, double rtt_s,
+                                const std::vector<int>& path) {
+        if (rtt_s == kInfDistance) {
+            EXPECT_TRUE(path.empty());
+            ++unreachable_observations;
+        }
+    };
+    const auto res = analyze_pairs(f.mobility, f.isls, f.gses, pairs, opt);
+    EXPECT_EQ(unreachable_observations, 6);
+    for (const auto& s : res.pair_stats) {
+        EXPECT_EQ(s.unreachable_steps, s.total_steps);
+        EXPECT_EQ(s.min_rtt_s, 0.0);
+        EXPECT_EQ(s.max_rtt_s, 0.0);
+        EXPECT_EQ(s.path_changes, 0);
+    }
+}
+
+TEST(AnalyzePairs, PartitionHealsMidWindow) {
+    // Satellites down for the first 2 s of a 4 s window: the first two
+    // steps are unreachable, the rest recover with sane RTTs.
+    Fixture f;
+    std::vector<fault::FaultEvent> events;
+    const int num_sats = f.constellation.num_satellites();
+    for (int sat = 0; sat < num_sats; ++sat) {
+        events.push_back({fault::FaultKind::kSatellite, sat, -1, 0, 2 * kNsPerSec});
+    }
+    const auto sched = fault::FaultSchedule::from_events(
+        events, num_sats, static_cast<int>(f.gses.size()));
+    std::vector<GsPair> pairs = {
+        {topo::city_index("Manila"), topo::city_index("Dalian")}};
+    AnalysisOptions opt;
+    opt.t_end = 4 * kNsPerSec;
+    opt.step = 1 * kNsPerSec;
+    opt.faults = &sched;
+    const auto res = analyze_pairs(f.mobility, f.isls, f.gses, pairs, opt);
+    const auto& s = res.pair_stats[0];
+    EXPECT_EQ(s.total_steps, 4);
+    EXPECT_EQ(s.unreachable_steps, 2);
+    EXPECT_GT(s.min_rtt_s, 0.0);
+    EXPECT_LT(s.max_rtt_s, 0.5);
+}
+
 }  // namespace
 }  // namespace hypatia::route

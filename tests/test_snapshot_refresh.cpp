@@ -21,6 +21,7 @@
 #include "src/topology/constellation.hpp"
 #include "src/topology/isl.hpp"
 #include "src/topology/mobility.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace hypatia {
 namespace {
@@ -150,6 +151,48 @@ TEST(SnapshotRefresher, NearestSatelliteOnlyMatchesRebuild) {
             route::build_snapshot(s.mobility, s.isls, s.gses, t, opts);
         ASSERT_EQ(dump_graph(refreshed), dump_graph(rebuilt)) << "step " << step;
     }
+}
+
+TEST(SnapshotRefresher, FaultChurnMatchesRebuildAtAnyThreadCount) {
+    // A churny generated fault schedule (satellite, ISL and GS outages
+    // flipping every few tens of seconds) must leave refresh and rebuild
+    // byte-identical at every step — and the dumps identical across
+    // thread counts, since the GS scan fans out on the pool.
+    Substrate s;
+    fault::FaultConfig cfg;
+    cfg.seed = 21;
+    cfg.horizon = 60 * kNsPerSec;
+    cfg.sat_mtbf_s = 40.0;
+    cfg.sat_mttr_s = 20.0;
+    cfg.isl_mtbf_s = 30.0;
+    cfg.isl_mttr_s = 15.0;
+    cfg.gs_mtbf_s = 50.0;
+    cfg.gs_mttr_s = 25.0;
+    const auto sched = fault::FaultSchedule::generate(
+        cfg, s.constellation.num_satellites(), s.isls, s.gses);
+    ASSERT_FALSE(sched.empty());
+    route::SnapshotOptions opts;
+    opts.faults = &sched;
+
+    std::vector<std::string> per_thread_dumps;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        util::ThreadPool::set_global_threads(threads);
+        std::string all_steps;
+        route::SnapshotRefresher refresher(s.mobility, s.isls, s.gses, opts);
+        for (int step = 0; step < 7; ++step) {
+            const TimeNs t = step * 8 * kNsPerSec;
+            const route::Graph& refreshed = refresher.refresh(t);
+            const route::Graph rebuilt =
+                route::build_snapshot(s.mobility, s.isls, s.gses, t, opts);
+            ASSERT_EQ(dump_graph(refreshed), dump_graph(rebuilt))
+                << "threads " << threads << " step " << step;
+            all_steps += dump_graph(refreshed);
+        }
+        per_thread_dumps.push_back(std::move(all_steps));
+    }
+    util::ThreadPool::set_global_threads(0);
+    EXPECT_EQ(per_thread_dumps[0], per_thread_dumps[1]);
+    EXPECT_EQ(per_thread_dumps[0], per_thread_dumps[2]);
 }
 
 // --- Consumer plumbing ------------------------------------------------------

@@ -88,6 +88,92 @@ TEST(TleParse, RejectsWrongLineOrder) {
     EXPECT_THROW(Tle::parse(tle.line2(), tle.line1()), std::invalid_argument);
 }
 
+// Rewrites columns [pos, pos+text.size()) of a line and repairs the
+// checksum so field-level validation (not the checksum) is what trips.
+std::string corrupt(std::string line, std::size_t pos, const std::string& text) {
+    line.replace(pos, text.size(), text);
+    line[68] = static_cast<char>('0' + tle_checksum(line.substr(0, 68)));
+    return line;
+}
+
+TEST(TleParse, TruncatedLineErrorNamesLength) {
+    const auto tle = sample_tle();
+    try {
+        Tle::parse(tle.line1().substr(0, 40), tle.line2());
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TleParse, ChecksumErrorNamesDigits) {
+    const auto tle = sample_tle();
+    std::string l1 = tle.line1();
+    l1[68] = l1[68] == '0' ? '1' : '0';
+    try {
+        Tle::parse(l1, tle.line2());
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TleParse, RejectsNonNumericSatNumber) {
+    const auto tle = sample_tle();
+    const std::string l1 = corrupt(tle.line1(), 2, "12a34");
+    try {
+        Tle::parse(l1, tle.line2());
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("satellite number"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TleParse, RejectsNonNumericInclination) {
+    const auto tle = sample_tle();
+    const std::string l2 = corrupt(tle.line2(), 8, "  bad.90");
+    EXPECT_THROW(Tle::parse(tle.line1(), l2), std::invalid_argument);
+}
+
+TEST(TleParse, RejectsOutOfRangeInclination) {
+    const auto tle = sample_tle();
+    const std::string l2 = corrupt(tle.line2(), 8, "181.0000");
+    try {
+        Tle::parse(tle.line1(), l2);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("inclination"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TleParse, RejectsNegativeMeanMotion) {
+    const auto tle = sample_tle();
+    const std::string l2 = corrupt(tle.line2(), 52, "-5.00000000");
+    EXPECT_THROW(Tle::parse(tle.line1(), l2), std::invalid_argument);
+}
+
+TEST(TleParse, RejectsOutOfRangeDayOfYear) {
+    const auto tle = sample_tle();
+    const std::string l1 = corrupt(tle.line1(), 20, "400.00000000");
+    EXPECT_THROW(Tle::parse(l1, tle.line2()), std::invalid_argument);
+}
+
+TEST(TleParse, RejectsNonDigitEccentricity) {
+    const auto tle = sample_tle();
+    const std::string l2 = corrupt(tle.line2(), 26, "00x0000");
+    EXPECT_THROW(Tle::parse(tle.line1(), l2), std::invalid_argument);
+}
+
+TEST(TleParse, RejectsCorruptBstarExponent) {
+    const auto tle = sample_tle();
+    const std::string l1 = corrupt(tle.line1(), 53, " 11423-x");
+    EXPECT_THROW(Tle::parse(l1, tle.line2()), std::invalid_argument);
+}
+
 TEST(TleEpoch, YearWindowConvention) {
     // Epoch years 57-99 are 1900s, 00-56 are 2000s. Our epoch is 2000.
     const auto tle = sample_tle();
