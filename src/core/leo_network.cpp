@@ -5,6 +5,7 @@
 
 #include "src/core/heartbeat.hpp"
 #include "src/obs/observability.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/orbit/coords.hpp"
 #include "src/routing/shortest_path.hpp"
 
@@ -138,6 +139,20 @@ void LeoNetwork::install_fstate(TimeNs sim_time) {
         }
         std::swap(fstate_.mutable_tree(dst_node), scratch_tree_);
     }
+    // Flight recorder: the install itself plus every fault transition
+    // crossed since the previous install (half-open window in orbit
+    // time, stamped back in sim time). The first install looks one
+    // interval back so outages active from t = 0 are on record.
+    if (faults_.has_value() && !scenario_.freeze) {
+        const TimeNs prev = fstate_installs_ == 0
+                                ? sim_time - scenario_.fstate_interval
+                                : last_install_sim_t_;
+        fault::record_transitions(*faults_, orbit_time(prev), orbit_time(sim_time),
+                                  -scenario_.start_offset);
+    }
+    last_install_sim_t_ = sim_time;
+    obs::recorder().record(obs::EventKind::kFstateInstall, sim_time,
+                           static_cast<std::int32_t>(entries_changed));
     ++fstate_installs_;
     installs_metric->inc();
     changed_metric->inc(entries_changed);

@@ -100,6 +100,7 @@ class LeoNetwork {
     route::ForwardingState fstate_;
     route::DestinationTree scratch_tree_;  // recycled Dijkstra output buffer
     std::uint64_t fstate_installs_ = 0;
+    TimeNs last_install_sim_t_ = 0;  // previous install (fault-event window)
 };
 
 }  // namespace hypatia::core

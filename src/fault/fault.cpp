@@ -9,7 +9,9 @@
 #include <random>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
+#include "src/obs/recorder.hpp"
 #include "src/orbit/coords.hpp"
 
 namespace hypatia::fault {
@@ -543,6 +545,39 @@ void FaultSchedule::change_times_in(TimeNs t0, TimeNs t1,
                                     std::vector<TimeNs>& out) const {
     auto it = std::upper_bound(transitions_.begin(), transitions_.end(), t0);
     for (; it != transitions_.end() && *it < t1; ++it) out.push_back(*it);
+}
+
+void FaultSchedule::transitions_in(TimeNs t0, TimeNs t1,
+                                   std::vector<FaultTransition>& out) const {
+    const std::size_t first = out.size();
+    for (const FaultEvent& ev : events_) {
+        if (ev.start > t1) break;  // events_ is sorted by start
+        if (ev.start > t0) {
+            out.push_back({ev.start, ev.kind, ev.a, ev.b, /*down=*/true});
+        }
+        if (ev.end > t0 && ev.end <= t1) {
+            out.push_back({ev.end, ev.kind, ev.a, ev.b, /*down=*/false});
+        }
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+              [](const FaultTransition& lhs, const FaultTransition& rhs) {
+                  return std::tie(lhs.t, lhs.kind, lhs.a, lhs.b, lhs.down) <
+                         std::tie(rhs.t, rhs.kind, rhs.a, rhs.b, rhs.down);
+              });
+}
+
+void record_transitions(const FaultSchedule& schedule, TimeNs t0, TimeNs t1,
+                        TimeNs record_offset) {
+    obs::FlightRecorder& recorder = obs::recorder();
+    if (!recorder.enabled()) return;
+    std::vector<FaultTransition> transitions;
+    schedule.transitions_in(t0, t1, transitions);
+    for (const FaultTransition& tr : transitions) {
+        recorder.record(tr.down ? obs::EventKind::kFaultDown
+                                : obs::EventKind::kFaultUp,
+                        tr.t + record_offset, static_cast<std::int32_t>(tr.kind),
+                        tr.a, tr.b);
+    }
 }
 
 }  // namespace hypatia::fault

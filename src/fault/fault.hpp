@@ -109,6 +109,18 @@ FaultSpec parse_fault_spec(const std::string& text);
 /// HYPATIA_TRACE convention).
 std::optional<FaultSpec> spec_from_env();
 
+/// One fault-state transition instant: an outage beginning (`down`)
+/// or ending. The flight-recorder hooks stream these as simulation
+/// time crosses them, so the timeline reconstructor can attribute path
+/// changes to the outage that caused them.
+struct FaultTransition {
+    TimeNs t = 0;
+    FaultKind kind = FaultKind::kSatellite;
+    int a = -1;
+    int b = -1;
+    bool down = false;
+};
+
 /// Immutable outage timeline with O(log outages-per-entity) point
 /// queries. Thread-safe for concurrent reads after construction.
 class FaultSchedule {
@@ -176,6 +188,12 @@ class FaultSchedule {
     /// boundaries so a path severed mid-epoch is observed, not skipped.
     void change_times_in(TimeNs t0, TimeNs t1, std::vector<TimeNs>& out) const;
 
+    /// Appends every per-entity transition (outage start / end) in the
+    /// half-open window (t0, t1], ascending by (t, kind, a, b). The
+    /// epoch-stepped consumers call this once per step with the window
+    /// they just crossed and hand the result to the flight recorder.
+    void transitions_in(TimeNs t0, TimeNs t1, std::vector<FaultTransition>& out) const;
+
   private:
     struct Outage {
         TimeNs start;
@@ -197,5 +215,12 @@ class FaultSchedule {
     std::unordered_map<std::uint64_t, Timeline> isl_;
     std::vector<TimeNs> transitions_;  // sorted unique starts + ends
 };
+
+/// Streams every transition of `schedule` in the orbit-time window
+/// (t0, t1] into the flight recorder as kFaultDown / kFaultUp events,
+/// each stamped t + record_offset (consumers recording in sim time pass
+/// -start_offset). The shared hook of the epoch-stepped consumers.
+void record_transitions(const FaultSchedule& schedule, TimeNs t0, TimeNs t1,
+                        TimeNs record_offset = 0);
 
 }  // namespace hypatia::fault

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/obs/observability.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/routing/graph.hpp"
 #include "src/routing/shortest_path.hpp"
 #include "src/util/thread_pool.hpp"
@@ -251,6 +252,13 @@ RunSummary Engine::run() {
 
     for (std::size_t bi = 0; bi < boundaries.size(); ++bi) {
         const TimeNs t = boundaries[bi];
+        // Flight recorder: fault transitions this segment boundary just
+        // crossed, stamped in sim time like every other flowsim event.
+        if (faults_.has_value() && !scenario_.freeze) {
+            const TimeNs prev_sim_t = bi > 0 ? boundaries[bi - 1] : t - options_.epoch;
+            fault::record_transitions(*faults_, orbit_time(prev_sim_t), orbit_time(t),
+                                      -scenario_.start_offset);
+        }
         const TimeNs t_next =
             bi + 1 < boundaries.size() ? boundaries[bi + 1] : options_.duration;
         const TimeNs dt = t_next - t;
@@ -305,6 +313,11 @@ RunSummary Engine::run() {
         }
         stats.unreachable = ep.unreachable.size();
         unreachable_metric->inc(ep.unreachable.size());
+        obs::recorder().record(obs::EventKind::kFlowResolve, t,
+                               static_cast<std::int32_t>(active.size()),
+                               static_cast<std::int32_t>(solution.rounds),
+                               static_cast<std::int32_t>(ep.unreachable.size()), -1,
+                               stats.sum_rate_bps);
 
         // Severed flows: had a path last segment, lost it this one. The
         // flow stalls at rate 0 (or reroutes transparently if Dijkstra
@@ -313,6 +326,10 @@ RunSummary Engine::run() {
             for (const std::uint32_t f : ep.unreachable) {
                 if (was_reachable[f] != 0) {
                     severed_metric->inc();
+                    obs::recorder().record(obs::EventKind::kFlowSevered, t,
+                                           matrix_.flows[f].src_gs,
+                                           matrix_.flows[f].dst_gs,
+                                           static_cast<std::int32_t>(f));
                     if (tracer.enabled(obs::TraceCategory::kFault)) {
                         tracer.emit(obs::make_record(
                             t, obs::TraceCategory::kFault, "fault.flow_severed",

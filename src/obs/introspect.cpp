@@ -1,0 +1,300 @@
+#include "src/obs/introspect.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/manifest.hpp"
+#include "src/obs/observability.hpp"
+#include "src/obs/timeline.hpp"
+
+namespace hypatia::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry uses
+/// dotted names, so "net.tx_packets" becomes "hypatia_net_tx_packets".
+std::string prom_name(const std::string& name) {
+    std::string out = "hypatia_";
+    for (const char c : name) {
+        out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_')
+                   ? c
+                   : '_';
+    }
+    return out;
+}
+
+void append_value(std::string& out, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out += buf;
+}
+
+std::string url_decode(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        if (in[i] == '%' && i + 2 < in.size()) {
+            const auto hex = [](char c) -> int {
+                if (c >= '0' && c <= '9') return c - '0';
+                if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+                if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+                return -1;
+            };
+            const int hi = hex(in[i + 1]);
+            const int lo = hex(in[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out += static_cast<char>(hi * 16 + lo);
+                i += 2;
+                continue;
+            }
+        }
+        out += in[i] == '+' ? ' ' : in[i];
+    }
+    return out;
+}
+
+/// "entity=pair:1->2&format=csv" -> value of `key`, URL-decoded.
+std::string query_param(const std::string& query, const std::string& key) {
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos) amp = query.size();
+        const std::string part = query.substr(pos, amp - pos);
+        const std::size_t eq = part.find('=');
+        if (eq != std::string::npos && part.substr(0, eq) == key) {
+            return url_decode(part.substr(eq + 1));
+        }
+        pos = amp + 1;
+    }
+    return "";
+}
+
+void send_all(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                                 MSG_NOSIGNAL
+#else
+                                 0
+#endif
+        );
+        if (n <= 0) return;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace
+
+std::string prometheus_metrics() {
+    const MetricsRegistry& registry = metrics();
+    std::string out;
+    out.reserve(8192);
+    for (const auto& [name, counter] : registry.counters()) {
+        const std::string p = prom_name(name);
+        out += "# TYPE " + p + " counter\n" + p + " ";
+        append_value(out, static_cast<double>(counter.value()));
+        out += '\n';
+    }
+    for (const auto& [name, gauge] : registry.gauges()) {
+        const std::string p = prom_name(name);
+        out += "# TYPE " + p + " gauge\n" + p + " ";
+        append_value(out, gauge.value());
+        out += '\n';
+    }
+    for (const auto& [name, histogram] : registry.histograms()) {
+        const std::string p = prom_name(name);
+        out += "# TYPE " + p + " summary\n";
+        for (const auto& [q, pct] :
+             {std::pair<const char*, double>{"0.5", 50.0}, {"0.9", 90.0},
+              {"0.99", 99.0}}) {
+            out += p + "{quantile=\"" + q + "\"} ";
+            append_value(out, static_cast<double>(histogram.percentile(pct)));
+            out += '\n';
+        }
+        out += p + "_sum ";
+        append_value(out, static_cast<double>(histogram.sum()));
+        out += '\n';
+        out += p + "_count ";
+        append_value(out, static_cast<double>(histogram.count()));
+        out += '\n';
+    }
+    return out;
+}
+
+IntrospectionServer::Response IntrospectionServer::handle(const std::string& target) {
+    const std::size_t qmark = target.find('?');
+    const std::string path = target.substr(0, qmark);
+    const std::string query =
+        qmark == std::string::npos ? "" : target.substr(qmark + 1);
+
+    Response resp;
+    if (path == "/healthz") {
+        resp.body = "ok\n";
+        return resp;
+    }
+    if (path == "/metrics") {
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = prometheus_metrics();
+        return resp;
+    }
+    if (path == "/manifest") {
+        RunManifest manifest;
+        manifest.set_name("live");
+        manifest.stamp_environment();
+        manifest.capture(profiler(), metrics());
+        resp.content_type = "application/json";
+        resp.body = manifest.dump() + "\n";
+        return resp;
+    }
+    if (path == "/timeline") {
+        const std::string entity = query_param(query, "entity");
+        const std::string format = query_param(query, "format");
+        const Timeline timeline = Timeline::build(recorder().snapshot());
+        std::ostringstream out;
+        if (entity.empty()) {
+            if (format == "csv") timeline.write_csv(out);
+            else timeline.write_jsonl(out);
+        } else {
+            const EntityTimeline* et = timeline.find(entity);
+            if (et == nullptr) {
+                resp.status = 404;
+                resp.body = "no timeline for entity '" + entity + "'\n";
+                return resp;
+            }
+            std::vector<Event> events;
+            for (const auto& entry : et->entries) events.push_back(entry.event);
+            const Timeline filtered =
+                Timeline::build(std::move(events),
+                                TimelineOptions{timeline.attribution_window()});
+            if (format == "csv") filtered.write_csv(out);
+            else filtered.write_jsonl(out);
+        }
+        resp.content_type =
+            format == "csv" ? "text/csv; charset=utf-8" : "application/jsonl";
+        resp.body = out.str();
+        return resp;
+    }
+    resp.status = 404;
+    resp.body = "not found; try /metrics /manifest /timeline /healthz\n";
+    return resp;
+}
+
+std::uint16_t IntrospectionServer::start(std::uint16_t port) {
+    if (running()) return port_;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("introspect: socket() failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        ::close(fd);
+        throw std::runtime_error("introspect: cannot bind 127.0.0.1:" +
+                                 std::to_string(port));
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    listen_fd_ = fd;
+    stop_.store(false);
+    thread_ = std::thread([this] { serve(); });
+    return port_;
+}
+
+void IntrospectionServer::serve() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready <= 0) continue;
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) continue;
+
+        timeval timeout{2, 0};
+        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+        char buf[4096];
+        const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+        if (n > 0) {
+            buf[n] = '\0';
+            // "GET /path?query HTTP/1.x" — anything else is a 400.
+            Response resp;
+            char method[8] = {0};
+            char target[2048] = {0};
+            if (std::sscanf(buf, "%7s %2047s", method, target) == 2 &&
+                std::strcmp(method, "GET") == 0) {
+                resp = handle(target);
+            } else {
+                resp.status = 400;
+                resp.body = "bad request\n";
+            }
+            const char* reason = resp.status == 200   ? "OK"
+                                 : resp.status == 404 ? "Not Found"
+                                                      : "Bad Request";
+            std::string head = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                               reason + "\r\nContent-Type: " + resp.content_type +
+                               "\r\nContent-Length: " +
+                               std::to_string(resp.body.size()) +
+                               "\r\nConnection: close\r\n\r\n";
+            send_all(client, head);
+            send_all(client, resp.body);
+        }
+        ::close(client);
+    }
+}
+
+void IntrospectionServer::stop() {
+    if (!running()) return;
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    port_ = 0;
+}
+
+IntrospectionServer::~IntrospectionServer() { stop(); }
+
+IntrospectionServer& IntrospectionServer::global() {
+    static IntrospectionServer server;
+    return server;
+}
+
+void IntrospectionServer::maybe_start_from_env() {
+    static bool attempted = false;
+    if (attempted) return;
+    attempted = true;
+    const char* env = std::getenv("HYPATIA_OBS_PORT");
+    if (env == nullptr || *env == '\0') return;
+    char* end = nullptr;
+    const long port = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || port < 0 || port > 65535) {
+        std::fprintf(stderr, "hypatia: ignoring malformed HYPATIA_OBS_PORT=%s\n",
+                     env);
+        return;
+    }
+    try {
+        const std::uint16_t bound =
+            global().start(static_cast<std::uint16_t>(port));
+        std::fprintf(stderr, "hypatia: introspection endpoint on 127.0.0.1:%u\n",
+                     bound);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "hypatia: introspection endpoint failed: %s\n",
+                     e.what());
+    }
+}
+
+}  // namespace hypatia::obs

@@ -1,0 +1,68 @@
+// Live introspection endpoint: a tiny blocking TCP text server that
+// answers questions about the *running* process — the foundation of the
+// ROADMAP's simulator-as-a-service daemon mode. One accept thread, one
+// request per connection, plain HTTP/1.0 responses:
+//
+//   /metrics            Prometheus text format (all registered metrics)
+//   /manifest           the live RunManifest as JSON (params omitted)
+//   /timeline           flight-recorder timeline, JSONL; filter with
+//                       ?entity=pair:12->87 (URL-encoded), ?format=csv
+//   /healthz            "ok"
+//
+// Enabled by HYPATIA_OBS_PORT=<port> (0 picks an ephemeral port,
+// printed to stderr). The server binds 127.0.0.1 only. Request handling
+// reads shared observability state through the same thread-safe
+// accessors the workers use, so it is safe while a bench is running.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace hypatia::obs {
+
+/// Renders every registered metric in Prometheus text exposition
+/// format (metric names are prefixed "hypatia_" and sanitized;
+/// histograms render as summaries with p50/p90/p99 quantiles).
+std::string prometheus_metrics();
+
+class IntrospectionServer {
+  public:
+    IntrospectionServer() = default;
+    ~IntrospectionServer();
+    IntrospectionServer(const IntrospectionServer&) = delete;
+    IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+    /// Binds 127.0.0.1:`port` (0 = ephemeral), starts the accept thread
+    /// and returns the bound port. Throws std::runtime_error when the
+    /// port cannot be bound.
+    std::uint16_t start(std::uint16_t port);
+    void stop();
+    bool running() const { return listen_fd_ >= 0; }
+    std::uint16_t port() const { return port_; }
+
+    struct Response {
+        int status = 200;
+        std::string content_type = "text/plain; charset=utf-8";
+        std::string body;
+    };
+    /// Routes one request target ("/metrics", "/timeline?entity=...")
+    /// to its response. Exposed for tests; the socket loop calls this.
+    static Response handle(const std::string& target);
+
+    /// Starts the process-global server when HYPATIA_OBS_PORT is set
+    /// (idempotent; a malformed value warns once and is ignored).
+    static void maybe_start_from_env();
+    static IntrospectionServer& global();
+
+  private:
+    void serve();
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+}  // namespace hypatia::obs

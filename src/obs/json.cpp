@@ -57,6 +57,11 @@ void append_number(std::string& out, double d) {
 
 class Parser {
   public:
+    /// Containers deeper than this fail with a parse error instead of
+    /// recursing toward a stack overflow. 256 is far beyond any
+    /// manifest/trace document and well inside the stack budget.
+    static constexpr int kMaxDepth = 256;
+
     explicit Parser(const std::string& text) : text_(text) {}
 
     Value parse_document() {
@@ -116,11 +121,17 @@ class Parser {
         }
     }
 
+    void enter_container() {
+        if (++depth_ > kMaxDepth) fail("nesting deeper than 256 levels");
+    }
+
     Value parse_object() {
+        enter_container();
         expect('{');
         Object obj;
         if (peek() == '}') {
             ++pos_;
+            --depth_;
             return Value(std::move(obj));
         }
         while (true) {
@@ -130,23 +141,31 @@ class Parser {
             obj[std::move(key)] = parse_value();
             const char c = peek();
             ++pos_;
-            if (c == '}') return Value(std::move(obj));
+            if (c == '}') {
+                --depth_;
+                return Value(std::move(obj));
+            }
             if (c != ',') fail("expected ',' or '}'");
         }
     }
 
     Value parse_array() {
+        enter_container();
         expect('[');
         Array arr;
         if (peek() == ']') {
             ++pos_;
+            --depth_;
             return Value(std::move(arr));
         }
         while (true) {
             arr.push_back(parse_value());
             const char c = peek();
             ++pos_;
-            if (c == ']') return Value(std::move(arr));
+            if (c == ']') {
+                --depth_;
+                return Value(std::move(arr));
+            }
             if (c != ',') fail("expected ',' or ']'");
         }
     }
@@ -174,25 +193,43 @@ class Parser {
                 case 'r': out += '\r'; break;
                 case 't': out += '\t'; break;
                 case 'u': {
-                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-                    unsigned code = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        const char h = text_[pos_++];
-                        code <<= 4;
-                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-                        else fail("bad \\u escape");
+                    unsigned code = parse_hex4();
+                    // Surrogate handling: a high surrogate followed by
+                    // \uDC00-\uDFFF combines into one supplementary code
+                    // point; a lone surrogate (either half) decodes to
+                    // U+FFFD REPLACEMENT CHARACTER rather than emitting
+                    // an invalid UTF-8 surrogate encoding.
+                    if (code >= 0xD800 && code <= 0xDBFF) {
+                        if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                            text_[pos_ + 1] == 'u') {
+                            const std::size_t save = pos_;
+                            pos_ += 2;
+                            const unsigned low = parse_hex4();
+                            if (low >= 0xDC00 && low <= 0xDFFF) {
+                                code = 0x10000 + ((code - 0xD800) << 10) +
+                                       (low - 0xDC00);
+                            } else {
+                                pos_ = save;  // re-parse as its own escape
+                                code = 0xFFFD;
+                            }
+                        } else {
+                            code = 0xFFFD;
+                        }
+                    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+                        code = 0xFFFD;
                     }
-                    // UTF-8 encode (BMP only; surrogate pairs unsupported —
-                    // trace/manifest strings are ASCII in practice).
                     if (code < 0x80) {
                         out += static_cast<char>(code);
                     } else if (code < 0x800) {
                         out += static_cast<char>(0xC0 | (code >> 6));
                         out += static_cast<char>(0x80 | (code & 0x3F));
-                    } else {
+                    } else if (code < 0x10000) {
                         out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xF0 | (code >> 18));
+                        out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
                         out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
                         out += static_cast<char>(0x80 | (code & 0x3F));
                     }
@@ -201,6 +238,20 @@ class Parser {
                 default: fail("unknown escape");
             }
         }
+    }
+
+    unsigned parse_hex4() {
+        if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+        }
+        return code;
     }
 
     Value parse_number() {
@@ -215,6 +266,7 @@ class Parser {
 
     const std::string& text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 }  // namespace

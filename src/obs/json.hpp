@@ -61,11 +61,17 @@ class Value {
 
     /// Serializes the value. `indent` < 0 gives one compact line;
     /// otherwise members are pretty-printed with `indent` spaces per
-    /// nesting level.
+    /// nesting level. Non-finite numbers (NaN, +/-inf) serialize as
+    /// null — JSON has no spelling for them and a reader must not see a
+    /// token its own parser rejects. Control characters in strings are
+    /// \u-escaped.
     std::string dump(int indent = -1) const;
 
     /// Parses one JSON document; throws std::runtime_error with the
-    /// offending byte offset on malformed input.
+    /// offending byte offset on malformed input, including container
+    /// nesting beyond 256 levels (bounded recursion, never a stack
+    /// overflow). \u escapes decode surrogate pairs; a lone surrogate
+    /// half decodes to U+FFFD.
     static Value parse(const std::string& text);
 
   private:

@@ -21,7 +21,7 @@ std::string format_number(double value) {
     return buf;
 }
 
-std::string run_git_describe() {
+std::string run_git_describe_uncached() {
     FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
     if (pipe == nullptr) return "unknown";
     char buf[128] = {0};
@@ -30,6 +30,15 @@ std::string run_git_describe() {
     ::pclose(pipe);
     while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
     return out.empty() ? "unknown" : out;
+}
+
+const std::string& run_git_describe() {
+    // The working tree cannot change mid-process in any way the manifest
+    // should care about, so fork+exec exactly once per process — a
+    // stamp_environment() in a hot loop (every /manifest request, every
+    // bench repetition) must not spawn a subprocess each time.
+    static const std::string cached = run_git_describe_uncached();
+    return cached;
 }
 
 double seconds(std::uint64_t ns) { return static_cast<double>(ns) / 1e9; }

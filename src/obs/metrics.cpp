@@ -1,5 +1,6 @@
 #include "src/obs/metrics.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace hypatia::obs {
@@ -61,11 +62,15 @@ std::uint64_t Histogram::percentile(double p) const {
     }
     if (p < 0.0) p = 0.0;
     if (p > 100.0) p = 100.0;
-    // Rank of the percentile sample (1-based, nearest-rank definition).
-    // The cumulative count first reaches the rank at a non-empty bucket.
+    // Rank of the percentile sample (1-based, nearest-rank definition:
+    // ceil(p/100 * N), clamped to [1, N] — round-half-up here was off by
+    // one whenever p*N/100 had a fraction below one half, e.g. p33 of 10
+    // samples picked rank 3 instead of 4). The cumulative count first
+    // reaches the rank at a non-empty bucket.
     auto target = static_cast<std::uint64_t>(
-        p / 100.0 * static_cast<double>(count_) + 0.5);
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
     if (target == 0) target = 1;
+    if (target > count_) target = count_;
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         cumulative += buckets_[i];

@@ -85,6 +85,9 @@ class Histogram {
                                         ((v >> shift) & ((1u << kSubBits) - 1)) +
                                         (1u << kSubBits));
     }
+    /// Inverse of bucket_index on bucket starts. Valid domain is the
+    /// reachable indices 0..495 (495 = bucket_index(~0ull)); 496 would
+    /// need a 64-bit shift (UB) and no recorded value can produce it.
     static std::uint64_t bucket_lower_bound(std::size_t index) {
         constexpr unsigned kSubBits = 3;
         if (index < (1u << kSubBits)) return index;

@@ -1,5 +1,8 @@
 #include "src/obs/observability.hpp"
 
+#include "src/obs/introspect.hpp"
+#include "src/obs/recorder.hpp"
+
 namespace hypatia::obs {
 
 Observability& Observability::instance() {
@@ -10,6 +13,11 @@ Observability& Observability::instance() {
 Observability::Observability() {
     register_core_metrics();
     tracer_.configure_from_env();
+    // The flight recorder self-configures from HYPATIA_RECORDER* on
+    // first touch; doing it here pins "first touch" to context creation
+    // so every component sees one consistent configuration.
+    FlightRecorder::instance();
+    IntrospectionServer::maybe_start_from_env();
 }
 
 void Observability::register_core_metrics() {

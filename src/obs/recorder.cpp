@@ -1,0 +1,258 @@
+#include "src/obs/recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace hypatia::obs {
+
+namespace {
+
+/// The ring the current thread records into (owned by the recorder's
+/// registry; threads only keep a borrowed pointer, so pool workers that
+/// outlive a drain keep recording into the same slots).
+thread_local FlightRecorder::Ring* t_ring = nullptr;
+
+int format_event(char* buf, std::size_t size, const Event& e) {
+    return std::snprintf(
+        buf, size,
+        "{\"t\":%lld,\"kind\":\"%s\",\"a\":%d,\"b\":%d,\"c\":%d,\"d\":%d,"
+        "\"value\":%.12g}\n",
+        static_cast<long long>(e.t), event_kind_name(e.kind), e.a, e.b, e.c, e.d,
+        e.value);
+}
+
+bool event_less(const Event& lhs, const Event& rhs) {
+    return std::tie(lhs.t, lhs.kind, lhs.a, lhs.b, lhs.c, lhs.d, lhs.value) <
+           std::tie(rhs.t, rhs.kind, rhs.a, rhs.b, rhs.c, rhs.d, rhs.value);
+}
+
+void crash_signal_handler(int signo) {
+    FlightRecorder& rec = FlightRecorder::instance();
+    const int fd = ::open(rec.crash_dump_path().c_str(),
+                          O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+        rec.dump_unlocked(fd);
+        ::close(fd);
+    }
+    // Restore the default disposition and re-raise so the process still
+    // dies with the original signal (core dumps, sanitizer reports and
+    // exit codes are unaffected beyond the dump above).
+    ::signal(signo, SIG_DFL);
+    ::raise(signo);
+}
+
+void drain_at_exit() {
+    FlightRecorder& rec = FlightRecorder::instance();
+    if (!rec.crash_dump_path().empty()) {
+        rec.drain_to_jsonl(rec.crash_dump_path());
+    }
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+    switch (kind) {
+        case EventKind::kEpochAdvance: return "epoch";
+        case EventKind::kPathChange: return "path_change";
+        case EventKind::kFaultDown: return "fault_down";
+        case EventKind::kFaultUp: return "fault_up";
+        case EventKind::kFlowResolve: return "flow_resolve";
+        case EventKind::kFlowSevered: return "flow_severed";
+        case EventKind::kTcpCwnd: return "tcp_cwnd";
+        case EventKind::kTcpRto: return "tcp_rto";
+        case EventKind::kFstateInstall: return "fstate_install";
+    }
+    return "unknown";
+}
+
+/// Fixed-capacity overwrite-oldest ring. push() and the drain-side
+/// readers serialize on a per-ring spinlock (uncontended in practice:
+/// one writer — the owning thread — and drains are serial sections).
+struct FlightRecorder::Ring {
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+
+    void lock() const {
+        while (lk.test_and_set(std::memory_order_acquire)) {
+        }
+    }
+    void unlock() const { lk.clear(std::memory_order_release); }
+
+    void push(const Event& e) {
+        lock();
+        slots[static_cast<std::size_t>(head % slots.size())] = e;
+        ++head;
+        unlock();
+    }
+
+    /// Appends the buffered events (oldest first) to `out`.
+    void collect(std::vector<Event>& out) const {
+        lock();
+        const std::uint64_t n = std::min<std::uint64_t>(head, slots.size());
+        for (std::uint64_t i = head - n; i < head; ++i) {
+            out.push_back(slots[static_cast<std::size_t>(i % slots.size())]);
+        }
+        unlock();
+    }
+
+    mutable std::atomic_flag lk = ATOMIC_FLAG_INIT;
+    std::vector<Event> slots;
+    std::uint64_t head = 0;  // total pushes; buffered = min(head, size)
+};
+
+FlightRecorder& FlightRecorder::instance() {
+    // Intentionally leaked: the atexit drain and the fatal-signal
+    // handler must be able to read the rings during process shutdown,
+    // after function-local statics would already have been destroyed.
+    static FlightRecorder* instance = new FlightRecorder();
+    return *instance;
+}
+
+FlightRecorder::FlightRecorder() { configure_from_env(); }
+
+void FlightRecorder::set_capacity(std::size_t events) {
+    capacity_ = std::clamp<std::size_t>(events, 64, std::size_t{1} << 22);
+}
+
+FlightRecorder::Ring& FlightRecorder::local_ring() {
+    if (t_ring == nullptr) {
+        std::lock_guard<std::mutex> lock(mu_);
+        rings_.push_back(std::make_unique<Ring>(capacity_));
+        t_ring = rings_.back().get();
+    }
+    return *t_ring;
+}
+
+void FlightRecorder::record_slow(const Event& e) { local_ring().push(e); }
+
+std::vector<Event> FlightRecorder::snapshot() const {
+    std::vector<Event> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& ring : rings_) ring->collect(out);
+    }
+    std::sort(out.begin(), out.end(), event_less);
+    return out;
+}
+
+std::vector<Event> FlightRecorder::drain() {
+    std::vector<Event> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& ring : rings_) {
+            ring->collect(out);
+            ring->lock();
+            ring->head = 0;
+            ring->unlock();
+        }
+    }
+    std::sort(out.begin(), out.end(), event_less);
+    return out;
+}
+
+void FlightRecorder::drain_to_jsonl(const std::string& path) {
+    const std::vector<Event> events = drain();
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("recorder: cannot open " + path);
+    char buf[256];
+    for (const Event& e : events) {
+        format_event(buf, sizeof(buf), e);
+        out << buf;
+    }
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t dropped = 0;
+    for (const auto& ring : rings_) {
+        ring->lock();
+        if (ring->head > ring->slots.size()) dropped += ring->head - ring->slots.size();
+        ring->unlock();
+    }
+    return dropped;
+}
+
+std::size_t FlightRecorder::buffered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& ring : rings_) {
+        ring->lock();
+        n += static_cast<std::size_t>(
+            std::min<std::uint64_t>(ring->head, ring->slots.size()));
+        ring->unlock();
+    }
+    return n;
+}
+
+void FlightRecorder::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+        ring->lock();
+        ring->head = 0;
+        if (ring->slots.size() != capacity_) {
+            ring->slots.assign(capacity_, Event{});
+        }
+        ring->unlock();
+    }
+}
+
+void FlightRecorder::dump_unlocked(int fd) const {
+    // Fatal-signal path: no locks (the crashing thread may hold one),
+    // no allocation. Events stream out per ring, unsorted — post-mortem
+    // tooling (the timeline reconstructor) sorts on load.
+    char buf[256];
+    for (const auto& ring : rings_) {
+        const std::uint64_t head = ring->head;
+        const std::uint64_t n = std::min<std::uint64_t>(head, ring->slots.size());
+        for (std::uint64_t i = head - n; i < head; ++i) {
+            const Event& e = ring->slots[static_cast<std::size_t>(i % ring->slots.size())];
+            const int len = format_event(buf, sizeof(buf), e);
+            if (len > 0) {
+                [[maybe_unused]] const ssize_t written =
+                    ::write(fd, buf, static_cast<std::size_t>(len));
+            }
+        }
+    }
+}
+
+void FlightRecorder::install_crash_handler(const std::string& path) {
+    crash_path_ = path;
+    static bool installed = false;
+    if (installed) return;
+    installed = true;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &crash_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    for (const int signo : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+        ::sigaction(signo, &sa, nullptr);
+    }
+    std::atexit(&drain_at_exit);
+}
+
+void FlightRecorder::configure_from_env() {
+    if (const char* env = std::getenv("HYPATIA_RECORDER")) {
+        const std::string v = env;
+        if (v == "off" || v == "0" || v == "false") set_enabled(false);
+        else set_enabled(true);
+    }
+    if (const char* env = std::getenv("HYPATIA_RECORDER_CAPACITY")) {
+        char* end = nullptr;
+        const long long n = std::strtoll(env, &end, 10);
+        if (end != env && n > 0) set_capacity(static_cast<std::size_t>(n));
+    }
+    if (const char* env = std::getenv("HYPATIA_RECORDER_FILE")) {
+        install_crash_handler(*env != '\0' ? env : "flight_recorder.jsonl");
+    }
+}
+
+}  // namespace hypatia::obs

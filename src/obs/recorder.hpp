@@ -1,0 +1,170 @@
+// The flight recorder: always-on, per-thread ring buffers of compact
+// binary events — the causal record of *why* the simulation did what it
+// did (epoch advances, per-pair path changes with old/new next hop,
+// fault up/down transitions, flowsim re-solves, TCP cwnd/RTO events).
+//
+// Design contract (DESIGN.md "Flight recorder and introspection"):
+//  * Side-channel only. Recording never feeds back into simulation
+//    state, so simulator outputs are byte-identical with the recorder
+//    on or off, at any thread count (pinned by
+//    tests/test_recorder.cpp).
+//  * Cheap enough to stay always-on: the fast path is one relaxed
+//    atomic load (enabled?) plus an uncontended per-thread spinlock
+//    around a 40-byte slot write. Event sources are epoch-, path- and
+//    window-scale, never the per-packet hot loop.
+//  * Fixed memory: each recording thread owns one fixed-capacity ring
+//    (HYPATIA_RECORDER_CAPACITY events, default 16384); when full, the
+//    oldest events are overwritten and counted in dropped().
+//  * Drained on demand (drain() / drain_to_jsonl()) or on fatal signal
+//    to HYPATIA_RECORDER_FILE (default flight_recorder.jsonl) when
+//    that variable is set — the post-mortem "what was the simulator
+//    doing" record.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace hypatia::obs {
+
+/// Event vocabulary. The payload fields a..d and value are documented
+/// per kind; every kind also carries the event time in ns (sim or
+/// analysis-window time of the emitting layer).
+enum class EventKind : std::uint8_t {
+    /// Snapshot brought to a new epoch. a = GSL rows patched (refresh
+    /// mode) or -1 (rebuild), b = 1 refresh / 0 rebuild.
+    kEpochAdvance = 0,
+    /// A source-destination pair's path changed. a = src entity id,
+    /// b = dst entity id, c = old first-hop satellite (-1 unknown /
+    /// previously unreachable), d = new first-hop satellite (-1 now
+    /// unreachable), value = new RTT in seconds (+inf if unreachable).
+    kPathChange = 1,
+    /// Fault transition: entity went down. a = fault::FaultKind,
+    /// b / c = entity ids (c = ISL peer or -1).
+    kFaultDown = 2,
+    /// Fault transition: entity repaired. Fields as kFaultDown.
+    kFaultUp = 3,
+    /// Flowsim max-min re-solve. a = flows in the problem, b = solver
+    /// rounds, c = unreachable flows, value = sum allocated rate (bps).
+    kFlowResolve = 4,
+    /// A previously-routed flow lost its path to an outage.
+    /// a = src GS, b = dst GS, c = flow id.
+    kFlowSevered = 5,
+    /// TCP congestion-window change. a = src node, b = dst node,
+    /// c = flow id, d = 1 when in recovery, value = cwnd (segments).
+    kTcpCwnd = 6,
+    /// TCP retransmission timeout fired. a = src node, b = dst node,
+    /// c = flow id, value = backed-off RTO in seconds.
+    kTcpRto = 7,
+    /// Packet-simulator forwarding-state install. a = entries changed.
+    kFstateInstall = 8,
+};
+inline constexpr std::size_t kNumEventKinds = 9;
+
+/// "epoch", "path_change", ... — stable names used by the JSONL drain
+/// and the timeline reconstructor.
+const char* event_kind_name(EventKind kind);
+
+/// One recorded event; 40 bytes, trivially copyable.
+struct Event {
+    TimeNs t = 0;
+    std::int32_t a = -1;
+    std::int32_t b = -1;
+    std::int32_t c = -1;
+    std::int32_t d = -1;
+    double value = 0.0;
+    EventKind kind = EventKind::kEpochAdvance;
+};
+
+class FlightRecorder {
+  public:
+    static FlightRecorder& instance();
+
+    /// The hot-path guard: one relaxed atomic load.
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+    /// Capacity (events) of rings created after this call; existing
+    /// rings keep their size. Values are clamped to [64, 1<<22].
+    void set_capacity(std::size_t events);
+    std::size_t capacity() const { return capacity_; }
+
+    /// Appends to the calling thread's ring (registered on first use).
+    /// No-op when disabled.
+    void record(const Event& e) {
+        if (!enabled()) return;
+        record_slow(e);
+    }
+    void record(EventKind kind, TimeNs t, std::int32_t a = -1, std::int32_t b = -1,
+                std::int32_t c = -1, std::int32_t d = -1, double value = 0.0) {
+        if (!enabled()) return;
+        Event e;
+        e.t = t;
+        e.a = a;
+        e.b = b;
+        e.c = c;
+        e.d = d;
+        e.value = value;
+        e.kind = kind;
+        record_slow(e);
+    }
+
+    /// Merged view of every thread's ring, sorted by (t, kind, a, b, c,
+    /// d, value) so the result is deterministic at any thread count.
+    /// snapshot() leaves the rings intact (live introspection); drain()
+    /// also clears them.
+    std::vector<Event> snapshot() const;
+    std::vector<Event> drain();
+
+    /// Writes drain() as one JSON object per line:
+    ///   {"t":..., "kind":"path_change", "a":..., ..., "value":...}
+    void drain_to_jsonl(const std::string& path);
+
+    /// Events overwritten because a ring was full.
+    std::uint64_t dropped() const;
+    /// Events currently buffered across all rings.
+    std::size_t buffered() const;
+
+    /// Clears every ring and the dropped counter, and re-sizes existing
+    /// rings to the current capacity (tests, multi-run binaries). Ring
+    /// registrations stay valid.
+    void reset();
+
+    /// Reads HYPATIA_RECORDER (off/0/false disables; anything else or
+    /// unset leaves the recorder on), HYPATIA_RECORDER_CAPACITY and
+    /// HYPATIA_RECORDER_FILE. Setting HYPATIA_RECORDER_FILE (empty
+    /// value = flight_recorder.jsonl) arms the fatal-signal drain
+    /// (SIGSEGV/SIGBUS/SIGFPE/SIGABRT) to that path.
+    void configure_from_env();
+
+    const std::string& crash_dump_path() const { return crash_path_; }
+
+    /// Best-effort dump for the fatal-signal path: no locks, no
+    /// allocation; writes whatever the rings currently hold to `fd`.
+    void dump_unlocked(int fd) const;
+
+    /// Per-thread ring storage; opaque outside recorder.cpp.
+    struct Ring;
+
+  private:
+    FlightRecorder();
+    void record_slow(const Event& e);
+    Ring& local_ring();
+    void install_crash_handler(const std::string& path);
+
+    std::atomic<bool> enabled_{true};
+    std::size_t capacity_ = 16384;
+    std::string crash_path_;
+
+    mutable std::mutex mu_;  // guards rings_ registration and drains
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+inline FlightRecorder& recorder() { return FlightRecorder::instance(); }
+
+}  // namespace hypatia::obs

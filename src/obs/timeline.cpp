@@ -1,0 +1,241 @@
+#include "src/obs/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <tuple>
+
+#include "src/obs/json.hpp"
+#include "src/util/csv.hpp"
+
+namespace hypatia::obs {
+
+namespace {
+
+/// `a` of a fault event carries fault::FaultKind (obs sits below the
+/// fault layer, so the numeric convention is mirrored here):
+/// 0 = satellite, 1 = ISL, 2 = ground station.
+std::string fault_entity(const Event& e) {
+    char buf[48];
+    switch (e.a) {
+        case 0: std::snprintf(buf, sizeof(buf), "sat:%d", e.b); break;
+        case 1: std::snprintf(buf, sizeof(buf), "isl:%d-%d", e.b, e.c); break;
+        case 2: std::snprintf(buf, sizeof(buf), "gs:%d", e.b); break;
+        default: std::snprintf(buf, sizeof(buf), "fault:%d", e.b); break;
+    }
+    return buf;
+}
+
+bool is_fault_transition(EventKind k) {
+    return k == EventKind::kFaultDown || k == EventKind::kFaultUp;
+}
+
+std::string describe(const Event& e, Cause cause, const std::string& trigger) {
+    char buf[160];
+    switch (e.kind) {
+        case EventKind::kPathChange: {
+            char rtt[32] = "unreachable";
+            if (std::isfinite(e.value)) {
+                std::snprintf(rtt, sizeof(rtt), "rtt %.2f ms", e.value * 1e3);
+            }
+            if (e.c != e.d) {
+                std::snprintf(buf, sizeof(buf),
+                              "GSL handover sat %d -> sat %d, %s (cause: %s%s%s)",
+                              e.c, e.d, rtt, cause_name(cause),
+                              trigger.empty() ? "" : " ", trigger.c_str());
+            } else {
+                std::snprintf(buf, sizeof(buf),
+                              "mid-path change via sat %d, %s (cause: %s%s%s)", e.d,
+                              rtt, cause_name(cause), trigger.empty() ? "" : " ",
+                              trigger.c_str());
+            }
+            return buf;
+        }
+        case EventKind::kEpochAdvance:
+            std::snprintf(buf, sizeof(buf), "snapshot %s (%d GSL rows patched)",
+                          e.b != 0 ? "refreshed" : "rebuilt", e.a);
+            return buf;
+        case EventKind::kFaultDown:
+            std::snprintf(buf, sizeof(buf), "outage begins");
+            return buf;
+        case EventKind::kFaultUp:
+            std::snprintf(buf, sizeof(buf), "repaired");
+            return buf;
+        case EventKind::kFlowResolve:
+            std::snprintf(buf, sizeof(buf),
+                          "max-min re-solve: %d flows, %d rounds, %d unreachable, "
+                          "%.3g bps allocated",
+                          e.a, e.b, e.c, e.value);
+            return buf;
+        case EventKind::kFlowSevered:
+            std::snprintf(buf, sizeof(buf),
+                          "flow %d (gs %d -> gs %d) severed by outage", e.c, e.a,
+                          e.b);
+            return buf;
+        case EventKind::kTcpCwnd:
+            std::snprintf(buf, sizeof(buf), "cwnd %.2f segments%s", e.value,
+                          e.d != 0 ? " (in recovery)" : "");
+            return buf;
+        case EventKind::kTcpRto:
+            std::snprintf(buf, sizeof(buf), "RTO fired, backoff to %.3f s", e.value);
+            return buf;
+        case EventKind::kFstateInstall:
+            std::snprintf(buf, sizeof(buf), "forwarding state installed (%d entries changed)",
+                          e.a);
+            return buf;
+    }
+    return "";
+}
+
+}  // namespace
+
+const char* cause_name(Cause cause) {
+    switch (cause) {
+        case Cause::kNone: return "none";
+        case Cause::kHandover: return "handover";
+        case Cause::kFault: return "fault";
+        case Cause::kRecovery: return "recovery";
+    }
+    return "none";
+}
+
+std::string Timeline::entity_key(const Event& e) {
+    char buf[48];
+    switch (e.kind) {
+        case EventKind::kPathChange:
+            std::snprintf(buf, sizeof(buf), "pair:%d->%d", e.a, e.b);
+            return buf;
+        case EventKind::kFaultDown:
+        case EventKind::kFaultUp: return fault_entity(e);
+        case EventKind::kFlowSevered:
+        case EventKind::kTcpCwnd:
+        case EventKind::kTcpRto:
+            std::snprintf(buf, sizeof(buf), "flow:%d", e.c);
+            return buf;
+        case EventKind::kFlowResolve: return "solver";
+        case EventKind::kEpochAdvance: return "epoch";
+        case EventKind::kFstateInstall: return "fstate";
+    }
+    return "unknown";
+}
+
+Timeline Timeline::build(std::vector<Event> events, TimelineOptions options) {
+    std::sort(events.begin(), events.end(), [](const Event& lhs, const Event& rhs) {
+        return std::tie(lhs.t, lhs.kind, lhs.a, lhs.b, lhs.c, lhs.d) <
+               std::tie(rhs.t, rhs.kind, rhs.a, rhs.b, rhs.c, rhs.d);
+    });
+
+    Timeline tl;
+
+    // Attribution window: explicit, else the smallest positive gap
+    // between consecutive epoch advances (the step interval of the
+    // producing run), else 1 s.
+    tl.window_ = options.attribution_window;
+    if (tl.window_ <= 0) {
+        TimeNs prev = -1;
+        TimeNs best = 0;
+        for (const Event& e : events) {
+            if (e.kind != EventKind::kEpochAdvance) continue;
+            if (prev >= 0 && e.t > prev && (best == 0 || e.t - prev < best)) {
+                best = e.t - prev;
+            }
+            prev = e.t;
+        }
+        tl.window_ = best > 0 ? best : kNsPerSec;
+    }
+
+    // Fault transitions, ascending by time (events are sorted already).
+    std::vector<const Event*> transitions;
+    for (const Event& e : events) {
+        if (is_fault_transition(e.kind)) transitions.push_back(&e);
+    }
+
+    std::map<std::string, std::vector<TimelineEntry>> grouped;
+    for (const Event& e : events) {
+        TimelineEntry entry;
+        entry.event = e;
+        std::string trigger;
+        if (e.kind == EventKind::kPathChange) {
+            // Transitions in (t - w, t]: first outage wins, else first
+            // repair, else constellation motion. A transition touching
+            // the old next hop is named in the note either way.
+            const Event* down = nullptr;
+            const Event* up = nullptr;
+            const auto begin = std::lower_bound(
+                transitions.begin(), transitions.end(), e.t - tl.window_,
+                [](const Event* ev, TimeNs t) { return ev->t <= t; });
+            for (auto it = begin; it != transitions.end() && (*it)->t <= e.t; ++it) {
+                if ((*it)->kind == EventKind::kFaultDown) {
+                    if (down == nullptr || ((*it)->b == e.c && down->b != e.c)) {
+                        down = *it;
+                    }
+                } else if (up == nullptr) {
+                    up = *it;
+                }
+            }
+            if (down != nullptr) {
+                entry.cause = Cause::kFault;
+                trigger = "outage of " + fault_entity(*down);
+            } else if (up != nullptr) {
+                entry.cause = Cause::kRecovery;
+                trigger = "repair of " + fault_entity(*up);
+            } else {
+                entry.cause = Cause::kHandover;
+            }
+        }
+        entry.note = describe(e, entry.cause, trigger);
+        grouped[entity_key(e)].push_back(std::move(entry));
+    }
+
+    tl.entities_.reserve(grouped.size());
+    for (auto& [entity, entries] : grouped) {
+        tl.entities_.push_back(EntityTimeline{entity, std::move(entries)});
+    }
+    return tl;
+}
+
+const EntityTimeline* Timeline::find(const std::string& entity) const {
+    const auto it = std::lower_bound(
+        entities_.begin(), entities_.end(), entity,
+        [](const EntityTimeline& tl, const std::string& key) { return tl.entity < key; });
+    if (it == entities_.end() || it->entity != entity) return nullptr;
+    return &*it;
+}
+
+void Timeline::write_jsonl(std::ostream& out) const {
+    for (const auto& entity : entities_) {
+        for (const auto& entry : entity.entries) {
+            json::Value line = json::Value::object();
+            line["entity"] = entity.entity;
+            line["t"] = static_cast<std::int64_t>(entry.event.t);
+            line["kind"] = event_kind_name(entry.event.kind);
+            line["cause"] = cause_name(entry.cause);
+            line["a"] = entry.event.a;
+            line["b"] = entry.event.b;
+            line["c"] = entry.event.c;
+            line["d"] = entry.event.d;
+            line["value"] = entry.event.value;
+            line["note"] = entry.note;
+            out << line.dump() << '\n';
+        }
+    }
+}
+
+void Timeline::write_csv(std::ostream& out) const {
+    out << "entity,t_ns,kind,cause,a,b,c,d,value,note\n";
+    char buf[96];
+    for (const auto& entity : entities_) {
+        for (const auto& entry : entity.entries) {
+            const Event& e = entry.event;
+            std::snprintf(buf, sizeof(buf), ",%lld,%s,%s,%d,%d,%d,%d,%.12g,",
+                          static_cast<long long>(e.t), event_kind_name(e.kind),
+                          cause_name(entry.cause), e.a, e.b, e.c, e.d, e.value);
+            out << util::CsvWriter::escape(entity.entity) << buf
+                << util::CsvWriter::escape(entry.note) << '\n';
+        }
+    }
+}
+
+}  // namespace hypatia::obs

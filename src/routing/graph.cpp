@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/obs/observability.hpp"
+#include "src/obs/recorder.hpp"
 
 namespace hypatia::route {
 
@@ -115,6 +116,7 @@ Graph build_snapshot(const topo::SatelliteMobility& mobility,
         &obs::metrics().counter("fault.links_masked");
     static obs::Gauge* const down_gauge = &obs::metrics().gauge("fault.nodes_down");
     snapshots_metric->inc();
+    obs::recorder().record(obs::EventKind::kEpochAdvance, t, /*a=*/-1, /*b=*/0);
     const int num_sats = mobility.num_satellites();
     Graph g(num_sats, static_cast<int>(ground_stations.size()));
     g.reserve_edges((options.include_isls ? isls.size() : 0) +

@@ -7,6 +7,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/obs/recorder.hpp"
 #include "src/orbit/coords.hpp"
 #include "src/routing/snapshot_refresh.hpp"
 #include "src/util/thread_pool.hpp"
@@ -24,6 +25,11 @@ AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
     // Previous-step satellite path per pair, for change detection.
     std::vector<std::vector<int>> prev_path(pairs.size());
     std::vector<char> have_prev(pairs.size(), 0);
+    // Flight-recorder state: whether the pair was reachable last step
+    // and whether it has been observed at all (the first observation is
+    // baseline, not a change).
+    std::vector<char> was_reachable(pairs.size(), 0);
+    std::vector<char> seen(pairs.size(), 0);
 
     // Destinations we need trees for (deduplicated, ascending — the
     // fixed order the parallel fan-out below folds back in).
@@ -64,8 +70,15 @@ AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
     tree_slot.reserve(dest_list.size());
     for (std::size_t i = 0; i < dest_list.size(); ++i) tree_slot.emplace(dest_list[i], i);
 
+    TimeNs prev_t = options.t_start - options.step;
     for (TimeNs t = options.t_start; t < options.t_end; t += options.step) {
         result.step_times.push_back(t);
+        // Stream the fault transitions this step just crossed, so the
+        // timeline reconstructor can attribute the path changes below.
+        if (snap_opts.faults != nullptr) {
+            fault::record_transitions(*snap_opts.faults, prev_t, t);
+        }
+        prev_t = t;
         std::optional<Graph> rebuilt;
         if (!refresher) {
             rebuilt.emplace(build_snapshot(mobility, isls, ground_stations, t, snap_opts));
@@ -121,6 +134,32 @@ AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
                 ++stats.path_changes;
                 ++changes_this_step;
             }
+
+            // Flight recorder: path changes including reachability
+            // transitions (the stats above intentionally only count
+            // routed-to-routed changes; the causal record wants all).
+            const bool reachable = dist != kInfDistance;
+            if (seen[pi]) {
+                const std::int32_t old_hop =
+                    (was_reachable[pi] != 0 && !prev_path[pi].empty())
+                        ? prev_path[pi].front()
+                        : -1;
+                const std::int32_t new_hop = sat_path.empty() ? -1 : sat_path.front();
+                const bool routed_change = was_reachable[pi] != 0 && reachable &&
+                                           have_prev[pi] != 0 && !sat_path.empty() &&
+                                           !prev_path[pi].empty() &&
+                                           sat_path != prev_path[pi];
+                const bool lost = was_reachable[pi] != 0 && !reachable;
+                const bool regained = was_reachable[pi] == 0 && reachable;
+                if (routed_change || lost || regained) {
+                    obs::recorder().record(obs::EventKind::kPathChange, t, pair.src_gs,
+                                           pair.dst_gs, old_hop, lost ? -1 : new_hop,
+                                           rtt_s);
+                }
+            }
+            seen[pi] = 1;
+            was_reachable[pi] = reachable ? 1 : 0;
+
             if (!sat_path.empty()) {
                 prev_path[pi] = sat_path;
                 have_prev[pi] = 1;

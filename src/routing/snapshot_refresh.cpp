@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/obs/observability.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/topology/visibility.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -290,6 +291,9 @@ const Graph& SnapshotRefresher::refresh(TimeNs t) {
     }
     graph_.set_overlay_undirected_edges(overlay_undirected);
     patched_metric->inc(last_rows_patched_);
+    obs::recorder().record(obs::EventKind::kEpochAdvance, t,
+                           static_cast<std::int32_t>(last_rows_patched_),
+                           /*b=*/1);
     return graph_;
 }
 

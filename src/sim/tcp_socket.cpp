@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/obs/observability.hpp"
+#include "src/obs/recorder.hpp"
 
 namespace hypatia::sim {
 
@@ -52,6 +53,9 @@ void TcpFlow::record_cwnd() {
     // Trace every change; callers downsample when plotting.
     cwnd_trace_.push_back({now(), cwnd_, ssthresh_, in_recovery_});
     cwnd_metric_->record(static_cast<std::uint64_t>(std::llround(cwnd_)));
+    obs::recorder().record(obs::EventKind::kTcpCwnd, now(), config_.src_node,
+                           config_.dst_node, static_cast<std::int32_t>(config_.flow_id),
+                           in_recovery_ ? 1 : 0, cwnd_);
     if (tracer_->enabled(obs::TraceCategory::kTcp)) {
         tracer_->emit(obs::make_record(now(), obs::TraceCategory::kTcp, "tcp.cwnd",
                                        config_.src_node, config_.dst_node,
@@ -154,6 +158,9 @@ void TcpFlow::on_rto() {
     dup_acks_ = 0;
     in_recovery_ = false;
     rto_ = std::min(config_.max_rto, rto_ * 2);  // Karn backoff
+    obs::recorder().record(obs::EventKind::kTcpRto, now(), config_.src_node,
+                           config_.dst_node, static_cast<std::int32_t>(config_.flow_id),
+                           -1, ns_to_seconds(rto_));
     // RFC 6582: remember the highest sequence sent so stale duplicate
     // ACKs from before this timeout cannot trigger fast retransmit.
     recover_ = snd_nxt_;

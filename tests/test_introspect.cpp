@@ -1,0 +1,201 @@
+// The live introspection endpoint: request routing (Prometheus
+// /metrics, /manifest, /timeline with entity filter and CSV format,
+// /healthz, 404s), and the acceptance contract — the TCP server answers
+// valid Prometheus text over a real socket while a flowsim run is in
+// flight on another thread.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/flowsim/engine.hpp"
+#include "src/flowsim/traffic.hpp"
+#include "src/obs/introspect.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/observability.hpp"
+#include "src/obs/recorder.hpp"
+#include "src/topology/cities.hpp"
+#include "src/topology/constellation.hpp"
+
+namespace hypatia::obs {
+namespace {
+
+using Response = IntrospectionServer::Response;
+
+TEST(Introspect, HealthzIsOk) {
+    const Response r = IntrospectionServer::handle("/healthz");
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, "ok\n");
+}
+
+TEST(Introspect, UnknownPathIs404) {
+    const Response r = IntrospectionServer::handle("/nope");
+    EXPECT_EQ(r.status, 404);
+    EXPECT_NE(r.body.find("/metrics"), std::string::npos);
+}
+
+TEST(Introspect, MetricsRenderPrometheusText) {
+    metrics().counter("introspect_test.requests").inc(7);
+    metrics().gauge("introspect_test.depth").set(2.5);
+    auto& hist = metrics().histogram("introspect_test.latency");
+    for (std::uint64_t v = 1; v <= 100; ++v) hist.record(v);
+
+    const Response r = IntrospectionServer::handle("/metrics");
+    EXPECT_EQ(r.status, 200);
+    EXPECT_NE(r.content_type.find("version=0.0.4"), std::string::npos);
+    // Dotted registry names are sanitized into the Prometheus charset.
+    EXPECT_NE(
+        r.body.find(
+            "# TYPE hypatia_introspect_test_requests counter\n"
+            "hypatia_introspect_test_requests 7\n"),
+        std::string::npos);
+    EXPECT_NE(r.body.find("hypatia_introspect_test_depth 2.5"),
+              std::string::npos);
+    EXPECT_NE(r.body.find("# TYPE hypatia_introspect_test_latency summary"),
+              std::string::npos);
+    EXPECT_NE(r.body.find("hypatia_introspect_test_latency{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(r.body.find("hypatia_introspect_test_latency_count 100"),
+              std::string::npos);
+}
+
+TEST(Introspect, ManifestIsValidJson) {
+    const Response r = IntrospectionServer::handle("/manifest");
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.content_type, "application/json");
+    const json::Value v = json::Value::parse(r.body);
+    EXPECT_EQ(v.at("name").as_string(), "live");
+}
+
+TEST(Introspect, TimelineFiltersByEntityAndFormats) {
+    recorder().reset();
+    recorder().set_enabled(true);
+    recorder().record(EventKind::kPathChange, 10, 1, 2, 501, 502, 0.02);
+    recorder().record(EventKind::kPathChange, 20, 3, 4, 600, 601, 0.03);
+
+    // Unfiltered JSONL: both pairs, one parsable object per line.
+    Response all = IntrospectionServer::handle("/timeline");
+    EXPECT_EQ(all.status, 200);
+    EXPECT_EQ(all.content_type, "application/jsonl");
+    EXPECT_NE(all.body.find("pair:1->2"), std::string::npos);
+    EXPECT_NE(all.body.find("pair:3->4"), std::string::npos);
+
+    // Entity filter, URL-encoded ('>' is %3E).
+    const Response one =
+        IntrospectionServer::handle("/timeline?entity=pair:1-%3E2");
+    EXPECT_EQ(one.status, 200);
+    EXPECT_NE(one.body.find("pair:1->2"), std::string::npos);
+    EXPECT_EQ(one.body.find("pair:3->4"), std::string::npos);
+    const json::Value line = json::Value::parse(
+        one.body.substr(0, one.body.find('\n')));
+    EXPECT_EQ(line.at("entity").as_string(), "pair:1->2");
+    EXPECT_EQ(line.at("kind").as_string(), "path_change");
+
+    // CSV format carries the documented header.
+    const Response csv = IntrospectionServer::handle("/timeline?format=csv");
+    EXPECT_EQ(csv.content_type, "text/csv; charset=utf-8");
+    EXPECT_NE(csv.body.find("entity,t_ns,kind,cause,a,b,c,d,value,note"),
+              std::string::npos);
+
+    // Unknown entity is a 404, not an empty 200.
+    const Response missing =
+        IntrospectionServer::handle("/timeline?entity=pair:9-%3E9");
+    EXPECT_EQ(missing.status, 404);
+
+    // snapshot() semantics: serving the timeline left the rings intact.
+    EXPECT_EQ(recorder().buffered(), 2u);
+    recorder().reset();
+}
+
+// --- Acceptance: live endpoint over a real socket during a run --------------
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+    ::send(fd, request.data(), request.size(), 0);
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(Introspect, ServesPrometheusOverTcpWhileSimulationRuns) {
+    IntrospectionServer server;
+    const std::uint16_t port = server.start(0);  // ephemeral
+    ASSERT_GT(port, 0);
+    EXPECT_TRUE(server.running());
+
+    // A flowsim run on another thread while the endpoint is queried.
+    std::thread sim([] {
+        core::Scenario scenario;
+        scenario.shell = topo::shell_by_name("kuiper_k1");
+        scenario.ground_stations = {topo::city_by_name("Manila"),
+                                    topo::city_by_name("Dalian"),
+                                    topo::city_by_name("Tokyo"),
+                                    topo::city_by_name("Seoul")};
+        flowsim::PoissonTrafficConfig cfg;
+        cfg.num_gs = 4;
+        cfg.arrivals_per_s = 20.0;
+        cfg.mean_size_bits = 4e6;
+        cfg.window = 3 * kNsPerSec;
+        cfg.seed = 7;
+        flowsim::EngineOptions opts;
+        opts.epoch = kNsPerSec;
+        opts.duration = 5 * kNsPerSec;
+        flowsim::Engine engine(scenario, flowsim::poisson_traffic(cfg), opts);
+        engine.run();
+    });
+
+    const std::string health = http_get(port, "/healthz");
+    EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(health.find("ok"), std::string::npos);
+
+    bool saw_metrics = false;
+    for (int i = 0; i < 5; ++i) {
+        const std::string metrics_response = http_get(port, "/metrics");
+        if (metrics_response.find("HTTP/1.0 200 OK") != std::string::npos &&
+            metrics_response.find("# TYPE hypatia_") != std::string::npos) {
+            saw_metrics = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_metrics);
+
+    const std::string missing = http_get(port, "/nope");
+    EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+
+    sim.join();
+
+    // After the run the flowsim counters are visible over the wire.
+    const std::string after = http_get(port, "/metrics");
+    EXPECT_NE(after.find("hypatia_flowsim_"), std::string::npos);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    // A second stop is a harmless no-op; restart binds a fresh port.
+    server.stop();
+}
+
+}  // namespace
+}  // namespace hypatia::obs

@@ -1,8 +1,10 @@
 // The observability layer: metrics registry semantics, histogram bucket
 // mapping, trace sinks and sampling, JSON round trips, profiler nesting
 // and the run manifest.
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -114,6 +116,76 @@ TEST(Histogram, StatsAndPercentiles) {
     EXPECT_GE(h.percentile(99), 87u);
     EXPECT_EQ(h.percentile(0), 1u);
     EXPECT_LE(h.percentile(100), 100u);
+}
+
+TEST(Histogram, BucketBoundariesExhaustive) {
+    // Every reachable bucket: 0..7 exact, then (64 - 3) * 8 log buckets
+    // up to bucket_index(2^64 - 1) = 495. Lower bounds must be strictly
+    // increasing and each must map back to its own bucket.
+    constexpr std::size_t kTopIndex = 495;
+    ASSERT_EQ(Histogram::bucket_index(~std::uint64_t{0}), kTopIndex);
+    std::uint64_t prev_lo = 0;
+    for (std::size_t idx = 0; idx <= kTopIndex; ++idx) {
+        const std::uint64_t lo = Histogram::bucket_lower_bound(idx);
+        if (idx > 0) {
+            EXPECT_GT(lo, prev_lo) << "index " << idx;
+        }
+        EXPECT_EQ(Histogram::bucket_index(lo), idx) << "index " << idx;
+        prev_lo = lo;
+    }
+
+    // Power-of-two edges: for every msb, the values 2^k - 1, 2^k and
+    // 2^k + 1 must land in a bucket whose range actually contains them.
+    const auto check_contains = [&](std::uint64_t v) {
+        const std::size_t idx = Histogram::bucket_index(v);
+        ASSERT_LE(idx, kTopIndex) << "value " << v;
+        EXPECT_LE(Histogram::bucket_lower_bound(idx), v) << "value " << v;
+        if (idx < kTopIndex) {
+            EXPECT_GT(Histogram::bucket_lower_bound(idx + 1), v) << "value " << v;
+        }
+    };
+    check_contains(0);
+    check_contains(~std::uint64_t{0});
+    std::size_t prev_idx = 0;
+    for (unsigned k = 1; k < 64; ++k) {
+        const std::uint64_t edge = std::uint64_t{1} << k;
+        for (const std::uint64_t v : {edge - 1, edge, edge + 1}) {
+            check_contains(v);
+            const std::size_t idx = Histogram::bucket_index(v);
+            EXPECT_GE(idx, prev_idx) << "value " << v;  // monotone mapping
+            prev_idx = idx;
+        }
+        // A power of two always starts its own bucket.
+        EXPECT_EQ(Histogram::bucket_lower_bound(Histogram::bucket_index(edge)), edge);
+    }
+}
+
+TEST(Histogram, PercentileNearestRank) {
+    // Samples 0..7 stay in exact buckets, so percentile() must return
+    // the exact nearest-rank statistic: rank ceil(p/100 * 8).
+    Histogram h;
+    for (std::uint64_t v = 0; v < 8; ++v) h.record(v);
+    EXPECT_EQ(h.percentile(0), 0u);     // clamped to rank 1
+    EXPECT_EQ(h.percentile(12.5), 0u);  // ceil(1.0) = 1
+    EXPECT_EQ(h.percentile(13), 1u);    // ceil(1.04) = 2
+    EXPECT_EQ(h.percentile(50), 3u);    // ceil(4.0) = 4
+    EXPECT_EQ(h.percentile(51), 4u);    // ceil(4.08) = 5
+    EXPECT_EQ(h.percentile(99), 7u);    // ceil(7.92) = 8
+    EXPECT_EQ(h.percentile(100), 7u);
+
+    // The case the round-half-up implementation got wrong: p33 of ten
+    // samples 0..9 is rank ceil(3.3) = 4 (value 3), not rank 3.
+    Histogram ten;
+    for (std::uint64_t v = 0; v < 10; ++v) ten.record(v);
+    EXPECT_EQ(ten.percentile(33), 3u);
+
+    // Extremes of the value domain survive the bucket round trip.
+    Histogram wide;
+    wide.record(0);
+    wide.record(~std::uint64_t{0});
+    EXPECT_EQ(wide.percentile(0), 0u);
+    EXPECT_EQ(wide.percentile(100),
+              Histogram::bucket_lower_bound(Histogram::bucket_index(~std::uint64_t{0})));
 }
 
 TEST(Histogram, EmptyIsZero) {
@@ -261,6 +333,74 @@ TEST(Json, ParsesEscapesAndUnicode) {
     EXPECT_EQ(a[0].as_string(), "a\tb");
     EXPECT_EQ(a[1].as_string(), "\xc3\xa9");  // é in UTF-8
     EXPECT_EQ(a[2].as_string(), "\\");
+}
+
+TEST(Json, DeepNestingFailsBoundedNotOverflow) {
+    // 10k-deep documents must produce a parse error, not exhaust the
+    // stack. Both container kinds, and both well- and ill-terminated.
+    const std::string deep_arrays(10000, '[');
+    EXPECT_THROW(json::Value::parse(deep_arrays), std::runtime_error);
+    std::string deep_objects;
+    for (int i = 0; i < 10000; ++i) deep_objects += "{\"k\":";
+    EXPECT_THROW(json::Value::parse(deep_objects), std::runtime_error);
+    std::string balanced = std::string(10000, '[') + "1" + std::string(10000, ']');
+    EXPECT_THROW(json::Value::parse(balanced), std::runtime_error);
+
+    // Anything at or under the documented limit of 256 levels parses.
+    std::string ok = std::string(256, '[') + "1" + std::string(256, ']');
+    EXPECT_EQ(json::Value::parse(ok).dump(), ok);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+    json::Value v = json::Value::object();
+    v["nan"] = std::nan("");
+    v["inf"] = std::numeric_limits<double>::infinity();
+    v["ninf"] = -std::numeric_limits<double>::infinity();
+    v["fine"] = 1.5;
+    const std::string text = v.dump();
+    EXPECT_EQ(text, R"({"fine":1.5,"inf":null,"nan":null,"ninf":null})");
+    // The output must be parseable by this very parser.
+    const json::Value back = json::Value::parse(text);
+    EXPECT_TRUE(back.at("nan").is_null());
+    EXPECT_EQ(back.at("fine").as_number(), 1.5);
+}
+
+TEST(Json, SurrogatePairsDecodeLoneSurrogatesReplace) {
+    // Valid pair: U+1F600 (😀) = 😀 -> 4-byte UTF-8.
+    const auto pair = json::Value::parse(R"(["😀"])");
+    EXPECT_EQ(pair.as_array()[0].as_string(), "\xF0\x9F\x98\x80");
+
+    // Lone high, lone low, and high followed by a non-surrogate escape
+    // all decode the orphan half to U+FFFD (EF BF BD) instead of
+    // emitting an invalid surrogate encoding.
+    const auto lone_high = json::Value::parse(R"(["\uD83D"])");
+    EXPECT_EQ(lone_high.as_array()[0].as_string(), "\xEF\xBF\xBD");
+    const auto lone_low = json::Value::parse(R"(["\uDE00"])");
+    EXPECT_EQ(lone_low.as_array()[0].as_string(), "\xEF\xBF\xBD");
+    const auto high_then_bmp = json::Value::parse(R"(["\uD83DA"])");
+    EXPECT_EQ(high_then_bmp.as_array()[0].as_string(), "\xEF\xBF\xBD" "A");
+    const auto high_then_escape = json::Value::parse(R"(["\uD83D\u0041"])");
+    EXPECT_EQ(high_then_escape.as_array()[0].as_string(), "\xEF\xBF\xBD" "A");
+}
+
+TEST(Json, ControlCharactersEscapeAndRoundTrip) {
+    std::string all_controls;
+    for (char c = 1; c < 0x20; ++c) all_controls += c;  // \0 excluded: C-string tests
+    json::Value v = json::Value::object();
+    v["ctl"] = all_controls;
+    const std::string text = v.dump();
+    // Nothing below 0x20 may appear raw in the serialized form.
+    for (const char c : text) {
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    }
+    EXPECT_NE(text.find("\\u0001"), std::string::npos);
+    EXPECT_NE(text.find("\\u001f"), std::string::npos);
+    // Named short escapes win over \u for the common ones.
+    EXPECT_NE(text.find("\\t"), std::string::npos);
+    EXPECT_NE(text.find("\\n"), std::string::npos);
+    const json::Value back = json::Value::parse(text);
+    EXPECT_EQ(back.at("ctl").as_string(), all_controls);
+    EXPECT_EQ(back.dump(), text);  // round-trip stable
 }
 
 // --- Profiler -------------------------------------------------------------

@@ -1,0 +1,305 @@
+// The timeline reconstructor: causal attribution of path changes
+// (handover vs fault vs recovery), per-entity grouping, JSONL/CSV
+// export, and the acceptance cross-check — every path change recorded
+// in a faulted Starlink-S1 analysis run is attributed to a cause that
+// the generating fault schedule corroborates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/recorder.hpp"
+#include "src/obs/timeline.hpp"
+#include "src/routing/path_analysis.hpp"
+#include "src/topology/cities.hpp"
+#include "src/topology/constellation.hpp"
+#include "src/topology/isl.hpp"
+#include "src/topology/mobility.hpp"
+
+namespace hypatia::obs {
+namespace {
+
+Event path_change(TimeNs t, int src, int dst, int old_hop, int new_hop,
+                  double rtt_s) {
+    Event e;
+    e.t = t;
+    e.kind = EventKind::kPathChange;
+    e.a = src;
+    e.b = dst;
+    e.c = old_hop;
+    e.d = new_hop;
+    e.value = rtt_s;
+    return e;
+}
+
+Event fault_event(TimeNs t, EventKind kind, int fault_kind, int a, int b = -1) {
+    Event e;
+    e.t = t;
+    e.kind = kind;
+    e.a = fault_kind;
+    e.b = a;
+    e.c = b;
+    return e;
+}
+
+Event epoch(TimeNs t) {
+    Event e;
+    e.t = t;
+    e.kind = EventKind::kEpochAdvance;
+    e.a = 0;
+    e.b = 1;
+    return e;
+}
+
+TEST(Timeline, AttributesFaultRecoveryAndHandover) {
+    std::vector<Event> events;
+    // Epoch cadence of 1 s => inferred attribution window of 1 s.
+    for (TimeNs t = 0; t <= 200 * kNsPerSec; t += kNsPerSec) events.push_back(epoch(t));
+    events.push_back(fault_event(172 * kNsPerSec + 500 * kNsPerMs,
+                                 EventKind::kFaultDown, 0, 501));
+    events.push_back(fault_event(180 * kNsPerSec, EventKind::kFaultUp, 0, 501));
+    // Change at 173 s, 0.5 s after sat 501 went down: a fault.
+    events.push_back(path_change(173 * kNsPerSec, 12, 87, 501, 502, 0.014));
+    // Change at 180 s, the instant sat 501 came back: a recovery.
+    events.push_back(path_change(180 * kNsPerSec, 12, 87, 502, 501, 0.011));
+    // Change at 50 s, nowhere near a transition: plain handover.
+    events.push_back(path_change(50 * kNsPerSec, 12, 87, 300, 301, 0.012));
+
+    const Timeline tl = Timeline::build(events, {});
+    EXPECT_EQ(tl.attribution_window(), kNsPerSec);
+
+    const EntityTimeline* pair = tl.find("pair:12->87");
+    ASSERT_NE(pair, nullptr);
+    ASSERT_EQ(pair->entries.size(), 3u);
+    EXPECT_EQ(pair->entries[0].cause, Cause::kHandover);
+    EXPECT_EQ(pair->entries[1].cause, Cause::kFault);
+    EXPECT_NE(pair->entries[1].note.find("outage of sat:501"), std::string::npos);
+    EXPECT_NE(pair->entries[1].note.find("sat 501 -> sat 502"), std::string::npos);
+    EXPECT_NE(pair->entries[1].note.find("rtt 14.00 ms"), std::string::npos);
+    EXPECT_EQ(pair->entries[2].cause, Cause::kRecovery);
+    EXPECT_NE(pair->entries[2].note.find("repair of sat:501"), std::string::npos);
+
+    // The fault transitions themselves group under the satellite entity.
+    const EntityTimeline* sat = tl.find("sat:501");
+    ASSERT_NE(sat, nullptr);
+    EXPECT_EQ(sat->entries.size(), 2u);
+    EXPECT_EQ(sat->entries[0].event.kind, EventKind::kFaultDown);
+}
+
+TEST(Timeline, PrefersOutageOfTheOldNextHop) {
+    // Two satellites fail in the same window; the entry must name the
+    // one the pair was actually routed through.
+    std::vector<Event> events;
+    events.push_back(fault_event(9 * kNsPerSec, EventKind::kFaultDown, 0, 700));
+    events.push_back(fault_event(9 * kNsPerSec + 100, EventKind::kFaultDown, 0, 501));
+    events.push_back(path_change(10 * kNsPerSec, 1, 2, 501, 502, 0.02));
+    TimelineOptions options;
+    options.attribution_window = 2 * kNsPerSec;
+    const Timeline tl = Timeline::build(events, options);
+    const EntityTimeline* pair = tl.find("pair:1->2");
+    ASSERT_NE(pair, nullptr);
+    EXPECT_EQ(pair->entries[0].cause, Cause::kFault);
+    EXPECT_NE(pair->entries[0].note.find("outage of sat:501"), std::string::npos);
+}
+
+TEST(Timeline, WindowExcludesStaleTransitions) {
+    // The attribution interval is half-open (t - w, t]: a transition one
+    // tick inside is a fault; one exactly at t - w is already stale.
+    std::vector<Event> events;
+    events.push_back(fault_event(9 * kNsPerSec + 1, EventKind::kFaultDown, 0, 501));
+    events.push_back(path_change(10 * kNsPerSec, 1, 2, 501, 502, 0.02));
+    TimelineOptions options;
+    options.attribution_window = kNsPerSec;
+    const Timeline inside = Timeline::build(events, options);
+    EXPECT_EQ(inside.find("pair:1->2")->entries[0].cause, Cause::kFault);
+
+    events[0].t = 9 * kNsPerSec;  // exactly t - w: excluded
+    const Timeline stale = Timeline::build(events, options);
+    EXPECT_EQ(stale.find("pair:1->2")->entries[0].cause, Cause::kHandover);
+}
+
+TEST(Timeline, ExportsParsableJsonlAndCsv) {
+    std::vector<Event> events;
+    events.push_back(fault_event(9 * kNsPerSec + 500 * kNsPerMs,
+                                 EventKind::kFaultDown, 0, 501));
+    events.push_back(path_change(10 * kNsPerSec, 1, 2, 501, -1,
+                                 std::numeric_limits<double>::infinity()));
+    TimelineOptions options;
+    options.attribution_window = kNsPerSec;
+    const Timeline tl = Timeline::build(events, options);
+
+    std::ostringstream jsonl;
+    tl.write_jsonl(jsonl);
+    std::istringstream lines(jsonl.str());
+    std::string line;
+    std::size_t parsed = 0;
+    bool saw_unreachable_change = false;
+    while (std::getline(lines, line)) {
+        const json::Value v = json::Value::parse(line);
+        ++parsed;
+        EXPECT_FALSE(v.at("entity").as_string().empty());
+        if (v.at("kind").as_string() == "path_change") {
+            EXPECT_EQ(v.at("cause").as_string(), "fault");
+            EXPECT_EQ(v.at("d").as_number(), -1.0);
+            EXPECT_TRUE(v.at("value").is_null());  // +inf has no JSON spelling
+            EXPECT_NE(v.at("note").as_string().find("unreachable"),
+                      std::string::npos);
+            saw_unreachable_change = true;
+        }
+    }
+    EXPECT_EQ(parsed, 2u);
+    EXPECT_TRUE(saw_unreachable_change);
+
+    std::ostringstream csv;
+    tl.write_csv(csv);
+    const std::string text = csv.str();
+    EXPECT_NE(text.find("entity,t_ns,kind,cause,a,b,c,d,value,note"),
+              std::string::npos);
+    EXPECT_NE(text.find("pair:1->2"), std::string::npos);
+    EXPECT_NE(text.find("fault"), std::string::npos);
+    // Notes contain commas, so the note cell must be quoted.
+    EXPECT_NE(text.find("\""), std::string::npos);
+}
+
+// --- Acceptance: faulted S1 run cross-checked against the schedule ---------
+
+TEST(Timeline, FaultedS1RunAttributionMatchesSchedule) {
+    topo::Constellation constellation(topo::shell_by_name("starlink_s1"),
+                                      topo::default_epoch());
+    topo::SatelliteMobility mobility(constellation);
+    const auto isls = topo::build_isls(constellation, topo::IslPattern::kPlusGrid);
+    auto gses = topo::top100_cities();
+    const int num_sats = constellation.num_satellites();
+
+    const std::vector<route::GsPair> pairs = {
+        {topo::city_index("Manila"), topo::city_index("Dalian")},
+        {topo::city_index("Tokyo"), topo::city_index("Seoul")},
+        {topo::city_index("New York"), topo::city_index("London")}};
+
+    constexpr TimeNs kStep = kNsPerSec;
+    constexpr TimeNs kEnd = 20 * kNsPerSec;
+    constexpr TimeNs kKillAt = 10 * kNsPerSec;
+    constexpr TimeNs kRepairAt = 15 * kNsPerSec;
+
+    // Discovery pass (fault-free): find a pair whose first-hop satellite
+    // is stable across the kill boundary, so severing it guarantees an
+    // observable path change at exactly kKillAt.
+    fault::FaultSchedule no_faults;
+    route::AnalysisOptions opt;
+    opt.t_end = kEnd;
+    opt.step = kStep;
+    opt.faults = &no_faults;
+    std::vector<std::vector<int>> first_hop(
+        pairs.size(), std::vector<int>(static_cast<std::size_t>(kEnd / kStep), -1));
+    opt.per_step_observer = [&](TimeNs t, int pair_index, double,
+                                const std::vector<int>& path) {
+        if (!path.empty()) {
+            first_hop[static_cast<std::size_t>(pair_index)]
+                     [static_cast<std::size_t>(t / kStep)] = path.front();
+        }
+    };
+    recorder().set_enabled(false);  // discovery run stays off the record
+    route::analyze_pairs(mobility, isls, gses, pairs, opt);
+
+    int victim_sat = -1;
+    std::size_t victim_pair = 0;
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+        const auto& fh = first_hop[pi];
+        const std::size_t k = static_cast<std::size_t>(kKillAt / kStep);
+        if (fh[k - 1] >= 0 && fh[k - 1] == fh[k]) {
+            victim_sat = fh[k];
+            victim_pair = pi;
+            break;
+        }
+    }
+    ASSERT_GE(victim_sat, 0) << "no pair with a stable first hop at the boundary";
+
+    const auto schedule = fault::FaultSchedule::from_events(
+        {{fault::FaultKind::kSatellite, victim_sat, -1, kKillAt, kRepairAt}},
+        num_sats, static_cast<int>(gses.size()));
+
+    // The recorded pass.
+    recorder().reset();
+    recorder().set_enabled(true);
+    opt.per_step_observer = nullptr;
+    opt.faults = &schedule;
+    route::analyze_pairs(mobility, isls, gses, pairs, opt);
+    const std::vector<Event> events = recorder().drain();
+    ASSERT_FALSE(events.empty());
+
+    const Timeline tl = Timeline::build(events, {});
+    // The inferred window is the 1 s analysis step.
+    EXPECT_EQ(tl.attribution_window(), kStep);
+
+    // Cross-check every path change against the generating schedule:
+    //  fault    => a down transition inside (t - w, t]
+    //  recovery => an up transition (and no down) inside (t - w, t]
+    //  handover => no transition at all inside the window
+    int fault_entries = 0;
+    int total_changes = 0;
+    for (const auto& entity : tl.entities()) {
+        for (const auto& entry : entity.entries) {
+            if (entry.event.kind != EventKind::kPathChange) continue;
+            ++total_changes;
+            EXPECT_NE(entry.cause, Cause::kNone);
+            std::vector<fault::FaultTransition> transitions;
+            schedule.transitions_in(entry.event.t - tl.attribution_window(),
+                                    entry.event.t, transitions);
+            bool has_down = false;
+            bool has_up = false;
+            for (const auto& tr : transitions) (tr.down ? has_down : has_up) = true;
+            switch (entry.cause) {
+                case Cause::kFault:
+                    EXPECT_TRUE(has_down) << entity.entity << " @ " << entry.event.t;
+                    ++fault_entries;
+                    break;
+                case Cause::kRecovery:
+                    EXPECT_TRUE(has_up && !has_down)
+                        << entity.entity << " @ " << entry.event.t;
+                    break;
+                default:
+                    EXPECT_TRUE(transitions.empty())
+                        << entity.entity << " @ " << entry.event.t;
+                    break;
+            }
+        }
+    }
+    EXPECT_GT(total_changes, 0);
+    EXPECT_GT(fault_entries, 0) << "the severed pair never produced a fault entry";
+
+    // The victim pair specifically changed path at the kill instant and
+    // the entry names the dead satellite as the culprit.
+    char key[48];
+    std::snprintf(key, sizeof(key), "pair:%d->%d", pairs[victim_pair].src_gs,
+                  pairs[victim_pair].dst_gs);
+    const EntityTimeline* pair_tl = tl.find(key);
+    ASSERT_NE(pair_tl, nullptr);
+    bool found_kill_entry = false;
+    for (const auto& entry : pair_tl->entries) {
+        if (entry.event.t == kKillAt && entry.cause == Cause::kFault) {
+            EXPECT_EQ(entry.event.c, victim_sat);  // old next hop on record
+            EXPECT_NE(entry.note.find("outage of sat:" + std::to_string(victim_sat)),
+                      std::string::npos);
+            found_kill_entry = true;
+        }
+    }
+    EXPECT_TRUE(found_kill_entry);
+
+    // The schedule's own transitions made it onto the satellite entity.
+    const EntityTimeline* sat_tl =
+        tl.find("sat:" + std::to_string(victim_sat));
+    ASSERT_NE(sat_tl, nullptr);
+    ASSERT_EQ(sat_tl->entries.size(), 2u);
+    EXPECT_EQ(sat_tl->entries[0].event.kind, EventKind::kFaultDown);
+    EXPECT_EQ(sat_tl->entries[0].event.t, kKillAt);
+    EXPECT_EQ(sat_tl->entries[1].event.kind, EventKind::kFaultUp);
+    EXPECT_EQ(sat_tl->entries[1].event.t, kRepairAt);
+}
+
+}  // namespace
+}  // namespace hypatia::obs

@@ -1,0 +1,282 @@
+// bench_diff: compares a freshly produced benchmark/manifest JSON
+// against a committed baseline and fails (exit 1) when a metric
+// regresses beyond its tolerance — the CI guard that keeps
+// BENCH_routing.json / BENCH_fault.json / run_manifest.json honest.
+//
+// Usage:
+//   bench_diff <baseline.json> <fresh.json>
+//       [--metric path[:tol][:higher|lower|both]]...
+//       [--default-tolerance 0.10] [--list]
+//
+// With no --metric arguments every numeric leaf present in BOTH files
+// is compared symmetrically ("both") under the default tolerance. A
+// --metric argument restricts the check to the named metrics and lets
+// each carry its own tolerance and direction:
+//   higher — higher is better; only a drop below (1 - tol) * base fails
+//   lower  — lower is better; only a rise above (1 + tol) * base fails
+//   both   — any relative deviation beyond tol fails (default)
+//
+// Paths are dot-separated; numeric segments index into arrays
+// ("points.3.unreachable_fraction"). Object keys that themselves
+// contain dots (the manifest metric names like "flowsim.flows_
+// completed") are matched exact-key-first at every step, so
+// "metrics.flowsim.flows_completed" resolves. Metrics missing from
+// one side are reported and fail the run (a renamed metric must touch
+// the baseline on purpose); relative error against a zero baseline is
+// treated as exact-match-required.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace {
+
+using hypatia::obs::json::Value;
+
+enum class Direction { kBoth, kHigherIsBetter, kLowerIsBetter };
+
+struct MetricSpec {
+    std::string path;
+    double tolerance = 0.10;
+    Direction direction = Direction::kBoth;
+};
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Resolves a dotted path against a JSON tree. At every step the
+/// longest exact key match wins before the path is split on '.', so
+/// keys that contain dots ("flowsim.flows_completed") resolve without
+/// any escaping. Numeric segments index arrays.
+const Value* resolve(const Value& root, const std::string& path) {
+    if (path.empty()) return &root;
+    if (root.is_object()) {
+        // Longest prefix of the path that is an exact key, scanning
+        // from the full path down — "a.b.c" tries "a.b.c", "a.b", "a".
+        std::string prefix = path;
+        while (true) {
+            if (root.contains(prefix)) {
+                const std::string rest =
+                    prefix.size() == path.size() ? "" : path.substr(prefix.size() + 1);
+                const Value* hit = resolve(root.at(prefix), rest);
+                if (hit != nullptr) return hit;
+            }
+            const std::size_t dot = prefix.rfind('.');
+            if (dot == std::string::npos) return nullptr;
+            prefix.resize(dot);
+        }
+    }
+    if (root.is_array()) {
+        const std::size_t dot = path.find('.');
+        const std::string head = path.substr(0, dot);
+        char* end = nullptr;
+        const long index = std::strtol(head.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || index < 0 ||
+            static_cast<std::size_t>(index) >= root.as_array().size()) {
+            return nullptr;
+        }
+        const std::string rest = dot == std::string::npos ? "" : path.substr(dot + 1);
+        return resolve(root.as_array()[static_cast<std::size_t>(index)], rest);
+    }
+    return nullptr;
+}
+
+/// Collects every numeric leaf as path -> value ("a.b.0.c" form).
+void collect_numeric_leaves(const Value& v, const std::string& prefix,
+                            std::map<std::string, double>& out) {
+    if (v.is_number()) {
+        out[prefix] = v.as_number();
+        return;
+    }
+    if (v.is_object()) {
+        for (const auto& [key, child] : v.as_object()) {
+            collect_numeric_leaves(child, prefix.empty() ? key : prefix + "." + key,
+                                   out);
+        }
+        return;
+    }
+    if (v.is_array()) {
+        const auto& arr = v.as_array();
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            collect_numeric_leaves(arr[i],
+                                   prefix.empty() ? std::to_string(i)
+                                                  : prefix + "." + std::to_string(i),
+                                   out);
+        }
+    }
+}
+
+Direction parse_direction(const std::string& token) {
+    if (token == "higher") return Direction::kHigherIsBetter;
+    if (token == "lower") return Direction::kLowerIsBetter;
+    if (token == "both") return Direction::kBoth;
+    std::fprintf(stderr, "bench_diff: bad direction '%s' (higher|lower|both)\n",
+                 token.c_str());
+    std::exit(2);
+}
+
+/// "path[:tol][:direction]" — the last one/two ':'-separated suffixes
+/// are recognized as tolerance/direction only when they parse as such,
+/// so metric names containing ':' stay addressable.
+MetricSpec parse_metric_arg(const std::string& arg, double default_tolerance) {
+    MetricSpec spec;
+    spec.tolerance = default_tolerance;
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t colon = arg.find(':', start);
+        parts.push_back(arg.substr(start, colon - start));
+        if (colon == std::string::npos) break;
+        start = colon + 1;
+    }
+    // Pop direction, then tolerance, when the trailing parts look like
+    // them.
+    if (parts.size() > 1 && (parts.back() == "higher" || parts.back() == "lower" ||
+                             parts.back() == "both")) {
+        spec.direction = parse_direction(parts.back());
+        parts.pop_back();
+    }
+    if (parts.size() > 1) {
+        char* end = nullptr;
+        const double tol = std::strtod(parts.back().c_str(), &end);
+        if (end != nullptr && *end == '\0' && tol >= 0.0) {
+            spec.tolerance = tol;
+            parts.pop_back();
+        }
+    }
+    std::string path = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) path += ":" + parts[i];
+    spec.path = path;
+    return spec;
+}
+
+struct Outcome {
+    int checked = 0;
+    int failed = 0;
+};
+
+void check_metric(const MetricSpec& spec, double base, double fresh, Outcome& out) {
+    ++out.checked;
+    bool ok;
+    double rel = 0.0;
+    if (base == 0.0) {
+        ok = fresh == 0.0;  // no relative scale: require exact
+        rel = fresh == 0.0 ? 0.0 : HUGE_VAL;
+    } else {
+        rel = (fresh - base) / std::fabs(base);
+        switch (spec.direction) {
+            case Direction::kHigherIsBetter: ok = rel >= -spec.tolerance; break;
+            case Direction::kLowerIsBetter: ok = rel <= spec.tolerance; break;
+            case Direction::kBoth:
+            default: ok = std::fabs(rel) <= spec.tolerance; break;
+        }
+    }
+    const char* dir = spec.direction == Direction::kHigherIsBetter ? "higher"
+                      : spec.direction == Direction::kLowerIsBetter ? "lower"
+                                                                    : "both";
+    std::printf("%s %-58s base=%-14.6g fresh=%-14.6g drift=%+8.2f%% tol=%g/%s\n",
+                ok ? "  ok  " : " FAIL ", spec.path.c_str(), base, fresh, rel * 100.0,
+                spec.tolerance, dir);
+    if (!ok) ++out.failed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> positional;
+    std::vector<std::string> metric_args;
+    double default_tolerance = 0.10;
+    bool list_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--metric" && i + 1 < argc) {
+            metric_args.emplace_back(argv[++i]);
+        } else if (arg == "--default-tolerance" && i + 1 < argc) {
+            default_tolerance = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: bench_diff <baseline.json> <fresh.json>\n"
+                "         [--metric path[:tol][:higher|lower|both]]...\n"
+                "         [--default-tolerance 0.10] [--list]\n");
+            return 0;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (list_only && positional.size() == 1) {
+        const Value doc = Value::parse(read_file(positional[0]));
+        std::map<std::string, double> leaves;
+        collect_numeric_leaves(doc, "", leaves);
+        for (const auto& [path, value] : leaves) {
+            std::printf("%s = %.12g\n", path.c_str(), value);
+        }
+        return 0;
+    }
+    if (positional.size() != 2) {
+        std::fprintf(stderr, "bench_diff: expected <baseline.json> <fresh.json>\n");
+        return 2;
+    }
+
+    const Value baseline = Value::parse(read_file(positional[0]));
+    const Value fresh = Value::parse(read_file(positional[1]));
+
+    Outcome out;
+    int missing = 0;
+    if (metric_args.empty()) {
+        // Full sweep: every numeric leaf present in both documents.
+        std::map<std::string, double> base_leaves;
+        std::map<std::string, double> fresh_leaves;
+        collect_numeric_leaves(baseline, "", base_leaves);
+        collect_numeric_leaves(fresh, "", fresh_leaves);
+        for (const auto& [path, base_value] : base_leaves) {
+            const auto it = fresh_leaves.find(path);
+            if (it == fresh_leaves.end()) continue;
+            MetricSpec spec;
+            spec.path = path;
+            spec.tolerance = default_tolerance;
+            check_metric(spec, base_value, it->second, out);
+        }
+    } else {
+        for (const std::string& arg : metric_args) {
+            const MetricSpec spec = parse_metric_arg(arg, default_tolerance);
+            const Value* base_v = resolve(baseline, spec.path);
+            const Value* fresh_v = resolve(fresh, spec.path);
+            if (base_v == nullptr || !base_v->is_number() || fresh_v == nullptr ||
+                !fresh_v->is_number()) {
+                std::printf(" MISS  %-58s %s%s\n", spec.path.c_str(),
+                            (base_v == nullptr || !base_v->is_number())
+                                ? "absent-in-baseline "
+                                : "",
+                            (fresh_v == nullptr || !fresh_v->is_number())
+                                ? "absent-in-fresh"
+                                : "");
+                ++missing;
+                continue;
+            }
+            check_metric(spec, base_v->as_number(), fresh_v->as_number(), out);
+        }
+    }
+
+    std::printf("bench_diff: %d checked, %d failed, %d missing\n", out.checked,
+                out.failed, missing);
+    return (out.failed == 0 && missing == 0) ? 0 : 1;
+}
