@@ -1,0 +1,195 @@
+// Emulation export + real-time pacing guard (DESIGN.md §10): Starlink
+// S1 with the section-4 city pairs under a seeded satellite-failure
+// schedule, 100 ms epochs. Three phases:
+//   1. batch export — emu::ScheduleExporter sweeps the window and the
+//      per-pair schedules are written to bench_output as CSV, JSONL and
+//      tc/netem replay scripts;
+//   2. free run — emu::RealtimePacer with pacing disabled measures the
+//      real-time factor (simulated seconds per busy wall second) of the
+//      refresh pipeline, and its schedules are checked byte-identical
+//      to the batch export;
+//   3. paced run — the pacer sleeps each epoch to its wall-clock
+//      deadline (speed from HYPATIA_REALTIME or --speed) and reports
+//      the deadline-miss rate.
+// Writes bench_output/BENCH_emu.json. Exits non-zero when the free-run
+// real-time factor drops below 1.0 (the pipeline can no longer drive a
+// live emulation at 100 ms epochs), when paced and batch schedules
+// diverge, or when the faulted run shows no loss windows at all.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/paper_pairs.hpp"
+#include "src/emu/export.hpp"
+#include "src/emu/realtime.hpp"
+
+namespace hypatia {
+namespace {
+
+std::string file_token(std::string name) {
+    for (char& c : name) {
+        if (c == ' ' || c == '/' || c == '\\') c = '_';
+    }
+    return name;
+}
+
+void write_file(const std::string& path, const std::string& body) {
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+}
+
+int run(int argc, char** argv) {
+    bench::BenchArgs args(argc, argv);
+    const double duration_s = args.duration_s(10.0, 60.0);
+    const double step_ms = args.step_ms(100.0, 100.0);
+    const double env_speed = emu::realtime_speed_from_env().value_or(1.0);
+    const double speed = args.cli.get_double("speed", env_speed);
+    args.cli.describe("speed", "paced-phase speed multiplier (default HYPATIA_REALTIME or 1)");
+    args.finish_flags("emulation schedule export + real-time pacing on Starlink S1");
+    args.manifest.set_param("speed", speed);
+
+    bench::print_header("Emulation export + real-time pacing: Starlink S1");
+
+    // The section-4 cities, one pair per connection, plus a seeded
+    // satellite-failure schedule so the exported loss/rate series have
+    // real outage windows to replay.
+    std::vector<std::string> cities;
+    std::vector<route::GsPair> pairs;
+    for (const auto& [a, b] : bench::section4_pairs()) {
+        pairs.push_back({static_cast<int>(cities.size()),
+                         static_cast<int>(cities.size()) + 1});
+        cities.push_back(a);
+        cities.push_back(b);
+    }
+    core::Scenario scenario = bench::scenario_with_cities("starlink_s1", cities);
+    fault::FaultConfig fault_config;
+    fault_config.seed = 2026;
+    fault_config.horizon = seconds_to_ns(duration_s);
+    fault_config.sat_mtbf_s = 60.0;
+    fault_config.sat_mttr_s = 10.0;
+    // GS outages guarantee severed (loss = 100%) windows in the
+    // schedules: satellite churn alone reroutes around dead nodes, it
+    // rarely partitions a pair inside a short window.
+    fault_config.gs_mtbf_s = 5.0;
+    fault_config.gs_mttr_s = 2.0;
+    scenario.faults = fault::FaultSpec{fault_config, ""};
+
+    emu::ExportOptions eopt;
+    eopt.t_end = seconds_to_ns(duration_s);
+    eopt.step = ms_to_ns(step_ms);
+
+    // Phase 1: batch export.
+    emu::ScheduleExporter exporter(scenario, pairs, eopt);
+    const auto& schedules = exporter.run();
+    std::size_t entries = 0, loss_entries = 0, path_changes = 0;
+    for (const auto& s : schedules) {
+        entries += s.entries.size();
+        path_changes += static_cast<std::size_t>(s.path_changes());
+        for (const auto& e : s.entries) loss_entries += e.reachable ? 0 : 1;
+        const std::string stem =
+            "emu_" + file_token(s.src_name) + "_" + file_token(s.dst_name);
+        write_file(bench::out_path(stem + ".csv"), emu::to_csv(s));
+        write_file(bench::out_path(stem + ".jsonl"), emu::to_jsonl(s));
+        write_file(bench::out_path(stem + "_netem.sh"), emu::render_netem_script(s));
+        std::printf("%-18s -> %-18s %4zu entries, %3d path changes\n",
+                    s.src_name.c_str(), s.dst_name.c_str(), s.entries.size(),
+                    s.path_changes());
+    }
+    std::printf("batch export: %zu entries (%zu severed), %zu path changes\n",
+                entries, loss_entries, path_changes);
+
+    // Phase 2: free run — the real-time-factor measurement.
+    emu::PacerOptions free_opts;
+    free_opts.speed = 0.0;
+    emu::RealtimePacer free_pacer(scenario, pairs, eopt, free_opts);
+    const emu::PacerReport free_report = free_pacer.run();
+    std::printf("free run: %zu epochs in %.3f s busy -> real-time factor %.2f\n",
+                free_report.epochs, free_report.busy_s,
+                free_report.realtime_factor);
+
+    bool schedules_match = free_report.schedules.size() == schedules.size();
+    for (std::size_t i = 0; schedules_match && i < schedules.size(); ++i) {
+        schedules_match = emu::to_csv(free_report.schedules[i]) ==
+                              emu::to_csv(schedules[i]) &&
+                          emu::to_jsonl(free_report.schedules[i]) ==
+                              emu::to_jsonl(schedules[i]);
+    }
+
+    // Phase 3: paced run.
+    emu::PacerOptions paced_opts;
+    paced_opts.speed = speed;
+    emu::RealtimePacer paced_pacer(scenario, pairs, eopt, paced_opts);
+    const emu::PacerReport paced_report = paced_pacer.run();
+    std::printf(
+        "paced run (speed %.2f): %zu epochs, %zu deadline misses (%.2f%%), "
+        "%.3f s wall\n",
+        speed, paced_report.epochs, paced_report.deadline_misses,
+        100.0 * paced_report.miss_rate(), paced_report.wall_s);
+
+    const std::string path = util::output_path("bench_output", "BENCH_emu.json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"emu_realtime\",\n"
+                 "  \"constellation\": \"starlink_s1\",\n"
+                 "  \"duration_s\": %.1f,\n"
+                 "  \"step_ms\": %.1f,\n"
+                 "  \"schedule\": {\n"
+                 "    \"pairs\": %zu,\n"
+                 "    \"entries\": %zu,\n"
+                 "    \"severed_entries\": %zu,\n"
+                 "    \"path_changes\": %zu,\n"
+                 "    \"matches_paced_run\": %s\n"
+                 "  },\n"
+                 "  \"freerun\": {\n"
+                 "    \"epochs\": %zu,\n"
+                 "    \"busy_s\": %.4f,\n"
+                 "    \"realtime_factor\": %.3f\n"
+                 "  },\n"
+                 "  \"paced\": {\n"
+                 "    \"speed\": %.2f,\n"
+                 "    \"epochs\": %zu,\n"
+                 "    \"deadline_misses\": %zu,\n"
+                 "    \"miss_rate\": %.4f,\n"
+                 "    \"wall_s\": %.3f,\n"
+                 "    \"realtime_factor\": %.3f\n"
+                 "  }\n"
+                 "}\n",
+                 duration_s, step_ms, schedules.size(), entries, loss_entries,
+                 path_changes, schedules_match ? "true" : "false",
+                 free_report.epochs, free_report.busy_s,
+                 free_report.realtime_factor, speed, paced_report.epochs,
+                 paced_report.deadline_misses, paced_report.miss_rate(),
+                 paced_report.wall_s, paced_report.realtime_factor);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+
+    // Self-checks.
+    if (!schedules_match) {
+        std::fprintf(stderr, "FAIL: paced schedules diverge from the batch export\n");
+        return 1;
+    }
+    if (free_report.realtime_factor < 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: real-time factor %.2f < 1.0 at %.0f ms epochs\n",
+                     free_report.realtime_factor, step_ms);
+        return 1;
+    }
+    if (loss_entries == 0) {
+        std::fprintf(stderr,
+                     "FAIL: seeded fault schedule produced no severed entries\n");
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace hypatia
+
+int main(int argc, char** argv) { return hypatia::run(argc, argv); }

@@ -7,7 +7,6 @@
 #include <fstream>
 
 #include "bench/common.hpp"
-#include "src/routing/path_analysis.hpp"
 #include "src/topology/cities.hpp"
 #include "src/viz/path_export.hpp"
 
@@ -35,22 +34,18 @@ int main(int argc, char** argv) {
     Extreme longest, shortest;
     shortest.rtt_ms = 1e18;
 
-    route::AnalysisOptions opt;
+    // The shared pair sweep (also behind the emu schedule exporter):
+    // points carry the full node path, GS endpoints included.
+    viz::PairSeriesOptions opt;
     opt.t_end = duration;
     opt.step = step;
-    opt.per_step_observer = [&](TimeNs t, int, double rtt_s,
-                                const std::vector<int>& sat_path) {
-        if (rtt_s == route::kInfDistance) return;
-        const double rtt_ms = rtt_s * 1e3;
-        // Rebuild the full node path (GS endpoints around the satellites).
-        std::vector<int> full;
-        full.push_back(s1.num_satellites() + 0);
-        full.insert(full.end(), sat_path.begin(), sat_path.end());
-        full.push_back(s1.num_satellites() + 1);
-        if (rtt_ms > longest.rtt_ms) longest = {t, rtt_ms, full};
-        if (rtt_ms < shortest.rtt_ms) shortest = {t, rtt_ms, full};
-    };
-    route::analyze_pairs(mob, isls, gses, {{0, 1}}, opt);
+    const auto series = viz::sweep_pair_series(mob, isls, gses, {{0, 1}}, opt);
+    for (const auto& point : series[0]) {
+        if (!point.reachable()) continue;
+        const double rtt_ms = point.rtt_s * 1e3;
+        if (rtt_ms > longest.rtt_ms) longest = {point.t, rtt_ms, point.path};
+        if (rtt_ms < shortest.rtt_ms) shortest = {point.t, rtt_ms, point.path};
+    }
 
     std::ofstream json(bench::out_path("fig13_paths.json"));
     json << "[";

@@ -1,0 +1,160 @@
+#include "src/emu/export.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "src/flowsim/engine.hpp"
+#include "src/flowsim/traffic.hpp"
+#include "src/obs/observability.hpp"
+
+namespace hypatia::emu {
+
+ScheduleExporter::ScheduleExporter(const core::Scenario& scenario,
+                                   std::vector<route::GsPair> pairs,
+                                   ExportOptions options)
+    : scenario_(scenario),
+      constellation_(scenario.shell, topo::default_epoch()),
+      mobility_(constellation_),
+      isls_(topo::build_isls(constellation_, scenario.isl_pattern)),
+      pairs_(std::move(pairs)),
+      options_(options) {
+    if (options_.step <= 0) throw std::invalid_argument("emu: step must be > 0");
+    num_steps_ = options_.t_end > options_.t_start
+                     ? static_cast<std::size_t>(
+                           (options_.t_end - options_.t_start + options_.step - 1) /
+                           options_.step)
+                     : 0;
+    if (scenario_.weather.has_value()) weather_.emplace(*scenario_.weather);
+
+    // Fault resolution mirrors flowsim::Engine: the scenario's spec
+    // wins, HYPATIA_FAULTS is the fallback, an empty schedule is
+    // discarded — so rates and loss observe one consistent fault state.
+    std::optional<fault::FaultSpec> fault_spec = scenario_.faults;
+    if (!fault_spec.has_value()) fault_spec = fault::spec_from_env();
+    if (fault_spec.has_value() && !fault_spec->empty()) {
+        faults_.emplace(fault::FaultSchedule::from_spec(
+            *fault_spec, constellation_.num_satellites(), isls_,
+            scenario_.ground_stations));
+        if (faults_->empty()) faults_.reset();
+    }
+
+    route::SweepOptions sweep;
+    sweep.relay_gs_indices = scenario_.relay_gs_indices;
+    sweep.gs_nearest_satellite_only = scenario_.gs_nearest_satellite_only;
+    if (weather_.has_value()) {
+        sweep.gsl_range_factor = [this](int gs_index, TimeNs at) {
+            return weather_->gsl_range_factor(gs_index, at);
+        };
+    }
+    // Pass a pointer even when fault-free: an unset schedule would make
+    // the sweeper re-consult HYPATIA_FAULTS, diverging from the
+    // scenario-first resolution above.
+    static const fault::FaultSchedule kNoFaults;
+    sweep.faults = faults_.has_value() ? &*faults_ : &kNoFaults;
+    sweep.step_hint = options_.step;
+    sweeper_.emplace(mobility_, isls_, scenario_.ground_stations, pairs_, sweep);
+
+    schedules_.resize(pairs_.size());
+    prev_paths_.resize(pairs_.size());
+    for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+        auto& s = schedules_[pi];
+        s.src_gs = pairs_[pi].src_gs;
+        s.dst_gs = pairs_[pi].dst_gs;
+        s.src_name =
+            scenario_.ground_stations[static_cast<std::size_t>(s.src_gs)].name();
+        s.dst_name =
+            scenario_.ground_stations[static_cast<std::size_t>(s.dst_gs)].name();
+        s.step = options_.step;
+        s.entries.reserve(num_steps_);
+    }
+
+    if (options_.include_rates && !pairs_.empty() && num_steps_ > 0) {
+        // One unbounded CBR flow per pair; the engine re-solves the
+        // max-min allocation every schedule step (plus fault cuts) and
+        // records each flow's (t, rate) series. Flow ids are indices
+        // into the arrival-sorted matrix, so map pairs through the sort.
+        flowsim::TrafficMatrix matrix =
+            flowsim::cbr_background(pairs_, options_.rate_cap_bps);
+        matrix.sort_by_arrival();
+        flowsim::EngineOptions eopt;
+        eopt.epoch = options_.step;
+        eopt.duration = options_.t_end;
+        eopt.tracked_flows.resize(matrix.size());
+        for (std::size_t i = 0; i < matrix.size(); ++i) eopt.tracked_flows[i] = i;
+        flowsim::Engine engine(scenario_, matrix, eopt);
+        const flowsim::RunSummary summary = engine.run();
+
+        rate_series_.resize(pairs_.size());
+        const auto& sorted = engine.matrix().flows;
+        for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+            for (std::size_t fi = 0; fi < sorted.size(); ++fi) {
+                if (sorted[fi].src_gs == pairs_[pi].src_gs &&
+                    sorted[fi].dst_gs == pairs_[pi].dst_gs) {
+                    rate_series_[pi] = summary.tracked_series[fi];
+                    break;
+                }
+            }
+        }
+    }
+}
+
+double ScheduleExporter::rate_at(std::size_t pair_index, TimeNs t) const {
+    if (pair_index >= rate_series_.size()) return 0.0;
+    const auto& series = rate_series_[pair_index];
+    // Rates are piecewise-constant from each boundary: the value at t is
+    // the last entry at or before it.
+    auto it = std::upper_bound(
+        series.begin(), series.end(), t,
+        [](TimeNs lhs, const std::pair<TimeNs, double>& rhs) { return lhs < rhs.first; });
+    if (it == series.begin()) return 0.0;
+    return std::prev(it)->second;
+}
+
+void ScheduleExporter::compute_step(std::size_t i) {
+    if (i != next_step_ || i >= num_steps_) {
+        throw std::logic_error("emu: compute_step(" + std::to_string(i) +
+                               ") out of order (next is " +
+                               std::to_string(next_step_) + " of " +
+                               std::to_string(num_steps_) + ")");
+    }
+    const TimeNs t = step_time(i);
+    const TimeNs orbit_t = scenario_.freeze ? scenario_.start_offset
+                                            : scenario_.start_offset + t;
+    const auto& samples = sweeper_->step(orbit_t);
+
+    for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+        const auto& sample = samples[pi];
+        auto& schedule = schedules_[pi];
+
+        ScheduleEntry entry;
+        entry.t = t;
+        entry.reachable = sample.reachable();
+        if (entry.reachable) {
+            entry.rtt_us = sample.rtt_s * 1e6;
+            entry.delay_us = entry.rtt_us / 2.0;
+            entry.loss_pct = 0.0;
+            entry.rate_bps = rate_at(pi, t);
+        }
+        // First-hop satellite: path[0] is the source GS node, path[1]
+        // the first satellite (empty path when severed).
+        entry.new_next_hop =
+            sample.path.size() >= 2 ? sample.path[1] : -1;
+        if (!schedule.entries.empty()) {
+            const auto& prev = schedule.entries.back();
+            entry.old_next_hop = prev.new_next_hop;
+            entry.path_changed = prev_paths_[pi] != sample.path;
+        }
+        prev_paths_[pi] = sample.path;
+        schedule.entries.push_back(std::move(entry));
+    }
+    obs::metrics().counter("emu.schedule_entries").inc(pairs_.size());
+    ++next_step_;
+}
+
+const std::vector<PairSchedule>& ScheduleExporter::run() {
+    while (next_step_ < num_steps_) compute_step(next_step_);
+    return schedules_;
+}
+
+}  // namespace hypatia::emu

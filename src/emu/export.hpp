@@ -1,0 +1,98 @@
+// ScheduleExporter: sweeps the zero-rebuild epoch pipeline over a
+// scenario window and materializes one emu::PairSchedule per configured
+// ground-station pair. Per step it sources
+//   * delay / RTT and the full path from route::PairSweeper — the same
+//     sweep implementation behind analyze_pairs and the Fig 13
+//     exporters, so figure CSVs and emu schedules cannot drift,
+//   * loss from the resolved fault schedule (a severed pair emulates as
+//     100% loss; scenario faults win over HYPATIA_FAULTS, matching the
+//     flowsim engine's resolution order),
+//   * rate caps from a flowsim background run: one unbounded CBR flow
+//     per pair, max-min fair shares re-solved every step (and at fault
+//     transitions), sampled onto the schedule grid.
+// The step API is incremental so emu::RealtimePacer can pace the same
+// computation against the wall clock; run() is the batch wrapper. Both
+// produce byte-identical schedules at any HYPATIA_THREADS /
+// HYPATIA_SNAPSHOT_MODE setting.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/core/scenario.hpp"
+#include "src/emu/schedule.hpp"
+#include "src/routing/pair_sweep.hpp"
+#include "src/topology/mobility.hpp"
+#include "src/topology/weather.hpp"
+
+namespace hypatia::emu {
+
+struct ExportOptions {
+    TimeNs t_start = 0;
+    TimeNs t_end = 10 * kNsPerSec;
+    TimeNs step = 100 * kNsPerMs;
+    /// Solve the flowsim background matrix for max-min rate caps. With
+    /// rates off every entry's rate_bps is 0 and the netem renderer
+    /// omits the rate clause.
+    bool include_rates = true;
+    /// Per-pair CBR cap of the background matrix (the paper's 10 Mbit/s
+    /// link rate by default — an uncontended pair pins at exactly this).
+    double rate_cap_bps = 10e6;
+};
+
+class ScheduleExporter {
+  public:
+    /// `pairs` must be distinct (each pair becomes one background flow;
+    /// duplicates would share capacity and halve their rate caps).
+    ScheduleExporter(const core::Scenario& scenario,
+                     std::vector<route::GsPair> pairs, ExportOptions options = {});
+
+    std::size_t num_steps() const { return num_steps_; }
+    TimeNs step_time(std::size_t i) const {
+        return options_.t_start + static_cast<TimeNs>(i) * options_.step;
+    }
+
+    /// Computes step `i` and appends one entry per pair. Steps must be
+    /// computed in order 0..num_steps()-1; out-of-order calls throw.
+    void compute_step(std::size_t i);
+
+    /// Batch export: computes every remaining step and returns the
+    /// schedules.
+    const std::vector<PairSchedule>& run();
+
+    /// Schedules accumulated so far (entries grow as steps compute).
+    const std::vector<PairSchedule>& schedules() const { return schedules_; }
+
+    const core::Scenario& scenario() const { return scenario_; }
+    const std::vector<route::GsPair>& pairs() const { return pairs_; }
+    const ExportOptions& options() const { return options_; }
+    /// The resolved fault schedule; nullptr when fault-free.
+    const fault::FaultSchedule* faults() const {
+        return faults_.has_value() ? &*faults_ : nullptr;
+    }
+
+  private:
+    double rate_at(std::size_t pair_index, TimeNs t) const;
+
+    core::Scenario scenario_;
+    topo::Constellation constellation_;
+    topo::SatelliteMobility mobility_;
+    std::vector<topo::Isl> isls_;
+    std::optional<topo::WeatherModel> weather_;
+    std::optional<fault::FaultSchedule> faults_;
+    std::vector<route::GsPair> pairs_;
+    ExportOptions options_;
+    std::size_t num_steps_ = 0;
+
+    std::optional<route::PairSweeper> sweeper_;
+    /// Per pair: the flowsim (sim-time, rate) series of its background
+    /// flow — every epoch boundary plus fault-transition cuts.
+    std::vector<std::vector<std::pair<TimeNs, double>>> rate_series_;
+    std::vector<PairSchedule> schedules_;
+    /// Previous step's full node path per pair, for change detection.
+    std::vector<std::vector<int>> prev_paths_;
+    std::size_t next_step_ = 0;
+};
+
+}  // namespace hypatia::emu

@@ -1,0 +1,178 @@
+#include "src/emu/realtime.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "src/obs/observability.hpp"
+
+namespace hypatia::emu {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/// Parses a GS selector: a bare index ("3") or a station name. Returns
+/// -1 when nothing matches.
+int resolve_gs(const std::string& text,
+               const std::vector<orbit::GroundStation>& stations) {
+    if (text.empty()) return -1;
+    char* end = nullptr;
+    const long index = std::strtol(text.c_str(), &end, 10);
+    if (end != text.c_str() && *end == '\0') {
+        return index >= 0 && index < static_cast<long>(stations.size())
+                   ? static_cast<int>(index)
+                   : -1;
+    }
+    for (const auto& gs : stations) {
+        if (gs.name() == text) return gs.id();
+    }
+    return -1;
+}
+
+}  // namespace
+
+std::optional<double> realtime_speed_from_env() {
+    const char* env = std::getenv("HYPATIA_REALTIME");
+    if (env == nullptr || *env == '\0') return std::nullopt;
+    char* end = nullptr;
+    const double speed = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !(speed >= 0.0)) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            std::fprintf(stderr, "hypatia: ignoring malformed HYPATIA_REALTIME=%s\n",
+                         env);
+        }
+        return std::nullopt;
+    }
+    if (speed == 0.0) return std::nullopt;
+    return speed;
+}
+
+RealtimePacer::RealtimePacer(const core::Scenario& scenario,
+                             std::vector<route::GsPair> pairs,
+                             ExportOptions export_options, PacerOptions pacer_options)
+    : exporter_(scenario, std::move(pairs), export_options),
+      options_(std::move(pacer_options)) {}
+
+obs::IntrospectionServer::Response RealtimePacer::handle_schedule(
+    const std::string& query) const {
+    const std::string src = obs::query_param(query, "src");
+    const std::string dst = obs::query_param(query, "dst");
+    const std::string format = obs::query_param(query, "format");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::IntrospectionServer::Response resp;
+    if (src.empty() && dst.empty()) {
+        // Pair index: which schedules this run serves and how far along
+        // each is.
+        std::string body;
+        for (const auto& s : exporter_.schedules()) {
+            body += std::to_string(s.src_gs) + "," + std::to_string(s.dst_gs) +
+                    "," + s.src_name + "," + s.dst_name + "," +
+                    std::to_string(s.entries.size()) + "\n";
+        }
+        resp.body = std::move(body);
+        return resp;
+    }
+
+    const auto& stations = exporter_.scenario().ground_stations;
+    const int src_gs = resolve_gs(src, stations);
+    const int dst_gs = resolve_gs(dst, stations);
+    for (const auto& s : exporter_.schedules()) {
+        if (s.src_gs != src_gs || s.dst_gs != dst_gs) continue;
+        if (format == "jsonl") {
+            resp.content_type = "application/jsonl";
+            resp.body = to_jsonl(s);
+        } else {
+            resp.content_type = "text/csv; charset=utf-8";
+            resp.body = to_csv(s);
+        }
+        return resp;
+    }
+    resp.status = 404;
+    resp.body = "no schedule for pair src=" + src + " dst=" + dst +
+                " (GET /schedule lists the pairs)\n";
+    return resp;
+}
+
+PacerReport RealtimePacer::run() {
+    // RAII registration: the /schedule handler captures `this` and must
+    // not outlive the run.
+    struct HandlerGuard {
+        bool active = false;
+        ~HandlerGuard() {
+            if (active) obs::IntrospectionServer::unregister_handler("/schedule");
+        }
+    } guard;
+    if (options_.serve_schedule) {
+        obs::IntrospectionServer::register_handler(
+            "/schedule",
+            [this](const std::string& query) { return handle_schedule(query); });
+        guard.active = true;
+    }
+
+    auto& metrics = obs::metrics();
+    auto& epochs_counter = metrics.counter("emu.epochs");
+    auto& miss_counter = metrics.counter("emu.deadline_misses");
+    auto& busy_hist = metrics.histogram("emu.epoch_busy_us");
+    auto& lag_hist = metrics.histogram("emu.epoch_lag_us");
+
+    PacerReport report;
+    const double speed = options_.speed;
+    const TimeNs epoch = exporter_.options().step;
+    const Clock::time_point wall_start = Clock::now();
+    double busy_s = 0.0;
+
+    for (std::size_t i = 0; i < exporter_.num_steps(); ++i) {
+        if (speed > 0.0) {
+            // Epoch i's wall-clock window opens at W + i * epoch / speed.
+            const auto open = wall_start + std::chrono::nanoseconds(static_cast<
+                std::int64_t>(static_cast<double>(i) *
+                              static_cast<double>(epoch) / speed));
+            std::this_thread::sleep_until(open);
+        }
+
+        const Clock::time_point t0 = Clock::now();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            exporter_.compute_step(i);
+        }
+        const Clock::time_point t1 = Clock::now();
+        const double epoch_busy = seconds_between(t0, t1);
+        busy_s += epoch_busy;
+        epochs_counter.inc();
+        busy_hist.record(static_cast<std::uint64_t>(epoch_busy * 1e6));
+        ++report.epochs;
+
+        if (speed > 0.0) {
+            const auto deadline = wall_start + std::chrono::nanoseconds(static_cast<
+                std::int64_t>(static_cast<double>(i + 1) *
+                              static_cast<double>(epoch) / speed));
+            if (t1 > deadline) {
+                ++report.deadline_misses;
+                miss_counter.inc();
+                lag_hist.record(static_cast<std::uint64_t>(
+                    seconds_between(deadline, t1) * 1e6));
+            }
+        }
+        if (options_.on_epoch) options_.on_epoch(i, exporter_.step_time(i));
+    }
+
+    report.busy_s = busy_s;
+    report.wall_s = seconds_between(wall_start, Clock::now());
+    const double sim_s =
+        ns_to_seconds(static_cast<TimeNs>(exporter_.num_steps()) * epoch);
+    report.realtime_factor = busy_s > 0.0 ? sim_s / busy_s : 0.0;
+    metrics.gauge("emu.realtime_factor").set(report.realtime_factor);
+    report.schedules = exporter_.schedules();
+    return report;
+}
+
+}  // namespace hypatia::emu

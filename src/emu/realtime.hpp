@@ -1,0 +1,78 @@
+// RealtimePacer: a wall-clock-paced epoch driver around ScheduleExporter.
+// Each epoch computes the next schedule step (snapshot refresh + Dijkstra
+// fan-out + entry building — the same code path as the batch export, so
+// a paced run yields byte-identical schedules) and then sleeps until the
+// epoch's wall-clock deadline: epoch i of a run started at wall time W
+// must finish by W + (i + 1) * epoch / speed. An epoch finishing late is
+// a deadline miss (counted in emu.deadline_misses, lag recorded in
+// emu.epoch_lag_us); speed <= 0 free-runs without sleeping — the mode
+// the real-time-factor measurement uses. During run() the live schedule
+// is served through the obs::IntrospectionServer under
+//   /schedule                     pair index (one line per pair)
+//   /schedule?src=X&dst=Y         one pair as CSV (GS index or name)
+//   /schedule?src=X&dst=Y&format=jsonl
+// Enable pacing from the environment with HYPATIA_REALTIME=<speed>.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "src/emu/export.hpp"
+#include "src/obs/introspect.hpp"
+
+namespace hypatia::emu {
+
+/// Parses HYPATIA_REALTIME. Unset, empty, or "0" return nullopt (batch
+/// mode); a positive number is the pacing speed multiplier (1 = real
+/// time, 2 = twice as fast); anything else warns once on stderr and
+/// returns nullopt.
+std::optional<double> realtime_speed_from_env();
+
+struct PacerOptions {
+    /// Wall-clock speed multiplier; <= 0 free-runs (no sleeping).
+    double speed = 1.0;
+    /// Register /schedule on the introspection server for the duration
+    /// of run().
+    bool serve_schedule = true;
+    /// Called after each epoch computes (sim time of the epoch).
+    std::function<void(std::size_t step_index, TimeNs t)> on_epoch;
+};
+
+struct PacerReport {
+    std::size_t epochs = 0;
+    std::size_t deadline_misses = 0;
+    double busy_s = 0.0;  // compute time, sleeps excluded
+    double wall_s = 0.0;  // whole-run wall time, sleeps included
+    /// Simulated seconds per busy wall-clock second; >= 1 means the
+    /// pipeline keeps up with real time at this epoch length.
+    double realtime_factor = 0.0;
+    std::vector<PairSchedule> schedules;
+
+    double miss_rate() const {
+        return epochs == 0 ? 0.0
+                           : static_cast<double>(deadline_misses) /
+                                 static_cast<double>(epochs);
+    }
+};
+
+class RealtimePacer {
+  public:
+    RealtimePacer(const core::Scenario& scenario, std::vector<route::GsPair> pairs,
+                  ExportOptions export_options = {}, PacerOptions pacer_options = {});
+
+    /// Drives every epoch and returns the report (schedules included).
+    /// Call once per pacer.
+    PacerReport run();
+
+    /// Serves one /schedule request from the live exporter state.
+    /// Thread-safe against the epoch loop; exposed for tests.
+    obs::IntrospectionServer::Response handle_schedule(const std::string& query) const;
+
+  private:
+    ScheduleExporter exporter_;
+    PacerOptions options_;
+    mutable std::mutex mutex_;  // epoch appends vs /schedule reads
+};
+
+}  // namespace hypatia::emu

@@ -1,0 +1,134 @@
+#include "src/emu/schedule.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hypatia::emu {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+}
+
+/// JSON string escaping for the GS names (quotes, backslashes, control
+/// characters; city names are ASCII but the format must not depend on
+/// that).
+std::string json_escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/// The netem parameter clause for one entry — also the delta-compression
+/// key: two entries with the same clause need no new tc invocation.
+std::string netem_clause(const ScheduleEntry& entry) {
+    std::string out;
+    appendf(out, "delay %.0fus loss %.0f%%", entry.delay_us, entry.loss_pct);
+    if (entry.rate_bps > 0.0) appendf(out, " rate %.0fbit", entry.rate_bps);
+    return out;
+}
+
+}  // namespace
+
+int PairSchedule::path_changes() const {
+    int n = 0;
+    for (const auto& e : entries) n += e.path_changed ? 1 : 0;
+    return n;
+}
+
+std::string to_csv(const PairSchedule& schedule) {
+    std::string out;
+    out.reserve(64 * (schedule.entries.size() + 1));
+    out +=
+        "t_s,delay_us,rtt_us,loss_pct,rate_bps,reachable,path_changed,"
+        "old_next_hop,new_next_hop\n";
+    for (const auto& e : schedule.entries) {
+        appendf(out, "%.6f,%.3f,%.3f,%.0f,%.0f,%d,%d,%d,%d\n",
+                ns_to_seconds(e.t), e.delay_us, e.rtt_us, e.loss_pct, e.rate_bps,
+                e.reachable ? 1 : 0, e.path_changed ? 1 : 0, e.old_next_hop,
+                e.new_next_hop);
+    }
+    return out;
+}
+
+std::string to_jsonl(const PairSchedule& schedule) {
+    const std::string src = json_escape(schedule.src_name);
+    const std::string dst = json_escape(schedule.dst_name);
+    std::string out;
+    out.reserve(160 * schedule.entries.size());
+    for (const auto& e : schedule.entries) {
+        appendf(out,
+                "{\"src\":\"%s\",\"dst\":\"%s\",\"t_s\":%.6f,\"delay_us\":%.3f,"
+                "\"rtt_us\":%.3f,\"loss_pct\":%.0f,\"rate_bps\":%.0f,"
+                "\"reachable\":%s,\"path_changed\":%s,\"old_next_hop\":%d,"
+                "\"new_next_hop\":%d}\n",
+                src.c_str(), dst.c_str(), ns_to_seconds(e.t), e.delay_us,
+                e.rtt_us, e.loss_pct, e.rate_bps, e.reachable ? "true" : "false",
+                e.path_changed ? "true" : "false", e.old_next_hop, e.new_next_hop);
+    }
+    return out;
+}
+
+std::string render_netem_script(const PairSchedule& schedule,
+                                const NetemOptions& options) {
+    std::string out;
+    out.reserve(96 * (schedule.entries.size() + 8));
+    out += "#!/bin/sh\n";
+    appendf(out, "# netem replay: %s (gs %d) -> %s (gs %d), %zu entries, %.0f ms step\n",
+            schedule.src_name.c_str(), schedule.src_gs, schedule.dst_name.c_str(),
+            schedule.dst_gs, schedule.entries.size(),
+            1e3 * ns_to_seconds(schedule.step));
+    out += "# usage: DEV=<iface> sh <this script>   (requires root / CAP_NET_ADMIN)\n";
+    out += "set -e\n";
+    appendf(out, "DEV=\"${DEV:-%s}\"\n", options.default_dev.c_str());
+
+    // Walk the entries, merging runs of identical netem parameters into
+    // one tc invocation with a combined sleep. Sleep lengths come from
+    // the entry spacing (entries sit on the fixed step grid; the last
+    // entry holds for one step).
+    std::size_t i = 0;
+    while (i < schedule.entries.size()) {
+        const std::string clause = netem_clause(schedule.entries[i]);
+        std::size_t j = i + 1;
+        if (options.delta_compress) {
+            while (j < schedule.entries.size() &&
+                   netem_clause(schedule.entries[j]) == clause) {
+                ++j;
+            }
+        }
+        const TimeNs hold_end = (j < schedule.entries.size())
+                                    ? schedule.entries[j].t
+                                    : schedule.entries[j - 1].t + schedule.step;
+        appendf(out, "tc qdisc replace dev \"$DEV\" root netem %s\n", clause.c_str());
+        appendf(out, "sleep %.3f\n",
+                ns_to_seconds(hold_end - schedule.entries[i].t));
+        i = j;
+    }
+    out += "tc qdisc del dev \"$DEV\" root 2>/dev/null || true\n";
+    return out;
+}
+
+}  // namespace hypatia::emu

@@ -1,0 +1,68 @@
+// Emulation schedule model (DESIGN.md §10): per-ground-station-pair
+// time series of the link properties a network emulator needs to replay
+// a constellation run against real application traffic — one-way delay /
+// RTT, fault-induced loss, max-min rate caps, and path-change events
+// with the old and new first-hop satellites. Schedules serialize to
+// deterministic CSV and JSONL (byte-identical at any HYPATIA_THREADS /
+// HYPATIA_SNAPSHOT_MODE setting) and render to a tc/netem shell script
+// that replays the series on a real interface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace hypatia::emu {
+
+/// One pair's emulated link state over one schedule step [t, t + step).
+struct ScheduleEntry {
+    TimeNs t = 0;              // sim time of the step start
+    double delay_us = 0.0;     // one-way propagation delay; 0 when unreachable
+    double rtt_us = 0.0;
+    double loss_pct = 100.0;   // 0 when routed, 100 when severed
+    double rate_bps = 0.0;     // max-min fair share; 0 when severed
+    bool reachable = false;
+    /// The path differs from the previous entry's (reachability flips
+    /// included). The first entry is baseline, never a change.
+    bool path_changed = false;
+    int old_next_hop = -1;     // previous entry's first-hop satellite (-1: none)
+    int new_next_hop = -1;     // this entry's first-hop satellite (-1: severed)
+};
+
+struct PairSchedule {
+    int src_gs = 0;
+    int dst_gs = 0;
+    std::string src_name;
+    std::string dst_name;
+    TimeNs step = 100 * kNsPerMs;  // grid spacing (and netem sleep unit)
+    std::vector<ScheduleEntry> entries;
+
+    int path_changes() const;
+};
+
+/// CSV: header "t_s,delay_us,rtt_us,loss_pct,rate_bps,reachable,
+/// path_changed,old_next_hop,new_next_hop", one row per entry. All
+/// numeric formatting is fixed-precision snprintf — deterministic.
+std::string to_csv(const PairSchedule& schedule);
+
+/// JSONL: one self-identifying object per entry (src/dst names included
+/// so concatenated multi-pair streams stay parseable).
+std::string to_jsonl(const PairSchedule& schedule);
+
+struct NetemOptions {
+    /// Default interface when the script is run without DEV=... set.
+    std::string default_dev = "eth0";
+    /// Merge runs of identical netem parameters into one tc invocation
+    /// followed by a single combined sleep (fewer syscalls at replay).
+    bool delta_compress = true;
+};
+
+/// Renders the schedule as a POSIX shell script of `tc qdisc replace
+/// ... netem delay <us> loss <pct> [rate <bps>]` commands paced with
+/// `sleep`, ending with a qdisc teardown. The rate clause is omitted
+/// when the entry's rate cap is zero (severed, or rates not exported).
+std::string render_netem_script(const PairSchedule& schedule,
+                                const NetemOptions& options = {});
+
+}  // namespace hypatia::emu

@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -63,22 +65,6 @@ std::string url_decode(const std::string& in) {
     return out;
 }
 
-/// "entity=pair:1->2&format=csv" -> value of `key`, URL-decoded.
-std::string query_param(const std::string& query, const std::string& key) {
-    std::size_t pos = 0;
-    while (pos < query.size()) {
-        std::size_t amp = query.find('&', pos);
-        if (amp == std::string::npos) amp = query.size();
-        const std::string part = query.substr(pos, amp - pos);
-        const std::size_t eq = part.find('=');
-        if (eq != std::string::npos && part.substr(0, eq) == key) {
-            return url_decode(part.substr(eq + 1));
-        }
-        pos = amp + 1;
-    }
-    return "";
-}
-
 void send_all(int fd, const std::string& data) {
     std::size_t off = 0;
     while (off < data.size()) {
@@ -94,7 +80,34 @@ void send_all(int fd, const std::string& data) {
     }
 }
 
+/// Dynamic route table (register_handler). Handlers run outside the
+/// lock so they may re-enter handle() or (un)register other paths.
+std::mutex& handlers_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, IntrospectionServer::Handler>& handlers() {
+    static std::map<std::string, IntrospectionServer::Handler> map;
+    return map;
+}
+
 }  // namespace
+
+std::string query_param(const std::string& query, const std::string& key) {
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos) amp = query.size();
+        const std::string part = query.substr(pos, amp - pos);
+        const std::size_t eq = part.find('=');
+        if (eq != std::string::npos && part.substr(0, eq) == key) {
+            return url_decode(part.substr(eq + 1));
+        }
+        pos = amp + 1;
+    }
+    return "";
+}
 
 std::string prometheus_metrics() {
     const MetricsRegistry& registry = metrics();
@@ -185,9 +198,33 @@ IntrospectionServer::Response IntrospectionServer::handle(const std::string& tar
         resp.body = out.str();
         return resp;
     }
+    // Dynamically registered routes (e.g. emu's /schedule during a
+    // paced run). Copy the handler out so it runs outside the lock.
+    Handler dynamic;
+    std::string registered;
+    {
+        std::lock_guard<std::mutex> lock(handlers_mutex());
+        const auto it = handlers().find(path);
+        if (it != handlers().end()) dynamic = it->second;
+        for (const auto& [p, h] : handlers()) registered += " " + p;
+    }
+    if (dynamic) return dynamic(query);
+
     resp.status = 404;
-    resp.body = "not found; try /metrics /manifest /timeline /healthz\n";
+    resp.body =
+        "not found; try /metrics /manifest /timeline /healthz" + registered + "\n";
     return resp;
+}
+
+void IntrospectionServer::register_handler(const std::string& path,
+                                           Handler handler) {
+    std::lock_guard<std::mutex> lock(handlers_mutex());
+    handlers()[path] = std::move(handler);
+}
+
+void IntrospectionServer::unregister_handler(const std::string& path) {
+    std::lock_guard<std::mutex> lock(handlers_mutex());
+    handlers().erase(path);
 }
 
 std::uint16_t IntrospectionServer::start(std::uint16_t port) {

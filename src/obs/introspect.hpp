@@ -9,6 +9,10 @@
 //                       ?entity=pair:12->87 (URL-encoded), ?format=csv
 //   /healthz            "ok"
 //
+// Subsystems can extend the route table at runtime with
+// register_handler() — e.g. emu::RealtimePacer serves the live
+// emulation schedule under /schedule for the duration of a paced run.
+//
 // Enabled by HYPATIA_OBS_PORT=<port> (0 picks an ephemeral port,
 // printed to stderr). The server binds 127.0.0.1 only. Request handling
 // reads shared observability state through the same thread-safe
@@ -17,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -26,6 +31,11 @@ namespace hypatia::obs {
 /// format (metric names are prefixed "hypatia_" and sanitized;
 /// histograms render as summaries with p50/p90/p99 quantiles).
 std::string prometheus_metrics();
+
+/// Extracts the (URL-decoded) value of `key` from a query string like
+/// "src=Paris&format=csv"; "" when absent. Shared by the built-in
+/// routes and dynamically registered handlers.
+std::string query_param(const std::string& query, const std::string& key);
 
 class IntrospectionServer {
   public:
@@ -50,6 +60,15 @@ class IntrospectionServer {
     /// Routes one request target ("/metrics", "/timeline?entity=...")
     /// to its response. Exposed for tests; the socket loop calls this.
     static Response handle(const std::string& target);
+
+    /// Dynamic routes, consulted after the built-ins. `path` must start
+    /// with '/'; the handler receives the raw query string (use
+    /// query_param()). Registering an existing path replaces it. The
+    /// handler must stay callable until unregister_handler(path)
+    /// returns — RAII-scope it to the object it reads from.
+    using Handler = std::function<Response(const std::string& query)>;
+    static void register_handler(const std::string& path, Handler handler);
+    static void unregister_handler(const std::string& path);
 
     /// Starts the process-global server when HYPATIA_OBS_PORT is set
     /// (idempotent; a malformed value warns once and is ignored).

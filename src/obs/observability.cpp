@@ -62,6 +62,12 @@ void Observability::register_core_metrics() {
     metrics_.counter("fault.flows_severed");
     metrics_.counter("fault.segments");
     metrics_.gauge("fault.nodes_down");
+    metrics_.counter("emu.epochs");
+    metrics_.counter("emu.deadline_misses");
+    metrics_.counter("emu.schedule_entries");
+    metrics_.histogram("emu.epoch_busy_us");
+    metrics_.histogram("emu.epoch_lag_us");
+    metrics_.gauge("emu.realtime_factor");
 }
 
 void Observability::reset() {

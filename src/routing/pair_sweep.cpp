@@ -1,0 +1,102 @@
+#include "src/routing/pair_sweep.hpp"
+
+#include <set>
+
+#include "src/orbit/coords.hpp"
+#include "src/routing/shortest_path.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace hypatia::route {
+
+PairSweeper::PairSweeper(const topo::SatelliteMobility& mobility,
+                         const std::vector<topo::Isl>& isls,
+                         const std::vector<orbit::GroundStation>& ground_stations,
+                         std::vector<GsPair> pairs, SweepOptions options)
+    : mobility_(&mobility),
+      isls_(&isls),
+      ground_stations_(&ground_stations),
+      pairs_(std::move(pairs)),
+      options_(std::move(options)),
+      num_satellites_(mobility.num_satellites()) {
+    snap_opts_.include_isls = options_.include_isls;
+    snap_opts_.relay_gs_indices = options_.relay_gs_indices;
+    snap_opts_.gs_nearest_satellite_only = options_.gs_nearest_satellite_only;
+    snap_opts_.gsl_range_factor = options_.gsl_range_factor;
+    snap_opts_.faults = options_.faults;
+
+    // HYPATIA_FAULTS fallback: a schedule materialized here must outlive
+    // every snapshot of the sweep, so it lives in the sweeper.
+    if (snap_opts_.faults == nullptr) {
+        if (const auto spec = fault::spec_from_env()) {
+            env_faults_.emplace(fault::FaultSchedule::from_spec(
+                *spec, num_satellites_, *isls_, *ground_stations_));
+            if (!env_faults_->empty()) snap_opts_.faults = &*env_faults_;
+        }
+    }
+
+    // Refresh mode (the default) keeps one graph alive for the whole
+    // sweep and delta-patches it per step; rebuild mode reconstructs it
+    // from scratch (the legacy reference path). Outputs are identical.
+    if (snapshot_mode_from_env() == SnapshotMode::kRefresh) {
+        refresher_.emplace(*mobility_, *isls_, *ground_stations_, snap_opts_);
+    }
+
+    std::set<int> dest_set;
+    for (const auto& p : pairs_) dest_set.insert(p.dst_gs);
+    dest_list_.assign(dest_set.begin(), dest_set.end());
+    trees_.resize(dest_list_.size());
+    tree_slot_.reserve(dest_list_.size());
+    for (std::size_t i = 0; i < dest_list_.size(); ++i) {
+        tree_slot_.emplace(dest_list_[i], i);
+    }
+    samples_.resize(pairs_.size());
+}
+
+const std::vector<PairSweeper::Sample>& PairSweeper::step(TimeNs t) {
+    // Stream the fault transitions this step just crossed, so the
+    // timeline reconstructor can attribute the path changes downstream
+    // consumers derive from the samples.
+    if (snap_opts_.faults != nullptr) {
+        const TimeNs prev = have_prev_t_ ? prev_t_ : t - options_.step_hint;
+        fault::record_transitions(*snap_opts_.faults, prev, t);
+    }
+    prev_t_ = t;
+    have_prev_t_ = true;
+
+    std::optional<Graph> rebuilt;
+    if (!refresher_) {
+        rebuilt.emplace(
+            build_snapshot(*mobility_, *isls_, *ground_stations_, t, snap_opts_));
+    }
+    const Graph& g = refresher_ ? refresher_->refresh(t) : *rebuilt;
+
+    // Per-destination Dijkstra fan-out on the pool; slot i holds the
+    // tree for dest_list_[i], so downstream folds see identical state
+    // at any thread count.
+    util::ThreadPool::global().parallel_for(
+        dest_list_.size(), /*chunk=*/1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                thread_dijkstra_workspace().run(g, g.gs_node(dest_list_[i]),
+                                               trees_[i]);
+            }
+        });
+
+    for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
+        const auto& pair = pairs_[pi];
+        const auto& tree = trees_[tree_slot_.at(pair.dst_gs)];
+        const int src_node = g.gs_node(pair.src_gs);
+        Sample& sample = samples_[pi];
+        sample.path.clear();
+
+        const double dist = tree.distance_km[static_cast<std::size_t>(src_node)];
+        if (dist == kInfDistance) {
+            sample.rtt_s = kInfDistance;
+            continue;
+        }
+        sample.rtt_s = 2.0 * dist / orbit::kSpeedOfLightKmPerS;
+        sample.path = extract_path(tree, src_node);
+    }
+    return samples_;
+}
+
+}  // namespace hypatia::route

@@ -1,0 +1,114 @@
+// Step-wise ground-station-pair path/RTT sweep — the single sweep
+// implementation behind every per-pair time series in the repo:
+// analyze_pairs() folds its statistics over it, the Fig 13 CSV/JSON
+// exporters read it through viz::sweep_pair_series, and the emulation
+// schedule exporter (src/emu/) derives netem schedules from it. One
+// implementation means the figure CSVs and the emu schedules cannot
+// drift apart.
+//
+// A PairSweeper owns the whole per-epoch snapshot machinery: the
+// in-place SnapshotRefresher (or per-step rebuild under
+// HYPATIA_SNAPSHOT_MODE=rebuild — outputs are byte-identical), the
+// optional fault schedule (explicit pointer or the HYPATIA_FAULTS
+// fallback), and the per-destination Dijkstra fan-out on the thread
+// pool. step(t) brings the snapshot to orbit time t and returns one
+// Sample per pair; callers advance t however they like — a tight batch
+// loop (analyze_pairs) or a wall-clock-paced epoch driver
+// (emu::RealtimePacer).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fault/fault.hpp"
+#include "src/orbit/ground_station.hpp"
+#include "src/routing/forwarding.hpp"
+#include "src/routing/graph.hpp"
+#include "src/routing/snapshot_refresh.hpp"
+#include "src/topology/isl.hpp"
+#include "src/topology/mobility.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::route {
+
+/// A source-destination ground-station pair (indices into the GS list).
+struct GsPair {
+    int src_gs = 0;
+    int dst_gs = 0;
+};
+
+struct SweepOptions {
+    bool include_isls = true;
+    std::vector<int> relay_gs_indices;  // bent-pipe relays, if any
+    bool gs_nearest_satellite_only = false;
+    std::function<double(int gs_index, TimeNs t)> gsl_range_factor;
+    /// Optional fault schedule (must outlive the sweeper). When nullptr,
+    /// HYPATIA_FAULTS is consulted instead; pass a pointer to an empty
+    /// schedule to force fault-free sweeping regardless of the
+    /// environment.
+    const fault::FaultSchedule* faults = nullptr;
+    /// Window synthesized for the *first* step's fault-transition
+    /// streaming: step(t0) records transitions in (t0 - step_hint, t0].
+    TimeNs step_hint = 100 * kNsPerMs;
+};
+
+class PairSweeper {
+  public:
+    /// One pair's state at one step. `path` is the full node sequence
+    /// source GS node, satellites..., destination GS node; empty — with
+    /// rtt_s == kInfDistance — when the pair is unreachable (the
+    /// documented partitioned-graph sentinel).
+    struct Sample {
+        double rtt_s = kInfDistance;
+        std::vector<int> path;
+
+        bool reachable() const { return rtt_s != kInfDistance; }
+    };
+
+    /// The referenced mobility, ISL list and GS list must outlive the
+    /// sweeper. `options` is captured by value, fault pointer included.
+    PairSweeper(const topo::SatelliteMobility& mobility,
+                const std::vector<topo::Isl>& isls,
+                const std::vector<orbit::GroundStation>& ground_stations,
+                std::vector<GsPair> pairs, SweepOptions options = {});
+
+    /// Brings the snapshot to orbit time `t`, streams the fault
+    /// transitions the step crossed into the flight recorder, runs the
+    /// per-destination Dijkstra fan-out and returns one Sample per pair
+    /// (parallel to pairs(); buffers are recycled across steps). Not
+    /// re-entrant.
+    const std::vector<Sample>& step(TimeNs t);
+
+    const std::vector<GsPair>& pairs() const { return pairs_; }
+    /// The resolved fault schedule (explicit or HYPATIA_FAULTS);
+    /// nullptr when faults are disabled.
+    const fault::FaultSchedule* faults() const { return snap_opts_.faults; }
+    int num_satellites() const { return num_satellites_; }
+    int gs_node(int gs_index) const { return num_satellites_ + gs_index; }
+
+  private:
+    const topo::SatelliteMobility* mobility_;
+    const std::vector<topo::Isl>* isls_;
+    const std::vector<orbit::GroundStation>* ground_stations_;
+    std::vector<GsPair> pairs_;
+    SweepOptions options_;
+    int num_satellites_ = 0;
+
+    SnapshotOptions snap_opts_;
+    std::optional<fault::FaultSchedule> env_faults_;
+    std::optional<SnapshotRefresher> refresher_;
+
+    /// Destinations needing trees (deduplicated, ascending — the fixed
+    /// order the parallel fan-out folds back in) and their tree slots.
+    std::vector<int> dest_list_;
+    std::unordered_map<int, std::size_t> tree_slot_;
+    std::vector<DestinationTree> trees_;
+
+    std::vector<Sample> samples_;
+    bool have_prev_t_ = false;
+    TimeNs prev_t_ = 0;
+};
+
+}  // namespace hypatia::route

@@ -2,15 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
-#include <optional>
 #include <random>
-#include <set>
-#include <unordered_map>
 
 #include "src/obs/recorder.hpp"
 #include "src/orbit/coords.hpp"
-#include "src/routing/snapshot_refresh.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/routing/pair_sweep.hpp"
 
 namespace hypatia::route {
 
@@ -31,93 +27,41 @@ AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
     std::vector<char> was_reachable(pairs.size(), 0);
     std::vector<char> seen(pairs.size(), 0);
 
-    // Destinations we need trees for (deduplicated, ascending — the
-    // fixed order the parallel fan-out below folds back in).
-    std::set<int> dest_set;
-    for (const auto& p : pairs) dest_set.insert(p.dst_gs);
-    const std::vector<int> dest_list(dest_set.begin(), dest_set.end());
+    // The shared step-wise sweep (snapshot refresh/rebuild, fault
+    // masking + transition streaming, per-destination Dijkstra fan-out)
+    // lives in PairSweeper; this function only folds statistics and
+    // flight-recorder events over its samples.
+    SweepOptions sweep_opts;
+    sweep_opts.include_isls = options.include_isls;
+    sweep_opts.relay_gs_indices = options.relay_gs_indices;
+    sweep_opts.gs_nearest_satellite_only = options.gs_nearest_satellite_only;
+    sweep_opts.gsl_range_factor = options.gsl_range_factor;
+    sweep_opts.faults = options.faults;
+    sweep_opts.step_hint = options.step;
+    PairSweeper sweeper(mobility, isls, ground_stations, pairs, sweep_opts);
 
-    SnapshotOptions snap_opts;
-    snap_opts.include_isls = options.include_isls;
-    snap_opts.relay_gs_indices = options.relay_gs_indices;
-    snap_opts.gs_nearest_satellite_only = options.gs_nearest_satellite_only;
-    snap_opts.gsl_range_factor = options.gsl_range_factor;
-    snap_opts.faults = options.faults;
-
-    // HYPATIA_FAULTS fallback: a schedule materialized here must outlive
-    // every snapshot of the window.
-    std::optional<fault::FaultSchedule> env_faults;
-    if (snap_opts.faults == nullptr) {
-        if (const auto spec = fault::spec_from_env()) {
-            env_faults.emplace(fault::FaultSchedule::from_spec(
-                *spec, mobility.num_satellites(), isls, ground_stations));
-            if (!env_faults->empty()) snap_opts.faults = &*env_faults;
-        }
-    }
-
-    // Refresh mode (the default) keeps one graph alive for the whole
-    // window and delta-patches it per step; rebuild mode reconstructs it
-    // from scratch (the legacy reference path). Outputs are identical.
-    std::optional<SnapshotRefresher> refresher;
-    if (snapshot_mode_from_env() == SnapshotMode::kRefresh) {
-        refresher.emplace(mobility, isls, ground_stations, snap_opts);
-    }
-
-    // One tree slot per destination, in dest_list order, recycled across
-    // steps (the workspace fully overwrites each buffer per run).
-    std::vector<DestinationTree> trees(dest_list.size());
-    std::unordered_map<int, std::size_t> tree_slot;
-    tree_slot.reserve(dest_list.size());
-    for (std::size_t i = 0; i < dest_list.size(); ++i) tree_slot.emplace(dest_list[i], i);
-
-    TimeNs prev_t = options.t_start - options.step;
     for (TimeNs t = options.t_start; t < options.t_end; t += options.step) {
         result.step_times.push_back(t);
-        // Stream the fault transitions this step just crossed, so the
-        // timeline reconstructor can attribute the path changes below.
-        if (snap_opts.faults != nullptr) {
-            fault::record_transitions(*snap_opts.faults, prev_t, t);
-        }
-        prev_t = t;
-        std::optional<Graph> rebuilt;
-        if (!refresher) {
-            rebuilt.emplace(build_snapshot(mobility, isls, ground_stations, t, snap_opts));
-        }
-        const Graph& g = refresher ? refresher->refresh(t) : *rebuilt;
-
-        // Per-destination Dijkstra fan-out on the pool; slot i holds the
-        // tree for dest_list[i], so downstream folds see identical state
-        // at any thread count.
-        util::ThreadPool::global().parallel_for(
-            dest_list.size(), /*chunk=*/1, [&](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i) {
-                    thread_dijkstra_workspace().run(g, g.gs_node(dest_list[i]),
-                                                    trees[i]);
-                }
-            });
+        const auto& samples = sweeper.step(t);
 
         int changes_this_step = 0;
         for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
             const auto& pair = pairs[pi];
-            const auto& tree = trees[tree_slot.at(pair.dst_gs)];
-            const int src_node = g.gs_node(pair.src_gs);
+            const auto& sample = samples[pi];
             auto& stats = result.pair_stats[pi];
             ++stats.total_steps;
 
-            const double dist = tree.distance_km[static_cast<std::size_t>(src_node)];
             std::vector<int> sat_path;
-            double rtt_s = kInfDistance;
-            if (dist == kInfDistance) {
+            const double rtt_s = sample.rtt_s;
+            if (!sample.reachable()) {
                 ++stats.unreachable_steps;
             } else {
-                rtt_s = 2.0 * dist / orbit::kSpeedOfLightKmPerS;
-                const auto full = extract_path(tree, src_node);
                 // Keep only the satellite portion (strip both GS
-                // endpoints). A finite distance guarantees a >= 2 node
+                // endpoints). A reachable pair guarantees a >= 2 node
                 // path, but guard anyway: an empty extraction (corrupted
-                // tree) must not index full.begin() + 1.
-                if (full.size() >= 2) {
-                    sat_path.assign(full.begin() + 1, full.end() - 1);
+                // tree) must not index begin() + 1.
+                if (sample.path.size() >= 2) {
+                    sat_path.assign(sample.path.begin() + 1, sample.path.end() - 1);
                 }
 
                 const bool first = stats.min_rtt_s == 0.0 && stats.max_rtt_s == 0.0;
@@ -138,7 +82,7 @@ AnalysisResult analyze_pairs(const topo::SatelliteMobility& mobility,
             // Flight recorder: path changes including reachability
             // transitions (the stats above intentionally only count
             // routed-to-routed changes; the causal record wants all).
-            const bool reachable = dist != kInfDistance;
+            const bool reachable = sample.reachable();
             if (seen[pi]) {
                 const std::int32_t old_hop =
                     (was_reachable[pi] != 0 && !prev_path[pi].empty())

@@ -15,17 +15,12 @@
 #include "src/orbit/ground_station.hpp"
 #include "src/routing/forwarding.hpp"
 #include "src/routing/graph.hpp"
+#include "src/routing/pair_sweep.hpp"
 #include "src/topology/isl.hpp"
 #include "src/topology/mobility.hpp"
 #include "src/util/units.hpp"
 
 namespace hypatia::route {
-
-/// A source-destination ground-station pair (indices into the GS list).
-struct GsPair {
-    int src_gs = 0;
-    int dst_gs = 0;
-};
 
 /// Folded per-pair statistics over the analysis window.
 struct PairStats {

@@ -51,6 +51,38 @@ std::string path_to_json(const std::vector<PathNode>& nodes, TimeNs t, double rt
     return os.str();
 }
 
+std::vector<std::vector<PairSeriesPoint>> sweep_pair_series(
+    const topo::SatelliteMobility& mobility, const std::vector<topo::Isl>& isls,
+    const std::vector<orbit::GroundStation>& ground_stations,
+    const std::vector<route::GsPair>& pairs, const PairSeriesOptions& options) {
+    route::SweepOptions sweep = options.sweep;
+    sweep.step_hint = options.step;
+    route::PairSweeper sweeper(mobility, isls, ground_stations, pairs, sweep);
+
+    std::vector<std::vector<PairSeriesPoint>> series(pairs.size());
+    const std::size_t steps =
+        options.step > 0 && options.t_end > options.t_start
+            ? static_cast<std::size_t>(
+                  (options.t_end - options.t_start + options.step - 1) /
+                  options.step)
+            : 0;
+    for (auto& s : series) s.reserve(steps);
+
+    for (TimeNs t = options.t_start; t < options.t_end; t += options.step) {
+        const TimeNs orbit_t =
+            options.freeze ? options.start_offset : options.start_offset + t;
+        const auto& samples = sweeper.step(orbit_t);
+        for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+            PairSeriesPoint point;
+            point.t = t;
+            point.rtt_s = samples[pi].rtt_s;
+            point.path = samples[pi].path;
+            series[pi].push_back(std::move(point));
+        }
+    }
+    return series;
+}
+
 std::string path_to_string(const std::vector<PathNode>& nodes) {
     std::ostringstream os;
     for (std::size_t i = 0; i < nodes.size(); ++i) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/orbit/ground_station.hpp"
+#include "src/routing/pair_sweep.hpp"
 #include "src/topology/mobility.hpp"
 
 namespace hypatia::viz {
@@ -32,5 +33,39 @@ std::string path_to_json(const std::vector<PathNode>& nodes, TimeNs t, double rt
 
 /// One-line rendering: "Paris -> sat-42 -> sat-77 -> Luanda (9 hops)".
 std::string path_to_string(const std::vector<PathNode>& nodes);
+
+/// One pair's state at one sweep step: the step's (sim-)time, RTT
+/// (kInfDistance when unreachable) and the full node path including
+/// both GS endpoint node ids (empty when unreachable).
+struct PairSeriesPoint {
+    TimeNs t = 0;
+    double rtt_s = route::kInfDistance;
+    std::vector<int> path;
+
+    bool reachable() const { return rtt_s != route::kInfDistance; }
+};
+
+struct PairSeriesOptions {
+    TimeNs t_start = 0;
+    TimeNs t_end = 200 * kNsPerSec;
+    TimeNs step = 100 * kNsPerMs;
+    /// Orbit time of step t is start_offset + t (or the constant
+    /// start_offset when freeze is set — a frozen scenario observes one
+    /// topology). Points always carry the sweep-grid t.
+    TimeNs start_offset = 0;
+    bool freeze = false;
+    route::SweepOptions sweep;
+};
+
+/// Sweeps `pairs` over the [t_start, t_end) x step grid and returns one
+/// series per pair (parallel to `pairs`). This wraps route::PairSweeper
+/// — the single sweep implementation shared by the Fig 13 exporters and
+/// the emulation schedule exporter (src/emu/), so their time series
+/// cannot drift apart. Deterministic: byte-identical inputs at any
+/// HYPATIA_THREADS / HYPATIA_SNAPSHOT_MODE setting.
+std::vector<std::vector<PairSeriesPoint>> sweep_pair_series(
+    const topo::SatelliteMobility& mobility, const std::vector<topo::Isl>& isls,
+    const std::vector<orbit::GroundStation>& ground_stations,
+    const std::vector<route::GsPair>& pairs, const PairSeriesOptions& options);
 
 }  // namespace hypatia::viz

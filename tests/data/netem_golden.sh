@@ -1,0 +1,24 @@
+#!/bin/sh
+# netem replay: Paris (gs 0) -> Luanda (gs 1), 12 entries, 500 ms step
+# usage: DEV=<iface> sh <this script>   (requires root / CAP_NET_ADMIN)
+set -e
+DEV="${DEV:-eth0}"
+tc qdisc replace dev "$DEV" root netem delay 65108us loss 0% rate 10000000bit
+sleep 0.500
+tc qdisc replace dev "$DEV" root netem delay 65109us loss 0% rate 10000000bit
+sleep 0.500
+tc qdisc replace dev "$DEV" root netem delay 65111us loss 0% rate 10000000bit
+sleep 0.500
+tc qdisc replace dev "$DEV" root netem delay 65113us loss 0% rate 10000000bit
+sleep 0.500
+tc qdisc replace dev "$DEV" root netem delay 0us loss 100%
+sleep 2.000
+tc qdisc replace dev "$DEV" root netem delay 65123us loss 0% rate 10000000bit
+sleep 0.500
+tc qdisc replace dev "$DEV" root netem delay 65125us loss 0% rate 10000000bit
+sleep 0.500
+tc qdisc replace dev "$DEV" root netem delay 65127us loss 0% rate 10000000bit
+sleep 0.500
+tc qdisc replace dev "$DEV" root netem delay 65130us loss 0% rate 10000000bit
+sleep 0.500
+tc qdisc del dev "$DEV" root 2>/dev/null || true

@@ -1,0 +1,372 @@
+// Emulation export + real-time pacing (DESIGN.md §10): golden netem
+// script on a faulted Starlink S1 run, byte-identical schedules across
+// thread counts and snapshot modes, cross-checks of the exported
+// loss/rate series against the generating FaultSchedule and the known
+// flowsim max-min solution, the wall-clock pacer, the live /schedule
+// endpoint, and the HYPATIA_REALTIME parser.
+#include "src/emu/export.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/emu/realtime.hpp"
+#include "src/emu/schedule.hpp"
+#include "src/routing/path_analysis.hpp"
+#include "src/topology/cities.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/viz/path_export.hpp"
+
+namespace hypatia {
+namespace {
+
+struct ScopedEnv {
+    explicit ScopedEnv(const char* name, const char* value) : name_(name) {
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+    const char* name_;
+};
+
+core::Scenario city_scenario(const std::string& shell,
+                             const std::vector<std::string>& names) {
+    core::Scenario s;
+    s.shell = topo::shell_by_name(shell);
+    int id = 0;
+    for (const auto& name : names) {
+        const auto city = topo::city_by_name(name);
+        s.ground_stations.emplace_back(id++, city.name(), city.geodetic());
+    }
+    return s;
+}
+
+/// The golden configuration: Starlink S1, Paris -> Luanda, 6 s at
+/// 500 ms steps, with a ground-station outage on Paris over [2 s, 4 s)
+/// — two deterministic loss = 100% windows in the middle of the
+/// schedule. The fault arrives through the scenario's CSV spec, so the
+/// exporter and the flowsim rate solve observe the same timeline.
+struct GoldenRun {
+    core::Scenario scenario;
+    fault::FaultSchedule schedule;
+    emu::ExportOptions options;
+
+    GoldenRun() : scenario(city_scenario("starlink_s1", {"Paris", "Luanda"})) {
+        std::vector<fault::FaultEvent> events;
+        events.push_back({fault::FaultKind::kGroundStation, 0, -1,
+                          2 * kNsPerSec, 4 * kNsPerSec});
+        schedule = fault::FaultSchedule::from_events(
+            events, scenario.shell.num_satellites(),
+            static_cast<int>(scenario.ground_stations.size()));
+        const std::string csv = ::testing::TempDir() + "emu_golden_faults.csv";
+        schedule.save_csv(csv);
+        scenario.faults = fault::FaultSpec{std::nullopt, csv};
+
+        options.t_end = 6 * kNsPerSec;
+        options.step = 500 * kNsPerMs;
+    }
+};
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(EmuExport, GoldenNetemScript) {
+    GoldenRun golden;
+    emu::ScheduleExporter exporter(golden.scenario, {{0, 1}}, golden.options);
+    const auto& schedules = exporter.run();
+    ASSERT_EQ(schedules.size(), 1u);
+    const std::string script = emu::render_netem_script(schedules[0]);
+
+    const std::string path =
+        std::string(HYPATIA_TEST_DATA_DIR) + "/netem_golden.sh";
+    if (std::getenv("HYPATIA_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        out << script;
+        GTEST_SKIP() << "golden updated: " << path;
+    }
+    EXPECT_EQ(script, read_file(path))
+        << "netem renderer output drifted from tests/data/netem_golden.sh "
+           "(run with HYPATIA_UPDATE_GOLDEN=1 to regenerate on purpose)";
+}
+
+TEST(EmuExport, CrossCheckAgainstFaultScheduleAndFlowsim) {
+    GoldenRun golden;
+
+    // Fault-free reference: the pair must be continuously routed, so
+    // any severed entry in the faulted run is attributable to the
+    // injected outage, not a visibility gap.
+    core::Scenario clean = golden.scenario;
+    clean.faults.reset();
+    emu::ScheduleExporter ref(clean, {{0, 1}}, golden.options);
+    for (const auto& e : ref.run()[0].entries) {
+        ASSERT_TRUE(e.reachable) << "reference run severed at t=" << e.t;
+    }
+
+    emu::ScheduleExporter exporter(golden.scenario, {{0, 1}}, golden.options);
+    const auto& entries = exporter.run()[0].entries;
+    ASSERT_EQ(entries.size(), 12u);
+    ASSERT_NE(exporter.faults(), nullptr);
+    for (const auto& e : entries) {
+        const bool down = exporter.faults()->gs_down(0, e.t);
+        EXPECT_EQ(down, golden.schedule.gs_down(0, e.t));
+        EXPECT_EQ(e.reachable, !down) << "t=" << e.t;
+        if (down) {
+            EXPECT_EQ(e.loss_pct, 100.0);
+            EXPECT_EQ(e.rate_bps, 0.0);
+            EXPECT_EQ(e.delay_us, 0.0);
+            EXPECT_EQ(e.new_next_hop, -1);
+        } else {
+            EXPECT_EQ(e.loss_pct, 0.0);
+            // One CBR flow capped at the 10 Mbit/s link rate, alone on
+            // its path: the max-min share is exactly the cap.
+            EXPECT_DOUBLE_EQ(e.rate_bps, 10e6);
+            EXPECT_GT(e.delay_us, 0.0);
+            EXPECT_DOUBLE_EQ(e.rtt_us, 2.0 * e.delay_us);
+            EXPECT_GE(e.new_next_hop, 0);
+        }
+    }
+    // The outage boundaries are path changes (routed -> severed and
+    // back), and both directions carry the right old/new hops.
+    EXPECT_FALSE(entries[3].reachable == entries[4].reachable);
+    EXPECT_TRUE(entries[4].path_changed);
+    EXPECT_GE(entries[4].old_next_hop, 0);
+    EXPECT_EQ(entries[4].new_next_hop, -1);
+    EXPECT_TRUE(entries[8].path_changed);
+    EXPECT_EQ(entries[8].old_next_hop, -1);
+    EXPECT_GE(entries[8].new_next_hop, 0);
+}
+
+TEST(EmuExport, ByteIdenticalAcrossThreadsAndSnapshotModes) {
+    GoldenRun golden;
+    struct Config {
+        std::size_t threads;
+        const char* mode;
+    };
+    const std::vector<Config> configs = {{1, "refresh"}, {2, "refresh"},
+                                         {8, "refresh"}, {1, "rebuild"},
+                                         {2, "rebuild"}, {8, "rebuild"}};
+    std::string base_csv, base_jsonl, base_netem;
+    for (const auto& config : configs) {
+        ScopedEnv mode("HYPATIA_SNAPSHOT_MODE", config.mode);
+        util::ThreadPool::set_global_threads(config.threads);
+        emu::ScheduleExporter exporter(golden.scenario, {{0, 1}}, golden.options);
+        const auto& s = exporter.run()[0];
+        const std::string csv = emu::to_csv(s);
+        const std::string jsonl = emu::to_jsonl(s);
+        const std::string netem = emu::render_netem_script(s);
+        if (base_csv.empty()) {
+            base_csv = csv;
+            base_jsonl = jsonl;
+            base_netem = netem;
+            continue;
+        }
+        EXPECT_EQ(csv, base_csv) << config.threads << " threads, " << config.mode;
+        EXPECT_EQ(jsonl, base_jsonl)
+            << config.threads << " threads, " << config.mode;
+        EXPECT_EQ(netem, base_netem)
+            << config.threads << " threads, " << config.mode;
+    }
+    util::ThreadPool::set_global_threads(0);
+}
+
+TEST(EmuExport, SweepSeriesMatchesAnalyzePairs) {
+    // The exporter's delay series and analyze_pairs' RTTs come from the
+    // same PairSweeper — pin the equivalence through the public APIs.
+    core::Scenario s = city_scenario("kuiper_k1", {"Paris", "Luanda"});
+    const topo::Constellation constellation(s.shell, topo::default_epoch());
+    const topo::SatelliteMobility mobility(constellation);
+    const auto isls = topo::build_isls(constellation, topo::IslPattern::kPlusGrid);
+
+    viz::PairSeriesOptions vopt;
+    vopt.t_end = 2 * kNsPerSec;
+    vopt.step = 500 * kNsPerMs;
+    const auto series =
+        viz::sweep_pair_series(mobility, isls, s.ground_stations, {{0, 1}}, vopt);
+    ASSERT_EQ(series.size(), 1u);
+    ASSERT_EQ(series[0].size(), 4u);
+
+    std::vector<double> rtts;
+    route::AnalysisOptions aopt;
+    aopt.t_end = vopt.t_end;
+    aopt.step = vopt.step;
+    aopt.per_step_observer = [&](TimeNs, int, double rtt_s,
+                                 const std::vector<int>&) {
+        rtts.push_back(rtt_s);
+    };
+    route::analyze_pairs(mobility, isls, s.ground_stations, {{0, 1}}, aopt);
+    ASSERT_EQ(rtts.size(), series[0].size());
+    for (std::size_t i = 0; i < rtts.size(); ++i) {
+        EXPECT_EQ(series[0][i].rtt_s, rtts[i]) << "step " << i;
+    }
+}
+
+TEST(EmuSchedule, NetemRendererDeltaCompression) {
+    emu::PairSchedule s;
+    s.src_gs = 0;
+    s.dst_gs = 1;
+    s.src_name = "A";
+    s.dst_name = "B";
+    s.step = 100 * kNsPerMs;
+    auto entry = [](TimeNs t, double delay_us, double loss, double rate) {
+        emu::ScheduleEntry e;
+        e.t = t;
+        e.delay_us = delay_us;
+        e.rtt_us = 2 * delay_us;
+        e.loss_pct = loss;
+        e.rate_bps = rate;
+        e.reachable = loss == 0.0;
+        return e;
+    };
+    // Two identical steps merge into one tc + a combined sleep; the
+    // severed step renders loss 100% with no rate clause.
+    s.entries.push_back(entry(0, 12000.4, 0.0, 10e6));
+    s.entries.push_back(entry(100 * kNsPerMs, 12000.4, 0.0, 10e6));
+    s.entries.push_back(entry(200 * kNsPerMs, 0.0, 100.0, 0.0));
+
+    const std::string script = emu::render_netem_script(s);
+    EXPECT_NE(script.find("#!/bin/sh"), std::string::npos);
+    EXPECT_NE(script.find("DEV=\"${DEV:-eth0}\"\n"), std::string::npos);
+    EXPECT_NE(script.find("tc qdisc replace dev \"$DEV\" root netem "
+                          "delay 12000us loss 0% rate 10000000bit\nsleep 0.200\n"),
+              std::string::npos);
+    EXPECT_NE(script.find("tc qdisc replace dev \"$DEV\" root netem "
+                          "delay 0us loss 100%\nsleep 0.100\n"),
+              std::string::npos);
+    EXPECT_NE(script.find("tc qdisc del dev \"$DEV\" root"), std::string::npos);
+
+    emu::NetemOptions raw;
+    raw.delta_compress = false;
+    const std::string uncompressed = emu::render_netem_script(s, raw);
+    EXPECT_NE(uncompressed.find("sleep 0.100\ntc qdisc replace"),
+              std::string::npos);
+}
+
+TEST(EmuSchedule, CsvAndJsonlShape) {
+    emu::PairSchedule s;
+    s.src_name = "Paris";
+    s.dst_name = "Luanda";
+    emu::ScheduleEntry e;
+    e.t = 100 * kNsPerMs;
+    e.delay_us = 10.5;
+    e.rtt_us = 21.0;
+    e.loss_pct = 0.0;
+    e.rate_bps = 10e6;
+    e.reachable = true;
+    e.path_changed = true;
+    e.old_next_hop = 7;
+    e.new_next_hop = 9;
+    s.entries.push_back(e);
+
+    EXPECT_EQ(emu::to_csv(s),
+              "t_s,delay_us,rtt_us,loss_pct,rate_bps,reachable,path_changed,"
+              "old_next_hop,new_next_hop\n"
+              "0.100000,10.500,21.000,0,10000000,1,1,7,9\n");
+    EXPECT_EQ(emu::to_jsonl(s),
+              "{\"src\":\"Paris\",\"dst\":\"Luanda\",\"t_s\":0.100000,"
+              "\"delay_us\":10.500,\"rtt_us\":21.000,\"loss_pct\":0,"
+              "\"rate_bps\":10000000,\"reachable\":true,\"path_changed\":true,"
+              "\"old_next_hop\":7,\"new_next_hop\":9}\n");
+    EXPECT_EQ(s.path_changes(), 1);
+}
+
+TEST(EmuRealtime, SpeedFromEnv) {
+    ::unsetenv("HYPATIA_REALTIME");
+    EXPECT_FALSE(emu::realtime_speed_from_env().has_value());
+    {
+        ScopedEnv env("HYPATIA_REALTIME", "0");
+        EXPECT_FALSE(emu::realtime_speed_from_env().has_value());
+    }
+    {
+        ScopedEnv env("HYPATIA_REALTIME", "2.5");
+        const auto speed = emu::realtime_speed_from_env();
+        ASSERT_TRUE(speed.has_value());
+        EXPECT_DOUBLE_EQ(*speed, 2.5);
+    }
+    {
+        ScopedEnv env("HYPATIA_REALTIME", "fast");
+        EXPECT_FALSE(emu::realtime_speed_from_env().has_value());
+    }
+}
+
+TEST(EmuRealtime, PacedRunMatchesBatchAndServesSchedule) {
+    core::Scenario s = city_scenario("kuiper_k1", {"Paris", "Luanda"});
+    emu::ExportOptions eopt;
+    eopt.t_end = 1 * kNsPerSec;
+    eopt.step = 100 * kNsPerMs;
+
+    emu::ScheduleExporter batch(s, {{0, 1}}, eopt);
+    const auto& batch_schedules = batch.run();
+
+    bool queried = false;
+    emu::PacerOptions popt;
+    popt.speed = 50.0;  // paced, but 50x wall speed keeps the test fast
+    popt.on_epoch = [&](std::size_t i, TimeNs) {
+        if (i + 1 != 10) return;
+        queried = true;
+        // The live endpoint serves the exporter's state mid-run.
+        const auto index = obs::IntrospectionServer::handle("/schedule");
+        EXPECT_EQ(index.status, 200);
+        EXPECT_NE(index.body.find("0,1,Paris,Luanda,"), std::string::npos);
+        const auto csv = obs::IntrospectionServer::handle(
+            "/schedule?src=Paris&dst=Luanda&format=csv");
+        EXPECT_EQ(csv.status, 200);
+        EXPECT_NE(csv.body.find("t_s,delay_us"), std::string::npos);
+        const auto jsonl = obs::IntrospectionServer::handle(
+            "/schedule?src=0&dst=1&format=jsonl");
+        EXPECT_EQ(jsonl.status, 200);
+        EXPECT_NE(jsonl.body.find("\"src\":\"Paris\""), std::string::npos);
+        const auto missing =
+            obs::IntrospectionServer::handle("/schedule?src=1&dst=0");
+        EXPECT_EQ(missing.status, 404);
+    };
+
+    emu::RealtimePacer pacer(s, {{0, 1}}, eopt, popt);
+    const emu::PacerReport report = pacer.run();
+    EXPECT_TRUE(queried);
+    EXPECT_EQ(report.epochs, 10u);
+    EXPECT_GT(report.realtime_factor, 0.0);
+    EXPECT_GE(report.wall_s, report.busy_s);
+
+    // Paced and batch schedules are byte-identical.
+    ASSERT_EQ(report.schedules.size(), batch_schedules.size());
+    for (std::size_t i = 0; i < batch_schedules.size(); ++i) {
+        EXPECT_EQ(emu::to_csv(report.schedules[i]),
+                  emu::to_csv(batch_schedules[i]));
+        EXPECT_EQ(emu::to_jsonl(report.schedules[i]),
+                  emu::to_jsonl(batch_schedules[i]));
+    }
+
+    // The handler unregisters when run() finishes: /schedule 404s and
+    // the hint lists only the built-in routes again.
+    const auto after = obs::IntrospectionServer::handle("/schedule");
+    EXPECT_EQ(after.status, 404);
+    EXPECT_NE(after.body.find("/metrics"), std::string::npos);
+}
+
+TEST(EmuRealtime, FreeRunSkipsSleeping) {
+    core::Scenario s = city_scenario("kuiper_k1", {"Paris", "Luanda"});
+    emu::ExportOptions eopt;
+    eopt.t_end = 1 * kNsPerSec;
+    eopt.step = 100 * kNsPerMs;
+    emu::PacerOptions popt;
+    popt.speed = 0.0;
+    popt.serve_schedule = false;
+    emu::RealtimePacer pacer(s, {{0, 1}}, eopt, popt);
+    const emu::PacerReport report = pacer.run();
+    EXPECT_EQ(report.epochs, 10u);
+    EXPECT_EQ(report.deadline_misses, 0u);
+    // No pacing: a 1 s window must finish in far less than 1 s of wall
+    // time (bounded generously for loaded CI machines).
+    EXPECT_LT(report.wall_s, 5.0);
+    EXPECT_EQ(obs::IntrospectionServer::handle("/schedule").status, 404);
+}
+
+}  // namespace
+}  // namespace hypatia
