@@ -1,0 +1,161 @@
+// SGP4 kernel throughput: scalar reference vs SoA batch vs SIMD on the
+// paper's largest shell (starlink_s1, 1584 satellites), measured through
+// SatelliteMobility::warm_cache — the call the epoch pipeline actually
+// makes. Each measured epoch lands on a fresh cache bucket boundary, so
+// one warm_cache = one full-constellation propagation sweep.
+//
+// Writes bench_output/BENCH_sgp4.json (gated against
+// bench/baselines/BENCH_sgp4.json by tools/bench_diff in CI). Exits
+// non-zero if the kernels disagree on any output bit — throughput from
+// a wrong kernel is meaningless.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hpp"
+#include "src/orbit/sgp4_batch.hpp"
+#include "src/topology/constellation.hpp"
+#include "src/topology/mobility.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace hypatia {
+namespace {
+
+double now_s() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string fmt17(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string dump_positions(const topo::SatelliteMobility& mob, TimeNs t) {
+    std::string out;
+    for (int sat = 0; sat < mob.num_satellites(); ++sat) {
+        const Vec3 p = mob.position_ecef_warm(sat, t);
+        out += fmt17(p.x) + " " + fmt17(p.y) + " " + fmt17(p.z) + "\n";
+    }
+    return out;
+}
+
+struct KernelResult {
+    std::size_t epochs = 0;
+    double wall_s = 0.0;
+    double sats_per_s = 0.0;
+};
+
+/// Warm the cache at successive fresh bucket boundaries for ~duration_s
+/// of wall time; every epoch propagates all n satellites exactly once.
+KernelResult measure(topo::SatelliteMobility& mob, orbit::Sgp4Kernel kernel,
+                     double duration_s, TimeNs quantum, TimeNs& t) {
+    mob.set_kernel(kernel);
+    for (int i = 0; i < 5; ++i) {  // warmup epochs
+        mob.warm_cache(t);
+        t += quantum;
+    }
+    KernelResult r;
+    const double start = now_s();
+    do {
+        mob.warm_cache(t);
+        t += quantum;
+        ++r.epochs;
+        r.wall_s = now_s() - start;
+    } while (r.wall_s < duration_s);
+    r.sats_per_s = static_cast<double>(r.epochs) *
+                   static_cast<double>(mob.num_satellites()) / r.wall_s;
+    return r;
+}
+
+int run(int argc, char** argv) {
+    bench::BenchArgs args(argc, argv);
+    const double duration_s = args.duration_s(0.5, 2.0);
+    args.cli.describe("threads", "worker threads for warm_cache (default 1)");
+    const int threads = static_cast<int>(args.cli.get_long("threads", 1));
+    args.finish_flags("SGP4 kernel throughput: scalar vs batch vs simd");
+
+    util::ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+    bench::print_header("SGP4 kernels on starlink_s1 (warm_cache sweep)");
+    std::printf("simd lanes: %s (available: %s)\n", orbit::sgp4_simd_isa(),
+                orbit::sgp4_simd_available() ? "yes" : "no");
+
+    const topo::Constellation constellation(topo::shell_by_name("starlink_s1"),
+                                            topo::default_epoch());
+    topo::SatelliteMobility mob(constellation);
+    const TimeNs quantum = 10 * kNsPerMs;
+
+    // Correctness first: all kernels must produce bit-identical caches.
+    const TimeNs check_t = 123 * quantum;
+    std::string reference;
+    bool identical = true;
+    for (const auto kernel :
+         {orbit::Sgp4Kernel::kScalar, orbit::Sgp4Kernel::kBatch,
+          orbit::Sgp4Kernel::kSimd}) {
+        topo::SatelliteMobility check(constellation);
+        check.set_kernel(kernel);
+        check.warm_cache(check_t);
+        const std::string dump = dump_positions(check, check_t);
+        if (reference.empty()) {
+            reference = dump;
+        } else if (dump != reference) {
+            identical = false;
+            std::fprintf(stderr, "FAIL: %s kernel diverges from scalar\n",
+                         orbit::sgp4_kernel_name(kernel));
+        }
+    }
+
+    TimeNs t = 0;
+    const KernelResult scalar =
+        measure(mob, orbit::Sgp4Kernel::kScalar, duration_s, quantum, t);
+    const KernelResult batch =
+        measure(mob, orbit::Sgp4Kernel::kBatch, duration_s, quantum, t);
+    const KernelResult simd =
+        measure(mob, orbit::Sgp4Kernel::kSimd, duration_s, quantum, t);
+
+    const double batch_speedup = batch.sats_per_s / scalar.sats_per_s;
+    const double simd_speedup = simd.sats_per_s / scalar.sats_per_s;
+    std::printf("scalar: %8.0f sats/s (%zu epochs)\n", scalar.sats_per_s,
+                scalar.epochs);
+    std::printf("batch:  %8.0f sats/s (%zu epochs)  %.2fx vs scalar\n",
+                batch.sats_per_s, batch.epochs, batch_speedup);
+    std::printf("simd:   %8.0f sats/s (%zu epochs)  %.2fx vs scalar\n",
+                simd.sats_per_s, simd.epochs, simd_speedup);
+
+    const std::string path = util::output_path("bench_output", "BENCH_sgp4.json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"sgp4_batch\",\n"
+                 "  \"constellation\": \"starlink_s1\",\n"
+                 "  \"num_satellites\": %d,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"simd_isa\": \"%s\",\n"
+                 "  \"kernels_identical\": %s,\n"
+                 "  \"scalar\": {\"sats_per_s\": %.0f, \"epochs\": %zu},\n"
+                 "  \"batch\": {\"sats_per_s\": %.0f, \"epochs\": %zu,\n"
+                 "             \"speedup_vs_scalar\": %.4f},\n"
+                 "  \"simd\": {\"sats_per_s\": %.0f, \"epochs\": %zu,\n"
+                 "            \"speedup_vs_scalar\": %.4f}\n"
+                 "}\n",
+                 mob.num_satellites(), threads, orbit::sgp4_simd_isa(),
+                 identical ? "true" : "false", scalar.sats_per_s, scalar.epochs,
+                 batch.sats_per_s, batch.epochs, batch_speedup, simd.sats_per_s,
+                 simd.epochs, simd_speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+
+    if (!identical) return 1;
+    return 0;
+}
+
+}  // namespace
+}  // namespace hypatia
+
+int main(int argc, char** argv) { return hypatia::run(argc, argv); }

@@ -3,30 +3,37 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/orbit/sgp4_core.hpp"
+
 namespace hypatia::orbit {
 
 namespace {
 
-constexpr double kTwoPi = 2.0 * M_PI;
 constexpr double kDegToRad = M_PI / 180.0;
-
-// WGS72 gravity constants in SGP4's canonical units.
-const double kRe = Wgs72::kEarthRadiusKm;
-const double kXke = 60.0 / std::sqrt(kRe * kRe * kRe / Wgs72::kMuKm3PerS2);
-const double kJ2 = Wgs72::kJ2;
-const double kJ3 = Wgs72::kJ3;
-const double kJ4 = Wgs72::kJ4;
-const double kJ3oJ2 = kJ3 / kJ2;
-
-double wrap_two_pi(double x) {
-    x = std::fmod(x, kTwoPi);
-    if (x < 0.0) x += kTwoPi;
-    return x;
-}
 
 }  // namespace
 
-Sgp4::Sgp4(const Sgp4Elements& el) : elements_(el) {
+const char* sgp4_status_message(Sgp4Status status) {
+    switch (status) {
+        case Sgp4Status::kOk:
+            return "sgp4: ok";
+        case Sgp4Status::kEccentricityDiverged:
+            return "sgp4: eccentricity diverged";
+        case Sgp4Status::kSemiMajorDecayed:
+            return "sgp4: semi-major axis decayed";
+        case Sgp4Status::kNegativeSemiLatus:
+            return "sgp4: semi-latus rectum negative";
+        case Sgp4Status::kDecayed:
+            return "sgp4: satellite decayed below the surface";
+    }
+    return "sgp4: unknown status";
+}
+
+Sgp4Consts sgp4_init_consts(const Sgp4Elements& el) {
+    using namespace sgp4_detail;
+    Sgp4Consts k;
+    k.el = el;
+
     const double ecco = el.eccentricity;
     const double inclo = el.inclination_rad;
     const double no_kozai = el.mean_motion_rad_per_min;
@@ -54,20 +61,20 @@ Sgp4::Sgp4(const Sgp4Elements& el) : elements_(el) {
     const double adel =
         ak * (1.0 - del * del - del * (1.0 / 3.0 + 134.0 * del * del * del / 81.0));
     del = d1 / (adel * adel);
-    no_unkozai_ = no_kozai / (1.0 + del);
+    k.no_unkozai = no_kozai / (1.0 + del);
 
-    const double ao = std::pow(kXke / no_unkozai_, x2o3);
+    const double ao = std::pow(kXke / k.no_unkozai, x2o3);
     const double sinio = std::sin(inclo);
     const double po = ao * omeosq;
     const double con42 = 1.0 - 5.0 * cosio2;
-    con41_ = -con42 - cosio2 - cosio2;
+    k.con41 = -con42 - cosio2 - cosio2;
     const double posq = po * po;
     const double rp = ao * (1.0 - ecco);
 
     if (rp < 1.0) throw std::invalid_argument("sgp4: perigee below the Earth's surface");
 
     // ---- sgp4init proper ----
-    isimp_ = (rp < 220.0 / kRe + 1.0) ? 1 : 0;
+    k.isimp = (rp < 220.0 / kRe + 1.0) ? 1 : 0;
     double sfour = ss;
     double qzms24 = qzms2t;
     const double perige = (rp - 1.0) * kRe;
@@ -80,201 +87,83 @@ Sgp4::Sgp4(const Sgp4Elements& el) : elements_(el) {
     const double pinvsq = 1.0 / posq;
 
     const double tsi = 1.0 / (ao - sfour);
-    eta_ = ao * ecco * tsi;
-    const double etasq = eta_ * eta_;
-    const double eeta = ecco * eta_;
+    k.eta = ao * ecco * tsi;
+    const double etasq = k.eta * k.eta;
+    const double eeta = ecco * k.eta;
     const double psisq = std::abs(1.0 - etasq);
     const double coef = qzms24 * std::pow(tsi, 4.0);
     const double coef1 = coef / std::pow(psisq, 3.5);
     const double cc2 =
-        coef1 * no_unkozai_ *
+        coef1 * k.no_unkozai *
         (ao * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
-         0.375 * kJ2 * tsi / psisq * con41_ * (8.0 + 3.0 * etasq * (8.0 + etasq)));
-    cc1_ = el.bstar * cc2;
+         0.375 * kJ2 * tsi / psisq * k.con41 * (8.0 + 3.0 * etasq * (8.0 + etasq)));
+    k.cc1 = el.bstar * cc2;
     double cc3 = 0.0;
     if (ecco > 1.0e-4) {
-        cc3 = -2.0 * coef * tsi * kJ3oJ2 * no_unkozai_ * sinio / ecco;
+        cc3 = -2.0 * coef * tsi * kJ3oJ2 * k.no_unkozai * sinio / ecco;
     }
-    x1mth2_ = 1.0 - cosio2;
-    cc4_ = 2.0 * no_unkozai_ * coef1 * ao * omeosq *
-           (eta_ * (2.0 + 0.5 * etasq) + ecco * (0.5 + 2.0 * etasq) -
-            kJ2 * tsi / (ao * psisq) *
-                (-3.0 * con41_ * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
-                 0.75 * x1mth2_ * (2.0 * etasq - eeta * (1.0 + etasq)) *
-                     std::cos(2.0 * el.arg_perigee_rad)));
-    cc5_ = 2.0 * coef1 * ao * omeosq * (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+    k.x1mth2 = 1.0 - cosio2;
+    k.cc4 = 2.0 * k.no_unkozai * coef1 * ao * omeosq *
+            (k.eta * (2.0 + 0.5 * etasq) + ecco * (0.5 + 2.0 * etasq) -
+             kJ2 * tsi / (ao * psisq) *
+                 (-3.0 * k.con41 * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
+                  0.75 * k.x1mth2 * (2.0 * etasq - eeta * (1.0 + etasq)) *
+                      std::cos(2.0 * el.arg_perigee_rad)));
+    k.cc5 = 2.0 * coef1 * ao * omeosq * (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
     const double cosio4 = cosio2 * cosio2;
-    const double temp1 = 1.5 * kJ2 * pinvsq * no_unkozai_;
+    const double temp1 = 1.5 * kJ2 * pinvsq * k.no_unkozai;
     const double temp2 = 0.5 * temp1 * kJ2 * pinvsq;
-    const double temp3 = -0.46875 * kJ4 * pinvsq * pinvsq * no_unkozai_;
-    mdot_ = no_unkozai_ + 0.5 * temp1 * rteosq * con41_ +
-            0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
-    argpdot_ = -0.5 * temp1 * con42 +
-               0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
-               temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
+    const double temp3 = -0.46875 * kJ4 * pinvsq * pinvsq * k.no_unkozai;
+    k.mdot = k.no_unkozai + 0.5 * temp1 * rteosq * k.con41 +
+             0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
+    k.argpdot = -0.5 * temp1 * con42 +
+                0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
+                temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
     const double xhdot1 = -temp1 * cosio;
-    nodedot_ = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
-                         2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
-                            cosio;
-    omgcof_ = el.bstar * cc3 * std::cos(el.arg_perigee_rad);
-    xmcof_ = 0.0;
-    if (ecco > 1.0e-4) xmcof_ = -x2o3 * coef * el.bstar / eeta;
-    nodecf_ = 3.5 * omeosq * xhdot1 * cc1_;
-    t2cof_ = 1.5 * cc1_;
+    k.nodedot = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
+                          2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
+                             cosio;
+    k.omgcof = el.bstar * cc3 * std::cos(el.arg_perigee_rad);
+    k.xmcof = 0.0;
+    if (ecco > 1.0e-4) k.xmcof = -x2o3 * coef * el.bstar / eeta;
+    k.nodecf = 3.5 * omeosq * xhdot1 * k.cc1;
+    k.t2cof = 1.5 * k.cc1;
     // Avoid division by zero for inclination = 180 deg.
     if (std::abs(cosio + 1.0) > 1.5e-12) {
-        xlcof_ = -0.25 * kJ3oJ2 * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio);
+        k.xlcof = -0.25 * kJ3oJ2 * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio);
     } else {
-        xlcof_ = -0.25 * kJ3oJ2 * sinio * (3.0 + 5.0 * cosio) / 1.5e-12;
+        k.xlcof = -0.25 * kJ3oJ2 * sinio * (3.0 + 5.0 * cosio) / 1.5e-12;
     }
-    aycof_ = -0.5 * kJ3oJ2 * sinio;
-    delmo_ = std::pow(1.0 + eta_ * std::cos(el.mean_anomaly_rad), 3.0);
-    sinmao_ = std::sin(el.mean_anomaly_rad);
-    x7thm1_ = 7.0 * cosio2 - 1.0;
+    k.aycof = -0.5 * kJ3oJ2 * sinio;
+    k.delmo = std::pow(1.0 + k.eta * std::cos(el.mean_anomaly_rad), 3.0);
+    k.sinmao = std::sin(el.mean_anomaly_rad);
+    k.x7thm1 = 7.0 * cosio2 - 1.0;
 
-    if (isimp_ != 1) {
-        const double cc1sq = cc1_ * cc1_;
-        d2_ = 4.0 * ao * tsi * cc1sq;
-        const double temp = d2_ * tsi * cc1_ / 3.0;
-        d3_ = (17.0 * ao + sfour) * temp;
-        d4_ = 0.5 * temp * ao * tsi * (221.0 * ao + 31.0 * sfour) * cc1_;
-        t3cof_ = d2_ + 2.0 * cc1sq;
-        t4cof_ = 0.25 * (3.0 * d3_ + cc1_ * (12.0 * d2_ + 10.0 * cc1sq));
-        t5cof_ = 0.2 * (3.0 * d4_ + 12.0 * cc1_ * d3_ + 6.0 * d2_ * d2_ +
-                        15.0 * cc1sq * (2.0 * d2_ + cc1sq));
+    if (k.isimp != 1) {
+        const double cc1sq = k.cc1 * k.cc1;
+        k.d2 = 4.0 * ao * tsi * cc1sq;
+        const double temp = k.d2 * tsi * k.cc1 / 3.0;
+        k.d3 = (17.0 * ao + sfour) * temp;
+        k.d4 = 0.5 * temp * ao * tsi * (221.0 * ao + 31.0 * sfour) * k.cc1;
+        k.t3cof = k.d2 + 2.0 * cc1sq;
+        k.t4cof = 0.25 * (3.0 * k.d3 + k.cc1 * (12.0 * k.d2 + 10.0 * cc1sq));
+        k.t5cof = 0.2 * (3.0 * k.d4 + 12.0 * k.cc1 * k.d3 + 6.0 * k.d2 * k.d2 +
+                         15.0 * cc1sq * (2.0 * k.d2 + cc1sq));
     }
+    return k;
 }
 
+Sgp4::Sgp4(const Sgp4Elements& el) : consts_(sgp4_init_consts(el)) {}
+
 StateVector Sgp4::propagate_minutes(double t) const {
-    const Sgp4Elements& el = elements_;
-
-    // ---- secular gravity and atmospheric drag ----
-    const double xmdf = el.mean_anomaly_rad + mdot_ * t;
-    const double argpdf = el.arg_perigee_rad + argpdot_ * t;
-    const double nodedf = el.raan_rad + nodedot_ * t;
-    double argpm = argpdf;
-    double mm = xmdf;
-    const double t2 = t * t;
-    double nodem = nodedf + nodecf_ * t2;
-    double tempa = 1.0 - cc1_ * t;
-    double tempe = el.bstar * cc4_ * t;
-    double templ = t2cof_ * t2;
-
-    if (isimp_ != 1) {
-        const double delomg = omgcof_ * t;
-        const double delm =
-            xmcof_ * (std::pow(1.0 + eta_ * std::cos(xmdf), 3.0) - delmo_);
-        const double temp = delomg + delm;
-        mm = xmdf + temp;
-        argpm = argpdf - temp;
-        const double t3 = t2 * t;
-        const double t4 = t3 * t;
-        tempa = tempa - d2_ * t2 - d3_ * t3 - d4_ * t4;
-        tempe = tempe + el.bstar * cc5_ * (std::sin(mm) - sinmao_);
-        templ = templ + t3cof_ * t3 + t4 * (t4cof_ + t * t5cof_);
-    }
-
-    const double nm = no_unkozai_;
-    double em = el.eccentricity;
-    const double inclm = el.inclination_rad;
-
-    const double am = std::pow(kXke / nm, 2.0 / 3.0) * tempa * tempa;
-    const double nm_new = kXke / std::pow(am, 1.5);
-    em -= tempe;
-    if (em >= 1.0 || em < -0.001) throw std::runtime_error("sgp4: eccentricity diverged");
-    if (am < 0.95) throw std::runtime_error("sgp4: semi-major axis decayed");
-    if (em < 1.0e-6) em = 1.0e-6;
-    mm += no_unkozai_ * templ;
-    double xlm = mm + argpm + nodem;
-    const double emsq = em * em;
-
-    nodem = wrap_two_pi(nodem);
-    argpm = wrap_two_pi(argpm);
-    xlm = wrap_two_pi(xlm);
-    mm = wrap_two_pi(xlm - argpm - nodem);
-
-    const double sinim = std::sin(inclm);
-    const double cosim = std::cos(inclm);
-
-    // ---- long-period periodics ----
-    const double axnl = em * std::cos(argpm);
-    double temp = 1.0 / (am * (1.0 - emsq));
-    const double aynl = em * std::sin(argpm) + temp * aycof_;
-    const double xl = mm + argpm + nodem + temp * xlcof_ * axnl;
-
-    // ---- Kepler's equation (modified for the long-period terms) ----
-    const double u = wrap_two_pi(xl - nodem);
-    double eo1 = u;
-    double tem5 = 9999.9;
-    double sineo1 = 0.0, coseo1 = 0.0;
-    for (int ktr = 1; std::abs(tem5) >= 1.0e-12 && ktr <= 10; ++ktr) {
-        sineo1 = std::sin(eo1);
-        coseo1 = std::cos(eo1);
-        tem5 = 1.0 - coseo1 * axnl - sineo1 * aynl;
-        tem5 = (u - aynl * coseo1 + axnl * sineo1 - eo1) / tem5;
-        if (std::abs(tem5) >= 0.95) tem5 = tem5 > 0.0 ? 0.95 : -0.95;
-        eo1 += tem5;
-    }
-
-    // ---- short-period periodics ----
-    const double ecose = axnl * coseo1 + aynl * sineo1;
-    const double esine = axnl * sineo1 - aynl * coseo1;
-    const double el2 = axnl * axnl + aynl * aynl;
-    const double pl = am * (1.0 - el2);
-    if (pl < 0.0) throw std::runtime_error("sgp4: semi-latus rectum negative");
-
-    const double rl = am * (1.0 - ecose);
-    const double rdotl = std::sqrt(am) * esine / rl;
-    const double rvdotl = std::sqrt(pl) / rl;
-    const double betal = std::sqrt(1.0 - el2);
-    temp = esine / (1.0 + betal);
-    const double sinu = am / rl * (sineo1 - aynl - axnl * temp);
-    const double cosu = am / rl * (coseo1 - axnl + aynl * temp);
-    double su = std::atan2(sinu, cosu);
-    const double sin2u = (cosu + cosu) * sinu;
-    const double cos2u = 1.0 - 2.0 * sinu * sinu;
-    temp = 1.0 / pl;
-    const double temp1 = 0.5 * kJ2 * temp;
-    const double temp2 = temp1 * temp;
-
-    const double mrt =
-        rl * (1.0 - 1.5 * temp2 * betal * con41_) + 0.5 * temp1 * x1mth2_ * cos2u;
-    su -= 0.25 * temp2 * x7thm1_ * sin2u;
-    const double xnode = nodem + 1.5 * temp2 * cosim * sin2u;
-    const double xinc = inclm + 1.5 * temp2 * cosim * sinim * cos2u;
-    const double mvt = rdotl - nm_new * temp1 * x1mth2_ * sin2u / kXke;
-    const double rvdot =
-        rvdotl + nm_new * temp1 * (x1mth2_ * cos2u + 1.5 * con41_) / kXke;
-
-    // ---- orientation vectors and final state ----
-    const double sinsu = std::sin(su);
-    const double cossu = std::cos(su);
-    const double snod = std::sin(xnode);
-    const double cnod = std::cos(xnode);
-    const double sini = std::sin(xinc);
-    const double cosi = std::cos(xinc);
-    const double xmx = -snod * cosi;
-    const double xmy = cnod * cosi;
-    const double ux = xmx * sinsu + cnod * cossu;
-    const double uy = xmy * sinsu + snod * cossu;
-    const double uz = sini * sinsu;
-    const double vx = xmx * cossu - cnod * sinsu;
-    const double vy = xmy * cossu - snod * sinsu;
-    const double vz = sini * cossu;
-
-    if (mrt < 1.0) throw std::runtime_error("sgp4: satellite decayed below the surface");
-
-    const double vkmpersec = kRe * kXke / 60.0;
     StateVector sv;
-    sv.position_km = {mrt * kRe * ux, mrt * kRe * uy, mrt * kRe * uz};
-    sv.velocity_km_per_s = {(mvt * ux + rvdot * vx) * vkmpersec,
-                            (mvt * uy + rvdot * vy) * vkmpersec,
-                            (mvt * uz + rvdot * vz) * vkmpersec};
+    const Sgp4Status st = sgp4_propagate_core(consts_, t, sv);
+    if (st != Sgp4Status::kOk) throw std::runtime_error(sgp4_status_message(st));
     return sv;
 }
 
 StateVector Sgp4::propagate(const JulianDate& at) const {
-    return propagate_minutes(at.seconds_since(elements_.epoch) / 60.0);
+    return propagate_minutes(at.seconds_since(consts_.el.epoch) / 60.0);
 }
 
 Sgp4Elements sgp4_elements_from_kepler(const KeplerianElements& kep, double bstar) {

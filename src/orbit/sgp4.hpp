@@ -8,7 +8,15 @@
 //
 // Output positions are in the TEME (true equator, mean equinox) inertial
 // frame in km; rotate with orbit::teme_to_ecef for Earth-fixed work.
+//
+// The init-time math lives in sgp4_init_consts() and the per-epoch math
+// in sgp4_propagate_core() (sgp4_core.hpp), shared verbatim between this
+// scalar reference class and the batched SoA kernels in sgp4_batch.hpp —
+// the factoring is what makes the kernels byte-identical by construction
+// (DESIGN.md §11).
 #pragma once
+
+#include <cstdint>
 
 #include "src/orbit/kepler.hpp"
 #include "src/orbit/time.hpp"
@@ -28,6 +36,45 @@ struct Sgp4Elements {
     double mean_motion_rad_per_min = 0.0;  // Kozai mean motion (TLE field)
 };
 
+/// Everything sgp4_propagate_core() reads: the raw elements plus the
+/// derived init-time constants (names follow the standard SGP4 code so
+/// the implementation can be audited against the published theory).
+/// A plain aggregate so the batch kernels can scatter it into SoA
+/// arrays and gather it back without touching class internals.
+struct Sgp4Consts {
+    Sgp4Elements el;
+    int isimp = 0;
+    double aycof = 0, con41 = 0, cc1 = 0, cc4 = 0, cc5 = 0;
+    double d2 = 0, d3 = 0, d4 = 0, delmo = 0, eta = 0, argpdot = 0;
+    double omgcof = 0, sinmao = 0, t2cof = 0, t3cof = 0, t4cof = 0, t5cof = 0;
+    double x1mth2 = 0, x7thm1 = 0, mdot = 0, nodedot = 0, xlcof = 0;
+    double xmcof = 0, nodecf = 0;
+    double no_unkozai = 0;
+};
+
+/// Propagation outcome. The scalar Sgp4 class maps non-kOk to the
+/// std::runtime_error it has always thrown; the batch kernels report the
+/// status per satellite instead (throwing from a vector lane would lose
+/// which satellite died). Enumerators mirror the four failure points of
+/// the propagation routine, in program order.
+enum class Sgp4Status : std::uint8_t {
+    kOk = 0,
+    kEccentricityDiverged,  // "sgp4: eccentricity diverged"
+    kSemiMajorDecayed,      // "sgp4: semi-major axis decayed"
+    kNegativeSemiLatus,     // "sgp4: semi-latus rectum negative"
+    kDecayed,               // "sgp4: satellite decayed below the surface"
+};
+
+/// The exact message propagate_minutes() throws for a given status
+/// (kOk returns "sgp4: ok" and is never thrown).
+const char* sgp4_status_message(Sgp4Status status);
+
+/// Runs the (comparatively expensive) SGP4 init step: validates the
+/// elements and derives the propagation constants. Throws
+/// std::invalid_argument for unpropagatable elements (hyperbolic,
+/// sub-surface perigee, deep-space period).
+Sgp4Consts sgp4_init_consts(const Sgp4Elements& el);
+
 /// One initialized SGP4 satellite. Construction runs the (comparatively
 /// expensive) init step once; propagate() is then cheap and can be called
 /// millions of times during a simulation.
@@ -44,23 +91,16 @@ class Sgp4 {
     /// State at an absolute time.
     StateVector propagate(const JulianDate& at) const;
 
-    const JulianDate& epoch() const { return elements_.epoch; }
+    const JulianDate& epoch() const { return consts_.el.epoch; }
 
     /// Un-Kozai'd ("Brouwer") mean motion after init, rad/min.
-    double no_unkozai() const { return no_unkozai_; }
+    double no_unkozai() const { return consts_.no_unkozai; }
+
+    /// The full constant set, for the SoA batch builder.
+    const Sgp4Consts& consts() const { return consts_; }
 
   private:
-    Sgp4Elements elements_;
-
-    // Derived init-time constants (names follow the standard SGP4 code so
-    // the implementation can be audited against the published theory).
-    int isimp_ = 0;
-    double aycof_ = 0, con41_ = 0, cc1_ = 0, cc4_ = 0, cc5_ = 0;
-    double d2_ = 0, d3_ = 0, d4_ = 0, delmo_ = 0, eta_ = 0, argpdot_ = 0;
-    double omgcof_ = 0, sinmao_ = 0, t2cof_ = 0, t3cof_ = 0, t4cof_ = 0, t5cof_ = 0;
-    double x1mth2_ = 0, x7thm1_ = 0, mdot_ = 0, nodedot_ = 0, xlcof_ = 0;
-    double xmcof_ = 0, nodecf_ = 0;
-    double no_unkozai_ = 0;
+    Sgp4Consts consts_;
 };
 
 /// Builds SGP4 init elements from Keplerian elements (degrees/km -> TLE

@@ -1,0 +1,394 @@
+#include "src/orbit/sgp4_batch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/orbit/coords.hpp"
+#include "src/orbit/sgp4_core.hpp"
+
+namespace hypatia::orbit {
+
+const char* sgp4_kernel_name(Sgp4Kernel kernel) {
+    switch (kernel) {
+        case Sgp4Kernel::kScalar: return "scalar";
+        case Sgp4Kernel::kBatch: return "batch";
+        case Sgp4Kernel::kSimd: return "simd";
+    }
+    return "scalar";
+}
+
+Sgp4Kernel sgp4_kernel_from_env() {
+    const char* env = std::getenv("HYPATIA_SGP4_KERNEL");
+    if (env == nullptr || *env == '\0') return Sgp4Kernel::kScalar;
+    if (std::strcmp(env, "batch") == 0) return Sgp4Kernel::kBatch;
+    if (std::strcmp(env, "simd") == 0) return Sgp4Kernel::kSimd;
+    return Sgp4Kernel::kScalar;
+}
+
+bool sgp4_simd_available() {
+#if defined(HYPATIA_SGP4_SIMD_AVX2)
+    // The SIMD TU carries AVX2 instructions; gate on the running CPU.
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    // NEON (baseline on aarch64) or the generic 4-lane fallback: always
+    // runnable.
+    return true;
+#endif
+}
+
+namespace {
+
+/// Scalar zero-drag fast path reading the SoA columns: the expressions
+/// and evaluation order of sgp4_propagate_fast<false>, fed column
+/// values (bit-equal to the AoS fields they were copied from), so the
+/// positions are bit-identical. Touching ~136 contiguous bytes per
+/// satellite instead of the ~280-byte Sgp4Consts stride is what lets
+/// the batch kernel beat the per-satellite reference on cache traffic.
+inline Sgp4Status fast_pos_from_view(const batch_detail::FastView& v, std::size_t i,
+                                     double t, Vec3& out_pos) {
+    using namespace sgp4_detail;
+    const double xmdf = v.mean_anomaly[i] + v.mdot[i] * t;
+    const double argpdf = v.argp[i] + v.argpdot[i] * t;
+    const double nodedf = v.raan[i] + v.nodedot[i] * t;
+
+    const double nodem = wrap_two_pi(nodedf);
+    const double argpm = wrap_two_pi(argpdf);
+    const double xlm = wrap_two_pi(xmdf + argpdf + nodedf);
+    const double mm = wrap_two_pi(xlm - argpm - nodem);
+
+    double sin_argpm, cos_argpm;
+    sincos_pair(argpm, sin_argpm, cos_argpm);
+    const double axnl = v.em[i] * cos_argpm;
+    const double aynl = v.em[i] * sin_argpm + v.aycof_t[i];
+    const double xl = mm + argpm + nodem + v.xlcof_t[i] * axnl;
+
+    StateVector sv;
+    const Sgp4Status st = sgp4_finish_core<false>(
+        v.con41[i], v.x1mth2[i], v.x7thm1[i], v.nm[i], v.am[i], v.sinim[i],
+        v.cosim[i], axnl, aynl, xl, nodem, v.inclo[i], sv);
+    out_pos = sv.position_km;
+    return st;
+}
+
+/// Four satellites at once through the position-only zero-drag fast
+/// path, written as fixed-width lane loops in plain C++ (no intrinsics
+/// — this is the kBatch kernel's autovectorizable form). Two effects
+/// make it faster than four fast_pos_from_view calls: the compiler can
+/// pack the lane arithmetic (same per-lane IEEE operations, so same
+/// bits), and the four libm dependency chains — Kepler's sincos
+/// iteration especially — overlap in the out-of-order window instead
+/// of running end to end. Expression text and evaluation order per
+/// lane mirror sgp4_finish_core; the Kepler iteration freezes
+/// converged lanes exactly like the SIMD kernel's masking, so each
+/// lane runs the same iteration count (and produces the same bits) as
+/// the scalar loop.
+inline void fast_pos4_from_view(const batch_detail::FastView& v,
+                                const double* minutes, std::size_t i0,
+                                Vec3* out_pos, Sgp4Status* status) {
+    using namespace sgp4_detail;
+
+    double nodem[4], argpm[4], mm[4];
+    for (int l = 0; l < 4; ++l) {
+        const std::size_t i = i0 + static_cast<std::size_t>(l);
+        const double t = minutes[l];
+        const double xmdf = v.mean_anomaly[i] + v.mdot[i] * t;
+        const double argpdf = v.argp[i] + v.argpdot[i] * t;
+        const double nodedf = v.raan[i] + v.nodedot[i] * t;
+        nodem[l] = wrap_two_pi(nodedf);
+        argpm[l] = wrap_two_pi(argpdf);
+        const double xlm = wrap_two_pi(xmdf + argpdf + nodedf);
+        mm[l] = wrap_two_pi(xlm - argpm[l] - nodem[l]);
+    }
+
+    double sin_argpm[4], cos_argpm[4];
+    for (int l = 0; l < 4; ++l) sincos_pair(argpm[l], sin_argpm[l], cos_argpm[l]);
+
+    double axnl[4], aynl[4], u[4];
+    for (int l = 0; l < 4; ++l) {
+        const std::size_t i = i0 + static_cast<std::size_t>(l);
+        axnl[l] = v.em[i] * cos_argpm[l];
+        aynl[l] = v.em[i] * sin_argpm[l] + v.aycof_t[i];
+        const double xl = mm[l] + argpm[l] + nodem[l] + v.xlcof_t[i] * axnl[l];
+        u[l] = wrap_two_pi(xl - nodem[l]);
+    }
+
+    // ---- Kepler's equation, frozen-lane iteration ----
+    double eo1[4], sineo1[4] = {0.0, 0.0, 0.0, 0.0}, coseo1[4] = {0.0, 0.0, 0.0, 0.0};
+    bool active[4] = {true, true, true, true};
+    for (int l = 0; l < 4; ++l) eo1[l] = u[l];
+    for (int ktr = 1;
+         ktr <= 10 && (active[0] || active[1] || active[2] || active[3]); ++ktr) {
+        for (int l = 0; l < 4; ++l) {
+            if (!active[l]) continue;
+            sincos_pair(eo1[l], sineo1[l], coseo1[l]);
+            double tem5 = 1.0 - coseo1[l] * axnl[l] - sineo1[l] * aynl[l];
+            tem5 = (u[l] - aynl[l] * coseo1[l] + axnl[l] * sineo1[l] - eo1[l]) / tem5;
+            if (std::abs(tem5) >= 0.95) tem5 = tem5 > 0.0 ? 0.95 : -0.95;
+            eo1[l] += tem5;
+            if (std::abs(tem5) < 1.0e-12) active[l] = false;
+        }
+    }
+
+    // ---- short-period periodics ----
+    double sinu[4], cosu[4], sin2u[4], cos2u[4];
+    double rl_[4], betal_[4], pl_[4];
+    bool pl_bad[4];
+    for (int l = 0; l < 4; ++l) {
+        const std::size_t i = i0 + static_cast<std::size_t>(l);
+        const double am = v.am[i];
+        const double ecose = axnl[l] * coseo1[l] + aynl[l] * sineo1[l];
+        const double esine = axnl[l] * sineo1[l] - aynl[l] * coseo1[l];
+        const double el2 = axnl[l] * axnl[l] + aynl[l] * aynl[l];
+        const double pl = am * (1.0 - el2);
+        pl_bad[l] = pl < 0.0;
+        const double rl = am * (1.0 - ecose);
+        const double betal = std::sqrt(1.0 - el2);
+        const double temp = esine / (1.0 + betal);
+        sinu[l] = am / rl * (sineo1[l] - aynl[l] - axnl[l] * temp);
+        cosu[l] = am / rl * (coseo1[l] - axnl[l] + aynl[l] * temp);
+        sin2u[l] = (cosu[l] + cosu[l]) * sinu[l];
+        cos2u[l] = 1.0 - 2.0 * sinu[l] * sinu[l];
+        rl_[l] = rl;
+        betal_[l] = betal;
+        pl_[l] = pl;
+    }
+
+    double su[4];
+    for (int l = 0; l < 4; ++l) su[l] = std::atan2(sinu[l], cosu[l]);
+
+    double mrt[4], xnode[4], xinc[4];
+    for (int l = 0; l < 4; ++l) {
+        const std::size_t i = i0 + static_cast<std::size_t>(l);
+        const double temp = 1.0 / pl_[l];
+        const double temp1 = 0.5 * kJ2 * temp;
+        const double temp2 = temp1 * temp;
+        mrt[l] = rl_[l] * (1.0 - 1.5 * temp2 * betal_[l] * v.con41[i]) +
+                 0.5 * temp1 * v.x1mth2[i] * cos2u[l];
+        su[l] -= 0.25 * temp2 * v.x7thm1[i] * sin2u[l];
+        xnode[l] = nodem[l] + 1.5 * temp2 * v.cosim[i] * sin2u[l];
+        xinc[l] = v.inclo[i] + 1.5 * temp2 * v.cosim[i] * v.sinim[i] * cos2u[l];
+    }
+
+    // ---- orientation vectors and final positions ----
+    double sinsu[4], cossu[4], snod[4], cnod[4], sini[4], cosi[4];
+    for (int l = 0; l < 4; ++l) sincos_pair(su[l], sinsu[l], cossu[l]);
+    for (int l = 0; l < 4; ++l) sincos_pair(xnode[l], snod[l], cnod[l]);
+    for (int l = 0; l < 4; ++l) sincos_pair(xinc[l], sini[l], cosi[l]);
+    for (int l = 0; l < 4; ++l) {
+        const double xmx = -snod[l] * cosi[l];
+        const double xmy = cnod[l] * cosi[l];
+        const double ux = xmx * sinsu[l] + cnod[l] * cossu[l];
+        const double uy = xmy * sinsu[l] + snod[l] * cossu[l];
+        const double uz = sini[l] * sinsu[l];
+        // Same failure precedence as the scalar kernel; out entries are
+        // meaningful only where the status is kOk, as everywhere else.
+        status[l] = pl_bad[l] ? Sgp4Status::kNegativeSemiLatus
+                  : mrt[l] < 1.0 ? Sgp4Status::kDecayed
+                                 : Sgp4Status::kOk;
+        out_pos[l] = {mrt[l] * kRe * ux, mrt[l] * kRe * uy, mrt[l] * kRe * uz};
+    }
+}
+
+}  // namespace
+
+void Sgp4Batch::reserve(std::size_t n) {
+    consts_.reserve(n);
+    fast_.reserve(n);
+    zero_drag_.reserve(n);
+    for (auto* col : {&epoch_day_, &epoch_frac_, &mean_anomaly_, &argp_, &raan_,
+                      &mdot_, &argpdot_, &nodedot_, &am_, &nm_, &em_, &sinim_,
+                      &cosim_, &aycof_t_, &xlcof_t_, &con41_, &x1mth2_, &x7thm1_,
+                      &inclo_}) {
+        col->reserve(n);
+    }
+}
+
+std::size_t Sgp4Batch::add(const Sgp4Consts& consts) {
+    const std::size_t i = consts_.size();
+    consts_.push_back(consts);
+    const Sgp4FastConsts f = sgp4_fast_consts(consts);
+    fast_.push_back(f);
+    const bool zd = sgp4_zero_drag(consts);
+    zero_drag_.push_back(zd ? 1 : 0);
+    if (!zd) ++num_drag_;
+
+    epoch_day_.push_back(consts.el.epoch.day);
+    epoch_frac_.push_back(consts.el.epoch.frac);
+    mean_anomaly_.push_back(consts.el.mean_anomaly_rad);
+    argp_.push_back(consts.el.arg_perigee_rad);
+    raan_.push_back(consts.el.raan_rad);
+    mdot_.push_back(consts.mdot);
+    argpdot_.push_back(consts.argpdot);
+    nodedot_.push_back(consts.nodedot);
+    am_.push_back(f.am);
+    nm_.push_back(f.nm);
+    em_.push_back(f.em);
+    sinim_.push_back(f.sinim);
+    cosim_.push_back(f.cosim);
+    aycof_t_.push_back(f.aycof_t);
+    xlcof_t_.push_back(f.xlcof_t);
+    con41_.push_back(consts.con41);
+    x1mth2_.push_back(consts.x1mth2);
+    x7thm1_.push_back(consts.x7thm1);
+    inclo_.push_back(consts.el.inclination_rad);
+    return i;
+}
+
+batch_detail::FastView Sgp4Batch::fast_view() const {
+    return {mean_anomaly_.data(), argp_.data(),    raan_.data(),    mdot_.data(),
+            argpdot_.data(),      nodedot_.data(), am_.data(),      nm_.data(),
+            em_.data(),           sinim_.data(),   cosim_.data(),   aycof_t_.data(),
+            xlcof_t_.data(),      con41_.data(),   x1mth2_.data(),  x7thm1_.data(),
+            inclo_.data()};
+}
+
+Sgp4Status Sgp4Batch::propagate_one(std::size_t i, double minutes,
+                                    StateVector& out) const {
+    if (zero_drag_[i]) return sgp4_propagate_fast(consts_[i], fast_[i], minutes, out);
+    return sgp4_propagate_core(consts_[i], minutes, out);
+}
+
+Sgp4Status Sgp4Batch::propagate_one_pos(std::size_t i, double minutes,
+                                        Vec3& out_pos) const {
+    StateVector sv;
+    const Sgp4Status st =
+        zero_drag_[i] ? sgp4_propagate_fast<false>(consts_[i], fast_[i], minutes, sv)
+                      : sgp4_propagate_core(consts_[i], minutes, sv);
+    out_pos = sv.position_km;
+    return st;
+}
+
+void Sgp4Batch::propagate_teme(Sgp4Kernel kernel, const JulianDate& at,
+                               std::size_t begin, std::size_t end, StateVector* out,
+                               Sgp4Status* status) const {
+    const std::size_t n = end - begin;
+
+    // Per-satellite minutes since TLE epoch, via the same two-step
+    // JulianDate arithmetic as seconds_since()/60.0 (day/frac split
+    // summed first, one multiply, one divide) so the offsets are
+    // bit-identical to the scalar Sgp4::propagate path.
+    constexpr std::size_t kBlock = 256;
+    double minutes[kBlock];
+    for (std::size_t b = 0; b < n; b += kBlock) {
+        const std::size_t e = b + kBlock < n ? b + kBlock : n;
+        const std::size_t m = e - b;
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::size_t i = begin + b + j;
+            minutes[j] =
+                ((at.day - epoch_day_[i]) + (at.frac - epoch_frac_[i])) * 86400.0 / 60.0;
+        }
+
+        if (kernel == Sgp4Kernel::kScalar) {
+            for (std::size_t j = 0; j < m; ++j) {
+                status[b + j] =
+                    sgp4_propagate_core(consts_[begin + b + j], minutes[j], out[b + j]);
+            }
+            continue;
+        }
+
+        const bool simd = kernel == Sgp4Kernel::kSimd && sgp4_simd_available();
+        std::size_t j = 0;
+        while (j < m) {
+            if (simd && zero_drag_[begin + b + j]) {
+                // Maximal run of zero-drag satellites: vector blocks of
+                // 4, per-satellite fast path for the tail.
+                std::size_t r = j;
+                while (r < m && zero_drag_[begin + b + r]) ++r;
+                const std::size_t vec_end = j + ((r - j) & ~std::size_t{3});
+                if (vec_end > j) {
+                    batch_detail::propagate_fast_simd(fast_view(), minutes + j,
+                                                      begin + b + j, begin + b + vec_end,
+                                                      out + b + j, status + b + j);
+                }
+                for (std::size_t k = vec_end; k < r; ++k) {
+                    status[b + k] = propagate_one(begin + b + k, minutes[k], out[b + k]);
+                }
+                j = r;
+            } else {
+                status[b + j] = propagate_one(begin + b + j, minutes[j], out[b + j]);
+                ++j;
+            }
+        }
+    }
+}
+
+void Sgp4Batch::propagate_ecef(Sgp4Kernel kernel, const JulianDate& at,
+                               std::size_t begin, std::size_t end, Vec3* out_ecef,
+                               Sgp4Status* status) const {
+    // One GMST evaluation per call: `at` is shared by the whole range,
+    // so theta and its sin/cos are loop invariants. teme_to_ecef
+    // recomputes them per satellite from the same JulianDate — same
+    // values, so the hoist is bit-exact.
+    const double theta = gmst_radians(at);
+    double s, c;
+    sgp4_detail::sincos_pair(theta, s, c);
+
+    // Positions only: this is the cache-warming path and the cache
+    // stores positions, so the batch/simd kernels run the
+    // position-only kernel variants (identical position bits, velocity
+    // arithmetic skipped). The scalar kernel keeps the full reference
+    // core — it IS the definition the others are compared against.
+    constexpr std::size_t kBlock = 256;
+    double minutes[kBlock];
+    Vec3 pos[kBlock];
+    const std::size_t n = end - begin;
+    for (std::size_t b = 0; b < n; b += kBlock) {
+        const std::size_t e = b + kBlock < n ? b + kBlock : n;
+        const std::size_t m = e - b;
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::size_t i = begin + b + j;
+            minutes[j] =
+                ((at.day - epoch_day_[i]) + (at.frac - epoch_frac_[i])) * 86400.0 / 60.0;
+        }
+
+        if (kernel == Sgp4Kernel::kScalar) {
+            for (std::size_t j = 0; j < m; ++j) {
+                StateVector sv;
+                status[b + j] = sgp4_propagate_core(consts_[begin + b + j], minutes[j], sv);
+                pos[j] = sv.position_km;
+            }
+        } else {
+            const batch_detail::FastView v = fast_view();
+            const bool simd = kernel == Sgp4Kernel::kSimd && sgp4_simd_available();
+            std::size_t j = 0;
+            while (j < m) {
+                const std::size_t i = begin + b + j;
+                if (zero_drag_[i]) {
+                    // Maximal run of zero-drag satellites: blocks of 4
+                    // through the lane kernels (vector for kSimd, the
+                    // autovectorizable plain-C++ lanes for kBatch),
+                    // per-satellite fast path for the tail.
+                    std::size_t r = j;
+                    while (r < m && zero_drag_[begin + b + r]) ++r;
+                    const std::size_t vec_end = j + ((r - j) & ~std::size_t{3});
+                    if (simd && vec_end > j) {
+                        batch_detail::propagate_fast_simd_pos(
+                            v, minutes + j, begin + b + j,
+                            begin + b + vec_end, pos + j, status + b + j);
+                    } else {
+                        for (std::size_t k = j; k < vec_end; k += 4) {
+                            fast_pos4_from_view(v, minutes + k, begin + b + k,
+                                                pos + k, status + b + k);
+                        }
+                    }
+                    for (std::size_t k = vec_end; k < r; ++k) {
+                        status[b + k] =
+                            fast_pos_from_view(v, begin + b + k, minutes[k], pos[k]);
+                    }
+                    j = r;
+                } else {
+                    status[b + j] = propagate_one_pos(i, minutes[j], pos[j]);
+                    ++j;
+                }
+            }
+        }
+
+        for (std::size_t j = 0; j < m; ++j) {
+            const Vec3& p = pos[j];
+            // ECEF = Rz(gmst) * TEME, the exact expression teme_to_ecef uses.
+            out_ecef[b + j] = {c * p.x + s * p.y, -s * p.x + c * p.y, p.z};
+        }
+    }
+}
+
+}  // namespace hypatia::orbit

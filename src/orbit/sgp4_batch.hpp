@@ -1,0 +1,163 @@
+// Batched structure-of-arrays SGP4 (DESIGN.md §11).
+//
+// Sgp4Batch holds the init-time constants of N satellites in SoA form
+// and propagates them in bulk: one call per shell per epoch instead of
+// N virtual-ish per-satellite calls. Three kernels share the arithmetic
+// in sgp4_core.hpp and are therefore byte-identical (pinned by
+// tests/test_sgp4_differential.cpp):
+//
+//   kScalar — the reference: sgp4_propagate_core per satellite, exactly
+//             what the Sgp4 class runs.
+//   kBatch  — SoA loops: the zero-drag fast path (sgp4_propagate_fast)
+//             where it applies, with per-call hoisting of the epoch
+//             conversion and the GMST rotation.
+//   kSimd   — kBatch plus a 4-lane vector fast path (AVX2 / NEON via
+//             src/util/simd.hpp) for blocks of zero-drag satellites;
+//             transcendentals stay lane-scalar libm, so lanes reproduce
+//             the scalar trajectories bit for bit.
+//
+// Selected at runtime with HYPATIA_SGP4_KERNEL=scalar|batch|simd
+// (default scalar — the optimized kernels are opt-in).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/orbit/sgp4.hpp"
+#include "src/orbit/sgp4_core.hpp"
+#include "src/orbit/time.hpp"
+#include "src/util/vec3.hpp"
+
+namespace hypatia::orbit {
+
+enum class Sgp4Kernel : std::uint8_t { kScalar = 0, kBatch, kSimd };
+
+const char* sgp4_kernel_name(Sgp4Kernel kernel);
+
+/// Reads HYPATIA_SGP4_KERNEL (scalar|batch|simd). Unset, empty or
+/// unrecognized values select the scalar reference.
+Sgp4Kernel sgp4_kernel_from_env();
+
+/// True when the SIMD translation unit can run on this machine (always
+/// true for the NEON and generic-lane builds; on x86 requires AVX2 at
+/// runtime when the TU was compiled for it). When false, kSimd requests
+/// silently run the kBatch loops instead.
+bool sgp4_simd_available();
+
+/// Lane implementation the SIMD TU was built with: "avx2", "neon" or
+/// "generic".
+const char* sgp4_simd_isa();
+
+namespace batch_detail {
+
+/// Raw SoA pointers for the zero-drag fast path, shared with the
+/// ISA-specific translation unit (sgp4_batch_simd.cpp).
+struct FastView {
+    const double* mean_anomaly;
+    const double* argp;
+    const double* raan;
+    const double* mdot;
+    const double* argpdot;
+    const double* nodedot;
+    const double* am;
+    const double* nm;
+    const double* em;
+    const double* sinim;
+    const double* cosim;
+    const double* aycof_t;
+    const double* xlcof_t;
+    const double* con41;
+    const double* x1mth2;
+    const double* x7thm1;
+    const double* inclo;
+};
+
+/// Vectorized zero-drag fast path over satellites [begin, end) at
+/// per-satellite minutes since each TLE epoch. The caller guarantees
+/// every index in range is zero-drag and end - begin is a multiple
+/// of 4. minutes/out/status are relative-indexed: entry i - begin
+/// corresponds to satellite i, and out entries are valid only when the
+/// matching status is kOk. Defined in sgp4_batch_simd.cpp.
+void propagate_fast_simd(const FastView& view, const double* minutes,
+                         std::size_t begin, std::size_t end, StateVector* out,
+                         Sgp4Status* status);
+
+/// Position-only variant: same contract and identical position bits,
+/// but the velocity-only arithmetic is skipped — the cache-warming hot
+/// path, which stores positions only, runs this one.
+void propagate_fast_simd_pos(const FastView& view, const double* minutes,
+                             std::size_t begin, std::size_t end, Vec3* out_pos,
+                             Sgp4Status* status);
+
+}  // namespace batch_detail
+
+/// SoA batch of initialized SGP4 satellites. Build once per TLE set
+/// (add() per satellite, cheap relative to sgp4_init_consts), then
+/// propagate ranges per epoch. Propagation methods are const and
+/// touch no shared mutable state: disjoint [begin, end) ranges may run
+/// concurrently, which is how SatelliteMobility::warm_cache chunks the
+/// batch across the thread pool.
+class Sgp4Batch {
+  public:
+    Sgp4Batch() = default;
+
+    void reserve(std::size_t n);
+
+    /// Appends one initialized satellite; returns its batch index.
+    std::size_t add(const Sgp4Consts& consts);
+
+    std::size_t size() const { return consts_.size(); }
+    bool empty() const { return consts_.empty(); }
+
+    /// True when every satellite is drag-free (bstar == 0), i.e. the
+    /// whole batch takes the fast path. All stock constellations are.
+    bool all_zero_drag() const { return num_drag_ == 0; }
+
+    const Sgp4Consts& consts(std::size_t i) const { return consts_[i]; }
+    const JulianDate& epoch(std::size_t i) const { return consts_[i].el.epoch; }
+
+    /// One satellite at `minutes` since its TLE epoch through the batch
+    /// storage (fast path when drag-free, reference core otherwise).
+    /// Bit-identical to Sgp4::propagate_minutes; statuses instead of
+    /// throws. `out` is valid only when the return is kOk.
+    Sgp4Status propagate_one(std::size_t i, double minutes, StateVector& out) const;
+
+    /// TEME states for satellites [begin, end) at the shared absolute
+    /// time `at` (per-satellite epoch offsets applied internally).
+    /// out/status are relative-indexed: entry j corresponds to satellite
+    /// begin + j, and out[j] is valid only when status[j] == kOk.
+    void propagate_teme(Sgp4Kernel kernel, const JulianDate& at, std::size_t begin,
+                        std::size_t end, StateVector* out, Sgp4Status* status) const;
+
+    /// ECEF positions (km) for satellites [begin, end) at `at`: TEME
+    /// propagation plus the GMST rotation, with gmst_radians() and its
+    /// sin/cos hoisted to once per call — bit-identical to
+    /// teme_to_ecef(propagate(at), at) per satellite. Relative-indexed
+    /// outputs, as propagate_teme.
+    void propagate_ecef(Sgp4Kernel kernel, const JulianDate& at, std::size_t begin,
+                        std::size_t end, Vec3* out_ecef, Sgp4Status* status) const;
+
+  private:
+    batch_detail::FastView fast_view() const;
+
+    /// propagate_one but position-only (velocity arithmetic skipped on
+    /// the zero-drag fast path; positions bit-identical).
+    Sgp4Status propagate_one_pos(std::size_t i, double minutes, Vec3& out_pos) const;
+
+    // AoS copies for the reference / per-satellite paths.
+    std::vector<Sgp4Consts> consts_;
+    std::vector<Sgp4FastConsts> fast_;
+    std::vector<std::uint8_t> zero_drag_;
+    std::size_t num_drag_ = 0;
+
+    // SoA columns for the batched fast path. Epochs are split to keep
+    // the JulianDate day/frac precision trick.
+    std::vector<double> epoch_day_, epoch_frac_;
+    std::vector<double> mean_anomaly_, argp_, raan_;
+    std::vector<double> mdot_, argpdot_, nodedot_;
+    std::vector<double> am_, nm_, em_, sinim_, cosim_, aycof_t_, xlcof_t_;
+    std::vector<double> con41_, x1mth2_, x7thm1_, inclo_;
+};
+
+}  // namespace hypatia::orbit

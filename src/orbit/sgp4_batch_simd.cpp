@@ -1,0 +1,260 @@
+// 4-lane vector implementation of the zero-drag SGP4 fast path.
+//
+// This TU is the only one compiled with ISA-specific flags (-mavx2 on
+// x86 when available; NEON is baseline on aarch64; otherwise the
+// generic 4-lane fallback in simd.hpp). Entry is gated behind
+// sgp4_simd_available(), so no AVX2 instruction executes on a CPU
+// without it.
+//
+// Bit-identity with the scalar fast path (and through it the reference
+// kernel) holds because:
+//   * every vector op used is a per-lane correctly-rounded IEEE basic
+//     operation (add/sub/mul/div/sqrt/neg) — never FMA, matching the
+//     no-contraction baseline the scalar code is built for;
+//   * every expression mirrors the scalar code's association order
+//     (a + b + c evaluated as (a + b) + c, etc.);
+//   * transcendentals (fmod, sincos, atan2) are lane-scalar libm calls
+//     on the exact same arguments;
+//   * the Kepler iteration keeps per-lane scalar semantics: converged
+//     lanes freeze (their sin/cos/eo1 stop updating, exactly where the
+//     scalar loop would have exited) while unconverged lanes continue.
+// tests/test_sgp4_differential.cpp byte-compares this path against the
+// scalar kernel across thousands of element sets.
+#include "src/orbit/sgp4_batch.hpp"
+
+#include "src/orbit/sgp4_core.hpp"
+#include "src/util/simd.hpp"
+
+namespace hypatia::orbit::batch_detail {
+
+namespace {
+
+using namespace util::simd;
+using sgp4_detail::kJ2;
+using sgp4_detail::kRe;
+using sgp4_detail::kXke;
+using sgp4_detail::sincos_pair;
+using sgp4_detail::wrap_two_pi;
+
+/// Lane-scalar wrap into [0, 2*pi): same fmod + conditional add as the
+/// scalar wrap_two_pi, per lane.
+Vec4d wrap4(const Vec4d& x) {
+    double a[4];
+    store4(x, a);
+    for (int i = 0; i < 4; ++i) a[i] = wrap_two_pi(a[i]);
+    return load4(a);
+}
+
+/// Lane-scalar paired sin/cos (same sincos_pair the scalar kernels use).
+void sincos4(const Vec4d& x, Vec4d& s, Vec4d& c) {
+    double a[4], sa[4], ca[4];
+    store4(x, a);
+    for (int i = 0; i < 4; ++i) sincos_pair(a[i], sa[i], ca[i]);
+    s = load4(sa);
+    c = load4(ca);
+}
+
+/// Shared body for the full-state and position-only entry points.
+/// kWithVelocity = false skips the velocity-only lanes (rdotl, rvdotl,
+/// mvt, rvdot, the v orientation vector) and writes Vec3 positions into
+/// out_pos; otherwise full StateVectors go to out_sv. The position
+/// arithmetic is identical either way, mirroring the scalar
+/// sgp4_finish_core template.
+template <bool kWithVelocity>
+void propagate_fast_simd_impl(const FastView& v, const double* minutes,
+                              std::size_t begin, std::size_t end, StateVector* out_sv,
+                              Vec3* out_pos, Sgp4Status* status) {
+    const Vec4d one = bcast4(1.0);
+    const Vec4d half_j2 = bcast4(0.5 * kJ2);       // matches scalar 0.5 * kJ2 * temp
+    const Vec4d xke = bcast4(kXke);
+    const Vec4d vkmpersec = bcast4(kRe * kXke / 60.0);
+    const Vec4d re = bcast4(kRe);
+
+    for (std::size_t i = begin; i < end; i += 4) {
+        const std::size_t r = i - begin;  // relative index for minutes/out/status
+        const Vec4d t = load4(minutes + r);
+
+        // ---- secular rates (drag terms are exactly zero) ----
+        const Vec4d xmdf = add4(load4(v.mean_anomaly + i), mul4(load4(v.mdot + i), t));
+        const Vec4d argpdf = add4(load4(v.argp + i), mul4(load4(v.argpdot + i), t));
+        const Vec4d nodedf = add4(load4(v.raan + i), mul4(load4(v.nodedot + i), t));
+
+        const Vec4d nodem = wrap4(nodedf);
+        const Vec4d argpm = wrap4(argpdf);
+        const Vec4d xlm = wrap4(add4(add4(xmdf, argpdf), nodedf));
+        const Vec4d mm = wrap4(sub4(sub4(xlm, argpm), nodem));
+
+        // ---- long-period periodics (hoisted temp terms) ----
+        Vec4d sin_argpm, cos_argpm;
+        sincos4(argpm, sin_argpm, cos_argpm);
+        const Vec4d em = load4(v.em + i);
+        const Vec4d axnl = mul4(em, cos_argpm);
+        const Vec4d aynl = add4(mul4(em, sin_argpm), load4(v.aycof_t + i));
+        const Vec4d xl =
+            add4(add4(add4(mm, argpm), nodem), mul4(load4(v.xlcof_t + i), axnl));
+
+        // ---- Kepler's equation, masked per-lane iteration ----
+        const Vec4d u = wrap4(sub4(xl, nodem));
+        Vec4d eo1 = u;
+        Vec4d sineo1 = bcast4(0.0), coseo1 = bcast4(0.0);
+        Mask4 active = mask_all4();
+        const Vec4d conv_eps = bcast4(1.0e-12);
+        const Vec4d clamp_hi = bcast4(0.95);
+        const Vec4d clamp_lo = bcast4(-0.95);
+        const Vec4d zero = bcast4(0.0);
+        for (int ktr = 1; ktr <= 10 && any4(active); ++ktr) {
+            // sincos only for still-active lanes; frozen lanes keep the
+            // values from their last active iteration, exactly like the
+            // scalar loop's exit state.
+            double e4[4], s4[4], c4[4];
+            store4(eo1, e4);
+            store4(sineo1, s4);
+            store4(coseo1, c4);
+            for (int l = 0; l < 4; ++l) {
+                if (lane4(active, l)) sincos_pair(e4[l], s4[l], c4[l]);
+            }
+            sineo1 = load4(s4);
+            coseo1 = load4(c4);
+            // tem5 = 1 - coseo1*axnl - sineo1*aynl
+            Vec4d tem5 = sub4(sub4(one, mul4(coseo1, axnl)), mul4(sineo1, aynl));
+            // tem5 = (u - aynl*coseo1 + axnl*sineo1 - eo1) / tem5
+            tem5 = div4(sub4(add4(sub4(u, mul4(aynl, coseo1)), mul4(axnl, sineo1)), eo1),
+                        tem5);
+            const Mask4 big = cmp_ge4(abs4(tem5), clamp_hi);
+            const Vec4d clamped = blend4(cmp_gt4(tem5, zero), clamp_lo, clamp_hi);
+            tem5 = blend4(big, tem5, clamped);
+            eo1 = blend4(active, eo1, add4(eo1, tem5));
+            active = mask_and4(active, cmp_ge4(abs4(tem5), conv_eps));
+        }
+
+        // ---- short-period periodics ----
+        const Vec4d am = load4(v.am + i);
+        const Vec4d ecose = add4(mul4(axnl, coseo1), mul4(aynl, sineo1));
+        const Vec4d esine = sub4(mul4(axnl, sineo1), mul4(aynl, coseo1));
+        const Vec4d el2 = add4(mul4(axnl, axnl), mul4(aynl, aynl));
+        const Vec4d pl = mul4(am, sub4(one, el2));
+        const Mask4 pl_bad = cmp_lt4(pl, zero);
+
+        const Vec4d rl = mul4(am, sub4(one, ecose));
+        Vec4d rdotl = bcast4(0.0), rvdotl = bcast4(0.0);
+        if constexpr (kWithVelocity) {
+            rdotl = div4(mul4(sqrt4(am), esine), rl);
+            rvdotl = div4(sqrt4(pl), rl);
+        }
+        const Vec4d betal = sqrt4(sub4(one, el2));
+        Vec4d temp = div4(esine, add4(one, betal));
+        const Vec4d am_rl = div4(am, rl);
+        const Vec4d sinu = mul4(am_rl, sub4(sub4(sineo1, aynl), mul4(axnl, temp)));
+        const Vec4d cosu = mul4(am_rl, add4(sub4(coseo1, axnl), mul4(aynl, temp)));
+        // su = atan2(sinu, cosu), lane-scalar.
+        Vec4d su;
+        {
+            double s4[4], c4[4], o4[4];
+            store4(sinu, s4);
+            store4(cosu, c4);
+            for (int l = 0; l < 4; ++l) o4[l] = std::atan2(s4[l], c4[l]);
+            su = load4(o4);
+        }
+        const Vec4d sin2u = mul4(add4(cosu, cosu), sinu);
+        const Vec4d cos2u = sub4(one, mul4(mul4(bcast4(2.0), sinu), sinu));
+        temp = div4(one, pl);
+        const Vec4d temp1 = mul4(half_j2, temp);
+        const Vec4d temp2 = mul4(temp1, temp);
+
+        const Vec4d con41 = load4(v.con41 + i);
+        const Vec4d x1mth2 = load4(v.x1mth2 + i);
+        const Vec4d x7thm1 = load4(v.x7thm1 + i);
+        const Vec4d t2_15 = mul4(bcast4(1.5), temp2);  // matches scalar 1.5 * temp2
+        const Vec4d mrt =
+            add4(mul4(rl, sub4(one, mul4(mul4(t2_15, betal), con41))),
+                 mul4(mul4(mul4(bcast4(0.5), temp1), x1mth2), cos2u));
+        su = sub4(su, mul4(mul4(mul4(bcast4(0.25), temp2), x7thm1), sin2u));
+        const Vec4d cosim = load4(v.cosim + i);
+        const Vec4d sinim = load4(v.sinim + i);
+        const Vec4d xnode = add4(nodem, mul4(mul4(t2_15, cosim), sin2u));
+        const Vec4d xinc =
+            add4(load4(v.inclo + i), mul4(mul4(mul4(t2_15, cosim), sinim), cos2u));
+
+        // ---- orientation vectors and final state ----
+        Vec4d sinsu, cossu, snod, cnod, sini, cosi;
+        sincos4(su, sinsu, cossu);
+        sincos4(xnode, snod, cnod);
+        sincos4(xinc, sini, cosi);
+        const Vec4d xmx = mul4(neg4(snod), cosi);
+        const Vec4d xmy = mul4(cnod, cosi);
+        const Vec4d ux = add4(mul4(xmx, sinsu), mul4(cnod, cossu));
+        const Vec4d uy = add4(mul4(xmy, sinsu), mul4(snod, cossu));
+        const Vec4d uz = mul4(sini, sinsu);
+
+        const Mask4 mrt_bad = cmp_lt4(mrt, one);
+
+        const Vec4d mrt_re = mul4(mrt, re);
+        const Vec4d px = mul4(mrt_re, ux);
+        const Vec4d py = mul4(mrt_re, uy);
+        const Vec4d pz = mul4(mrt_re, uz);
+
+        double px4[4], py4[4], pz4[4], wx4[4], wy4[4], wz4[4];
+        store4(px, px4);
+        store4(py, py4);
+        store4(pz, pz4);
+        if constexpr (kWithVelocity) {
+            const Vec4d nm = load4(v.nm + i);
+            const Vec4d nm_temp1 = mul4(nm, temp1);
+            const Vec4d mvt =
+                sub4(rdotl, div4(mul4(mul4(nm_temp1, x1mth2), sin2u), xke));
+            const Vec4d rvdot =
+                add4(rvdotl, div4(mul4(nm_temp1, add4(mul4(x1mth2, cos2u),
+                                                      mul4(bcast4(1.5), con41))),
+                                  xke));
+            const Vec4d vx = sub4(mul4(xmx, cossu), mul4(cnod, sinsu));
+            const Vec4d vy = sub4(mul4(xmy, cossu), mul4(snod, sinsu));
+            const Vec4d vz = mul4(sini, cossu);
+            const Vec4d wx = mul4(add4(mul4(mvt, ux), mul4(rvdot, vx)), vkmpersec);
+            const Vec4d wy = mul4(add4(mul4(mvt, uy), mul4(rvdot, vy)), vkmpersec);
+            const Vec4d wz = mul4(add4(mul4(mvt, uz), mul4(rvdot, vz)), vkmpersec);
+            store4(wx, wx4);
+            store4(wy, wy4);
+            store4(wz, wz4);
+        }
+        for (int l = 0; l < 4; ++l) {
+            // Same failure precedence as the scalar kernel: the
+            // semi-latus check fires before the decay check.
+            if (lane4(pl_bad, l)) {
+                status[r + l] = Sgp4Status::kNegativeSemiLatus;
+            } else if (lane4(mrt_bad, l)) {
+                status[r + l] = Sgp4Status::kDecayed;
+            } else {
+                status[r + l] = Sgp4Status::kOk;
+            }
+            if constexpr (kWithVelocity) {
+                out_sv[r + l].position_km = {px4[l], py4[l], pz4[l]};
+                out_sv[r + l].velocity_km_per_s = {wx4[l], wy4[l], wz4[l]};
+            } else {
+                out_pos[r + l] = {px4[l], py4[l], pz4[l]};
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void propagate_fast_simd(const FastView& view, const double* minutes,
+                         std::size_t begin, std::size_t end, StateVector* out,
+                         Sgp4Status* status) {
+    propagate_fast_simd_impl<true>(view, minutes, begin, end, out, nullptr, status);
+}
+
+void propagate_fast_simd_pos(const FastView& view, const double* minutes,
+                             std::size_t begin, std::size_t end, Vec3* out_pos,
+                             Sgp4Status* status) {
+    propagate_fast_simd_impl<false>(view, minutes, begin, end, nullptr, out_pos,
+                                    status);
+}
+
+}  // namespace hypatia::orbit::batch_detail
+
+namespace hypatia::orbit {
+
+const char* sgp4_simd_isa() { return util::simd::isa_name(); }
+
+}  // namespace hypatia::orbit

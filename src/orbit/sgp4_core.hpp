@@ -1,0 +1,314 @@
+// The SGP4 arithmetic itself, shared by every kernel (DESIGN.md §11).
+//
+// sgp4_propagate_core() is a line-for-line factoring of the original
+// Sgp4::propagate_minutes(): same expressions, same evaluation order,
+// same libm calls. Because the scalar class and the SoA batch kernel
+// both inline THIS function (and the baseline x86-64 / aarch64 builds
+// carry no FMA contraction for plain C++ expressions), their outputs
+// are bit-identical by construction; tests/test_sgp4_differential.cpp
+// pins that equivalence.
+//
+// sgp4_propagate_fast() is the batched hot path for zero-drag elements
+// (every generated TLE in this repo: bstar == 0). It skips the drag
+// blocks whose coefficients are exactly zero and substitutes init-time
+// precomputations (Sgp4FastConsts) for per-call recomputation of
+// t-invariant subexpressions. Each substitution is an algebraic
+// identity at the bit level:
+//   * cc1 == d2 == d3 == d4 == 0  =>  tempa == 1.0 exactly, so
+//     am = pow(xke/no, 2/3) * tempa * tempa reduces to the init-time
+//     pow value, and nm = xke / pow(am, 1.5) is likewise constant;
+//   * bstar == 0 (with omgcof/xmcof/t2cof..t5cof zero)  =>  tempe and
+//     templ are (signed) zeros, so em = ecco - tempe == ecco and
+//     mm = xmdf + no_unkozai * templ == xmdf bit for bit (x + 0.0 == x
+//     for every x except x == -0.0, which cannot arise from the sums
+//     of real element values and secular rates involved);
+//   * sin/cos of the constant inclination and 1/(am*(1-em^2)) move to
+//     init time unchanged — same expression, same inputs, same bits;
+//   * paired sin/cos of one argument go through sincos(), which glibc
+//     evaluates with the same kernels as the separate calls (verified
+//     bit-exact over millions of samples by the differential test).
+// The differential harness runs both paths over the same elements and
+// byte-compares, so any platform where one of these identities failed
+// to hold would fail loudly, not drift silently.
+#pragma once
+
+#include <cmath>
+
+#include "src/orbit/sgp4.hpp"
+
+namespace hypatia::orbit {
+
+namespace sgp4_detail {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+// WGS72 gravity constants in SGP4's canonical units.
+constexpr double kRe = Wgs72::kEarthRadiusKm;
+constexpr double kJ2 = Wgs72::kJ2;
+constexpr double kJ3 = Wgs72::kJ3;
+constexpr double kJ4 = Wgs72::kJ4;
+constexpr double kJ3oJ2 = kJ3 / kJ2;
+inline const double kXke = 60.0 / std::sqrt(kRe * kRe * kRe / Wgs72::kMuKm3PerS2);
+
+inline double wrap_two_pi(double x) {
+    x = std::fmod(x, kTwoPi);
+    if (x < 0.0) x += kTwoPi;
+    return x;
+}
+
+/// sin and cos of one argument in a single libm call. glibc's sincos
+/// shares its reduction and polynomial kernels with sin/cos, so the
+/// results are bit-identical to the separate calls — the property the
+/// kernels rely on and the differential harness verifies.
+inline void sincos_pair(double x, double& s, double& c) {
+#if defined(__GLIBC__) || defined(__linux__)
+    ::sincos(x, &s, &c);
+#else
+    s = std::sin(x);
+    c = std::cos(x);
+#endif
+}
+
+}  // namespace sgp4_detail
+
+/// The kernel tail from Kepler's equation onward, shared between the
+/// reference path and the zero-drag fast path (identical code from this
+/// point — the fast path only changes how the inputs were produced, not
+/// the downstream arithmetic). `nm` here is the post-drag mean motion
+/// (kXke / am^1.5), `am` the post-drag semi-major axis.
+///
+/// With kWithVelocity = false the velocity-only terms (rdotl, rvdotl,
+/// mvt, rvdot, the v orientation vector) are skipped entirely and
+/// out.velocity_km_per_s is left untouched; the position arithmetic is
+/// the same expressions in the same order, so positions stay
+/// bit-identical to the full evaluation. Cache warming — which stores
+/// positions only — runs this variant.
+/// con41/x1mth2/x7thm1 are passed as plain doubles (rather than via
+/// Sgp4Consts) so the SoA batch loops can feed column values without
+/// touching the AoS struct — same values, same bits either way.
+template <bool kWithVelocity = true>
+inline Sgp4Status sgp4_finish_core(double con41, double x1mth2, double x7thm1,
+                                   double nm, double am, double sinim, double cosim,
+                                   double axnl, double aynl, double xl, double nodem,
+                                   double inclm, StateVector& out) {
+    using namespace sgp4_detail;
+
+    // ---- Kepler's equation (modified for the long-period terms) ----
+    const double u = wrap_two_pi(xl - nodem);
+    double eo1 = u;
+    double tem5 = 9999.9;
+    double sineo1 = 0.0, coseo1 = 0.0;
+    for (int ktr = 1; std::abs(tem5) >= 1.0e-12 && ktr <= 10; ++ktr) {
+        sincos_pair(eo1, sineo1, coseo1);
+        tem5 = 1.0 - coseo1 * axnl - sineo1 * aynl;
+        tem5 = (u - aynl * coseo1 + axnl * sineo1 - eo1) / tem5;
+        if (std::abs(tem5) >= 0.95) tem5 = tem5 > 0.0 ? 0.95 : -0.95;
+        eo1 += tem5;
+    }
+
+    // ---- short-period periodics ----
+    const double ecose = axnl * coseo1 + aynl * sineo1;
+    const double esine = axnl * sineo1 - aynl * coseo1;
+    const double el2 = axnl * axnl + aynl * aynl;
+    const double pl = am * (1.0 - el2);
+    if (pl < 0.0) return Sgp4Status::kNegativeSemiLatus;
+
+    const double rl = am * (1.0 - ecose);
+    double rdotl = 0.0, rvdotl = 0.0;
+    if constexpr (kWithVelocity) {
+        rdotl = std::sqrt(am) * esine / rl;
+        rvdotl = std::sqrt(pl) / rl;
+    }
+    const double betal = std::sqrt(1.0 - el2);
+    double temp = esine / (1.0 + betal);
+    const double sinu = am / rl * (sineo1 - aynl - axnl * temp);
+    const double cosu = am / rl * (coseo1 - axnl + aynl * temp);
+    double su = std::atan2(sinu, cosu);
+    const double sin2u = (cosu + cosu) * sinu;
+    const double cos2u = 1.0 - 2.0 * sinu * sinu;
+    temp = 1.0 / pl;
+    const double temp1 = 0.5 * kJ2 * temp;
+    const double temp2 = temp1 * temp;
+
+    const double mrt =
+        rl * (1.0 - 1.5 * temp2 * betal * con41) + 0.5 * temp1 * x1mth2 * cos2u;
+    su -= 0.25 * temp2 * x7thm1 * sin2u;
+    const double xnode = nodem + 1.5 * temp2 * cosim * sin2u;
+    const double xinc = inclm + 1.5 * temp2 * cosim * sinim * cos2u;
+
+    // ---- orientation vectors and final state ----
+    double sinsu, cossu;
+    sincos_pair(su, sinsu, cossu);
+    double snod, cnod;
+    sincos_pair(xnode, snod, cnod);
+    double sini, cosi;
+    sincos_pair(xinc, sini, cosi);
+    const double xmx = -snod * cosi;
+    const double xmy = cnod * cosi;
+    const double ux = xmx * sinsu + cnod * cossu;
+    const double uy = xmy * sinsu + snod * cossu;
+    const double uz = sini * sinsu;
+
+    if (mrt < 1.0) return Sgp4Status::kDecayed;
+
+    out.position_km = {mrt * kRe * ux, mrt * kRe * uy, mrt * kRe * uz};
+    if constexpr (kWithVelocity) {
+        const double mvt = rdotl - nm * temp1 * x1mth2 * sin2u / kXke;
+        const double rvdot =
+            rvdotl + nm * temp1 * (x1mth2 * cos2u + 1.5 * con41) / kXke;
+        const double vx = xmx * cossu - cnod * sinsu;
+        const double vy = xmy * cossu - snod * sinsu;
+        const double vz = sini * cossu;
+        const double vkmpersec = kRe * kXke / 60.0;
+        out.velocity_km_per_s = {(mvt * ux + rvdot * vx) * vkmpersec,
+                                 (mvt * uy + rvdot * vy) * vkmpersec,
+                                 (mvt * uz + rvdot * vz) * vkmpersec};
+    }
+    return Sgp4Status::kOk;
+}
+
+/// The reference propagation: the exact arithmetic of the original
+/// Sgp4::propagate_minutes, with the four failure throws turned into
+/// early status returns (same checks, same order). `out` is valid only
+/// when the return is kOk.
+inline Sgp4Status sgp4_propagate_core(const Sgp4Consts& k, double t, StateVector& out) {
+    using namespace sgp4_detail;
+    const Sgp4Elements& el = k.el;
+
+    // ---- secular gravity and atmospheric drag ----
+    const double xmdf = el.mean_anomaly_rad + k.mdot * t;
+    const double argpdf = el.arg_perigee_rad + k.argpdot * t;
+    const double nodedf = el.raan_rad + k.nodedot * t;
+    double argpm = argpdf;
+    double mm = xmdf;
+    const double t2 = t * t;
+    double nodem = nodedf + k.nodecf * t2;
+    double tempa = 1.0 - k.cc1 * t;
+    double tempe = el.bstar * k.cc4 * t;
+    double templ = k.t2cof * t2;
+
+    if (k.isimp != 1) {
+        const double delomg = k.omgcof * t;
+        const double delm =
+            k.xmcof * (std::pow(1.0 + k.eta * std::cos(xmdf), 3.0) - k.delmo);
+        const double temp = delomg + delm;
+        mm = xmdf + temp;
+        argpm = argpdf - temp;
+        const double t3 = t2 * t;
+        const double t4 = t3 * t;
+        tempa = tempa - k.d2 * t2 - k.d3 * t3 - k.d4 * t4;
+        tempe = tempe + el.bstar * k.cc5 * (std::sin(mm) - k.sinmao);
+        templ = templ + k.t3cof * t3 + t4 * (k.t4cof + t * k.t5cof);
+    }
+
+    const double nm = k.no_unkozai;
+    double em = el.eccentricity;
+    const double inclm = el.inclination_rad;
+
+    const double am = std::pow(kXke / nm, 2.0 / 3.0) * tempa * tempa;
+    const double nm_new = kXke / std::pow(am, 1.5);
+    em -= tempe;
+    if (em >= 1.0 || em < -0.001) return Sgp4Status::kEccentricityDiverged;
+    if (am < 0.95) return Sgp4Status::kSemiMajorDecayed;
+    if (em < 1.0e-6) em = 1.0e-6;
+    mm += k.no_unkozai * templ;
+    double xlm = mm + argpm + nodem;
+    const double emsq = em * em;
+
+    nodem = wrap_two_pi(nodem);
+    argpm = wrap_two_pi(argpm);
+    xlm = wrap_two_pi(xlm);
+    mm = wrap_two_pi(xlm - argpm - nodem);
+
+    double sinim, cosim;
+    sincos_pair(inclm, sinim, cosim);
+
+    // ---- long-period periodics ----
+    double sin_argpm, cos_argpm;
+    sincos_pair(argpm, sin_argpm, cos_argpm);
+    const double axnl = em * cos_argpm;
+    const double temp = 1.0 / (am * (1.0 - emsq));
+    const double aynl = em * sin_argpm + temp * k.aycof;
+    const double xl = mm + argpm + nodem + temp * k.xlcof * axnl;
+
+    return sgp4_finish_core(k.con41, k.x1mth2, k.x7thm1, nm_new, am, sinim, cosim,
+                            axnl, aynl, xl, nodem, inclm, out);
+}
+
+/// True when every drag-derived coefficient is exactly zero, i.e. the
+/// fast path's algebraic identities apply. bstar == 0 forces cc1, and
+/// cc1 == 0 forces d2/d3/d4/t2cof..t5cof/nodecf, but the flag checks
+/// each coefficient it relies on rather than the derivation chain.
+inline bool sgp4_zero_drag(const Sgp4Consts& k) {
+    return k.el.bstar == 0.0 && k.cc1 == 0.0 && k.d2 == 0.0 && k.d3 == 0.0 &&
+           k.d4 == 0.0 && k.omgcof == 0.0 && k.xmcof == 0.0 && k.nodecf == 0.0 &&
+           k.t2cof == 0.0 && k.t3cof == 0.0 && k.t4cof == 0.0 && k.t5cof == 0.0;
+}
+
+/// t-invariant subexpressions of the zero-drag propagation, hoisted to
+/// init time. Every field is computed by the *same expression* the
+/// reference path evaluates per call, so substituting it is bit-exact.
+struct Sgp4FastConsts {
+    double am = 0;       // pow(xke/no_unkozai, 2/3) (tempa == 1 exactly)
+    double nm = 0;       // xke / pow(am, 1.5)
+    double em = 0;       // ecco, clamped at 1e-6 like the per-call path
+    double sinim = 0;    // sin(inclo)
+    double cosim = 0;    // cos(inclo)
+    double aycof_t = 0;  // (1/(am*(1-em^2))) * aycof
+    double xlcof_t = 0;  // (1/(am*(1-em^2))) * xlcof
+};
+
+inline Sgp4FastConsts sgp4_fast_consts(const Sgp4Consts& k) {
+    using namespace sgp4_detail;
+    Sgp4FastConsts f;
+    f.am = std::pow(kXke / k.no_unkozai, 2.0 / 3.0);
+    f.nm = kXke / std::pow(f.am, 1.5);
+    f.em = k.el.eccentricity;
+    if (f.em < 1.0e-6) f.em = 1.0e-6;
+    sincos_pair(k.el.inclination_rad, f.sinim, f.cosim);
+    const double emsq = f.em * f.em;
+    const double temp = 1.0 / (f.am * (1.0 - emsq));
+    f.aycof_t = temp * k.aycof;
+    f.xlcof_t = temp * k.xlcof;
+    return f;
+}
+
+/// Zero-drag propagation: valid only when sgp4_zero_drag(k) holds.
+/// Produces bit-identical results to sgp4_propagate_core (see the
+/// header comment for the identity argument; the differential harness
+/// enforces it). The em >= 1 / am < 0.95 decay checks are vacuous here:
+/// both quantities are init-time constants already validated by
+/// sgp4_init_consts, exactly as the reference path (whose tempa/tempe
+/// are identically 1 and 0) can never trip them for these elements.
+/// kWithVelocity = false propagates the position only (velocity output
+/// untouched), see sgp4_finish_core.
+template <bool kWithVelocity = true>
+inline Sgp4Status sgp4_propagate_fast(const Sgp4Consts& k, const Sgp4FastConsts& f,
+                                      double t, StateVector& out) {
+    using namespace sgp4_detail;
+    const Sgp4Elements& el = k.el;
+
+    // Secular rates only: with every drag coefficient zero, the
+    // reference path's tempa/tempe/templ corrections vanish exactly.
+    const double xmdf = el.mean_anomaly_rad + k.mdot * t;
+    const double argpdf = el.arg_perigee_rad + k.argpdot * t;
+    const double nodedf = el.raan_rad + k.nodedot * t;
+
+    const double nodem = wrap_two_pi(nodedf);
+    const double argpm = wrap_two_pi(argpdf);
+    const double xlm = wrap_two_pi(xmdf + argpdf + nodedf);
+    const double mm = wrap_two_pi(xlm - argpm - nodem);
+
+    // ---- long-period periodics (hoisted temp terms) ----
+    double sin_argpm, cos_argpm;
+    sincos_pair(argpm, sin_argpm, cos_argpm);
+    const double axnl = f.em * cos_argpm;
+    const double aynl = f.em * sin_argpm + f.aycof_t;
+    const double xl = mm + argpm + nodem + f.xlcof_t * axnl;
+
+    return sgp4_finish_core<kWithVelocity>(k.con41, k.x1mth2, k.x7thm1, f.nm, f.am,
+                                           f.sinim, f.cosim, axnl, aynl, xl, nodem,
+                                           el.inclination_rad, out);
+}
+
+}  // namespace hypatia::orbit

@@ -1,5 +1,7 @@
 #include "src/topology/mobility.hpp"
 
+#include <stdexcept>
+
 #include "src/obs/observability.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -9,7 +11,27 @@ SatelliteMobility::SatelliteMobility(const Constellation& constellation,
                                      TimeNs cache_quantum)
     : constellation_(&constellation), quantum_(cache_quantum),
       cache_(static_cast<std::size_t>(constellation.num_satellites())),
-      cache_fills_metric_(&obs::metrics().counter("propagation.sgp4_cache_fills")) {}
+      cache_fills_metric_(&obs::metrics().counter("propagation.sgp4_cache_fills")),
+      cache_hits_metric_(&obs::metrics().counter("orbit.sgp4_cache_hits")),
+      kernel_(orbit::sgp4_kernel_from_env()) {
+    // Build the SoA batch when every satellite runs SGP4 (GEO shells use
+    // Kepler+J2 and keep the scalar per-satellite path).
+    batch_ready_ = true;
+    for (const Satellite& sat : constellation.satellites()) {
+        if (sat.propagator_kind != PropagatorKind::kSgp4) {
+            batch_ready_ = false;
+            break;
+        }
+    }
+    if (batch_ready_ && constellation.num_satellites() > 0) {
+        batch_.reserve(cache_.size());
+        for (const Satellite& sat : constellation.satellites()) {
+            batch_.add(sat.sgp4->consts());
+        }
+    } else {
+        batch_ready_ = false;
+    }
+}
 
 Vec3 SatelliteMobility::position_ecef_exact(int sat_id, TimeNs t) const {
     const auto& sat = constellation_->satellite(sat_id);
@@ -71,14 +93,137 @@ Vec3 SatelliteMobility::position_ecef_warm(int sat_id, TimeNs t) const {
 }
 
 void SatelliteMobility::warm_cache(TimeNs t) const {
-    // Chunked so each worker amortizes its claim over ~dozens of SGP4
-    // propagations; every cache entry is touched by exactly one lane.
+    const TimeNs bucket = (t / quantum_) * quantum_;
+
+    // The batched path folds the warm-entry count into its own
+    // classification pass (one read of each entry instead of two).
+    if (batch_ready_ && kernel_ != orbit::Sgp4Kernel::kScalar) {
+        warm_cache_batched(t, bucket);
+        return;
+    }
+
+    const bool boundary = t == bucket;
+
+    // An entry is warm for t when its bucket endpoints are already
+    // propagated (off-boundary queries also need the bucket end).
+    // Re-warming those is pure waste — count them as hits and, when the
+    // whole cache is warm (warm_cache called twice in one epoch), skip
+    // the propagation pass entirely.
+    std::size_t hits = 0;
+    for (const CacheEntry& e : cache_) {
+        if (e.bucket_start == bucket && (boundary || e.at_end_valid)) ++hits;
+    }
+    if (hits > 0) cache_hits_metric_->inc(hits);
+    if (hits == cache_.size()) return;
+
+    // Scalar reference path: chunked so each worker amortizes its claim
+    // over ~dozens of SGP4 propagations; every cache entry is touched by
+    // exactly one lane.
     util::ThreadPool::global().parallel_for(
         cache_.size(), /*chunk=*/64, [&](std::size_t begin, std::size_t end) {
             for (std::size_t sat = begin; sat < end; ++sat) {
                 (void)position_ecef(static_cast<int>(sat), t);
             }
         });
+}
+
+void SatelliteMobility::warm_cache_batched(TimeNs t, TimeNs bucket) const {
+    const bool boundary = t == bucket;
+    const std::size_t n = cache_.size();
+    const auto start_jd = constellation_->epoch().plus_seconds(ns_to_seconds(bucket));
+    const auto end_jd =
+        constellation_->epoch().plus_seconds(ns_to_seconds(bucket + quantum_));
+
+    // Classify serially (cheap), propagate in parallel, write back
+    // serially. Results are per-satellite deterministic, so chunk count
+    // (= thread count) cannot change any output bit.
+    // Scratch buffers are members: warm_cache runs once per epoch and
+    // is documented single-caller, so reusing them drops ~80 KB of
+    // allocation + zeroing from every epoch. Entries are only read
+    // where the matching need flag is set, so stale contents are inert.
+    auto& need_start = scratch_.need_start;
+    auto& need_end = scratch_.need_end;
+    need_start.resize(n);
+    need_end.resize(n);
+    std::size_t fills = 0;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const CacheEntry& e = cache_[i];
+        need_start[i] = e.bucket_start != bucket ? 1 : 0;
+        need_end[i] = !boundary && (need_start[i] || !e.at_end_valid) ? 1 : 0;
+        fills += need_start[i];
+        // Warm for t: both endpoints this query needs are already
+        // propagated. Same predicate (and counter parity) as the scalar
+        // path's pre-scan, folded into this single pass.
+        if (!need_start[i] && (boundary || e.at_end_valid)) ++hits;
+    }
+    if (hits > 0) cache_hits_metric_->inc(hits);
+    if (hits == n) return;  // fully warm: propagate nothing, as scalar
+    // Counter parity with the scalar path, which counts bucket-start
+    // fills only (amortized: one inc per warm call, not per satellite).
+    if (fills > 0) cache_fills_metric_->inc(fills);
+
+    auto& starts = scratch_.starts;
+    auto& ends = scratch_.ends;
+    auto& st_start = scratch_.st_start;
+    auto& st_end = scratch_.st_end;
+    starts.resize(n);
+    ends.resize(boundary ? 0 : n);
+    st_start.resize(n);
+    st_end.resize(boundary ? 0 : n);
+
+    {
+        HYPATIA_PROFILE_SCOPE("propagation.sgp4");
+        util::ThreadPool::global().parallel_for(
+            n, /*chunk=*/256, [&](std::size_t begin, std::size_t end) {
+                auto run_batched = [&](const std::vector<std::uint8_t>& need,
+                                       const orbit::JulianDate& at, Vec3* out,
+                                       orbit::Sgp4Status* st) {
+                    std::size_t i = begin;
+                    while (i < end) {
+                        if (!need[i]) {
+                            ++i;
+                            continue;
+                        }
+                        std::size_t r = i;
+                        while (r < end && need[r]) ++r;
+                        batch_.propagate_ecef(kernel_, at, i, r, out + i, st + i);
+                        i = r;
+                    }
+                };
+                run_batched(need_start, start_jd, starts.data(), st_start.data());
+                if (!boundary) run_batched(need_end, end_jd, ends.data(), st_end.data());
+            });
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (need_start[i] && st_start[i] != orbit::Sgp4Status::kOk) {
+            throw std::runtime_error(orbit::sgp4_status_message(st_start[i]));
+        }
+        if (!boundary && need_end[i] && st_end[i] != orbit::Sgp4Status::kOk) {
+            throw std::runtime_error(orbit::sgp4_status_message(st_end[i]));
+        }
+    }
+
+    const double frac =
+        boundary ? 0.0
+                 : static_cast<double>(t - bucket) / static_cast<double>(quantum_);
+    for (std::size_t i = 0; i < n; ++i) {
+        CacheEntry& e = cache_[i];
+        if (need_start[i]) {
+            e.bucket_start = bucket;
+            e.at_start = starts[i];
+            e.at_end_valid = false;
+        }
+        if (!boundary && need_end[i]) {
+            e.at_end = ends[i];
+            e.at_end_valid = true;
+        }
+        // Same memo updates position_ecef would have made for this query.
+        e.interpolated =
+            boundary ? e.at_start : e.at_start + (e.at_end - e.at_start) * frac;
+        e.last_query = t;
+    }
 }
 
 }  // namespace hypatia::topo

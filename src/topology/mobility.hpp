@@ -4,12 +4,18 @@
 // satellite moves ~76 m per 10 ms, so the induced link-delay error is
 // below 0.3 microseconds, negligible against the paper's own tolerances
 // (its mobility model drifts 1-3 km per day, section 3.2).
+//
+// Propagation runs one of three byte-identical kernels (DESIGN.md §11):
+// the scalar per-satellite reference (default), or the SoA batch/SIMD
+// kernels (HYPATIA_SGP4_KERNEL=batch|simd) that warm the whole cache
+// with one Sgp4Batch call per epoch instead of per-satellite dispatch.
 #pragma once
 
 #include <vector>
 
 #include "src/obs/metrics.hpp"
 #include "src/orbit/coords.hpp"
+#include "src/orbit/sgp4_batch.hpp"
 #include "src/topology/constellation.hpp"
 #include "src/util/units.hpp"
 #include "src/util/vec3.hpp"
@@ -32,8 +38,13 @@ class SatelliteMobility {
     /// the global thread pool (each worker owns a disjoint range of
     /// satellites, so entries are written by exactly one thread). After
     /// warming, position_ecef(sat, t) is a pure cache hit for all sats.
-    /// Values are identical to on-demand fills at any thread count —
-    /// each entry is a deterministic function of (sat_id, time bucket).
+    /// Values are identical to on-demand fills at any thread count and
+    /// under any kernel — each entry is a deterministic function of
+    /// (sat_id, time bucket). Satellites already warm for `t` are
+    /// counted on orbit.sgp4_cache_hits and skipped (a second call in
+    /// the same epoch propagates nothing); with the batch/SIMD kernels
+    /// the misses are filled by one Sgp4Batch ECEF call per chunk with
+    /// the GMST rotation hoisted out of the per-satellite loop.
     void warm_cache(TimeNs t) const;
 
     /// Read-only position lookup: interpolates from the cached bucket
@@ -47,6 +58,16 @@ class SatelliteMobility {
 
     /// Uncached exact position (propagate + rotate), for tests.
     Vec3 position_ecef_exact(int sat_id, TimeNs t) const;
+
+    /// Which SGP4 kernel warm_cache uses. Initialized from
+    /// HYPATIA_SGP4_KERNEL (default scalar); constellations with any
+    /// non-SGP4 satellite (GEO shells) always run the scalar path.
+    orbit::Sgp4Kernel kernel() const { return kernel_; }
+    void set_kernel(orbit::Sgp4Kernel kernel) { kernel_ = kernel; }
+
+    /// True when the constellation is all-SGP4 and the SoA batch was
+    /// built (the batch/SIMD kernels apply).
+    bool batch_ready() const { return batch_ready_; }
 
     int num_satellites() const { return static_cast<int>(cache_.size()); }
     const Constellation& constellation() const { return *constellation_; }
@@ -65,10 +86,26 @@ class SatelliteMobility {
         bool at_end_valid = false;
     };
 
+    void warm_cache_batched(TimeNs t, TimeNs bucket) const;
+
+    /// Reusable scratch for warm_cache_batched (classification flags,
+    /// propagation outputs): warm_cache is a single-caller entry point,
+    /// so member scratch is safe and saves per-epoch allocations.
+    struct BatchScratch {
+        std::vector<std::uint8_t> need_start, need_end;
+        std::vector<Vec3> starts, ends;
+        std::vector<orbit::Sgp4Status> st_start, st_end;
+    };
+
     const Constellation* constellation_;
     TimeNs quantum_;
     mutable std::vector<CacheEntry> cache_;
+    mutable BatchScratch scratch_;
     obs::Counter* cache_fills_metric_;  // shared registry counter
+    obs::Counter* cache_hits_metric_;   // orbit.sgp4_cache_hits
+    orbit::Sgp4Batch batch_;            // SoA copy of all SGP4 consts
+    bool batch_ready_ = false;
+    orbit::Sgp4Kernel kernel_ = orbit::Sgp4Kernel::kScalar;
 };
 
 }  // namespace hypatia::topo

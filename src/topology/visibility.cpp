@@ -13,6 +13,13 @@ std::vector<SkyEntry> scan_sky(const orbit::GroundStation& gs,
                                bool warm_reads = false) {
     // Connectability follows Hypatia's cone model: slant range at most
     // max_gsl_range_km() and the satellite above the horizon.
+    //
+    // Under the batch/SIMD kernels, fill the whole position cache with
+    // one batched call up front: the per-satellite reads below then hit
+    // the cache instead of issuing one SGP4 propagation each. Values
+    // are bit-identical to on-demand fills (warm_cache contract), and
+    // repeat scans at the same epoch short-circuit on the hit counter.
+    if (mobility.kernel() != orbit::Sgp4Kernel::kScalar) mobility.warm_cache(t);
     const double max_range = mobility.constellation().params().max_gsl_range_km();
     std::vector<SkyEntry> out;
     const int n = mobility.num_satellites();

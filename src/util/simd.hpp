@@ -1,0 +1,214 @@
+// Portable 4-lane double SIMD wrapper (AVX2 / NEON / scalar fallback)
+// for the batched SGP4 kernel (DESIGN.md §11).
+//
+// Policy: ONLY IEEE-754 basic operations (add, sub, mul, div, sqrt,
+// negate, compare, blend) — each is correctly rounded per lane, so a
+// vector op produces bit-identical results to the corresponding scalar
+// op on each lane. NO fused-multiply-add, ever: FMA contracts a*b+c
+// into one rounding and would diverge from the scalar reference, which
+// is compiled for baselines without FMA. Transcendentals (sin, cos,
+// fmod, atan2) go through lane-scalar libm via store/load.
+//
+// Everything is `static inline`: this header is included from TUs built
+// with different ISA flags (sgp4_batch_simd.cpp gets -mavx2), and
+// internal linkage keeps those differently-compiled bodies from ever
+// colliding under the ODR.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define HYPATIA_SIMD_AVX2 1
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+#include <arm_neon.h>
+#define HYPATIA_SIMD_NEON 1
+#endif
+
+namespace hypatia::util::simd {
+
+inline constexpr int kLanes = 4;
+
+#if defined(HYPATIA_SIMD_AVX2)
+
+struct Vec4d {
+    __m256d v;
+};
+struct Mask4 {
+    __m256d v;  // all-ones / all-zeros per lane
+};
+
+static inline Vec4d load4(const double* p) { return {_mm256_loadu_pd(p)}; }
+static inline void store4(const Vec4d& a, double* p) { _mm256_storeu_pd(p, a.v); }
+static inline Vec4d bcast4(double x) { return {_mm256_set1_pd(x)}; }
+static inline Vec4d add4(const Vec4d& a, const Vec4d& b) { return {_mm256_add_pd(a.v, b.v)}; }
+static inline Vec4d sub4(const Vec4d& a, const Vec4d& b) { return {_mm256_sub_pd(a.v, b.v)}; }
+static inline Vec4d mul4(const Vec4d& a, const Vec4d& b) { return {_mm256_mul_pd(a.v, b.v)}; }
+static inline Vec4d div4(const Vec4d& a, const Vec4d& b) { return {_mm256_div_pd(a.v, b.v)}; }
+static inline Vec4d sqrt4(const Vec4d& a) { return {_mm256_sqrt_pd(a.v)}; }
+static inline Vec4d neg4(const Vec4d& a) {
+    return {_mm256_xor_pd(a.v, _mm256_set1_pd(-0.0))};  // exact sign flip, -0.0-safe
+}
+static inline Vec4d abs4(const Vec4d& a) {
+    return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+}
+static inline Mask4 cmp_lt4(const Vec4d& a, const Vec4d& b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
+}
+static inline Mask4 cmp_ge4(const Vec4d& a, const Vec4d& b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+}
+static inline Mask4 cmp_gt4(const Vec4d& a, const Vec4d& b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)};
+}
+static inline Mask4 mask_and4(const Mask4& a, const Mask4& b) {
+    return {_mm256_and_pd(a.v, b.v)};
+}
+/// b where mask lane is set, else a.
+static inline Vec4d blend4(const Mask4& m, const Vec4d& a, const Vec4d& b) {
+    return {_mm256_blendv_pd(a.v, b.v, m.v)};
+}
+static inline bool any4(const Mask4& m) { return _mm256_movemask_pd(m.v) != 0; }
+static inline bool lane4(const Mask4& m, int i) {
+    return (_mm256_movemask_pd(m.v) >> i) & 1;
+}
+static inline Mask4 mask_all4() {
+    return {_mm256_castsi256_pd(_mm256_set1_epi64x(-1))};
+}
+
+#elif defined(HYPATIA_SIMD_NEON)
+
+struct Vec4d {
+    float64x2_t lo, hi;
+};
+struct Mask4 {
+    uint64x2_t lo, hi;
+};
+
+static inline Vec4d load4(const double* p) { return {vld1q_f64(p), vld1q_f64(p + 2)}; }
+static inline void store4(const Vec4d& a, double* p) {
+    vst1q_f64(p, a.lo);
+    vst1q_f64(p + 2, a.hi);
+}
+static inline Vec4d bcast4(double x) { return {vdupq_n_f64(x), vdupq_n_f64(x)}; }
+static inline Vec4d add4(const Vec4d& a, const Vec4d& b) {
+    return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+}
+static inline Vec4d sub4(const Vec4d& a, const Vec4d& b) {
+    return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+}
+static inline Vec4d mul4(const Vec4d& a, const Vec4d& b) {
+    return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+}
+static inline Vec4d div4(const Vec4d& a, const Vec4d& b) {
+    return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+}
+static inline Vec4d sqrt4(const Vec4d& a) { return {vsqrtq_f64(a.lo), vsqrtq_f64(a.hi)}; }
+static inline Vec4d neg4(const Vec4d& a) { return {vnegq_f64(a.lo), vnegq_f64(a.hi)}; }
+static inline Vec4d abs4(const Vec4d& a) { return {vabsq_f64(a.lo), vabsq_f64(a.hi)}; }
+static inline Mask4 cmp_lt4(const Vec4d& a, const Vec4d& b) {
+    return {vcltq_f64(a.lo, b.lo), vcltq_f64(a.hi, b.hi)};
+}
+static inline Mask4 cmp_ge4(const Vec4d& a, const Vec4d& b) {
+    return {vcgeq_f64(a.lo, b.lo), vcgeq_f64(a.hi, b.hi)};
+}
+static inline Mask4 cmp_gt4(const Vec4d& a, const Vec4d& b) {
+    return {vcgtq_f64(a.lo, b.lo), vcgtq_f64(a.hi, b.hi)};
+}
+static inline Mask4 mask_and4(const Mask4& a, const Mask4& b) {
+    return {vandq_u64(a.lo, b.lo), vandq_u64(a.hi, b.hi)};
+}
+static inline Vec4d blend4(const Mask4& m, const Vec4d& a, const Vec4d& b) {
+    return {vbslq_f64(m.lo, b.lo, a.lo), vbslq_f64(m.hi, b.hi, a.hi)};
+}
+static inline bool any4(const Mask4& m) {
+    return (vgetq_lane_u64(m.lo, 0) | vgetq_lane_u64(m.lo, 1) |
+            vgetq_lane_u64(m.hi, 0) | vgetq_lane_u64(m.hi, 1)) != 0;
+}
+static inline bool lane4(const Mask4& m, int i) {
+    switch (i) {
+        case 0: return vgetq_lane_u64(m.lo, 0) != 0;
+        case 1: return vgetq_lane_u64(m.lo, 1) != 0;
+        case 2: return vgetq_lane_u64(m.hi, 0) != 0;
+        default: return vgetq_lane_u64(m.hi, 1) != 0;
+    }
+}
+static inline Mask4 mask_all4() {
+    return {vdupq_n_u64(~0ULL), vdupq_n_u64(~0ULL)};
+}
+
+#else  // scalar fallback: same 4-lane shape, plain double ops
+
+struct Vec4d {
+    double d[4];
+};
+struct Mask4 {
+    bool b[4];
+};
+
+static inline Vec4d load4(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+static inline void store4(const Vec4d& a, double* p) {
+    p[0] = a.d[0];
+    p[1] = a.d[1];
+    p[2] = a.d[2];
+    p[3] = a.d[3];
+}
+static inline Vec4d bcast4(double x) { return {{x, x, x, x}}; }
+#define HYPATIA_SIMD_LANEWISE(name, expr)                              \
+    static inline Vec4d name(const Vec4d& a, const Vec4d& b) {         \
+        Vec4d r;                                                       \
+        for (int i = 0; i < 4; ++i) r.d[i] = (expr);                   \
+        return r;                                                      \
+    }
+HYPATIA_SIMD_LANEWISE(add4, a.d[i] + b.d[i])
+HYPATIA_SIMD_LANEWISE(sub4, a.d[i] - b.d[i])
+HYPATIA_SIMD_LANEWISE(mul4, a.d[i] * b.d[i])
+HYPATIA_SIMD_LANEWISE(div4, a.d[i] / b.d[i])
+#undef HYPATIA_SIMD_LANEWISE
+static inline Vec4d sqrt4(const Vec4d& a) {
+    Vec4d r;
+    for (int i = 0; i < 4; ++i) r.d[i] = __builtin_sqrt(a.d[i]);
+    return r;
+}
+static inline Vec4d neg4(const Vec4d& a) { return {{-a.d[0], -a.d[1], -a.d[2], -a.d[3]}}; }
+static inline Vec4d abs4(const Vec4d& a) {
+    Vec4d r;
+    for (int i = 0; i < 4; ++i) r.d[i] = __builtin_fabs(a.d[i]);
+    return r;
+}
+#define HYPATIA_SIMD_CMP(name, op)                                     \
+    static inline Mask4 name(const Vec4d& a, const Vec4d& b) {         \
+        Mask4 m;                                                       \
+        for (int i = 0; i < 4; ++i) m.b[i] = a.d[i] op b.d[i];         \
+        return m;                                                      \
+    }
+HYPATIA_SIMD_CMP(cmp_lt4, <)
+HYPATIA_SIMD_CMP(cmp_ge4, >=)
+HYPATIA_SIMD_CMP(cmp_gt4, >)
+#undef HYPATIA_SIMD_CMP
+static inline Mask4 mask_and4(const Mask4& a, const Mask4& b) {
+    return {{a.b[0] && b.b[0], a.b[1] && b.b[1], a.b[2] && b.b[2], a.b[3] && b.b[3]}};
+}
+static inline Vec4d blend4(const Mask4& m, const Vec4d& a, const Vec4d& b) {
+    Vec4d r;
+    for (int i = 0; i < 4; ++i) r.d[i] = m.b[i] ? b.d[i] : a.d[i];
+    return r;
+}
+static inline bool any4(const Mask4& m) { return m.b[0] || m.b[1] || m.b[2] || m.b[3]; }
+static inline bool lane4(const Mask4& m, int i) { return m.b[i]; }
+static inline Mask4 mask_all4() { return {{true, true, true, true}}; }
+
+#endif
+
+/// Name of the lane implementation this TU was compiled with.
+static inline const char* isa_name() {
+#if defined(HYPATIA_SIMD_AVX2)
+    return "avx2";
+#elif defined(HYPATIA_SIMD_NEON)
+    return "neon";
+#else
+    return "generic";
+#endif
+}
+
+}  // namespace hypatia::util::simd

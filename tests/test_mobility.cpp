@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/observability.hpp"
+
 namespace hypatia::topo {
 namespace {
 
@@ -68,6 +70,57 @@ TEST(SatelliteMobility, EcefAltitudeStaysNominal) {
     for (TimeNs t = 0; t < 200 * kNsPerSec; t += 20 * kNsPerSec) {
         const double r = mob.position_ecef(3, t).norm();
         EXPECT_NEAR(r - orbit::Wgs72::kEarthRadiusKm, 550.0, 20.0);
+    }
+}
+
+TEST(SatelliteMobility, WarmCacheSecondCallPropagatesNothing) {
+    const auto c = mini();
+    const SatelliteMobility mob(c);
+    auto& fills = obs::metrics().counter("propagation.sgp4_cache_fills");
+    auto& hits = obs::metrics().counter("orbit.sgp4_cache_hits");
+    const auto n = static_cast<std::uint64_t>(c.num_satellites());
+
+    const TimeNs t = 7 * kNsPerMs;  // off-boundary: start + end endpoints
+    mob.warm_cache(t);
+    const std::uint64_t fills_after_first = fills.value();
+    const std::uint64_t hits_after_first = hits.value();
+
+    // Regression: a second warm_cache within the same bucket epoch must
+    // re-propagate nothing — every entry counts as a hit and the fill
+    // counter stays put.
+    mob.warm_cache(t);
+    EXPECT_EQ(fills.value(), fills_after_first);
+    EXPECT_EQ(hits.value(), hits_after_first + n);
+
+    // Same for a different off-boundary time in the same bucket (the
+    // cached endpoints cover the whole bucket).
+    mob.warm_cache(t + 2 * kNsPerMs);
+    EXPECT_EQ(fills.value(), fills_after_first);
+    EXPECT_EQ(hits.value(), hits_after_first + 2 * n);
+}
+
+TEST(SatelliteMobility, KernelsAgreeOnWarmCache) {
+    const auto c = mini();
+    SatelliteMobility scalar(c), batch(c), simd(c);
+    ASSERT_TRUE(batch.batch_ready());
+    scalar.set_kernel(orbit::Sgp4Kernel::kScalar);
+    batch.set_kernel(orbit::Sgp4Kernel::kBatch);
+    simd.set_kernel(orbit::Sgp4Kernel::kSimd);
+    for (TimeNs t : {TimeNs{0}, 13 * kNsPerMs, 5 * kNsPerSec}) {
+        scalar.warm_cache(t);
+        batch.warm_cache(t);
+        simd.warm_cache(t);
+        for (int sat = 0; sat < c.num_satellites(); ++sat) {
+            const Vec3 a = scalar.position_ecef_warm(sat, t);
+            const Vec3 b = batch.position_ecef_warm(sat, t);
+            const Vec3 s = simd.position_ecef_warm(sat, t);
+            EXPECT_EQ(a.x, b.x) << sat << " " << t;
+            EXPECT_EQ(a.y, b.y) << sat << " " << t;
+            EXPECT_EQ(a.z, b.z) << sat << " " << t;
+            EXPECT_EQ(a.x, s.x) << sat << " " << t;
+            EXPECT_EQ(a.y, s.y) << sat << " " << t;
+            EXPECT_EQ(a.z, s.z) << sat << " " << t;
+        }
     }
 }
 

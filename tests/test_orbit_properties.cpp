@@ -5,11 +5,13 @@
 // unit tests in test_sgp4 / test_tle.
 #include <cmath>
 #include <random>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/orbit/kepler.hpp"
 #include "src/orbit/sgp4.hpp"
+#include "src/orbit/sgp4_batch.hpp"
 #include "src/orbit/tle.hpp"
 #include "src/topology/constellation.hpp"
 
@@ -150,6 +152,91 @@ TEST_P(CoordRoundTrip, LookAnglesRangeMatchesDistance) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CoordRoundTrip, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------
+// Batch-kernel invariants: the SoA batch (simd kernel, the most
+// aggressive path) run over whole Table-1 shells must satisfy the same
+// physical properties as the scalar class — these sweeps would catch a
+// kernel that somehow stayed self-consistent but drifted physically.
+class BatchKernelInvariants : public ::testing::TestWithParam<topo::ShellParams> {};
+
+TEST_P(BatchKernelInvariants, AltitudeWithinShellBounds) {
+    const topo::Constellation c(GetParam(), epoch());
+    Sgp4Batch batch;
+    batch.reserve(static_cast<std::size_t>(c.num_satellites()));
+    for (const auto& sat : c.satellites()) batch.add(sat.sgp4->consts());
+    ASSERT_TRUE(batch.all_zero_drag());  // stock shells carry no drag term
+
+    const std::size_t n = batch.size();
+    std::vector<StateVector> out(n);
+    std::vector<Sgp4Status> st(n);
+    for (const double sec : {0.0, 600.0, 5400.0}) {
+        const auto at = epoch().plus_seconds(sec);
+        batch.propagate_teme(Sgp4Kernel::kSimd, at, 0, n, out.data(), st.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(st[i], Sgp4Status::kOk) << i;
+            // Circular orbits: the SGP4 radius stays within the J2
+            // oscillation band around the shell's nominal altitude.
+            const double alt = out[i].position_km.norm() - Wgs72::kEarthRadiusKm;
+            ASSERT_NEAR(alt, GetParam().altitude_km, 25.0)
+                << GetParam().name << " sat " << i << " t=" << sec;
+        }
+    }
+}
+
+TEST_P(BatchKernelInvariants, PeriodMatchesMeanMotion) {
+    const topo::Constellation c(GetParam(), epoch());
+    Sgp4Batch batch;
+    for (const auto& sat : c.satellites()) batch.add(sat.sgp4->consts());
+
+    // Un-Kozai'd mean motion must agree with the Keplerian period of
+    // the shell's semi-major axis, and propagating one full period must
+    // bring the satellite (nearly) back: only the slow J2 secular
+    // drifts (nodal precession ~ a fraction of a degree per orbit)
+    // separate the two states.
+    const double a_km = Wgs72::kEarthRadiusKm + GetParam().altitude_km;
+    const double period_kepler_min =
+        2.0 * M_PI * std::sqrt(a_km * a_km * a_km / Wgs72::kMuKm3PerS2) / 60.0;
+    for (std::size_t i = 0; i < batch.size(); i += 97) {
+        const double period_min = 2.0 * M_PI / batch.consts(i).no_unkozai;
+        ASSERT_NEAR(period_min / period_kepler_min, 1.0, 2e-3)
+            << GetParam().name << " sat " << i;
+
+        StateVector at0, at_period, at_half;
+        ASSERT_EQ(batch.propagate_one(i, 0.0, at0), Sgp4Status::kOk);
+        ASSERT_EQ(batch.propagate_one(i, period_min, at_period), Sgp4Status::kOk);
+        ASSERT_EQ(batch.propagate_one(i, period_min / 2.0, at_half),
+                  Sgp4Status::kOk);
+        ASSERT_LT(at0.position_km.distance_to(at_period.position_km), 120.0)
+            << GetParam().name << " sat " << i;
+        ASSERT_GT(at0.position_km.distance_to(at_half.position_km), 1000.0)
+            << GetParam().name << " sat " << i;
+    }
+}
+
+TEST_P(BatchKernelInvariants, EcefRoundTripWithinMillimeter) {
+    const topo::Constellation c(GetParam(), epoch());
+    Sgp4Batch batch;
+    for (const auto& sat : c.satellites()) batch.add(sat.sgp4->consts());
+
+    const std::size_t n = batch.size();
+    const auto at = epoch().plus_seconds(1234.5);
+    std::vector<Vec3> ecef(n);
+    std::vector<Sgp4Status> st(n);
+    batch.propagate_ecef(Sgp4Kernel::kSimd, at, 0, n, ecef.data(), st.data());
+    for (std::size_t i = 0; i < n; i += 13) {
+        ASSERT_EQ(st[i], Sgp4Status::kOk) << i;
+        // Round trip through the geodetic transforms in coords: the
+        // batch's ECEF output must be a fixed point to within 1 mm.
+        const Vec3 back = geodetic_to_ecef(ecef_to_geodetic(ecef[i]));
+        ASSERT_LT(back.distance_to(ecef[i]), 1e-6)
+            << GetParam().name << " sat " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShells, BatchKernelInvariants,
+                         ::testing::ValuesIn(topo::table1_shells()),
+                         [](const auto& info) { return info.param.name; });
 
 }  // namespace
 }  // namespace hypatia::orbit
