@@ -1,0 +1,283 @@
+// Full-sky routing benchmark: the per-epoch snapshot + pair-sweep
+// pipeline over the multi-shell presets ("full_sky" = every Table-1
+// shell as one ShellGroup, "starlink_gen2" = the 29,988-satellite Gen2
+// filing), measuring whether forwarding keeps up with real time at the
+// paper's 100 ms epoch granularity.
+//
+// Three phases:
+//   1. equivalence — steps the same epochs under HYPATIA_ROUTE_ALGO=
+//      dijkstra and =astar and asserts bitwise-identical RTTs and paths
+//      (the goal-directed search must change cost of nothing), recording
+//      the A* pop reduction.
+//   2. throughput — timed epochs per algorithm: epochs/s, the real-time
+//      factor epochs_per_s * step_s (>= 1 means forwarding outruns the
+//      constellation), queue pops/settled per epoch, and steady-state
+//      heap allocations per epoch (the workspace-reuse guard: growth
+//      proportional to the 30k-node graph would blow the bound).
+//   3. clustered — destination clustering on (--cluster-km), reporting
+//      the tree-count reduction and its epochs/s.
+//
+// Emits bench_output/BENCH_fullsky.json, gated in CI by tools/bench_diff
+// against bench/baselines/BENCH_fullsky.json. --orbit-div N shrinks
+// every shell's plane/slot counts by N (ceil) for the reduced CI slice.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/routing/pair_sweep.hpp"
+#include "src/topology/cities.hpp"
+#include "src/topology/constellation.hpp"
+#include "src/topology/shell_group.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void* p = nullptr;
+    if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+
+using namespace hypatia;
+
+namespace {
+
+struct ThroughputResult {
+    double epochs_per_s = 0.0;
+    double realtime_factor = 0.0;
+    double pops_per_epoch = 0.0;
+    double settled_per_epoch = 0.0;
+    double allocs_per_epoch = 0.0;
+};
+
+void set_algo(const char* algo) { setenv("HYPATIA_ROUTE_ALGO", algo, 1); }
+
+ThroughputResult measure(route::PairSweeper& sweeper, int warmup, int epochs,
+                         TimeNs step) {
+    TimeNs t = 0;
+    for (int e = 0; e < warmup; ++e, t += step) sweeper.step(t);
+    std::uint64_t pops = 0;
+    std::uint64_t settled = 0;
+    const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int e = 0; e < epochs; ++e, t += step) {
+        sweeper.step(t);
+        pops += sweeper.last_step_pops();
+        settled += sweeper.last_step_settled();
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const std::uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    ThroughputResult r;
+    r.epochs_per_s = static_cast<double>(epochs) / elapsed_s;
+    r.realtime_factor = r.epochs_per_s * (static_cast<double>(step) / static_cast<double>(kNsPerSec));
+    r.pops_per_epoch = static_cast<double>(pops) / epochs;
+    r.settled_per_epoch = static_cast<double>(settled) / epochs;
+    r.allocs_per_epoch = static_cast<double>(allocs) / epochs;
+    return r;
+}
+
+[[noreturn]] void fail(const char* what) {
+    std::fprintf(stderr, "bench_fullsky: FAILED: %s\n", what);
+    std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::BenchArgs args(argc, argv);
+    const std::string name = args.cli.get_string("constellation", "full_sky");
+    const long orbit_div = args.cli.get_long("orbit-div", 1);
+    const long num_gs = args.cli.get_long("gs", 100);
+    const long num_pairs = args.cli.get_long("pairs", 12);
+    const long warmup = args.cli.get_long("warmup", 5);
+    const long epochs = args.cli.get_long("epochs", 25);
+    const double step_ms = args.step_ms(100.0, 100.0);
+    const double cluster_km = args.cli.get_double("cluster-km", 1000.0);
+    args.cli.describe("constellation", "preset or shell name (full_sky, starlink_gen2, ...)");
+    args.cli.describe("orbit-div", "ceil-divide every shell's planes and slots (CI slice)");
+    args.cli.describe("gs", "number of ground stations (top cities)");
+    args.cli.describe("pairs", "number of GS pairs swept");
+    args.cli.describe("warmup", "untimed warmup epochs per phase");
+    args.cli.describe("epochs", "timed epochs per phase");
+    args.cli.describe("cluster-km", "destination clustering radius for phase 3");
+    args.finish_flags("full-sky multi-shell routing throughput");
+    args.manifest.set_param("constellation", name);
+    args.manifest.set_param("orbit_div", static_cast<double>(orbit_div));
+
+    auto shells = topo::constellation_shells(name);
+    if (orbit_div > 1) {
+        for (auto& s : shells) {
+            s.num_orbits = std::max<int>(3, (s.num_orbits + static_cast<int>(orbit_div) - 1) /
+                                                static_cast<int>(orbit_div));
+            s.sats_per_orbit =
+                std::max<int>(3, (s.sats_per_orbit + static_cast<int>(orbit_div) - 1) /
+                                     static_cast<int>(orbit_div));
+        }
+    }
+    const topo::ShellGroup group(shells, topo::default_epoch());
+
+    auto cities = topo::top100_cities();
+    if (num_gs < static_cast<long>(cities.size())) {
+        cities.erase(cities.begin() + static_cast<std::ptrdiff_t>(num_gs), cities.end());
+    }
+    std::vector<route::GsPair> pairs;
+    for (long i = 0; i < num_pairs; ++i) {
+        const int src = static_cast<int>(i % static_cast<long>(cities.size()));
+        const int dst = static_cast<int>((i + static_cast<long>(cities.size()) / 2) %
+                                         static_cast<long>(cities.size()));
+        if (src != dst) pairs.push_back({src, dst});
+    }
+    const TimeNs step = static_cast<TimeNs>(step_ms * static_cast<double>(kNsPerMs));
+
+    route::SweepOptions opts;
+    opts.dest_cluster_km = 0.0;  // phases 1-2 are exact; env must not leak in
+
+    bench::print_header("bench_fullsky: " + name);
+    std::printf("shells %d, satellites %d, ground stations %zu, pairs %zu, step %.0f ms\n",
+                group.num_shells(), group.num_satellites(), cities.size(), pairs.size(),
+                step_ms);
+
+    // --- Phase 1: Dijkstra/A* equivalence + pop reduction ------------------
+    const int kEquivEpochs = 3;
+    std::vector<std::vector<route::PairSweeper::Sample>> dijkstra_samples;
+    std::uint64_t equiv_dijkstra_pops = 0;
+    std::uint64_t equiv_astar_pops = 0;
+    {
+        set_algo("dijkstra");
+        route::PairSweeper sweeper(group, cities, pairs, opts);
+        for (int e = 0; e < kEquivEpochs; ++e) {
+            dijkstra_samples.push_back(sweeper.step(e * step));
+            equiv_dijkstra_pops += sweeper.last_step_pops();
+        }
+    }
+    {
+        set_algo("astar");
+        route::PairSweeper sweeper(group, cities, pairs, opts);
+        for (int e = 0; e < kEquivEpochs; ++e) {
+            const auto& samples = sweeper.step(e * step);
+            equiv_astar_pops += sweeper.last_step_pops();
+            for (std::size_t p = 0; p < samples.size(); ++p) {
+                if (samples[p].rtt_s != dijkstra_samples[static_cast<std::size_t>(e)][p].rtt_s) {
+                    fail("astar RTT differs from dijkstra");
+                }
+                if (samples[p].path != dijkstra_samples[static_cast<std::size_t>(e)][p].path) {
+                    fail("astar path differs from dijkstra");
+                }
+            }
+        }
+    }
+    if (equiv_astar_pops >= equiv_dijkstra_pops) {
+        fail("astar did not reduce queue pops");
+    }
+    const double pop_ratio = static_cast<double>(equiv_astar_pops) /
+                             static_cast<double>(equiv_dijkstra_pops);
+    std::printf("equivalence: %d epochs bitwise-identical; astar pops %.3fx of dijkstra\n",
+                kEquivEpochs, pop_ratio);
+
+    // --- Phase 2: throughput per algorithm ---------------------------------
+    set_algo("dijkstra");
+    route::PairSweeper dijkstra_sweeper(group, cities, pairs, opts);
+    const ThroughputResult dijkstra =
+        measure(dijkstra_sweeper, static_cast<int>(warmup), static_cast<int>(epochs), step);
+    set_algo("astar");
+    route::PairSweeper astar_sweeper(group, cities, pairs, opts);
+    const ThroughputResult astar =
+        measure(astar_sweeper, static_cast<int>(warmup), static_cast<int>(epochs), step);
+    std::printf("dijkstra: %.2f epochs/s (RTF %.2f), %.0f pops/epoch, %.0f allocs/epoch\n",
+                dijkstra.epochs_per_s, dijkstra.realtime_factor, dijkstra.pops_per_epoch,
+                dijkstra.allocs_per_epoch);
+    std::printf("astar:    %.2f epochs/s (RTF %.2f), %.0f pops/epoch, %.0f allocs/epoch\n",
+                astar.epochs_per_s, astar.realtime_factor, astar.pops_per_epoch,
+                astar.allocs_per_epoch);
+
+    // Steady-state allocations must stay proportional to the pair count
+    // (path result vectors), never to the 10k-30k-node graph: the
+    // workspace / calendar-queue / refresher buffers are reused.
+    const double alloc_bound = 64.0 + 8.0 * static_cast<double>(pairs.size());
+    if (dijkstra.allocs_per_epoch > alloc_bound || astar.allocs_per_epoch > alloc_bound) {
+        fail("steady-state allocations per epoch exceed the reuse bound");
+    }
+    if (name == "full_sky" && step_ms == 100.0 && astar.realtime_factor < 1.0) {
+        fail("full_sky astar real-time factor < 1 at 100 ms epochs");
+    }
+
+    // --- Phase 3: clustered destinations -----------------------------------
+    set_algo("astar");
+    route::SweepOptions copts = opts;
+    copts.dest_cluster_km = cluster_km;
+    route::PairSweeper clustered_sweeper(group, cities, pairs, copts);
+    const ThroughputResult clustered =
+        measure(clustered_sweeper, static_cast<int>(warmup), static_cast<int>(epochs), step);
+    std::printf("clustered (%.0f km): %zu trees for %zu destinations, %.2f epochs/s (RTF %.2f)\n",
+                cluster_km, clustered_sweeper.num_trees(), dijkstra_sweeper.num_trees(),
+                clustered.epochs_per_s, clustered.realtime_factor);
+
+    const std::string path = bench::out_path("BENCH_fullsky.json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) fail("cannot write BENCH_fullsky.json");
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"fullsky_routing\",\n"
+        "  \"constellation\": \"%s\",\n"
+        "  \"orbit_div\": %ld,\n"
+        "  \"num_shells\": %d,\n"
+        "  \"num_satellites\": %d,\n"
+        "  \"num_ground_stations\": %zu,\n"
+        "  \"num_pairs\": %zu,\n"
+        "  \"epoch_ms\": %.1f,\n"
+        "  \"measured_epochs\": %ld,\n"
+        "  \"equivalence\": {\"epochs\": %d, \"bitwise_identical\": true,\n"
+        "                    \"astar_pop_ratio\": %.4f},\n"
+        "  \"dijkstra\": {\"epochs_per_s\": %.4f, \"realtime_factor\": %.4f,\n"
+        "                \"pops_per_epoch\": %.1f, \"settled_per_epoch\": %.1f,\n"
+        "                \"allocs_per_epoch\": %.1f},\n"
+        "  \"astar\": {\"epochs_per_s\": %.4f, \"realtime_factor\": %.4f,\n"
+        "             \"pops_per_epoch\": %.1f, \"settled_per_epoch\": %.1f,\n"
+        "             \"allocs_per_epoch\": %.1f},\n"
+        "  \"clustered\": {\"cluster_km\": %.1f, \"trees\": %zu, \"destinations\": %zu,\n"
+        "                 \"epochs_per_s\": %.4f, \"realtime_factor\": %.4f}\n"
+        "}\n",
+        name.c_str(), orbit_div, group.num_shells(), group.num_satellites(),
+        cities.size(), pairs.size(), step_ms, epochs, kEquivEpochs, pop_ratio,
+        dijkstra.epochs_per_s, dijkstra.realtime_factor, dijkstra.pops_per_epoch,
+        dijkstra.settled_per_epoch, dijkstra.allocs_per_epoch, astar.epochs_per_s,
+        astar.realtime_factor, astar.pops_per_epoch, astar.settled_per_epoch,
+        astar.allocs_per_epoch, cluster_km, clustered_sweeper.num_trees(),
+        dijkstra_sweeper.num_trees(), clustered.epochs_per_s,
+        clustered.realtime_factor);
+    std::fclose(f);
+    std::printf("-> %s\n", path.c_str());
+    return 0;
+}

@@ -1,14 +1,67 @@
 #include "src/routing/forwarding.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 #include <unordered_set>
 
+#include "src/obs/observability.hpp"
+#include "src/orbit/coords.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace hypatia::route {
+
+namespace {
+
+// Central-angle great-circle distance between two ECEF points projected
+// onto the Earth sphere. For ground stations this is the usual surface
+// distance; satellites compare by ground track.
+double ecef_great_circle_km(const Vec3& a, const Vec3& b) {
+    const double denom = a.norm() * b.norm();
+    if (denom <= 0.0) return 0.0;
+    const double c = std::clamp(a.dot(b) / denom, -1.0, 1.0);
+    return orbit::Wgs72::kEarthRadiusKm * std::acos(c);
+}
+
+}  // namespace
+
+double dest_cluster_km_from_env() {
+    const char* v = std::getenv("HYPATIA_DEST_CLUSTER_KM");
+    if (v == nullptr) return 0.0;
+    char* end = nullptr;
+    const double km = std::strtod(v, &end);
+    if (end == v || !(km > 0.0)) return 0.0;
+    return km;
+}
+
+std::vector<std::vector<int>> cluster_destinations(const Graph& graph,
+                                                   const std::vector<int>& destinations,
+                                                   double cluster_km) {
+    std::vector<std::vector<int>> clusters;
+    const Vec3* const pos = graph.node_positions_data();
+    if (pos == nullptr || !(cluster_km > 0.0)) {
+        for (const int d : destinations) clusters.push_back({d});
+        return clusters;
+    }
+    for (const int d : destinations) {
+        bool placed = false;
+        for (auto& cluster : clusters) {
+            const int seed = cluster.front();
+            if (ecef_great_circle_km(pos[static_cast<std::size_t>(d)],
+                                     pos[static_cast<std::size_t>(seed)]) <=
+                cluster_km) {
+                cluster.push_back(d);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) clusters.push_back({d});
+    }
+    return clusters;
+}
 
 std::vector<int> ForwardingState::destinations() const {
     std::vector<int> ids;
@@ -101,11 +154,60 @@ void compute_forwarding_into(const Graph& graph, const std::vector<int>& destina
     thread_local std::vector<Edge> view_edges;
     graph.export_merged_csr(view_offsets, view_edges);
     const GraphView view{view_offsets.data(), view_edges.data(), graph.relay_data(),
-                         graph.num_nodes()};
+                         graph.node_positions_data(), graph.num_nodes()};
+    const RouteAlgo algo = route_algo_from_env();
+    const double cluster_km = dest_cluster_km_from_env();
+
+    if (cluster_km > 0.0 && view.positions != nullptr && unique.size() > 1) {
+        // One multi-source tree per cluster, installed for every member
+        // (see the header's clustered-semantics contract). Lanes write
+        // disjoint member slots, so results stay thread-count-invariant.
+        const auto clusters = cluster_destinations(graph, unique, cluster_km);
+        static obs::Gauge* const clusters_gauge =
+            &obs::metrics().gauge("route.dest_clusters");
+        clusters_gauge->set(static_cast<double>(clusters.size()));
+        std::vector<DestinationTree*> slot_of(
+            static_cast<std::size_t>(graph.num_nodes()), nullptr);
+        for (std::size_t i = 0; i < unique.size(); ++i) {
+            slot_of[static_cast<std::size_t>(unique[i])] = slots[i];
+        }
+        util::ThreadPool::global().parallel_for(
+            clusters.size(), /*chunk=*/1, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t c = begin; c < end; ++c) {
+                    const std::vector<int>& members = clusters[c];
+                    DestinationTree& seed_tree =
+                        *slot_of[static_cast<std::size_t>(members.front())];
+                    DijkstraWorkspace::GoalSpec spec;
+                    spec.roots = members.data();
+                    spec.num_roots = static_cast<int>(members.size());
+                    spec.algo = algo;
+                    thread_dijkstra_workspace().run_goal(view, spec, seed_tree);
+                    for (std::size_t m = 1; m < members.size(); ++m) {
+                        DestinationTree& tree =
+                            *slot_of[static_cast<std::size_t>(members[m])];
+                        tree.destination = members[m];
+                        tree.distance_km = seed_tree.distance_km;
+                        tree.next_hop = seed_tree.next_hop;
+                    }
+                }
+            });
+        return;
+    }
+
     util::ThreadPool::global().parallel_for(
         unique.size(), /*chunk=*/1, [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
-                thread_dijkstra_workspace().run(view, unique[i], *slots[i]);
+                if (algo == RouteAlgo::kAstar) {
+                    // Exhaustive A* (no early-exit targets): the tree is
+                    // complete, so the state matches Dijkstra's.
+                    DijkstraWorkspace::GoalSpec spec;
+                    spec.roots = &unique[i];
+                    spec.num_roots = 1;
+                    spec.algo = algo;
+                    thread_dijkstra_workspace().run_goal(view, spec, *slots[i]);
+                } else {
+                    thread_dijkstra_workspace().run(view, unique[i], *slots[i]);
+                }
             }
         });
 }

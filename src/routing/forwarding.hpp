@@ -76,15 +76,41 @@ class ForwardingState {
     std::unordered_map<int, DestinationTree> trees_;
 };
 
+/// HYPATIA_DEST_CLUSTER_KM > 0 switches destination clustering on with
+/// that great-circle radius; unset, non-numeric or <= 0 disables it
+/// (the exact per-destination default).
+double dest_cluster_km_from_env();
+
+/// Greedy seed-based clustering of destination nodes by great-circle
+/// proximity: nodes are taken in input order, each joins the first
+/// cluster whose seed (its first member) lies within `cluster_km`
+/// great-circle kilometres, else it opens a new cluster. Deterministic;
+/// requires graph node positions (nodes are radially projected onto the
+/// Earth sphere, so satellite nodes cluster by their ground tracks).
+std::vector<std::vector<int>> cluster_destinations(const Graph& graph,
+                                                   const std::vector<int>& destinations,
+                                                   double cluster_km);
+
 /// Computes forwarding state on `graph` for every node in `destinations`.
 ForwardingState compute_forwarding(const Graph& graph,
                                    const std::vector<int>& destinations);
 
 /// Same computation into an existing state: tree buffers are recycled
 /// (zero allocations per epoch once warm), stale destinations pruned.
-/// The per-destination Dijkstra fan-out runs on the pool using
-/// lane-local workspaces; results are byte-identical to
-/// compute_forwarding at any thread count.
+/// The per-destination fan-out runs on the pool using lane-local
+/// workspaces; results are byte-identical to compute_forwarding at any
+/// thread count.
+///
+/// HYPATIA_ROUTE_ALGO=astar runs each tree as A* to exhaustion: same
+/// exact distances (and, short of exact floating-point cost ties, the
+/// same next hops) with fewer queue pops. With clustering active
+/// (HYPATIA_DEST_CLUSTER_KM, graphs built with node positions) one
+/// multi-source tree is computed per cluster and installed for every
+/// member destination: each node's distance/next hop is then exact
+/// toward its *nearest cluster member* — per-destination error is
+/// bounded by the cluster diameter (in RTT terms, diameter / c) — and
+/// rows for non-seed members terminate at another member. Clustered
+/// states approximate; leave clustering off for byte-exact semantics.
 void compute_forwarding_into(const Graph& graph, const std::vector<int>& destinations,
                              ForwardingState& state);
 

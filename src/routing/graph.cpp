@@ -187,6 +187,19 @@ Graph build_snapshot(const topo::SatelliteMobility& mobility,
     for (int relay_gs : options.relay_gs_indices) {
         g.set_relay(g.gs_node(relay_gs), true);
     }
+
+    // Node positions for the A* lower bound: exactly the points the
+    // edge weights above were measured between (warm cache, so the
+    // satellite reads are bit-identical to the ISL/GSL computations).
+    std::vector<Vec3>& pos = g.mutable_node_positions();
+    for (int s = 0; s < num_sats; ++s) {
+        pos[static_cast<std::size_t>(s)] = mobility.position_ecef(s, t);
+    }
+    for (std::size_t gi = 0; gi < ground_stations.size(); ++gi) {
+        pos[static_cast<std::size_t>(g.gs_node(static_cast<int>(gi)))] =
+            ground_stations[gi].ecef();
+    }
+
     g.finalize();
     return g;
 }

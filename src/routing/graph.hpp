@@ -27,6 +27,7 @@
 #include "src/topology/mobility.hpp"
 #include "src/topology/visibility.hpp"
 #include "src/util/units.hpp"
+#include "src/util/vec3.hpp"
 
 namespace hypatia::route {
 
@@ -144,6 +145,22 @@ class Graph {
     void export_merged_csr(std::vector<std::int32_t>& offsets,
                            std::vector<Edge>& edges) const;
 
+    // --- node positions (A* heuristic support) -------------------------
+    /// Per-node ECEF positions (km) at the snapshot instant, satellites
+    /// then ground stations. Filled by the snapshot builders and the
+    /// refresher; edge weights are Euclidean distances between exactly
+    /// these points, which is what makes the straight-line A* bound
+    /// admissible. Resizes the buffer to num_nodes on first use.
+    std::vector<Vec3>& mutable_node_positions() {
+        node_positions_.resize(static_cast<std::size_t>(num_nodes_));
+        return node_positions_;
+    }
+    /// Raw position array for routing views, or nullptr when the graph
+    /// was built without positions (hand-assembled test graphs).
+    const Vec3* node_positions_data() const {
+        return node_positions_.empty() ? nullptr : node_positions_.data();
+    }
+
   private:
     int num_satellites_;
     int num_nodes_;
@@ -161,6 +178,7 @@ class Graph {
     std::vector<std::vector<Edge>> overlay_;
 
     std::vector<char> relay_;
+    std::vector<Vec3> node_positions_;  // empty until a builder fills it
 };
 
 /// Options controlling snapshot construction.

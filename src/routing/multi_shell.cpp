@@ -1,28 +1,115 @@
 #include "src/routing/multi_shell.hpp"
 
+#include "src/obs/observability.hpp"
+
 namespace hypatia::route {
 
 Graph build_group_snapshot(const topo::ShellGroup& group,
                            const std::vector<orbit::GroundStation>& ground_stations,
                            TimeNs t, const SnapshotOptions& options) {
-    Graph g(group.num_satellites(), static_cast<int>(ground_stations.size()));
+    HYPATIA_PROFILE_SCOPE("routing.snapshot");
+    static obs::Counter* const snapshots_metric =
+        &obs::metrics().counter("route.snapshots");
+    static obs::Counter* const masked_metric =
+        &obs::metrics().counter("fault.links_masked");
+    static obs::Gauge* const down_gauge = &obs::metrics().gauge("fault.nodes_down");
+    snapshots_metric->inc();
+    const int num_sats = group.num_satellites();
+    Graph g(num_sats, static_cast<int>(ground_stations.size()));
+    g.reserve_edges((options.include_isls ? group.isls().size() : 0) +
+                    8 * ground_stations.size());
+
+    const fault::FaultSchedule* faults =
+        (options.faults != nullptr && !options.faults->empty()) ? options.faults
+                                                                : nullptr;
+    std::vector<char> sat_down;
+    if (faults != nullptr) {
+        faults->fill_satellites_down(t, sat_down);
+        down_gauge->set(
+            static_cast<double>(faults->down_count(fault::FaultKind::kSatellite, t) +
+                                faults->down_count(fault::FaultKind::kGroundStation, t)));
+    }
+    std::size_t masked = 0;
+
+    group.warm_caches(t);
 
     if (options.include_isls) {
         for (const auto& isl : group.isls()) {
-            const double d = group.position_ecef(isl.sat_a, t)
-                                 .distance_to(group.position_ecef(isl.sat_b, t));
+            double d = group.position_ecef(isl.sat_a, t)
+                           .distance_to(group.position_ecef(isl.sat_b, t));
+            // Same fault law as build_snapshot: failed links keep their
+            // slot with infinite weight.
+            if (faults != nullptr &&
+                (sat_down[static_cast<std::size_t>(isl.sat_a)] != 0 ||
+                 sat_down[static_cast<std::size_t>(isl.sat_b)] != 0 ||
+                 faults->isl_down(isl.sat_a, isl.sat_b, t))) {
+                d = kInfDistance;
+                ++masked;
+            }
             g.add_undirected_edge(isl.sat_a, isl.sat_b, d);
         }
     }
-    for (std::size_t gi = 0; gi < ground_stations.size(); ++gi) {
-        const int gs_node = g.gs_node(static_cast<int>(gi));
-        for (const auto& entry : group.visible_satellites(ground_stations[gi], t)) {
-            g.add_undirected_edge(gs_node, entry.sat_id, entry.range_km);
+
+    // Per-satellite cone ranges: each shell keeps its own
+    // max_gsl_range_km; the weather factor scales every shell's cone the
+    // same way. Unlike the single-shell builder — where the uniform
+    // range lets an ascending-range scan stop at the first entry beyond
+    // the (possibly weather-shrunk) cone — the group law filters each
+    // candidate against its own shell's cone and skips failures, so in
+    // nearest-satellite-only mode a GS associates with the nearest
+    // candidate that *passes* its shell's weathered cone.
+    std::vector<double> sat_max_range(static_cast<std::size_t>(num_sats));
+    for (int s = 0; s < group.num_shells(); ++s) {
+        const double r = group.constellation(s).params().max_gsl_range_km();
+        const int n = group.constellation(s).num_satellites();
+        for (int local = 0; local < n; ++local) {
+            sat_max_range[static_cast<std::size_t>(group.global_id(s, local))] = r;
         }
     }
+
+    for (std::size_t gi = 0; gi < ground_stations.size(); ++gi) {
+        if (faults != nullptr && faults->gs_down(static_cast<int>(gi), t)) {
+            continue;  // GS outage: its GSL row is empty this epoch
+        }
+        const int gs_node = g.gs_node(static_cast<int>(gi));
+        double factor = 1.0;
+        if (options.gsl_range_factor) {
+            factor = options.gsl_range_factor(static_cast<int>(gi), t);
+        }
+        // Entries arrive globally sorted by (range, id); each is already
+        // connectable under its shell's clear-sky cone.
+        for (const auto& entry :
+             group.visible_satellites(ground_stations[gi], t)) {
+            if (entry.range_km >
+                sat_max_range[static_cast<std::size_t>(entry.sat_id)] * factor) {
+                continue;  // weather-shrunk cone of this entry's shell
+            }
+            if (faults != nullptr &&
+                sat_down[static_cast<std::size_t>(entry.sat_id)] != 0) {
+                ++masked;
+                continue;  // dead satellite: not a connectable target
+            }
+            g.add_undirected_edge(gs_node, entry.sat_id, entry.range_km);
+            if (options.gs_nearest_satellite_only) break;
+        }
+    }
+    if (masked != 0) masked_metric->inc(masked);
+
     for (int relay_gs : options.relay_gs_indices) {
         g.set_relay(g.gs_node(relay_gs), true);
     }
+
+    // Node positions for the A* lower bound (warm reads: bit-identical
+    // to the points the edge weights above were measured between).
+    std::vector<Vec3>& pos = g.mutable_node_positions();
+    for (int sat = 0; sat < num_sats; ++sat) {
+        pos[static_cast<std::size_t>(sat)] = group.position_ecef(sat, t);
+    }
+    for (std::size_t gi = 0; gi < ground_stations.size(); ++gi) {
+        pos[static_cast<std::size_t>(g.gs_node(static_cast<int>(gi)))] =
+            ground_stations[gi].ecef();
+    }
+
     g.finalize();
     return g;
 }

@@ -8,7 +8,15 @@
 
 namespace hypatia::route {
 
-/// Builds the topology snapshot of a shell group at time `t`.
+/// Builds the topology snapshot of a shell group at time `t`, honouring
+/// the full SnapshotOptions contract (faults, weather hook, nearest-
+/// satellite-only, GS relays) with one multi-shell difference: every
+/// satellite carries its own shell's max GSL range, so the weather
+/// factor shrinks each shell's cone individually and candidates failing
+/// their cone are skipped (not a scan-ending break — the next candidate
+/// may belong to a longer-range shell). GSL rows are sorted by ascending
+/// (range, satellite id). Node positions are attached for the A*
+/// heuristic. The returned graph is finalized.
 Graph build_group_snapshot(const topo::ShellGroup& group,
                            const std::vector<orbit::GroundStation>& ground_stations,
                            TimeNs t, const SnapshotOptions& options = {});

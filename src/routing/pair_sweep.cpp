@@ -1,8 +1,10 @@
 #include "src/routing/pair_sweep.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "src/orbit/coords.hpp"
+#include "src/routing/multi_shell.hpp"
 #include "src/routing/shortest_path.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -18,6 +20,23 @@ PairSweeper::PairSweeper(const topo::SatelliteMobility& mobility,
       pairs_(std::move(pairs)),
       options_(std::move(options)),
       num_satellites_(mobility.num_satellites()) {
+    init();
+}
+
+PairSweeper::PairSweeper(const topo::ShellGroup& group,
+                         const std::vector<orbit::GroundStation>& ground_stations,
+                         std::vector<GsPair> pairs, SweepOptions options)
+    : mobility_(nullptr),
+      group_(&group),
+      isls_(&group.isls()),
+      ground_stations_(&ground_stations),
+      pairs_(std::move(pairs)),
+      options_(std::move(options)),
+      num_satellites_(group.num_satellites()) {
+    init();
+}
+
+void PairSweeper::init() {
     snap_opts_.include_isls = options_.include_isls;
     snap_opts_.relay_gs_indices = options_.relay_gs_indices;
     snap_opts_.gs_nearest_satellite_only = options_.gs_nearest_satellite_only;
@@ -38,16 +57,58 @@ PairSweeper::PairSweeper(const topo::SatelliteMobility& mobility,
     // sweep and delta-patches it per step; rebuild mode reconstructs it
     // from scratch (the legacy reference path). Outputs are identical.
     if (snapshot_mode_from_env() == SnapshotMode::kRefresh) {
-        refresher_.emplace(*mobility_, *isls_, *ground_stations_, snap_opts_);
+        if (group_ != nullptr) {
+            refresher_.emplace(*group_, *ground_stations_, snap_opts_);
+        } else {
+            refresher_.emplace(*mobility_, *isls_, *ground_stations_, snap_opts_);
+        }
     }
 
     std::set<int> dest_set;
     for (const auto& p : pairs_) dest_set.insert(p.dst_gs);
     dest_list_.assign(dest_set.begin(), dest_set.end());
-    trees_.resize(dest_list_.size());
+
+    // Destination clustering over the (static) ground-station surface
+    // positions; radius <= 0 yields singleton clusters, i.e. the exact
+    // per-destination fan-out.
+    const double cluster_km = options_.dest_cluster_km >= 0.0
+                                  ? options_.dest_cluster_km
+                                  : dest_cluster_km_from_env();
+    for (const int dst : dest_list_) {
+        bool placed = false;
+        if (cluster_km > 0.0) {
+            for (auto& cluster : clusters_) {
+                const double d = orbit::great_circle_distance_km(
+                    (*ground_stations_)[static_cast<std::size_t>(cluster.front())]
+                        .geodetic(),
+                    (*ground_stations_)[static_cast<std::size_t>(dst)].geodetic());
+                if (d <= cluster_km) {
+                    cluster.push_back(dst);
+                    placed = true;
+                    break;
+                }
+            }
+        }
+        if (!placed) clusters_.push_back({dst});
+    }
+
+    trees_.resize(clusters_.size());
+    tree_pops_.resize(clusters_.size());
+    tree_settled_.resize(clusters_.size());
+    cluster_roots_.resize(clusters_.size());
+    cluster_src_nodes_.resize(clusters_.size());
+    target_scratch_.resize(clusters_.size());
     tree_slot_.reserve(dest_list_.size());
-    for (std::size_t i = 0; i < dest_list_.size(); ++i) {
-        tree_slot_.emplace(dest_list_[i], i);
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        std::set<int> srcs;
+        for (const int dst : clusters_[c]) {
+            tree_slot_.emplace(dst, c);
+            cluster_roots_[c].push_back(gs_node(dst));
+            for (const auto& p : pairs_) {
+                if (p.dst_gs == dst) srcs.insert(gs_node(p.src_gs));
+            }
+        }
+        cluster_src_nodes_[c].assign(srcs.begin(), srcs.end());
     }
     samples_.resize(pairs_.size());
 }
@@ -65,26 +126,74 @@ const std::vector<PairSweeper::Sample>& PairSweeper::step(TimeNs t) {
 
     std::optional<Graph> rebuilt;
     if (!refresher_) {
-        rebuilt.emplace(
-            build_snapshot(*mobility_, *isls_, *ground_stations_, t, snap_opts_));
+        if (group_ != nullptr) {
+            rebuilt.emplace(
+                build_group_snapshot(*group_, *ground_stations_, t, snap_opts_));
+        } else {
+            rebuilt.emplace(
+                build_snapshot(*mobility_, *isls_, *ground_stations_, t, snap_opts_));
+        }
     }
     const Graph& g = refresher_ ? refresher_->refresh(t) : *rebuilt;
 
-    // Per-destination Dijkstra fan-out on the pool; slot i holds the
-    // tree for dest_list_[i], so downstream folds see identical state
-    // at any thread count.
+    // One merged-CSR flatten amortized over the whole fan-out.
+    g.export_merged_csr(view_offsets_, view_edges_);
+    const GraphView view{view_offsets_.data(), view_edges_.data(), g.relay_data(),
+                         g.node_positions_data(), g.num_nodes()};
+    const RouteAlgo algo = route_algo_from_env();
+
+    // Under A*, collect each cluster's early-exit targets: the
+    // satellites currently attached to the source ground stations whose
+    // pairs read this cluster's tree. A GS row in the merged view holds
+    // exactly its GSL edges, so this is a cheap row scan. Once those
+    // satellites are settled, the source rows (relaxed when their
+    // attachment satellites were expanded) are final and the search can
+    // stop; an unreachable target never enters the queue, which safely
+    // degrades that tree to an exhaustive run.
+    if (algo == RouteAlgo::kAstar) {
+        for (std::size_t c = 0; c < clusters_.size(); ++c) {
+            auto& targets = target_scratch_[c];
+            targets.clear();
+            for (const int src_node : cluster_src_nodes_[c]) {
+                for (std::int32_t e = view.offsets[src_node];
+                     e < view.offsets[src_node + 1]; ++e) {
+                    targets.push_back(view.edges[e].to);
+                }
+            }
+        }
+    }
+
+    // Per-cluster fan-out on the pool; slot c holds the tree serving
+    // clusters_[c], so downstream folds see identical state at any
+    // thread count.
     util::ThreadPool::global().parallel_for(
-        dest_list_.size(), /*chunk=*/1, [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-                thread_dijkstra_workspace().run(g, g.gs_node(dest_list_[i]),
-                                               trees_[i]);
+        clusters_.size(), /*chunk=*/1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) {
+                DijkstraWorkspace& ws = thread_dijkstra_workspace();
+                DijkstraWorkspace::GoalSpec spec;
+                spec.roots = cluster_roots_[c].data();
+                spec.num_roots = static_cast<int>(cluster_roots_[c].size());
+                if (algo == RouteAlgo::kAstar) {
+                    spec.targets = target_scratch_[c].data();
+                    spec.num_targets = static_cast<int>(target_scratch_[c].size());
+                }
+                spec.algo = algo;
+                ws.run_goal(view, spec, trees_[c]);
+                tree_pops_[c] = ws.last_pops();
+                tree_settled_[c] = ws.last_settled();
             }
         });
+    last_step_pops_ = 0;
+    last_step_settled_ = 0;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        last_step_pops_ += tree_pops_[c];
+        last_step_settled_ += tree_settled_[c];
+    }
 
     for (std::size_t pi = 0; pi < pairs_.size(); ++pi) {
         const auto& pair = pairs_[pi];
         const auto& tree = trees_[tree_slot_.at(pair.dst_gs)];
-        const int src_node = g.gs_node(pair.src_gs);
+        const int src_node = gs_node(pair.src_gs);
         Sample& sample = samples_[pi];
         sample.path.clear();
 

@@ -17,6 +17,7 @@
 // (emu::RealtimePacer).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -52,6 +53,12 @@ struct SweepOptions {
     /// Window synthesized for the *first* step's fault-transition
     /// streaming: step(t0) records transitions in (t0 - step_hint, t0].
     TimeNs step_hint = 100 * kNsPerMs;
+    /// Destination clustering radius (great-circle km): destinations
+    /// within it share one multi-source tree (distances become exact
+    /// to the nearest cluster member — see compute_forwarding_into's
+    /// contract). Negative = resolve from HYPATIA_DEST_CLUSTER_KM;
+    /// 0 = off.
+    double dest_cluster_km = -1.0;
 };
 
 class PairSweeper {
@@ -74,12 +81,37 @@ class PairSweeper {
                 const std::vector<orbit::GroundStation>& ground_stations,
                 std::vector<GsPair> pairs, SweepOptions options = {});
 
+    /// Multi-shell sweep over a ShellGroup (must outlive the sweeper;
+    /// ISLs are the group's intra-shell +Grid set). Same stepping
+    /// contract; snapshots come from build_group_snapshot / the group
+    /// refresher.
+    PairSweeper(const topo::ShellGroup& group,
+                const std::vector<orbit::GroundStation>& ground_stations,
+                std::vector<GsPair> pairs, SweepOptions options = {});
+
     /// Brings the snapshot to orbit time `t`, streams the fault
     /// transitions the step crossed into the flight recorder, runs the
-    /// per-destination Dijkstra fan-out and returns one Sample per pair
+    /// per-destination fan-out and returns one Sample per pair
     /// (parallel to pairs(); buffers are recycled across steps). Not
     /// re-entrant.
+    ///
+    /// The fan-out honours HYPATIA_ROUTE_ALGO (read per step): under
+    /// astar each destination tree stops expanding once every satellite
+    /// attached to a source ground station that queries it is settled —
+    /// the sampled RTTs and paths are exactly Dijkstra's, only the
+    /// unexplored remainder of the tree is skipped. Destination
+    /// clustering (SweepOptions::dest_cluster_km) makes samples
+    /// nearest-member approximations as documented there.
     const std::vector<Sample>& step(TimeNs t);
+
+    /// Queue pops consumed by the last step()'s fan-out (summed over
+    /// destination trees) — the goal-directed-search benchmark metric.
+    std::uint64_t last_step_pops() const { return last_step_pops_; }
+    std::uint64_t last_step_settled() const { return last_step_settled_; }
+
+    /// Destination trees computed per step — one per cluster; equals the
+    /// number of distinct destinations when clustering is off.
+    std::size_t num_trees() const { return trees_.size(); }
 
     const std::vector<GsPair>& pairs() const { return pairs_; }
     /// The resolved fault schedule (explicit or HYPATIA_FAULTS);
@@ -89,7 +121,10 @@ class PairSweeper {
     int gs_node(int gs_index) const { return num_satellites_ + gs_index; }
 
   private:
-    const topo::SatelliteMobility* mobility_;
+    void init();
+
+    const topo::SatelliteMobility* mobility_;   // null in group mode
+    const topo::ShellGroup* group_ = nullptr;   // null in single-shell mode
     const std::vector<topo::Isl>* isls_;
     const std::vector<orbit::GroundStation>* ground_stations_;
     std::vector<GsPair> pairs_;
@@ -100,11 +135,29 @@ class PairSweeper {
     std::optional<fault::FaultSchedule> env_faults_;
     std::optional<SnapshotRefresher> refresher_;
 
-    /// Destinations needing trees (deduplicated, ascending — the fixed
-    /// order the parallel fan-out folds back in) and their tree slots.
+    /// Destinations needing trees (deduplicated, ascending), greedily
+    /// grouped into clusters (singletons when clustering is off, so the
+    /// cluster fan-out degenerates to the per-destination one). Tree i
+    /// serves every destination of clusters_[i]; tree_slot_ maps a
+    /// dst_gs to its cluster's tree.
     std::vector<int> dest_list_;
+    std::vector<std::vector<int>> clusters_;       // dst GS indices
+    std::vector<std::vector<int>> cluster_roots_;  // same, as graph nodes
+    /// Source GS nodes of the pairs each cluster serves (unique,
+    /// ascending): their attachment satellites are the A* early-exit
+    /// target set, rebuilt per step from the current GSL rows.
+    std::vector<std::vector<int>> cluster_src_nodes_;
+    std::vector<std::vector<int>> target_scratch_;
     std::unordered_map<int, std::size_t> tree_slot_;
     std::vector<DestinationTree> trees_;
+    std::vector<std::uint64_t> tree_pops_;
+    std::vector<std::uint64_t> tree_settled_;
+    std::uint64_t last_step_pops_ = 0;
+    std::uint64_t last_step_settled_ = 0;
+
+    /// Merged-CSR view scratch, reused across steps.
+    std::vector<std::int32_t> view_offsets_;
+    std::vector<Edge> view_edges_;
 
     std::vector<Sample> samples_;
     bool have_prev_t_ = false;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/obs/observability.hpp"
 
@@ -25,7 +27,23 @@ inline int clamp_slot(std::int64_t s) {
     return static_cast<int>(std::clamp<std::int64_t>(s, 0, 63));
 }
 
+// The A* heuristic is the Euclidean chord to the nearest root, shrunk by
+// this factor. The chord is admissible and consistent in exact
+// arithmetic (edge weights are 3D Euclidean distances, so the triangle
+// inequality applies); the 1e-9 relative shrink dominates the ~1e-16
+// relative rounding of the chord computation itself, keeping the
+// heuristic admissible — and f monotone along the calendar-queue cursor
+// — in floating point too. It costs ~1e-9 relative guidance strength,
+// far below anything measurable.
+constexpr double kHeuristicSlack = 1.0 - 1e-9;
+
 }  // namespace
+
+RouteAlgo route_algo_from_env() {
+    const char* v = std::getenv("HYPATIA_ROUTE_ALGO");
+    if (v != nullptr && std::strcmp(v, "astar") == 0) return RouteAlgo::kAstar;
+    return RouteAlgo::kDijkstra;
+}
 
 void DijkstraWorkspace::push(double key, std::int32_t node) {
     ++live_;
@@ -120,26 +138,17 @@ DijkstraWorkspace::Item DijkstraWorkspace::pop_min() {
         horizon_km_ = static_cast<double>(coarse_origin_ + 64) * kCoarseWidthKm;
         fine_base_ = -1;
         fine_base_km_ = -kCoarseWidthKm;
-        std::vector<Item> spill;
-        spill.swap(overflow_);
-        live_ -= spill.size();
-        for (const Item& it : spill) push(it.key, it.node);
-        overflow_.reserve(spill.capacity());
+        // Rebase through a persistent scratch list so repeated rebases
+        // (and repeated runs) recycle both buffers instead of allocating
+        // a fresh spill vector per horizon advance.
+        spill_.clear();
+        spill_.swap(overflow_);
+        live_ -= spill_.size();
+        for (const Item& it : spill_) push(it.key, it.node);
     }
 }
 
-template <typename NeighborsFn, typename RelayFn>
-void DijkstraWorkspace::run_core(int num_nodes, int destination,
-                                 NeighborsFn&& neighbors_of, RelayFn&& relay,
-                                 DestinationTree& out) {
-    HYPATIA_PROFILE_SCOPE("routing.dijkstra");
-    static obs::Counter* const runs_metric =
-        &obs::metrics().counter("route.dijkstra_runs");
-    runs_metric->inc();
-    const auto n = static_cast<std::size_t>(num_nodes);
-    out.destination = destination;
-    out.distance_km.assign(n, kInfDistance);
-    out.next_hop.assign(n, -1);
+void DijkstraWorkspace::reset_queue() {
     for (auto& bucket : coarse_) bucket.clear();
     for (auto& bucket : fine_) bucket.clear();
     overflow_.clear();
@@ -150,6 +159,25 @@ void DijkstraWorkspace::run_core(int num_nodes, int destination,
     horizon_km_ = 64.0 * kCoarseWidthKm;
     fine_base_km_ = -kCoarseWidthKm;
     live_ = 0;
+}
+
+template <typename NeighborsFn, typename RelayFn>
+void DijkstraWorkspace::run_core(int num_nodes, int destination,
+                                 NeighborsFn&& neighbors_of, RelayFn&& relay,
+                                 DestinationTree& out) {
+    HYPATIA_PROFILE_SCOPE("routing.dijkstra");
+    static obs::Counter* const runs_metric =
+        &obs::metrics().counter("route.dijkstra_runs");
+    static obs::Counter* const pops_metric =
+        &obs::metrics().counter("route.dijkstra_pops");
+    static obs::Counter* const settled_metric =
+        &obs::metrics().counter("route.dijkstra_settled");
+    runs_metric->inc();
+    const auto n = static_cast<std::size_t>(num_nodes);
+    out.destination = destination;
+    out.distance_km.assign(n, kInfDistance);
+    out.next_hop.assign(n, -1);
+    reset_queue();
     double* const dist = out.distance_km.data();
     int* const next_hop = out.next_hop.data();
 
@@ -163,14 +191,18 @@ void DijkstraWorkspace::run_core(int num_nodes, int destination,
     dist[destination] = 0.0;
     push(0.0, destination);
 
+    std::uint64_t pops = 0;
+    std::uint64_t settled = 0;
     while (live_ != 0) {
         const Item top = pop_min();
+        ++pops;
         const auto u = static_cast<std::size_t>(top.node);
         // A live (not yet superseded) entry always carries the node's
         // current tentative distance; anything else is a stranded
         // duplicate. Settled nodes cannot be improved afterwards (edge
         // weights are non-negative), so this also filters re-pops.
         if (top.key != dist[u]) continue;
+        ++settled;
         const double du = top.key;
         neighbors_of(top.node, [&](const Edge& e) {
             const auto vi = static_cast<std::size_t>(e.to);
@@ -181,6 +213,11 @@ void DijkstraWorkspace::run_core(int num_nodes, int destination,
             if (improved && relay(e.to)) push(nd, e.to);
         });
     }
+    last_pops_ = pops;
+    last_settled_ = settled;
+    last_early_exit_ = false;
+    pops_metric->inc(pops);
+    settled_metric->inc(settled);
 }
 
 void DijkstraWorkspace::run(const Graph& graph, int destination,
@@ -203,6 +240,135 @@ void DijkstraWorkspace::run(const GraphView& view, int destination,
         [&view](int node) { return view.relay[node] != 0; }, out);
 }
 
+void DijkstraWorkspace::run_goal(const GraphView& view, const GoalSpec& spec,
+                                 DestinationTree& out) {
+    // A* needs node positions for the lower bound; without them the
+    // search degrades to plain Dijkstra (identical output either way).
+    const bool astar =
+        spec.algo == RouteAlgo::kAstar && view.positions != nullptr;
+    HYPATIA_PROFILE_SCOPE(astar ? "routing.astar" : "routing.dijkstra");
+    static obs::Counter* const dijkstra_runs =
+        &obs::metrics().counter("route.dijkstra_runs");
+    static obs::Counter* const dijkstra_pops =
+        &obs::metrics().counter("route.dijkstra_pops");
+    static obs::Counter* const dijkstra_settled =
+        &obs::metrics().counter("route.dijkstra_settled");
+    static obs::Counter* const astar_runs =
+        &obs::metrics().counter("route.astar_runs");
+    static obs::Counter* const astar_pops =
+        &obs::metrics().counter("route.astar_pops");
+    static obs::Counter* const astar_settled =
+        &obs::metrics().counter("route.astar_settled");
+    static obs::Counter* const astar_early_exits =
+        &obs::metrics().counter("route.astar_early_exits");
+    (astar ? astar_runs : dijkstra_runs)->inc();
+
+    const auto n = static_cast<std::size_t>(view.num_nodes);
+    out.destination = spec.num_roots > 0 ? spec.roots[0] : 0;
+    out.distance_km.assign(n, kInfDistance);
+    out.next_hop.assign(n, -1);
+    reset_queue();
+    settled_.assign(n, 0);
+    double* const dist = out.distance_km.data();
+    int* const next_hop = out.next_hop.data();
+    char* const settled = settled_.data();
+    const std::int32_t* const offsets = view.offsets;
+    const Edge* const edges = view.edges;
+    const char* const relay = view.relay;
+    const Vec3* const pos = view.positions;
+
+    root_pos_.clear();
+    if (astar) {
+        for (int i = 0; i < spec.num_roots; ++i) {
+            root_pos_.push_back(pos[spec.roots[i]]);
+        }
+        h_cache_.assign(n, -1.0);
+    }
+    const std::size_t num_root_pos = root_pos_.size();
+    const Vec3* const root_pos = root_pos_.data();
+    double* const h_cache = h_cache_.data();
+    // h(v) is fixed for the whole run (node and root positions don't
+    // move mid-search), so it is memoized: a node relaxed along several
+    // edges pays the chord computation once.
+    const auto heuristic = [&](std::int32_t v) -> double {
+        const auto vi = static_cast<std::size_t>(v);
+        if (h_cache[vi] >= 0.0) return h_cache[vi];
+        double best = root_pos[0].distance_to(pos[v]);
+        for (std::size_t i = 1; i < num_root_pos; ++i) {
+            best = std::min(best, root_pos[i].distance_to(pos[v]));
+        }
+        return h_cache[vi] = best * kHeuristicSlack;
+    };
+
+    // Early-exit countdown over the (deduplicated) target set.
+    int remaining = 0;
+    if (astar && spec.num_targets > 0) {
+        is_target_.assign(n, 0);
+        for (int i = 0; i < spec.num_targets; ++i) {
+            const auto t = static_cast<std::size_t>(spec.targets[i]);
+            remaining += is_target_[t] == 0 ? 1 : 0;
+            is_target_[t] = 1;
+        }
+    }
+
+    // All roots start at distance 0; h(root) is exactly 0 (the chord to
+    // the nearest root includes the root itself), so f = 0 for both
+    // algorithms and the root pushes are shared.
+    for (int i = 0; i < spec.num_roots; ++i) {
+        dist[spec.roots[i]] = 0.0;
+        push(0.0, spec.roots[i]);
+    }
+
+    std::uint64_t pops = 0;
+    std::uint64_t settled_count = 0;
+    bool early = false;
+    while (live_ != 0) {
+        const Item top = pop_min();
+        ++pops;
+        const auto u = static_cast<std::size_t>(top.node);
+        // Settled-bitmap staleness filter: under A* a stranded
+        // duplicate's f-key no longer equals dist[u] + h(u) cheaply, but
+        // the first pop of a node always carries its minimal key, so a
+        // second pop is exactly the stale case. Under Dijkstra this
+        // skips the same entries as the key != dist[u] test: the entry
+        // holding the node's final distance is its minimal one and pops
+        // first.
+        if (settled[u] != 0) continue;
+        settled[u] = 1;
+        ++settled_count;
+        const double du = dist[u];
+        const Edge* e = edges + offsets[u];
+        const Edge* const end = edges + offsets[u + 1];
+        for (; e != end; ++e) {
+            const auto vi = static_cast<std::size_t>(e->to);
+            const double nd = du + e->distance_km;
+            const bool improved = nd < dist[vi];
+            dist[vi] = improved ? nd : dist[vi];
+            next_hop[vi] = improved ? top.node : next_hop[vi];
+            if (improved && relay[vi] != 0) {
+                push(astar ? nd + heuristic(e->to) : nd, e->to);
+            }
+        }
+        if (remaining != 0 && is_target_[u] != 0) {
+            if (--remaining == 0) {
+                // Every target satellite is settled: with a consistent
+                // heuristic a settled node's whole shortest-path chain
+                // is settled, and the ground-station rows fed by these
+                // satellites were finalized during their expansion, so
+                // nothing the caller reads can change after this point.
+                early = true;
+                break;
+            }
+        }
+    }
+    last_pops_ = pops;
+    last_settled_ = settled_count;
+    last_early_exit_ = early;
+    (astar ? astar_pops : dijkstra_pops)->inc(pops);
+    (astar ? astar_settled : dijkstra_settled)->inc(settled_count);
+    if (early) astar_early_exits->inc();
+}
+
 DijkstraWorkspace& thread_dijkstra_workspace() {
     thread_local DijkstraWorkspace workspace;
     return workspace;
@@ -218,18 +384,13 @@ std::vector<int> extract_path(const DestinationTree& tree, int source) {
     std::vector<int> path;
     const auto n = static_cast<std::ptrdiff_t>(tree.next_hop.size());
     if (source < 0 || source >= n) return path;  // out of range: no path
-    if (source != tree.destination &&
-        tree.next_hop[static_cast<std::size_t>(source)] < 0) {
-        return path;  // unreachable
-    }
     int node = source;
     path.push_back(node);
-    while (node != tree.destination) {
+    while (tree.next_hop[static_cast<std::size_t>(node)] >= 0) {
         node = tree.next_hop[static_cast<std::size_t>(node)];
-        // A -1 (or out-of-range) hop mid-chain means the tree is
-        // inconsistent (e.g. a stale destination field); report the
-        // source as unreachable rather than walking off the buffer.
-        if (node < 0 || node >= n) {
+        // An out-of-range hop means the tree is inconsistent; report
+        // the source as unreachable rather than walking off the buffer.
+        if (node >= n) {
             path.clear();
             return path;
         }
@@ -240,6 +401,17 @@ std::vector<int> extract_path(const DestinationTree& tree, int source) {
             return path;
         }
     }
+    // The chain ended on a next_hop == -1 node. That is a valid path
+    // exactly when the endpoint is a tree root: the destination, or —
+    // for multi-root trees — any member settled at distance zero
+    // (distances strictly decrease along next-hop chains, so roots are
+    // the only reachable chain ends). Anything else is an unreachable
+    // source or a corrupted tree.
+    const bool at_root =
+        node == tree.destination ||
+        (static_cast<std::size_t>(node) < tree.distance_km.size() &&
+         tree.distance_km[static_cast<std::size_t>(node)] == 0.0);
+    if (!at_root) path.clear();
     return path;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/routing/graph.hpp"
+#include "src/util/vec3.hpp"
 
 namespace hypatia::route {
 
@@ -29,8 +30,23 @@ struct GraphView {
     const std::int32_t* offsets = nullptr;  // num_nodes + 1 entries
     const Edge* edges = nullptr;
     const char* relay = nullptr;            // one flag per node
+    /// Per-node ECEF positions (km), or nullptr when the graph was built
+    /// without them. Required for the A* heuristic; a null pointer
+    /// silently degrades run_goal to plain Dijkstra.
+    const Vec3* positions = nullptr;
     int num_nodes = 0;
 };
+
+/// Which search the per-destination fan-out runs. Both produce exact
+/// shortest-path trees; kAstar additionally orders the queue by
+/// distance-so-far plus an admissible straight-line lower bound to the
+/// root set, which prunes stranded duplicates and enables early exit
+/// once a caller-supplied target set is settled.
+enum class RouteAlgo { kDijkstra, kAstar };
+
+/// HYPATIA_ROUTE_ALGO=astar selects A*; "dijkstra", unset, or anything
+/// else selects Dijkstra (the byte-stable historical default).
+RouteAlgo route_algo_from_env();
 
 /// Shortest-path tree rooted at a destination.
 struct DestinationTree {
@@ -83,6 +99,42 @@ class DijkstraWorkspace {
     /// the merged rows preserve for_each_neighbor order).
     void run(const GraphView& view, int destination, DestinationTree& out);
 
+    /// Goal-directed multi-source search parameters for run_goal().
+    struct GoalSpec {
+        /// Root node set (all at distance 0). One root reproduces the
+        /// classic per-destination tree; several roots compute exact
+        /// distance-to-nearest-root (destination clustering).
+        const int* roots = nullptr;
+        int num_roots = 0;
+        /// Optional early-exit set (A* only): once every listed node is
+        /// settled the search stops — the tree rows reachable through
+        /// them (in particular source ground stations attached to these
+        /// satellites) are final at that point. Empty = run to
+        /// exhaustion, which makes the output arrays byte-identical to
+        /// Dijkstra's.
+        const int* targets = nullptr;
+        int num_targets = 0;
+        RouteAlgo algo = RouteAlgo::kDijkstra;
+    };
+
+    /// Exact shortest-path tree from a root set, optionally goal-
+    /// directed. With algo == kDijkstra and one root this is run()
+    /// (byte-identical outputs, including next_hop tie-breaks). With
+    /// kAstar the pop order is f = g + h with h(v) the Euclidean chord
+    /// from v to the nearest root scaled by (1 - 1e-9): edge weights are
+    /// 3D straight-line distances, so the chord obeys the triangle
+    /// inequality (admissible and consistent) and the scale absorbs
+    /// floating-point rounding in h itself; settled distances are exact,
+    /// so dist/next_hop match Dijkstra's everywhere the search reached.
+    /// out.destination is set to roots[0].
+    void run_goal(const GraphView& view, const GoalSpec& spec,
+                  DestinationTree& out);
+
+    /// Statistics from the most recent run on this workspace.
+    std::uint64_t last_pops() const { return last_pops_; }
+    std::uint64_t last_settled() const { return last_settled_; }
+    bool last_early_exit() const { return last_early_exit_; }
+
   private:
     template <typename NeighborsFn, typename RelayFn>
     void run_core(int num_nodes, int destination, NeighborsFn&& neighbors_of,
@@ -98,9 +150,12 @@ class DijkstraWorkspace {
     void push(double key, std::int32_t node);
     Item pop_min();
 
+    void reset_queue();
+
     std::vector<Item> coarse_[64];  // coarse_origin_ .. +64 coarse bins
     std::vector<Item> fine_[64];    // expansion of bin fine_base_
     std::vector<Item> overflow_;    // keys beyond the coarse horizon
+    std::vector<Item> spill_;       // rebase scratch, reused across pops
     std::uint64_t coarse_mask_ = 0;
     std::uint64_t fine_mask_ = 0;
     std::int64_t coarse_origin_ = 0;  // absolute index of coarse_[0]
@@ -108,6 +163,16 @@ class DijkstraWorkspace {
     double horizon_km_ = 0.0;         // (coarse_origin_ + 64) * kCoarseWidthKm
     double fine_base_km_ = 0.0;       // fine_base_ * kCoarseWidthKm
     std::size_t live_ = 0;
+
+    // run_goal scratch, recycled across snapshots (geometric growth via
+    // vector capacity; assign() never shrinks).
+    std::vector<char> settled_;
+    std::vector<char> is_target_;
+    std::vector<Vec3> root_pos_;
+    std::vector<double> h_cache_;  // per-run h(v) memo; -1 = not yet computed
+    std::uint64_t last_pops_ = 0;
+    std::uint64_t last_settled_ = 0;
+    bool last_early_exit_ = false;
 };
 
 /// The calling thread's workspace (thread_local: pool workers each own
@@ -118,7 +183,11 @@ DijkstraWorkspace& thread_dijkstra_workspace();
 DestinationTree dijkstra_to(const Graph& graph, int destination);
 
 /// Extracts the node sequence from `source` to the tree's destination;
-/// empty if unreachable.
+/// empty if unreachable. For a multi-root tree (run_goal with several
+/// roots) the walk ends at whichever root the chain reaches: roots are
+/// the only reachable nodes with next_hop == -1, and distances strictly
+/// decrease along the chain, so the walk terminates there even when that
+/// root differs from tree.destination.
 std::vector<int> extract_path(const DestinationTree& tree, int source);
 
 /// All-pairs shortest distances by Floyd-Warshall (O(V^3); use only for

@@ -43,21 +43,56 @@ SnapshotRefresher::SnapshotRefresher(
       isls_(&isls),
       ground_stations_(&ground_stations),
       options_(std::move(options)),
+      num_sats_(mobility.num_satellites()),
       graph_(mobility.num_satellites(), static_cast<int>(ground_stations.size())) {
+    horizon_range_km_ = topo::horizon_range_km(mobility);
+    shell_max_range_km_ = mobility.constellation().params().max_gsl_range_km();
+    init();
+}
+
+SnapshotRefresher::SnapshotRefresher(
+    const topo::ShellGroup& group,
+    const std::vector<orbit::GroundStation>& ground_stations, SnapshotOptions options)
+    : mobility_(nullptr),
+      group_(&group),
+      isls_(&group.isls()),
+      ground_stations_(&ground_stations),
+      options_(std::move(options)),
+      num_sats_(group.num_satellites()),
+      graph_(group.num_satellites(), static_cast<int>(ground_stations.size())) {
+    // The cheap-rejection horizon is the loosest shell's: a satellite
+    // beyond it is beyond its own shell's horizon too (its cone range is
+    // smaller still), so the shared bound rejects exactly the satellites
+    // the per-shell scans would.
+    sat_max_range_km_.assign(static_cast<std::size_t>(num_sats_), 0.0);
+    for (int s = 0; s < group.num_shells(); ++s) {
+        horizon_range_km_ =
+            std::max(horizon_range_km_, topo::horizon_range_km(group.mobility(s)));
+        const double r = group.constellation(s).params().max_gsl_range_km();
+        shell_max_range_km_ = std::max(shell_max_range_km_, r);
+        const int n = group.constellation(s).num_satellites();
+        for (int local = 0; local < n; ++local) {
+            sat_max_range_km_[static_cast<std::size_t>(group.global_id(s, local))] = r;
+        }
+    }
+    init();
+}
+
+void SnapshotRefresher::init() {
     // Normalize "no faults" to nullptr so the per-epoch tests reduce to
     // one pointer check (and an empty schedule costs nothing).
     if (options_.faults != nullptr && options_.faults->empty()) {
         options_.faults = nullptr;
     }
     if (options_.include_isls) {
-        graph_.reserve_edges(isls.size());
+        graph_.reserve_edges(isls_->size());
         // Structure only; the first refresh() fills in real distances.
-        for (const auto& isl : isls) {
+        for (const auto& isl : *isls_) {
             graph_.add_undirected_edge(isl.sat_a, isl.sat_b, 0.0);
         }
         graph_.finalize();
-        isl_slots_.reserve(isls.size());
-        for (const auto& isl : isls) {
+        isl_slots_.reserve(isls_->size());
+        for (const auto& isl : *isls_) {
             isl_slots_.emplace_back(graph_.directed_edge_index(isl.sat_a, isl.sat_b),
                                     graph_.directed_edge_index(isl.sat_b, isl.sat_a));
         }
@@ -67,9 +102,8 @@ SnapshotRefresher::SnapshotRefresher(
         graph_.set_relay(graph_.gs_node(relay_gs), true);
     }
 
-    horizon_range_km_ = topo::horizon_range_km(mobility);
-    shell_max_range_km_ = mobility.constellation().params().max_gsl_range_km();
     constexpr double kDegToRad = M_PI / 180.0;
+    const std::vector<orbit::GroundStation>& ground_stations = *ground_stations_;
     gs_frames_.reserve(ground_stations.size());
     for (const auto& gs : ground_stations) {
         const double lat = gs.geodetic().latitude_deg * kDegToRad;
@@ -80,10 +114,17 @@ SnapshotRefresher::SnapshotRefresher(
             {gs.ecef(), cos_lat * cos_lon, cos_lat * sin_lon, sin_lat});
     }
     const std::size_t num_gs = ground_stations.size();
-    const auto num_sats = static_cast<std::size_t>(mobility.num_satellites());
-    not_before_ms_.assign(num_gs * num_sats, 0);
+    not_before_ms_.assign(num_gs * static_cast<std::size_t>(num_sats_), 0);
     fresh_rows_.resize(num_gs);
     sky_scratch_.resize(num_gs);
+
+    // Ground-station node positions never change; the satellite part of
+    // the buffer is (re)filled by every refresh().
+    std::vector<Vec3>& pos = graph_.mutable_node_positions();
+    for (std::size_t gi = 0; gi < num_gs; ++gi) {
+        pos[static_cast<std::size_t>(graph_.gs_node(static_cast<int>(gi)))] =
+            ground_stations[gi].ecef();
+    }
 }
 
 void SnapshotRefresher::scan_gsl_row(int gs_index, TimeNs t, std::uint32_t now_ms,
@@ -105,12 +146,11 @@ void SnapshotRefresher::scan_gsl_row(int gs_index, TimeNs t, std::uint32_t now_m
         row.clear();  // GS outage: empty row, matching build_snapshot's skip
         return;
     }
-    double max_range = shell_max_range_km_;
-    if (options_.gsl_range_factor) {
-        max_range *= options_.gsl_range_factor(gs_index, t);
-    }
+    const double factor =
+        options_.gsl_range_factor ? options_.gsl_range_factor(gs_index, t) : 1.0;
     const GsFrame& frame = gs_frames_[static_cast<std::size_t>(gs_index)];
-    const int num_sats = mobility_->num_satellites();
+    const int num_sats = num_sats_;
+    const Vec3* const sat_positions = graph_.node_positions_data();
     std::uint32_t* bounds =
         not_before_ms_.data() +
         static_cast<std::size_t>(gs_index) * static_cast<std::size_t>(num_sats);
@@ -118,7 +158,7 @@ void SnapshotRefresher::scan_gsl_row(int gs_index, TimeNs t, std::uint32_t now_m
     cand.clear();
     for (int sat = 0; sat < num_sats; ++sat) {
         if (cull && now_ms < bounds[sat]) continue;
-        const Vec3 delta = sat_positions_[static_cast<std::size_t>(sat)] - frame.ecef;
+        const Vec3 delta = sat_positions[static_cast<std::size_t>(sat)] - frame.ecef;
         const double d = delta.norm();
         if (d > horizon_range_km_) {
             if (cull) {
@@ -136,21 +176,54 @@ void SnapshotRefresher::scan_gsl_row(int gs_index, TimeNs t, std::uint32_t now_m
         if (zenith < 0.0) continue;  // below the horizon plane
         cand.push_back({sat, d});
     }
-    std::sort(cand.begin(), cand.end(), [](const SkyCandidate& a, const SkyCandidate& b) {
-        return a.range_km < b.range_km;
-    });
     row.clear();
     std::size_t masked = 0;
-    for (const SkyCandidate& c : cand) {
-        if (c.range_km > shell_max_range_km_) break;  // ascending: rest unconnectable
-        if (c.range_km > max_range) break;  // weather-shrunk cone
-        if (!fault_sat_down_.empty() &&
-            fault_sat_down_[static_cast<std::size_t>(c.sat)] != 0) {
-            ++masked;
-            continue;  // dead satellite: same skip as build_snapshot
+    if (group_ != nullptr) {
+        // Group law (see build_group_snapshot): total (range, id) order,
+        // per-satellite cone ranges, weather factor applied to each
+        // candidate's own shell. Candidates beyond the loosest weathered
+        // cone end the scan — everything after them fails its own
+        // (smaller) cone too.
+        std::sort(cand.begin(), cand.end(),
+                  [](const SkyCandidate& a, const SkyCandidate& b) {
+                      return a.range_km < b.range_km ||
+                             (a.range_km == b.range_km && a.sat < b.sat);
+                  });
+        const double* const max_r = sat_max_range_km_.data();
+        for (const SkyCandidate& c : cand) {
+            if (c.range_km > shell_max_range_km_ * factor &&
+                c.range_km > shell_max_range_km_) {
+                break;
+            }
+            if (c.range_km > max_r[static_cast<std::size_t>(c.sat)] ||
+                c.range_km > max_r[static_cast<std::size_t>(c.sat)] * factor) {
+                continue;  // outside this candidate's (weathered) cone
+            }
+            if (!fault_sat_down_.empty() &&
+                fault_sat_down_[static_cast<std::size_t>(c.sat)] != 0) {
+                ++masked;
+                continue;  // dead satellite: same skip as build_snapshot
+            }
+            row.push_back({c.sat, c.range_km});
+            if (options_.gs_nearest_satellite_only) break;
         }
-        row.push_back({c.sat, c.range_km});
-        if (options_.gs_nearest_satellite_only) break;
+    } else {
+        const double max_range = shell_max_range_km_ * factor;
+        std::sort(cand.begin(), cand.end(),
+                  [](const SkyCandidate& a, const SkyCandidate& b) {
+                      return a.range_km < b.range_km;
+                  });
+        for (const SkyCandidate& c : cand) {
+            if (c.range_km > shell_max_range_km_) break;  // ascending: rest unconnectable
+            if (c.range_km > max_range) break;  // weather-shrunk cone
+            if (!fault_sat_down_.empty() &&
+                fault_sat_down_[static_cast<std::size_t>(c.sat)] != 0) {
+                ++masked;
+                continue;  // dead satellite: same skip as build_snapshot
+            }
+            row.push_back({c.sat, c.range_km});
+            if (options_.gs_nearest_satellite_only) break;
+        }
     }
     if (masked != 0) {
         static obs::Counter* const masked_metric =
@@ -188,17 +261,34 @@ const Graph& SnapshotRefresher::refresh(TimeNs t) {
         &obs::metrics().counter("route.gsl_rows_patched");
     refresh_metric->inc();
 
-    mobility_->warm_cache(t);
-
-    // 0. Flatten this epoch's satellite positions: every consumer below
-    // (ISL weights, all GS scans) reads the same position, so
-    // interpolate each satellite once instead of once per (GS, sat).
-    const int num_sats = mobility_->num_satellites();
-    sat_positions_.resize(static_cast<std::size_t>(num_sats));
-    for (int sat = 0; sat < num_sats; ++sat) {
-        sat_positions_[static_cast<std::size_t>(sat)] =
-            mobility_->position_ecef_warm(sat, t);
+    if (group_ != nullptr) {
+        group_->warm_caches(t);
+    } else {
+        mobility_->warm_cache(t);
     }
+
+    // 0. Flatten this epoch's satellite positions into the graph's
+    // node-position buffer: every consumer (ISL weights, all GS scans,
+    // the A* heuristic) reads the same point, so interpolate each
+    // satellite once instead of once per (GS, sat).
+    std::vector<Vec3>& positions = graph_.mutable_node_positions();
+    if (group_ != nullptr) {
+        for (int s = 0; s < group_->num_shells(); ++s) {
+            const topo::SatelliteMobility& mob = group_->mobility(s);
+            const int n = mob.num_satellites();
+            const int off = group_->global_id(s, 0);
+            for (int local = 0; local < n; ++local) {
+                positions[static_cast<std::size_t>(off + local)] =
+                    mob.position_ecef_warm(local, t);
+            }
+        }
+    } else {
+        for (int sat = 0; sat < num_sats_; ++sat) {
+            positions[static_cast<std::size_t>(sat)] =
+                mobility_->position_ecef_warm(sat, t);
+        }
+    }
+    const Vec3* const sat_positions = positions.data();
 
     // Cull bounds are one-sided (forward in time); a backwards jump
     // invalidates them all. Times beyond the 32-bit ms horizon disable
@@ -230,8 +320,8 @@ const Graph& SnapshotRefresher::refresh(TimeNs t) {
         std::size_t masked = 0;
         for (std::size_t i = 0; i < isls_->size(); ++i) {
             const auto& isl = (*isls_)[i];
-            double d = sat_positions_[static_cast<std::size_t>(isl.sat_a)].distance_to(
-                sat_positions_[static_cast<std::size_t>(isl.sat_b)]);
+            double d = sat_positions[static_cast<std::size_t>(isl.sat_a)].distance_to(
+                sat_positions[static_cast<std::size_t>(isl.sat_b)]);
             if (faults != nullptr &&
                 (fault_sat_down_[static_cast<std::size_t>(isl.sat_a)] != 0 ||
                  fault_sat_down_[static_cast<std::size_t>(isl.sat_b)] != 0 ||

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/routing/graph.hpp"
+#include "src/topology/shell_group.hpp"
 #include "src/util/vec3.hpp"
 
 namespace hypatia::route {
@@ -41,6 +42,16 @@ class SnapshotRefresher {
                       const std::vector<orbit::GroundStation>& ground_stations,
                       SnapshotOptions options = {});
 
+    /// Multi-shell variant over a ShellGroup (which must outlive the
+    /// refresher; its intra-shell ISL list is the frozen base). Refresh
+    /// results are byte-identical to build_group_snapshot() at the same
+    /// time — including the group GSL law: per-shell cone ranges, the
+    /// weather factor applied per candidate, rows sorted by
+    /// (range, satellite id).
+    SnapshotRefresher(const topo::ShellGroup& group,
+                      const std::vector<orbit::GroundStation>& ground_stations,
+                      SnapshotOptions options = {});
+
     /// Brings the graph to time `t` and returns it. Not re-entrant.
     const Graph& refresh(TimeNs t);
 
@@ -51,14 +62,17 @@ class SnapshotRefresher {
     std::size_t last_rows_patched() const { return last_rows_patched_; }
 
   private:
+    void init();
     void scan_gsl_row(int gs_index, TimeNs t, std::uint32_t now_ms, bool cull,
                       std::vector<Edge>& row);
     void patch_gs_row(int gs_index, const std::vector<Edge>& fresh);
 
-    const topo::SatelliteMobility* mobility_;
+    const topo::SatelliteMobility* mobility_;  // null in group mode
+    const topo::ShellGroup* group_ = nullptr;  // null in single-shell mode
     const std::vector<topo::Isl>* isls_;
     const std::vector<orbit::GroundStation>* ground_stations_;
     SnapshotOptions options_;
+    int num_sats_ = 0;
 
     Graph graph_;
     /// Directed CSR slots of each ISL (a->b, b->a), for in-place weight
@@ -84,12 +98,14 @@ class SnapshotRefresher {
     };
 
     std::vector<GsFrame> gs_frames_;
-    double horizon_range_km_ = 0.0;
-    double shell_max_range_km_ = 0.0;
-    /// Flat ECEF satellite positions at the current refresh time: one
-    /// interpolation per satellite per epoch instead of one per
-    /// (GS, satellite) pair.
-    std::vector<Vec3> sat_positions_;
+    double horizon_range_km_ = 0.0;     // max over shells in group mode
+    double shell_max_range_km_ = 0.0;   // max over shells in group mode
+    /// Group mode only: each satellite's own shell's max GSL range.
+    std::vector<double> sat_max_range_km_;
+    // Flat ECEF satellite positions at the current refresh time live in
+    // the graph's node-position buffer (shared with the A* heuristic):
+    // one interpolation per satellite per epoch instead of one per
+    // (GS, satellite) pair.
     /// Temporal-coherence cull bounds, indexed gs * num_sats + sat: the
     /// epoch-time (ms) before which the satellite provably stays beyond
     /// horizon_range_km_ of the GS (0 = must recheck). Maintained only

@@ -65,6 +65,31 @@ const ShellParams& shell_by_name(const std::string& name) {
     throw std::out_of_range("unknown shell: " + name);
 }
 
+const std::vector<ShellParams>& full_sky_shells() { return table1_shells(); }
+
+const std::vector<ShellParams>& starlink_gen2_shells() {
+    // The 2021 FCC amendment configuration (29,988 satellites). Elevation
+    // and phasing follow the paper's Starlink conventions.
+    static const std::vector<ShellParams> shells = {
+        {"starlink_gen2_a1", 340.0, 48, 110, 53.0, 25.0, 0.5},
+        {"starlink_gen2_a2", 345.0, 48, 110, 46.0, 25.0, 0.5},
+        {"starlink_gen2_a3", 350.0, 48, 110, 38.0, 25.0, 0.5},
+        {"starlink_gen2_sso", 360.0, 30, 120, 96.9, 25.0, 0.5},
+        {"starlink_gen2_b1", 525.0, 28, 120, 53.0, 25.0, 0.5},
+        {"starlink_gen2_b2", 530.0, 28, 120, 43.0, 25.0, 0.5},
+        {"starlink_gen2_b3", 535.0, 28, 120, 33.0, 25.0, 0.5},
+        {"starlink_gen2_retro", 604.0, 12, 12, 148.0, 25.0, 0.5},
+        {"starlink_gen2_polar", 614.0, 18, 18, 115.7, 25.0, 0.5},
+    };
+    return shells;
+}
+
+std::vector<ShellParams> constellation_shells(const std::string& name) {
+    if (name == "full_sky") return full_sky_shells();
+    if (name == "starlink_gen2") return starlink_gen2_shells();
+    return {shell_by_name(name)};
+}
+
 orbit::JulianDate default_epoch() {
     return orbit::julian_date_from_utc(2000, 1, 1, 0, 0, 0.0);
 }

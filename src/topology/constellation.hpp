@@ -110,6 +110,37 @@ const std::vector<ShellParams>& table1_shells();
 /// Looks up one Table-1 shell by name; throws std::out_of_range if absent.
 const ShellParams& shell_by_name(const std::string& name);
 
+/// The "full sky" preset: every Table-1 shell operated as one ShellGroup
+/// (all five Starlink phase-1 shells, all three Kuiper shells, both
+/// Telesat shells — 9,316 satellites total). Cross-shell traffic passes
+/// through the ground, per ShellGroup's ISL rule.
+const std::vector<ShellParams>& full_sky_shells();
+
+/// Starlink Gen2 per the 2021 FCC amendment (the configuration the 2022
+/// partial grant authorizes), 29,988 satellites over nine shells:
+///
+///   | shell          | alt km | incl deg | orbits x sats |
+///   |----------------|--------|----------|---------------|
+///   | gen2_a1        |   340  |   53.0   |   48 x 110    |
+///   | gen2_a2        |   345  |   46.0   |   48 x 110    |
+///   | gen2_a3        |   350  |   38.0   |   48 x 110    |
+///   | gen2_sso       |   360  |   96.9   |   30 x 120    |
+///   | gen2_b1        |   525  |   53.0   |   28 x 120    |
+///   | gen2_b2        |   530  |   43.0   |   28 x 120    |
+///   | gen2_b3        |   535  |   33.0   |   28 x 120    |
+///   | gen2_retro     |   604  |  148.0   |   12 x  12    |
+///   | gen2_polar     |   614  |  115.7   |   18 x  18    |
+///
+/// Starlink's 25-degree minimum elevation and the +Grid / phase 0.5
+/// conventions of Table 1 apply to every shell.
+const std::vector<ShellParams>& starlink_gen2_shells();
+
+/// Resolves a constellation name to its shell list: the multi-shell
+/// presets "full_sky" and "starlink_gen2", or any single shell name
+/// known to shell_by_name (returned as a one-element list). Throws
+/// std::out_of_range for unknown names.
+std::vector<ShellParams> constellation_shells(const std::string& name);
+
 /// The constellation epoch used throughout: 2000-01-01 00:00:00 UTC.
 orbit::JulianDate default_epoch();
 

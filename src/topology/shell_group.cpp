@@ -1,5 +1,6 @@
 #include "src/topology/shell_group.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hypatia::topo {
@@ -42,6 +43,10 @@ const Vec3& ShellGroup::position_ecef(int global_sat_id, TimeNs t) const {
         local_id(global_sat_id), t);
 }
 
+void ShellGroup::warm_caches(TimeNs t) const {
+    for (const auto& shell : shells_) shell.mobility->warm_cache(t);
+}
+
 std::vector<SkyEntry> ShellGroup::visible_satellites(const orbit::GroundStation& gs,
                                                      TimeNs t) const {
     std::vector<SkyEntry> out;
@@ -52,6 +57,13 @@ std::vector<SkyEntry> ShellGroup::visible_satellites(const orbit::GroundStation&
             out.push_back(e);
         }
     }
+    // Merge the per-shell range-sorted runs into one globally sorted
+    // list under the (range, id) total order, so downstream GSL rows
+    // have a deterministic cross-shell ordering.
+    std::sort(out.begin(), out.end(), [](const SkyEntry& a, const SkyEntry& b) {
+        return a.range_km < b.range_km ||
+               (a.range_km == b.range_km && a.sat_id < b.sat_id);
+    });
     return out;
 }
 

@@ -41,11 +41,18 @@ class ShellGroup {
     /// ECEF position of a global satellite id.
     const Vec3& position_ecef(int global_sat_id, TimeNs t) const;
 
+    /// Batches the SGP4 propagation of every shell for time `t` (see
+    /// SatelliteMobility::warm_cache); safe to call from one thread
+    /// before parallel warm reads.
+    void warm_caches(TimeNs t) const;
+
     /// All intra-shell +Grid ISLs, in global satellite ids.
     const std::vector<Isl>& isls() const { return isls_; }
 
     /// Connectable satellites (global ids) from `gs` across all shells,
-    /// each under its own shell's cone-range rule.
+    /// each under its own shell's cone-range rule, merged into one list
+    /// sorted by ascending (range, global id) — a total order, so the
+    /// result is independent of per-shell scan order.
     std::vector<SkyEntry> visible_satellites(const orbit::GroundStation& gs,
                                              TimeNs t) const;
 
