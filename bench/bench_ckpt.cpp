@@ -1,0 +1,231 @@
+// Checkpoint overhead + recovery guard (DESIGN.md §13): the emulation
+// export pipeline on Starlink S1 with a seeded ground-station fault,
+// run three ways —
+//   1. base — checkpointing off, timed;
+//   2. periodic — a realistic HYPATIA_CKPT_INTERVAL_S-style policy
+//      (durable write when due, armed in-memory image every step),
+//      timed against the base run for the overhead fraction;
+//   3. recovery — checkpoint every step, drop every generation past the
+//      midpoint (simulating a crash), resume, and require the resumed
+//      schedules byte-identical to the base run; write and restore
+//      latency measured directly.
+// Writes bench_output/BENCH_ckpt.json. Exits non-zero when the resumed
+// schedules diverge, when no checkpoint survives the fuzz of a real
+// run, or when the periodic-checkpoint overhead exceeds 5% (plus a
+// 50 ms absolute floor so ~second-long CI runs don't fail on noise).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/paper_pairs.hpp"
+#include "src/ckpt/checkpoint.hpp"
+#include "src/emu/export.hpp"
+#include "src/fault/fault.hpp"
+#include "src/emu/schedule.hpp"
+#include "src/obs/observability.hpp"
+
+namespace hypatia {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string ckpt_dir(const char* leaf) {
+    const std::string dir = util::output_path("bench_output", leaf);
+    return dir;
+}
+
+void clear_generations(const std::string& dir, int from, int to) {
+    for (int g = from; g <= to; ++g) {
+        char buf[512];
+        std::snprintf(buf, sizeof(buf), "%s/ckpt-%010d.hyc", dir.c_str(), g);
+        ::unlink(buf);
+    }
+}
+
+int run(int argc, char** argv) {
+    bench::BenchArgs args(argc, argv);
+    const double duration_s = args.duration_s(10.0, 60.0);
+    const double step_ms = args.step_ms(100.0, 100.0);
+    args.finish_flags("checkpoint overhead + crash-recovery on Starlink S1");
+
+    bench::print_header("Checkpoint overhead + recovery: Starlink S1");
+
+    // Two section-4 pairs and a deterministic mid-run ground-station
+    // outage, so the checkpointed state includes severed windows and a
+    // live fault cursor.
+    core::Scenario scenario = bench::scenario_with_cities(
+        "starlink_s1", {"Rio de Janeiro", "Saint Petersburg", "Istanbul",
+                        "New York"});
+    std::vector<fault::FaultEvent> events;
+    events.push_back({fault::FaultKind::kGroundStation, 0, -1,
+                      seconds_to_ns(duration_s * 0.3),
+                      seconds_to_ns(duration_s * 0.6)});
+    const fault::FaultSchedule schedule = fault::FaultSchedule::from_events(
+        events, scenario.shell.num_satellites(),
+        static_cast<int>(scenario.ground_stations.size()));
+    const std::string fault_csv = bench::out_path("ckpt_bench_faults.csv");
+    schedule.save_csv(fault_csv);
+    scenario.faults = fault::FaultSpec{std::nullopt, fault_csv};
+
+    emu::ExportOptions eopt;
+    eopt.t_end = seconds_to_ns(duration_s);
+    eopt.step = ms_to_ns(step_ms);
+    const std::vector<route::GsPair> pairs = {{0, 1}, {2, 3}};
+
+    // Phase 1: base run, checkpointing off.
+    emu::ExportOptions base_opt = eopt;
+    base_opt.checkpoint = ckpt::Policy::disabled();
+    emu::ScheduleExporter base(scenario, pairs, base_opt);
+    const Clock::time_point b0 = Clock::now();
+    const auto& base_schedules = base.run();
+    const double base_wall = seconds_since(b0);
+    const std::size_t steps = base.num_steps();
+    std::printf("base:     %zu steps in %.3f s\n", steps, base_wall);
+
+    // Phase 2: periodic policy — durable write every 0.5 s of wall
+    // time, the in-memory image re-armed at every other boundary (the
+    // configuration a long-running deployment uses).
+    ckpt::Policy periodic;
+    periodic.dir = ckpt_dir("ckpt_bench_periodic");
+    periodic.interval_s = 0.5;
+    clear_generations(periodic.dir, 0, 4096);
+    emu::ExportOptions periodic_opt = eopt;
+    periodic_opt.checkpoint = periodic;
+    emu::ScheduleExporter timed(scenario, pairs, periodic_opt);
+    const Clock::time_point p0 = Clock::now();
+    timed.run();
+    const double ckpt_wall = seconds_since(p0);
+    const double overhead_frac =
+        base_wall > 0.0 ? (ckpt_wall - base_wall) / base_wall : 0.0;
+    std::printf("periodic: %zu steps in %.3f s (overhead %.2f%%)\n", steps,
+                ckpt_wall, 100.0 * overhead_frac);
+
+    // Phase 3: recovery. Checkpoint every step, then drop everything
+    // past the midpoint and resume.
+    ckpt::Policy every;
+    every.dir = ckpt_dir("ckpt_bench_recovery");
+    every.interval_s = 0.0;
+    every.keep = 1 << 20;
+    clear_generations(every.dir, 0, 4096);
+    emu::ExportOptions every_opt = eopt;
+    every_opt.checkpoint = every;
+    emu::ScheduleExporter writer(scenario, pairs, every_opt);
+    writer.run();
+    const std::size_t checkpoints_written = steps > 0 ? steps - 1 : 0;
+    clear_generations(every.dir, static_cast<int>(steps / 2),
+                      static_cast<int>(steps + 8));
+
+    // Restore latency: manager scan + decode + exporter state rebuild.
+    every.resume = true;
+    emu::ExportOptions resume_opt = eopt;
+    resume_opt.checkpoint = ckpt::Policy::disabled();
+    emu::ScheduleExporter resumed(scenario, pairs, resume_opt);
+    ckpt::Manager manager(every);
+    const Clock::time_point r0 = Clock::now();
+    const auto saved = manager.load_latest();
+    bool restored = false;
+    if (saved.has_value()) {
+        if (const ckpt::Section* s = saved->find("emu.exporter")) {
+            restored = resumed.restore_state(s->payload);
+        }
+    }
+    const double restore_ms = seconds_since(r0) * 1e3;
+    const std::size_t resume_step = resumed.next_step();
+    resumed.run();
+
+    bool resume_identical = restored && resumed.schedules().size() ==
+                                            base_schedules.size();
+    for (std::size_t i = 0; resume_identical && i < base_schedules.size(); ++i) {
+        resume_identical =
+            emu::to_csv(resumed.schedules()[i]) == emu::to_csv(base_schedules[i]);
+    }
+    std::printf("recovery: resumed at step %zu/%zu in %.2f ms, schedules %s\n",
+                resume_step, steps, restore_ms,
+                resume_identical ? "byte-identical" : "DIVERGED");
+
+    // Write latency: one explicit durable write of the final image.
+    const Clock::time_point w0 = Clock::now();
+    ckpt::Checkpoint final_image;
+    final_image.epoch_index = steps;
+    final_image.sim_time = eopt.t_end;
+    final_image.add("emu.exporter", resumed.save_state());
+    ckpt::Writer mw;
+    ckpt::save_metrics_section(mw);
+    final_image.add("obs.metrics", mw.take());
+    const std::uint64_t image_bytes = ckpt::encode(final_image).size();
+    manager.write(std::move(final_image));
+    const double write_ms = seconds_since(w0) * 1e3;
+    std::printf("write:    %.2f ms for a %llu-byte image\n", write_ms,
+                static_cast<unsigned long long>(image_bytes));
+
+    const std::string path = util::output_path("bench_output", "BENCH_ckpt.json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"ckpt\",\n"
+                 "  \"constellation\": \"starlink_s1\",\n"
+                 "  \"duration_s\": %.1f,\n"
+                 "  \"step_ms\": %.1f,\n"
+                 "  \"pairs\": %zu,\n"
+                 "  \"steps\": %zu,\n"
+                 "  \"base\": {\n"
+                 "    \"wall_s\": %.4f\n"
+                 "  },\n"
+                 "  \"periodic\": {\n"
+                 "    \"wall_s\": %.4f,\n"
+                 "    \"overhead_frac\": %.4f\n"
+                 "  },\n"
+                 "  \"recovery\": {\n"
+                 "    \"checkpoints_written\": %zu,\n"
+                 "    \"resume_step\": %zu,\n"
+                 "    \"image_bytes\": %llu,\n"
+                 "    \"write_ms\": %.3f,\n"
+                 "    \"restore_ms\": %.3f,\n"
+                 "    \"resume_identical\": %d\n"
+                 "  }\n"
+                 "}\n",
+                 duration_s, step_ms, pairs.size(), steps, base_wall, ckpt_wall,
+                 overhead_frac, checkpoints_written, resume_step,
+                 static_cast<unsigned long long>(image_bytes), write_ms,
+                 restore_ms, resume_identical ? 1 : 0);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+
+    // Self-checks.
+    if (!resume_identical) {
+        std::fprintf(stderr,
+                     "FAIL: resumed schedules diverge from the base run\n");
+        return 1;
+    }
+    if (resume_step == 0 || resume_step >= steps) {
+        std::fprintf(stderr, "FAIL: resume did not start mid-run (step %zu)\n",
+                     resume_step);
+        return 1;
+    }
+    // 5%% relative plus a 50 ms absolute floor: on a ~1 s CI run the
+    // floor absorbs scheduler noise; on longer runs the 5%% dominates.
+    if (ckpt_wall > base_wall * 1.05 + 0.05) {
+        std::fprintf(stderr,
+                     "FAIL: periodic checkpoint overhead %.2f%% exceeds 5%%\n",
+                     100.0 * overhead_frac);
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace hypatia
+
+int main(int argc, char** argv) { return hypatia::run(argc, argv); }

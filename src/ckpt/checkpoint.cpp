@@ -1,0 +1,509 @@
+#include "src/ckpt/checkpoint.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "src/obs/introspect.hpp"
+#include "src/obs/observability.hpp"
+#include "src/obs/recorder.hpp"
+
+namespace hypatia::ckpt {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'Y', 'C', 'K'};
+constexpr char kEndMarker[4] = {'K', 'C', 'Y', 'H'};
+
+double now_s() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string generation_file_name(std::uint64_t generation) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "ckpt-%010llu.hyc",
+                  static_cast<unsigned long long>(generation));
+    return buf;
+}
+
+/// Checkpoint files in `dir`, newest generation first. Non-matching
+/// names (temp files included) are ignored.
+std::vector<std::pair<std::uint64_t, std::string>> list_generations(
+    const std::string& dir) {
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return out;
+    while (dirent* entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name.size() <= 9 || name.compare(0, 5, "ckpt-") != 0 ||
+            name.compare(name.size() - 4, 4, ".hyc") != 0) {
+            continue;
+        }
+        const std::string digits = name.substr(5, name.size() - 9);
+        char* end = nullptr;
+        const unsigned long long gen = std::strtoull(digits.c_str(), &end, 10);
+        if (end == digits.c_str() || *end != '\0') continue;
+        out.emplace_back(static_cast<std::uint64_t>(gen), name);
+    }
+    ::closedir(d);
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    return out;
+}
+
+/// The manager whose armed image the fatal-signal hook / final-flush
+/// shutdown hook would write. One at a time: the engine driving the run
+/// owns it; arm() claims, disarm() releases.
+std::atomic<Manager*> g_armed_manager{nullptr};
+
+void flush_armed_at_shutdown();
+
+/// One-time wiring of the fatal-signal hook (runs before the recorder
+/// dump in the shared handler) and the ordered final-checkpoint
+/// shutdown hook.
+void ensure_process_hooks() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        obs::set_fatal_signal_hook(&Manager::fatal_signal_hook);
+        obs::install_fatal_signal_handlers();
+        obs::register_shutdown_hook(obs::kShutdownFinalCheckpoint,
+                                    &flush_armed_at_shutdown);
+    });
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Checkpoint& ckpt) {
+    Writer w;
+    w.raw(kMagic, sizeof(kMagic));
+    w.u32(kFormatVersion);
+    w.u64(ckpt.generation);
+    w.i64(ckpt.sim_time);
+    w.u64(ckpt.epoch_index);
+    w.u32(static_cast<std::uint32_t>(ckpt.sections.size()));
+    for (const auto& section : ckpt.sections) {
+        w.str(section.name);
+        w.u64(section.payload.size());
+        w.raw(section.payload.data(), section.payload.size());
+        w.u32(crc32(section.payload.data(), section.payload.size()));
+    }
+    w.u32(crc32(w.bytes().data(), w.bytes().size()));
+    w.raw(kEndMarker, sizeof(kEndMarker));
+    return w.take();
+}
+
+Checkpoint decode(const std::uint8_t* data, std::size_t size) {
+    // Header (magic + version) and trailer (file CRC + end marker)
+    // validate first: any truncation or bit flip anywhere in the file is
+    // rejected before section parsing even starts.
+    constexpr std::size_t kMinSize = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 4;
+    if (size < kMinSize) throw CorruptError("ckpt: file too short");
+    if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+        throw CorruptError("ckpt: bad magic");
+    }
+    std::uint32_t version = 0;
+    std::memcpy(&version, data + 4, sizeof(version));
+    if (version != kFormatVersion) {
+        throw CorruptError("ckpt: unsupported format version " +
+                           std::to_string(version) + " (want " +
+                           std::to_string(kFormatVersion) + ")");
+    }
+    if (std::memcmp(data + size - 4, kEndMarker, sizeof(kEndMarker)) != 0) {
+        throw CorruptError("ckpt: missing end marker (truncated?)");
+    }
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, data + size - 8, sizeof(stored_crc));
+    if (crc32(data, size - 8) != stored_crc) {
+        throw CorruptError("ckpt: file CRC mismatch");
+    }
+
+    Reader r(data + 8, size - 8 - 8);
+    Checkpoint ckpt;
+    ckpt.generation = r.u64();
+    ckpt.sim_time = r.i64();
+    ckpt.epoch_index = r.u64();
+    const std::uint32_t section_count = r.u32();
+    ckpt.sections.reserve(std::min<std::size_t>(section_count, 64));
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+        Section section;
+        section.name = r.str();
+        r.vec(section.payload);
+        const std::uint32_t section_crc = r.u32();
+        if (crc32(section.payload.data(), section.payload.size()) != section_crc) {
+            throw CorruptError("ckpt: section '" + section.name +
+                               "' CRC mismatch");
+        }
+        ckpt.sections.push_back(std::move(section));
+    }
+    if (!r.at_end()) throw CorruptError("ckpt: trailing bytes after sections");
+    return ckpt;
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0) throw std::runtime_error("ckpt: cannot open " + tmp);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw std::runtime_error("ckpt: write failed for " + tmp);
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    ::fsync(fd);
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        throw std::runtime_error("ckpt: rename to " + path + " failed");
+    }
+    // fsync the directory so the rename itself is durable.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+std::optional<Checkpoint> read_checkpoint_file(const std::string& path,
+                                               std::string* error) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (error != nullptr) *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        if (error != nullptr) *error = "cannot stat " + path;
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::read(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    if (off != bytes.size()) {
+        if (error != nullptr) *error = "short read on " + path;
+        return std::nullopt;
+    }
+    try {
+        return decode(bytes);
+    } catch (const CorruptError& e) {
+        if (error != nullptr) *error = e.what();
+        return std::nullopt;
+    }
+}
+
+Policy Policy::from_env() {
+    Policy p;
+    if (const char* env = std::getenv("HYPATIA_CKPT_DIR")) p.dir = env;
+    if (const char* env = std::getenv("HYPATIA_CKPT_INTERVAL_S")) {
+        char* end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end != env && *end == '\0' && v >= 0.0) {
+            p.interval_s = v;
+        } else if (*env != '\0') {
+            std::fprintf(stderr,
+                         "hypatia: ignoring malformed HYPATIA_CKPT_INTERVAL_S=%s\n",
+                         env);
+        }
+    }
+    if (const char* env = std::getenv("HYPATIA_CKPT_RESUME")) {
+        const std::string v = env;
+        p.resume = v == "1" || v == "true" || v == "on";
+    }
+    if (const char* env = std::getenv("HYPATIA_CKPT_KEEP")) {
+        char* end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0) p.keep = static_cast<int>(v);
+    }
+    return p;
+}
+
+Manager::Manager(Policy policy) : policy_(std::move(policy)) {
+    last_write_wall_ = now_s();
+    if (!policy_.enabled()) return;
+    ::mkdir(policy_.dir.c_str(), 0755);  // EEXIST is fine
+    // Continue the generation sequence past whatever the directory
+    // already holds, so a fresh (non-resuming) run never overwrites a
+    // previous run's recovery points before pruning decides to.
+    const auto existing = list_generations(policy_.dir);
+    if (!existing.empty()) next_generation_ = existing.front().first + 1;
+    ensure_process_hooks();
+}
+
+Manager::~Manager() { disarm(); }
+
+bool Manager::due() const {
+    if (!enabled()) return false;
+    if (trigger_.load(std::memory_order_relaxed)) return true;
+    if (policy_.interval_s <= 0.0) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_s() - last_write_wall_ >= policy_.interval_s;
+}
+
+std::uint64_t Manager::write(Checkpoint ckpt) {
+    const double t0 = now_s();
+    std::lock_guard<std::mutex> lock(mu_);
+    ckpt.generation = next_generation_++;
+    const std::vector<std::uint8_t> bytes = encode(ckpt);
+    const std::string path =
+        policy_.dir + "/" + generation_file_name(ckpt.generation);
+    atomic_write_file(path, bytes);
+
+    last_generation_ = ckpt.generation;
+    last_bytes_ = bytes.size();
+    last_sim_time_ = ckpt.sim_time;
+    last_epoch_index_ = ckpt.epoch_index;
+    last_write_wall_ = now_s();
+    last_error_.clear();
+    trigger_.store(false, std::memory_order_relaxed);
+    // This image is durable; the fatal-signal buffer is stale now.
+    arming_.store(true, std::memory_order_release);
+    armed_bytes_.clear();
+    armed_path_.clear();
+    arming_.store(false, std::memory_order_release);
+
+    auto& m = obs::metrics();
+    m.counter("ckpt.generations_written").inc();
+    m.counter("ckpt.bytes_written").inc(bytes.size());
+    m.histogram("ckpt.write_us")
+        .record(static_cast<std::uint64_t>((last_write_wall_ - t0) * 1e6));
+    prune_locked();
+    return ckpt.generation;
+}
+
+void Manager::prune_locked() {
+    const auto files = list_generations(policy_.dir);
+    for (std::size_t i = static_cast<std::size_t>(std::max(policy_.keep, 1));
+         i < files.size(); ++i) {
+        ::unlink((policy_.dir + "/" + files[i].second).c_str());
+    }
+}
+
+std::optional<Checkpoint> Manager::load_latest() {
+    if (!enabled()) return std::nullopt;
+    auto& m = obs::metrics();
+    for (const auto& [gen, name] : list_generations(policy_.dir)) {
+        std::string error;
+        std::optional<Checkpoint> ckpt =
+            read_checkpoint_file(policy_.dir + "/" + name, &error);
+        if (ckpt.has_value()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            next_generation_ = std::max(next_generation_, gen + 1);
+            m.counter("ckpt.restores").inc();
+            return ckpt;
+        }
+        // Corrupt / truncated / version-mismatched: skip and fall back
+        // to the previous generation.
+        std::fprintf(stderr, "hypatia: skipping checkpoint %s/%s (%s)\n",
+                     policy_.dir.c_str(), name.c_str(), error.c_str());
+        m.counter("ckpt.corrupt_skipped").inc();
+        std::lock_guard<std::mutex> lock(mu_);
+        last_error_ = error;
+    }
+    return std::nullopt;
+}
+
+void Manager::arm(Checkpoint ckpt) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ckpt.generation = next_generation_;
+    // `arming_` fences the signal handler out while path/bytes mutate;
+    // a handler firing in the (unfenced) steady state reads a complete
+    // image.
+    arming_.store(true, std::memory_order_release);
+    armed_path_ = policy_.dir + "/" + generation_file_name(ckpt.generation);
+    armed_bytes_ = encode(ckpt);
+    last_sim_time_ = ckpt.sim_time;
+    last_epoch_index_ = ckpt.epoch_index;
+    arming_.store(false, std::memory_order_release);
+    g_armed_manager.store(this, std::memory_order_release);
+}
+
+void Manager::disarm() {
+    Manager* expected = this;
+    g_armed_manager.compare_exchange_strong(expected, nullptr,
+                                            std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(mu_);
+    arming_.store(true, std::memory_order_release);
+    armed_bytes_.clear();
+    armed_path_.clear();
+    arming_.store(false, std::memory_order_release);
+}
+
+void Manager::write_armed_image() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (armed_bytes_.empty()) return;
+    try {
+        atomic_write_file(armed_path_, armed_bytes_);
+        last_generation_ = next_generation_++;
+        last_bytes_ = armed_bytes_.size();
+        obs::metrics().counter("ckpt.generations_written").inc();
+        obs::metrics().counter("ckpt.bytes_written").inc(armed_bytes_.size());
+        prune_locked();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "hypatia: final checkpoint failed: %s\n", e.what());
+    }
+    armed_bytes_.clear();
+    armed_path_.clear();
+}
+
+void Manager::fatal_signal_hook() {
+    // Async-signal context: open/write/close only — no locks, no
+    // allocation, no stdio. A torn or stale image is harmless: both CRC
+    // layers reject it on restore and the scan falls back to the
+    // previous durable generation.
+    Manager* m = g_armed_manager.load(std::memory_order_acquire);
+    if (m == nullptr || m->arming_.load(std::memory_order_acquire)) return;
+    if (m->armed_bytes_.empty()) return;
+    const int fd =
+        ::open(m->armed_path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0) return;
+    std::size_t off = 0;
+    while (off < m->armed_bytes_.size()) {
+        const ssize_t n = ::write(fd, m->armed_bytes_.data() + off,
+                                  m->armed_bytes_.size() - off);
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+}
+
+namespace {
+
+void flush_armed_at_shutdown() {
+    if (Manager* m = g_armed_manager.load(std::memory_order_acquire)) {
+        m->write_armed_image();
+    }
+}
+
+}  // namespace
+
+std::string Manager::status_json() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string json = "{";
+    json += "\"enabled\":" + std::string(enabled() ? "true" : "false");
+    json += ",\"dir\":\"" + policy_.dir + "\"";
+    json += ",\"interval_s\":" + std::to_string(policy_.interval_s);
+    json += ",\"resume\":" + std::string(policy_.resume ? "true" : "false");
+    json += ",\"keep\":" + std::to_string(policy_.keep);
+    json += ",\"last_generation\":" + std::to_string(last_generation_);
+    json += ",\"last_bytes\":" + std::to_string(last_bytes_);
+    json += ",\"last_sim_time_ns\":" + std::to_string(last_sim_time_);
+    json += ",\"last_epoch_index\":" + std::to_string(last_epoch_index_);
+    json += ",\"trigger_pending\":" +
+            std::string(trigger_.load(std::memory_order_relaxed) ? "true"
+                                                                 : "false");
+    json += ",\"last_error\":\"" + last_error_ + "\"";
+    json += "}";
+    return json;
+}
+
+Manager& Manager::global() {
+    // Intentionally leaked: the fatal-signal hook and the shutdown-hook
+    // chain may consult it during static destruction.
+    static Manager* manager = [] {
+        auto* m = new Manager(Policy::from_env());
+        obs::IntrospectionServer::register_handler(
+            "/checkpoint", [m](const std::string& query) {
+                if (obs::query_param(query, "trigger") == "1") m->request_now();
+                obs::IntrospectionServer::Response resp;
+                resp.content_type = "application/json";
+                resp.body = m->status_json() + "\n";
+                return resp;
+            });
+        return m;
+    }();
+    return *manager;
+}
+
+Manager* Manager::resolve(const std::optional<Policy>& opt,
+                          std::optional<Manager>& local) {
+    if (!opt.has_value()) {
+        Manager& g = global();
+        return g.enabled() ? &g : nullptr;
+    }
+    if (!opt->enabled()) return nullptr;
+    local.emplace(*opt);
+    return &*local;
+}
+
+void save_metrics_section(Writer& w) {
+    const obs::MetricsRegistry& registry = obs::metrics();
+    const auto& counters = registry.counters();
+    const auto& gauges = registry.gauges();
+    const auto& histograms = registry.histograms();
+    w.u64(counters.size());
+    for (const auto& [name, c] : counters) {
+        w.str(name);
+        w.u64(c.value());
+    }
+    w.u64(gauges.size());
+    for (const auto& [name, g] : gauges) {
+        w.str(name);
+        w.f64(g.value());
+    }
+    w.u64(histograms.size());
+    for (const auto& [name, h] : histograms) {
+        const obs::Histogram::State s = h.state();
+        w.str(name);
+        w.vec(s.buckets);
+        w.u64(s.count);
+        w.u64(s.sum);
+        w.u64(s.min);
+        w.u64(s.max);
+    }
+}
+
+void restore_metrics_section(Reader& r) {
+    obs::MetricsRegistry& registry = obs::metrics();
+    const std::uint64_t num_counters = r.u64();
+    for (std::uint64_t i = 0; i < num_counters; ++i) {
+        const std::string name = r.str();
+        const std::uint64_t value = r.u64();
+        obs::Counter& c = registry.counter(name);
+        c.reset();
+        c.inc(value);
+    }
+    const std::uint64_t num_gauges = r.u64();
+    for (std::uint64_t i = 0; i < num_gauges; ++i) {
+        const std::string name = r.str();
+        registry.gauge(name).set(r.f64());
+    }
+    const std::uint64_t num_histograms = r.u64();
+    for (std::uint64_t i = 0; i < num_histograms; ++i) {
+        const std::string name = r.str();
+        obs::Histogram::State s;
+        r.vec(s.buckets);
+        s.count = r.u64();
+        s.sum = r.u64();
+        s.min = r.u64();
+        s.max = r.u64();
+        registry.histogram(name).restore(s);
+    }
+}
+
+}  // namespace hypatia::ckpt

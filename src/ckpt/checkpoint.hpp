@@ -1,0 +1,213 @@
+// Deterministic checkpoint/restore (DESIGN.md §13). A checkpoint is a
+// versioned, CRC-guarded snapshot of the *irreproducible* engine state
+// — sim clock / epoch counter, the live flow table (arrivals, residual
+// bytes, tracked rate series), exporter/pacer progress, sweep cursors
+// and the obs counters — written atomically (temp file + fsync +
+// rename + directory fsync) so a crash can never leave a torn current
+// generation. Mobility, routing graphs and everything else derivable
+// from the scenario is *not* stored: restore re-derives it (SGP4 +
+// snapshot rebuild, seeded traffic/fault generation) and cross-checks
+// FNV-1a digests recorded at save time, refusing to resume a run that
+// would silently diverge.
+//
+// Layout of a .hyc file (all fields native byte order, see codec.hpp):
+//
+//   "HYCK"  u32 version         file magic + format version
+//   u64 generation              monotone per-directory sequence number
+//   i64 sim_time_ns  u64 epoch_index
+//   u32 section_count
+//   per section:  str name  u64 payload_len  payload  u32 payload_crc
+//   u32 file_crc                CRC-32 of every preceding byte
+//   "KCYH"                      end marker (truncation tripwire)
+//
+// Periodic checkpointing and resume are environment-driven:
+//   HYPATIA_CKPT_DIR         directory for ckpt-<generation>.hyc files
+//   HYPATIA_CKPT_INTERVAL_S  seconds between writes (0 = every epoch)
+//   HYPATIA_CKPT_RESUME      1 = resume from the newest good generation
+//   HYPATIA_CKPT_KEEP        generations to retain (default 3)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/codec.hpp"
+#include "src/util/units.hpp"
+
+namespace hypatia::ckpt {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// One named, independently CRC-guarded state blob. Section names are
+/// owner-scoped ("flowsim.engine", "emu.exporter", "obs.metrics") so
+/// one file can carry several subsystems' state.
+struct Section {
+    std::string name;
+    std::vector<std::uint8_t> payload;
+};
+
+struct Checkpoint {
+    std::uint64_t generation = 0;  // stamped by Manager::write
+    std::uint64_t epoch_index = 0;
+    TimeNs sim_time = 0;
+    std::vector<Section> sections;
+
+    void add(std::string name, std::vector<std::uint8_t> payload) {
+        sections.push_back({std::move(name), std::move(payload)});
+    }
+    /// nullptr when the section is absent.
+    const Section* find(const std::string& name) const {
+        for (const auto& s : sections) {
+            if (s.name == name) return &s;
+        }
+        return nullptr;
+    }
+};
+
+/// Serializes to the on-disk layout documented above.
+std::vector<std::uint8_t> encode(const Checkpoint& ckpt);
+/// Parses and validates magic, version, both CRC layers and the end
+/// marker; throws CorruptError on any mismatch (version skew included).
+Checkpoint decode(const std::uint8_t* data, std::size_t size);
+inline Checkpoint decode(const std::vector<std::uint8_t>& buf) {
+    return decode(buf.data(), buf.size());
+}
+
+/// Crash-safe file write: <path>.tmp + fsync + rename(path) + fsync of
+/// the containing directory. Readers either see the old file or the
+/// complete new one, never a prefix. Throws std::runtime_error on I/O
+/// failure.
+void atomic_write_file(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// Reads and decodes one checkpoint file. On any error (missing,
+/// unreadable, corrupt, truncated, version mismatch) returns nullopt
+/// and, when `error` is non-null, stores a one-line reason.
+std::optional<Checkpoint> read_checkpoint_file(const std::string& path,
+                                               std::string* error = nullptr);
+
+/// Checkpointing configuration; disabled unless `dir` is non-empty.
+struct Policy {
+    std::string dir;
+    double interval_s = 30.0;  // 0 = every epoch boundary
+    bool resume = false;
+    int keep = 3;
+
+    bool enabled() const { return !dir.empty(); }
+    /// Resolves HYPATIA_CKPT_DIR / _INTERVAL_S / _RESUME / _KEEP.
+    static Policy from_env();
+    /// Explicitly-off policy (e.g. the exporter's inner background
+    /// engine, which must never checkpoint into the pacer's directory).
+    static Policy disabled() { return Policy{}; }
+};
+
+/// Drives one checkpoint directory: generation numbering, periodic
+/// write scheduling, pruning, resume scanning with corrupt-file
+/// fallback, the /checkpoint introspection route and the fatal-signal
+/// best-effort write. Engines call due()/write() (or arm()) at each
+/// epoch boundary; thread-safe against the introspection server's
+/// trigger/status calls.
+class Manager {
+  public:
+    explicit Manager(Policy policy);
+    ~Manager();
+    Manager(const Manager&) = delete;
+    Manager& operator=(const Manager&) = delete;
+
+    bool enabled() const { return policy_.enabled(); }
+    const Policy& policy() const { return policy_; }
+
+    /// True when the periodic interval elapsed (or interval_s == 0, or
+    /// a /checkpoint?trigger=1 request is pending).
+    bool due() const;
+    /// Makes the next due() true regardless of the interval (the
+    /// /checkpoint trigger).
+    void request_now() { trigger_.store(true, std::memory_order_relaxed); }
+
+    /// Stamps the next generation number, encodes, writes atomically,
+    /// prunes old generations beyond policy().keep, updates the ckpt.*
+    /// metrics and re-arms the fatal-signal buffer with this image.
+    /// Returns the generation written.
+    std::uint64_t write(Checkpoint ckpt);
+
+    /// Scans the directory for the newest decodable generation,
+    /// skipping (and counting in ckpt.corrupt_skipped) corrupt,
+    /// truncated or version-mismatched files. nullopt when no good
+    /// generation exists.
+    std::optional<Checkpoint> load_latest();
+
+    /// Serializes `ckpt` into the in-memory fatal-signal buffer without
+    /// touching disk: if the process dies on SIGSEGV/SIGBUS/SIGFPE/
+    /// SIGABRT before the next periodic write, the signal handler
+    /// best-effort-writes this image (plain write, no rename — the CRC
+    /// layers reject it on restore if torn). Engines arm at boundaries
+    /// where no periodic write happens, so the recovery point is always
+    /// the most recent epoch. A normal process exit flushes the armed
+    /// image through the ordered shutdown hooks instead.
+    void arm(Checkpoint ckpt);
+    /// Drops the armed image (run completed; nothing left to save).
+    void disarm();
+
+    /// Flushes the armed image to disk with a normal atomic write — the
+    /// ordered-shutdown path (obs::kShutdownFinalCheckpoint).
+    void write_armed_image();
+    /// The async-signal-safe best-effort write of the armed image (the
+    /// obs fatal-signal hook). open/write/close only; a torn result is
+    /// rejected by the CRC layers on restore.
+    static void fatal_signal_hook();
+
+    /// Last-generation status as JSON (the /checkpoint route body).
+    std::string status_json() const;
+
+    std::uint64_t last_generation() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return last_generation_;
+    }
+
+    /// The process-wide manager configured from the environment; owns
+    /// the /checkpoint route. Intentionally leaked (fatal-signal and
+    /// shutdown-hook paths may run during static destruction).
+    static Manager& global();
+
+    /// Resolves which manager (if any) an engine should use: nullopt →
+    /// the environment-configured global manager, an explicit policy →
+    /// a caller-local manager constructed into `local`. Returns nullptr
+    /// when checkpointing is disabled either way.
+    static Manager* resolve(const std::optional<Policy>& opt,
+                            std::optional<Manager>& local);
+
+  private:
+    void prune_locked();
+
+    Policy policy_;
+    std::atomic<bool> trigger_{false};
+    mutable std::mutex mu_;
+    std::uint64_t next_generation_ = 1;
+    std::uint64_t last_generation_ = 0;
+    std::uint64_t last_bytes_ = 0;
+    TimeNs last_sim_time_ = 0;
+    std::uint64_t last_epoch_index_ = 0;
+    double last_write_wall_ = 0.0;  // steady-clock seconds
+    std::string last_error_;
+
+    // Fatal-signal image: the handler reads path/bytes without locks,
+    // guarded by `arming_` (skip while a mutator is mid-update; a torn
+    // read would only produce a file the CRC layers reject anyway).
+    std::atomic<bool> arming_{false};
+    std::string armed_path_;
+    std::vector<std::uint8_t> armed_bytes_;
+};
+
+// --- state helpers shared by the engine integrations -----------------
+
+/// Serializes every registered metric (counters, gauges, histograms —
+/// full bucket state) into `w`; restore overwrites current values via
+/// get-or-create, so a resumed process reports the same /metrics as the
+/// uninterrupted one. Serial-context only (reporting accessors).
+void save_metrics_section(Writer& w);
+void restore_metrics_section(Reader& r);
+
+}  // namespace hypatia::ckpt

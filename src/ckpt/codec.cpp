@@ -1,0 +1,35 @@
+#include "src/ckpt/codec.hpp"
+
+#include <array>
+
+namespace hypatia::ckpt {
+
+namespace {
+
+/// The CRC-32 lookup table, generated once (reflected form of the
+/// 0x04C11DB7 polynomial — the same table zlib/ethernet use).
+std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace hypatia::ckpt

@@ -1,0 +1,162 @@
+// Byte-level codec for the checkpoint format (DESIGN.md §13): a
+// little append-only Writer / bounds-checked Reader pair over plain
+// byte vectors, the IEEE CRC-32 used to guard every section, and the
+// FNV-1a 64 digest used to cross-check state that is *re-derived* on
+// restore (traffic matrices, fault schedules, epoch boundary grids)
+// rather than stored. Checkpoints are host-local recovery state, not
+// an interchange format: multi-byte fields are written in native byte
+// order and a file is only ever read back by the architecture that
+// wrote it.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace hypatia::ckpt {
+
+/// Thrown by Reader on any malformed input: truncated buffers,
+/// out-of-range counts, bad magic. The restore paths catch it and fall
+/// back to the previous checkpoint generation.
+class CorruptError : public std::runtime_error {
+  public:
+    explicit CorruptError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// IEEE 802.3 CRC-32 (the zlib polynomial), seedable for incremental
+/// use: crc32(b, nb, crc32(a, na)) == crc32(a+b).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+/// FNV-1a 64-bit running digest. Used to fingerprint re-derived state:
+/// the checkpoint stores the digest of e.g. the fault-event list, and
+/// restore recomputes the list from the scenario and refuses to resume
+/// when the fingerprints disagree (the run would silently diverge).
+class Digest {
+  public:
+    void mix_bytes(const void* data, std::size_t size) {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            state_ ^= p[i];
+            state_ *= 0x100000001b3ULL;
+        }
+    }
+    template <typename T>
+    void mix(const T& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        mix_bytes(&v, sizeof(v));
+    }
+    void mix_str(const std::string& s) {
+        const std::uint64_t n = s.size();
+        mix(n);
+        mix_bytes(s.data(), s.size());
+    }
+    std::uint64_t value() const { return state_; }
+
+  private:
+    std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+/// Appends fixed-width fields to a byte vector. All integral writers
+/// funnel through raw() so the layout is exactly the field sizes, no
+/// padding.
+class Writer {
+  public:
+    void raw(const void* data, std::size_t size) {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        buf_.insert(buf_.end(), p, p + size);
+    }
+    void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
+    void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+    void i32(std::int32_t v) { raw(&v, sizeof(v)); }
+    void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+    void f64(double v) { raw(&v, sizeof(v)); }
+    void str(const std::string& s) {
+        u64(s.size());
+        raw(s.data(), s.size());
+    }
+    /// Length-prefixed vector of trivially copyable scalars. Only used
+    /// for padding-free element types (double, int32, char, int64).
+    template <typename T>
+    void vec(const std::vector<T>& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        u64(v.size());
+        if (!v.empty()) raw(v.data(), v.size() * sizeof(T));
+    }
+
+    const std::vector<std::uint8_t>& bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked mirror of Writer. Every read validates the remaining
+/// byte count first and throws CorruptError on underflow — a truncated
+/// or bit-flipped section can never read out of bounds or allocate an
+/// absurd vector (counts are validated against the bytes that would
+/// back them before resizing).
+class Reader {
+  public:
+    Reader(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size) {}
+    explicit Reader(const std::vector<std::uint8_t>& buf)
+        : Reader(buf.data(), buf.size()) {}
+
+    void raw(void* out, std::size_t size) {
+        need(size);
+        std::memcpy(out, data_ + pos_, size);
+        pos_ += size;
+    }
+    std::uint8_t u8() { return read_as<std::uint8_t>(); }
+    std::uint32_t u32() { return read_as<std::uint32_t>(); }
+    std::uint64_t u64() { return read_as<std::uint64_t>(); }
+    std::int32_t i32() { return read_as<std::int32_t>(); }
+    std::int64_t i64() { return read_as<std::int64_t>(); }
+    double f64() { return read_as<double>(); }
+    std::string str() {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+    template <typename T>
+    void vec(std::vector<T>& out) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::uint64_t n = u64();
+        if (n > remaining() / sizeof(T)) {
+            throw CorruptError("ckpt: vector length exceeds buffer");
+        }
+        out.resize(static_cast<std::size_t>(n));
+        if (n != 0) raw(out.data(), static_cast<std::size_t>(n) * sizeof(T));
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool at_end() const { return pos_ == size_; }
+
+  private:
+    template <typename T>
+    T read_as() {
+        T v;
+        raw(&v, sizeof(v));
+        return v;
+    }
+    void need(std::uint64_t n) const {
+        if (n > size_ - pos_) {
+            throw CorruptError("ckpt: truncated buffer (need " +
+                               std::to_string(n) + " bytes, have " +
+                               std::to_string(size_ - pos_) + ")");
+        }
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace hypatia::ckpt

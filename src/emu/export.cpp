@@ -1,6 +1,7 @@
 #include "src/emu/export.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -80,6 +81,11 @@ ScheduleExporter::ScheduleExporter(const core::Scenario& scenario,
         flowsim::EngineOptions eopt;
         eopt.epoch = options_.step;
         eopt.duration = options_.t_end;
+        // The background engine is re-derived substrate, not resumable
+        // progress: it must never write into (or resume from) the
+        // process's checkpoint directory alongside the exporter's own
+        // checkpoints.
+        eopt.checkpoint = ckpt::Policy::disabled();
         eopt.tracked_flows.resize(matrix.size());
         for (std::size_t i = 0; i < matrix.size(); ++i) eopt.tracked_flows[i] = i;
         flowsim::Engine engine(scenario_, matrix, eopt);
@@ -96,6 +102,110 @@ ScheduleExporter::ScheduleExporter(const core::Scenario& scenario,
                 }
             }
         }
+    }
+
+    // Identity of the re-derived substrate. Everything mixed here is
+    // recomputed above from the scenario — a checkpoint taken with a
+    // different pair set, window, fault schedule or background-rate
+    // solution is rejected at restore, never silently continued.
+    ckpt::Digest d;
+    d.mix<std::uint64_t>(pairs_.size());
+    for (const route::GsPair& p : pairs_) {
+        d.mix(p.src_gs);
+        d.mix(p.dst_gs);
+    }
+    d.mix(options_.t_start);
+    d.mix(options_.t_end);
+    d.mix(options_.step);
+    d.mix<std::uint8_t>(options_.include_rates ? 1 : 0);
+    d.mix(options_.rate_cap_bps);
+    if (faults_.has_value()) {
+        for (const fault::FaultEvent& e : faults_->events()) {
+            d.mix<std::int32_t>(static_cast<std::int32_t>(e.kind));
+            d.mix(e.a);
+            d.mix(e.b);
+            d.mix(e.start);
+            d.mix(e.end);
+        }
+    }
+    d.mix<std::uint64_t>(rate_series_.size());
+    for (const auto& series : rate_series_) {
+        d.mix<std::uint64_t>(series.size());
+        for (const auto& [st, sr] : series) {
+            d.mix(st);
+            d.mix(sr);
+        }
+    }
+    state_digest_ = d.value();
+}
+
+std::vector<std::uint8_t> ScheduleExporter::save_state() const {
+    ckpt::Writer w;
+    w.u64(state_digest_);
+    w.u64(next_step_);
+    w.u64(schedules_.size());
+    for (const PairSchedule& s : schedules_) {
+        w.u64(s.entries.size());
+        for (const ScheduleEntry& e : s.entries) {
+            w.i64(e.t);
+            w.f64(e.delay_us);
+            w.f64(e.rtt_us);
+            w.f64(e.loss_pct);
+            w.f64(e.rate_bps);
+            w.u8(e.reachable ? 1 : 0);
+            w.u8(e.path_changed ? 1 : 0);
+            w.i32(e.old_next_hop);
+            w.i32(e.new_next_hop);
+        }
+    }
+    w.u64(prev_paths_.size());
+    for (const std::vector<int>& path : prev_paths_) w.vec(path);
+    const std::optional<TimeNs> cursor = sweeper_->sweep_cursor();
+    w.u8(cursor.has_value() ? 1 : 0);
+    w.i64(cursor.value_or(0));
+    return w.take();
+}
+
+bool ScheduleExporter::restore_state(const std::vector<std::uint8_t>& payload) {
+    try {
+        ckpt::Reader r(payload);
+        if (r.u64() != state_digest_) return false;
+        const std::uint64_t next = r.u64();
+        std::vector<std::vector<ScheduleEntry>> entries(r.u64());
+        for (auto& per_pair : entries) {
+            per_pair.resize(r.u64());
+            for (ScheduleEntry& e : per_pair) {
+                e.t = r.i64();
+                e.delay_us = r.f64();
+                e.rtt_us = r.f64();
+                e.loss_pct = r.f64();
+                e.rate_bps = r.f64();
+                e.reachable = r.u8() != 0;
+                e.path_changed = r.u8() != 0;
+                e.old_next_hop = r.i32();
+                e.new_next_hop = r.i32();
+            }
+        }
+        std::vector<std::vector<int>> paths(r.u64());
+        for (auto& path : paths) r.vec(path);
+        const bool have_cursor = r.u8() != 0;
+        const TimeNs cursor = r.i64();
+        if (next > num_steps_ || entries.size() != schedules_.size() ||
+            paths.size() != pairs_.size()) {
+            return false;
+        }
+        for (const auto& per_pair : entries) {
+            if (per_pair.size() != next) return false;
+        }
+        for (std::size_t pi = 0; pi < schedules_.size(); ++pi) {
+            schedules_[pi].entries = std::move(entries[pi]);
+        }
+        prev_paths_ = std::move(paths);
+        if (have_cursor) sweeper_->set_sweep_cursor(cursor);
+        next_step_ = static_cast<std::size_t>(next);
+        return true;
+    } catch (const ckpt::CorruptError&) {
+        return false;
     }
 }
 
@@ -153,7 +263,48 @@ void ScheduleExporter::compute_step(std::size_t i) {
 }
 
 const std::vector<PairSchedule>& ScheduleExporter::run() {
-    while (next_step_ < num_steps_) compute_step(next_step_);
+    std::optional<ckpt::Manager> local_ckpt;
+    ckpt::Manager* const mgr =
+        ckpt::Manager::resolve(options_.checkpoint, local_ckpt);
+    if (mgr != nullptr && mgr->policy().resume && next_step_ == 0) {
+        if (const std::optional<ckpt::Checkpoint> saved = mgr->load_latest()) {
+            const ckpt::Section* section = saved->find("emu.exporter");
+            if (section != nullptr && restore_state(section->payload)) {
+                // Metrics last, overwriting the construction-era
+                // increments with the snapshot's values.
+                if (const ckpt::Section* ms = saved->find("obs.metrics")) {
+                    ckpt::Reader mr(ms->payload);
+                    ckpt::restore_metrics_section(mr);
+                }
+            } else {
+                std::fprintf(stderr,
+                             "hypatia: not resuming emu export from checkpoint "
+                             "(missing section or digest mismatch)\n");
+                obs::metrics().counter("ckpt.restore_rejected").inc();
+            }
+        }
+    }
+    const std::size_t first = next_step_;
+    while (next_step_ < num_steps_) {
+        // Image captures steps [0, next_step_); a resumed run re-enters
+        // compute_step exactly here.
+        if (mgr != nullptr && next_step_ > first) {
+            ckpt::Checkpoint ck;
+            ck.epoch_index = next_step_;
+            ck.sim_time = step_time(next_step_);
+            ck.add("emu.exporter", save_state());
+            ckpt::Writer mw;
+            ckpt::save_metrics_section(mw);
+            ck.add("obs.metrics", mw.take());
+            if (mgr->due()) {
+                mgr->write(std::move(ck));
+            } else {
+                mgr->arm(std::move(ck));
+            }
+        }
+        compute_step(next_step_);
+    }
+    if (mgr != nullptr) mgr->disarm();
     return schedules_;
 }
 

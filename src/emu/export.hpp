@@ -16,10 +16,12 @@
 // HYPATIA_SNAPSHOT_MODE setting.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/checkpoint.hpp"
 #include "src/core/scenario.hpp"
 #include "src/emu/schedule.hpp"
 #include "src/routing/pair_sweep.hpp"
@@ -39,6 +41,12 @@ struct ExportOptions {
     /// Per-pair CBR cap of the background matrix (the paper's 10 Mbit/s
     /// link rate by default — an uncontended pair pins at exactly this).
     double rate_cap_bps = 10e6;
+    /// Checkpoint/restore policy for the batch run() driver (DESIGN.md
+    /// §13). Disengaged resolves HYPATIA_CKPT_* through
+    /// ckpt::Manager::global(); ckpt::Policy::disabled() forces off.
+    /// The paced driver (emu::RealtimePacer) checkpoints through its own
+    /// PacerOptions instead and leaves this disengaged.
+    std::optional<ckpt::Policy> checkpoint;
 };
 
 class ScheduleExporter {
@@ -63,6 +71,22 @@ class ScheduleExporter {
 
     /// Schedules accumulated so far (entries grow as steps compute).
     const std::vector<PairSchedule>& schedules() const { return schedules_; }
+
+    /// The next step compute_step will accept — equals the number of
+    /// entries accumulated per pair. A resumed exporter reports the
+    /// restored position here.
+    std::size_t next_step() const { return next_step_; }
+
+    /// Serializes the exporter's mutable progress — accumulated
+    /// schedule entries, the path-change detector state and the
+    /// sweeper's fault-streaming cursor — as a checkpoint section
+    /// payload, prefixed with a digest of the re-derived substrate
+    /// (pairs, window, fault schedule, background-rate series).
+    std::vector<std::uint8_t> save_state() const;
+    /// Restores progress from a save_state() payload. Returns false —
+    /// leaving the exporter untouched — when the digest disagrees or
+    /// the payload is malformed; the caller then starts from step 0.
+    bool restore_state(const std::vector<std::uint8_t>& payload);
 
     const core::Scenario& scenario() const { return scenario_; }
     const std::vector<route::GsPair>& pairs() const { return pairs_; }
@@ -93,6 +117,9 @@ class ScheduleExporter {
     /// Previous step's full node path per pair, for change detection.
     std::vector<std::vector<int>> prev_paths_;
     std::size_t next_step_ = 0;
+    /// Digest of the re-derived substrate, computed once at
+    /// construction; save_state stamps it, restore_state checks it.
+    std::uint64_t state_digest_ = 0;
 };
 
 }  // namespace hypatia::emu

@@ -124,17 +124,63 @@ PacerReport RealtimePacer::run() {
     auto& busy_hist = metrics.histogram("emu.epoch_busy_us");
     auto& lag_hist = metrics.histogram("emu.epoch_lag_us");
 
+    // Checkpoint/restore: the pacer owns the checkpoint lifecycle of a
+    // paced run; the exporter's own batch-run() policy stays disengaged.
+    std::optional<ckpt::Manager> local_ckpt;
+    ckpt::Manager* const ckpt_mgr =
+        ckpt::Manager::resolve(options_.checkpoint, local_ckpt);
+    if (ckpt_mgr != nullptr && ckpt_mgr->policy().resume &&
+        exporter_.next_step() == 0) {
+        if (const std::optional<ckpt::Checkpoint> saved =
+                ckpt_mgr->load_latest()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const ckpt::Section* section = saved->find("emu.exporter");
+            if (section != nullptr && exporter_.restore_state(section->payload)) {
+                if (const ckpt::Section* ms = saved->find("obs.metrics")) {
+                    ckpt::Reader mr(ms->payload);
+                    ckpt::restore_metrics_section(mr);
+                }
+            } else {
+                std::fprintf(stderr,
+                             "hypatia: not resuming paced emu run from "
+                             "checkpoint (missing section or digest mismatch)\n");
+                metrics.counter("ckpt.restore_rejected").inc();
+            }
+        }
+    }
+
     PacerReport report;
     const double speed = options_.speed;
     const TimeNs epoch = exporter_.options().step;
+    // A resumed run paces the *remaining* epochs against a fresh
+    // wall-clock origin: epoch i's window opens at
+    // W + (i - first) * epoch / speed.
+    const std::size_t first = exporter_.next_step();
     const Clock::time_point wall_start = Clock::now();
     double busy_s = 0.0;
 
-    for (std::size_t i = 0; i < exporter_.num_steps(); ++i) {
+    for (std::size_t i = first; i < exporter_.num_steps(); ++i) {
+        // Checkpoint before the pacing sleep: the image (steps [0, i))
+        // is armed for the fatal-signal flush — or written when the
+        // interval is due — so a kill during the sleep window loses at
+        // most the not-yet-computed epoch.
+        if (ckpt_mgr != nullptr && i > first) {
+            ckpt::Checkpoint ck;
+            ck.epoch_index = i;
+            ck.sim_time = exporter_.step_time(i);
+            ck.add("emu.exporter", exporter_.save_state());
+            ckpt::Writer mw;
+            ckpt::save_metrics_section(mw);
+            ck.add("obs.metrics", mw.take());
+            if (ckpt_mgr->due()) {
+                ckpt_mgr->write(std::move(ck));
+            } else {
+                ckpt_mgr->arm(std::move(ck));
+            }
+        }
         if (speed > 0.0) {
-            // Epoch i's wall-clock window opens at W + i * epoch / speed.
             const auto open = wall_start + std::chrono::nanoseconds(static_cast<
-                std::int64_t>(static_cast<double>(i) *
+                std::int64_t>(static_cast<double>(i - first) *
                               static_cast<double>(epoch) / speed));
             std::this_thread::sleep_until(open);
         }
@@ -153,7 +199,7 @@ PacerReport RealtimePacer::run() {
 
         if (speed > 0.0) {
             const auto deadline = wall_start + std::chrono::nanoseconds(static_cast<
-                std::int64_t>(static_cast<double>(i + 1) *
+                std::int64_t>(static_cast<double>(i - first + 1) *
                               static_cast<double>(epoch) / speed));
             if (t1 > deadline) {
                 ++report.deadline_misses;
@@ -165,10 +211,14 @@ PacerReport RealtimePacer::run() {
         if (options_.on_epoch) options_.on_epoch(i, exporter_.step_time(i));
     }
 
+    if (ckpt_mgr != nullptr) ckpt_mgr->disarm();
+
     report.busy_s = busy_s;
     report.wall_s = seconds_between(wall_start, Clock::now());
+    // Real-time factor over the epochs *this* process computed — a
+    // resumed run reports its own pace, not the dead predecessor's.
     const double sim_s =
-        ns_to_seconds(static_cast<TimeNs>(exporter_.num_steps()) * epoch);
+        ns_to_seconds(static_cast<TimeNs>(exporter_.num_steps() - first) * epoch);
     report.realtime_factor = busy_s > 0.0 ? sim_s / busy_s : 0.0;
     metrics.gauge("emu.realtime_factor").set(report.realtime_factor);
     report.schedules = exporter_.schedules();

@@ -37,6 +37,13 @@ struct PacerOptions {
     bool serve_schedule = true;
     /// Called after each epoch computes (sim time of the epoch).
     std::function<void(std::size_t step_index, TimeNs t)> on_epoch;
+    /// Checkpoint/restore policy (DESIGN.md §13). Disengaged resolves
+    /// HYPATIA_CKPT_* through ckpt::Manager::global();
+    /// ckpt::Policy::disabled() forces off. The pacer checkpoints the
+    /// exporter's progress between epochs and — with resume on — picks
+    /// up from the newest good generation, pacing the remaining epochs
+    /// against a fresh wall-clock origin.
+    std::optional<ckpt::Policy> checkpoint;
 };
 
 struct PacerReport {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "src/obs/observability.hpp"
 #include "src/obs/recorder.hpp"
@@ -233,6 +234,192 @@ RunSummary Engine::run() {
     std::vector<char> was_reachable(matrix_.size(), 0);
     obs::Counter* const severed_metric = &m.counter("fault.flows_severed");
 
+    // --- checkpoint/restore (DESIGN.md §13) ---------------------------
+    std::optional<ckpt::Manager> local_ckpt;
+    ckpt::Manager* const ckpt_mgr =
+        ckpt::Manager::resolve(options_.checkpoint, local_ckpt);
+
+    // Identity of this run's *re-derived* substrate: the arrival-sorted
+    // traffic matrix, the boundary grid (epoch grid + fault cuts), the
+    // resource layout and link rates. Restore recomputes all of it from
+    // the scenario and refuses a checkpoint whose digest disagrees — a
+    // resumed run can only ever continue the exact same problem.
+    const std::uint64_t state_digest = [&] {
+        ckpt::Digest d;
+        d.mix<std::uint64_t>(matrix_.size());
+        for (const Flow& f : matrix_.flows) {
+            d.mix(f.src_gs);
+            d.mix(f.dst_gs);
+            d.mix(f.arrival);
+            d.mix(f.size_bits);
+            d.mix(f.rate_cap_bps);
+        }
+        d.mix(options_.epoch);
+        d.mix(options_.duration);
+        d.mix<std::uint8_t>(options_.resolve_on_completion ? 1 : 0);
+        d.mix<std::uint8_t>(options_.record_link_utilization ? 1 : 0);
+        d.mix<std::uint64_t>(options_.tracked_flows.size());
+        for (const std::size_t f : options_.tracked_flows) {
+            d.mix<std::uint64_t>(f);
+        }
+        d.mix<std::uint64_t>(boundaries.size());
+        for (const TimeNs b : boundaries) d.mix(b);
+        d.mix(num_resources_);
+        d.mix(scenario_.isl_rate_bps);
+        d.mix(scenario_.gsl_rate_bps);
+        return d.value();
+    }();
+
+    // Everything the loop mutates across boundaries, serialized as the
+    // "flowsim.engine" section. `bi` is the next boundary to process:
+    // the image captures state *after* boundaries [0, bi).
+    const auto save_engine_section = [&](std::size_t bi) {
+        ckpt::Writer w;
+        w.u64(state_digest);
+        w.u64(bi);
+        w.u64(next_arrival);
+        w.u64(summary.completed);
+        w.u8(summary.all_converged ? 1 : 0);
+        w.vec(remaining);
+        w.vec(rate);
+        w.vec(done);
+        w.vec(active);
+        w.vec(was_reachable);
+        w.u64(summary.epochs.size());
+        for (const EpochStats& s : summary.epochs) {
+            w.i64(s.t);
+            w.u64(s.active);
+            w.u64(s.arrivals);
+            w.u64(s.completions);
+            w.u64(s.unreachable);
+            w.f64(s.sum_rate_bps);
+            w.f64(s.max_link_utilization);
+            w.i32(s.solver_rounds);
+            w.u8(s.converged ? 1 : 0);
+        }
+        w.u64(summary.flows.size());
+        for (const FlowOutcome& f : summary.flows) {
+            w.i64(f.completion);
+            w.f64(f.bits_sent);
+            w.f64(f.last_rate_bps);
+            w.i32(f.unreachable_epochs);
+        }
+        w.u64(summary.tracked_series.size());
+        for (const auto& series : summary.tracked_series) {
+            w.u64(series.size());
+            for (const auto& [st, sr] : series) {
+                w.i64(st);
+                w.f64(sr);
+            }
+        }
+        w.u64(isl_utilization_.size());
+        for (const auto& per_isl : isl_utilization_) w.vec(per_isl);
+        return w.take();
+    };
+
+    // Resume: the flow table and outcome accumulators come from the
+    // newest good generation; mobility and routing state need nothing —
+    // the refresher is lazily created, and a fresh refresher's first
+    // refresh(t) is byte-identical to rebuild(t) (the refresh-vs-
+    // rebuild invariant), so the resumed epoch forwards exactly like
+    // the uninterrupted one.
+    std::size_t bi_start = 0;
+    if (ckpt_mgr != nullptr && ckpt_mgr->policy().resume) {
+        if (const std::optional<ckpt::Checkpoint> saved =
+                ckpt_mgr->load_latest()) {
+            try {
+                const ckpt::Section* section = saved->find("flowsim.engine");
+                if (section == nullptr) {
+                    throw ckpt::CorruptError("no flowsim.engine section");
+                }
+                ckpt::Reader r(section->payload);
+                if (r.u64() != state_digest) {
+                    throw ckpt::CorruptError(
+                        "state digest mismatch (different scenario/matrix)");
+                }
+                // Parse into temporaries, commit only after every read
+                // and shape check passed.
+                const std::uint64_t bi = r.u64();
+                const std::uint64_t r_next_arrival = r.u64();
+                const std::uint64_t r_completed = r.u64();
+                const bool r_all_converged = r.u8() != 0;
+                std::vector<double> r_remaining, r_rate;
+                std::vector<char> r_done, r_was;
+                std::vector<std::uint32_t> r_active;
+                r.vec(r_remaining);
+                r.vec(r_rate);
+                r.vec(r_done);
+                r.vec(r_active);
+                r.vec(r_was);
+                std::vector<EpochStats> r_epochs(r.u64());
+                for (EpochStats& s : r_epochs) {
+                    s.t = r.i64();
+                    s.active = static_cast<std::size_t>(r.u64());
+                    s.arrivals = static_cast<std::size_t>(r.u64());
+                    s.completions = static_cast<std::size_t>(r.u64());
+                    s.unreachable = static_cast<std::size_t>(r.u64());
+                    s.sum_rate_bps = r.f64();
+                    s.max_link_utilization = r.f64();
+                    s.solver_rounds = r.i32();
+                    s.converged = r.u8() != 0;
+                }
+                std::vector<FlowOutcome> r_flows(r.u64());
+                for (FlowOutcome& f : r_flows) {
+                    f.completion = r.i64();
+                    f.bits_sent = r.f64();
+                    f.last_rate_bps = r.f64();
+                    f.unreachable_epochs = r.i32();
+                }
+                std::vector<std::vector<std::pair<TimeNs, double>>> r_tracked(
+                    r.u64());
+                for (auto& series : r_tracked) {
+                    series.resize(r.u64());
+                    for (auto& [st, sr] : series) {
+                        st = r.i64();
+                        sr = r.f64();
+                    }
+                }
+                std::vector<std::vector<double>> r_util(r.u64());
+                for (auto& per_isl : r_util) r.vec(per_isl);
+                if (bi > boundaries.size() || r_next_arrival > matrix_.size() ||
+                    r_remaining.size() != matrix_.size() ||
+                    r_rate.size() != matrix_.size() ||
+                    r_done.size() != matrix_.size() ||
+                    r_was.size() != matrix_.size() ||
+                    r_flows.size() != matrix_.size() ||
+                    r_tracked.size() != summary.tracked_series.size()) {
+                    throw ckpt::CorruptError("engine section shape mismatch");
+                }
+                next_arrival = static_cast<std::size_t>(r_next_arrival);
+                summary.completed = static_cast<std::size_t>(r_completed);
+                summary.all_converged = r_all_converged;
+                remaining = std::move(r_remaining);
+                rate = std::move(r_rate);
+                done = std::move(r_done);
+                was_reachable = std::move(r_was);
+                active = std::move(r_active);
+                summary.epochs = std::move(r_epochs);
+                summary.flows = std::move(r_flows);
+                summary.tracked_series = std::move(r_tracked);
+                isl_utilization_ = std::move(r_util);
+                bi_start = static_cast<std::size_t>(bi);
+                // Metrics last: overwrites everything this constructor
+                // and the restore above incremented, so /metrics of the
+                // resumed process match the uninterrupted run's.
+                if (const ckpt::Section* ms = saved->find("obs.metrics")) {
+                    ckpt::Reader mr(ms->payload);
+                    ckpt::restore_metrics_section(mr);
+                }
+            } catch (const ckpt::CorruptError& e) {
+                std::fprintf(stderr,
+                             "hypatia: not resuming from checkpoint (%s)\n",
+                             e.what());
+                m.counter("ckpt.restore_rejected").inc();
+                bi_start = 0;
+            }
+        }
+    }
+
     const auto complete_flow = [&](std::uint32_t f, TimeNs at) {
         done[f] = 1;
         FlowOutcome& outcome = summary.flows[f];
@@ -250,8 +437,27 @@ RunSummary Engine::run() {
         }
     };
 
-    for (std::size_t bi = 0; bi < boundaries.size(); ++bi) {
+    for (std::size_t bi = bi_start; bi < boundaries.size(); ++bi) {
         const TimeNs t = boundaries[bi];
+        // Checkpoint at the boundary: the encoded image is everything
+        // accumulated through boundaries [0, bi), so a resumed run
+        // re-enters the loop exactly here. A durable write happens when
+        // the interval is due; otherwise the image is armed for the
+        // fatal-signal / shutdown flush.
+        if (ckpt_mgr != nullptr && bi > bi_start) {
+            ckpt::Checkpoint ck;
+            ck.epoch_index = bi;
+            ck.sim_time = t;
+            ck.add("flowsim.engine", save_engine_section(bi));
+            ckpt::Writer mw;
+            ckpt::save_metrics_section(mw);
+            ck.add("obs.metrics", mw.take());
+            if (ckpt_mgr->due()) {
+                ckpt_mgr->write(std::move(ck));
+            } else {
+                ckpt_mgr->arm(std::move(ck));
+            }
+        }
         // Flight recorder: fault transitions this segment boundary just
         // crossed, stamped in sim time like every other flowsim event.
         if (faults_.has_value() && !scenario_.freeze) {
@@ -469,7 +675,13 @@ RunSummary Engine::run() {
                                          stats.sum_rate_bps));
         }
         summary.epochs.push_back(stats);
+        if (options_.epoch_hook && !options_.epoch_hook(bi, t)) {
+            return summary;
+        }
     }
+    // Normal completion: the run's outputs are in the caller's hands,
+    // nothing left worth flushing on a later crash.
+    if (ckpt_mgr != nullptr) ckpt_mgr->disarm();
 
     // Flows still active at the end contribute their final allocation to
     // the rate distribution (completed flows recorded at completion).

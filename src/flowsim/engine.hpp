@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/checkpoint.hpp"
 #include "src/core/scenario.hpp"
 #include "src/fault/fault.hpp"
 #include "src/flowsim/solver.hpp"
@@ -54,6 +55,17 @@ struct EngineOptions {
     /// Optional capacity scaling: all link capacities are multiplied by
     /// this factor at each epoch (models brownouts / capacity changes).
     std::function<double(TimeNs)> capacity_factor;
+    /// Checkpoint/restore policy (DESIGN.md §13). Disengaged (the
+    /// default) resolves HYPATIA_CKPT_* through ckpt::Manager::global();
+    /// an explicit Policy overrides the environment, and
+    /// ckpt::Policy::disabled() turns checkpointing off regardless (the
+    /// emu exporter's inner background engine does this so it never
+    /// collides with the outer pacer's checkpoint directory).
+    std::optional<ckpt::Policy> checkpoint;
+    /// Called after each epoch boundary finishes; returning false stops
+    /// the run early with the partial summary. Tests use this to
+    /// interrupt a run at a deterministic point and resume it.
+    std::function<bool(std::size_t boundary_index, TimeNs t)> epoch_hook;
 };
 
 /// Per-flow outcome after run().

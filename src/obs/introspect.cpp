@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -82,15 +83,23 @@ void send_all(int fd, const std::string& data) {
 
 /// Dynamic route table (register_handler). Handlers run outside the
 /// lock so they may re-enter handle() or (un)register other paths.
+/// Both statics are intentionally leaked: the global server's serve
+/// thread may still route requests while function-local statics are
+/// being destroyed at process exit.
 std::mutex& handlers_mutex() {
-    static std::mutex m;
-    return m;
+    static std::mutex* m = new std::mutex();
+    return *m;
 }
 
 std::map<std::string, IntrospectionServer::Handler>& handlers() {
-    static std::map<std::string, IntrospectionServer::Handler> map;
-    return map;
+    static auto* map = new std::map<std::string, IntrospectionServer::Handler>();
+    return *map;
 }
+
+/// Set by global(); start() uses it to arm the ordered shutdown stop
+/// for the process-global server only (stack-scoped test servers stop
+/// in their destructor — a shutdown hook would dangle).
+IntrospectionServer* g_global_server = nullptr;
 
 }  // namespace
 
@@ -251,45 +260,87 @@ std::uint16_t IntrospectionServer::start(std::uint16_t port) {
     listen_fd_ = fd;
     stop_.store(false);
     thread_ = std::thread([this] { serve(); });
+    if (this == g_global_server) {
+        // Defined shutdown order (DESIGN.md §13): stop serving before
+        // the final checkpoint flushes and the recorder drains.
+        static bool hook_registered = false;
+        if (!hook_registered) {
+            hook_registered = true;
+            register_shutdown_hook(kShutdownStopIntrospection,
+                                   [] { global().stop(); });
+        }
+    }
     return port_;
 }
 
 void IntrospectionServer::serve() {
+    // Cap on buffered request bytes before the end of the request line:
+    // a client streaming an endless first line gets a 400 instead of
+    // growing the buffer, and a slow one is bounded by SO_RCVTIMEO.
+    constexpr std::size_t kMaxRequestBytes = 8192;
     while (!stop_.load(std::memory_order_relaxed)) {
         pollfd pfd{listen_fd_, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-        if (ready <= 0) continue;
-        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (ready <= 0) continue;  // timeout or EINTR: re-check stop_
+        int client = -1;
+        do {
+            client = ::accept(listen_fd_, nullptr, nullptr);
+        } while (client < 0 && errno == EINTR &&
+                 !stop_.load(std::memory_order_relaxed));
         if (client < 0) continue;
 
         timeval timeout{2, 0};
         ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-        char buf[4096];
-        const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
-        if (n > 0) {
-            buf[n] = '\0';
-            // "GET /path?query HTTP/1.x" — anything else is a 400.
-            Response resp;
-            char method[8] = {0};
-            char target[2048] = {0};
-            if (std::sscanf(buf, "%7s %2047s", method, target) == 2 &&
-                std::strcmp(method, "GET") == 0) {
-                resp = handle(target);
-            } else {
-                resp.status = 400;
-                resp.body = "bad request\n";
+        // The request line may arrive split across any number of
+        // packets: loop recv until a line terminator shows up, the
+        // byte cap trips, the receive window times out, or the peer
+        // closes. EINTR retries the read.
+        std::string request;
+        bool have_line = false;
+        bool oversized = false;
+        bool timed_out = false;
+        char buf[1024];
+        while (!have_line && !oversized) {
+            const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
+                break;
             }
-            const char* reason = resp.status == 200   ? "OK"
-                                 : resp.status == 404 ? "Not Found"
-                                                      : "Bad Request";
-            std::string head = "HTTP/1.0 " + std::to_string(resp.status) + " " +
-                               reason + "\r\nContent-Type: " + resp.content_type +
-                               "\r\nContent-Length: " +
-                               std::to_string(resp.body.size()) +
-                               "\r\nConnection: close\r\n\r\n";
-            send_all(client, head);
-            send_all(client, resp.body);
+            if (n == 0) break;  // peer closed
+            request.append(buf, static_cast<std::size_t>(n));
+            have_line = request.find('\n') != std::string::npos;
+            if (!have_line && request.size() >= kMaxRequestBytes) oversized = true;
         }
+        if (request.empty() && !timed_out) {
+            // Connected and closed without a byte — nothing to answer.
+            ::close(client);
+            continue;
+        }
+        // "GET /path?query HTTP/1.x" — anything else is a 400.
+        Response resp;
+        char method[8] = {0};
+        char target[2048] = {0};
+        if (have_line &&
+            std::sscanf(request.c_str(), "%7s %2047s", method, target) == 2 &&
+            std::strcmp(method, "GET") == 0) {
+            resp = handle(target);
+        } else {
+            resp.status = 400;
+            resp.body = oversized   ? "request line too long\n"
+                        : timed_out ? "request timed out\n"
+                                    : "bad request\n";
+        }
+        const char* reason = resp.status == 200   ? "OK"
+                             : resp.status == 404 ? "Not Found"
+                                                  : "Bad Request";
+        std::string head = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                           reason + "\r\nContent-Type: " + resp.content_type +
+                           "\r\nContent-Length: " +
+                           std::to_string(resp.body.size()) +
+                           "\r\nConnection: close\r\n\r\n";
+        send_all(client, head);
+        send_all(client, resp.body);
         ::close(client);
     }
 }
@@ -306,8 +357,14 @@ void IntrospectionServer::stop() {
 IntrospectionServer::~IntrospectionServer() { stop(); }
 
 IntrospectionServer& IntrospectionServer::global() {
-    static IntrospectionServer server;
-    return server;
+    // Intentionally leaked: the serve thread must never race static
+    // destruction of the object it runs on. The ordered shutdown hook
+    // registered in start() joins the thread at exit; if the process
+    // skips the hooks, exit() tears the thread down with everything it
+    // reads (metrics, recorder, handlers) likewise leaked and valid.
+    static IntrospectionServer* server = new IntrospectionServer();
+    g_global_server = server;
+    return *server;
 }
 
 void IntrospectionServer::maybe_start_from_env() {

@@ -84,6 +84,28 @@ std::uint64_t Histogram::percentile(double p) const {
     return m;
 }
 
+Histogram::State Histogram::state() const {
+    State s;
+    lock();
+    s.buckets = buckets_;
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    unlock();
+    return s;
+}
+
+void Histogram::restore(const State& s) {
+    lock();
+    buckets_ = s.buckets;
+    count_ = s.count;
+    sum_ = s.sum;
+    min_ = s.min;
+    max_ = s.max;
+    unlock();
+}
+
 void Histogram::reset() {
     lock();
     buckets_.clear();

@@ -75,6 +75,19 @@ class Histogram {
     std::uint64_t percentile(double p) const;
     void reset();
 
+    /// Full internal state, for checkpoint save/restore (src/ckpt/): a
+    /// restored histogram answers every query exactly like the one that
+    /// was saved.
+    struct State {
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t min = ~std::uint64_t{0};
+        std::uint64_t max = 0;
+    };
+    State state() const;
+    void restore(const State& s);
+
     /// Bucket mapping, exposed for tests.
     static std::size_t bucket_index(std::uint64_t v) {
         constexpr unsigned kSubBits = 3;

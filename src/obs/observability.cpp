@@ -1,13 +1,68 @@
 #include "src/obs/observability.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+#include <vector>
+
 #include "src/obs/introspect.hpp"
 #include "src/obs/recorder.hpp"
 
 namespace hypatia::obs {
 
+namespace {
+
+struct HookList {
+    std::mutex mu;
+    std::vector<std::pair<int, std::function<void()>>> hooks;
+    bool atexit_armed = false;
+};
+
+HookList& hook_list() {
+    // Leaked: hooks may be registered from leaked singletons and must
+    // stay callable during static destruction.
+    static HookList* list = new HookList();
+    return *list;
+}
+
+}  // namespace
+
+void register_shutdown_hook(int priority, std::function<void()> fn) {
+    HookList& list = hook_list();
+    std::lock_guard<std::mutex> lock(list.mu);
+    list.hooks.emplace_back(priority, std::move(fn));
+    if (!list.atexit_armed) {
+        list.atexit_armed = true;
+        std::atexit(&run_shutdown_hooks);
+    }
+}
+
+void run_shutdown_hooks() {
+    HookList& list = hook_list();
+    std::vector<std::pair<int, std::function<void()>>> hooks;
+    {
+        std::lock_guard<std::mutex> lock(list.mu);
+        hooks.swap(list.hooks);
+    }
+    std::stable_sort(hooks.begin(), hooks.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [priority, fn] : hooks) {
+        try {
+            fn();
+        } catch (...) {
+        }
+    }
+}
+
 Observability& Observability::instance() {
-    static Observability instance;
-    return instance;
+    // Intentionally leaked (like FlightRecorder): the introspection
+    // server's serve thread and the shutdown/fatal-signal hooks read the
+    // metrics registry; a function-local static here would destruct
+    // before the server static constructed inside this constructor,
+    // leaving a window where the serve thread reads freed memory.
+    static Observability* instance = new Observability();
+    return *instance;
 }
 
 Observability::Observability() {
@@ -68,6 +123,12 @@ void Observability::register_core_metrics() {
     metrics_.histogram("emu.epoch_busy_us");
     metrics_.histogram("emu.epoch_lag_us");
     metrics_.gauge("emu.realtime_factor");
+    metrics_.counter("ckpt.generations_written");
+    metrics_.counter("ckpt.bytes_written");
+    metrics_.counter("ckpt.restores");
+    metrics_.counter("ckpt.restore_rejected");
+    metrics_.counter("ckpt.corrupt_skipped");
+    metrics_.histogram("ckpt.write_us");
 }
 
 void Observability::reset() {

@@ -13,11 +13,34 @@
 // disabled and tracing costs one bitmask test per would-be record.
 #pragma once
 
+#include <functional>
+
 #include "src/obs/metrics.hpp"
 #include "src/obs/profile.hpp"
 #include "src/obs/trace.hpp"
 
 namespace hypatia::obs {
+
+/// Ordered process-shutdown sequence (DESIGN.md §13): the introspection
+/// server stops first (no thread reads shared state mid-teardown), then
+/// the final checkpoint flushes, then the flight recorder drains its
+/// post-mortem record. Lower priorities run earlier.
+inline constexpr int kShutdownStopIntrospection = 10;
+inline constexpr int kShutdownFinalCheckpoint = 20;
+inline constexpr int kShutdownRecorderDrain = 30;
+
+/// Registers `fn` to run at process exit (or at an explicit
+/// run_shutdown_hooks() call), ordered by ascending priority. The first
+/// registration arms a single atexit handler; every singleton the hooks
+/// touch (Observability, FlightRecorder, the global IntrospectionServer
+/// and checkpoint Manager) is intentionally leaked, so the sequence is
+/// use-after-free-safe no matter when static destruction interleaves.
+void register_shutdown_hook(int priority, std::function<void()> fn);
+
+/// Runs and clears the registered hooks (idempotent; exceptions are
+/// swallowed so one hook cannot starve the rest). Called automatically
+/// via atexit; exposed for tests and for orderly daemon shutdown.
+void run_shutdown_hooks();
 
 class Observability {
   public:

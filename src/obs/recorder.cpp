@@ -5,12 +5,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <tuple>
+
+#include "src/obs/observability.hpp"
 
 namespace hypatia::obs {
 
@@ -35,17 +38,27 @@ bool event_less(const Event& lhs, const Event& rhs) {
            std::tie(rhs.t, rhs.kind, rhs.a, rhs.b, rhs.c, rhs.d, rhs.value);
 }
 
+/// Extra fatal-signal work chained ahead of the recorder dump
+/// (set_fatal_signal_hook) — the checkpoint image writer.
+std::atomic<void (*)()> g_fatal_hook{nullptr};
+
 void crash_signal_handler(int signo) {
+    // Defined fatal-signal order: best-effort checkpoint first (the
+    // recoverable state), then the post-mortem recorder dump, then the
+    // default disposition.
+    if (void (*hook)() = g_fatal_hook.load(std::memory_order_acquire)) hook();
     FlightRecorder& rec = FlightRecorder::instance();
-    const int fd = ::open(rec.crash_dump_path().c_str(),
-                          O_CREAT | O_WRONLY | O_TRUNC, 0644);
-    if (fd >= 0) {
-        rec.dump_unlocked(fd);
-        ::close(fd);
+    if (!rec.crash_dump_path().empty()) {
+        const int fd = ::open(rec.crash_dump_path().c_str(),
+                              O_CREAT | O_WRONLY | O_TRUNC, 0644);
+        if (fd >= 0) {
+            rec.dump_unlocked(fd);
+            ::close(fd);
+        }
     }
     // Restore the default disposition and re-raise so the process still
     // dies with the original signal (core dumps, sanitizer reports and
-    // exit codes are unaffected beyond the dump above).
+    // exit codes are unaffected beyond the dumps above).
     ::signal(signo, SIG_DFL);
     ::raise(signo);
 }
@@ -223,11 +236,13 @@ void FlightRecorder::dump_unlocked(int fd) const {
     }
 }
 
-void FlightRecorder::install_crash_handler(const std::string& path) {
-    crash_path_ = path;
-    static bool installed = false;
-    if (installed) return;
-    installed = true;
+void set_fatal_signal_hook(void (*hook)()) {
+    g_fatal_hook.store(hook, std::memory_order_release);
+}
+
+void install_fatal_signal_handlers() {
+    static std::atomic<bool> installed{false};
+    if (installed.exchange(true)) return;
     struct sigaction sa;
     std::memset(&sa, 0, sizeof(sa));
     sa.sa_handler = &crash_signal_handler;
@@ -236,7 +251,18 @@ void FlightRecorder::install_crash_handler(const std::string& path) {
     for (const int signo : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
         ::sigaction(signo, &sa, nullptr);
     }
-    std::atexit(&drain_at_exit);
+}
+
+void FlightRecorder::install_crash_handler(const std::string& path) {
+    crash_path_ = path;
+    install_fatal_signal_handlers();
+    // The normal-exit drain runs through the ordered shutdown hooks
+    // (after the introspection stop and the final checkpoint) instead
+    // of a bare atexit, so the exit sequence is defined.
+    static bool drain_registered = false;
+    if (drain_registered) return;
+    drain_registered = true;
+    register_shutdown_hook(kShutdownRecorderDrain, &drain_at_exit);
 }
 
 void FlightRecorder::configure_from_env() {

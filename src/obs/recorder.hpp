@@ -167,4 +167,17 @@ class FlightRecorder {
 
 inline FlightRecorder& recorder() { return FlightRecorder::instance(); }
 
+/// Chains one extra callback ahead of the recorder dump inside the
+/// shared SIGSEGV/SIGBUS/SIGFPE/SIGABRT handler — the checkpoint layer
+/// hangs its best-effort image write here, so on a fatal signal the
+/// sequence is: checkpoint image, recorder dump, default disposition
+/// re-raise. The hook must be async-signal-safe.
+void set_fatal_signal_hook(void (*hook)());
+
+/// Installs the shared fatal-signal handler (idempotent, any caller).
+/// The recorder's JSONL dump within it only fires when
+/// HYPATIA_RECORDER_FILE armed a dump path; the hook above fires
+/// regardless.
+void install_fatal_signal_handlers();
+
 }  // namespace hypatia::obs

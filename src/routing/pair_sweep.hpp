@@ -113,6 +113,19 @@ class PairSweeper {
     /// number of distinct destinations when clustering is off.
     std::size_t num_trees() const { return trees_.size(); }
 
+    /// Fault-transition streaming cursor: the orbit time of the last
+    /// completed step (nullopt before the first). Checkpoint/restore
+    /// saves it so a resumed run's first step records transitions over
+    /// exactly (prev, t] — the same window the uninterrupted run saw —
+    /// instead of re-synthesizing one from step_hint.
+    std::optional<TimeNs> sweep_cursor() const {
+        return have_prev_t_ ? std::optional<TimeNs>(prev_t_) : std::nullopt;
+    }
+    void set_sweep_cursor(TimeNs prev_t) {
+        prev_t_ = prev_t;
+        have_prev_t_ = true;
+    }
+
     const std::vector<GsPair>& pairs() const { return pairs_; }
     /// The resolved fault schedule (explicit or HYPATIA_FAULTS);
     /// nullptr when faults are disabled.

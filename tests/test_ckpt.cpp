@@ -1,0 +1,677 @@
+// Checkpoint/restore (DESIGN.md §13): codec and file-format round
+// trips, corruption fuzzing (every single-bit flip and truncation must
+// be rejected, never crash), generation fallback past a corrupt newest
+// file, the env-driven policy, metrics snapshot/restore, in-process
+// engine and exporter resume equivalence across thread counts and
+// snapshot modes, the /checkpoint introspection route and the ordered
+// shutdown hooks.
+#include "src/ckpt/checkpoint.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/ckpt/codec.hpp"
+#include "src/emu/export.hpp"
+#include "src/emu/realtime.hpp"
+#include "src/emu/schedule.hpp"
+#include "src/flowsim/engine.hpp"
+#include "src/flowsim/traffic.hpp"
+#include "src/obs/introspect.hpp"
+#include "src/obs/observability.hpp"
+#include "src/topology/cities.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace hypatia {
+namespace {
+
+struct ScopedEnv {
+    explicit ScopedEnv(const char* name, const char* value) : name_(name) {
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+    const char* name_;
+};
+
+std::string fresh_dir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "ckpt_" + name;
+    ::mkdir(dir.c_str(), 0755);
+    // Clear any leftovers from a previous invocation of this binary.
+    for (int g = 0; g < 64; ++g) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s/ckpt-%010d.hyc", dir.c_str(), g);
+        ::unlink(buf);
+    }
+    return dir;
+}
+
+void write_raw(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+ckpt::Checkpoint sample_checkpoint() {
+    ckpt::Checkpoint ck;
+    ck.epoch_index = 17;
+    ck.sim_time = 3 * kNsPerSec;
+    ckpt::Writer a;
+    a.u64(0xdeadbeefcafef00dULL);
+    a.str("flow table");
+    a.vec(std::vector<double>{1.5, -2.25, 1e300});
+    ck.add("flowsim.engine", a.take());
+    ckpt::Writer b;
+    b.i64(-42);
+    b.f64(0.125);
+    ck.add("obs.metrics", b.take());
+    return ck;
+}
+
+// ------------------------------------------------------------- codec
+
+TEST(CkptCodec, WriterReaderRoundTrip) {
+    ckpt::Writer w;
+    w.u8(200);
+    w.u32(0x12345678u);
+    w.u64(0xfedcba9876543210ULL);
+    w.i32(-7);
+    w.i64(-(1LL << 40));
+    w.f64(3.141592653589793);
+    w.str("Hello, checkpoint");
+    w.vec(std::vector<std::uint32_t>{1, 2, 3});
+    w.vec(std::vector<char>{0, 1, 1, 0});
+    const std::vector<std::uint8_t> bytes = w.take();
+
+    ckpt::Reader r(bytes);
+    EXPECT_EQ(r.u8(), 200);
+    EXPECT_EQ(r.u32(), 0x12345678u);
+    EXPECT_EQ(r.u64(), 0xfedcba9876543210ULL);
+    EXPECT_EQ(r.i32(), -7);
+    EXPECT_EQ(r.i64(), -(1LL << 40));
+    EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+    EXPECT_EQ(r.str(), "Hello, checkpoint");
+    std::vector<std::uint32_t> v32;
+    r.vec(v32);
+    EXPECT_EQ(v32, (std::vector<std::uint32_t>{1, 2, 3}));
+    std::vector<char> vc;
+    r.vec(vc);
+    EXPECT_EQ(vc, (std::vector<char>{0, 1, 1, 0}));
+    EXPECT_TRUE(r.at_end());
+    EXPECT_THROW(r.u8(), ckpt::CorruptError);
+}
+
+TEST(CkptCodec, ReaderRejectsOversizedCounts) {
+    // A corrupted length prefix must not drive a multi-gigabyte resize.
+    ckpt::Writer w;
+    w.u64(~std::uint64_t{0});
+    const std::vector<std::uint8_t> bytes = w.take();
+    ckpt::Reader r(bytes);
+    std::vector<double> v;
+    EXPECT_THROW(r.vec(v), ckpt::CorruptError);
+    ckpt::Reader r2(bytes);
+    EXPECT_THROW(r2.str(), ckpt::CorruptError);
+}
+
+TEST(CkptCodec, DigestIsOrderAndValueSensitive) {
+    ckpt::Digest a, b, c;
+    a.mix<std::uint32_t>(1);
+    a.mix<std::uint32_t>(2);
+    b.mix<std::uint32_t>(2);
+    b.mix<std::uint32_t>(1);
+    c.mix<std::uint32_t>(1);
+    c.mix<std::uint32_t>(2);
+    EXPECT_NE(a.value(), b.value());
+    EXPECT_EQ(a.value(), c.value());
+}
+
+TEST(CkptCodec, Crc32MatchesKnownVector) {
+    // IEEE CRC-32 of "123456789" is the classic check value.
+    const char* s = "123456789";
+    EXPECT_EQ(ckpt::crc32(reinterpret_cast<const std::uint8_t*>(s), 9),
+              0xCBF43926u);
+}
+
+// ------------------------------------------------------- file format
+
+TEST(CkptFormat, EncodeDecodeRoundTrip) {
+    ckpt::Checkpoint ck = sample_checkpoint();
+    ck.generation = 5;
+    const auto bytes = ckpt::encode(ck);
+    const ckpt::Checkpoint back = ckpt::decode(bytes);
+    EXPECT_EQ(back.generation, 5u);
+    EXPECT_EQ(back.epoch_index, 17u);
+    EXPECT_EQ(back.sim_time, 3 * kNsPerSec);
+    ASSERT_EQ(back.sections.size(), 2u);
+    ASSERT_NE(back.find("flowsim.engine"), nullptr);
+    ASSERT_NE(back.find("obs.metrics"), nullptr);
+    EXPECT_EQ(back.find("flowsim.engine")->payload,
+              ck.find("flowsim.engine")->payload);
+    EXPECT_EQ(back.find("nope"), nullptr);
+
+    ckpt::Reader r(back.find("obs.metrics")->payload);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_DOUBLE_EQ(r.f64(), 0.125);
+}
+
+TEST(CkptFormat, AtomicWriteLeavesNoTempFile) {
+    const std::string dir = fresh_dir("atomic");
+    const std::string path = dir + "/ckpt-0000000001.hyc";
+    const auto bytes = ckpt::encode(sample_checkpoint());
+    ckpt::atomic_write_file(path, bytes);
+    EXPECT_TRUE(ckpt::read_checkpoint_file(path).has_value());
+    struct stat st;
+    EXPECT_NE(::stat((path + ".tmp").c_str(), &st), 0)
+        << "temp file left behind after rename";
+}
+
+TEST(CkptFormat, EveryBitFlipIsRejected) {
+    const std::string dir = fresh_dir("fuzz_flip");
+    const std::string path = dir + "/flip.hyc";
+    const auto good = ckpt::encode(sample_checkpoint());
+    ASSERT_TRUE([&] {
+        write_raw(path, good);
+        return ckpt::read_checkpoint_file(path).has_value();
+    }());
+
+    for (std::size_t byte = 0; byte < good.size(); ++byte) {
+        auto bad = good;
+        bad[byte] ^= static_cast<std::uint8_t>(1u << (byte % 8));
+        write_raw(path, bad);
+        std::string error;
+        EXPECT_FALSE(ckpt::read_checkpoint_file(path, &error).has_value())
+            << "bit flip at byte " << byte << " was accepted";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(CkptFormat, EveryTruncationIsRejected) {
+    const std::string dir = fresh_dir("fuzz_trunc");
+    const std::string path = dir + "/trunc.hyc";
+    const auto good = ckpt::encode(sample_checkpoint());
+    for (std::size_t len = 0; len < good.size(); ++len) {
+        write_raw(path, std::vector<std::uint8_t>(good.begin(),
+                                                  good.begin() + len));
+        EXPECT_FALSE(ckpt::read_checkpoint_file(path).has_value())
+            << "truncation to " << len << " bytes was accepted";
+    }
+}
+
+TEST(CkptFormat, StaleFormatVersionIsRejected) {
+    // Patch the version field *and* re-stamp the file CRC, so the
+    // rejection is the version check itself, not a CRC side effect.
+    auto bytes = ckpt::encode(sample_checkpoint());
+    const std::uint32_t stale = ckpt::kFormatVersion + 1;
+    std::memcpy(bytes.data() + 4, &stale, sizeof(stale));
+    const std::uint32_t crc = ckpt::crc32(bytes.data(), bytes.size() - 8);
+    std::memcpy(bytes.data() + bytes.size() - 8, &crc, sizeof(crc));
+
+    const std::string dir = fresh_dir("fuzz_version");
+    const std::string path = dir + "/stale.hyc";
+    write_raw(path, bytes);
+    std::string error;
+    EXPECT_FALSE(ckpt::read_checkpoint_file(path, &error).has_value());
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+// ----------------------------------------------------------- manager
+
+TEST(CkptManager, PolicyFromEnv) {
+    ScopedEnv dir("HYPATIA_CKPT_DIR", "/tmp/ckpt_env_test");
+    ScopedEnv interval("HYPATIA_CKPT_INTERVAL_S", "2.5");
+    ScopedEnv resume("HYPATIA_CKPT_RESUME", "1");
+    ScopedEnv keep("HYPATIA_CKPT_KEEP", "7");
+    const ckpt::Policy p = ckpt::Policy::from_env();
+    EXPECT_TRUE(p.enabled());
+    EXPECT_EQ(p.dir, "/tmp/ckpt_env_test");
+    EXPECT_DOUBLE_EQ(p.interval_s, 2.5);
+    EXPECT_TRUE(p.resume);
+    EXPECT_EQ(p.keep, 7);
+    EXPECT_FALSE(ckpt::Policy::disabled().enabled());
+}
+
+TEST(CkptManager, WritePruneAndResumeScan) {
+    ckpt::Policy policy;
+    policy.dir = fresh_dir("manager");
+    policy.interval_s = 0.0;
+    policy.keep = 2;
+    ckpt::Manager manager(policy);
+
+    EXPECT_TRUE(manager.due());  // interval 0 = every epoch
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+        ckpt::Checkpoint ck = sample_checkpoint();
+        ck.epoch_index = i;
+        EXPECT_EQ(manager.write(std::move(ck)), i);
+    }
+    EXPECT_EQ(manager.last_generation(), 4u);
+
+    // keep=2: generations 1 and 2 pruned.
+    struct stat st;
+    EXPECT_NE(::stat((policy.dir + "/ckpt-0000000001.hyc").c_str(), &st), 0);
+    EXPECT_EQ(::stat((policy.dir + "/ckpt-0000000004.hyc").c_str(), &st), 0);
+
+    const auto latest = manager.load_latest();
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->generation, 4u);
+    EXPECT_EQ(latest->epoch_index, 4u);
+
+    // A later manager on the same directory continues the sequence.
+    ckpt::Manager successor(policy);
+    EXPECT_EQ(successor.write(sample_checkpoint()), 5u);
+}
+
+TEST(CkptManager, CorruptNewestFallsBackToPreviousGeneration) {
+    ckpt::Policy policy;
+    policy.dir = fresh_dir("fallback");
+    policy.interval_s = 0.0;
+    ckpt::Manager manager(policy);
+
+    ckpt::Checkpoint first = sample_checkpoint();
+    first.epoch_index = 1;
+    manager.write(std::move(first));
+    ckpt::Checkpoint second = sample_checkpoint();
+    second.epoch_index = 2;
+    manager.write(std::move(second));
+
+    // Corrupt the newest generation on disk (mid-file bit flip).
+    const std::string newest = policy.dir + "/ckpt-0000000002.hyc";
+    std::ifstream in(newest, std::ios::binary);
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 20u);
+    bytes[bytes.size() / 2] ^= 0x40;
+    write_raw(newest, bytes);
+
+    const std::uint64_t skipped_before =
+        obs::metrics().counter("ckpt.corrupt_skipped").value();
+    const auto restored = manager.load_latest();
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(restored->epoch_index, 1u);
+    EXPECT_GT(obs::metrics().counter("ckpt.corrupt_skipped").value(),
+              skipped_before);
+}
+
+TEST(CkptManager, ArmedImageFlushesOnDemandAndDisarmDrops) {
+    ckpt::Policy policy;
+    policy.dir = fresh_dir("armed");
+    policy.interval_s = 1e9;  // periodic writes never due
+    ckpt::Manager manager(policy);
+    EXPECT_FALSE(manager.due());
+
+    ckpt::Checkpoint ck = sample_checkpoint();
+    ck.epoch_index = 9;
+    manager.arm(std::move(ck));
+    // The armed image is memory-only until flushed.
+    EXPECT_FALSE(manager.load_latest().has_value());
+    manager.write_armed_image();
+    const auto restored = manager.load_latest();
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(restored->epoch_index, 9u);
+
+    // Disarm drops the buffer: a second flush writes nothing new.
+    manager.arm(sample_checkpoint());
+    manager.disarm();
+    const std::uint64_t gen = manager.last_generation();
+    manager.write_armed_image();
+    EXPECT_EQ(manager.last_generation(), gen);
+}
+
+TEST(CkptManager, RequestNowOverridesInterval) {
+    ckpt::Policy policy;
+    policy.dir = fresh_dir("trigger");
+    policy.interval_s = 1e9;
+    ckpt::Manager manager(policy);
+    EXPECT_FALSE(manager.due());
+    manager.request_now();
+    EXPECT_TRUE(manager.due());
+    manager.write(sample_checkpoint());
+    EXPECT_FALSE(manager.due());  // trigger consumed by the write
+}
+
+// ----------------------------------------------------------- metrics
+
+TEST(CkptMetrics, HistogramStateRoundTrip) {
+    obs::Histogram h;
+    h.record(3);
+    h.record(70);
+    h.record(70000);
+    const obs::Histogram::State s = h.state();
+    obs::Histogram other;
+    other.record(1);  // pre-existing junk the restore must overwrite
+    other.restore(s);
+    EXPECT_EQ(other.state().count, 3u);
+    EXPECT_EQ(other.state().sum, s.sum);
+    EXPECT_EQ(other.state().min, 3u);
+    EXPECT_EQ(other.state().max, 70000u);
+    EXPECT_EQ(other.state().buckets, s.buckets);
+}
+
+TEST(CkptMetrics, MetricsSectionRoundTrip) {
+    auto& m = obs::metrics();
+    m.counter("ckpt_test.counter").reset();
+    m.counter("ckpt_test.counter").inc(41);
+    m.gauge("ckpt_test.gauge").set(2.75);
+    m.histogram("ckpt_test.hist").record(123);
+    const std::uint64_t hist_count_before =
+        m.histogram("ckpt_test.hist").state().count;
+
+    ckpt::Writer w;
+    ckpt::save_metrics_section(w);
+    const std::vector<std::uint8_t> payload = w.take();
+
+    m.counter("ckpt_test.counter").inc(1000);
+    m.gauge("ckpt_test.gauge").set(-1.0);
+    m.histogram("ckpt_test.hist").record(5);
+
+    ckpt::Reader r(payload);
+    ckpt::restore_metrics_section(r);
+    EXPECT_EQ(m.counter("ckpt_test.counter").value(), 41u);
+    EXPECT_DOUBLE_EQ(m.gauge("ckpt_test.gauge").value(), 2.75);
+    EXPECT_EQ(m.histogram("ckpt_test.hist").state().count, hist_count_before);
+}
+
+// ----------------------------------------------- engine resume equivalence
+
+core::Scenario faulted_scenario() {
+    core::Scenario s;
+    s.shell = topo::shell_by_name("kuiper_k1");
+    s.ground_stations = {topo::city_by_name("Manila"), topo::city_by_name("Dalian"),
+                         topo::city_by_name("Tokyo"), topo::city_by_name("Seoul")};
+    std::vector<fault::FaultEvent> events;
+    events.push_back({fault::FaultKind::kGroundStation, 0, -1, 2 * kNsPerSec,
+                      4 * kNsPerSec});
+    const fault::FaultSchedule schedule = fault::FaultSchedule::from_events(
+        events, s.shell.num_satellites(),
+        static_cast<int>(s.ground_stations.size()));
+    const std::string csv = ::testing::TempDir() + "ckpt_faults.csv";
+    schedule.save_csv(csv);
+    s.faults = fault::FaultSpec{std::nullopt, csv};
+    return s;
+}
+
+flowsim::EngineOptions engine_options() {
+    flowsim::EngineOptions opts;
+    opts.epoch = 500 * kNsPerMs;
+    opts.duration = 6 * kNsPerSec;
+    opts.record_link_utilization = true;
+    opts.tracked_flows = {0, 2};
+    return opts;
+}
+
+flowsim::TrafficMatrix engine_matrix() {
+    flowsim::PoissonTrafficConfig cfg;
+    cfg.num_gs = 4;
+    cfg.arrivals_per_s = 4.0;
+    cfg.window = 5 * kNsPerSec;
+    cfg.seed = 7;
+    flowsim::TrafficMatrix m = flowsim::poisson_traffic(cfg);
+    m.sort_by_arrival();
+    return m;
+}
+
+void expect_summaries_equal(const flowsim::RunSummary& a,
+                            const flowsim::RunSummary& b) {
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.all_converged, b.all_converged);
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+        EXPECT_EQ(a.epochs[i].t, b.epochs[i].t) << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].active, b.epochs[i].active) << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].arrivals, b.epochs[i].arrivals) << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].completions, b.epochs[i].completions)
+            << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].unreachable, b.epochs[i].unreachable)
+            << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].sum_rate_bps, b.epochs[i].sum_rate_bps)
+            << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].max_link_utilization,
+                  b.epochs[i].max_link_utilization)
+            << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].solver_rounds, b.epochs[i].solver_rounds)
+            << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].converged, b.epochs[i].converged) << "epoch " << i;
+    }
+    ASSERT_EQ(a.flows.size(), b.flows.size());
+    for (std::size_t i = 0; i < a.flows.size(); ++i) {
+        EXPECT_EQ(a.flows[i].completion, b.flows[i].completion) << "flow " << i;
+        EXPECT_EQ(a.flows[i].bits_sent, b.flows[i].bits_sent) << "flow " << i;
+        EXPECT_EQ(a.flows[i].last_rate_bps, b.flows[i].last_rate_bps)
+            << "flow " << i;
+        EXPECT_EQ(a.flows[i].unreachable_epochs, b.flows[i].unreachable_epochs)
+            << "flow " << i;
+    }
+    ASSERT_EQ(a.tracked_series.size(), b.tracked_series.size());
+    for (std::size_t i = 0; i < a.tracked_series.size(); ++i) {
+        EXPECT_EQ(a.tracked_series[i], b.tracked_series[i]) << "series " << i;
+    }
+}
+
+TEST(CkptEngine, ResumedRunMatchesUninterrupted) {
+    const core::Scenario scenario = faulted_scenario();
+    const flowsim::TrafficMatrix matrix = engine_matrix();
+
+    struct Config {
+        std::size_t threads;
+        const char* mode;
+    };
+    const std::vector<Config> configs = {
+        {1, "refresh"}, {2, "refresh"}, {8, "refresh"}, {2, "rebuild"}};
+    for (const auto& config : configs) {
+        SCOPED_TRACE(std::string(config.mode) + " / " +
+                     std::to_string(config.threads) + " threads");
+        ScopedEnv mode("HYPATIA_SNAPSHOT_MODE", config.mode);
+        util::ThreadPool::set_global_threads(config.threads);
+
+        // Reference: one uninterrupted run, checkpointing off.
+        flowsim::EngineOptions ref_opts = engine_options();
+        ref_opts.checkpoint = ckpt::Policy::disabled();
+        flowsim::Engine reference(scenario, matrix, ref_opts);
+        const flowsim::RunSummary want = reference.run();
+
+        // Interrupted: checkpoint every boundary, abort mid-run.
+        ckpt::Policy policy;
+        policy.dir = fresh_dir(std::string("engine_") + config.mode + "_" +
+                               std::to_string(config.threads));
+        policy.interval_s = 0.0;
+        flowsim::EngineOptions abort_opts = engine_options();
+        abort_opts.checkpoint = policy;
+        abort_opts.epoch_hook = [](std::size_t bi, TimeNs) { return bi < 6; };
+        flowsim::Engine interrupted(scenario, matrix, abort_opts);
+        const flowsim::RunSummary partial = interrupted.run();
+        ASSERT_LT(partial.epochs.size(), want.epochs.size());
+
+        // Resumed: a fresh engine picks up from the newest generation
+        // and must finish byte-identical to the uninterrupted run.
+        policy.resume = true;
+        flowsim::EngineOptions resume_opts = engine_options();
+        resume_opts.checkpoint = policy;
+        flowsim::Engine resumed(scenario, matrix, resume_opts);
+        const flowsim::RunSummary got = resumed.run();
+        expect_summaries_equal(want, got);
+    }
+    util::ThreadPool::set_global_threads(0);
+}
+
+TEST(CkptEngine, DigestMismatchStartsFresh) {
+    const core::Scenario scenario = faulted_scenario();
+    ckpt::Policy policy;
+    policy.dir = fresh_dir("digest_mismatch");
+    policy.interval_s = 0.0;
+
+    flowsim::EngineOptions opts = engine_options();
+    opts.checkpoint = policy;
+    opts.epoch_hook = [](std::size_t bi, TimeNs) { return bi < 4; };
+    flowsim::Engine a(scenario, engine_matrix(), opts);
+    a.run();
+
+    // A *different* matrix with resume on: the stored digest disagrees,
+    // so the run must start from boundary 0 and still complete.
+    policy.resume = true;
+    flowsim::PoissonTrafficConfig cfg;
+    cfg.num_gs = 4;
+    cfg.arrivals_per_s = 4.0;
+    cfg.window = 5 * kNsPerSec;
+    cfg.seed = 99;  // different traffic
+    flowsim::TrafficMatrix other = flowsim::poisson_traffic(cfg);
+    other.sort_by_arrival();
+
+    const std::uint64_t rejected_before =
+        obs::metrics().counter("ckpt.restore_rejected").value();
+    flowsim::EngineOptions resume_opts = engine_options();
+    resume_opts.checkpoint = policy;
+    flowsim::Engine b(scenario, other, resume_opts);
+    const flowsim::RunSummary got = b.run();
+    EXPECT_GT(obs::metrics().counter("ckpt.restore_rejected").value(),
+              rejected_before);
+
+    flowsim::EngineOptions ref_opts = engine_options();
+    ref_opts.checkpoint = ckpt::Policy::disabled();
+    flowsim::Engine ref(scenario, other, ref_opts);
+    expect_summaries_equal(ref.run(), got);
+}
+
+// --------------------------------------------- exporter resume equivalence
+
+TEST(CkptEmu, ExporterResumesByteIdentical) {
+    const core::Scenario scenario = faulted_scenario();
+    emu::ExportOptions eopt;
+    eopt.t_end = 6 * kNsPerSec;
+    eopt.step = 500 * kNsPerMs;
+    const std::vector<route::GsPair> pairs = {{0, 1}, {2, 3}};
+
+    emu::ExportOptions ref_opt = eopt;
+    ref_opt.checkpoint = ckpt::Policy::disabled();
+    emu::ScheduleExporter reference(scenario, pairs, ref_opt);
+    const auto& want = reference.run();
+
+    // Full run with a checkpoint at every step, keeping everything.
+    ckpt::Policy policy;
+    policy.dir = fresh_dir("exporter");
+    policy.interval_s = 0.0;
+    policy.keep = 1000;
+    emu::ExportOptions ck_opt = eopt;
+    ck_opt.checkpoint = policy;
+    emu::ScheduleExporter first(scenario, pairs, ck_opt);
+    first.run();
+
+    // Simulate dying mid-run: drop every generation past the midpoint,
+    // then resume. The survivor covers steps [0, 6).
+    for (int g = 7; g <= 64; ++g) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s/ckpt-%010d.hyc",
+                      policy.dir.c_str(), g);
+        ::unlink(buf);
+    }
+    policy.resume = true;
+    emu::ExportOptions resume_opt = eopt;
+    resume_opt.checkpoint = policy;
+    emu::ScheduleExporter resumed(scenario, pairs, resume_opt);
+    const auto& got = resumed.run();
+
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t pi = 0; pi < want.size(); ++pi) {
+        EXPECT_EQ(emu::to_csv(got[pi]), emu::to_csv(want[pi])) << "pair " << pi;
+        EXPECT_EQ(emu::to_jsonl(got[pi]), emu::to_jsonl(want[pi]))
+            << "pair " << pi;
+    }
+}
+
+TEST(CkptEmu, PacedRunResumesByteIdentical) {
+    const core::Scenario scenario = faulted_scenario();
+    emu::ExportOptions eopt;
+    eopt.t_end = 4 * kNsPerSec;
+    eopt.step = 500 * kNsPerMs;
+    const std::vector<route::GsPair> pairs = {{0, 1}};
+
+    emu::ExportOptions ref_opt = eopt;
+    ref_opt.checkpoint = ckpt::Policy::disabled();
+    emu::ScheduleExporter reference(scenario, pairs, ref_opt);
+    const auto& want = reference.run();
+
+    ckpt::Policy policy;
+    policy.dir = fresh_dir("paced");
+    policy.interval_s = 0.0;
+    policy.keep = 1000;
+    emu::PacerOptions popt;
+    popt.speed = 0.0;  // free-run
+    popt.serve_schedule = false;
+    popt.checkpoint = policy;
+    emu::RealtimePacer first(scenario, pairs, eopt, popt);
+    first.run();
+
+    for (int g = 5; g <= 64; ++g) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s/ckpt-%010d.hyc",
+                      policy.dir.c_str(), g);
+        ::unlink(buf);
+    }
+    policy.resume = true;
+    emu::PacerOptions resume_popt = popt;
+    resume_popt.checkpoint = policy;
+    emu::RealtimePacer resumed(scenario, pairs, eopt, resume_popt);
+    const emu::PacerReport report = resumed.run();
+
+    ASSERT_EQ(report.schedules.size(), want.size());
+    EXPECT_EQ(emu::to_csv(report.schedules[0]), emu::to_csv(want[0]));
+    // The resumed pacer only drove the remaining epochs.
+    EXPECT_LT(report.epochs, reference.num_steps());
+}
+
+// ------------------------------------------------------ introspection
+
+TEST(CkptIntrospect, CheckpointRouteServesStatusAndTrigger) {
+    ScopedEnv dir("HYPATIA_CKPT_DIR", (::testing::TempDir() + "ckpt_route").c_str());
+    ScopedEnv interval("HYPATIA_CKPT_INTERVAL_S", "1000000");
+    ckpt::Manager& manager = ckpt::Manager::global();
+    ASSERT_TRUE(manager.enabled());
+
+    const auto status = obs::IntrospectionServer::handle("/checkpoint");
+    EXPECT_EQ(status.status, 200);
+    EXPECT_EQ(status.content_type, "application/json");
+    EXPECT_NE(status.body.find("\"enabled\":true"), std::string::npos)
+        << status.body;
+    EXPECT_NE(status.body.find("\"trigger_pending\":false"), std::string::npos);
+
+    EXPECT_FALSE(manager.due());
+    const auto triggered =
+        obs::IntrospectionServer::handle("/checkpoint?trigger=1");
+    EXPECT_EQ(triggered.status, 200);
+    EXPECT_NE(triggered.body.find("\"trigger_pending\":true"),
+              std::string::npos);
+    EXPECT_TRUE(manager.due());
+
+    manager.write(sample_checkpoint());
+    const auto after = obs::IntrospectionServer::handle("/checkpoint");
+    EXPECT_NE(after.body.find("\"last_generation\":"), std::string::npos);
+    EXPECT_NE(after.body.find("\"trigger_pending\":false"), std::string::npos);
+}
+
+// ---------------------------------------------------- shutdown hooks
+
+TEST(CkptShutdown, HooksRunInPriorityOrderOnce) {
+    std::vector<int>* order = new std::vector<int>();
+    static std::vector<int>* s_order = nullptr;
+    s_order = order;
+    obs::register_shutdown_hook(obs::kShutdownRecorderDrain,
+                                [] { s_order->push_back(30); });
+    obs::register_shutdown_hook(obs::kShutdownStopIntrospection,
+                                [] { s_order->push_back(10); });
+    obs::register_shutdown_hook(obs::kShutdownFinalCheckpoint,
+                                [] { s_order->push_back(20); });
+    obs::run_shutdown_hooks();
+    EXPECT_EQ(*order, (std::vector<int>{10, 20, 30}));
+    // Hooks are consumed: a second pass runs nothing.
+    obs::run_shutdown_hooks();
+    EXPECT_EQ(order->size(), 3u);
+}
+
+}  // namespace
+}  // namespace hypatia

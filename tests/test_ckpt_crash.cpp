@@ -1,0 +1,209 @@
+// Crash-recovery integration test (DESIGN.md §13): forks a paced
+// emulation run as a child process with HYPATIA_CKPT_* set, SIGKILLs it
+// mid-run once checkpoints appear on disk, re-runs it with resume on,
+// and requires the resumed run's schedule CSV to be byte-identical to
+// an uninterrupted in-process reference. No gtest: the process is its
+// own harness (child mode re-enters main via --ckpt-child), registered
+// as a single ctest entry. Honours HYPATIA_THREADS /
+// HYPATIA_SNAPSHOT_MODE from the environment, so CI sweeps
+// configurations by re-running the binary.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/emu/export.hpp"
+#include "src/emu/realtime.hpp"
+#include "src/emu/schedule.hpp"
+#include "src/fault/fault.hpp"
+#include "src/topology/cities.hpp"
+
+namespace {
+
+using namespace hypatia;
+
+#define CHECK(cond)                                                         \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::fprintf(stderr, "FAILED at %s:%d: %s\n", __FILE__,         \
+                         __LINE__, #cond);                                  \
+            return 1;                                                       \
+        }                                                                   \
+    } while (0)
+
+std::string scratch_dir() {
+    if (const char* env = std::getenv("CKPT_SCRATCH")) return env;
+    return "/tmp/hypatia_ckpt_crash";
+}
+
+/// Kuiper K1, four cities, a ground-station outage on GS 0 over
+/// [2 s, 4 s). Parent, child and resumed child all rebuild this
+/// identically; the fault CSV is regenerated per process.
+core::Scenario crash_scenario() {
+    core::Scenario s;
+    s.shell = topo::shell_by_name("kuiper_k1");
+    s.ground_stations = {topo::city_by_name("Manila"), topo::city_by_name("Dalian"),
+                         topo::city_by_name("Tokyo"), topo::city_by_name("Seoul")};
+    std::vector<fault::FaultEvent> events;
+    events.push_back({fault::FaultKind::kGroundStation, 0, -1, 2 * kNsPerSec,
+                      4 * kNsPerSec});
+    const fault::FaultSchedule schedule = fault::FaultSchedule::from_events(
+        events, s.shell.num_satellites(),
+        static_cast<int>(s.ground_stations.size()));
+    const std::string csv = scratch_dir() + "/crash_faults.csv";
+    schedule.save_csv(csv);
+    s.faults = fault::FaultSpec{std::nullopt, csv};
+    return s;
+}
+
+emu::ExportOptions crash_options() {
+    emu::ExportOptions opts;
+    opts.t_end = 6 * kNsPerSec;
+    opts.step = 500 * kNsPerMs;
+    return opts;
+}
+
+/// Child mode: one paced run, checkpointing configured entirely through
+/// HYPATIA_CKPT_* (the env path a real long-run deployment uses).
+/// Writes the final schedule CSV to `out_path` and exits 0.
+int run_child(const char* out_path) {
+    const core::Scenario scenario = crash_scenario();
+    emu::PacerOptions popt;
+    popt.speed = 1.0;
+    if (const char* env = std::getenv("CKPT_CHILD_SPEED")) {
+        popt.speed = std::strtod(env, nullptr);
+    }
+    popt.serve_schedule = false;
+    emu::RealtimePacer pacer(scenario, {{0, 1}}, crash_options(), popt);
+    const emu::PacerReport report = pacer.run();
+    if (report.schedules.size() != 1) return 2;
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    out << emu::to_csv(report.schedules[0]);
+    return out.good() ? 0 : 3;
+}
+
+int count_checkpoints(const std::string& dir) {
+    int n = 0;
+    for (int g = 1; g <= 64; ++g) {
+        char buf[512];
+        std::snprintf(buf, sizeof(buf), "%s/ckpt-%010d.hyc", dir.c_str(), g);
+        struct stat st;
+        if (::stat(buf, &st) == 0) ++n;
+    }
+    return n;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+pid_t spawn_child(const char* self, const std::string& ckpt_dir,
+                  const std::string& out_path, const char* speed,
+                  bool resume) {
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    ::setenv("HYPATIA_CKPT_DIR", ckpt_dir.c_str(), 1);
+    ::setenv("HYPATIA_CKPT_INTERVAL_S", "0", 1);
+    ::setenv("HYPATIA_CKPT_RESUME", resume ? "1" : "0", 1);
+    ::setenv("CKPT_CHILD_SPEED", speed, 1);
+    char* argv[] = {const_cast<char*>(self), const_cast<char*>("--ckpt-child"),
+                    const_cast<char*>(out_path.c_str()), nullptr};
+    ::execv(self, argv);
+    std::perror("execv");
+    _exit(127);
+}
+
+int run_parent(const char* self) {
+    const std::string scratch = scratch_dir();
+    ::mkdir(scratch.c_str(), 0755);
+    const std::string ckpt_dir = scratch + "/gens";
+    ::mkdir(ckpt_dir.c_str(), 0755);
+    for (int g = 0; g <= 64; ++g) {
+        char buf[512];
+        std::snprintf(buf, sizeof(buf), "%s/ckpt-%010d.hyc", ckpt_dir.c_str(), g);
+        ::unlink(buf);
+    }
+    const std::string out_path = scratch + "/resumed.csv";
+    ::unlink(out_path.c_str());
+
+    // Uninterrupted in-process reference (checkpointing off).
+    emu::ExportOptions ref_opt = crash_options();
+    ref_opt.checkpoint = ckpt::Policy::disabled();
+    emu::ScheduleExporter reference(crash_scenario(), {{0, 1}}, ref_opt);
+    const std::string want = emu::to_csv(reference.run()[0]);
+    CHECK(!want.empty());
+
+    // Paced child at real time; SIGKILL once checkpoints hit the disk.
+    const pid_t victim = spawn_child(self, ckpt_dir, out_path, "1.0", false);
+    CHECK(victim > 0);
+    bool saw_checkpoints = false;
+    for (int i = 0; i < 600; ++i) {  // 30 s cap
+        if (count_checkpoints(ckpt_dir) >= 3) {
+            saw_checkpoints = true;
+            break;
+        }
+        int status = 0;
+        if (::waitpid(victim, &status, WNOHANG) == victim) {
+            std::fprintf(stderr, "child finished before the kill (status %d)\n",
+                         status);
+            return 1;
+        }
+        ::usleep(50 * 1000);
+    }
+    CHECK(saw_checkpoints);
+    CHECK(::kill(victim, SIGKILL) == 0);
+    int status = 0;
+    CHECK(::waitpid(victim, &status, 0) == victim);
+    CHECK(WIFSIGNALED(status));
+    CHECK(WTERMSIG(status) == SIGKILL);
+    CHECK(read_file(out_path).empty());  // it really died mid-run
+
+    // Resume: a fresh process, free-running, picks up from the newest
+    // good generation and must finish byte-identical.
+    const pid_t survivor = spawn_child(self, ckpt_dir, out_path, "0", true);
+    CHECK(survivor > 0);
+    CHECK(::waitpid(survivor, &status, 0) == survivor);
+    CHECK(WIFEXITED(status));
+    CHECK(WEXITSTATUS(status) == 0);
+
+    const std::string got = read_file(out_path);
+    if (got != want) {
+        std::fprintf(stderr,
+                     "FAILED: resumed schedule differs from uninterrupted "
+                     "reference (%zu vs %zu bytes)\n",
+                     got.size(), want.size());
+        return 1;
+    }
+    std::printf("ok: killed mid-run after %d checkpoints, resumed "
+                "byte-identical (%zu bytes)\n",
+                count_checkpoints(ckpt_dir), got.size());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc >= 3 && std::strcmp(argv[1], "--ckpt-child") == 0) {
+        return run_child(argv[2]);
+    }
+    char self[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+    if (n <= 0) {
+        std::perror("readlink /proc/self/exe");
+        return 1;
+    }
+    self[n] = '\0';
+    return run_parent(self);
+}
